@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the real threaded executors: blocking vs
+//! overlapping wall-clock time on scaled-down instances of the paper's
+//! workload, with injected wire latency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msgpass::thread_backend::LatencyModel;
+use stencil::dist2d::{run_example1_dist, Decomp2D};
+use stencil::dist3d::{run_paper3d_dist, Decomp3D, ExecMode};
+
+fn bench_dist3d(c: &mut Criterion) {
+    let d = Decomp3D {
+        nx: 8,
+        ny: 8,
+        nz: 1024,
+        pi: 2,
+        pj: 2,
+        v: 64,
+        boundary: 1.0,
+    };
+    let lat = LatencyModel {
+        startup_us: 200.0,
+        per_byte_us: 0.02,
+    };
+    let mut g = c.benchmark_group("dist3d_8x8x1024_4ranks");
+    g.sample_size(10);
+    g.bench_function("blocking", |b| {
+        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Blocking).1))
+    });
+    g.bench_function("overlapping", |b| {
+        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Overlapping).1))
+    });
+    g.finish();
+}
+
+fn bench_dist2d(c: &mut Criterion) {
+    let d = Decomp2D {
+        nx: 2048,
+        ny: 16,
+        ranks: 4,
+        v: 128,
+        boundary: 1.0,
+    };
+    let lat = LatencyModel {
+        startup_us: 150.0,
+        per_byte_us: 0.02,
+    };
+    let mut g = c.benchmark_group("dist2d_2048x16_4ranks");
+    g.sample_size(10);
+    g.bench_function("blocking", |b| {
+        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Blocking).1))
+    });
+    g.bench_function("overlapping", |b| {
+        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Overlapping).1))
+    });
+    g.finish();
+}
+
+fn bench_recording(c: &mut Criterion) {
+    use msgpass::recording::record_sequential;
+    use stencil::dist3d::rank_overlap_3d;
+    use stencil::kernel::Paper3D;
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz: 256,
+        pi: 2,
+        pj: 2,
+        v: 32,
+        boundary: 1.0,
+    };
+    let mut g = c.benchmark_group("trace_driven");
+    g.sample_size(10);
+    g.bench_function("record_4ranks_8steps", |b| {
+        b.iter(|| {
+            black_box(record_sequential::<f32, _, _>(4, |comm| {
+                rank_overlap_3d(comm, Paper3D, d)
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dist3d, bench_dist2d, bench_recording);
+criterion_main!(benches);

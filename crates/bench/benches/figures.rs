@@ -1,0 +1,67 @@
+//! One Criterion benchmark per paper figure/table: each benchmark runs
+//! the simulated experiment at the paper's measured optimal tile height,
+//! for both schedules, so `cargo bench` regenerates a timing point of
+//! every figure. The full V-sweeps (whole curves) are produced by the
+//! `paper` binary (`cargo run --release -p bench --bin paper -- all`).
+
+use bench::ablation::run_ablation;
+use bench::experiments::{paper_experiments, simulate_point};
+use bench::gantt::{fig1_simulation, fig2_simulation};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tiling_core::prelude::*;
+
+fn bench_fig_1_2(c: &mut Criterion) {
+    let machine = MachineParams::example_1();
+    let mut g = c.benchmark_group("fig1_fig2_gantt");
+    g.sample_size(20);
+    g.bench_function("fig1_nonoverlap_6procs", |b| {
+        b.iter(|| black_box(fig1_simulation(&machine, 6, 8, 16).makespan))
+    });
+    g.bench_function("fig2_overlap_6procs", |b| {
+        b.iter(|| black_box(fig2_simulation(&machine, 6, 8, 16).makespan))
+    });
+    g.finish();
+}
+
+fn bench_figures_9_10_11(c: &mut Criterion) {
+    let machine = MachineParams::paper_cluster();
+    let mut g = c.benchmark_group("figures_9_10_11");
+    g.sample_size(10);
+    for (figure, exp) in ["fig9", "fig10", "fig11"].iter().zip(paper_experiments()) {
+        g.bench_function(format!("{figure}_at_paper_Vopt"), |b| {
+            b.iter(|| black_box(simulate_point(&exp, exp.paper_v_optimal, &machine)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table12_point(c: &mut Criterion) {
+    // One representative Fig. 12 cell: experiment i at its optimum,
+    // overlap vs non-overlap ratio must hold every run.
+    let machine = MachineParams::paper_cluster();
+    let exp = paper_experiments()[0];
+    c.bench_function("table12_experiment_i_point", |b| {
+        b.iter(|| {
+            let p = simulate_point(&exp, exp.paper_v_optimal, &machine);
+            assert!(p.overlap_us < p.blocking_us);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_fig3_ablation(c: &mut Criterion) {
+    let machine = MachineParams::paper_cluster();
+    let exp = paper_experiments()[0];
+    c.bench_function("fig3_ablation_levels", |b| {
+        b.iter(|| black_box(run_ablation(&exp, 444, &machine)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig_1_2,
+    bench_figures_9_10_11,
+    bench_table12_point,
+    bench_fig3_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the stencil kernels — including the paper's
+//! own `t_c` calibration methodology (§5: run the loop body on one node
+//! and divide by iteration count).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use stencil::seq::{run_example1_seq, run_paper3d_seq};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_kernels");
+    let n3 = 48usize; // 48³ ≈ 110k iterations per run
+    g.throughput(Throughput::Elements((n3 * n3 * n3) as u64));
+    g.bench_function("paper3d_48cubed", |b| {
+        b.iter(|| black_box(run_paper3d_seq(n3, n3, n3, 1.0)))
+    });
+    let n2 = 512usize;
+    g.throughput(Throughput::Elements((n2 * n2) as u64));
+    g.bench_function("example1_512sq", |b| {
+        b.iter(|| black_box(run_example1_seq(n2, n2, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_t_c_calibration(c: &mut Criterion) {
+    // Prints the measured per-iteration cost in the bench output — the
+    // modern analogue of the paper's t_c = 0.441 µs on a 500 MHz P-III.
+    c.bench_function("t_c/paper3d_per_iteration", |b| {
+        let n = 32usize;
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(run_paper3d_seq(n, n, n, 1.0));
+            }
+            start.elapsed() / (n * n * n) as u32
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_t_c_calibration);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the tiling-core primitives: the
+//! supernode transform, tiled-space construction, communication-volume
+//! formulas and schedule analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tiling_core::prelude::*;
+
+fn bench_transform(c: &mut Criterion) {
+    let rect = Tiling::rectangular(&[4, 4, 444]);
+    let skew = Tiling::from_side_matrix(IntMatrix::from_rows(&[&[4, 1, 0], &[0, 4, 1], &[0, 0, 8]]))
+        .unwrap();
+    c.bench_function("tile_of/rectangular", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 17;
+            black_box(rect.tile_of(&[i % 1000, (i * 3) % 1000, (i * 7) % 100_000]))
+        })
+    });
+    c.bench_function("tile_of/skewed", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 17;
+            black_box(skew.tile_of(&[i % 1000, (i * 3) % 1000, (i * 7) % 10_000]))
+        })
+    });
+    c.bench_function("transform_roundtrip", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 13;
+            let j = vec![i % 500, (i * 5) % 500, i % 4096];
+            let (tile, off) = rect.transform(&j);
+            black_box(rect.reconstruct(&tile, &off))
+        })
+    });
+}
+
+fn bench_spaces_and_costs(c: &mut Criterion) {
+    let deps = DependenceSet::paper_3d();
+    let space = IterationSpace::from_extents(&[16, 16, 16384]);
+    c.bench_function("tiled_space/16x16x16384", |b| {
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        b.iter(|| black_box(t.tiled_space(&space)))
+    });
+    c.bench_function("v_comm_total/3d", |b| {
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        b.iter(|| black_box(tiling_core::cost::v_comm_total(&t, &deps)))
+    });
+    c.bench_function("tile_dependences/3d", |b| {
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        b.iter(|| black_box(t.tile_dependences(&deps)))
+    });
+    c.bench_function("neighbor_messages/3d", |b| {
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        let m = ProcessorMapping::along(3, 2);
+        b.iter(|| black_box(neighbor_messages(&t, &deps, &m)))
+    });
+}
+
+fn bench_schedule_analysis(c: &mut Criterion) {
+    let deps = DependenceSet::paper_3d();
+    let space = IterationSpace::from_extents(&[16, 16, 16384]);
+    let machine = MachineParams::paper_cluster();
+    let tiling = Tiling::rectangular(&[4, 4, 444]);
+    c.bench_function("analyze/nonoverlap", |b| {
+        let s = NonOverlapSchedule::with_mapping(3, 2);
+        b.iter(|| black_box(s.analyze(&tiling, &deps, &space, &machine)))
+    });
+    c.bench_function("analyze/overlap", |b| {
+        let s = OverlapSchedule::with_mapping(3, 2);
+        b.iter(|| {
+            black_box(s.analyze(&tiling, &deps, &space, &machine, OverlapMode::Serialized))
+        })
+    });
+    c.bench_function("sweep_tile_height/analytic_40pts", |b| {
+        let heights = tiling_core::optimize::height_ladder(4, 4096, 40);
+        b.iter(|| {
+            black_box(sweep_tile_height(
+                &space,
+                &deps,
+                &machine,
+                &[4, 4],
+                2,
+                &heights,
+                OverlapMode::Serialized,
+            ))
+        })
+    });
+}
+
+fn bench_closed_form_and_codegen(c: &mut Criterion) {
+    let deps = DependenceSet::paper_3d();
+    let space = IterationSpace::from_extents(&[16, 16, 16384]);
+    let machine = MachineParams::paper_cluster();
+    c.bench_function("closed_form/overlap_v_star", |b| {
+        b.iter(|| black_box(overlap_optimal_v(&space, &deps, &machine, &[4, 4], 2)))
+    });
+    c.bench_function("codegen/tiled_rectangular", |b| {
+        let tiling = Tiling::rectangular(&[4, 4, 444]);
+        b.iter(|| black_box(tiled_rectangular(&tiling, &space, &["i", "j", "k"]).render()))
+    });
+    c.bench_function("codegen/fourier_motzkin_skewed_3d", |b| {
+        let t = tiling_core::transform::Unimodular::skew(3, 2, 0, 1)
+            .compose(&tiling_core::transform::Unimodular::skew(3, 1, 0, 1));
+        let small = IterationSpace::from_extents(&[16, 16, 64]);
+        b.iter(|| black_box(transformed_domain(&small, &t, &["a", "b", "c"]).render()))
+    });
+    c.bench_function("parse/example_1_source", |b| {
+        let src = "
+            FOR i1 = 0 TO 9999 DO
+              FOR i2 = 0 TO 999 DO
+                A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+              ENDFOR
+            ENDFOR";
+        b.iter(|| black_box(parse_loop_nest(src).unwrap()))
+    });
+}
+
+fn bench_matrices(c: &mut Criterion) {
+    c.bench_function("det/4x4", |b| {
+        let m = IntMatrix::from_rows(&[
+            &[3, 1, 0, 2],
+            &[1, 4, 1, 0],
+            &[0, 1, 5, 1],
+            &[2, 0, 1, 6],
+        ]);
+        b.iter(|| black_box(m.det()))
+    });
+    c.bench_function("inverse/3x3", |b| {
+        let m = IntMatrix::from_rows(&[&[4, 1, 0], &[0, 4, 1], &[0, 0, 8]]);
+        b.iter(|| black_box(m.inverse()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_spaces_and_costs,
+    bench_schedule_analysis,
+    bench_closed_form_and_codegen,
+    bench_matrices
+);
+criterion_main!(benches);

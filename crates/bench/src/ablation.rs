@@ -1,0 +1,207 @@
+//! Regenerating Fig. 3 / Fig. 4: how much each level of overlapping
+//! buys, as an ablation over execution styles on the same problem.
+//!
+//! * level (a): no overlap at all — blocking primitives (Fig. 3a);
+//! * level (b): DMA overlap — non-blocking primitives, half-duplex NIC
+//!   (the `B₁+B₂+B₃+B₄` serialized lane of Fig. 4b);
+//! * level (c): DMA + duplex — non-blocking with independent send and
+//!   receive channels (Fig. 3c).
+
+use crate::experiments::{problem_at, Experiment};
+use cluster_sim::engine::{simulate, NetworkTopology, SimConfig};
+use tiling_core::machine::MachineParams;
+
+/// The three overlap levels of Fig. 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OverlapLevel {
+    /// Fig. 3a: blocking send/receive, no overlap.
+    None,
+    /// Fig. 3b: non-blocking with a shared (half-duplex) NIC/DMA lane.
+    Dma,
+    /// Fig. 3c: non-blocking with duplex DMA channels.
+    DuplexDma,
+}
+
+impl OverlapLevel {
+    /// All levels in presentation order.
+    pub fn all() -> [OverlapLevel; 3] {
+        [OverlapLevel::None, OverlapLevel::Dma, OverlapLevel::DuplexDma]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverlapLevel::None => "no overlap (Fig. 3a)",
+            OverlapLevel::Dma => "DMA overlap (Fig. 3b)",
+            OverlapLevel::DuplexDma => "DMA + duplex (Fig. 3c)",
+        }
+    }
+}
+
+/// One ablation measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationPoint {
+    /// The overlap level.
+    pub level: OverlapLevel,
+    /// Simulated completion time (µs).
+    pub total_us: f64,
+}
+
+/// Run the ablation for one experiment at a fixed tile height.
+pub fn run_ablation(exp: &Experiment, v: i64, machine: &MachineParams) -> Vec<AblationPoint> {
+    let problem = problem_at(exp, v);
+    OverlapLevel::all()
+        .into_iter()
+        .map(|level| {
+            let duplex = level == OverlapLevel::DuplexDma;
+            let cfg = SimConfig::new(*machine).with_trace(false).with_duplex(duplex);
+            let programs = match level {
+                OverlapLevel::None => problem.blocking_programs(machine),
+                _ => problem.overlapping_programs(machine),
+            };
+            let res = simulate(cfg, programs).expect("ablation deadlock-free");
+            AblationPoint {
+                level,
+                total_us: res.makespan.as_us(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the hub-vs-switch topology study.
+#[derive(Clone, Copy, Debug)]
+pub struct TopologyPoint {
+    /// The wire-sharing model.
+    pub topology: NetworkTopology,
+    /// Simulated blocking completion time (µs).
+    pub blocking_us: f64,
+    /// Simulated overlapping completion time (µs).
+    pub overlap_us: f64,
+}
+
+/// Beyond the paper: the same experiment on a switched network vs a
+/// late-90s shared-medium hub, where every transmission in the cluster
+/// serializes. The overlap schedule hides even the extra contention as
+/// long as the CPU lane still dominates.
+pub fn run_topology_study(
+    exp: &Experiment,
+    v: i64,
+    machine: &MachineParams,
+) -> Vec<TopologyPoint> {
+    let problem = problem_at(exp, v);
+    [NetworkTopology::Switched, NetworkTopology::SharedBus]
+        .into_iter()
+        .map(|topology| {
+            let cfg = SimConfig::new(*machine)
+                .with_trace(false)
+                .with_topology(topology);
+            let blocking = simulate(cfg, problem.blocking_programs(machine))
+                .expect("no deadlock")
+                .makespan
+                .as_us();
+            let overlap = simulate(cfg, problem.overlapping_programs(machine))
+                .expect("no deadlock")
+                .makespan
+                .as_us();
+            TopologyPoint {
+                topology,
+                blocking_us: blocking,
+                overlap_us: overlap,
+            }
+        })
+        .collect()
+}
+
+/// Markdown for the topology study.
+pub fn topology_markdown(points: &[TopologyPoint]) -> String {
+    let mut out = String::from(
+        "| network | blocking (s) | overlap (s) | improvement |\n|---|---|---|---|\n",
+    );
+    for p in points {
+        out += &format!(
+            "| {:?} | {:.4} | {:.4} | {:.0}% |\n",
+            p.topology,
+            p.blocking_us * 1e-6,
+            p.overlap_us * 1e-6,
+            (1.0 - p.overlap_us / p.blocking_us) * 100.0
+        );
+    }
+    out
+}
+
+/// Markdown table of an ablation.
+pub fn ablation_markdown(points: &[AblationPoint]) -> String {
+    let mut out = String::from("| overlap level | completion time (s) | vs no overlap |\n|---|---|---|\n");
+    let base = points
+        .iter()
+        .find(|p| p.level == OverlapLevel::None)
+        .map(|p| p.total_us)
+        .unwrap_or(f64::NAN);
+    for p in points {
+        out += &format!(
+            "| {} | {:.4} | {:+.1}% |\n",
+            p.level.label(),
+            p.total_us * 1e-6,
+            (p.total_us / base - 1.0) * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Experiment;
+
+    fn mini() -> Experiment {
+        Experiment {
+            name: "mini",
+            nx: 8,
+            ny: 8,
+            nz: 512,
+            pi: 2,
+            pj: 2,
+            paper_v_optimal: 64,
+            paper_t_overlap_s: 0.0,
+            paper_t_nonoverlap_s: 0.0,
+            paper_fill_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn overlap_levels_ordered() {
+        let machine = MachineParams::paper_cluster();
+        let pts = run_ablation(&mini(), 64, &machine);
+        assert_eq!(pts.len(), 3);
+        let by_level = |l: OverlapLevel| {
+            pts.iter().find(|p| p.level == l).unwrap().total_us
+        };
+        // Non-blocking beats blocking; duplex never loses to half-duplex.
+        assert!(by_level(OverlapLevel::Dma) < by_level(OverlapLevel::None));
+        assert!(by_level(OverlapLevel::DuplexDma) <= by_level(OverlapLevel::Dma) * 1.0001);
+    }
+
+    #[test]
+    fn shared_bus_never_faster() {
+        let machine = MachineParams::paper_cluster();
+        let pts = run_topology_study(&mini(), 64, &machine);
+        assert_eq!(pts.len(), 2);
+        let sw = &pts[0];
+        let bus = &pts[1];
+        assert!(bus.blocking_us >= sw.blocking_us);
+        assert!(bus.overlap_us >= sw.overlap_us);
+        let md = topology_markdown(&pts);
+        assert!(md.contains("SharedBus"));
+    }
+
+    #[test]
+    fn markdown_contains_rows() {
+        let machine = MachineParams::paper_cluster();
+        let pts = run_ablation(&mini(), 32, &machine);
+        let md = ablation_markdown(&pts);
+        assert!(md.contains("Fig. 3a"));
+        assert!(md.contains("Fig. 3b"));
+        assert!(md.contains("Fig. 3c"));
+        assert!(md.contains("+0.0%"));
+    }
+}

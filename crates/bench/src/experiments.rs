@@ -1,0 +1,312 @@
+//! The paper's three experiments (§5) and the machinery that regenerates
+//! every figure and table from the simulated cluster.
+//!
+//! | experiment | space (i×j×k) | processor grid | tile cross-section |
+//! |---|---|---|---|
+//! | i   | 16×16×16384 | 4×4 | 4×4 |
+//! | ii  | 16×16×32768 | 4×4 | 4×4 |
+//! | iii | 32×32×4096  | 4×4 | 8×8 |
+//!
+//! For every tile height `V` the harness runs both complete MPI programs
+//! (blocking `ProcB`, overlapping `ProcNB`) through the discrete-event
+//! cluster simulator, exactly like the authors ran theirs on the
+//! Pentium cluster, and finds `V_optimal` per schedule.
+
+use cluster_sim::builders::ClusterProblem;
+use cluster_sim::engine::{simulate, SimConfig};
+use tiling_core::dependence::DependenceSet;
+use tiling_core::machine::MachineParams;
+use tiling_core::optimize::height_ladder;
+use tiling_core::schedule::{OverlapMode, OverlapSchedule};
+use tiling_core::space::IterationSpace;
+use tiling_core::tiling::Tiling;
+use tiling_core::uet_uct;
+
+/// One of the paper's experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Experiment {
+    /// Display name ("i", "ii", "iii").
+    pub name: &'static str,
+    /// Iteration-space extents.
+    pub nx: i64,
+    /// Extent along j.
+    pub ny: i64,
+    /// Extent along k (pipelined).
+    pub nz: i64,
+    /// Processor grid (pi × pj = 16 in the paper).
+    pub pi: i64,
+    /// Processor-grid extent along j.
+    pub pj: i64,
+    /// The paper's measured optimal tile height.
+    pub paper_v_optimal: i64,
+    /// The paper's measured optimal overlap completion time (s).
+    pub paper_t_overlap_s: f64,
+    /// The paper's measured optimal non-overlap completion time (s).
+    pub paper_t_nonoverlap_s: f64,
+    /// The paper's measured `T_fill_MPI_buffer` at `V_optimal` (ms).
+    pub paper_fill_ms: f64,
+}
+
+impl Experiment {
+    /// Tile cross-section along i (one tile column per processor).
+    pub fn bx(&self) -> i64 {
+        self.nx / self.pi
+    }
+
+    /// Tile cross-section along j.
+    pub fn by(&self) -> i64 {
+        self.ny / self.pj
+    }
+
+    /// The iteration space.
+    pub fn space(&self) -> IterationSpace {
+        IterationSpace::from_extents(&[self.nx, self.ny, self.nz])
+    }
+
+    /// Message payload bytes at tile height `v` (the larger face; both
+    /// faces are equal when `bx == by`).
+    pub fn message_bytes(&self, v: i64) -> f64 {
+        (self.by().max(self.bx()) * v * 4) as f64
+    }
+}
+
+/// The three experiments of Fig. 9/10/11 and the Fig. 12 table.
+pub fn paper_experiments() -> [Experiment; 3] {
+    [
+        Experiment {
+            name: "i",
+            nx: 16,
+            ny: 16,
+            nz: 16384,
+            pi: 4,
+            pj: 4,
+            paper_v_optimal: 444,
+            paper_t_overlap_s: 0.233923,
+            paper_t_nonoverlap_s: 0.376637,
+            paper_fill_ms: 0.627,
+        },
+        Experiment {
+            name: "ii",
+            nx: 16,
+            ny: 16,
+            nz: 32768,
+            pi: 4,
+            pj: 4,
+            paper_v_optimal: 538,
+            paper_t_overlap_s: 0.467929,
+            paper_t_nonoverlap_s: 0.694516,
+            paper_fill_ms: 0.745,
+        },
+        Experiment {
+            name: "iii",
+            nx: 32,
+            ny: 32,
+            nz: 4096,
+            pi: 4,
+            pj: 4,
+            paper_v_optimal: 164,
+            paper_t_overlap_s: 0.219059,
+            paper_t_nonoverlap_s: 0.324069,
+            paper_fill_ms: 0.37,
+        },
+    ]
+}
+
+/// One simulated sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimSweepPoint {
+    /// Tile height.
+    pub v: i64,
+    /// Tile volume `g = bx·by·V`.
+    pub g: i64,
+    /// Simulated blocking (non-overlapping) completion time, µs.
+    pub blocking_us: f64,
+    /// Simulated overlapping completion time, µs.
+    pub overlap_us: f64,
+}
+
+/// Build the [`ClusterProblem`] of an experiment at tile height `v`.
+pub fn problem_at(exp: &Experiment, v: i64) -> ClusterProblem {
+    ClusterProblem::new(
+        Tiling::rectangular(&[exp.bx(), exp.by(), v]),
+        DependenceSet::paper_3d(),
+        exp.space(),
+        2,
+    )
+    .expect("paper layout is always valid")
+}
+
+/// Simulate both schedules of an experiment at one tile height.
+pub fn simulate_point(exp: &Experiment, v: i64, machine: &MachineParams) -> SimSweepPoint {
+    let problem = problem_at(exp, v);
+    let cfg = SimConfig::new(*machine).with_trace(false);
+    let blocking = simulate(cfg, problem.blocking_programs(machine))
+        .expect("blocking program deadlock-free");
+    let overlap = simulate(cfg, problem.overlapping_programs(machine))
+        .expect("overlapping program deadlock-free");
+    SimSweepPoint {
+        v,
+        g: exp.bx() * exp.by() * v,
+        blocking_us: blocking.makespan.as_us(),
+        overlap_us: overlap.makespan.as_us(),
+    }
+}
+
+/// The tile heights swept for an experiment's figure: a geometric ladder
+/// from 4 to `nz/4` (the paper's range) plus the paper's measured
+/// optimum for direct comparison.
+pub fn figure_heights(exp: &Experiment) -> Vec<i64> {
+    let mut hs = height_ladder(4, exp.nz / 4, 32);
+    if !hs.contains(&exp.paper_v_optimal) {
+        hs.push(exp.paper_v_optimal);
+        hs.sort_unstable();
+    }
+    hs
+}
+
+/// Run the full sweep of one experiment (one figure's data).
+pub fn sweep(exp: &Experiment, machine: &MachineParams, heights: &[i64]) -> Vec<SimSweepPoint> {
+    heights
+        .iter()
+        .map(|&v| simulate_point(exp, v, machine))
+        .collect()
+}
+
+/// One row of the Fig. 12 table, paper vs. reproduction.
+#[derive(Clone, Debug)]
+pub struct Table12Row {
+    /// Which experiment.
+    pub exp: Experiment,
+    /// Simulated optimal tile height (overlap schedule).
+    pub v_optimal: i64,
+    /// `g = bx·by·V_optimal`.
+    pub g_optimal: i64,
+    /// Simulated optimal overlapping completion time (s).
+    pub t_overlap_s: f64,
+    /// Model `T_fill_MPI_buffer` at the optimal packet size (ms).
+    pub fill_ms: f64,
+    /// Overlap schedule length `P(g)` at `V_optimal` (exact UET-UCT).
+    pub planes: i64,
+    /// Theoretical overlap time from eq. (5) at `V_optimal` (s).
+    pub t_theory_s: f64,
+    /// |theory − simulated| / simulated.
+    pub theory_diff: f64,
+    /// Simulated optimal non-overlapping completion time (s).
+    pub t_nonoverlap_s: f64,
+    /// 1 − overlap/non-overlap.
+    pub improvement: f64,
+}
+
+/// Compute a Fig. 12 row by sweeping the simulator and evaluating the
+/// analytic model at the simulated optimum.
+pub fn table12_row(exp: &Experiment, machine: &MachineParams) -> Table12Row {
+    let points = sweep(exp, machine, &figure_heights(exp));
+    let best_ov = points
+        .iter()
+        .min_by(|a, b| a.overlap_us.total_cmp(&b.overlap_us))
+        .expect("non-empty sweep");
+    let best_no = points
+        .iter()
+        .min_by(|a, b| a.blocking_us.total_cmp(&b.blocking_us))
+        .expect("non-empty sweep");
+
+    let v = best_ov.v;
+    let tiling = Tiling::rectangular(&[exp.bx(), exp.by(), v]);
+    let sched = OverlapSchedule::with_mapping(3, 2);
+    let theory = sched.analyze(
+        &tiling,
+        &DependenceSet::paper_3d(),
+        &exp.space(),
+        machine,
+        OverlapMode::Serialized,
+    );
+    let tiled_extents: Vec<i64> = theory.tiled_space.extents();
+    let planes = uet_uct::uet_uct_makespan(&tiled_extents, 2);
+    let t_ov = best_ov.overlap_us * 1e-6;
+    let t_th = theory.total_us * 1e-6;
+    Table12Row {
+        exp: *exp,
+        v_optimal: v,
+        g_optimal: best_ov.g,
+        t_overlap_s: t_ov,
+        fill_ms: machine.fill_mpi_buffer.eval(exp.message_bytes(v)) / 1e3,
+        planes,
+        t_theory_s: t_th,
+        theory_diff: (t_th - t_ov).abs() / t_ov,
+        t_nonoverlap_s: best_no.blocking_us * 1e-6,
+        improvement: 1.0 - t_ov / (best_no.blocking_us * 1e-6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_cross_sections() {
+        let [i, ii, iii] = paper_experiments();
+        assert_eq!((i.bx(), i.by()), (4, 4));
+        assert_eq!((ii.bx(), ii.by()), (4, 4));
+        assert_eq!((iii.bx(), iii.by()), (8, 8));
+        // Packet sizes of Fig. 12: 7104, 8608, 5248 bytes.
+        assert_eq!(i.message_bytes(444), 7104.0);
+        assert_eq!(ii.message_bytes(538), 8608.0);
+        assert_eq!(iii.message_bytes(164), 5248.0);
+    }
+
+    #[test]
+    fn figure_heights_include_paper_optimum() {
+        for exp in paper_experiments() {
+            let hs = figure_heights(&exp);
+            assert!(hs.contains(&exp.paper_v_optimal), "{}", exp.name);
+            assert!(hs.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(*hs.first().unwrap(), 4);
+            assert_eq!(*hs.last().unwrap(), exp.nz / 4);
+        }
+    }
+
+    #[test]
+    fn simulate_point_small_scale() {
+        // A scaled-down experiment keeps debug-mode tests fast.
+        let exp = Experiment {
+            name: "mini",
+            nx: 8,
+            ny: 8,
+            nz: 256,
+            pi: 2,
+            pj: 2,
+            paper_v_optimal: 32,
+            paper_t_overlap_s: 0.0,
+            paper_t_nonoverlap_s: 0.0,
+            paper_fill_ms: 0.0,
+        };
+        let machine = MachineParams::paper_cluster();
+        let p = simulate_point(&exp, 32, &machine);
+        assert!(p.overlap_us > 0.0 && p.blocking_us > 0.0);
+        assert!(p.overlap_us < p.blocking_us, "{p:?}");
+        assert_eq!(p.g, 4 * 4 * 32);
+    }
+
+    #[test]
+    fn sweep_is_u_shaped_mini() {
+        let exp = Experiment {
+            name: "mini",
+            nx: 8,
+            ny: 8,
+            nz: 512,
+            pi: 2,
+            pj: 2,
+            paper_v_optimal: 32,
+            paper_t_overlap_s: 0.0,
+            paper_t_nonoverlap_s: 0.0,
+            paper_fill_ms: 0.0,
+        };
+        let machine = MachineParams::paper_cluster();
+        let pts = sweep(&exp, &machine, &[2, 8, 32, 128]);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.overlap_us.total_cmp(&b.overlap_us))
+            .unwrap();
+        assert!(best.v > 2, "optimum should not be the finest grain");
+    }
+}

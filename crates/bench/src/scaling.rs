@@ -1,0 +1,186 @@
+//! Beyond the paper: strong-scaling behaviour of the two schedules.
+//!
+//! The paper fixes 16 processors. A natural companion study is to hold
+//! the iteration space fixed and grow the processor grid — the blocking
+//! schedule's serialized `receive → compute → send` steps shrink with
+//! the per-processor tile, but the startup costs per step do not, so
+//! its scaling stalls earlier than the overlapping schedule's, whose
+//! per-step cost approaches the posting floor instead.
+//!
+//! For each grid the tile cross-section is chosen as in §5 (one tile
+//! column per processor) and the tile height is re-optimized per
+//! schedule over a ladder, so each point is each schedule's best
+//! configuration at that processor count.
+
+use cluster_sim::builders::ClusterProblem;
+use cluster_sim::engine::{simulate, SimConfig};
+use tiling_core::dependence::DependenceSet;
+use tiling_core::machine::MachineParams;
+use tiling_core::optimize::height_ladder;
+use tiling_core::space::IterationSpace;
+
+/// One strong-scaling measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Processors per cross-section side (total = side²).
+    pub grid_side: i64,
+    /// Best blocking time (µs) and its V.
+    pub blocking_us: f64,
+    /// V at the blocking optimum.
+    pub blocking_v: i64,
+    /// Best overlapping time (µs) and its V.
+    pub overlap_us: f64,
+    /// V at the overlapping optimum.
+    pub overlap_v: i64,
+}
+
+impl ScalingPoint {
+    /// Parallel speedup of the overlapping run vs a given serial time.
+    pub fn overlap_speedup(&self, serial_us: f64) -> f64 {
+        serial_us / self.overlap_us
+    }
+
+    /// Parallel speedup of the blocking run vs a given serial time.
+    pub fn blocking_speedup(&self, serial_us: f64) -> f64 {
+        serial_us / self.blocking_us
+    }
+}
+
+/// Serial execution time of the whole space (µs): `volume · t_c`.
+pub fn serial_time_us(space: &IterationSpace, machine: &MachineParams) -> f64 {
+    space.volume() as f64 * machine.t_c_us
+}
+
+/// Run the strong-scaling study on square grids `side × side`.
+///
+/// # Panics
+/// Panics if a side does not divide the space's cross-section extents.
+pub fn strong_scaling(
+    space: &IterationSpace,
+    machine: &MachineParams,
+    sides: &[i64],
+    ladder_points: usize,
+) -> Vec<ScalingPoint> {
+    let deps = DependenceSet::paper_3d();
+    let mapping_dim = 2;
+    sides
+        .iter()
+        .map(|&side| {
+            let heights = height_ladder(4, space.extent(mapping_dim) / 4, ladder_points);
+            let mut best_b = f64::INFINITY;
+            let mut best_bv = 0;
+            let mut best_o = f64::INFINITY;
+            let mut best_ov = 0;
+            for &v in &heights {
+                let problem = ClusterProblem::for_processor_grid(
+                    deps.clone(),
+                    space.clone(),
+                    mapping_dim,
+                    &[side, side],
+                    v,
+                )
+                .expect("divisible grid");
+                let cfg = SimConfig::new(*machine).with_trace(false);
+                let b = simulate(cfg, problem.blocking_programs(machine))
+                    .expect("no deadlock")
+                    .makespan
+                    .as_us();
+                let o = simulate(cfg, problem.overlapping_programs(machine))
+                    .expect("no deadlock")
+                    .makespan
+                    .as_us();
+                if b < best_b {
+                    best_b = b;
+                    best_bv = v;
+                }
+                if o < best_o {
+                    best_o = o;
+                    best_ov = v;
+                }
+            }
+            ScalingPoint {
+                grid_side: side,
+                blocking_us: best_b,
+                blocking_v: best_bv,
+                overlap_us: best_o,
+                overlap_v: best_ov,
+            }
+        })
+        .collect()
+}
+
+/// Markdown table of a scaling study.
+pub fn scaling_markdown(points: &[ScalingPoint], serial_us: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "| processors | blocking t (s) | speedup | overlap t (s) | speedup | overlap gain |\n|---|---|---|---|---|---|\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "| {}×{} | {:.4} | {:.1}× | {:.4} | {:.1}× | {:.0}% |",
+            p.grid_side,
+            p.grid_side,
+            p.blocking_us * 1e-6,
+            p.blocking_speedup(serial_us),
+            p.overlap_us * 1e-6,
+            p.overlap_speedup(serial_us),
+            (1.0 - p.overlap_us / p.blocking_us) * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_processors() {
+        let space = IterationSpace::from_extents(&[16, 16, 2048]);
+        let machine = MachineParams::paper_cluster();
+        let pts = strong_scaling(&space, &machine, &[1, 2, 4], 8);
+        assert_eq!(pts.len(), 3);
+        // More processors, less time (for both schedules, at this scale).
+        assert!(pts[1].overlap_us < pts[0].overlap_us);
+        assert!(pts[2].overlap_us < pts[1].overlap_us);
+        assert!(pts[2].blocking_us < pts[0].blocking_us);
+    }
+
+    #[test]
+    fn single_processor_near_serial() {
+        // On a 1×1 grid there is no communication at all: both
+        // schedules equal the serial time.
+        let space = IterationSpace::from_extents(&[8, 8, 512]);
+        let machine = MachineParams::paper_cluster();
+        let pts = strong_scaling(&space, &machine, &[1], 4);
+        let serial = serial_time_us(&space, &machine);
+        assert!((pts[0].overlap_us - serial).abs() / serial < 0.01);
+        assert!((pts[0].blocking_us - serial).abs() / serial < 0.01);
+    }
+
+    #[test]
+    fn overlap_scales_at_least_as_well() {
+        let space = IterationSpace::from_extents(&[16, 16, 2048]);
+        let machine = MachineParams::paper_cluster();
+        let pts = strong_scaling(&space, &machine, &[2, 4], 8);
+        for p in &pts[1..] {
+            assert!(p.overlap_us <= p.blocking_us, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let pts = vec![ScalingPoint {
+            grid_side: 4,
+            blocking_us: 2e6,
+            blocking_v: 64,
+            overlap_us: 1.5e6,
+            overlap_v: 32,
+        }];
+        let md = scaling_markdown(&pts, 16e6);
+        assert!(md.contains("4×4"));
+        assert!(md.contains("8.0×")); // blocking speedup
+        assert!(md.contains("10.7×")); // overlap speedup
+    }
+}

@@ -1,0 +1,1055 @@
+//! The discrete-event simulation engine.
+//!
+//! Each rank owns three resources, mirroring §4's timing decomposition
+//! (Fig. 4/5):
+//!
+//! * a **CPU lane** — computations (`A₂`), non-blocking posting costs
+//!   (`A₁`, `A₃`) and, for *blocking* primitives, the full copy+transmit
+//!   path (Fig. 7);
+//! * a **TX lane** (NIC/DMA, send direction) — kernel-buffer fill `B₃`
+//!   and wire transmission `B₄` of non-blocking sends;
+//! * an **RX lane** (receive direction) — wire receive `B₁` and
+//!   kernel-buffer copy `B₂` of incoming non-blocking messages.
+//!
+//! With [`SimConfig::duplex`] `= false` the TX and RX lanes collapse into
+//! one half-duplex NIC (the paper's Fig. 4b serialized `B₁+B₂+B₃+B₄`);
+//! with `true` the directions overlap (Fig. 3c, multi-channel DMA).
+//!
+//! Messages match by `(source rank, tag)` in FIFO order, with eager
+//! (unbounded) buffering, which is what MPICH did for these sizes.
+//! Blocking sends deposit the message after their CPU-side transmit —
+//! their wire time is *not* charged again on the receiver's RX lane, so
+//! a blocking send/receive pair costs exactly
+//! `2·T_startup + T_transmit` (eq. 3).
+
+use crate::program::{Op, Program, Rank, ReqId};
+use crate::time::SimTime;
+use crate::trace::{Activity, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tiling_core::machine::MachineParams;
+
+/// How the wire itself is shared between nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NetworkTopology {
+    /// A switched network: each node's wire segment is independent
+    /// (the bandwidth term serializes per NIC only). This is the
+    /// implicit model of the paper's analysis.
+    #[default]
+    Switched,
+    /// A shared medium (a late-90s Ethernet *hub*): all transmissions
+    /// contend for one global bus — the `B₄` wire time of every message
+    /// in the cluster serializes.
+    SharedBus,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Machine timing parameters.
+    pub machine: MachineParams,
+    /// Full-duplex NIC/DMA (TX and RX lanes independent) vs half-duplex.
+    pub duplex: bool,
+    /// Extra wire propagation latency per message (µs), on top of the
+    /// bandwidth term. Zero matches the paper's model.
+    pub wire_latency_us: f64,
+    /// Record a full activity trace (disable for huge sweeps).
+    pub record_trace: bool,
+    /// Switched vs shared-medium wire.
+    pub topology: NetworkTopology,
+}
+
+impl SimConfig {
+    /// Configuration from machine parameters, trace enabled, half-duplex,
+    /// switched network.
+    pub fn new(machine: MachineParams) -> Self {
+        SimConfig {
+            machine,
+            duplex: false,
+            wire_latency_us: 0.0,
+            record_trace: true,
+            topology: NetworkTopology::Switched,
+        }
+    }
+
+    /// Builder: toggle duplex DMA.
+    pub fn with_duplex(mut self, duplex: bool) -> Self {
+        self.duplex = duplex;
+        self
+    }
+
+    /// Builder: toggle trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Builder: set wire latency.
+    pub fn with_wire_latency_us(mut self, us: f64) -> Self {
+        self.wire_latency_us = us;
+        self
+    }
+
+    /// Builder: set the network topology.
+    pub fn with_topology(mut self, topology: NetworkTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-rank completion time of the last operation.
+    pub finish: Vec<SimTime>,
+    /// Overall makespan (including lane drain).
+    pub makespan: SimTime,
+    /// The recorded trace (empty if disabled).
+    pub trace: Trace,
+}
+
+impl SimResult {
+    /// Makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan.as_secs()
+    }
+}
+
+/// Simulation errors (deadlocks, protocol violations).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// No runnable rank and undelivered ops remain.
+    Deadlock {
+        /// Ranks stuck blocking, with their program counters.
+        blocked: Vec<(Rank, usize)>,
+    },
+    /// A receive's byte count disagrees with the matched message.
+    ByteMismatch {
+        /// Receiving rank.
+        rank: Rank,
+        /// Expected bytes (receiver side).
+        expected: u64,
+        /// Actual bytes (sender side).
+        actual: u64,
+    },
+    /// An op referenced a rank outside the simulation.
+    BadRank {
+        /// The referencing rank.
+        rank: Rank,
+        /// The out-of-range target.
+        target: Rank,
+    },
+    /// A program failed static validation.
+    InvalidProgram {
+        /// The offending rank.
+        rank: Rank,
+        /// Description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => write!(f, "deadlock; blocked ranks: {blocked:?}"),
+            SimError::ByteMismatch {
+                rank,
+                expected,
+                actual,
+            } => write!(f, "rank {rank}: recv of {expected} B matched {actual} B"),
+            SimError::BadRank { rank, target } => {
+                write!(f, "rank {rank} references invalid rank {target}")
+            }
+            SimError::InvalidProgram { rank, detail } => {
+                write!(f, "rank {rank}: invalid program: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why a rank is suspended.
+#[derive(Clone, Copy, Debug)]
+enum Blocked {
+    /// In `Wait` on a receive request that hasn't completed.
+    OnReq(ReqId),
+    /// In a blocking `Recv` with no matching message yet.
+    OnRecv { from: Rank, tag: u64, bytes: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ReqState {
+    /// Completed (possibly in the future relative to the CPU).
+    Done(SimTime),
+    /// A posted receive not yet matched.
+    PendingRecv,
+    /// A posted send whose NIC transmission hasn't been booked yet.
+    PendingSend,
+}
+
+#[derive(Default)]
+struct RankState {
+    pc: usize,
+    /// Time the CPU becomes available / the program has advanced to.
+    now: SimTime,
+    blocked: Option<Blocked>,
+    tx_free: SimTime,
+    rx_free: SimTime,
+    reqs: HashMap<ReqId, ReqState>,
+    /// Arrived-but-unmatched messages: (ready time, bytes) FIFO per key.
+    arrived: HashMap<(Rank, u64), VecDeque<(SimTime, u64)>>,
+    /// Posted-but-unmatched receive requests, FIFO per key.
+    posted: HashMap<(Rank, u64), VecDeque<(ReqId, u64)>>,
+    done: bool,
+}
+
+/// A queued event.
+///
+/// The engine executes **one op per `Run` event** and books NIC-lane
+/// time through dedicated `TxEnqueue`/`NicArrival` events, so every
+/// lane reservation happens in exact wall-clock order — a rank cannot
+/// claim its NIC "in the future" ahead of a message that arrives
+/// earlier.
+#[derive(Debug)]
+enum Ev {
+    /// Execute the next op of a rank's program.
+    Run(Rank),
+    /// A non-blocking send's payload is ready for the TX lane (`A₁`
+    /// finished on the CPU).
+    TxEnqueue {
+        src: Rank,
+        dst: Rank,
+        tag: u64,
+        bytes: u64,
+        req: ReqId,
+    },
+    /// A non-blocking message reaches the destination NIC (RX lane next).
+    NicArrival {
+        dst: Rank,
+        src: Rank,
+        tag: u64,
+        bytes: u64,
+    },
+    /// A blocking-send message is delivered directly (no RX lane).
+    DirectDelivery {
+        dst: Rank,
+        src: Rank,
+        tag: u64,
+        bytes: u64,
+    },
+}
+
+struct QueueItem {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulator.
+pub struct Engine {
+    cfg: SimConfig,
+    programs: Vec<Program>,
+    ranks: Vec<RankState>,
+    queue: BinaryHeap<Reverse<QueueItem>>,
+    seq: u64,
+    trace: Trace,
+    /// Shared-medium wire availability (used only with
+    /// [`NetworkTopology::SharedBus`]).
+    bus_free: SimTime,
+}
+
+impl Engine {
+    /// Create an engine over one program per rank.
+    pub fn new(cfg: SimConfig, programs: Vec<Program>) -> Result<Self, SimError> {
+        let n = programs.len();
+        for (rank, p) in programs.iter().enumerate() {
+            if let Err(e) = p.validate() {
+                return Err(SimError::InvalidProgram {
+                    rank,
+                    detail: e.to_string(),
+                });
+            }
+            for op in p.ops() {
+                let target = match *op {
+                    Op::Send { to, .. } | Op::Isend { to, .. } => Some(to),
+                    Op::Recv { from, .. } | Op::Irecv { from, .. } => Some(from),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    if t >= n {
+                        return Err(SimError::BadRank { rank, target: t });
+                    }
+                }
+            }
+        }
+        let mut ranks = Vec::with_capacity(n);
+        ranks.resize_with(n, RankState::default);
+        let trace = if cfg.record_trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        Ok(Engine {
+            cfg,
+            programs,
+            ranks,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            trace,
+            bus_free: SimTime::ZERO,
+        })
+    }
+
+    fn push(&mut self, time: SimTime, ev: Ev) {
+        let item = QueueItem {
+            time,
+            seq: self.seq,
+            ev,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(item));
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        for r in 0..self.ranks.len() {
+            self.push(SimTime::ZERO, Ev::Run(r));
+        }
+        while let Some(Reverse(item)) = self.queue.pop() {
+            match item.ev {
+                Ev::Run(rank) => self.advance(rank)?,
+                Ev::TxEnqueue {
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                    req,
+                } => {
+                    // Book B₃ (kernel fill) then B₄ (wire) on the TX lane
+                    // (or the shared NIC) at the exact moment the CPU
+                    // finished filling the MPI buffer. On a shared-bus
+                    // network the wire segment additionally serializes
+                    // against every other transmission in the cluster.
+                    let m = &self.cfg.machine;
+                    let b3 = SimTime::from_us(m.fill_kernel_buffer.eval(bytes as f64));
+                    let b4 = SimTime::from_us(m.transmit_us(bytes as f64));
+                    let lane_free = if self.cfg.duplex {
+                        self.ranks[src].tx_free
+                    } else {
+                        self.ranks[src].tx_free.max(self.ranks[src].rx_free)
+                    };
+                    let start = lane_free.max(item.time);
+                    let fill_done = start + b3;
+                    let wire_start = match self.cfg.topology {
+                        NetworkTopology::Switched => fill_done,
+                        NetworkTopology::SharedBus => fill_done.max(self.bus_free),
+                    };
+                    let tx_done = wire_start + b4;
+                    if self.cfg.topology == NetworkTopology::SharedBus {
+                        self.bus_free = tx_done;
+                    }
+                    self.ranks[src].tx_free = tx_done;
+                    if !self.cfg.duplex {
+                        self.ranks[src].rx_free = tx_done;
+                    }
+                    self.trace.record(src, Activity::TxBusy, start, tx_done);
+                    // Local completion: the send buffer is reusable.
+                    self.ranks[src].reqs.insert(req, ReqState::Done(tx_done));
+                    if let Some(Blocked::OnReq(wr)) = self.ranks[src].blocked {
+                        if wr == req {
+                            let resume = self.ranks[src].now.max(tx_done);
+                            self.trace
+                                .record(src, Activity::Idle, self.ranks[src].now, resume);
+                            self.ranks[src].now = resume;
+                            self.ranks[src].blocked = None;
+                            self.ranks[src].pc += 1;
+                            self.push(resume, Ev::Run(src));
+                        }
+                    }
+                    let arrive = tx_done + SimTime::from_us(self.cfg.wire_latency_us);
+                    self.push(
+                        arrive,
+                        Ev::NicArrival {
+                            dst,
+                            src,
+                            tag,
+                            bytes,
+                        },
+                    );
+                }
+                Ev::NicArrival {
+                    dst,
+                    src,
+                    tag,
+                    bytes,
+                } => {
+                    // RX lane processing: wire receive (B₁) + kernel copy (B₂).
+                    let m = &self.cfg.machine;
+                    let b1b2 = SimTime::from_us(
+                        m.transmit_us(bytes as f64) + m.fill_kernel_buffer.eval(bytes as f64),
+                    );
+                    let lane_free = if self.cfg.duplex {
+                        self.ranks[dst].rx_free
+                    } else {
+                        // Half-duplex: share with TX.
+                        self.ranks[dst].rx_free.max(self.ranks[dst].tx_free)
+                    };
+                    let start = lane_free.max(item.time);
+                    let ready = start + b1b2;
+                    self.ranks[dst].rx_free = ready;
+                    if !self.cfg.duplex {
+                        self.ranks[dst].tx_free = ready;
+                    }
+                    self.trace.record(dst, Activity::RxBusy, start, ready);
+                    self.deliver(dst, src, tag, bytes, ready)?;
+                }
+                Ev::DirectDelivery {
+                    dst,
+                    src,
+                    tag,
+                    bytes,
+                } => {
+                    self.deliver(dst, src, tag, bytes, item.time)?;
+                }
+            }
+        }
+        // All events drained: every rank must have finished.
+        let blocked: Vec<(Rank, usize)> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .map(|(r, s)| (r, s.pc))
+            .collect();
+        if !blocked.is_empty() {
+            return Err(SimError::Deadlock { blocked });
+        }
+        let finish: Vec<SimTime> = self.ranks.iter().map(|s| s.now).collect();
+        let mut makespan = SimTime::ZERO;
+        for s in &self.ranks {
+            makespan = makespan.max(s.now).max(s.tx_free).max(s.rx_free);
+        }
+        Ok(SimResult {
+            finish,
+            makespan,
+            trace: self.trace,
+        })
+    }
+
+    /// A message is fully delivered at `ready`: match it or queue it.
+    fn deliver(
+        &mut self,
+        dst: Rank,
+        src: Rank,
+        tag: u64,
+        bytes: u64,
+        ready: SimTime,
+    ) -> Result<(), SimError> {
+        // A blocking receiver waiting on exactly this key resumes first.
+        if let Some(Blocked::OnRecv {
+            from,
+            tag: wtag,
+            bytes: wbytes,
+        }) = self.ranks[dst].blocked
+        {
+            if from == src && wtag == tag {
+                if wbytes != bytes {
+                    return Err(SimError::ByteMismatch {
+                        rank: dst,
+                        expected: wbytes,
+                        actual: bytes,
+                    });
+                }
+                // Resume: CPU pays the blocking-receive copy path after
+                // the later of (arrival, block start).
+                let resume = self.ranks[dst].now.max(ready);
+                self.trace
+                    .record(dst, Activity::Idle, self.ranks[dst].now, resume);
+                let copy = SimTime::from_us(self.cfg.machine.startup_us(bytes as f64));
+                self.trace
+                    .record(dst, Activity::BlockingRecv, resume, resume + copy);
+                self.ranks[dst].now = resume + copy;
+                self.ranks[dst].blocked = None;
+                self.ranks[dst].pc += 1;
+                let t = self.ranks[dst].now;
+                self.push(t, Ev::Run(dst));
+                return Ok(());
+            }
+        }
+        // A posted Irecv?
+        if let Some(q) = self.ranks[dst].posted.get_mut(&(src, tag)) {
+            if let Some((req, wbytes)) = q.pop_front() {
+                if q.is_empty() {
+                    self.ranks[dst].posted.remove(&(src, tag));
+                }
+                if wbytes != bytes {
+                    return Err(SimError::ByteMismatch {
+                        rank: dst,
+                        expected: wbytes,
+                        actual: bytes,
+                    });
+                }
+                self.ranks[dst].reqs.insert(req, ReqState::Done(ready));
+                // If the rank is parked in Wait on this request, resume it.
+                if let Some(Blocked::OnReq(wr)) = self.ranks[dst].blocked {
+                    if wr == req {
+                        let resume = self.ranks[dst].now.max(ready);
+                        self.trace
+                            .record(dst, Activity::Idle, self.ranks[dst].now, resume);
+                        self.ranks[dst].now = resume;
+                        self.ranks[dst].blocked = None;
+                        self.ranks[dst].pc += 1; // past the Wait
+                        self.push(resume, Ev::Run(dst));
+                    }
+                }
+                return Ok(());
+            }
+        }
+        // Nobody asked yet: buffer eagerly.
+        self.ranks[dst]
+            .arrived
+            .entry((src, tag))
+            .or_default()
+            .push_back((ready, bytes));
+        Ok(())
+    }
+
+    /// Execute the next op of a rank's program (one op per `Run` event,
+    /// so resource bookings stay in wall-clock order), scheduling the
+    /// follow-up `Run` unless the rank blocked or finished.
+    fn advance(&mut self, rank: Rank) -> Result<(), SimError> {
+        if self.ranks[rank].done || self.ranks[rank].blocked.is_some() {
+            return Ok(());
+        }
+        let pc = self.ranks[rank].pc;
+        if pc >= self.programs[rank].len() {
+            self.ranks[rank].done = true;
+            return Ok(());
+        }
+        let op = self.programs[rank].ops()[pc].clone();
+        let m = self.cfg.machine;
+        match op {
+            Op::Compute { us, .. } => {
+                let start = self.ranks[rank].now;
+                let end = start + SimTime::from_us(us);
+                self.trace.record(rank, Activity::Compute, start, end);
+                self.ranks[rank].now = end;
+                self.ranks[rank].pc += 1;
+                self.push(end, Ev::Run(rank));
+            }
+            Op::Isend { to, tag, bytes, req } => {
+                // A₁ on the CPU; the NIC booking happens at `cpu_done`
+                // via a TxEnqueue event so it can't jump the wall clock.
+                let start = self.ranks[rank].now;
+                let a1 = SimTime::from_us(m.fill_mpi_buffer.eval(bytes as f64));
+                let cpu_done = start + a1;
+                self.trace.record(rank, Activity::PostSend, start, cpu_done);
+                self.ranks[rank].now = cpu_done;
+                self.ranks[rank].reqs.insert(req, ReqState::PendingSend);
+                self.ranks[rank].pc += 1;
+                self.push(
+                    cpu_done,
+                    Ev::TxEnqueue {
+                        src: rank,
+                        dst: to,
+                        tag,
+                        bytes,
+                        req,
+                    },
+                );
+                self.push(cpu_done, Ev::Run(rank));
+            }
+            Op::Irecv {
+                from,
+                tag,
+                bytes,
+                req,
+            } => {
+                // A₃ on the CPU.
+                let start = self.ranks[rank].now;
+                let a3 = SimTime::from_us(m.fill_mpi_buffer.eval(bytes as f64));
+                let cpu_done = start + a3;
+                self.trace.record(rank, Activity::PostRecv, start, cpu_done);
+                self.ranks[rank].now = cpu_done;
+                // Early arrival?
+                let matched = self.ranks[rank]
+                    .arrived
+                    .get_mut(&(from, tag))
+                    .and_then(VecDeque::pop_front);
+                if let Some((ready, abytes)) = matched {
+                    if abytes != bytes {
+                        return Err(SimError::ByteMismatch {
+                            rank,
+                            expected: bytes,
+                            actual: abytes,
+                        });
+                    }
+                    self.ranks[rank].reqs.insert(req, ReqState::Done(ready));
+                } else {
+                    self.ranks[rank].reqs.insert(req, ReqState::PendingRecv);
+                    self.ranks[rank]
+                        .posted
+                        .entry((from, tag))
+                        .or_default()
+                        .push_back((req, bytes));
+                }
+                self.ranks[rank].pc += 1;
+                self.push(cpu_done, Ev::Run(rank));
+            }
+            Op::Wait { req } => match self.ranks[rank].reqs.get(&req) {
+                Some(ReqState::Done(at)) => {
+                    let at = *at;
+                    let now = self.ranks[rank].now;
+                    if at > now {
+                        self.trace.record(rank, Activity::Idle, now, at);
+                        self.ranks[rank].now = at;
+                    }
+                    self.ranks[rank].pc += 1;
+                    let t = self.ranks[rank].now;
+                    self.push(t, Ev::Run(rank));
+                }
+                Some(ReqState::PendingRecv) | Some(ReqState::PendingSend) => {
+                    // Resumed by deliver() or the TxEnqueue handler.
+                    self.ranks[rank].blocked = Some(Blocked::OnReq(req));
+                }
+                None => {
+                    return Err(SimError::InvalidProgram {
+                        rank,
+                        detail: format!("wait on unknown request {req:?}"),
+                    });
+                }
+            },
+            Op::Send { to, tag, bytes } => {
+                // Blocking send: the CPU pays both fills and the wire
+                // time (Fig. 7), then the message travels. On a shared
+                // bus the wire portion also waits for the medium.
+                let start = self.ranks[rank].now;
+                let fills_done = start + SimTime::from_us(m.startup_us(bytes as f64));
+                let wire_start = match self.cfg.topology {
+                    NetworkTopology::Switched => fills_done,
+                    NetworkTopology::SharedBus => fills_done.max(self.bus_free),
+                };
+                let end = wire_start + SimTime::from_us(m.transmit_us(bytes as f64));
+                if self.cfg.topology == NetworkTopology::SharedBus {
+                    self.bus_free = end;
+                }
+                self.trace.record(rank, Activity::BlockingSend, start, end);
+                self.ranks[rank].now = end;
+                let arrive = end + SimTime::from_us(self.cfg.wire_latency_us);
+                self.push(
+                    arrive,
+                    Ev::DirectDelivery {
+                        dst: to,
+                        src: rank,
+                        tag,
+                        bytes,
+                    },
+                );
+                self.ranks[rank].pc += 1;
+                self.push(end, Ev::Run(rank));
+            }
+            Op::Recv { from, tag, bytes } => {
+                let matched = self.ranks[rank]
+                    .arrived
+                    .get_mut(&(from, tag))
+                    .and_then(VecDeque::pop_front);
+                if let Some((ready, abytes)) = matched {
+                    if abytes != bytes {
+                        return Err(SimError::ByteMismatch {
+                            rank,
+                            expected: bytes,
+                            actual: abytes,
+                        });
+                    }
+                    let now = self.ranks[rank].now;
+                    let resume = now.max(ready);
+                    self.trace.record(rank, Activity::Idle, now, resume);
+                    let copy = SimTime::from_us(m.startup_us(bytes as f64));
+                    self.trace
+                        .record(rank, Activity::BlockingRecv, resume, resume + copy);
+                    self.ranks[rank].now = resume + copy;
+                    self.ranks[rank].pc += 1;
+                    let t = self.ranks[rank].now;
+                    self.push(t, Ev::Run(rank));
+                } else {
+                    self.ranks[rank].blocked = Some(Blocked::OnRecv { from, tag, bytes });
+                    // Resumed by deliver().
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn simulate(cfg: SimConfig, programs: Vec<Program>) -> Result<SimResult, SimError> {
+    Engine::new(cfg, programs)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine with clean constants for hand-checkable arithmetic:
+    /// fills are 10 µs flat each (so blocking startup = 20 µs), wire is
+    /// 0.01 µs/B, compute 1 µs per unit.
+    fn toy_machine() -> MachineParams {
+        use tiling_core::machine::AffineCost;
+        MachineParams {
+            t_c_us: 1.0,
+            t_s_us: 20.0,
+            t_t_us_per_byte: 0.01,
+            bytes_per_elem: 4,
+            fill_mpi_buffer: AffineCost::constant(10.0),
+            fill_kernel_buffer: AffineCost::constant(10.0),
+        }
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(toy_machine())
+    }
+
+    #[test]
+    fn single_rank_compute_only() {
+        let mut p = Program::new();
+        p.compute(100.0, 0);
+        p.compute(50.0, 1);
+        let r = simulate(cfg(), vec![p]).unwrap();
+        assert_eq!(r.makespan, SimTime::from_us(150.0));
+        assert_eq!(r.finish[0], SimTime::from_us(150.0));
+    }
+
+    #[test]
+    fn blocking_pair_cost_matches_eq3() {
+        // Sender: Send(100 B). Receiver: Recv.
+        // Sender CPU: startup 20 + wire 1.0 = 21 µs.
+        // Receiver: message arrives at 21, then pays startup 20 ⇒ 41 µs.
+        let mut s = Program::new();
+        s.send(1, 0, 100);
+        let mut r = Program::new();
+        r.recv(0, 0, 100);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        assert_eq!(res.finish[0], SimTime::from_us(21.0));
+        assert_eq!(res.finish[1], SimTime::from_us(41.0));
+    }
+
+    #[test]
+    fn blocking_recv_posted_late_still_works() {
+        // Receiver computes 100 µs first; message waits buffered.
+        let mut s = Program::new();
+        s.send(1, 0, 100);
+        let mut r = Program::new();
+        r.compute(100.0, 0);
+        r.recv(0, 0, 100);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        // Arrived at 21 < 100; recv pays 20 after its compute.
+        assert_eq!(res.finish[1], SimTime::from_us(120.0));
+    }
+
+    #[test]
+    fn nonblocking_overlap_hides_communication() {
+        // Sender: Isend(1000 B) then compute 100 µs then wait.
+        // A₁ = 10; TX = B₃(10) + B₄(10) = 20 from t=10 to 30.
+        // CPU: 10 + 100 = 110; wait(send) done at 30 ⇒ finish 110.
+        let mut s = Program::new();
+        let q = s.isend(1, 0, 1000);
+        s.compute(100.0, 0);
+        s.wait(q);
+        // Receiver: Irecv + compute + wait.
+        // A₃ = 10; RX starts at arrival 30: B₁(10)+B₂(10) ⇒ ready 50.
+        // CPU: 10 + 100 = 110 ≥ 50 ⇒ finish 110: full overlap.
+        let mut r = Program::new();
+        let q2 = r.irecv(0, 0, 1000);
+        r.compute(100.0, 0);
+        r.wait(q2);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        assert_eq!(res.finish[0], SimTime::from_us(110.0));
+        assert_eq!(res.finish[1], SimTime::from_us(110.0));
+    }
+
+    #[test]
+    fn nonblocking_wait_blocks_until_delivery() {
+        // Same as above but receiver computes only 5 µs: must idle
+        // until RX completes at 50.
+        let mut s = Program::new();
+        let q = s.isend(1, 0, 1000);
+        s.compute(100.0, 0);
+        s.wait(q);
+        let mut r = Program::new();
+        let q2 = r.irecv(0, 0, 1000);
+        r.compute(5.0, 0);
+        r.wait(q2);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        assert_eq!(res.finish[1], SimTime::from_us(50.0));
+    }
+
+    #[test]
+    fn wait_on_send_request_idles_until_tx_done() {
+        let mut s = Program::new();
+        let q = s.isend(1, 0, 1000);
+        s.wait(q); // CPU at 10, TX done at 30 ⇒ idle 20.
+        let mut r = Program::new();
+        let q2 = r.irecv(0, 0, 1000);
+        r.wait(q2);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        assert_eq!(res.finish[0], SimTime::from_us(30.0));
+    }
+
+    #[test]
+    fn half_duplex_serializes_tx_and_rx() {
+        // Two ranks exchange 1000 B simultaneously with Isend/Irecv.
+        // Half-duplex: each NIC does TX (20) then RX (20) serially.
+        let mk = |other: Rank| {
+            let mut p = Program::new();
+            let sq = p.isend(other, 0, 1000);
+            let rq = p.irecv(other, 0, 1000);
+            p.wait(rq);
+            p.wait(sq);
+            p
+        };
+        let res_half = simulate(cfg(), vec![mk(1), mk(0)]).unwrap();
+        let res_full = simulate(cfg().with_duplex(true), vec![mk(1), mk(0)]).unwrap();
+        assert!(res_full.makespan <= res_half.makespan);
+        // Full duplex: CPU posts 10+10=20; TX 10..30; arrival 30;
+        // RX 30..50; wait recv done 50.
+        assert_eq!(res_full.makespan, SimTime::from_us(50.0));
+        // Half duplex: TX 10..30 on the shared lane; peer's message
+        // arrives at 30 but lane busy until 30: RX 30..50 too — same
+        // here because TX finished exactly at arrival.
+        assert_eq!(res_half.makespan, SimTime::from_us(50.0));
+    }
+
+    #[test]
+    fn half_duplex_rx_delays_pending_tx() {
+        // Rank 0 receives a message and then wants to send: the shared
+        // NIC forces RX then TX.
+        let mut a = Program::new();
+        let rq = a.irecv(1, 0, 1000);
+        let sq = a.isend(1, 1, 1000);
+        a.wait(rq);
+        a.wait(sq);
+        let mut b = Program::new();
+        let sq2 = b.isend(0, 0, 1000);
+        let rq2 = b.irecv(0, 1, 1000);
+        b.wait(sq2);
+        b.wait(rq2);
+        let half = simulate(cfg(), vec![a.clone(), b.clone()]).unwrap();
+        let full = simulate(cfg().with_duplex(true), vec![a, b]).unwrap();
+        assert!(half.makespan >= full.makespan);
+    }
+
+    #[test]
+    fn fifo_matching_same_tag() {
+        // Two messages with the same (src, tag): matched in send order.
+        let mut s = Program::new();
+        s.send(1, 7, 100);
+        s.send(1, 7, 100);
+        let mut r = Program::new();
+        r.recv(0, 7, 100);
+        r.recv(0, 7, 100);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        // Sender: 21 + 21 = 42. Messages arrive 21, 42.
+        // Receiver: (wait 21, copy 20) = 41, then msg2 already at 42:
+        // wait to 42, copy 20 ⇒ 62.
+        assert_eq!(res.finish[1], SimTime::from_us(62.0));
+    }
+
+    #[test]
+    fn byte_mismatch_detected() {
+        let mut s = Program::new();
+        s.send(1, 0, 100);
+        let mut r = Program::new();
+        r.recv(0, 0, 64);
+        let err = simulate(cfg(), vec![s, r]).unwrap_err();
+        assert!(matches!(err, SimError::ByteMismatch { .. }));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Both ranks receive first: classic deadlock (with blocking ops
+        // and no messages in flight).
+        let mut a = Program::new();
+        a.recv(1, 0, 8);
+        a.send(1, 0, 8);
+        let mut b = Program::new();
+        b.recv(0, 0, 8);
+        b.send(0, 0, 8);
+        let err = simulate(cfg(), vec![a, b]).unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rank_detected() {
+        let mut p = Program::new();
+        p.send(5, 0, 8);
+        let err = simulate(cfg(), vec![p]).unwrap_err();
+        assert!(matches!(err, SimError::BadRank { target: 5, .. }));
+    }
+
+    #[test]
+    fn invalid_program_detected() {
+        let mut p = Program::new();
+        p.wait(crate::program::ReqId(3));
+        let err = simulate(cfg(), vec![p]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidProgram { .. }));
+    }
+
+    #[test]
+    fn determinism() {
+        // A small pipeline run twice gives identical traces.
+        let build = || {
+            let mut a = Program::new();
+            let s1 = a.isend(1, 0, 500);
+            a.compute(30.0, 0);
+            a.wait(s1);
+            let mut b = Program::new();
+            let r1 = b.irecv(0, 0, 500);
+            b.compute(10.0, 0);
+            b.wait(r1);
+            vec![a, b]
+        };
+        let x = simulate(cfg(), build()).unwrap();
+        let y = simulate(cfg(), build()).unwrap();
+        assert_eq!(x.makespan, y.makespan);
+        assert_eq!(x.trace.intervals(), y.trace.intervals());
+    }
+
+    #[test]
+    fn wire_latency_delays_delivery() {
+        let mut s = Program::new();
+        s.send(1, 0, 100);
+        let mut r = Program::new();
+        r.recv(0, 0, 100);
+        let base = simulate(cfg(), vec![s.clone(), r.clone()]).unwrap();
+        let lat = simulate(cfg().with_wire_latency_us(100.0), vec![s, r]).unwrap();
+        assert_eq!(
+            lat.finish[1],
+            base.finish[1] + SimTime::from_us(100.0)
+        );
+    }
+
+    #[test]
+    fn trace_disabled_still_times_correctly() {
+        let mut p = Program::new();
+        p.compute(10.0, 0);
+        let res = simulate(cfg().with_trace(false), vec![p]).unwrap();
+        assert!(res.trace.intervals().is_empty());
+        assert_eq!(res.makespan, SimTime::from_us(10.0));
+    }
+
+    #[test]
+    fn shared_bus_serializes_independent_transmissions() {
+        // Two disjoint pairs send 2000 B concurrently. Switched: wires
+        // run in parallel. Shared bus: the second wire waits.
+        let build = || {
+            let mk_sender = |dst: usize| {
+                let mut p = Program::new();
+                let q = p.isend(dst, 0, 2000);
+                p.wait(q);
+                p
+            };
+            let mk_recv = |src: usize| {
+                let mut p = Program::new();
+                let q = p.irecv(src, 0, 2000);
+                p.wait(q);
+                p
+            };
+            vec![mk_sender(2), mk_sender(3), mk_recv(0), mk_recv(1)]
+        };
+        let sw = simulate(
+            cfg().with_duplex(true).with_topology(NetworkTopology::Switched),
+            build(),
+        )
+        .unwrap();
+        let bus = simulate(
+            cfg().with_duplex(true).with_topology(NetworkTopology::SharedBus),
+            build(),
+        )
+        .unwrap();
+        // Wire time = 20 µs per message; the bus adds exactly one wire
+        // slot of delay to the later message's delivery chain.
+        assert!(bus.makespan > sw.makespan);
+        assert_eq!(
+            bus.makespan.as_us() - sw.makespan.as_us(),
+            20.0,
+            "bus {} vs switched {}",
+            bus.makespan,
+            sw.makespan
+        );
+    }
+
+    #[test]
+    fn shared_bus_single_message_unaffected() {
+        let mut s = Program::new();
+        let q = s.isend(1, 0, 1000);
+        s.wait(q);
+        let mut r = Program::new();
+        let q2 = r.irecv(0, 0, 1000);
+        r.wait(q2);
+        let sw = simulate(cfg(), vec![s.clone(), r.clone()]).unwrap();
+        let bus = simulate(
+            cfg().with_topology(NetworkTopology::SharedBus),
+            vec![s, r],
+        )
+        .unwrap();
+        assert_eq!(sw.makespan, bus.makespan);
+    }
+
+    #[test]
+    fn shared_bus_blocking_sends_contend() {
+        // Two blocking senders to two receivers: their wire times
+        // serialize on the bus.
+        let mk_s = |dst: usize| {
+            let mut p = Program::new();
+            p.send(dst, 0, 2000); // startup 20 + wire 20
+            p
+        };
+        let mk_r = |src: usize| {
+            let mut p = Program::new();
+            p.recv(src, 0, 2000);
+            p
+        };
+        let bus = simulate(
+            cfg().with_topology(NetworkTopology::SharedBus),
+            vec![mk_s(2), mk_s(3), mk_r(0), mk_r(1)],
+        )
+        .unwrap();
+        // First sender: 0..40; second: fills 0..20, wire 40..60.
+        let s_finish = bus.finish[0].max(bus.finish[1]);
+        assert_eq!(s_finish, SimTime::from_us(60.0));
+    }
+
+    #[test]
+    fn makespan_includes_lane_drain() {
+        // Isend but never wait: program ends at CPU 10, TX drains to 30.
+        let mut s = Program::new();
+        let _ = s.isend(1, 0, 1000);
+        let mut r = Program::new();
+        let q = r.irecv(0, 0, 1000);
+        r.wait(q);
+        let res = simulate(cfg(), vec![s, r]).unwrap();
+        assert_eq!(res.finish[0], SimTime::from_us(10.0));
+        assert!(res.makespan >= SimTime::from_us(50.0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-rank operation programs.
+//!
+//! Writing schedule executors as coroutines inside a discrete-event
+//! simulator is awkward in Rust, so the simulator instead *interprets*
+//! a straight-line program of message-passing operations per rank —
+//! exactly the shape of the paper's `ProcB` (blocking) and `ProcNB`
+//! (non-blocking) pseudocode in §5. Loops are unrolled by the program
+//! builders in [`crate::builders`].
+
+use std::fmt;
+
+/// A process rank.
+pub type Rank = usize;
+
+/// A per-rank request handle for non-blocking operations. Handles are
+/// local to one rank's program and must be unique within it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ReqId(pub u32);
+
+/// One message-passing or compute operation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Op {
+    /// Busy the CPU for a given number of microseconds (a tile
+    /// computation).
+    Compute {
+        /// CPU time in µs.
+        us: f64,
+        /// Opaque label for traces (e.g. the tile's step).
+        label: u64,
+    },
+    /// Blocking send (`MPI_Send`): the CPU walks the full user→kernel
+    /// copy path and the wire transmission before continuing (Fig. 7).
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Match tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Blocking receive (`MPI_Recv`): blocks until the matching message
+    /// has arrived, then pays the copy path.
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Match tag.
+        tag: u64,
+        /// Payload bytes (must equal the sender's).
+        bytes: u64,
+    },
+    /// Non-blocking send (`MPI_Isend`): the CPU pays only the MPI-buffer
+    /// fill (`A₁`); kernel copy and transmission proceed on the NIC/DMA
+    /// lanes (`B₃`, `B₄`).
+    Isend {
+        /// Destination rank.
+        to: Rank,
+        /// Match tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// Completion handle.
+        req: ReqId,
+    },
+    /// Non-blocking receive (`MPI_Irecv`): the CPU pays the MPI-buffer
+    /// preparation (`A₃`); delivery happens on the receive lanes
+    /// (`B₁`, `B₂`).
+    Irecv {
+        /// Source rank.
+        from: Rank,
+        /// Match tag.
+        tag: u64,
+        /// Payload bytes (must equal the sender's).
+        bytes: u64,
+        /// Completion handle.
+        req: ReqId,
+    },
+    /// Block until the given request completes (`MPI_Wait`).
+    Wait {
+        /// Handle to wait for.
+        req: ReqId,
+    },
+}
+
+/// A rank's full (unrolled) program.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    ops: Vec<Op>,
+    next_req: u32,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Allocate a fresh request handle.
+    pub fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Convenience: append `Compute`.
+    pub fn compute(&mut self, us: f64, label: u64) {
+        self.push(Op::Compute { us, label });
+    }
+
+    /// Convenience: append a blocking `Send`.
+    pub fn send(&mut self, to: Rank, tag: u64, bytes: u64) {
+        self.push(Op::Send { to, tag, bytes });
+    }
+
+    /// Convenience: append a blocking `Recv`.
+    pub fn recv(&mut self, from: Rank, tag: u64, bytes: u64) {
+        self.push(Op::Recv { from, tag, bytes });
+    }
+
+    /// Convenience: append `Isend`, returning its request handle.
+    pub fn isend(&mut self, to: Rank, tag: u64, bytes: u64) -> ReqId {
+        let req = self.fresh_req();
+        self.push(Op::Isend {
+            to,
+            tag,
+            bytes,
+            req,
+        });
+        req
+    }
+
+    /// Convenience: append `Irecv`, returning its request handle.
+    pub fn irecv(&mut self, from: Rank, tag: u64, bytes: u64) -> ReqId {
+        let req = self.fresh_req();
+        self.push(Op::Irecv {
+            from,
+            tag,
+            bytes,
+            req,
+        });
+        req
+    }
+
+    /// Convenience: append `Wait`.
+    pub fn wait(&mut self, req: ReqId) {
+        self.push(Op::Wait { req });
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Static sanity check: every `Wait` refers to a request created by
+    /// an earlier `Isend`/`Irecv`, and no request is waited twice.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let mut created = std::collections::HashSet::new();
+        let mut waited = std::collections::HashSet::new();
+        for (idx, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::Isend { req, .. } | Op::Irecv { req, .. }
+                    if !created.insert(*req) => {
+                        return Err(ProgramError::DuplicateRequest { idx, req: *req });
+                    }
+                Op::Wait { req } => {
+                    if !created.contains(req) {
+                        return Err(ProgramError::WaitBeforeCreate { idx, req: *req });
+                    }
+                    if !waited.insert(*req) {
+                        return Err(ProgramError::DoubleWait { idx, req: *req });
+                    }
+                }
+                Op::Compute { us, .. }
+                    if (!us.is_finite() || *us < 0.0) => {
+                        return Err(ProgramError::BadCompute { idx });
+                    }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Static program validation errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// A request handle was used by two `Isend`/`Irecv` operations.
+    DuplicateRequest {
+        /// Op index.
+        idx: usize,
+        /// Offending handle.
+        req: ReqId,
+    },
+    /// A `Wait` refers to a handle not yet created.
+    WaitBeforeCreate {
+        /// Op index.
+        idx: usize,
+        /// Offending handle.
+        req: ReqId,
+    },
+    /// A handle was waited on twice.
+    DoubleWait {
+        /// Op index.
+        idx: usize,
+        /// Offending handle.
+        req: ReqId,
+    },
+    /// A `Compute` has a negative or non-finite duration.
+    BadCompute {
+        /// Op index.
+        idx: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateRequest { idx, req } => {
+                write!(f, "op #{idx}: request {req:?} created twice")
+            }
+            ProgramError::WaitBeforeCreate { idx, req } => {
+                write!(f, "op #{idx}: wait on uncreated request {req:?}")
+            }
+            ProgramError::DoubleWait { idx, req } => {
+                write!(f, "op #{idx}: request {req:?} waited twice")
+            }
+            ProgramError::BadCompute { idx } => write!(f, "op #{idx}: bad compute duration"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers() {
+        let mut p = Program::new();
+        p.compute(10.0, 0);
+        let r = p.isend(1, 7, 100);
+        p.wait(r);
+        assert_eq!(p.len(), 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn fresh_reqs_are_unique() {
+        let mut p = Program::new();
+        let a = p.fresh_req();
+        let b = p.fresh_req();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wait_before_create_rejected() {
+        let mut p = Program::new();
+        p.wait(ReqId(0));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::WaitBeforeCreate { .. })
+        ));
+    }
+
+    #[test]
+    fn double_wait_rejected() {
+        let mut p = Program::new();
+        let r = p.isend(0, 0, 8);
+        p.wait(r);
+        p.wait(r);
+        assert!(matches!(p.validate(), Err(ProgramError::DoubleWait { .. })));
+    }
+
+    #[test]
+    fn duplicate_request_rejected() {
+        let mut p = Program::new();
+        p.push(Op::Isend {
+            to: 0,
+            tag: 0,
+            bytes: 1,
+            req: ReqId(5),
+        });
+        p.push(Op::Irecv {
+            from: 0,
+            tag: 1,
+            bytes: 1,
+            req: ReqId(5),
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::DuplicateRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_compute_rejected() {
+        let mut p = Program::new();
+        p.compute(f64::NAN, 0);
+        assert!(matches!(p.validate(), Err(ProgramError::BadCompute { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ProgramError::DoubleWait {
+            idx: 3,
+            req: ReqId(1),
+        };
+        assert!(e.to_string().contains("op #3"));
+    }
+}

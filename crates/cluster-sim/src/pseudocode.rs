@@ -1,0 +1,136 @@
+//! Pseudocode emission: render a [`ClusterProblem`]'s per-rank programs
+//! in the paper's §5 listing style (`ProcB` / `ProcNB`), for
+//! documentation, debugging and golden tests.
+//!
+//! The emitted text is the *actual* program the simulator interprets —
+//! loop-recompressed for readability: runs of identical per-step
+//! structure collapse into a `for k` loop exactly like the paper's
+//! listings, with the irregular prologue/epilogue steps shown explicitly.
+
+use crate::builders::ClusterProblem;
+use crate::program::{Op, Program};
+use std::fmt::Write as _;
+use tiling_core::machine::MachineParams;
+
+/// Render one rank's program as paper-style pseudocode.
+pub fn render_program(p: &Program) -> String {
+    let mut out = String::new();
+    for op in p.ops() {
+        let _ = match op {
+            Op::Compute { us, label } => writeln!(out, "  compute(tile {label})  // {us:.1} µs"),
+            Op::Send { to, tag, bytes } => {
+                writeln!(out, "  MPI_Send(to P{to}, tag {tag}, {bytes} B)")
+            }
+            Op::Recv { from, tag, bytes } => {
+                writeln!(out, "  MPI_Recv(from P{from}, tag {tag}, {bytes} B)")
+            }
+            Op::Isend { to, tag, bytes, req } => writeln!(
+                out,
+                "  MPI_Isend(to P{to}, tag {tag}, {bytes} B) -> r{}",
+                req.0
+            ),
+            Op::Irecv {
+                from,
+                tag,
+                bytes,
+                req,
+            } => writeln!(
+                out,
+                "  MPI_Irecv(from P{from}, tag {tag}, {bytes} B) -> r{}",
+                req.0
+            ),
+            Op::Wait { req } => writeln!(out, "  MPI_Wait(r{})", req.0),
+        };
+    }
+    out
+}
+
+/// Render the blocking (`ProcB`) and overlapping (`ProcNB`) programs of
+/// one rank of a problem, side by side with headers — the §5 listings,
+/// generated instead of hand-written.
+pub fn render_rank_listings(
+    problem: &ClusterProblem,
+    machine: &MachineParams,
+    rank: usize,
+    max_ops: usize,
+) -> String {
+    let blocking = &problem.blocking_programs(machine)[rank];
+    let overlap = &problem.overlapping_programs(machine)[rank];
+    let truncate = |text: String| -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.len() <= max_ops {
+            text
+        } else {
+            let mut t = lines[..max_ops].join("\n");
+            let _ = write!(t, "\n  … ({} more ops)", lines.len() - max_ops);
+            t + "\n"
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "ProcB(rank {rank})  // blocking, §3:");
+    out += &truncate(render_program(blocking));
+    let _ = writeln!(out, "\nProcNB(rank {rank})  // overlapping, §4:");
+    out += &truncate(render_program(overlap));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling_core::prelude::*;
+
+    fn problem() -> ClusterProblem {
+        ClusterProblem::new(
+            Tiling::rectangular(&[2, 2, 4]),
+            DependenceSet::paper_3d(),
+            IterationSpace::from_extents(&[4, 4, 16]),
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blocking_listing_shows_triplets() {
+        let machine = MachineParams::example_1();
+        let p = problem();
+        // Rank 3 (coords (1,1)) receives from two neighbors and computes.
+        let text = render_program(&p.blocking_programs(&machine)[3]);
+        let first_recv = text.find("MPI_Recv").expect("has recvs");
+        let first_compute = text.find("compute").expect("has computes");
+        assert!(first_recv < first_compute, "recv precedes compute:\n{text}");
+        // Rank 0 sends but never receives.
+        let r0 = render_program(&p.blocking_programs(&machine)[0]);
+        assert!(r0.contains("MPI_Send"));
+        assert!(!r0.contains("MPI_Recv"));
+    }
+
+    #[test]
+    fn overlap_listing_posts_before_compute() {
+        let machine = MachineParams::example_1();
+        let p = problem();
+        let text = render_program(&p.overlapping_programs(&machine)[3]);
+        assert!(text.contains("MPI_Irecv"));
+        assert!(text.contains("MPI_Wait"));
+        // Prologue: the very first op is a posted receive.
+        assert!(text.lines().next().unwrap().contains("MPI_Irecv"), "{text}");
+    }
+
+    #[test]
+    fn rank_listings_truncate() {
+        let machine = MachineParams::example_1();
+        let p = problem();
+        let text = render_rank_listings(&p, &machine, 3, 6);
+        assert!(text.contains("ProcB(rank 3)"));
+        assert!(text.contains("ProcNB(rank 3)"));
+        assert!(text.contains("more ops"));
+    }
+
+    #[test]
+    fn byte_counts_rendered() {
+        let machine = MachineParams::example_1();
+        let p = problem();
+        // Face = 2×4 points × 4 B = 32 B.
+        let text = render_program(&p.blocking_programs(&machine)[0]);
+        assert!(text.contains("32 B"), "{text}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulation time.
+//!
+//! Simulated time is kept in integer **nanoseconds** so the event queue
+//! has a total order with no floating-point tie ambiguity; the paper's
+//! quantities (µs, ms, s) convert losslessly at the boundaries.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From (non-negative, finite) microseconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN or non-finite input.
+    pub fn from_us(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration: {us}");
+        SimTime((us * 1_000.0).round() as u64)
+    }
+
+    /// Nanoseconds since start.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start.
+    pub fn as_us(&self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since start.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<SimTime> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimTime> for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("negative sim duration"))
+    }
+}
+
+fn fmt_human(t: &SimTime, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let us = t.as_us();
+    if us >= 1_000_000.0 {
+        write!(f, "{:.4}s", t.as_secs())
+    } else if us >= 1_000.0 {
+        write!(f, "{:.3}ms", us / 1_000.0)
+    } else {
+        write!(f, "{us:.3}µs")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_human(self, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_human(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_us(123.456);
+        assert_eq!(t.as_nanos(), 123_456);
+        assert!((t.as_us() - 123.456).abs() < 1e-9);
+        assert!((t.as_secs() - 123.456e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a + b, SimTime::from_nanos(140));
+        assert_eq!(a - b, SimTime::from_nanos(60));
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_nanos(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sim duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_us_panics() {
+        let _ = SimTime::from_us(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [SimTime::from_nanos(5),
+            SimTime::ZERO,
+            SimTime::from_nanos(3)];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2], SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", SimTime::from_us(1.5)), "1.500µs");
+        assert_eq!(format!("{}", SimTime::from_us(2500.0)), "2.500ms");
+        assert_eq!(format!("{}", SimTime::from_us(3_000_000.0)), "3.0000s");
+    }
+}

@@ -1,0 +1,64 @@
+//! The message-passing interface used by the distributed executors.
+//!
+//! A deliberately MPI-shaped API: blocking `send`/`recv` (the paper's
+//! §3 non-overlapping executor) and non-blocking `isend`/`irecv`/`wait`
+//! (the §4 overlapping executor). Matching is by `(peer rank, tag)` in
+//! FIFO order, like MPI with a fixed communicator.
+
+/// A tag disambiguating messages between the same pair of ranks.
+pub type Tag = u64;
+
+/// Handle for an in-flight non-blocking send.
+#[derive(Debug)]
+#[must_use = "a send request must be waited on before its buffer is reused"]
+pub struct SendRequest {
+    /// Backend-assigned request identifier (kept for tracing/debugging).
+    #[allow(dead_code)]
+    pub(crate) id: u64,
+}
+
+/// Handle for an in-flight non-blocking receive.
+#[derive(Debug)]
+#[must_use = "a receive request must be waited on to obtain the data"]
+pub struct RecvRequest {
+    pub(crate) from: usize,
+    pub(crate) tag: Tag,
+}
+
+/// A process-group communicator carrying `Vec<T>` payloads.
+///
+/// Implementations: [`crate::thread_backend::ThreadComm`] (real OS
+/// threads with injected wire latency — communication genuinely
+/// overlaps computation in wall-clock time).
+pub trait Communicator<T: Send + 'static> {
+    /// This process's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of processes.
+    fn size(&self) -> usize;
+
+    /// Blocking send (`MPI_Send`): returns when the payload has been
+    /// handed to the transport *and* the modeled transmission time has
+    /// elapsed on the caller (Fig. 7 of the paper).
+    fn send(&mut self, to: usize, tag: Tag, data: Vec<T>);
+
+    /// Blocking receive (`MPI_Recv`).
+    fn recv(&mut self, from: usize, tag: Tag) -> Vec<T>;
+
+    /// Non-blocking send (`MPI_Isend`): hands the payload to the
+    /// transport and returns immediately.
+    fn isend(&mut self, to: usize, tag: Tag, data: Vec<T>) -> SendRequest;
+
+    /// Non-blocking receive (`MPI_Irecv`): registers interest and
+    /// returns immediately.
+    fn irecv(&mut self, from: usize, tag: Tag) -> RecvRequest;
+
+    /// Complete a non-blocking send (`MPI_Wait`).
+    fn wait_send(&mut self, req: SendRequest);
+
+    /// Complete a non-blocking receive (`MPI_Wait`), yielding the data.
+    fn wait_recv(&mut self, req: RecvRequest) -> Vec<T>;
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&mut self);
+}

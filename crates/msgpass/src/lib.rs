@@ -1,0 +1,34 @@
+//! # msgpass
+//!
+//! An MPI-shaped message-passing runtime for the IPPS 2001 loop-tiling
+//! reproduction. The paper ran on MPICH over FastEthernet; this crate
+//! provides the same primitives (`Send`/`Recv`/`Isend`/`Irecv`/`Wait`)
+//! over OS threads on one machine, with a configurable wire-latency
+//! model so that non-blocking communication genuinely overlaps
+//! computation in wall-clock time.
+//!
+//! * [`comm`] — the [`comm::Communicator`] trait the distributed
+//!   executors are written against.
+//! * [`thread_backend`] — the real threaded implementation
+//!   ([`thread_backend::run_threads`]).
+//! * [`topology`] — Cartesian process grids (the paper's 4×4 layout).
+//!
+//! Timing-only simulation of the paper's cluster lives in the sibling
+//! `cluster-sim` crate; this crate moves *real data* and is what the
+//! `stencil` executors and their verification run on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod comm;
+pub mod recording;
+pub mod thread_backend;
+pub mod topology;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
+    pub use crate::recording::{record_sequential, RecordingComm};
+    pub use crate::thread_backend::{run_threads, LatencyModel, ThreadComm};
+    pub use crate::topology::CartesianGrid;
+}

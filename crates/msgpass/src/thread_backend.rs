@@ -1,0 +1,454 @@
+//! Real multi-threaded backend: one OS thread per rank, crossbeam
+//! channels as the transport, and an injected wire-latency model.
+//!
+//! The latency model is what makes overlap *measurable* on a shared-
+//! memory machine: every message is stamped at send time and is not
+//! released to the receiver before `sent_at + latency(bytes)` — but the
+//! receiving thread only pays that wait inside `wait_recv`/`recv`, so a
+//! thread that computes while a message is "on the wire" genuinely hides
+//! the latency, exactly like a node computing while its NIC works.
+//!
+//! Blocking sends additionally sleep the *sender* for the transmission
+//! time (the paper's Fig. 7: a blocking send suspends the caller until
+//! the message is out).
+
+use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Affine wire-latency model `startup + per_byte · payload_bytes`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed startup per message, µs.
+    pub startup_us: f64,
+    /// Per-byte transmission time, µs.
+    pub per_byte_us: f64,
+}
+
+impl LatencyModel {
+    /// No injected latency: messages are available as soon as sent.
+    /// Useful as the verification backend.
+    pub const fn zero() -> Self {
+        LatencyModel {
+            startup_us: 0.0,
+            per_byte_us: 0.0,
+        }
+    }
+
+    /// From the paper's machine parameters (`t_s`, `t_t`).
+    pub fn from_machine(m: &tiling_core::machine::MachineParams) -> Self {
+        LatencyModel {
+            startup_us: m.t_s_us,
+            per_byte_us: m.t_t_us_per_byte,
+        }
+    }
+
+    /// The wire time of a `bytes`-byte message.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(((self.startup_us + self.per_byte_us * bytes as f64) * 1e3) as u64)
+    }
+}
+
+struct Msg<T> {
+    tag: Tag,
+    data: Vec<T>,
+    /// Receiver may not consume the message before this instant.
+    ready_at: Instant,
+}
+
+/// Sleep-then-spin until `deadline` (sleep for the coarse part, spin the
+/// last stretch for accuracy).
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// The per-rank communicator of the threaded backend.
+pub struct ThreadComm<T> {
+    rank: usize,
+    size: usize,
+    /// `senders[dst]` is this rank's channel into `dst`.
+    senders: Vec<Sender<Msg<T>>>,
+    /// `receivers[src]` carries messages from `src`.
+    receivers: Vec<Receiver<Msg<T>>>,
+    /// Out-of-order buffer per source.
+    stash: Vec<VecDeque<Msg<T>>>,
+    latency: LatencyModel,
+    /// Barrier shared by the world.
+    barrier: std::sync::Arc<std::sync::Barrier>,
+    next_req: u64,
+    elem_bytes: usize,
+}
+
+impl<T: Send + 'static> ThreadComm<T> {
+    fn payload_bytes(&self, len: usize) -> usize {
+        len * self.elem_bytes
+    }
+
+    /// Pull messages from `from` until one with `tag` appears; honor the
+    /// stash first (FIFO per source).
+    fn match_message(&mut self, from: usize, tag: Tag) -> Msg<T> {
+        if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
+            return self.stash[from].remove(pos).expect("position valid");
+        }
+        loop {
+            let msg = self.receivers[from]
+                .recv()
+                .expect("peer hung up before sending expected message");
+            if msg.tag == tag {
+                return msg;
+            }
+            self.stash[from].push_back(msg);
+        }
+    }
+
+    /// Non-blocking variant for the sequential recording driver: the
+    /// message must already be present (lower ranks ran to completion),
+    /// so an empty channel means the program's messages do not flow in
+    /// rank order — panic with a diagnosis instead of hanging forever.
+    pub(crate) fn recv_now(&mut self, from: usize, tag: Tag) -> Vec<T> {
+        if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
+            return self.stash[from].remove(pos).expect("position valid").data;
+        }
+        loop {
+            match self.receivers[from].try_recv() {
+                Ok(msg) if msg.tag == tag => return msg.data,
+                Ok(msg) => self.stash[from].push_back(msg),
+                Err(_) => panic!(
+                    "sequential recording: rank {} receives (from {from}, tag {tag}) \
+                     but the message was never sent — messages must flow from lower \
+                     to higher ranks during recording",
+                    self.rank
+                ),
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: usize, tag: Tag, data: Vec<T>) {
+        let bytes = self.payload_bytes(data.len());
+        let delay = self.latency.delay(bytes);
+        let ready_at = Instant::now() + delay;
+        self.senders[to]
+            .send(Msg {
+                tag,
+                data,
+                ready_at,
+            })
+            .expect("peer hung up");
+        // Blocking semantics: the caller is suspended for the wire time.
+        wait_until(ready_at);
+    }
+
+    fn recv(&mut self, from: usize, tag: Tag) -> Vec<T> {
+        let msg = self.match_message(from, tag);
+        wait_until(msg.ready_at);
+        msg.data
+    }
+
+    fn isend(&mut self, to: usize, tag: Tag, data: Vec<T>) -> SendRequest {
+        let bytes = self.payload_bytes(data.len());
+        let ready_at = Instant::now() + self.latency.delay(bytes);
+        self.senders[to]
+            .send(Msg {
+                tag,
+                data,
+                ready_at,
+            })
+            .expect("peer hung up");
+        let id = self.next_req;
+        self.next_req += 1;
+        SendRequest { id }
+    }
+
+    fn irecv(&mut self, from: usize, tag: Tag) -> RecvRequest {
+        RecvRequest { from, tag }
+    }
+
+    fn wait_send(&mut self, _req: SendRequest) {
+        // The channel owns the payload already; local completion is
+        // immediate (eager protocol).
+    }
+
+    fn wait_recv(&mut self, req: RecvRequest) -> Vec<T> {
+        let msg = self.match_message(req.from, req.tag);
+        wait_until(msg.ready_at);
+        msg.data
+    }
+
+    fn barrier(&mut self) {
+        self.barrier.wait();
+    }
+}
+
+/// Build the full mesh of per-rank communicators (used by
+/// [`run_threads`] and by the trace-recording driver).
+pub(crate) fn build_world<T: Send + 'static>(
+    size: usize,
+    latency: LatencyModel,
+) -> Vec<ThreadComm<T>> {
+    assert!(size > 0, "world size must be positive");
+    // channels[src][dst]
+    let mut to_senders: Vec<Vec<Option<Sender<Msg<T>>>>> = Vec::with_capacity(size);
+    let mut from_receivers: Vec<Vec<Option<Receiver<Msg<T>>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    #[allow(clippy::needless_range_loop)] // src/dst index two structures
+    for src in 0..size {
+        let mut row = Vec::with_capacity(size);
+        for dst in 0..size {
+            let (s, r) = unbounded();
+            row.push(Some(s));
+            from_receivers[dst][src] = Some(r);
+        }
+        to_senders.push(row);
+    }
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(size));
+    let elem_bytes = std::mem::size_of::<T>();
+
+    let mut comms: Vec<ThreadComm<T>> = Vec::with_capacity(size);
+    for rank in 0..size {
+        let senders = (0..size)
+            .map(|dst| to_senders[rank][dst].take().expect("sender taken once"))
+            .collect();
+        let receivers = (0..size)
+            .map(|src| from_receivers[rank][src].take().expect("receiver taken once"))
+            .collect();
+        comms.push(ThreadComm {
+            rank,
+            size,
+            senders,
+            receivers,
+            stash: (0..size).map(|_| VecDeque::new()).collect(),
+            latency,
+            barrier: barrier.clone(),
+            next_req: 0,
+            elem_bytes,
+        });
+    }
+    comms
+}
+
+/// Run `size` ranks, each executing `body(comm)` on its own OS thread;
+/// returns the per-rank results (rank order) and the wall-clock time of
+/// the slowest rank.
+pub fn run_threads<T, R, F>(
+    size: usize,
+    latency: LatencyModel,
+    body: F,
+) -> (Vec<R>, Duration)
+where
+    T: Send + 'static,
+    R: Send,
+    F: Fn(ThreadComm<T>) -> R + Send + Sync,
+{
+    let comms = build_world::<T>(size, latency);
+    let start = Instant::now();
+    let body = &body;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(move || body(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+    (results, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rank_blocking_roundtrip() {
+        let (results, _) = run_threads::<f32, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0, 2.0, 3.0]);
+                comm.recv(1, 8)
+            } else {
+                let got = comm.recv(0, 7);
+                comm.send(0, 8, got.iter().map(|x| x * 2.0).collect());
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn nonblocking_roundtrip() {
+        let (results, _) = run_threads::<i64, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                let s = comm.isend(1, 1, vec![42]);
+                comm.wait_send(s);
+                0
+            } else {
+                let r = comm.irecv(0, 1);
+                comm.wait_recv(r)[0]
+            }
+        });
+        assert_eq!(results[1], 42);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let (results, _) = run_threads::<u32, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![10]);
+                comm.send(1, 2, vec![20]);
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                a[0] * 100 + b[0] // 10·100 + 20
+            }
+        });
+        assert_eq!(results[1], 1020);
+    }
+
+    #[test]
+    fn fifo_within_same_tag() {
+        let (results, _) = run_threads::<u32, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1]);
+                comm.send(1, 5, vec![2]);
+                0
+            } else {
+                let a = comm.recv(0, 5)[0];
+                let b = comm.recv(0, 5)[0];
+                a * 10 + b
+            }
+        });
+        assert_eq!(results[1], 12);
+    }
+
+    #[test]
+    fn latency_is_enforced_on_receive() {
+        let lat = LatencyModel {
+            startup_us: 3_000.0,
+            per_byte_us: 0.0,
+        };
+        let (_, elapsed) = run_threads::<u8, _, _>(2, lat, |mut comm| {
+            if comm.rank() == 0 {
+                let s = comm.isend(1, 0, vec![1]);
+                comm.wait_send(s); // does not pay the wire time
+            } else {
+                let _ = comm.recv(0, 0); // pays ≥ 3 ms
+            }
+        });
+        assert!(elapsed >= Duration::from_micros(2_900), "{elapsed:?}");
+    }
+
+    #[test]
+    fn overlap_hides_latency_nonblocking() {
+        // Receiver computes ~5 ms while a 5 ms-latency message flies:
+        // total should be well under the serial 10 ms.
+        let lat = LatencyModel {
+            startup_us: 5_000.0,
+            per_byte_us: 0.0,
+        };
+        let (_, elapsed) = run_threads::<u8, _, _>(2, lat, |mut comm| {
+            if comm.rank() == 0 {
+                let s = comm.isend(1, 0, vec![1]);
+                comm.wait_send(s);
+            } else {
+                let req = comm.irecv(0, 0);
+                // ~5 ms of real work.
+                let t0 = Instant::now();
+                let mut acc = 0.0f64;
+                while t0.elapsed() < Duration::from_micros(5_000) {
+                    acc += acc.sin() + 1.0;
+                }
+                std::hint::black_box(acc);
+                let _ = comm.wait_recv(req);
+            }
+        });
+        assert!(
+            elapsed < Duration::from_micros(8_500),
+            "no overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_send_pays_wire_time() {
+        let lat = LatencyModel {
+            startup_us: 3_000.0,
+            per_byte_us: 0.0,
+        };
+        let (_, elapsed) = run_threads::<u8, _, _>(2, lat, |mut comm| {
+            if comm.rank() == 0 {
+                let t0 = Instant::now();
+                comm.send(1, 0, vec![1]);
+                assert!(t0.elapsed() >= Duration::from_micros(2_900));
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+        });
+        assert!(elapsed >= Duration::from_micros(2_900));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        let (results, _) = run_threads::<u8, _, _>(4, LatencyModel::zero(), |mut comm| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            BEFORE.load(Ordering::SeqCst)
+        });
+        // After the barrier everyone sees all 4 increments.
+        assert!(results.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn ring_pipeline_many_ranks() {
+        // 0 → 1 → 2 → 3: each adds its rank.
+        let (results, _) = run_threads::<u64, _, _>(4, LatencyModel::zero(), |mut comm| {
+            let r = comm.rank();
+            if r == 0 {
+                comm.send(1, 0, vec![0]);
+                0
+            } else {
+                let v = comm.recv(r - 1, 0)[0] + r as u64;
+                if r + 1 < comm.size() {
+                    comm.send(r + 1, 0, vec![v]);
+                }
+                v
+            }
+        });
+        assert_eq!(results[3], 6);
+    }
+
+    #[test]
+    fn latency_model_delay() {
+        let lat = LatencyModel {
+            startup_us: 100.0,
+            per_byte_us: 0.5,
+        };
+        assert_eq!(lat.delay(0), Duration::from_micros(100));
+        assert_eq!(lat.delay(200), Duration::from_micros(200));
+        assert_eq!(LatencyModel::zero().delay(1 << 20), Duration::ZERO);
+    }
+}

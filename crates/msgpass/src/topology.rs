@@ -1,0 +1,147 @@
+//! Cartesian process topologies.
+//!
+//! The paper lays processors out as a 2-D grid over the tiled space's
+//! cross-section (4×4 in experiments i/ii, still 4×4 with 8×8 tile
+//! cross-sections in experiment iii). [`CartesianGrid`] maps between
+//! ranks and grid coordinates and enumerates the neighbors a rank
+//! exchanges tile faces with.
+
+/// A row-major Cartesian process grid of arbitrary dimensionality.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CartesianGrid {
+    extents: Vec<usize>,
+}
+
+impl CartesianGrid {
+    /// A grid with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or the grid is empty.
+    pub fn new(extents: Vec<usize>) -> Self {
+        assert!(!extents.is_empty(), "grid needs ≥ 1 dimension");
+        assert!(extents.iter().all(|&e| e > 0), "extents must be positive");
+        CartesianGrid { extents }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-dimension extents.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// Grid coordinates of a rank (row-major).
+    ///
+    /// # Panics
+    /// Panics if `rank ≥ size()`.
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size(), "rank out of range");
+        let mut c = vec![0; self.dims()];
+        let mut r = rank;
+        for d in (0..self.dims()).rev() {
+            c[d] = r % self.extents[d];
+            r /= self.extents[d];
+        }
+        c
+    }
+
+    /// Rank of grid coordinates (row-major).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims(), "coordinate arity mismatch");
+        let mut rank = 0;
+        for (&c, &e) in coords.iter().zip(&self.extents) {
+            assert!(c < e, "coordinate out of range");
+            rank = rank * e + c;
+        }
+        rank
+    }
+
+    /// The rank at `coords + offset`, or `None` if outside the grid
+    /// (no wraparound — tile pipelines do not wrap).
+    pub fn neighbor(&self, rank: usize, offset: &[i64]) -> Option<usize> {
+        assert_eq!(offset.len(), self.dims(), "offset arity mismatch");
+        let c = self.coords_of(rank);
+        let mut n = Vec::with_capacity(self.dims());
+        for d in 0..self.dims() {
+            let v = c[d] as i64 + offset[d];
+            if v < 0 || v >= self.extents[d] as i64 {
+                return None;
+            }
+            n.push(v as usize);
+        }
+        Some(self.rank_of(&n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rank_coords() {
+        let g = CartesianGrid::new(vec![4, 4]);
+        assert_eq!(g.size(), 16);
+        for rank in 0..16 {
+            assert_eq!(g.rank_of(&g.coords_of(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = CartesianGrid::new(vec![2, 3]);
+        assert_eq!(g.coords_of(0), vec![0, 0]);
+        assert_eq!(g.coords_of(1), vec![0, 1]);
+        assert_eq!(g.coords_of(3), vec![1, 0]);
+        assert_eq!(g.rank_of(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn neighbors_clip_at_edges() {
+        let g = CartesianGrid::new(vec![4, 4]);
+        let corner = g.rank_of(&[0, 0]);
+        assert_eq!(g.neighbor(corner, &[-1, 0]), None);
+        assert_eq!(g.neighbor(corner, &[0, -1]), None);
+        assert_eq!(g.neighbor(corner, &[1, 0]), Some(g.rank_of(&[1, 0])));
+        let last = g.rank_of(&[3, 3]);
+        assert_eq!(g.neighbor(last, &[0, 1]), None);
+        assert_eq!(g.neighbor(last, &[-1, 0]), Some(g.rank_of(&[2, 3])));
+    }
+
+    #[test]
+    fn diagonal_neighbor() {
+        let g = CartesianGrid::new(vec![3, 3]);
+        let mid = g.rank_of(&[1, 1]);
+        assert_eq!(g.neighbor(mid, &[1, 1]), Some(g.rank_of(&[2, 2])));
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = CartesianGrid::new(vec![6]);
+        assert_eq!(g.size(), 6);
+        assert_eq!(g.neighbor(2, &[1]), Some(3));
+        assert_eq!(g.neighbor(5, &[1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn bad_rank_panics() {
+        CartesianGrid::new(vec![2, 2]).coords_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_panics() {
+        CartesianGrid::new(vec![2, 0]);
+    }
+}

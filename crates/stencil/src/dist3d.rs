@@ -1,0 +1,565 @@
+//! Distributed execution of the paper's 3-D kernel (§5 layout).
+//!
+//! The processor grid covers the `i×j` cross-section (one block column
+//! per rank); all tiles along `k` stay on their rank. Each pipeline step
+//! processes a tile of height `V` along `k`:
+//!
+//! * **blocking** (`ProcB`): receive the `i−1`/`j−1` faces for the
+//!   current tile, compute, send own faces — serialized, eq. (3);
+//! * **overlapping** (`ProcNB`): post receives for step `k+1` and sends
+//!   of step `k−1` results, compute step `k`, wait — the wire time rides
+//!   under the computation, eq. (4).
+//!
+//! Executors are generic over any [`Communicator`], and the driver
+//! [`run_paper3d_dist`] runs them on the threaded backend, gathering the
+//! blocks into a full [`Grid3D`] for verification.
+
+use crate::grid::Grid3D;
+use crate::kernel::{Kernel3D, Paper3D};
+use msgpass::comm::{Communicator, RecvRequest};
+use msgpass::thread_backend::{run_threads, LatencyModel};
+use msgpass::topology::CartesianGrid;
+use std::time::Duration;
+
+/// Execution style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Blocking receive → compute → send per tile (§3).
+    Blocking,
+    /// Non-blocking pipelined overlap (§4).
+    Overlapping,
+}
+
+/// Domain decomposition of the 3-D experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Decomp3D {
+    /// Global extent along i.
+    pub nx: usize,
+    /// Global extent along j.
+    pub ny: usize,
+    /// Global extent along k (the pipelined dimension).
+    pub nz: usize,
+    /// Processor-grid extent along i.
+    pub pi: usize,
+    /// Processor-grid extent along j.
+    pub pj: usize,
+    /// Tile height `V` along k.
+    pub v: usize,
+    /// Boundary value for out-of-range reads.
+    pub boundary: f32,
+}
+
+impl Decomp3D {
+    /// Validate divisibility and sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err("empty grid".into());
+        }
+        if self.pi == 0 || self.pj == 0 || self.v == 0 {
+            return Err("empty decomposition".into());
+        }
+        if !self.nx.is_multiple_of(self.pi) {
+            return Err(format!("nx = {} not divisible by pi = {}", self.nx, self.pi));
+        }
+        if !self.ny.is_multiple_of(self.pj) {
+            return Err(format!("ny = {} not divisible by pj = {}", self.ny, self.pj));
+        }
+        Ok(())
+    }
+
+    /// Block extent along i.
+    pub fn bx(&self) -> usize {
+        self.nx / self.pi
+    }
+
+    /// Block extent along j.
+    pub fn by(&self) -> usize {
+        self.ny / self.pj
+    }
+
+    /// Number of pipeline steps `⌈nz / V⌉`.
+    pub fn steps(&self) -> usize {
+        self.nz.div_ceil(self.v)
+    }
+
+    /// The k-range of step `k`.
+    fn krange(&self, k: usize) -> (usize, usize) {
+        (k * self.v, ((k + 1) * self.v).min(self.nz))
+    }
+}
+
+/// Per-rank working state for a 3-D kernel.
+struct Block3D {
+    d: Decomp3D,
+    /// Own block, `bx × by × nz`, k fastest.
+    block: Vec<f32>,
+    /// Halo plane `i = own_lo_i − 1`: `by × nz`.
+    halo_i: Vec<f32>,
+    /// Halo plane `j = own_lo_j − 1`: `bx × nz`.
+    halo_j: Vec<f32>,
+    has_left_i: bool,
+    has_left_j: bool,
+    /// Global coordinates of the block origin.
+    gi0: i64,
+    gj0: i64,
+}
+
+impl Block3D {
+    fn new(d: Decomp3D, coords: &[usize]) -> Self {
+        Block3D {
+            d,
+            block: vec![0.0; d.bx() * d.by() * d.nz],
+            halo_i: vec![0.0; d.by() * d.nz],
+            halo_j: vec![0.0; d.bx() * d.nz],
+            has_left_i: coords[0] > 0,
+            has_left_j: coords[1] > 0,
+            gi0: (coords[0] * d.bx()) as i64,
+            gj0: (coords[1] * d.by()) as i64,
+        }
+    }
+
+    #[inline]
+    fn bidx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.d.by() + j) * self.d.nz + k
+    }
+
+    /// Compute one tile (all of the block's cross-section over `krange`).
+    fn compute_tile<K: Kernel3D>(&mut self, kernel: K, k: usize) {
+        let (k0, k1) = self.d.krange(k);
+        let (bx, by) = (self.d.bx(), self.d.by());
+        let nz = self.d.nz;
+        let b = self.d.boundary;
+        for i in 0..bx {
+            for j in 0..by {
+                for kz in k0..k1 {
+                    let im1 = if i > 0 {
+                        self.block[self.bidx(i - 1, j, kz)]
+                    } else if self.has_left_i {
+                        self.halo_i[j * nz + kz]
+                    } else {
+                        b
+                    };
+                    let jm1 = if j > 0 {
+                        self.block[self.bidx(i, j - 1, kz)]
+                    } else if self.has_left_j {
+                        self.halo_j[i * nz + kz]
+                    } else {
+                        b
+                    };
+                    let km1 = if kz > 0 {
+                        self.block[self.bidx(i, j, kz - 1)]
+                    } else {
+                        b
+                    };
+                    let idx = self.bidx(i, j, kz);
+                    self.block[idx] = kernel.eval(
+                        self.gi0 + i as i64,
+                        self.gj0 + j as i64,
+                        kz as i64,
+                        im1,
+                        jm1,
+                        km1,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Extract the outgoing `i`-face (i = bx−1) for step `k`.
+    fn face_i(&self, k: usize) -> Vec<f32> {
+        let (k0, k1) = self.d.krange(k);
+        let i = self.d.bx() - 1;
+        let mut out = Vec::with_capacity(self.d.by() * (k1 - k0));
+        for j in 0..self.d.by() {
+            for kz in k0..k1 {
+                out.push(self.block[self.bidx(i, j, kz)]);
+            }
+        }
+        out
+    }
+
+    /// Extract the outgoing `j`-face (j = by−1) for step `k`.
+    fn face_j(&self, k: usize) -> Vec<f32> {
+        let (k0, k1) = self.d.krange(k);
+        let j = self.d.by() - 1;
+        let mut out = Vec::with_capacity(self.d.bx() * (k1 - k0));
+        for i in 0..self.d.bx() {
+            for kz in k0..k1 {
+                out.push(self.block[self.bidx(i, j, kz)]);
+            }
+        }
+        out
+    }
+
+    /// Install a received `i`-face into the halo.
+    fn store_halo_i(&mut self, k: usize, data: &[f32]) {
+        let (k0, k1) = self.d.krange(k);
+        assert_eq!(data.len(), self.d.by() * (k1 - k0), "i-face size mismatch");
+        let nz = self.d.nz;
+        let mut it = data.iter();
+        for j in 0..self.d.by() {
+            for kz in k0..k1 {
+                self.halo_i[j * nz + kz] = *it.next().expect("size checked");
+            }
+        }
+    }
+
+    /// Install a received `j`-face into the halo.
+    fn store_halo_j(&mut self, k: usize, data: &[f32]) {
+        let (k0, k1) = self.d.krange(k);
+        assert_eq!(data.len(), self.d.bx() * (k1 - k0), "j-face size mismatch");
+        let nz = self.d.nz;
+        let mut it = data.iter();
+        for i in 0..self.d.bx() {
+            for kz in k0..k1 {
+                self.halo_j[i * nz + kz] = *it.next().expect("size checked");
+            }
+        }
+    }
+}
+
+const DIR_I: u64 = 0;
+const DIR_J: u64 = 1;
+
+fn tag(k: usize, dir: u64) -> u64 {
+    (k as u64) * 2 + dir
+}
+
+/// Run one rank's blocking (`ProcB`) execution of any 3-D kernel;
+/// returns its block.
+pub fn rank_blocking_3d<C: Communicator<f32>, K: Kernel3D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+) -> Vec<f32> {
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+    let coords = grid.coords_of(comm.rank());
+    let mut blk = Block3D::new(d, &coords);
+    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
+    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
+    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
+    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
+    for k in 0..d.steps() {
+        if let Some(src) = up_i {
+            let data = comm.recv(src, tag(k, DIR_I));
+            blk.store_halo_i(k, &data);
+        }
+        if let Some(src) = up_j {
+            let data = comm.recv(src, tag(k, DIR_J));
+            blk.store_halo_j(k, &data);
+        }
+        blk.compute_tile(kernel, k);
+        if let Some(dst) = dn_i {
+            comm.send(dst, tag(k, DIR_I), blk.face_i(k));
+        }
+        if let Some(dst) = dn_j {
+            comm.send(dst, tag(k, DIR_J), blk.face_j(k));
+        }
+    }
+    blk.block
+}
+
+/// Run one rank's overlapping (`ProcNB`) execution of any 3-D kernel;
+/// returns its block.
+pub fn rank_overlap_3d<C: Communicator<f32>, K: Kernel3D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+) -> Vec<f32> {
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+    let coords = grid.coords_of(comm.rank());
+    let mut blk = Block3D::new(d, &coords);
+    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
+    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
+    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
+    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
+    let steps = d.steps();
+
+    let post_recvs = |comm: &mut C, k: usize| -> Vec<(u64, RecvRequest)> {
+        let mut reqs = Vec::new();
+        if let Some(src) = up_i {
+            reqs.push((DIR_I, comm.irecv(src, tag(k, DIR_I))));
+        }
+        if let Some(src) = up_j {
+            reqs.push((DIR_J, comm.irecv(src, tag(k, DIR_J))));
+        }
+        reqs
+    };
+
+    // Prologue: receives for step 0.
+    let mut cur_recvs = post_recvs(comm, 0);
+    for k in 0..steps {
+        // Post receives for the next tile…
+        let next_recvs = if k + 1 < steps {
+            post_recvs(comm, k + 1)
+        } else {
+            Vec::new()
+        };
+        // …and sends of the previous tile's results.
+        let mut send_reqs = Vec::new();
+        if k >= 1 {
+            if let Some(dst) = dn_i {
+                send_reqs.push(comm.isend(dst, tag(k - 1, DIR_I), blk.face_i(k - 1)));
+            }
+            if let Some(dst) = dn_j {
+                send_reqs.push(comm.isend(dst, tag(k - 1, DIR_J), blk.face_j(k - 1)));
+            }
+        }
+        // Wait for this tile's inputs, then compute.
+        for (dir, req) in cur_recvs.drain(..) {
+            let data = comm.wait_recv(req);
+            if dir == DIR_I {
+                blk.store_halo_i(k, &data);
+            } else {
+                blk.store_halo_j(k, &data);
+            }
+        }
+        blk.compute_tile(kernel, k);
+        for req in send_reqs {
+            comm.wait_send(req);
+        }
+        cur_recvs = next_recvs;
+    }
+    // Epilogue: ship the last tile's faces.
+    let mut send_reqs = Vec::new();
+    if let Some(dst) = dn_i {
+        send_reqs.push(comm.isend(dst, tag(steps - 1, DIR_I), blk.face_i(steps - 1)));
+    }
+    if let Some(dst) = dn_j {
+        send_reqs.push(comm.isend(dst, tag(steps - 1, DIR_J), blk.face_j(steps - 1)));
+    }
+    for req in send_reqs {
+        comm.wait_send(req);
+    }
+    blk.block
+}
+
+/// Run a full distributed 3-D kernel on the threaded backend and gather
+/// the result. Returns the assembled grid and the wall-clock time of the
+/// parallel region.
+pub fn run_dist3d<K: Kernel3D>(
+    kernel: K,
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> (Grid3D, Duration) {
+    d.validate().expect("invalid decomposition");
+    let ranks = d.pi * d.pj;
+    let (blocks, elapsed) = run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| {
+        match mode {
+            ExecMode::Blocking => rank_blocking_3d(&mut comm, kernel, d),
+            ExecMode::Overlapping => rank_overlap_3d(&mut comm, kernel, d),
+        }
+    });
+    // Assemble.
+    let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
+    let mut out = Grid3D::new(d.nx, d.ny, d.nz, 0.0, d.boundary);
+    let (bx, by) = (d.bx(), d.by());
+    for (rank, block) in blocks.iter().enumerate() {
+        let c = grid_topo.coords_of(rank);
+        for i in 0..bx {
+            for j in 0..by {
+                for k in 0..d.nz {
+                    out.set(
+                        c[0] * bx + i,
+                        c[1] * by + j,
+                        k,
+                        block[(i * by + j) * d.nz + k],
+                    );
+                }
+            }
+        }
+    }
+    (out, elapsed)
+}
+
+/// [`run_dist3d`] specialized to the paper's √ kernel.
+pub fn run_paper3d_dist(
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> (Grid3D, Duration) {
+    run_dist3d(Paper3D, d, latency, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{LongestPath3D, Relax3D};
+    use crate::seq::{run_paper3d_seq, run_seq3d};
+
+    fn check_matches_seq(d: Decomp3D, mode: ExecMode) {
+        let (dist, _) = run_paper3d_dist(d, LatencyModel::zero(), mode);
+        let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+        assert_eq!(
+            dist.max_abs_diff(&seq),
+            0.0,
+            "distributed result differs ({mode:?}, {d:?})"
+        );
+    }
+
+    #[test]
+    fn blocking_matches_sequential_2x2() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 8,
+                ny: 8,
+                nz: 32,
+                pi: 2,
+                pj: 2,
+                v: 8,
+                boundary: 1.0,
+            },
+            ExecMode::Blocking,
+        );
+    }
+
+    #[test]
+    fn overlap_matches_sequential_2x2() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 8,
+                ny: 8,
+                nz: 32,
+                pi: 2,
+                pj: 2,
+                v: 8,
+                boundary: 1.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
+    fn overlap_matches_sequential_4x4() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 8,
+                ny: 8,
+                nz: 24,
+                pi: 4,
+                pj: 4,
+                v: 5, // non-dividing V: last tile is partial
+                boundary: 2.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
+    fn blocking_matches_sequential_asymmetric() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 6,
+                ny: 4,
+                nz: 17,
+                pi: 3,
+                pj: 2,
+                v: 4,
+                boundary: 0.5,
+            },
+            ExecMode::Blocking,
+        );
+    }
+
+    #[test]
+    fn single_rank_trivial() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 4,
+                ny: 4,
+                nz: 16,
+                pi: 1,
+                pj: 1,
+                v: 4,
+                boundary: 1.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
+    fn v_equal_nz_single_step() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 4,
+                ny: 4,
+                nz: 8,
+                pi: 2,
+                pj: 2,
+                v: 8,
+                boundary: 1.0,
+            },
+            ExecMode::Blocking,
+        );
+    }
+
+    #[test]
+    fn v_one_fine_grain() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 4,
+                ny: 4,
+                nz: 6,
+                pi: 2,
+                pj: 2,
+                v: 1,
+                boundary: 1.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
+    fn generic_kernels_match_sequential() {
+        let d = Decomp3D {
+            nx: 6,
+            ny: 6,
+            nz: 20,
+            pi: 2,
+            pj: 3,
+            v: 6,
+            boundary: 1.0,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let (dist, _) = run_dist3d(Relax3D::default(), d, LatencyModel::zero(), mode);
+            let seq = run_seq3d(Relax3D::default(), d.nx, d.ny, d.nz, d.boundary);
+            assert_eq!(dist.max_abs_diff(&seq), 0.0, "Relax3D {mode:?}");
+
+            let (dist, _) = run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode);
+            let seq = run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary);
+            assert_eq!(dist.max_abs_diff(&seq), 0.0, "LongestPath3D {mode:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_decomp() {
+        let d = Decomp3D {
+            nx: 7,
+            ny: 8,
+            nz: 8,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 0.0,
+        };
+        assert!(d.validate().is_err());
+        let d2 = Decomp3D { v: 0, ..d };
+        assert!(d2.validate().is_err());
+    }
+
+    #[test]
+    fn steps_rounding() {
+        let d = Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 10,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 0.0,
+        };
+        assert_eq!(d.steps(), 3);
+        assert_eq!(d.krange(2), (8, 10));
+    }
+}

@@ -1,0 +1,225 @@
+//! Dense 2-D and 3-D grids of `f32` values.
+//!
+//! These hold the arrays the paper's kernels update. Out-of-range reads
+//! return a configurable boundary value (the experiments' arrays are
+//! fully determined by their boundary: every interior cell is
+//! recomputed from already-recomputed neighbors).
+
+/// A dense row-major 2-D grid.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid2D {
+    nx: usize,
+    ny: usize,
+    data: Vec<f32>,
+    boundary: f32,
+}
+
+impl Grid2D {
+    /// An `nx × ny` grid filled with `fill`, with out-of-range reads
+    /// yielding `boundary`.
+    pub fn new(nx: usize, ny: usize, fill: f32, boundary: f32) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        Grid2D {
+            nx,
+            ny,
+            data: vec![fill; nx * ny],
+            boundary,
+        }
+    }
+
+    /// Extent along i.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Extent along j.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The boundary value returned by out-of-range [`Self::get`]s.
+    pub fn boundary(&self) -> f32 {
+        self.boundary
+    }
+
+    /// Read `(i, j)`; out-of-range returns the boundary value.
+    #[inline]
+    pub fn get(&self, i: i64, j: i64) -> f32 {
+        if i < 0 || j < 0 || i >= self.nx as i64 || j >= self.ny as i64 {
+            self.boundary
+        } else {
+            self.data[i as usize * self.ny + j as usize]
+        }
+    }
+
+    /// Write `(i, j)` (must be in range).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        assert!(i < self.nx && j < self.ny, "grid write out of range");
+        self.data[i * self.ny + j] = v;
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute difference to another grid of the same shape.
+    pub fn max_abs_diff(&self, other: &Grid2D) -> f32 {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// A dense 3-D grid, `k` fastest (matching the paper's `A(i,j,k)` sweep).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid3D {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<f32>,
+    boundary: f32,
+}
+
+impl Grid3D {
+    /// An `nx × ny × nz` grid filled with `fill`.
+    pub fn new(nx: usize, ny: usize, nz: usize, fill: f32, boundary: f32) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid must be non-empty");
+        Grid3D {
+            nx,
+            ny,
+            nz,
+            data: vec![fill; nx * ny * nz],
+            boundary,
+        }
+    }
+
+    /// Extent along i.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Extent along j.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Extent along k.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// The boundary value.
+    pub fn boundary(&self) -> f32 {
+        self.boundary
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.ny + j) * self.nz + k
+    }
+
+    /// Read `(i, j, k)`; out-of-range returns the boundary value.
+    #[inline]
+    pub fn get(&self, i: i64, j: i64, k: i64) -> f32 {
+        if i < 0
+            || j < 0
+            || k < 0
+            || i >= self.nx as i64
+            || j >= self.ny as i64
+            || k >= self.nz as i64
+        {
+            self.boundary
+        } else {
+            self.data[self.idx(i as usize, j as usize, k as usize)]
+        }
+    }
+
+    /// Write `(i, j, k)` (must be in range).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f32) {
+        assert!(
+            i < self.nx && j < self.ny && k < self.nz,
+            "grid write out of range"
+        );
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Raw data (row-major, k fastest).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute difference to another grid of the same shape.
+    pub fn max_abs_diff(&self, other: &Grid3D) -> f32 {
+        assert_eq!(
+            (self.nx, self.ny, self.nz),
+            (other.nx, other.ny, other.nz),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_basics() {
+        let mut g = Grid2D::new(3, 4, 0.0, 1.5);
+        g.set(1, 2, 7.0);
+        assert_eq!(g.get(1, 2), 7.0);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(-1, 0), 1.5);
+        assert_eq!(g.get(0, 4), 1.5);
+        assert_eq!(g.get(3, 0), 1.5);
+        assert_eq!(g.nx(), 3);
+        assert_eq!(g.ny(), 4);
+    }
+
+    #[test]
+    fn grid3d_basics() {
+        let mut g = Grid3D::new(2, 3, 4, 0.0, -1.0);
+        g.set(1, 2, 3, 9.0);
+        assert_eq!(g.get(1, 2, 3), 9.0);
+        assert_eq!(g.get(2, 0, 0), -1.0);
+        assert_eq!(g.get(0, 0, -1), -1.0);
+        assert_eq!(g.data().len(), 24);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Grid2D::new(2, 2, 1.0, 0.0);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(1, 1, 3.5);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_out_of_range_panics() {
+        Grid2D::new(2, 2, 0.0, 0.0).set(2, 0, 1.0);
+    }
+
+    #[test]
+    fn k_fastest_layout() {
+        let mut g = Grid3D::new(2, 2, 2, 0.0, 0.0);
+        g.set(0, 0, 1, 1.0);
+        g.set(0, 1, 0, 2.0);
+        g.set(1, 0, 0, 3.0);
+        assert_eq!(g.data()[1], 1.0);
+        assert_eq!(g.data()[2], 2.0);
+        assert_eq!(g.data()[4], 3.0);
+    }
+}

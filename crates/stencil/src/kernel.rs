@@ -1,0 +1,289 @@
+//! Stencil kernels: the paper's workloads plus further uniform-
+//! dependence recurrences that exercise the same tiled pipelines.
+//!
+//! All kernels are *single-assignment wavefront* recurrences — each cell
+//! is written exactly once from already-final upstream values — so every
+//! distributed execution is **bitwise** identical to the sequential one
+//! regardless of interleaving ([`crate::verify`] checks exact equality).
+//!
+//! 2-D kernels see the upstream values `(diag, im1, jm1)` =
+//! `A(i−1,j−1), A(i−1,j), A(i,j−1)` (dependences ⊆ {(1,1),(1,0),(0,1)});
+//! 3-D kernels see `(im1, jm1, km1)` (dependences {e₁,e₂,e₃}). Both also
+//! receive the global cell coordinates, enabling data-dependent
+//! recurrences like LCS-style dynamic programming.
+
+use tiling_core::dependence::DependenceSet;
+
+/// A 2-D wavefront kernel with dependences ⊆ `{(1,1),(1,0),(0,1)}`.
+pub trait Kernel2D: Copy + Send + Sync + 'static {
+    /// Compute the value of cell `(i, j)` from its upstream values.
+    fn eval(&self, i: i64, j: i64, diag: f32, im1: f32, jm1: f32) -> f32;
+
+    /// The kernel's dependence set (defaults to the full triple).
+    fn deps(&self) -> DependenceSet {
+        DependenceSet::example_1()
+    }
+}
+
+/// A 3-D wavefront kernel with dependences `{e₁, e₂, e₃}`.
+pub trait Kernel3D: Copy + Send + Sync + 'static {
+    /// Compute the value of cell `(i, j, k)` from its upstream values.
+    fn eval(&self, i: i64, j: i64, k: i64, im1: f32, jm1: f32, km1: f32) -> f32;
+
+    /// The kernel's dependence set.
+    fn deps(&self) -> DependenceSet {
+        DependenceSet::paper_3d()
+    }
+}
+
+/// The 3-point √ kernel of the paper's experiments (§5):
+/// `A(i,j,k) = √A(i−1,j,k) + √A(i,j−1,k) + √A(i,j,k−1)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Paper3D;
+
+impl Paper3D {
+    /// Apply the update given the three upstream values (coordinate-free
+    /// convenience used by the hand-written fast paths and tests).
+    #[inline]
+    pub fn eval(a_im1: f32, a_jm1: f32, a_km1: f32) -> f32 {
+        a_im1.max(0.0).sqrt() + a_jm1.max(0.0).sqrt() + a_km1.max(0.0).sqrt()
+    }
+
+    /// The dependence set `{e₁, e₂, e₃}`.
+    pub fn deps() -> DependenceSet {
+        DependenceSet::paper_3d()
+    }
+}
+
+impl Kernel3D for Paper3D {
+    #[inline]
+    fn eval(&self, _i: i64, _j: i64, _k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
+        Paper3D::eval(im1, jm1, km1)
+    }
+}
+
+/// A damped 3-D smoothing recurrence (successive-relaxation flavour):
+/// `A = ω/3 · (A_{i−1} + A_{j−1} + A_{k−1})` with `ω < 1` for stability.
+#[derive(Clone, Copy, Debug)]
+pub struct Relax3D {
+    /// Relaxation factor in `(0, 1]`.
+    pub omega: f32,
+}
+
+impl Default for Relax3D {
+    fn default() -> Self {
+        Relax3D { omega: 0.9 }
+    }
+}
+
+impl Kernel3D for Relax3D {
+    #[inline]
+    fn eval(&self, _i: i64, _j: i64, _k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
+        self.omega / 3.0 * (im1 + jm1 + km1)
+    }
+}
+
+/// A max-plus "longest path through a 3-D lattice" recurrence:
+/// `A = max(im1, jm1, km1) + w(i,j,k)` with a deterministic pseudo-
+/// random cell weight — the 3-D analogue of sequence-alignment DP.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LongestPath3D;
+
+/// A tiny deterministic hash → `[0, 1)` weight (SplitMix64 finalizer).
+#[inline]
+pub fn cell_weight(i: i64, j: i64, k: i64) -> f32 {
+    let mut z = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((k as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    ((z >> 40) as f32) / ((1u64 << 24) as f32)
+}
+
+impl Kernel3D for LongestPath3D {
+    #[inline]
+    fn eval(&self, i: i64, j: i64, k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
+        im1.max(jm1).max(km1) + cell_weight(i, j, k)
+    }
+}
+
+/// The 2-D kernel of Example 1 (§3), damped so long sweeps stay finite
+/// in `f32` (the dependence structure — the only thing the schedule
+/// cares about — is unchanged).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Example1;
+
+impl Example1 {
+    /// Apply the update given the three upstream values.
+    #[inline]
+    pub fn eval(a_diag: f32, a_im1: f32, a_jm1: f32) -> f32 {
+        0.25 * (a_diag + a_im1 + a_jm1)
+    }
+
+    /// The dependence set `{(1,1), (1,0), (0,1)}`.
+    pub fn deps() -> DependenceSet {
+        DependenceSet::example_1()
+    }
+}
+
+impl Kernel2D for Example1 {
+    #[inline]
+    fn eval(&self, _i: i64, _j: i64, diag: f32, im1: f32, jm1: f32) -> f32 {
+        Example1::eval(diag, im1, jm1)
+    }
+}
+
+/// LCS-style sequence-alignment dynamic programming:
+/// `A(i,j) = max(diag + match(i,j), im1, jm1)` where `match` is 1 when
+/// two deterministic pseudo-random sequences agree at `(i, j)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Alignment2D {
+    /// Alphabet size of the synthetic sequences (≥ 1; smaller = more
+    /// matches).
+    pub alphabet: u32,
+}
+
+impl Default for Alignment2D {
+    fn default() -> Self {
+        Alignment2D { alphabet: 4 }
+    }
+}
+
+impl Alignment2D {
+    #[inline]
+    fn symbol(seed: u64, idx: i64, alphabet: u32) -> u32 {
+        let mut z = (idx as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed);
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z ^= z >> 32;
+        (z % u64::from(alphabet.max(1))) as u32
+    }
+}
+
+impl Kernel2D for Alignment2D {
+    #[inline]
+    fn eval(&self, i: i64, j: i64, diag: f32, im1: f32, jm1: f32) -> f32 {
+        let m = Self::symbol(0xA5A5, i, self.alphabet) == Self::symbol(0x5A5A, j, self.alphabet);
+        let with_match = diag + if m { 1.0 } else { 0.0 };
+        with_match.max(im1).max(jm1)
+    }
+}
+
+/// A 2-D smoothing recurrence using only the axis dependences
+/// `{(1,0), (0,1)}` (Gauss–Seidel sweep flavour).
+#[derive(Clone, Copy, Debug)]
+pub struct Smooth2D {
+    /// Relaxation factor in `(0, 1]`.
+    pub omega: f32,
+}
+
+impl Default for Smooth2D {
+    fn default() -> Self {
+        Smooth2D { omega: 0.8 }
+    }
+}
+
+impl Kernel2D for Smooth2D {
+    #[inline]
+    fn eval(&self, _i: i64, _j: i64, _diag: f32, im1: f32, jm1: f32) -> f32 {
+        self.omega * 0.5 * (im1 + jm1)
+    }
+
+    fn deps(&self) -> DependenceSet {
+        DependenceSet::from_vectors(2, vec![vec![1, 0], vec![0, 1]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper3d_deps() {
+        let d = Paper3D::deps();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dims(), 3);
+    }
+
+    #[test]
+    fn paper3d_eval() {
+        assert_eq!(Paper3D::eval(4.0, 9.0, 16.0), 2.0 + 3.0 + 4.0);
+        assert_eq!(Paper3D::eval(0.0, 0.0, 0.0), 0.0);
+        // Negative guards (can't feed NaNs into the pipeline).
+        assert_eq!(Paper3D::eval(-1.0, 4.0, 0.0), 2.0);
+        // Trait form agrees with the inherent form.
+        let k = Paper3D;
+        assert_eq!(Kernel3D::eval(&k, 5, 6, 7, 4.0, 9.0, 16.0), 9.0);
+    }
+
+    #[test]
+    fn example1_eval() {
+        assert_eq!(Example1::eval(4.0, 8.0, 4.0), 4.0);
+        assert_eq!(Example1::eval(0.0, 0.0, 0.0), 0.0);
+        let k = Example1;
+        assert_eq!(Kernel2D::eval(&k, 1, 2, 4.0, 8.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn example1_bounded_on_constant_boundary() {
+        let mut v = 1000.0f32;
+        for _ in 0..100 {
+            v = Example1::eval(v, v, v);
+        }
+        assert!(v < 1.0);
+    }
+
+    #[test]
+    fn relax3d_is_contraction() {
+        let k = Relax3D::default();
+        let v = Kernel3D::eval(&k, 0, 0, 0, 1.0, 1.0, 1.0);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    #[test]
+    fn longest_path_monotone() {
+        let k = LongestPath3D;
+        let a = Kernel3D::eval(&k, 1, 2, 3, 5.0, 1.0, 2.0);
+        assert!((5.0..6.0).contains(&a));
+    }
+
+    #[test]
+    fn cell_weight_deterministic_and_bounded() {
+        for (i, j, k) in [(0, 0, 0), (5, 7, 11), (100, -3, 2)] {
+            let w = cell_weight(i, j, k);
+            assert_eq!(w, cell_weight(i, j, k));
+            assert!((0.0..1.0).contains(&w), "{w}");
+        }
+        assert_ne!(cell_weight(1, 2, 3), cell_weight(3, 2, 1));
+    }
+
+    #[test]
+    fn alignment_match_increments_diagonal() {
+        let k = Alignment2D { alphabet: 1 }; // everything matches
+        let v = Kernel2D::eval(&k, 3, 4, 2.0, 1.0, 1.0);
+        assert_eq!(v, 3.0);
+        // Score is non-decreasing in all inputs.
+        assert!(Kernel2D::eval(&k, 3, 4, 2.0, 5.0, 1.0) >= v);
+    }
+
+    #[test]
+    fn smooth2d_ignores_diagonal_and_declares_axis_deps() {
+        let k = Smooth2D::default();
+        assert_eq!(
+            Kernel2D::eval(&k, 0, 0, 1e9, 1.0, 1.0),
+            Kernel2D::eval(&k, 0, 0, -1e9, 1.0, 1.0)
+        );
+        assert_eq!(k.deps().len(), 2);
+    }
+
+    #[test]
+    fn example1_deps() {
+        let d = Example1::deps();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dims(), 2);
+    }
+}

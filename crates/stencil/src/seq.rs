@@ -1,0 +1,156 @@
+//! Sequential reference executors.
+//!
+//! These run the kernels in the original (untiled) lexicographic loop
+//! order on one core. The distributed executors must produce bitwise
+//! identical grids.
+
+use crate::grid::{Grid2D, Grid3D};
+use crate::kernel::{Example1, Kernel2D, Kernel3D, Paper3D};
+
+/// Run any 3-D wavefront kernel sequentially; returns the final grid.
+pub fn run_seq3d<K: Kernel3D>(
+    kernel: K,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    boundary: f32,
+) -> Grid3D {
+    let mut g = Grid3D::new(nx, ny, nz, 0.0, boundary);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let v = kernel.eval(
+                    i as i64,
+                    j as i64,
+                    k as i64,
+                    g.get(i as i64 - 1, j as i64, k as i64),
+                    g.get(i as i64, j as i64 - 1, k as i64),
+                    g.get(i as i64, j as i64, k as i64 - 1),
+                );
+                g.set(i, j, k, v);
+            }
+        }
+    }
+    g
+}
+
+/// Run any 2-D wavefront kernel sequentially.
+pub fn run_seq2d<K: Kernel2D>(kernel: K, nx: usize, ny: usize, boundary: f32) -> Grid2D {
+    let mut g = Grid2D::new(nx, ny, 0.0, boundary);
+    for i in 0..nx {
+        for j in 0..ny {
+            let v = kernel.eval(
+                i as i64,
+                j as i64,
+                g.get(i as i64 - 1, j as i64 - 1),
+                g.get(i as i64 - 1, j as i64),
+                g.get(i as i64, j as i64 - 1),
+            );
+            g.set(i, j, v);
+        }
+    }
+    g
+}
+
+/// Run the paper's 3-D kernel sequentially on an `nx × ny × nz` grid
+/// with the given boundary value; returns the final grid.
+pub fn run_paper3d_seq(nx: usize, ny: usize, nz: usize, boundary: f32) -> Grid3D {
+    run_seq3d(Paper3D, nx, ny, nz, boundary)
+}
+
+/// Run the Example 1 kernel sequentially on an `nx × ny` grid.
+pub fn run_example1_seq(nx: usize, ny: usize, boundary: f32) -> Grid2D {
+    run_seq2d(Example1, nx, ny, boundary)
+}
+
+/// Measure `t_c` the way the paper did (§5): run a batch of kernel
+/// iterations on one core and divide wall time by the iteration count.
+/// Returns microseconds per iteration.
+pub fn measure_t_c_paper3d(iterations: usize) -> f64 {
+    assert!(iterations > 0);
+    let n = (iterations as f64).cbrt().ceil() as usize;
+    let start = std::time::Instant::now();
+    let g = run_paper3d_seq(n, n, n, 1.0);
+    let elapsed = start.elapsed().as_secs_f64() * 1e6;
+    std::hint::black_box(g.get(0, 0, 0));
+    elapsed / (n * n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Alignment2D, LongestPath3D, Relax3D, Smooth2D};
+
+    #[test]
+    fn paper3d_small_values() {
+        // Boundary 1.0: A(0,0,0) = 3·√1 = 3.
+        let g = run_paper3d_seq(2, 2, 2, 1.0);
+        assert_eq!(g.get(0, 0, 0), 3.0);
+        // A(0,0,1) = √1 + √1 + √3.
+        assert_eq!(g.get(0, 0, 1), 2.0 + 3.0f32.sqrt());
+    }
+
+    #[test]
+    fn paper3d_zero_boundary_is_all_zero() {
+        let g = run_paper3d_seq(3, 3, 3, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn example1_small_values() {
+        // Boundary 4.0: A(0,0) = 0.25·(4+4+4) = 3.
+        let g = run_example1_seq(2, 2, 4.0);
+        assert_eq!(g.get(0, 0), 3.0);
+        assert_eq!(g.get(0, 1), 2.75);
+        assert_eq!(g.get(1, 1), 0.25 * (3.0 + 2.75 + 2.75));
+    }
+
+    #[test]
+    fn values_stay_finite() {
+        let g = run_paper3d_seq(8, 8, 32, 1.0);
+        assert!(g.data().iter().all(|x| x.is_finite()));
+        let g2 = run_example1_seq(64, 64, 1.0);
+        assert!(g2.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn t_c_measurement_positive() {
+        let t = measure_t_c_paper3d(1000);
+        assert!(t > 0.0 && t < 1e4, "t_c = {t} µs");
+    }
+
+    #[test]
+    fn relax3d_contracts_towards_zero() {
+        let g = run_seq3d(Relax3D::default(), 4, 4, 32, 1.0);
+        // Deep in the sweep the value has decayed well below boundary.
+        assert!(g.get(3, 3, 31) < 1.0);
+        assert!(g.data().iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn longest_path_is_monotone_along_axes() {
+        let g = run_seq3d(LongestPath3D, 4, 4, 8, 0.0);
+        // Path scores never decrease along k (each step adds ≥ 0).
+        for k in 1..8 {
+            assert!(g.get(3, 3, k) >= g.get(3, 3, k - 1));
+        }
+    }
+
+    #[test]
+    fn alignment_scores_are_plausible_lcs() {
+        // With alphabet 1, every cell matches: score = min(i, j) + 1
+        // (classical LCS of identical sequences).
+        let g = run_seq2d(Alignment2D { alphabet: 1 }, 6, 9, 0.0);
+        for i in 0..6i64 {
+            for j in 0..9i64 {
+                assert_eq!(g.get(i, j), (i.min(j) + 1) as f32, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth2d_decays() {
+        let g = run_seq2d(Smooth2D::default(), 16, 16, 1.0);
+        assert!(g.get(15, 15) < g.get(0, 0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Verification helpers: distributed runs must be **bitwise** equal to
+//! the sequential reference (each cell is written once from final
+//! neighbor values, so float non-associativity cannot creep in).
+
+use crate::dist2d::{run_example1_dist, Decomp2D};
+use crate::dist3d::{run_paper3d_dist, Decomp3D, ExecMode};
+use crate::seq::{run_example1_seq, run_paper3d_seq};
+use msgpass::thread_backend::LatencyModel;
+
+/// Outcome of a verification run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VerifyReport {
+    /// Maximum absolute difference (0.0 for a pass).
+    pub max_abs_diff: f32,
+    /// Wall-clock seconds of the distributed run.
+    pub elapsed_secs: f64,
+}
+
+impl VerifyReport {
+    /// True iff the distributed run is bitwise identical.
+    pub fn passed(&self) -> bool {
+        self.max_abs_diff == 0.0
+    }
+}
+
+/// Verify a 3-D decomposition in the given mode against the sequential
+/// reference.
+pub fn verify_paper3d(d: Decomp3D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
+    let (dist, elapsed) = run_paper3d_dist(d, latency, mode);
+    let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+    VerifyReport {
+        max_abs_diff: dist.max_abs_diff(&seq),
+        elapsed_secs: elapsed.as_secs_f64(),
+    }
+}
+
+/// Verify a 2-D decomposition in the given mode.
+pub fn verify_example1(d: Decomp2D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
+    let (dist, elapsed) = run_example1_dist(d, latency, mode);
+    let seq = run_example1_seq(d.nx, d.ny, d.boundary);
+    VerifyReport {
+        max_abs_diff: dist.max_abs_diff(&seq),
+        elapsed_secs: elapsed.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_3d_both_modes() {
+        let d = Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 20,
+            pi: 2,
+            pj: 2,
+            v: 5,
+            boundary: 1.0,
+        };
+        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Blocking).passed());
+        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping).passed());
+    }
+
+    #[test]
+    fn verify_2d_both_modes() {
+        let d = Decomp2D {
+            nx: 30,
+            ny: 8,
+            ranks: 4,
+            v: 7,
+            boundary: 2.0,
+        };
+        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Blocking).passed());
+        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Overlapping).passed());
+    }
+
+    #[test]
+    fn verify_with_injected_latency_still_correct() {
+        // Latency changes timing, never results.
+        let lat = LatencyModel {
+            startup_us: 200.0,
+            per_byte_us: 0.01,
+        };
+        let d = Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 12,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 1.0,
+        };
+        assert!(verify_paper3d(d, lat, ExecMode::Overlapping).passed());
+    }
+
+    #[test]
+    fn report_fields() {
+        let d = Decomp2D {
+            nx: 8,
+            ny: 4,
+            ranks: 2,
+            v: 4,
+            boundary: 1.0,
+        };
+        let r = verify_example1(d, LatencyModel::zero(), ExecMode::Blocking);
+        assert!(r.passed());
+        assert!(r.elapsed_secs >= 0.0);
+    }
+}

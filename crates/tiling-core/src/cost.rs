@@ -1,0 +1,210 @@
+//! Computation and communication cost of a tile (§2.4).
+//!
+//! * `V_comp = det(P)` — iteration points per tile.
+//! * Formula (1): total communication of a tile over **all** boundary
+//!   surfaces,
+//!   `V_comm(H) = (1/|det H|) · Σ_i Σ_k Σ_j h_{i,k} d_{k,j}`,
+//!   i.e. `det(P)` times the sum of all entries of `H·D`. Each term
+//!   `det(P)·(h_i · d_j)` counts the iteration points from which
+//!   dependence `d_j` crosses the tile boundary family `i`.
+//! * Formula (2): the same sum with the row of `H` normal to the
+//!   processor-mapping dimension removed — tiles along that dimension run
+//!   on the same processor, so those crossings are free.
+
+use crate::dependence::DependenceSet;
+use crate::rational::Rational;
+use crate::tiling::Tiling;
+
+/// `V_comp = |det P|`: the computation volume (iteration points) of one tile.
+pub fn v_comp(tiling: &Tiling) -> i64 {
+    tiling.volume()
+}
+
+/// Communication volume of dependence `d` through boundary family `i`:
+/// `det(P) · (h_i · d)`, exact.
+pub fn v_comm_surface(tiling: &Tiling, dep: &[i64], surface: usize) -> Rational {
+    let h = tiling.h();
+    assert!(surface < h.rows(), "surface index out of range");
+    assert_eq!(dep.len(), h.cols(), "dependence arity mismatch");
+    let dot = h
+        .row(surface)
+        .iter()
+        .zip(dep)
+        .fold(Rational::ZERO, |acc, (&hk, &dk)| {
+            acc + hk * Rational::from_int(dk as i128)
+        });
+    dot * Rational::from_int(tiling.volume() as i128)
+}
+
+/// Formula (1): total communication volume of a tile, all surfaces.
+pub fn v_comm_total(tiling: &Tiling, deps: &DependenceSet) -> Rational {
+    let mut sum = Rational::ZERO;
+    for d in deps.iter() {
+        for i in 0..tiling.dims() {
+            sum += v_comm_surface(tiling, d.components(), i);
+        }
+    }
+    sum
+}
+
+/// Formula (2): communication volume when tiles along `mapping_dim` are
+/// mapped to the same processor — that dimension's surface is excluded.
+pub fn v_comm_mapped(tiling: &Tiling, deps: &DependenceSet, mapping_dim: usize) -> Rational {
+    assert!(mapping_dim < tiling.dims(), "mapping dimension out of range");
+    let mut sum = Rational::ZERO;
+    for d in deps.iter() {
+        for i in 0..tiling.dims() {
+            if i == mapping_dim {
+                continue;
+            }
+            sum += v_comm_surface(tiling, d.components(), i);
+        }
+    }
+    sum
+}
+
+/// Communication volume through a *single* boundary family `i`, summed
+/// over all dependences: the number of iteration points whose results
+/// must be shipped to the neighbor tile in direction `i` (one message).
+pub fn v_comm_per_dimension(tiling: &Tiling, deps: &DependenceSet, dim: usize) -> Rational {
+    let mut sum = Rational::ZERO;
+    for d in deps.iter() {
+        sum += v_comm_surface(tiling, d.components(), dim);
+    }
+    sum
+}
+
+/// Message payload in bytes for the neighbor in direction `dim`, at `b`
+/// bytes per array element.
+pub fn message_bytes(tiling: &Tiling, deps: &DependenceSet, dim: usize, bytes_per_elem: u32) -> f64 {
+    v_comm_per_dimension(tiling, deps, dim).to_f64() * f64::from(bytes_per_elem)
+}
+
+/// Brute-force oracle for formula (1): for each dependence `d` and each
+/// boundary family `i`, count the points `j0` of the origin tile for which
+/// `j0 + d` lands in a tile with `⌊H(j0+d)⌋_i ≥ 1`. Exact under the
+/// containment assumption; used to validate the closed formulas in tests.
+pub fn v_comm_total_bruteforce(tiling: &Tiling, deps: &DependenceSet) -> i64 {
+    let domain = tiling.fundamental_domain();
+    let mut count = 0i64;
+    for d in deps.iter() {
+        for j0 in &domain {
+            let shifted: Vec<i64> = j0
+                .iter()
+                .zip(d.components())
+                .map(|(&a, &b)| a + b)
+                .collect();
+            let t = tiling.tile_of(&shifted);
+            count += t.iter().filter(|&&c| c >= 1).count() as i64;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_paper_values() {
+        // §3 Example 1: square 10×10 tiles, D = {(1,1),(1,0),(0,1)}.
+        let t = Tiling::rectangular(&[10, 10]);
+        let d = DependenceSet::example_1();
+        assert_eq!(v_comp(&t), 100);
+        // Formula (1): total = 40; formula (2) with mapping along i1: 20.
+        assert_eq!(v_comm_total(&t, &d), Rational::from_int(40));
+        assert_eq!(v_comm_mapped(&t, &d, 0), Rational::from_int(20));
+    }
+
+    #[test]
+    fn paper_3d_packet_sizes() {
+        // §5 experiment i: tile 4×4×444, b = 4 bytes.
+        // Face perpendicular to i (or j) carries 4·444 = 1776 elements
+        // = 7104 bytes, the paper's measured packet size.
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        let d = DependenceSet::paper_3d();
+        assert_eq!(v_comm_per_dimension(&t, &d, 0), Rational::from_int(1776));
+        assert_eq!(v_comm_per_dimension(&t, &d, 1), Rational::from_int(1776));
+        assert_eq!(message_bytes(&t, &d, 0, 4), 7104.0);
+        // Mapping along k (dim 2): only i and j faces communicate.
+        assert_eq!(v_comm_mapped(&t, &d, 2), Rational::from_int(2 * 1776));
+    }
+
+    #[test]
+    fn experiment_ii_and_iii_packets() {
+        let d = DependenceSet::paper_3d();
+        let t2 = Tiling::rectangular(&[4, 4, 538]);
+        assert_eq!(message_bytes(&t2, &d, 0, 4), 8608.0);
+        let t3 = Tiling::rectangular(&[8, 8, 164]);
+        assert_eq!(message_bytes(&t3, &d, 0, 4), 5248.0);
+    }
+
+    #[test]
+    fn formula_matches_bruteforce_rectangular() {
+        let t = Tiling::rectangular(&[10, 10]);
+        let d = DependenceSet::example_1();
+        let brute = v_comm_total_bruteforce(&t, &d);
+        assert_eq!(v_comm_total(&t, &d), Rational::from_int(brute as i128));
+    }
+
+    #[test]
+    fn formula_matches_bruteforce_various_shapes() {
+        let cases = [
+            (vec![4i64, 4], vec![vec![1, 0], vec![0, 1]]),
+            (vec![5, 3], vec![vec![1, 1], vec![1, 0]]),
+            (vec![2, 2, 3], vec![vec![1, 0, 0], vec![0, 1, 1]]),
+            (vec![6, 2], vec![vec![1, 1], vec![0, 1], vec![1, 0]]),
+        ];
+        for (sides, deps) in cases {
+            let t = Tiling::rectangular(&sides);
+            let d = DependenceSet::from_vectors(sides.len(), deps);
+            let brute = v_comm_total_bruteforce(&t, &d);
+            assert_eq!(
+                v_comm_total(&t, &d),
+                Rational::from_int(brute as i128),
+                "sides {sides:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapped_volume_excludes_one_dimension() {
+        let t = Tiling::rectangular(&[4, 4, 100]);
+        let d = DependenceSet::paper_3d();
+        let total = v_comm_total(&t, &d);
+        let mapped = v_comm_mapped(&t, &d, 2);
+        let k_surface = v_comm_per_dimension(&t, &d, 2);
+        assert_eq!(total, mapped + k_surface);
+    }
+
+    #[test]
+    fn surface_volume_scales_with_face_area() {
+        // Doubling the tile height doubles the i-face volume.
+        let d = DependenceSet::paper_3d();
+        let a = v_comm_per_dimension(&Tiling::rectangular(&[4, 4, 100]), &d, 0);
+        let b = v_comm_per_dimension(&Tiling::rectangular(&[4, 4, 200]), &d, 0);
+        assert_eq!(b, a * Rational::from_int(2));
+    }
+
+    #[test]
+    fn skewed_tiling_volume() {
+        // P = [[2,1],[0,2]], d = (1,1): Hd = (1/4, 1/2).
+        // Surface 0: det·1/4 = 1, surface 1: det·1/2 = 2; total 3.
+        let t = Tiling::from_side_matrix(crate::matrix::IntMatrix::from_rows(&[
+            &[2, 1],
+            &[0, 2],
+        ]))
+        .unwrap();
+        let d = DependenceSet::from_vectors(2, vec![vec![1, 1]]);
+        assert_eq!(v_comm_total(&t, &d), Rational::from_int(3));
+        assert_eq!(v_comm_total_bruteforce(&t, &d), 3);
+    }
+
+    #[test]
+    fn zero_dep_component_no_surface_cost() {
+        let t = Tiling::rectangular(&[8, 8]);
+        let d = vec![0i64, 3];
+        assert_eq!(v_comm_surface(&t, &d, 0), Rational::ZERO);
+        assert_eq!(v_comm_surface(&t, &d, 1), Rational::from_int(24));
+    }
+}

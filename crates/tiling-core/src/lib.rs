@@ -1,0 +1,94 @@
+//! # tiling-core
+//!
+//! Loop tiling (supernode transformation) with overlapping and
+//! non-overlapping tile schedules — a from-scratch implementation of
+//!
+//! > G. Goumas, A. Sotiropoulos, N. Koziris, *Minimizing Completion Time
+//! > for Loop Tiling with Computation and Communication Overlapping*,
+//! > IPPS 2001.
+//!
+//! The crate models perfectly nested loops with uniform dependences
+//! ([`loopnest`], [`space`], [`dependence`]), partitions their iteration
+//! spaces into supernodes/tiles ([`tiling`], exact rational linear
+//! algebra in [`matrix`] / [`rational`]), prices computation and
+//! communication per tile ([`cost`], [`machine`]), and schedules the
+//! tiled space two ways:
+//!
+//! * the classical non-overlapping hyperplane schedule
+//!   ([`schedule::nonoverlap`], eq. 3 of the paper), and
+//! * the paper's pipelined, communication-overlapping schedule
+//!   ([`schedule::overlap`], eq. 4/5), rooted in the optimal UET-UCT
+//!   grid-graph schedules of [`uet_uct`].
+//!
+//! [`tile_graph`] materializes tile DAGs for validation, [`mapping`]
+//! assigns tiles to processors and computes per-neighbor message
+//! volumes, and [`optimize`] sweeps tile sizes/shapes.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tiling_core::prelude::*;
+//!
+//! // Example 1 of the paper: 10000×1000 loop, D = {(1,1),(1,0),(0,1)}.
+//! let nest = LoopNest::example_1();
+//! let deps = nest.dependences().unwrap();
+//! let tiling = Tiling::rectangular(&[10, 10]);
+//! assert!(tiling.is_legal(&deps));
+//!
+//! let machine = MachineParams::example_1();
+//! let nonoverlap = NonOverlapSchedule::with_mapping(2, 0)
+//!     .analyze(&tiling, &deps, nest.space(), &machine);
+//! let overlap = OverlapSchedule::with_mapping(2, 0)
+//!     .analyze(&tiling, &deps, nest.space(), &machine, OverlapMode::DuplexDma);
+//!
+//! // The overlapping schedule wins: 0.24 s vs 0.40 s.
+//! assert!(overlap.total_secs() < nonoverlap.total_secs());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod closed_form;
+pub mod codegen;
+pub mod cost;
+pub mod dependence;
+pub mod loopnest;
+pub mod machine;
+pub mod mapping;
+pub mod matrix;
+pub mod optimize;
+pub mod parse;
+pub mod polyhedra;
+pub mod rational;
+pub mod schedule;
+pub mod space;
+pub mod tile_graph;
+pub mod tiling;
+pub mod transform;
+pub mod uet_uct;
+
+/// Convenient re-exports of the main types.
+pub mod prelude {
+    pub use crate::closed_form::{nonoverlap_optimal_v, overlap_optimal_v, ClosedForm};
+    pub use crate::codegen::{tiled_rectangular, transformed_domain, GeneratedNest, LoopLevel};
+    pub use crate::cost::{v_comm_mapped, v_comm_per_dimension, v_comm_total, v_comp};
+    pub use crate::dependence::{Dependence, DependenceSet};
+    pub use crate::loopnest::{Access, ArrayId, LoopNest, Statement};
+    pub use crate::machine::{AffineCost, MachineParams};
+    pub use crate::mapping::{neighbor_messages, NeighborMessage, ProcessorMapping};
+    pub use crate::matrix::{IntMatrix, RatMatrix};
+    pub use crate::optimize::{
+        best_nonoverlap, best_overlap, best_rectangular_plan, sweep_tile_height, SweepPoint,
+        TilingPlan,
+    };
+    pub use crate::parse::{parse_loop_nest, ParseError};
+    pub use crate::rational::Rational;
+    pub use crate::schedule::{
+        LinearSchedule, NonOverlapReport, NonOverlapSchedule, OverlapMode, OverlapReport,
+        OverlapSchedule,
+    };
+    pub use crate::space::{IterationSpace, Point};
+    pub use crate::tile_graph::TileGraph;
+    pub use crate::tiling::{Tiling, TilingError};
+    pub use crate::transform::{legalizing_skew, TransformError, Unimodular};
+}

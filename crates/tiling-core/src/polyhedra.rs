@@ -1,0 +1,431 @@
+//! Rational polyhedra and Fourier–Motzkin elimination.
+//!
+//! After a unimodular transformation (skewing, §`transform`), the
+//! iteration domain is no longer a rectangle but a parallelepiped
+//! `{ x | A·x + b ≥ 0 }`. Generating loops that scan exactly that set —
+//! the Ancourt–Irigoin problem, which both Irigoin–Triolet's supernode
+//! paper and Xue's tiling codegen rely on — requires, for each loop
+//! level `d`, bounds on `x_d` as affine functions of the outer
+//! variables. Fourier–Motzkin elimination of the inner variables
+//! produces exactly those bounds.
+//!
+//! Everything is exact rational arithmetic; the generated integer loop
+//! bounds are ceilings/floors of the rational affine bounds, which is
+//! lossless for integer points.
+
+use crate::rational::Rational;
+use crate::space::IterationSpace;
+use crate::transform::Unimodular;
+use std::fmt;
+
+/// An affine form `Σ coeffs[i]·x_i + constant` over `dims` variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Affine {
+    /// Per-variable coefficients.
+    pub coeffs: Vec<Rational>,
+    /// Constant term.
+    pub constant: Rational,
+}
+
+impl Affine {
+    /// The constant form `c`.
+    pub fn constant(dims: usize, c: Rational) -> Self {
+        Affine {
+            coeffs: vec![Rational::ZERO; dims],
+            constant: c,
+        }
+    }
+
+    /// Evaluate at an integer point (arity may exceed the form's — extra
+    /// trailing coordinates are ignored; missing ones must have zero
+    /// coefficients).
+    pub fn eval(&self, x: &[i64]) -> Rational {
+        let mut acc = self.constant;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let xi = *x
+                .get(i)
+                .unwrap_or_else(|| panic!("affine form needs coordinate {i}"));
+            acc += c * Rational::from_int(xi as i128);
+        }
+        acc
+    }
+
+    /// Highest variable index with a non-zero coefficient, if any.
+    pub fn last_var(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|c| !c.is_zero())
+    }
+
+    /// Render with the given variable names.
+    pub fn render(&self, names: &[&str]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if c == Rational::ONE {
+                parts.push(names[i].to_string());
+            } else if c == -Rational::ONE {
+                parts.push(format!("-{}", names[i]));
+            } else {
+                parts.push(format!("{}·{}", c, names[i]));
+            }
+        }
+        if !self.constant.is_zero() || parts.is_empty() {
+            parts.push(self.constant.to_string());
+        }
+        let mut out = String::new();
+        for (k, p) in parts.iter().enumerate() {
+            if k == 0 {
+                out.push_str(p);
+            } else if let Some(stripped) = p.strip_prefix('-') {
+                out.push_str(" - ");
+                out.push_str(stripped);
+            } else {
+                out.push_str(" + ");
+                out.push_str(p);
+            }
+        }
+        out
+    }
+}
+
+/// The inequality `form ≥ 0`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ineq(pub Affine);
+
+/// A convex rational polyhedron `{ x ∈ Q^dims | every ineq ≥ 0 }`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Polyhedron {
+    dims: usize,
+    ineqs: Vec<Ineq>,
+}
+
+impl Polyhedron {
+    /// The polyhedron of a rectangular iteration space:
+    /// `l_d ≤ x_d ≤ u_d` for every dimension.
+    pub fn from_space(space: &IterationSpace) -> Self {
+        let n = space.dims();
+        let mut ineqs = Vec::with_capacity(2 * n);
+        for d in 0..n {
+            // x_d − l_d ≥ 0.
+            let mut lo = Affine::constant(n, Rational::from_int(-(space.lower()[d] as i128)));
+            lo.coeffs[d] = Rational::ONE;
+            ineqs.push(Ineq(lo));
+            // u_d − x_d ≥ 0.
+            let mut hi = Affine::constant(n, Rational::from_int(space.upper()[d] as i128));
+            hi.coeffs[d] = -Rational::ONE;
+            ineqs.push(Ineq(hi));
+        }
+        Polyhedron { dims: n, ineqs }
+    }
+
+    /// The image of a space under a unimodular transformation: the set
+    /// `{ y = T·x | x ∈ space }`, i.e. constraints `A·T⁻¹·y + b ≥ 0`.
+    pub fn transformed_space(space: &IterationSpace, t: &Unimodular) -> Self {
+        let base = Polyhedron::from_space(space);
+        let inv = t.inverse();
+        let m = inv.matrix();
+        let n = base.dims;
+        let ineqs = base
+            .ineqs
+            .iter()
+            .map(|Ineq(a)| {
+                // New coefficient row: aᵀ·T⁻¹.
+                let mut coeffs = vec![Rational::ZERO; n];
+                for (j, cj) in coeffs.iter_mut().enumerate() {
+                    let mut acc = Rational::ZERO;
+                    for i in 0..n {
+                        acc += a.coeffs[i] * Rational::from_int(m[(i, j)] as i128);
+                    }
+                    *cj = acc;
+                }
+                Ineq(Affine {
+                    coeffs,
+                    constant: a.constant,
+                })
+            })
+            .collect();
+        Polyhedron { dims: n, ineqs }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The inequalities.
+    pub fn ineqs(&self) -> &[Ineq] {
+        &self.ineqs
+    }
+
+    /// Membership test for an integer point.
+    pub fn contains(&self, x: &[i64]) -> bool {
+        self.ineqs.iter().all(|Ineq(a)| !a.eval(x).is_negative())
+    }
+
+    /// Fourier–Motzkin elimination of variable `dim`: the projection of
+    /// the polyhedron onto the remaining variables (the variable keeps
+    /// its slot with zero coefficients, so indices stay stable).
+    pub fn eliminate(&self, dim: usize) -> Polyhedron {
+        assert!(dim < self.dims, "variable out of range");
+        let mut lowers = Vec::new(); // x_dim ≥ expr  (coeff > 0)
+        let mut uppers = Vec::new(); // x_dim ≤ expr  (coeff < 0)
+        let mut rest = Vec::new();
+        for Ineq(a) in &self.ineqs {
+            let c = a.coeffs[dim];
+            if c.is_zero() {
+                rest.push(Ineq(a.clone()));
+            } else if c.is_positive() {
+                lowers.push(a.clone());
+            } else {
+                uppers.push(a.clone());
+            }
+        }
+        // Pair every lower with every upper:
+        // from cL·x + aL ≥ 0 (cL>0) and cU·x + aU ≥ 0 (cU<0):
+        //   x ≥ −aL/cL  and  x ≤ −aU/cU  ⇒  −aL/cL ≤ −aU/cU
+        //   ⇔ cU·aL − cL·aU ≤ 0… multiply out signs carefully:
+        // combine as cL·(aU without x) + (−cU)·(aL without x) ≥ 0.
+        for lo in &lowers {
+            for up in &uppers {
+                let cl = lo.coeffs[dim];
+                let cu = up.coeffs[dim]; // negative
+                let mut coeffs = vec![Rational::ZERO; self.dims];
+                for (j, cj) in coeffs.iter_mut().enumerate() {
+                    if j == dim {
+                        continue;
+                    }
+                    *cj = cl * up.coeffs[j] + (-cu) * lo.coeffs[j];
+                }
+                let constant = cl * up.constant + (-cu) * lo.constant;
+                rest.push(Ineq(Affine { coeffs, constant }));
+            }
+        }
+        Polyhedron {
+            dims: self.dims,
+            ineqs: rest,
+        }
+    }
+
+    /// Loop bounds for variable `dim` in terms of variables `< dim`,
+    /// valid when variables `> dim` have been eliminated first: returns
+    /// `(lower bounds, upper bounds)` — the loop runs from the max of
+    /// the (ceiled) lowers to the min of the (floored) uppers.
+    pub fn bounds_of(&self, dim: usize) -> (Vec<Affine>, Vec<Affine>) {
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for Ineq(a) in &self.ineqs {
+            let c = a.coeffs[dim];
+            if c.is_zero() {
+                continue;
+            }
+            debug_assert!(
+                a.last_var() == Some(dim),
+                "inner variables must be eliminated before taking bounds"
+            );
+            // c·x_dim + rest ≥ 0 ⇒ x_dim ≥ −rest/c (c>0) or ≤ −rest/c (c<0).
+            let mut coeffs = vec![Rational::ZERO; self.dims];
+            for (j, cj) in coeffs.iter_mut().enumerate() {
+                if j != dim {
+                    *cj = -(a.coeffs[j] / c);
+                }
+            }
+            let bound = Affine {
+                coeffs,
+                constant: -(a.constant / c),
+            };
+            if c.is_positive() {
+                lowers.push(bound);
+            } else {
+                uppers.push(bound);
+            }
+        }
+        (lowers, uppers)
+    }
+
+    /// Enumerate the integer points of a *bounded* polyhedron by
+    /// recursive bounds computation (test oracle; exponential-ish in
+    /// constraints, fine for small domains).
+    pub fn enumerate(&self) -> Vec<Vec<i64>> {
+        // proj_for_level[d] = this polyhedron with dims > d eliminated.
+        let mut proj_for_level: Vec<Polyhedron> = Vec::with_capacity(self.dims);
+        for d in 0..self.dims {
+            let mut p = self.clone();
+            for e in ((d + 1)..self.dims).rev() {
+                p = p.eliminate(e);
+            }
+            proj_for_level.push(p);
+        }
+        let mut out = Vec::new();
+        let mut point = vec![0i64; self.dims];
+        self.enum_rec(&proj_for_level, 0, &mut point, &mut out);
+        out
+    }
+
+    fn enum_rec(
+        &self,
+        projs: &[Polyhedron],
+        d: usize,
+        point: &mut Vec<i64>,
+        out: &mut Vec<Vec<i64>>,
+    ) {
+        let (lowers, uppers) = projs[d].bounds_of(d);
+        assert!(
+            !lowers.is_empty() && !uppers.is_empty(),
+            "unbounded polyhedron"
+        );
+        let lo = lowers
+            .iter()
+            .map(|a| a.eval(point).ceil())
+            .max()
+            .expect("non-empty");
+        let hi = uppers
+            .iter()
+            .map(|a| a.eval(point).floor())
+            .min()
+            .expect("non-empty");
+        for v in lo..=hi {
+            point[d] = i64::try_from(v).expect("bound fits i64");
+            if d + 1 == self.dims {
+                if self.contains(point) {
+                    out.push(point.clone());
+                }
+            } else {
+                self.enum_rec(projs, d + 1, point, out);
+            }
+        }
+        point[d] = 0;
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.dims).map(|d| format!("x{d}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        for Ineq(a) in &self.ineqs {
+            writeln!(f, "{} >= 0", a.render(&refs))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_membership() {
+        let p = Polyhedron::from_space(&IterationSpace::from_extents(&[3, 4]));
+        assert!(p.contains(&[0, 0]));
+        assert!(p.contains(&[2, 3]));
+        assert!(!p.contains(&[3, 0]));
+        assert!(!p.contains(&[0, -1]));
+    }
+
+    #[test]
+    fn box_enumeration_matches_space() {
+        let space = IterationSpace::new(vec![-1, 2], vec![1, 4]);
+        let p = Polyhedron::from_space(&space);
+        let pts = p.enumerate();
+        assert_eq!(pts.len() as u64, space.volume());
+        for j in space.points() {
+            assert!(pts.contains(&j));
+        }
+    }
+
+    #[test]
+    fn elimination_projects_box() {
+        let p = Polyhedron::from_space(&IterationSpace::from_extents(&[3, 5]));
+        let proj = p.eliminate(1);
+        // x0 range unchanged; x1 unconstrained now.
+        assert!(proj.contains(&[0, 999]));
+        assert!(proj.contains(&[2, -999]));
+        assert!(!proj.contains(&[3, 0]));
+    }
+
+    #[test]
+    fn skewed_domain_enumeration_matches_transform() {
+        // y = T·x with T = skew(2, 1, 0, 1) over a 4×3 box.
+        let space = IterationSpace::from_extents(&[4, 3]);
+        let t = Unimodular::skew(2, 1, 0, 1);
+        let poly = Polyhedron::transformed_space(&space, &t);
+        let mut expected: Vec<Vec<i64>> = space.points().map(|x| t.apply_point(&x)).collect();
+        let mut got = poly.enumerate();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn composed_transform_domain() {
+        let space = IterationSpace::from_extents(&[3, 3, 2]);
+        let t = Unimodular::skew(3, 2, 0, 2)
+            .compose(&Unimodular::permutation(&[1, 0, 2]))
+            .compose(&Unimodular::skew(3, 1, 0, 1));
+        let poly = Polyhedron::transformed_space(&space, &t);
+        let mut expected: Vec<Vec<i64>> = space.points().map(|x| t.apply_point(&x)).collect();
+        let mut got = poly.enumerate();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bounds_of_outer_variable_are_constants() {
+        let space = IterationSpace::from_extents(&[4, 3]);
+        let t = Unimodular::skew(2, 1, 0, 1);
+        let poly = Polyhedron::transformed_space(&space, &t);
+        let outer = poly.eliminate(1);
+        let (lo, hi) = outer.bounds_of(0);
+        let lo_v = lo.iter().map(|a| a.eval(&[0, 0]).ceil()).max().unwrap();
+        let hi_v = hi.iter().map(|a| a.eval(&[0, 0]).floor()).min().unwrap();
+        assert_eq!((lo_v, hi_v), (0, 3)); // x0 = original dim 0
+    }
+
+    #[test]
+    fn inner_bounds_depend_on_outer() {
+        // After skew y1 = x1 + x0 over 4×3: for fixed y0, y1 ∈ [y0, y0+2].
+        let space = IterationSpace::from_extents(&[4, 3]);
+        let t = Unimodular::skew(2, 1, 0, 1);
+        let poly = Polyhedron::transformed_space(&space, &t);
+        let (lo, hi) = poly.bounds_of(1);
+        for y0 in 0..4i64 {
+            let l = lo.iter().map(|a| a.eval(&[y0, 0]).ceil()).max().unwrap();
+            let h = hi.iter().map(|a| a.eval(&[y0, 0]).floor()).min().unwrap();
+            assert_eq!((l, h), (y0 as i128, (y0 + 2) as i128), "y0 = {y0}");
+        }
+    }
+
+    #[test]
+    fn affine_render() {
+        let a = Affine {
+            coeffs: vec![Rational::ONE, Rational::new(-1, 2)],
+            constant: Rational::from_int(3),
+        };
+        assert_eq!(a.render(&["i", "j"]), "i - 1/2·j + 3");
+        let z = Affine::constant(2, Rational::ZERO);
+        assert_eq!(z.render(&["i", "j"]), "0");
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = Polyhedron::from_space(&IterationSpace::from_extents(&[2, 2]));
+        let text = p.to_string();
+        assert!(text.contains(">= 0"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn reversal_domain() {
+        let space = IterationSpace::from_extents(&[3, 2]);
+        let t = Unimodular::reversal(2, 0);
+        let poly = Polyhedron::transformed_space(&space, &t);
+        assert!(poly.contains(&[-2, 1]));
+        assert!(poly.contains(&[0, 0]));
+        assert!(!poly.contains(&[1, 0]));
+        assert_eq!(poly.enumerate().len() as u64, space.volume());
+    }
+}

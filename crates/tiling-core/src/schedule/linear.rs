@@ -1,0 +1,378 @@
+//! Linear (hyperplane) time schedules (§2.5).
+//!
+//! A point `j` scheduled by the vector `Π` executes at
+//! `t_j = ⌊(Π·j + t₀) / dispΠ⌋` with `t₀ = −min{Π·i : i ∈ J^n}` and
+//! `dispΠ = min{Π·d : d ∈ D}` (Shang & Fortes). Validity requires
+//! `Π·d > 0` for every dependence — every dependence advances time.
+
+use crate::dependence::DependenceSet;
+use crate::space::IterationSpace;
+use std::fmt;
+
+/// A linear schedule `Π` over an `n`-dimensional space.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinearSchedule {
+    pi: Vec<i64>,
+}
+
+impl LinearSchedule {
+    /// Create a schedule from the hyperplane vector `Π`.
+    ///
+    /// # Panics
+    /// Panics if `pi` is empty or all-zero.
+    pub fn new(pi: Vec<i64>) -> Self {
+        assert!(!pi.is_empty(), "schedule vector must be non-empty");
+        assert!(pi.iter().any(|&x| x != 0), "schedule vector must be non-zero");
+        LinearSchedule { pi }
+    }
+
+    /// The all-ones schedule `Π = [1 1 … 1]` — optimal for a tiled space
+    /// with unit dependences (§3).
+    pub fn ones(dims: usize) -> Self {
+        LinearSchedule::new(vec![1; dims])
+    }
+
+    /// The hyperplane vector.
+    pub fn pi(&self) -> &[i64] {
+        &self.pi
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// `Π·j`.
+    pub fn dot(&self, j: &[i64]) -> i64 {
+        assert_eq!(j.len(), self.pi.len(), "arity mismatch");
+        self.pi.iter().zip(j).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Validity: `Π·d > 0` for every dependence.
+    pub fn is_valid(&self, deps: &DependenceSet) -> bool {
+        deps.iter().all(|d| d.dot(&self.pi) > 0)
+    }
+
+    /// The displacement `dispΠ = min{Π·d}` — how much `Π·j` must advance
+    /// between dependent executions. Returns `None` for an empty set.
+    pub fn displacement(&self, deps: &DependenceSet) -> Option<i64> {
+        deps.iter().map(|d| d.dot(&self.pi)).min()
+    }
+
+    /// The offset `t₀ = −min{Π·j : j ∈ J}` making time start at 0.
+    ///
+    /// For a rectangular space the extremum is attained at a corner.
+    pub fn t0(&self, space: &IterationSpace) -> i64 {
+        -self.min_over(space)
+    }
+
+    fn min_over(&self, space: &IterationSpace) -> i64 {
+        (0..self.dims())
+            .map(|d| {
+                let c = self.pi[d];
+                if c >= 0 {
+                    c * space.lower()[d]
+                } else {
+                    c * space.upper()[d]
+                }
+            })
+            .sum()
+    }
+
+    fn max_over(&self, space: &IterationSpace) -> i64 {
+        (0..self.dims())
+            .map(|d| {
+                let c = self.pi[d];
+                if c >= 0 {
+                    c * space.upper()[d]
+                } else {
+                    c * space.lower()[d]
+                }
+            })
+            .sum()
+    }
+
+    /// Execution time of point `j`:
+    /// `t_j = ⌊(Π·j + t₀) / dispΠ⌋`, with `disp = 1` when `D` is empty.
+    pub fn time_of(&self, j: &[i64], space: &IterationSpace, deps: &DependenceSet) -> i64 {
+        let disp = self.displacement(deps).unwrap_or(1).max(1);
+        (self.dot(j) + self.t0(space)).div_euclid(disp)
+    }
+
+    /// Number of time hyperplanes needed for the whole space:
+    /// `max t_j − min t_j + 1`.
+    pub fn makespan(&self, space: &IterationSpace, deps: &DependenceSet) -> i64 {
+        let disp = self.displacement(deps).unwrap_or(1).max(1);
+        let t0 = self.t0(space);
+        let tmax = (self.max_over(space) + t0).div_euclid(disp);
+        let tmin = (self.min_over(space) + t0).div_euclid(disp);
+        tmax - tmin + 1
+    }
+}
+
+impl fmt::Debug for LinearSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Π{:?}", self.pi)
+    }
+}
+
+/// Find a time-optimal linear schedule by bounded enumeration (the
+/// Shang–Fortes problem \[10\], solved exactly for small coefficient
+/// ranges, which covers every practical tile-space schedule: the
+/// components of an optimal Π for a tiled space are tiny integers).
+///
+/// Searches `Π ∈ {-max_coeff..=max_coeff}^n \ {0}` for valid schedules
+/// (`Π·d > 0` for all `d`) minimizing the makespan over `space`; ties
+/// break towards the lexicographically smallest non-negative vector.
+/// Returns `None` when no valid schedule exists in the range (e.g. an
+/// empty range, or dependences spanning a full-dimensional cone needing
+/// larger coefficients).
+pub fn optimal_linear_schedule(
+    space: &IterationSpace,
+    deps: &DependenceSet,
+    max_coeff: i64,
+) -> Option<LinearSchedule> {
+    assert!(max_coeff >= 1, "coefficient bound must be positive");
+    let n = space.dims();
+    assert_eq!(deps.dims(), n, "arity mismatch");
+    let mut best: Option<(i64, Vec<i64>)> = None;
+    let mut pi = vec![-max_coeff; n];
+    loop {
+        if pi.iter().any(|&c| c != 0) {
+            let cand = LinearSchedule::new(pi.clone());
+            if cand.is_valid(deps) {
+                let ms = cand.makespan(space, deps);
+                let better = match &best {
+                    None => true,
+                    Some((bms, bpi)) => {
+                        ms < *bms || (ms == *bms && preferred(&pi, bpi))
+                    }
+                };
+                if better {
+                    best = Some((ms, pi.clone()));
+                }
+            }
+        }
+        // Odometer increment.
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return best.map(|(_, v)| LinearSchedule::new(v));
+            }
+            d -= 1;
+            if pi[d] < max_coeff {
+                pi[d] += 1;
+                break;
+            }
+            pi[d] = -max_coeff;
+        }
+    }
+}
+
+/// Tie-break preference: fewer negative components, then smaller
+/// absolute-value sum, then lexicographically smaller.
+fn preferred(a: &[i64], b: &[i64]) -> bool {
+    let neg = |v: &[i64]| v.iter().filter(|&&x| x < 0).count();
+    let mag = |v: &[i64]| v.iter().map(|&x| x.abs()).sum::<i64>();
+    (neg(a), mag(a), a.to_vec()) < (neg(b), mag(b), b.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_schedule_example_1() {
+        // Example 1: tiled space 1000×100, Π = (1,1) ⇒ P = 999+99+1 = 1099.
+        let s = LinearSchedule::ones(2);
+        let space = IterationSpace::from_extents(&[1000, 100]);
+        let deps = DependenceSet::units(2);
+        assert!(s.is_valid(&deps));
+        assert_eq!(s.makespan(&space, &deps), 1099);
+    }
+
+    #[test]
+    fn time_of_starts_at_zero() {
+        let s = LinearSchedule::ones(2);
+        let space = IterationSpace::from_extents(&[10, 10]);
+        let deps = DependenceSet::units(2);
+        assert_eq!(s.time_of(&[0, 0], &space, &deps), 0);
+        assert_eq!(s.time_of(&[9, 9], &space, &deps), 18);
+    }
+
+    #[test]
+    fn time_of_with_offset_space() {
+        let s = LinearSchedule::ones(2);
+        let space = IterationSpace::new(vec![5, -3], vec![8, 0]);
+        let deps = DependenceSet::units(2);
+        assert_eq!(s.time_of(&[5, -3], &space, &deps), 0);
+        assert_eq!(s.time_of(&[8, 0], &space, &deps), 6);
+        assert_eq!(s.makespan(&space, &deps), 7);
+    }
+
+    #[test]
+    fn displacement_scales_time() {
+        // Π = (2, 2), D = {(1,0),(0,1)} ⇒ disp = 2; times halve.
+        let s = LinearSchedule::new(vec![2, 2]);
+        let space = IterationSpace::from_extents(&[4, 4]);
+        let deps = DependenceSet::units(2);
+        assert_eq!(s.displacement(&deps), Some(2));
+        assert_eq!(s.time_of(&[3, 3], &space, &deps), 6);
+        assert_eq!(s.makespan(&space, &deps), 7);
+        // Same as Π = (1,1) on the same space.
+        let ones = LinearSchedule::ones(2);
+        assert_eq!(
+            s.makespan(&space, &deps),
+            ones.makespan(&space, &deps)
+        );
+    }
+
+    #[test]
+    fn validity() {
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -1], vec![0, 1]]);
+        assert!(!LinearSchedule::ones(2).is_valid(&deps)); // Π·(1,-1) = 0
+        assert!(LinearSchedule::new(vec![2, 1]).is_valid(&deps));
+    }
+
+    #[test]
+    fn negative_schedule_components() {
+        // Π = (1, -1) over a square: min at (0, u2), max at (u1, 0).
+        let s = LinearSchedule::new(vec![1, -1]);
+        let space = IterationSpace::from_extents(&[5, 3]);
+        assert_eq!(s.t0(&space), 2);
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, 0]]);
+        assert_eq!(s.makespan(&space, &deps), 7); // Π range −2..4
+    }
+
+    #[test]
+    fn makespan_matches_bruteforce() {
+        let cases = [
+            (vec![1i64, 1], vec![3i64, 4]),
+            (vec![1, 2], vec![5, 3]),
+            (vec![2, 1], vec![4, 4]),
+            (vec![1, 1, 1], vec![3, 3, 3]),
+        ];
+        for (pi, extents) in cases {
+            let s = LinearSchedule::new(pi.clone());
+            let space = IterationSpace::from_extents(&extents);
+            let deps = DependenceSet::units(extents.len());
+            let times: Vec<i64> = space
+                .points()
+                .map(|j| s.time_of(&j, &space, &deps))
+                .collect();
+            let lo = *times.iter().min().unwrap();
+            let hi = *times.iter().max().unwrap();
+            assert_eq!(lo, 0, "Π {pi:?}");
+            assert_eq!(s.makespan(&space, &deps), hi - lo + 1, "Π {pi:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_respects_dependences() {
+        // For every valid schedule, t(j) < t(j + d) must hold when disp
+        // divides exactly; in general t(j + d) ≥ t(j) + 1 when Π·d ≥ disp.
+        let s = LinearSchedule::new(vec![1, 2]);
+        let space = IterationSpace::from_extents(&[6, 6]);
+        let deps = DependenceSet::example_1();
+        assert!(s.is_valid(&deps));
+        for j in space.points() {
+            for d in deps.iter() {
+                let succ: Vec<i64> = j.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
+                if space.contains(&succ) {
+                    assert!(
+                        s.time_of(&succ, &space, &deps) > s.time_of(&j, &space, &deps),
+                        "dependence {d:?} not respected at {j:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_vector_rejected() {
+        let _ = LinearSchedule::new(vec![0, 0]);
+    }
+
+    #[test]
+    fn optimal_schedule_unit_deps_is_ones() {
+        let space = IterationSpace::from_extents(&[10, 6]);
+        let deps = DependenceSet::units(2);
+        let s = optimal_linear_schedule(&space, &deps, 2).unwrap();
+        assert_eq!(s.pi(), &[1, 1]);
+        assert_eq!(s.makespan(&space, &deps), 15);
+    }
+
+    #[test]
+    fn optimal_schedule_example_1_deps() {
+        // D = {(1,1),(1,0),(0,1)}: Π = (1,1) with disp 1 is optimal.
+        let space = IterationSpace::from_extents(&[8, 8]);
+        let deps = DependenceSet::example_1();
+        let s = optimal_linear_schedule(&space, &deps, 2).unwrap();
+        assert_eq!(s.makespan(&space, &deps), 15);
+    }
+
+    #[test]
+    fn optimal_schedule_exploits_displacement() {
+        // D = {(2,0),(0,2)}: Π=(1,1) has disp 2 → halved makespan 8;
+        // no schedule can beat the longest chain, which is
+        // (extent/2 + extent/2 − 1) = 7 steps… chains: points reachable
+        // via +2 steps: chain length 4+4−1 = 7 ⇒ makespan ≥ 7.
+        let space = IterationSpace::from_extents(&[8, 8]);
+        let deps = DependenceSet::from_vectors(2, vec![vec![2, 0], vec![0, 2]]);
+        let s = optimal_linear_schedule(&space, &deps, 2).unwrap();
+        let ms = s.makespan(&space, &deps);
+        assert!(ms <= 8, "{s:?} gives {ms}");
+    }
+
+    #[test]
+    fn optimal_schedule_needs_skewed_pi() {
+        // D = {(1,-1), (0,1)}: Π = (1,1) is invalid (Π·(1,−1) = 0);
+        // the optimum needs an asymmetric vector like (2,1).
+        let space = IterationSpace::from_extents(&[6, 6]);
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -1], vec![0, 1]]);
+        let s = optimal_linear_schedule(&space, &deps, 3).unwrap();
+        assert!(s.is_valid(&deps));
+        // Sanity: every in-space dependence chain is ordered.
+        for j in space.points() {
+            for d in deps.iter() {
+                let succ: Vec<i64> =
+                    j.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
+                if space.contains(&succ) {
+                    assert!(s.time_of(&succ, &space, &deps) > s.time_of(&j, &space, &deps));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_schedule_none_for_non_pointed_cone() {
+        // D = {(1,−2), (−2,1), (1,1)}: Π·(1,−2) > 0 and Π·(−2,1) > 0
+        // imply Π₁+Π₂ < 0, contradicting Π·(1,1) > 0 — no linear
+        // schedule exists at any coefficient bound (the dependence cone
+        // is not pointed, i.e. the "loop" has a dependence cycle).
+        let space = IterationSpace::from_extents(&[4, 4]);
+        let deps =
+            DependenceSet::from_vectors(2, vec![vec![1, -2], vec![-2, 1], vec![1, 1]]);
+        assert!(optimal_linear_schedule(&space, &deps, 1).is_none());
+        assert!(optimal_linear_schedule(&space, &deps, 3).is_none());
+    }
+
+    #[test]
+    fn optimal_schedule_negative_components_reachable() {
+        // D = {(1,−2), (−2,1)} alone *is* schedulable — with an all-
+        // negative Π = (−1,−1) — which the search must find.
+        let space = IterationSpace::from_extents(&[4, 4]);
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -2], vec![-2, 1]]);
+        let s = optimal_linear_schedule(&space, &deps, 1).unwrap();
+        assert!(s.is_valid(&deps));
+    }
+
+    #[test]
+    fn tie_break_prefers_nonnegative_small() {
+        let space = IterationSpace::from_extents(&[5, 5]);
+        let deps = DependenceSet::units(2);
+        let s = optimal_linear_schedule(&space, &deps, 3).unwrap();
+        assert!(s.pi().iter().all(|&c| c >= 0));
+    }
+}

@@ -1,0 +1,16 @@
+//! Time schedules for tiled iteration spaces.
+//!
+//! * [`linear`] — generic linear (hyperplane) schedules `Π` (§2.5).
+//! * [`nonoverlap`] — the Hodzic–Shang schedule of §3: `Π = [1 … 1]`,
+//!   every step a serialized *receive → compute → send* triplet.
+//! * [`overlap`] — the paper's contribution (§4): the pipelined schedule
+//!   `2·Σ_{k≠i} j_k + j_i` that overlaps each step's communication with
+//!   the computation of an independent tile.
+
+pub mod linear;
+pub mod nonoverlap;
+pub mod overlap;
+
+pub use linear::{optimal_linear_schedule, LinearSchedule};
+pub use nonoverlap::{NonOverlapReport, NonOverlapSchedule};
+pub use overlap::{OverlapMode, OverlapReport, OverlapSchedule};

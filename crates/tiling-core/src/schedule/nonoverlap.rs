@@ -1,0 +1,253 @@
+//! The non-overlapping (Hodzic–Shang) schedule (§3).
+//!
+//! Tiles are scheduled by `Π = [1 1 … 1]` over the tiled space; every
+//! time step is a serialized *receive → compute → send* triplet, so the
+//! total execution time is
+//!
+//! ```text
+//! T = P(g) · (T_comp + T_comm),            (3)
+//! T_comm = T_startup + T_transmit,
+//! ```
+//!
+//! with one startup pair (`2·t_s`, a send plus a receive) per neighboring
+//! processor and a transmission term `b · V_comm · t_t` for the data
+//! crossing processor boundaries.
+
+use crate::dependence::DependenceSet;
+use crate::machine::MachineParams;
+use crate::mapping::{neighbor_messages, total_message_volume, ProcessorMapping};
+use crate::schedule::linear::LinearSchedule;
+use crate::space::IterationSpace;
+use crate::tiling::Tiling;
+
+/// The non-overlapping tile schedule: `Π = [1 … 1]` plus a processor
+/// mapping along the longest tiled dimension.
+#[derive(Clone, Debug)]
+pub struct NonOverlapSchedule {
+    schedule: LinearSchedule,
+    mapping: ProcessorMapping,
+}
+
+impl NonOverlapSchedule {
+    /// Build the schedule for a tiled space, mapping along its longest
+    /// dimension (the paper's choice).
+    pub fn new(tiled_space: &IterationSpace) -> Self {
+        NonOverlapSchedule {
+            schedule: LinearSchedule::ones(tiled_space.dims()),
+            mapping: ProcessorMapping::by_longest_dimension(tiled_space),
+        }
+    }
+
+    /// Build with an explicit mapping dimension.
+    pub fn with_mapping(dims: usize, mapping_dim: usize) -> Self {
+        NonOverlapSchedule {
+            schedule: LinearSchedule::ones(dims),
+            mapping: ProcessorMapping::along(dims, mapping_dim),
+        }
+    }
+
+    /// The linear schedule `Π = [1 … 1]`.
+    pub fn schedule(&self) -> &LinearSchedule {
+        &self.schedule
+    }
+
+    /// The processor mapping.
+    pub fn mapping(&self) -> &ProcessorMapping {
+        &self.mapping
+    }
+
+    /// Execution step of a tile (zero-based).
+    pub fn time_of(&self, tile: &[i64], tiled_space: &IterationSpace) -> i64 {
+        self.schedule
+            .time_of(tile, tiled_space, &DependenceSet::units(tile.len()))
+    }
+
+    /// Number of time hyperplanes `P(g) = Σ_d (u_d − l_d) + 1`.
+    pub fn schedule_length(&self, tiled_space: &IterationSpace) -> i64 {
+        self.schedule
+            .makespan(tiled_space, &DependenceSet::units(tiled_space.dims()))
+    }
+
+    /// Full cost analysis per equation (3).
+    pub fn analyze(
+        &self,
+        tiling: &Tiling,
+        deps: &DependenceSet,
+        space: &IterationSpace,
+        machine: &MachineParams,
+    ) -> NonOverlapReport {
+        let tiled_space = tiling.tiled_space(space);
+        let length = self.schedule_length(&tiled_space);
+        let msgs = neighbor_messages(tiling, deps, &self.mapping);
+        let v_comm = total_message_volume(&msgs);
+        let g = tiling.volume();
+        let t_comp = machine.tile_compute_us(g);
+        // One send + one receive startup per neighboring processor, both
+        // byte-dependent (blocking operations walk the full user→kernel
+        // copy path: `T_startup = T_fill_MPI + T_fill_kernel`, §4), plus
+        // one wire transit per complete send-receive pair (§3 Example 1).
+        let mut t_startup = 0.0;
+        let mut t_transmit = 0.0;
+        for m in &msgs {
+            let bytes = m.volume_points as f64 * f64::from(machine.bytes_per_elem);
+            t_startup += 2.0 * machine.startup_us(bytes);
+            t_transmit += machine.transmit_us(bytes);
+        }
+        let step = t_comp + t_startup + t_transmit;
+        NonOverlapReport {
+            tiled_space,
+            mapping_dim: self.mapping.mapping_dim(),
+            schedule_length: length,
+            g,
+            v_comm_points: v_comm,
+            neighbor_count: msgs.len(),
+            t_comp_us: t_comp,
+            t_startup_us: t_startup,
+            t_transmit_us: t_transmit,
+            step_us: step,
+            total_us: length as f64 * step,
+        }
+    }
+}
+
+/// Breakdown of the non-overlapping execution-time prediction (eq. 3).
+#[derive(Clone, Debug)]
+pub struct NonOverlapReport {
+    /// The tiled space `J^S`.
+    pub tiled_space: IterationSpace,
+    /// Processor-mapping dimension.
+    pub mapping_dim: usize,
+    /// Number of time hyperplanes `P(g)`.
+    pub schedule_length: i64,
+    /// Tile volume `g`.
+    pub g: i64,
+    /// Cross-processor communication volume per tile (points).
+    pub v_comm_points: i64,
+    /// Number of neighboring processors each tile talks to.
+    pub neighbor_count: usize,
+    /// `T_comp = g·t_c` (µs).
+    pub t_comp_us: f64,
+    /// `T_startup = 2·t_s` per neighbor (µs).
+    pub t_startup_us: f64,
+    /// `T_transmit = b·V_comm·t_t` (µs).
+    pub t_transmit_us: f64,
+    /// Per-step cost `T_comp + T_comm` (µs).
+    pub step_us: f64,
+    /// Total `T = P(g)·(T_comp + T_comm)` (µs).
+    pub total_us: f64,
+}
+
+impl NonOverlapReport {
+    /// `T_comm = T_startup + T_transmit` (µs).
+    pub fn t_comm_us(&self) -> f64 {
+        self.t_startup_us + self.t_transmit_us
+    }
+
+    /// Total time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_us * 1e-6
+    }
+}
+
+/// Hodzic–Shang optimal tile size (expression (11) of \[4\], quoted in
+/// Example 1): `g = c·t_s/t_c` with `c` the number of neighboring
+/// processors.
+pub fn optimal_g_hodzic_shang(machine: &MachineParams, neighbor_count: usize) -> f64 {
+    neighbor_count as f64 * machine.t_s_us / machine.t_c_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §3 Example 1 end-to-end: the paper's exact numbers.
+    #[test]
+    fn example_1_total_time() {
+        let machine = MachineParams::example_1();
+        let tiling = Tiling::rectangular(&[10, 10]);
+        let deps = DependenceSet::example_1();
+        let space = IterationSpace::from_extents(&[10_000, 1_000]);
+        let sched = NonOverlapSchedule::with_mapping(2, 0);
+        let r = sched.analyze(&tiling, &deps, &space, &machine);
+
+        assert_eq!(r.schedule_length, 1099); // P = 999 + 99 + 1
+        assert_eq!(r.g, 100);
+        assert_eq!(r.v_comm_points, 20);
+        assert_eq!(r.neighbor_count, 1);
+        assert!((r.t_comp_us - 100.0).abs() < 1e-9); // 100·t_c
+        assert!((r.t_startup_us - 200.0).abs() < 1e-9); // 2·t_s
+        assert!((r.t_transmit_us - 64.0).abs() < 1e-9); // 20·4·0.8
+        assert!((r.step_us - 364.0).abs() < 1e-9);
+        // T = 1099 × 364 t_c = 400 036 t_c ≈ 0.4 s.
+        assert!((r.total_us - 400_036.0).abs() < 1e-6);
+        assert!((r.total_secs() - 0.4).abs() < 0.001);
+    }
+
+    #[test]
+    fn example_1_optimal_g() {
+        // g = c·t_s/t_c with c = 1 ⇒ 100 (the paper's choice).
+        let machine = MachineParams::example_1();
+        assert_eq!(optimal_g_hodzic_shang(&machine, 1), 100.0);
+    }
+
+    #[test]
+    fn mapping_defaults_to_longest_dimension() {
+        let tiling = Tiling::rectangular(&[4, 4, 64]);
+        let space = IterationSpace::from_extents(&[16, 16, 16384]);
+        let ts = tiling.tiled_space(&space);
+        let s = NonOverlapSchedule::new(&ts);
+        assert_eq!(s.mapping().mapping_dim(), 2);
+    }
+
+    #[test]
+    fn time_of_is_coordinate_sum() {
+        let ts = IterationSpace::from_extents(&[4, 4, 8]);
+        let s = NonOverlapSchedule::new(&ts);
+        assert_eq!(s.time_of(&[0, 0, 0], &ts), 0);
+        assert_eq!(s.time_of(&[1, 2, 3], &ts), 6);
+        assert_eq!(s.schedule_length(&ts), 3 + 3 + 7 + 1);
+    }
+
+    #[test]
+    fn schedule_respects_tile_dependences() {
+        let ts = IterationSpace::from_extents(&[3, 3, 3]);
+        let s = NonOverlapSchedule::new(&ts);
+        let deps = DependenceSet::units(3);
+        for t in ts.points() {
+            for d in deps.iter() {
+                let succ: Vec<i64> =
+                    t.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
+                if ts.contains(&succ) {
+                    assert!(s.time_of(&succ, &ts) > s.time_of(&t, &ts));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_communication_reduces_to_compute() {
+        let machine = MachineParams::free_communication(2.0);
+        let tiling = Tiling::rectangular(&[5, 5]);
+        let deps = DependenceSet::units(2);
+        let space = IterationSpace::from_extents(&[50, 25]);
+        let s = NonOverlapSchedule::with_mapping(2, 0);
+        let r = s.analyze(&tiling, &deps, &space, &machine);
+        assert_eq!(r.t_comm_us(), 0.0);
+        assert!((r.step_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_3d_neighbor_count_is_two() {
+        let machine = MachineParams::paper_cluster();
+        let tiling = Tiling::rectangular(&[4, 4, 444]);
+        let deps = DependenceSet::paper_3d();
+        let space = IterationSpace::from_extents(&[16, 16, 16384]);
+        let s = NonOverlapSchedule::with_mapping(3, 2);
+        let r = s.analyze(&tiling, &deps, &space, &machine);
+        assert_eq!(r.neighbor_count, 2);
+        assert_eq!(r.v_comm_points, 2 * 1776);
+        // 4 tiles × 4 tiles × ⌈16384/444⌉ = 37 tiles.
+        assert_eq!(r.tiled_space.extents(), vec![4, 4, 37]);
+        assert_eq!(r.schedule_length, 3 + 3 + 36 + 1);
+    }
+}

@@ -1,0 +1,590 @@
+//! The supernode (tiling) transformation (§2.3).
+//!
+//! A tiling is defined dually by the integer matrix `P` whose *columns*
+//! are the tile side vectors, and the rational matrix `H = P⁻¹` whose
+//! rows are normal to the tile-boundary hyperplane families. The transform
+//!
+//! ```text
+//! r(j) = ( ⌊Hj⌋ , j − P·⌊Hj⌋ )
+//! ```
+//!
+//! maps an index point to its *tile coordinates* and its *offset within
+//! the tile*. A tiling is legal for a dependence set `D` iff `HD ≥ 0`
+//! (tiles stay atomic, execution order is preserved — Irigoin & Triolet,
+//! Ramanujam & Sadayappan); the paper additionally assumes `⌊HD⌋ = 0`,
+//! i.e. every dependence fits inside one tile, so the tile dependence
+//! matrix `D^S` contains only 0/1 entries and every tile talks only to
+//! its nearest neighbor in each dimension.
+
+use crate::dependence::{Dependence, DependenceSet};
+use crate::matrix::{IntMatrix, RatMatrix};
+use crate::space::{IterationSpace, Point};
+use std::fmt;
+
+/// Errors constructing or applying a tiling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TilingError {
+    /// `P` is not square.
+    NotSquare,
+    /// `P` is singular (zero-volume tiles).
+    Singular,
+    /// The tiling violates `HD ≥ 0` for the given dependence set.
+    Illegal {
+        /// Index of the offending dependence vector in the set.
+        dep_index: usize,
+    },
+    /// A dependence does not fit within a single tile (`⌊Hd⌋ ≠ 0`).
+    DependenceNotContained {
+        /// Index of the offending dependence vector in the set.
+        dep_index: usize,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::NotSquare => write!(f, "tile side matrix P must be square"),
+            TilingError::Singular => write!(f, "tile side matrix P is singular"),
+            TilingError::Illegal { dep_index } => {
+                write!(f, "tiling violates HD ≥ 0 for dependence #{dep_index}")
+            }
+            TilingError::DependenceNotContained { dep_index } => {
+                write!(f, "dependence #{dep_index} does not fit inside a tile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+/// A supernode transformation, i.e. the pair `(P, H = P⁻¹)`.
+#[derive(Clone, PartialEq)]
+pub struct Tiling {
+    p: IntMatrix,
+    h: RatMatrix,
+    /// Fast-path flag: `P` diagonal with positive entries (rectangular
+    /// tiles aligned with the axes — the shape the paper's experiments use).
+    rect_sides: Option<Vec<i64>>,
+}
+
+impl Tiling {
+    /// Build a tiling from the side matrix `P` (columns = tile sides).
+    pub fn from_side_matrix(p: IntMatrix) -> Result<Self, TilingError> {
+        if !p.is_square() {
+            return Err(TilingError::NotSquare);
+        }
+        if p.det() == 0 {
+            return Err(TilingError::Singular);
+        }
+        let h = p.inverse();
+        let n = p.rows();
+        let mut rect_sides = Some(Vec::with_capacity(n));
+        'outer: for i in 0..n {
+            for j in 0..n {
+                let v = p[(i, j)];
+                if i == j {
+                    if v <= 0 {
+                        rect_sides = None;
+                        break 'outer;
+                    }
+                    if let Some(s) = rect_sides.as_mut() {
+                        s.push(v);
+                    }
+                } else if v != 0 {
+                    rect_sides = None;
+                    break 'outer;
+                }
+            }
+        }
+        Ok(Tiling { p, h, rect_sides })
+    }
+
+    /// Axis-aligned rectangular tiles with the given (positive) sides.
+    ///
+    /// # Panics
+    /// Panics if any side is not positive.
+    pub fn rectangular(sides: &[i64]) -> Self {
+        assert!(sides.iter().all(|&s| s > 0), "tile sides must be positive");
+        Tiling::from_side_matrix(IntMatrix::diagonal(sides)).expect("diagonal P is non-singular")
+    }
+
+    /// Dimensionality `n`.
+    pub fn dims(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The side matrix `P` (columns are tile side vectors).
+    pub fn p(&self) -> &IntMatrix {
+        &self.p
+    }
+
+    /// The tiling matrix `H = P⁻¹` (rows normal to tile boundaries).
+    pub fn h(&self) -> &RatMatrix {
+        &self.h
+    }
+
+    /// If the tiling is axis-aligned rectangular, its sides.
+    pub fn rectangular_sides(&self) -> Option<&[i64]> {
+        self.rect_sides.as_deref()
+    }
+
+    /// Tile volume `g = |det P|` — the computation cost `V_comp` of one
+    /// tile in iteration points (§2.4).
+    pub fn volume(&self) -> i64 {
+        self.p.det().abs()
+    }
+
+    /// Tile coordinates `⌊Hj⌋` of index point `j`.
+    pub fn tile_of(&self, j: &[i64]) -> Point {
+        if let Some(sides) = &self.rect_sides {
+            return j
+                .iter()
+                .zip(sides)
+                .map(|(&x, &s)| x.div_euclid(s))
+                .collect();
+        }
+        self.h
+            .mul_vec(j)
+            .into_iter()
+            .map(|r| i64::try_from(r.floor()).expect("tile coordinate overflows i64"))
+            .collect()
+    }
+
+    /// Offset of `j` within its tile: `j − P·⌊Hj⌋`.
+    pub fn offset_of(&self, j: &[i64]) -> Point {
+        let tile = self.tile_of(j);
+        let origin = self.p.mul_vec(&tile);
+        j.iter().zip(&origin).map(|(&a, &b)| a - b).collect()
+    }
+
+    /// The full supernode transform `r(j) = (tile, offset)`.
+    pub fn transform(&self, j: &[i64]) -> (Point, Point) {
+        let tile = self.tile_of(j);
+        let origin = self.p.mul_vec(&tile);
+        let offset = j.iter().zip(&origin).map(|(&a, &b)| a - b).collect();
+        (tile, offset)
+    }
+
+    /// Inverse of [`Self::transform`]: `j = P·tile + offset`.
+    pub fn reconstruct(&self, tile: &[i64], offset: &[i64]) -> Point {
+        let origin = self.p.mul_vec(tile);
+        origin.iter().zip(offset).map(|(&a, &b)| a + b).collect()
+    }
+
+    /// Legality: `HD ≥ 0` (§2.3). Tiles are atomic and deadlock-free iff
+    /// every dependence has non-negative components in tile coordinates.
+    pub fn is_legal(&self, deps: &DependenceSet) -> bool {
+        self.check_legal(deps).is_ok()
+    }
+
+    /// Like [`Self::is_legal`] but reporting the first offending vector.
+    pub fn check_legal(&self, deps: &DependenceSet) -> Result<(), TilingError> {
+        for (idx, d) in deps.iter().enumerate() {
+            let hd = self.h.mul_vec(d.components());
+            if hd.iter().any(|r| r.is_negative()) {
+                return Err(TilingError::Illegal { dep_index: idx });
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's containment assumption: `⌊Hd⌋ = 0` for every `d ∈ D`
+    /// (every dependence vector fits strictly inside one tile), so `D^S`
+    /// has only 0/1 entries.
+    pub fn contains_dependences(&self, deps: &DependenceSet) -> bool {
+        self.check_contains(deps).is_ok()
+    }
+
+    /// Like [`Self::contains_dependences`] with error detail.
+    pub fn check_contains(&self, deps: &DependenceSet) -> Result<(), TilingError> {
+        self.check_legal(deps)?;
+        for (idx, d) in deps.iter().enumerate() {
+            let hd = self.h.mul_vec(d.components());
+            if hd.iter().any(|r| r.floor() != 0) {
+                return Err(TilingError::DependenceNotContained { dep_index: idx });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerate the fundamental domain: all integer points `j0` with
+    /// `⌊H j0⌋ = 0` (the tile at the origin). There are exactly
+    /// `|det P|` of them.
+    pub fn fundamental_domain(&self) -> Vec<Point> {
+        if let Some(sides) = &self.rect_sides {
+            let space = IterationSpace::new(
+                vec![0; sides.len()],
+                sides.iter().map(|&s| s - 1).collect(),
+            );
+            return space.points().collect();
+        }
+        // General case: scan the bounding box of the parallelepiped
+        // P·[0,1)^n and keep points whose tile is the origin tile.
+        let n = self.dims();
+        let unit = IterationSpace::new(vec![0; n], vec![1; n]);
+        let mut lo = vec![i64::MAX; n];
+        let mut hi = vec![i64::MIN; n];
+        for corner in unit.corners() {
+            let v = self.p.mul_vec(&corner);
+            for d in 0..n {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+        let bbox = IterationSpace::new(lo, hi);
+        let mut pts = Vec::with_capacity(self.volume() as usize);
+        for j in bbox.points() {
+            if self.tile_of(&j).iter().all(|&c| c == 0) {
+                pts.push(j);
+            }
+        }
+        debug_assert_eq!(pts.len() as i64, self.volume());
+        pts
+    }
+
+    /// The tile dependence set `D^S` (§2.3):
+    /// `D^S = { ⌊H(j0 + d)⌋ : d ∈ D, j0 in the origin tile }`, with the
+    /// zero vector (tile-internal flow) removed and duplicates merged.
+    ///
+    /// Under the containment assumption the result has only 0/1 entries.
+    pub fn tile_dependences(&self, deps: &DependenceSet) -> DependenceSet {
+        let n = self.dims();
+        let mut out: std::collections::BTreeSet<Vec<i64>> = Default::default();
+        if let Some(sides) = &self.rect_sides {
+            // Rectangular fast path: a dependence d ≥ 0 crossing the tile
+            // boundary in a subset S of the dimensions where d_i > 0 (or
+            // |d_i| ≥ 1 generally) yields the indicator vector of S. With
+            // d contained in a tile (|d_i| < side_i), every non-empty
+            // subset of supp(d) is realized by some j0 near the boundary.
+            for d in deps.iter() {
+                let c = d.components();
+                // Dimensions along which the dependence can spill forward.
+                let supp: Vec<usize> = (0..n).filter(|&i| c[i] > 0).collect();
+                // Verify containment for the fast path; fall back otherwise.
+                if c.iter().zip(sides).any(|(&x, &s)| x.abs() >= s) || c.iter().any(|&x| x < 0) {
+                    return self.tile_dependences_generic(deps);
+                }
+                for mask in 1..(1usize << supp.len()) {
+                    let mut v = vec![0i64; n];
+                    for (bit, &dim) in supp.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            v[dim] = 1;
+                        }
+                    }
+                    out.insert(v);
+                }
+            }
+        } else {
+            return self.tile_dependences_generic(deps);
+        }
+        let mut set = DependenceSet::new(n);
+        for v in out {
+            set.push(Dependence::new(v));
+        }
+        set
+    }
+
+    /// Generic (enumeration-based) `D^S`, valid for any legal tiling.
+    pub fn tile_dependences_generic(&self, deps: &DependenceSet) -> DependenceSet {
+        let n = self.dims();
+        let mut out: std::collections::BTreeSet<Vec<i64>> = Default::default();
+        let domain = self.fundamental_domain();
+        for d in deps.iter() {
+            for j0 in &domain {
+                let shifted: Vec<i64> = j0
+                    .iter()
+                    .zip(d.components())
+                    .map(|(&a, &b)| a + b)
+                    .collect();
+                let t = self.tile_of(&shifted);
+                if t.iter().any(|&c| c != 0) {
+                    out.insert(t);
+                }
+            }
+        }
+        let mut set = DependenceSet::new(n);
+        for v in out {
+            set.push(Dependence::new(v));
+        }
+        set
+    }
+
+    /// The tiled space `J^S = { ⌊Hj⌋ : j ∈ J^n }` as a rectangular space.
+    ///
+    /// For axis-aligned rectangular tilings of rectangular iteration
+    /// spaces this is exact. For general tilings the rectangle is the
+    /// bounding box of the image (some corner tiles may be empty); use
+    /// [`Self::tile_is_nonempty`] to filter.
+    pub fn tiled_space(&self, space: &IterationSpace) -> IterationSpace {
+        assert_eq!(space.dims(), self.dims(), "space arity mismatch");
+        if self.rect_sides.is_some() {
+            let lo = self.tile_of(space.lower());
+            let hi = self.tile_of(space.upper());
+            return IterationSpace::new(lo, hi);
+        }
+        let n = self.dims();
+        let mut lo = vec![i64::MAX; n];
+        let mut hi = vec![i64::MIN; n];
+        for corner in space.corners() {
+            let t = self.tile_of(&corner);
+            for d in 0..n {
+                lo[d] = lo[d].min(t[d]);
+                hi[d] = hi[d].max(t[d]);
+            }
+        }
+        IterationSpace::new(lo, hi)
+    }
+
+    /// True iff the tile with the given coordinates contains at least one
+    /// point of the iteration space.
+    pub fn tile_is_nonempty(&self, tile: &[i64], space: &IterationSpace) -> bool {
+        if let Some(sides) = &self.rect_sides {
+            // Tile spans [tile_d * side_d, (tile_d+1) * side_d).
+            return tile.iter().zip(sides.iter()).enumerate().all(|(d, (&t, &s))| {
+                let tile_lo = t * s;
+                let tile_hi = tile_lo + s - 1;
+                tile_hi >= space.lower()[d] && tile_lo <= space.upper()[d]
+            });
+        }
+        self.points_in_tile(tile, space).next().is_some()
+    }
+
+    /// Iterate the iteration-space points belonging to a given tile.
+    pub fn points_in_tile<'a>(
+        &'a self,
+        tile: &[i64],
+        space: &'a IterationSpace,
+    ) -> Box<dyn Iterator<Item = Point> + 'a> {
+        if let Some(sides) = &self.rect_sides {
+            let n = self.dims();
+            let mut lo = Vec::with_capacity(n);
+            let mut hi = Vec::with_capacity(n);
+            for d in 0..n {
+                let tl = tile[d] * sides[d];
+                let th = tl + sides[d] - 1;
+                let l = tl.max(space.lower()[d]);
+                let h = th.min(space.upper()[d]);
+                if l > h {
+                    return Box::new(std::iter::empty());
+                }
+                lo.push(l);
+                hi.push(h);
+            }
+            return Box::new(IterationSpace::new(lo, hi).points());
+        }
+        let origin = self.p.mul_vec(tile);
+        let domain = self.fundamental_domain();
+        Box::new(domain.into_iter().filter_map(move |off| {
+            let j: Vec<i64> = origin.iter().zip(&off).map(|(&a, &b)| a + b).collect();
+            space.contains(&j).then_some(j)
+        }))
+    }
+}
+
+impl fmt::Debug for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(s) = &self.rect_sides {
+            write!(f, "Tiling(rect {s:?})")
+        } else {
+            write!(f, "Tiling(P = {:?})", self.p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_2d() -> Tiling {
+        // P = [[2, 1], [0, 2]]: parallelogram tiles, det = 4.
+        Tiling::from_side_matrix(IntMatrix::from_rows(&[&[2, 1], &[0, 2]])).unwrap()
+    }
+
+    #[test]
+    fn rectangular_detection() {
+        let t = Tiling::rectangular(&[10, 10]);
+        assert_eq!(t.rectangular_sides(), Some(&[10, 10][..]));
+        assert!(skewed_2d().rectangular_sides().is_none());
+    }
+
+    #[test]
+    fn volume_is_det_p() {
+        assert_eq!(Tiling::rectangular(&[10, 10]).volume(), 100);
+        assert_eq!(Tiling::rectangular(&[4, 4, 444]).volume(), 7104);
+        assert_eq!(skewed_2d().volume(), 4);
+    }
+
+    #[test]
+    fn tile_of_rectangular() {
+        let t = Tiling::rectangular(&[10, 10]);
+        assert_eq!(t.tile_of(&[0, 0]), vec![0, 0]);
+        assert_eq!(t.tile_of(&[9, 9]), vec![0, 0]);
+        assert_eq!(t.tile_of(&[10, 9]), vec![1, 0]);
+        assert_eq!(t.tile_of(&[25, 37]), vec![2, 3]);
+        // Negative coordinates floor towards −∞.
+        assert_eq!(t.tile_of(&[-1, 0]), vec![-1, 0]);
+        assert_eq!(t.tile_of(&[-10, -11]), vec![-1, -2]);
+    }
+
+    #[test]
+    fn transform_roundtrip_rectangular() {
+        let t = Tiling::rectangular(&[7, 5]);
+        for j in IterationSpace::new(vec![-12, -12], vec![12, 12]).points() {
+            let (tile, off) = t.transform(&j);
+            assert_eq!(t.reconstruct(&tile, &off), j);
+            // Offset lies in the fundamental domain.
+            assert!(off[0] >= 0 && off[0] < 7, "offset {off:?}");
+            assert!(off[1] >= 0 && off[1] < 5, "offset {off:?}");
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_skewed() {
+        let t = skewed_2d();
+        for j in IterationSpace::new(vec![-6, -6], vec![6, 6]).points() {
+            let (tile, off) = t.transform(&j);
+            assert_eq!(t.reconstruct(&tile, &off), j);
+            // Offset is in the origin tile.
+            assert!(t.tile_of(&t.reconstruct(&[0, 0], &off)) == vec![0, 0]);
+        }
+    }
+
+    #[test]
+    fn legality_rectangular_nonnegative_deps() {
+        let t = Tiling::rectangular(&[10, 10]);
+        assert!(t.is_legal(&DependenceSet::example_1()));
+        // A negative dependence component is illegal for axis tiles.
+        let bad = DependenceSet::from_vectors(2, vec![vec![1, -1]]);
+        assert_eq!(t.check_legal(&bad), Err(TilingError::Illegal { dep_index: 0 }));
+    }
+
+    #[test]
+    fn legality_skewed_tiling_accepts_skewed_dep() {
+        // P = [[2,1],[0,2]] ⇒ H = [[1/2, -1/4], [0, 1/2]].
+        // d = (1, -1) has Hd = (3/4, -1/2): illegal.
+        // d = (1, 1) has Hd = (1/4, 1/2): legal.
+        let t = skewed_2d();
+        assert!(t.is_legal(&DependenceSet::from_vectors(2, vec![vec![1, 1]])));
+        assert!(!t.is_legal(&DependenceSet::from_vectors(2, vec![vec![1, -1]])));
+    }
+
+    #[test]
+    fn containment() {
+        let t = Tiling::rectangular(&[10, 10]);
+        assert!(t.contains_dependences(&DependenceSet::example_1()));
+        let big = DependenceSet::from_vectors(2, vec![vec![10, 0]]);
+        assert_eq!(
+            t.check_contains(&big),
+            Err(TilingError::DependenceNotContained { dep_index: 0 })
+        );
+    }
+
+    #[test]
+    fn fundamental_domain_sizes() {
+        assert_eq!(Tiling::rectangular(&[3, 4]).fundamental_domain().len(), 12);
+        assert_eq!(skewed_2d().fundamental_domain().len(), 4);
+    }
+
+    #[test]
+    fn tile_dependences_example_1() {
+        let t = Tiling::rectangular(&[10, 10]);
+        let ds = t.tile_dependences(&DependenceSet::example_1());
+        // D = {(1,1),(1,0),(0,1)} ⇒ D^S = {(0,1),(1,0),(1,1)}.
+        let vecs: Vec<_> = ds.iter().map(|d| d.components().to_vec()).collect();
+        assert_eq!(vecs.len(), 3);
+        assert!(vecs.contains(&vec![1, 0]));
+        assert!(vecs.contains(&vec![0, 1]));
+        assert!(vecs.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn tile_dependences_unit_deps() {
+        // Paper's 3-D kernel: D = {e1,e2,e3} ⇒ D^S = {e1,e2,e3}.
+        let t = Tiling::rectangular(&[4, 4, 444]);
+        let ds = t.tile_dependences(&DependenceSet::paper_3d());
+        let got: std::collections::BTreeSet<Vec<i64>> =
+            ds.iter().map(|x| x.components().to_vec()).collect();
+        let want: std::collections::BTreeSet<Vec<i64>> = DependenceSet::units(3)
+            .iter()
+            .map(|x| x.components().to_vec())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tile_dependences_fast_path_matches_generic() {
+        let t = Tiling::rectangular(&[4, 3]);
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, 1], vec![2, 0], vec![0, 1]]);
+        assert_eq!(t.tile_dependences(&deps), t.tile_dependences_generic(&deps));
+    }
+
+    #[test]
+    fn tiled_space_rectangular_exact() {
+        // 10000×1000 space with 10×10 tiles ⇒ 1000×100 tiles (Example 1).
+        let t = Tiling::rectangular(&[10, 10]);
+        let s = IterationSpace::from_extents(&[10_000, 1_000]);
+        let ts = t.tiled_space(&s);
+        assert_eq!(ts.lower(), &[0, 0]);
+        assert_eq!(ts.upper(), &[999, 99]);
+    }
+
+    #[test]
+    fn tiled_space_with_partial_tiles() {
+        // Extent 11 with side 4 ⇒ tiles 0,1,2 (last one partial).
+        let t = Tiling::rectangular(&[4]);
+        let s = IterationSpace::from_extents(&[11]);
+        let ts = t.tiled_space(&s);
+        assert_eq!(ts.upper(), &[2]);
+        assert!(t.tile_is_nonempty(&[2], &s));
+        assert_eq!(t.points_in_tile(&[2], &s).count(), 3);
+    }
+
+    #[test]
+    fn points_in_tile_cover_space_exactly() {
+        let t = Tiling::rectangular(&[3, 4]);
+        let s = IterationSpace::from_extents(&[7, 9]);
+        let ts = t.tiled_space(&s);
+        let mut count = 0usize;
+        for tile in ts.points() {
+            for j in t.points_in_tile(&tile, &s) {
+                assert!(s.contains(&j));
+                assert_eq!(t.tile_of(&j), tile);
+                count += 1;
+            }
+        }
+        assert_eq!(count as u64, s.volume());
+    }
+
+    #[test]
+    fn points_in_tile_skewed_cover() {
+        let t = skewed_2d();
+        let s = IterationSpace::from_extents(&[6, 6]);
+        let ts = t.tiled_space(&s);
+        let mut count = 0usize;
+        for tile in ts.points() {
+            for j in t.points_in_tile(&tile, &s) {
+                assert!(s.contains(&j));
+                assert_eq!(t.tile_of(&j), tile);
+                count += 1;
+            }
+        }
+        assert_eq!(count as u64, s.volume());
+    }
+
+    #[test]
+    fn singular_p_rejected() {
+        let err = Tiling::from_side_matrix(IntMatrix::from_rows(&[&[1, 2], &[2, 4]]));
+        assert_eq!(err.unwrap_err(), TilingError::Singular);
+    }
+
+    #[test]
+    fn non_square_p_rejected() {
+        let err = Tiling::from_side_matrix(IntMatrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]));
+        assert_eq!(err.unwrap_err(), TilingError::NotSquare);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TilingError::Illegal { dep_index: 2 }.to_string().contains("#2"));
+    }
+}

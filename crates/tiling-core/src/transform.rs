@@ -1,0 +1,383 @@
+//! Unimodular loop transformations (skewing, permutation, reversal).
+//!
+//! The paper's model (§2.1) requires lexicographically positive uniform
+//! dependences, and its tilings require `HD ≥ 0`. Many real loop nests
+//! (Jacobi-style stencils with negative dependence components, wavefront
+//! recurrences) satisfy neither *as written* — the classical remedy is a
+//! **unimodular transformation** `T` (|det T| = 1) applied first:
+//! iteration `j` becomes `T·j`, dependence `d` becomes `T·d`, and the
+//! transformed nest is tiled instead. Skewing in particular
+//! (`T = I + f·e_i·e_kᵀ`) makes negative components non-negative without
+//! changing the iteration count.
+//!
+//! This module implements unimodular matrices over `i64`, their action
+//! on dependence sets and (rectangular) iteration spaces, and an
+//! automatic skew search that legalizes a dependence set for
+//! axis-aligned rectangular tiling (all components ≥ 0).
+
+use crate::dependence::{Dependence, DependenceSet};
+use crate::matrix::IntMatrix;
+use crate::space::{IterationSpace, Point};
+use std::fmt;
+
+/// A unimodular (integer, |det| = 1) loop transformation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Unimodular {
+    t: IntMatrix,
+}
+
+/// Errors constructing a unimodular transformation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// The matrix is not square.
+    NotSquare,
+    /// |det T| ≠ 1.
+    NotUnimodular {
+        /// The offending determinant.
+        det: i64,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotSquare => write!(f, "transformation matrix must be square"),
+            TransformError::NotUnimodular { det } => {
+                write!(f, "matrix has |det| = {} ≠ 1", det.abs())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl Unimodular {
+    /// Wrap a matrix, verifying unimodularity.
+    pub fn new(t: IntMatrix) -> Result<Self, TransformError> {
+        if !t.is_square() {
+            return Err(TransformError::NotSquare);
+        }
+        let det = t.det();
+        if det.abs() != 1 {
+            return Err(TransformError::NotUnimodular { det });
+        }
+        Ok(Unimodular { t })
+    }
+
+    /// The identity transformation.
+    pub fn identity(n: usize) -> Self {
+        Unimodular {
+            t: IntMatrix::identity(n),
+        }
+    }
+
+    /// Skewing: add `factor ×` dimension `src` to dimension `dst`
+    /// (`dst ≠ src`), i.e. `j'_dst = j_dst + factor·j_src`.
+    pub fn skew(n: usize, dst: usize, src: usize, factor: i64) -> Self {
+        assert!(dst < n && src < n && dst != src, "bad skew dimensions");
+        let mut t = IntMatrix::identity(n);
+        t[(dst, src)] = factor;
+        Unimodular { t }
+    }
+
+    /// Loop interchange / permutation: dimension `i` of the result reads
+    /// dimension `perm[i]` of the original.
+    pub fn permutation(perm: &[usize]) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        let mut t = IntMatrix::zeros(n, n);
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+            t[(i, p)] = 1;
+        }
+        Unimodular { t }
+    }
+
+    /// Loop reversal of dimension `dim`.
+    pub fn reversal(n: usize, dim: usize) -> Self {
+        assert!(dim < n, "dimension out of range");
+        let mut t = IntMatrix::identity(n);
+        t[(dim, dim)] = -1;
+        Unimodular { t }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &IntMatrix {
+        &self.t
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.t.rows()
+    }
+
+    /// Compose: `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Unimodular) -> Unimodular {
+        Unimodular {
+            t: self.t.mul(&other.t),
+        }
+    }
+
+    /// The inverse transformation (also unimodular, exactly integral).
+    pub fn inverse(&self) -> Unimodular {
+        let det = self.t.det(); // ±1
+        let adj = self.t.adjugate();
+        let n = self.dims();
+        let mut inv = IntMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                inv[(i, j)] = det * adj[(i, j)]; // adj/det with det = ±1
+            }
+        }
+        Unimodular { t: inv }
+    }
+
+    /// Transform a point.
+    pub fn apply_point(&self, j: &[i64]) -> Point {
+        self.t.mul_vec(j)
+    }
+
+    /// Transform a dependence set: `d ↦ T·d`.
+    pub fn apply_deps(&self, deps: &DependenceSet) -> DependenceSet {
+        let mut out = DependenceSet::new(self.dims());
+        for d in deps.iter() {
+            out.push(Dependence::new(self.t.mul_vec(d.components())));
+        }
+        out
+    }
+
+    /// Bounding box of the transformed iteration space. Unimodular
+    /// transformations of rectangles are parallelepipeds; this returns
+    /// the enclosing rectangle (exact corner images), which is what the
+    /// paper-style rectangular machinery needs. The transformed set has
+    /// the same cardinality but may not fill the box.
+    pub fn apply_space_bounds(&self, space: &IterationSpace) -> IterationSpace {
+        assert_eq!(space.dims(), self.dims(), "arity mismatch");
+        let n = self.dims();
+        let mut lo = vec![i64::MAX; n];
+        let mut hi = vec![i64::MIN; n];
+        for corner in space.corners() {
+            let c = self.apply_point(&corner);
+            for d in 0..n {
+                lo[d] = lo[d].min(c[d]);
+                hi[d] = hi[d].max(c[d]);
+            }
+        }
+        IterationSpace::new(lo, hi)
+    }
+}
+
+impl fmt::Debug for Unimodular {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Unimodular({:?})", self.t)
+    }
+}
+
+/// Find a composition of skews that makes every dependence component
+/// non-negative (so axis-aligned rectangular tiling is legal), assuming
+/// the set is lexicographically positive. Returns `None` if the set is
+/// not lexicographically positive.
+///
+/// Strategy (classical wavefront skewing): process dimensions left to
+/// right; dimension `k` is skewed by enough multiples of the earlier
+/// dimensions to lift its most negative component, using for each
+/// dependence the first earlier dimension with a positive component.
+pub fn legalizing_skew(deps: &DependenceSet) -> Option<Unimodular> {
+    if !deps.all_lex_positive() {
+        return None;
+    }
+    let n = deps.dims();
+    let mut t = Unimodular::identity(n);
+    let mut current: Vec<Vec<i64>> = deps.iter().map(|d| d.components().to_vec()).collect();
+    for k in 1..n {
+        // Compute, over all dependences with current[k] < 0, the factor
+        // needed against their first positive earlier dimension.
+        let mut factors = vec![0i64; k];
+        for d in current.iter() {
+            if d[k] >= 0 {
+                continue;
+            }
+            // First earlier dimension with a positive component (exists:
+            // lexicographic positivity is preserved by these skews).
+            let src = (0..k).find(|&s| d[s] > 0)?;
+            let need = (-d[k] + d[src] - 1) / d[src]; // ⌈−d_k / d_src⌉
+            factors[src] = factors[src].max(need);
+        }
+        for (src, &f) in factors.iter().enumerate() {
+            if f > 0 {
+                let s = Unimodular::skew(n, k, src, f);
+                // Update running dependences and composition.
+                for d in current.iter_mut() {
+                    d[k] += f * d[src];
+                }
+                t = s.compose(&t);
+            }
+        }
+        // The per-source maxima may still leave a negative component
+        // when a dependence's first positive dimension differs from the
+        // one another dependence forced; iterate until fixed.
+        let mut guard = 0;
+        while current.iter().any(|d| d[k] < 0) {
+            guard += 1;
+            if guard > 64 {
+                return None; // should not happen for lex-positive sets
+            }
+            let mut more = vec![0i64; k];
+            for d in current.iter() {
+                if d[k] >= 0 {
+                    continue;
+                }
+                let src = (0..k).find(|&s| d[s] > 0)?;
+                let need = (-d[k] + d[src] - 1) / d[src];
+                more[src] = more[src].max(need);
+            }
+            for (src, &f) in more.iter().enumerate() {
+                if f > 0 {
+                    let s = Unimodular::skew(n, k, src, f);
+                    for d in current.iter_mut() {
+                        d[k] += f * d[src];
+                    }
+                    t = s.compose(&t);
+                }
+            }
+        }
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_compose() {
+        let id = Unimodular::identity(3);
+        let s = Unimodular::skew(3, 1, 0, 2);
+        assert_eq!(id.compose(&s), s);
+        assert_eq!(s.compose(&id), s);
+    }
+
+    #[test]
+    fn skew_action() {
+        let s = Unimodular::skew(2, 1, 0, 1);
+        assert_eq!(s.apply_point(&[3, 4]), vec![3, 7]);
+        // Jacobi-style dependence (1, −1) becomes (1, 0).
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -1], vec![1, 0], vec![1, 1]]);
+        let skewed = s.apply_deps(&deps);
+        let vecs: Vec<_> = skewed.iter().map(|d| d.components().to_vec()).collect();
+        assert_eq!(vecs, vec![vec![1, 0], vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn permutation_action() {
+        let p = Unimodular::permutation(&[2, 0, 1]);
+        assert_eq!(p.apply_point(&[10, 20, 30]), vec![30, 10, 20]);
+        assert_eq!(p.matrix().det().abs(), 1);
+    }
+
+    #[test]
+    fn reversal_action() {
+        let r = Unimodular::reversal(2, 1);
+        assert_eq!(r.apply_point(&[5, 7]), vec![5, -7]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let t = Unimodular::skew(3, 2, 0, 3)
+            .compose(&Unimodular::permutation(&[1, 0, 2]))
+            .compose(&Unimodular::skew(3, 1, 0, 1));
+        let inv = t.inverse();
+        let prod = t.compose(&inv);
+        assert_eq!(prod, Unimodular::identity(3));
+        for j in [[1i64, 2, 3], [0, -5, 7], [100, 0, -3]] {
+            assert_eq!(inv.apply_point(&t.apply_point(&j)), j.to_vec());
+        }
+    }
+
+    #[test]
+    fn non_unimodular_rejected() {
+        let m = IntMatrix::from_rows(&[&[2, 0], &[0, 1]]);
+        assert_eq!(
+            Unimodular::new(m).unwrap_err(),
+            TransformError::NotUnimodular { det: 2 }
+        );
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let m = IntMatrix::from_rows(&[&[1, 0, 0], &[0, 1, 0]]);
+        assert_eq!(Unimodular::new(m).unwrap_err(), TransformError::NotSquare);
+    }
+
+    #[test]
+    fn legalizing_skew_jacobi_1d() {
+        // Time-stepped 1-D Jacobi after naïve modeling:
+        // D = {(1,-1), (1,0), (1,1)}: components negative in dim 1.
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -1], vec![1, 0], vec![1, 1]]);
+        let t = legalizing_skew(&deps).expect("lex-positive");
+        let skewed = t.apply_deps(&deps);
+        assert!(skewed
+            .iter()
+            .all(|d| d.components().iter().all(|&c| c >= 0)));
+        // And rectangular tiling becomes legal.
+        let tiling = crate::tiling::Tiling::rectangular(&[4, 4]);
+        assert!(tiling.is_legal(&skewed));
+    }
+
+    #[test]
+    fn legalizing_skew_3d() {
+        let deps = DependenceSet::from_vectors(
+            3,
+            vec![vec![1, -2, 0], vec![1, 0, -1], vec![0, 1, -1], vec![1, 1, 1]],
+        );
+        let t = legalizing_skew(&deps).expect("lex-positive");
+        let skewed = t.apply_deps(&deps);
+        assert!(
+            skewed
+                .iter()
+                .all(|d| d.components().iter().all(|&c| c >= 0)),
+            "{skewed:?}"
+        );
+    }
+
+    #[test]
+    fn legalizing_skew_identity_when_already_nonnegative() {
+        let deps = DependenceSet::paper_3d();
+        let t = legalizing_skew(&deps).unwrap();
+        assert_eq!(t, Unimodular::identity(3));
+    }
+
+    #[test]
+    fn legalizing_skew_rejects_non_lex_positive() {
+        let deps = DependenceSet::from_vectors(2, vec![vec![-1, 1]]);
+        assert!(legalizing_skew(&deps).is_none());
+    }
+
+    #[test]
+    fn space_bounds_after_skew() {
+        let s = Unimodular::skew(2, 1, 0, 1);
+        let space = IterationSpace::from_extents(&[4, 4]);
+        let b = s.apply_space_bounds(&space);
+        // j'_1 ∈ 0..=6 (max at corner (3,3) → 6).
+        assert_eq!(b.lower(), &[0, 0]);
+        assert_eq!(b.upper(), &[3, 6]);
+        // Cardinality preserved: every transformed point is distinct and
+        // inside the bounds.
+        let mut seen = std::collections::BTreeSet::new();
+        for j in space.points() {
+            let p = s.apply_point(&j);
+            assert!(b.contains(&p));
+            assert!(seen.insert(p));
+        }
+        assert_eq!(seen.len() as u64, space.volume());
+    }
+
+    #[test]
+    fn skewed_dependences_stay_lex_positive() {
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -3], vec![2, 1]]);
+        let t = legalizing_skew(&deps).unwrap();
+        let skewed = t.apply_deps(&deps);
+        assert!(skewed.all_lex_positive());
+    }
+}

@@ -1,0 +1,148 @@
+//! Optimal schedules for UET / UET-UCT grid task graphs.
+//!
+//! Reference \[1\] of the paper (Andronikos, Koziris, Papakonstantinou,
+//! Tsanakas, *JPDC* 1999) proves two results the overlapping schedule
+//! rests on, for `n`-dimensional grid graphs (iteration spaces with unit
+//! dependence vectors):
+//!
+//! * **UET** (unit execution, zero communication): the schedule
+//!   `t(j) = Σ j_k` is time-optimal — this is the non-overlapping
+//!   hyperplane `Π = [1 … 1]`.
+//! * **UET-UCT** (unit execution, unit communication): with
+//!   communication between different processors costing one time unit
+//!   (overlappable with execution), the schedule
+//!   `t(j) = 2·Σ_{k≠i} j_k + j_i` is optimal, and the optimal space
+//!   schedule maps all points along the **maximal** dimension `i` to the
+//!   same processor.
+//!
+//! The paper's insight (§4) is that adjusting the tile grain `g` so that
+//! per-step communication equals per-step computation puts the tiled
+//! program exactly in the UET-UCT regime.
+//!
+//! This module provides the two schedules in their grid-graph form plus
+//! brute-force makespan oracles used to *verify optimality by exhaustion*
+//! on small grids in the test-suite.
+
+use crate::space::IterationSpace;
+
+/// Makespan of the UET schedule `Σ j_k` on a grid of the given extents:
+/// `Σ (e_k − 1) + 1`.
+pub fn uet_makespan(extents: &[i64]) -> i64 {
+    extents.iter().map(|&e| e - 1).sum::<i64>() + 1
+}
+
+/// Makespan of the UET-UCT schedule `2·Σ_{k≠i} j_k + j_i` with mapping
+/// dimension `i`: `2·Σ_{k≠i}(e_k − 1) + (e_i − 1) + 1`.
+pub fn uet_uct_makespan(extents: &[i64], mapping_dim: usize) -> i64 {
+    assert!(mapping_dim < extents.len(), "mapping dim out of range");
+    let mut total = 0;
+    for (k, &e) in extents.iter().enumerate() {
+        total += if k == mapping_dim { e - 1 } else { 2 * (e - 1) };
+    }
+    total + 1
+}
+
+/// The best mapping dimension for UET-UCT: the one with the largest
+/// extent (minimizes [`uet_uct_makespan`]).
+pub fn optimal_mapping_dimension(extents: &[i64]) -> usize {
+    let mut best = 0;
+    for (k, &e) in extents.iter().enumerate() {
+        if e > extents[best] {
+            best = k;
+        }
+    }
+    best
+}
+
+/// Brute-force earliest-start makespan for a UET-UCT grid: list
+/// scheduling where an edge costs 1 extra unit iff its endpoints live on
+/// different processors under "map along `mapping_dim`". Exponential in
+/// nothing — linear in grid size — but only meant for small grids.
+///
+/// Returns the length of the critical path, which a greedy processor
+/// assignment along the mapping dimension achieves (each processor owns
+/// a line of the grid, so no resource conflicts arise).
+pub fn uet_uct_bruteforce_makespan(extents: &[i64], mapping_dim: usize) -> i64 {
+    let space = IterationSpace::from_extents(extents);
+    let n = extents.len();
+    let mut best_finish = 0i64;
+    // dist[j] = earliest start of j. Process in lexicographic order
+    // (which is topological for unit deps).
+    let mut dist = std::collections::HashMap::new();
+    for j in space.points() {
+        let mut start = 0i64;
+        for k in 0..n {
+            if j[k] == 0 {
+                continue;
+            }
+            let mut pred = j.clone();
+            pred[k] -= 1;
+            let lag = if k == mapping_dim { 1 } else { 2 };
+            let cand = dist[&pred] + lag;
+            start = start.max(cand);
+        }
+        best_finish = best_finish.max(start);
+        dist.insert(j, start);
+    }
+    best_finish + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uet_makespan_formula() {
+        assert_eq!(uet_makespan(&[4, 4]), 7);
+        assert_eq!(uet_makespan(&[1000, 100]), 1099);
+        assert_eq!(uet_makespan(&[1]), 1);
+    }
+
+    #[test]
+    fn uet_uct_formula_matches_bruteforce() {
+        for extents in [vec![3i64, 4], vec![2, 2, 3], vec![5, 1], vec![4, 4, 4]] {
+            for d in 0..extents.len() {
+                assert_eq!(
+                    uet_uct_makespan(&extents, d),
+                    uet_uct_bruteforce_makespan(&extents, d),
+                    "extents {extents:?} dim {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn longest_dimension_is_optimal_mapping() {
+        for extents in [vec![3i64, 8], vec![2, 5, 3], vec![7, 7, 2]] {
+            let opt = optimal_mapping_dimension(&extents);
+            let best = (0..extents.len())
+                .map(|d| uet_uct_makespan(&extents, d))
+                .min()
+                .unwrap();
+            assert_eq!(uet_uct_makespan(&extents, opt), best, "extents {extents:?}");
+        }
+    }
+
+    #[test]
+    fn uet_uct_costs_more_planes_than_uet() {
+        // The overlap schedule spends more hyperplanes… (but each is
+        // cheaper — that's the whole point of §4).
+        let e = vec![4i64, 4, 37];
+        assert!(uet_uct_makespan(&e, 2) > uet_makespan(&e));
+    }
+
+    #[test]
+    fn single_line_grid_equal() {
+        // With only the mapping dimension extended, UET-UCT = UET:
+        // everything on one processor, no communication.
+        let e = vec![1i64, 1, 50];
+        assert_eq!(uet_uct_makespan(&e, 2), uet_makespan(&e));
+    }
+
+    #[test]
+    fn paper_experiment_plane_counts() {
+        // Experiment i: tiled space 4×4×37 mapped along k.
+        assert_eq!(uet_uct_makespan(&[4, 4, 37], 2), 49);
+        assert_eq!(uet_makespan(&[4, 4, 37]), 43);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the exact arithmetic layer: rational field
+//! laws, matrix algebra identities, and unimodular-transformation
+//! invariants. These underpin every legality and cost computation in
+//! the library, so they get their own adversarial suite.
+
+use proptest::prelude::*;
+use tiling_core::matrix::IntMatrix;
+use tiling_core::prelude::*;
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn nonzero_rational() -> impl Strategy<Value = Rational> {
+    rational().prop_filter("non-zero", |r| !r.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rational_field_laws(a in rational(), b in rational(), c in rational()) {
+        // Commutativity.
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        // Associativity.
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        // Distributivity.
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        // Identities and inverses.
+        prop_assert_eq!(a + Rational::ZERO, a);
+        prop_assert_eq!(a * Rational::ONE, a);
+        prop_assert_eq!(a + (-a), Rational::ZERO);
+    }
+
+    #[test]
+    fn rational_division_inverts_multiplication(a in rational(), b in nonzero_rational()) {
+        prop_assert_eq!((a / b) * b, a);
+        prop_assert_eq!(b * b.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn rational_floor_ceil_sandwich(a in rational()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rational::from_int(f) <= a);
+        prop_assert!(a <= Rational::from_int(c));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        } else {
+            prop_assert_eq!(c - f, 1);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_total_and_compatible(a in rational(), b in rational(), c in rational()) {
+        // Trichotomy via Ord; addition preserves order.
+        if a < b {
+            prop_assert!(a + c < b + c);
+        }
+        // Multiplication by positive preserves order.
+        if a < b && c.is_positive() {
+            prop_assert!(a * c < b * c);
+        }
+    }
+}
+
+fn small_matrix(n: usize) -> impl Strategy<Value = IntMatrix> {
+    prop::collection::vec(-5i64..=5, n * n).prop_map(move |v| {
+        let rows: Vec<&[i64]> = v.chunks(n).collect();
+        IntMatrix::from_rows(&rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// det(AB) = det(A)·det(B) for 3×3.
+    #[test]
+    fn det_is_multiplicative(a in small_matrix(3), b in small_matrix(3)) {
+        prop_assert_eq!(a.mul(&b).det(), a.det() * b.det());
+    }
+
+    /// det(Aᵀ) = det(A).
+    #[test]
+    fn det_transpose_invariant(a in small_matrix(3)) {
+        prop_assert_eq!(a.transpose().det(), a.det());
+    }
+
+    /// adj(A)·A = det(A)·I.
+    #[test]
+    fn adjugate_identity(a in small_matrix(3)) {
+        let d = a.det();
+        let prod = a.adjugate().mul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert_eq!(prod[(i, j)], if i == j { d } else { 0 });
+            }
+        }
+    }
+
+    /// A⁻¹·A = I exactly (rational) for non-singular A.
+    #[test]
+    fn inverse_roundtrip(a in small_matrix(3)) {
+        prop_assume!(a.det() != 0);
+        let inv = a.inverse();
+        prop_assert_eq!(inv.mul_int(&a), tiling_core::matrix::RatMatrix::identity(3));
+    }
+
+    /// Mat-vec distributes over vector addition.
+    #[test]
+    fn mul_vec_linear(a in small_matrix(3),
+                      x in prop::collection::vec(-9i64..=9, 3),
+                      y in prop::collection::vec(-9i64..=9, 3)) {
+        let sum: Vec<i64> = x.iter().zip(&y).map(|(&p, &q)| p + q).collect();
+        let ax = a.mul_vec(&x);
+        let ay = a.mul_vec(&y);
+        let asum = a.mul_vec(&sum);
+        for i in 0..3 {
+            prop_assert_eq!(asum[i], ax[i] + ay[i]);
+        }
+    }
+}
+
+fn unimodular() -> impl Strategy<Value = Unimodular> {
+    // Compose random elementary unimodular operations.
+    let op = prop_oneof![
+        (0usize..3, 0usize..3, -3i64..=3).prop_filter_map("skew dims distinct", |(d, s, f)| {
+            (d != s).then(|| Unimodular::skew(3, d, s, f))
+        }),
+        Just(Unimodular::permutation(&[1, 0, 2])),
+        Just(Unimodular::permutation(&[0, 2, 1])),
+        (0usize..3).prop_map(|d| Unimodular::reversal(3, d)),
+    ];
+    prop::collection::vec(op, 0..5).prop_map(|ops| {
+        ops.iter()
+            .fold(Unimodular::identity(3), |acc, o| o.compose(&acc))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unimodular transforms are bijections on Z³.
+    #[test]
+    fn unimodular_bijective(t in unimodular(), j in prop::collection::vec(-20i64..=20, 3)) {
+        prop_assert_eq!(t.matrix().det().abs(), 1);
+        let inv = t.inverse();
+        prop_assert_eq!(inv.apply_point(&t.apply_point(&j)), j.clone());
+        prop_assert_eq!(t.apply_point(&inv.apply_point(&j)), j);
+    }
+
+    /// Transforming dependences commutes with point translation:
+    /// T(j + d) = T(j) + T(d).
+    #[test]
+    fn unimodular_linear_on_dependences(
+        t in unimodular(),
+        j in prop::collection::vec(-10i64..=10, 3),
+        d in prop::collection::vec(-3i64..=3, 3),
+    ) {
+        let jd: Vec<i64> = j.iter().zip(&d).map(|(&a, &b)| a + b).collect();
+        let lhs = t.apply_point(&jd);
+        let tj = t.apply_point(&j);
+        let td = t.apply_point(&d);
+        let rhs: Vec<i64> = tj.iter().zip(&td).map(|(&a, &b)| a + b).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The legalizing skew always produces non-negative dependences and
+    /// preserves lexicographic positivity, for random lex-positive sets.
+    #[test]
+    fn legalizing_skew_works(
+        raw in prop::collection::vec(prop::collection::vec(-3i64..=3, 3), 1..4)
+    ) {
+        let mut set = DependenceSet::new(3);
+        for mut v in raw {
+            // Force lexicographic positivity: make the first non-zero
+            // positive, or set the leading component.
+            if let Some(pos) = v.iter().position(|&x| x != 0) {
+                if v[pos] < 0 {
+                    for x in v.iter_mut() {
+                        *x = -*x;
+                    }
+                }
+            } else {
+                v[0] = 1;
+            }
+            set.push(Dependence::new(v));
+        }
+        prop_assume!(set.all_lex_positive());
+        let t = legalizing_skew(&set).expect("lex-positive set must be legalizable");
+        let skewed = t.apply_deps(&set);
+        prop_assert!(skewed.iter().all(|d| d.components().iter().all(|&c| c >= 0)),
+            "skewed = {:?}", skewed);
+        prop_assert!(skewed.all_lex_positive());
+    }
+
+    /// Schedule validity is invariant under legalizing skews with the
+    /// matching transformed Π: if Π·d > 0 then (Π·T⁻¹)·(T·d) > 0.
+    #[test]
+    fn skew_preserves_schedule_feasibility(
+        d in prop::collection::vec(-3i64..=3, 3),
+    ) {
+        prop_assume!(Dependence::new(d.clone()).is_lex_positive());
+        let mut set = DependenceSet::new(3);
+        set.push(Dependence::new(d));
+        let t = legalizing_skew(&set).unwrap();
+        let skewed = t.apply_deps(&set);
+        // The all-ones schedule is valid for any non-negative, non-zero
+        // dependence set.
+        let ones = LinearSchedule::ones(3);
+        prop_assert!(ones.is_valid(&skewed));
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: tile a 2-D loop nest and compare the two schedules.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole pipeline of the paper on its own Example 1: model the
+//! loop, extract dependences, pick a tiling, check legality, price the
+//! communication, and predict completion time under the classical
+//! non-overlapping schedule (§3) and the overlapping schedule (§4).
+
+use overlap_tiling::prelude::*;
+
+fn main() {
+    // The loop of §3 Example 1:
+    //   for i1 = 0..9999, i2 = 0..999:
+    //     A[i1][i2] = A[i1-1][i2-1] + A[i1-1][i2] + A[i1][i2-1]
+    let nest = LoopNest::example_1();
+    let deps = nest.dependences().expect("lexicographically positive");
+    println!("iteration space: {:?}", nest.space());
+    println!("dependences:     {deps:?}\n");
+
+    // Square 10×10 tiles (the paper's optimal choice for this machine).
+    let tiling = Tiling::rectangular(&[10, 10]);
+    println!("tiling P = diag(10,10), g = {} points/tile", tiling.volume());
+    println!("legal (HD ≥ 0):          {}", tiling.is_legal(&deps));
+    println!(
+        "deps fit in one tile:    {}",
+        tiling.contains_dependences(&deps)
+    );
+
+    // Communication pricing (§2.4).
+    println!(
+        "V_comm all surfaces (1): {}",
+        v_comm_total(&tiling, &deps)
+    );
+    println!(
+        "V_comm mapped on i1 (2): {}\n",
+        v_comm_mapped(&tiling, &deps, 0)
+    );
+
+    // The machine of Example 1: t_c = 1 µs, t_s = 100 t_c, Ethernet.
+    let machine = MachineParams::example_1();
+
+    let no = NonOverlapSchedule::with_mapping(2, 0).analyze(&tiling, &deps, nest.space(), &machine);
+    println!("non-overlapping schedule Π = (1,1):");
+    println!("  P(g) = {} hyperplanes", no.schedule_length);
+    println!(
+        "  step = {:.0} µs = T_comp {:.0} + T_startup {:.0} + T_transmit {:.0}",
+        no.step_us, no.t_comp_us, no.t_startup_us, no.t_transmit_us
+    );
+    println!("  T    = {:.4} s\n", no.total_secs());
+
+    let ov = OverlapSchedule::with_mapping(2, 0).analyze(
+        &tiling,
+        &deps,
+        nest.space(),
+        &machine,
+        OverlapMode::DuplexDma,
+    );
+    println!("overlapping schedule Π = (1,2):");
+    println!("  P(g) = {} hyperplanes", ov.schedule_length);
+    println!(
+        "  step = {:.0} µs = max(CPU lane {:.0}, comm lane {:.0})",
+        ov.step_us, ov.cpu_lane_us, ov.comm_lane_us
+    );
+    println!("  T    = {:.4} s", ov.total_secs());
+    println!(
+        "\noverlap wins by {:.0}% — the paper's 0.4 s → 0.24 s result.",
+        (1.0 - ov.total_us / no.total_us) * 100.0
+    );
+}

@@ -1,0 +1,295 @@
+//! The compiler driver: source text → parallelization plan, end to end.
+//!
+//! [`plan`] chains every stage of the paper's pipeline — parse the loop
+//! nest, extract dependences, apply a legalizing skew if rectangular
+//! tiling would be illegal, choose the tile cross-section from the
+//! processor grid (§5 layout), compute the closed-form optimal tile
+//! height for the overlapping schedule (the §6 open problem), and
+//! evaluate both schedules' predicted completion times — and, when the
+//! layout fits the simulator's assumptions, confirms the prediction by
+//! interpreting the complete MPI programs on the simulated cluster.
+
+use cluster_sim::builders::ClusterProblem;
+use cluster_sim::engine::{simulate, SimConfig};
+use std::fmt;
+use tiling_core::prelude::*;
+
+/// Everything the driver decided and predicted.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The (possibly skewed) dependence set the plan is built for.
+    pub deps: DependenceSet,
+    /// The legalizing transform, if one was needed.
+    pub skew: Option<Unimodular>,
+    /// The iteration-space bounds the plan tiles (skewed bounding box
+    /// when a skew was applied).
+    pub space: IterationSpace,
+    /// Chosen tile sides.
+    pub tile_sides: Vec<i64>,
+    /// The mapping (pipeline) dimension.
+    pub mapping_dim: usize,
+    /// Closed-form optimal tile height along the mapping dimension.
+    pub v_optimal: i64,
+    /// Predicted non-overlapping completion time (s), eq. (3).
+    pub nonoverlap_s: f64,
+    /// Predicted overlapping completion time (s), eq. (4)/(5).
+    pub overlap_s: f64,
+    /// Simulated completion times (blocking, overlapping), if the
+    /// layout was simulable (divisible grid, contained dependences).
+    pub simulated_s: Option<(f64, f64)>,
+}
+
+impl PlanReport {
+    /// Predicted improvement of overlapping over non-overlapping.
+    pub fn predicted_improvement(&self) -> f64 {
+        1.0 - self.overlap_s / self.nonoverlap_s
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dependences:    {:?}", self.deps)?;
+        if let Some(t) = &self.skew {
+            writeln!(f, "legalizing skew: {:?}", t.matrix())?;
+        }
+        writeln!(f, "space:          {:?}", self.space)?;
+        writeln!(
+            f,
+            "tiling:         {:?} (mapping along dim {}, V* = {})",
+            self.tile_sides, self.mapping_dim, self.v_optimal
+        )?;
+        writeln!(f, "non-overlap:    {:.4} s (predicted)", self.nonoverlap_s)?;
+        writeln!(f, "overlap:        {:.4} s (predicted)", self.overlap_s)?;
+        if let Some((b, o)) = self.simulated_s {
+            writeln!(f, "simulated:      {b:.4} s blocking, {o:.4} s overlapping")?;
+        }
+        write!(
+            f,
+            "predicted improvement: {:.0}%",
+            self.predicted_improvement() * 100.0
+        )
+    }
+}
+
+/// Driver errors.
+#[derive(Clone, Debug)]
+pub enum PlanError {
+    /// The source text did not parse.
+    Parse(ParseError),
+    /// Dependence extraction failed (not lexicographically positive).
+    Dependences(String),
+    /// The processor grid does not divide the space's cross-section.
+    Layout(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Parse(e) => write!(f, "parse error: {e}"),
+            PlanError::Dependences(e) => write!(f, "dependence error: {e}"),
+            PlanError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Plan the parallel execution of a textual loop nest on `proc_grid`
+/// processors (one grid entry per non-mapping dimension).
+pub fn plan(
+    source: &str,
+    machine: &MachineParams,
+    proc_grid: &[i64],
+) -> Result<PlanReport, PlanError> {
+    let nest = tiling_core::parse::parse_loop_nest(source).map_err(PlanError::Parse)?;
+    let deps = nest
+        .dependences()
+        .map_err(|e| PlanError::Dependences(e.to_string()))?;
+    if deps.is_empty() {
+        return Err(PlanError::Dependences(
+            "fully parallel nest: tiling/pipelining is unnecessary".into(),
+        ));
+    }
+
+    // Legalize for rectangular tiling if needed.
+    let needs_skew = deps
+        .iter()
+        .any(|d| d.components().iter().any(|&c| c < 0));
+    let (deps, skew, space) = if needs_skew {
+        let t = legalizing_skew(&deps).ok_or_else(|| {
+            PlanError::Dependences("dependences not lexicographically positive".into())
+        })?;
+        let skewed = t.apply_deps(&deps);
+        let bounds = t.apply_space_bounds(nest.space());
+        (skewed, Some(t), bounds)
+    } else {
+        (deps, None, nest.space().clone())
+    };
+
+    if proc_grid.len() + 1 != space.dims() {
+        return Err(PlanError::Layout(format!(
+            "processor grid has {} dims; expected {}",
+            proc_grid.len(),
+            space.dims() - 1
+        )));
+    }
+
+    // Map along the longest dimension; the cross-section comes from the
+    // processor grid (§5: one tile column per processor).
+    let mapping_dim = space.longest_dimension();
+    let mut cross = Vec::with_capacity(space.dims() - 1);
+    let mut ci = 0;
+    for d in 0..space.dims() {
+        if d == mapping_dim {
+            continue;
+        }
+        let procs = proc_grid[ci];
+        ci += 1;
+        if procs <= 0 {
+            return Err(PlanError::Layout("processor counts must be positive".into()));
+        }
+        // Ceil-divide (positive operands): boundary tiles may be clipped.
+        cross.push((space.extent(d) + procs - 1) / procs);
+    }
+
+    // Closed-form optimal height for the overlap schedule.
+    let cf = overlap_optimal_v(&space, &deps, machine, &cross, mapping_dim);
+    let v = cf
+        .v_star_integer()
+        .clamp(1, space.extent(mapping_dim).max(1));
+
+    let mut sides = Vec::with_capacity(space.dims());
+    let mut ci = 0;
+    for d in 0..space.dims() {
+        if d == mapping_dim {
+            sides.push(v);
+        } else {
+            sides.push(cross[ci]);
+            ci += 1;
+        }
+    }
+    let tiling = Tiling::rectangular(&sides);
+
+    let no = NonOverlapSchedule::with_mapping(space.dims(), mapping_dim)
+        .analyze(&tiling, &deps, &space, machine);
+    let ov = OverlapSchedule::with_mapping(space.dims(), mapping_dim).analyze(
+        &tiling,
+        &deps,
+        &space,
+        machine,
+        OverlapMode::Serialized,
+    );
+
+    // Simulate when the layout is exact (the builders need contained
+    // dependences; clipped cross-sections are fine).
+    let simulated_s = ClusterProblem::new(tiling, deps.clone(), space.clone(), mapping_dim)
+        .ok()
+        .map(|problem| {
+            let cfg = SimConfig::new(*machine).with_trace(false);
+            let b = simulate(cfg, problem.blocking_programs(machine))
+                .expect("driver programs are deadlock-free");
+            let o = simulate(cfg, problem.overlapping_programs(machine))
+                .expect("driver programs are deadlock-free");
+            (b.makespan.as_secs(), o.makespan.as_secs())
+        });
+
+    Ok(PlanReport {
+        deps,
+        skew,
+        space,
+        tile_sides: sides,
+        mapping_dim,
+        v_optimal: v,
+        nonoverlap_s: no.total_secs(),
+        overlap_s: ov.total_secs(),
+        simulated_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_3D: &str = "
+        FOR i = 0 TO 15 DO
+          FOR j = 0 TO 15 DO
+            FOR k = 0 TO 8191 DO
+              A(i, j, k) = sqrt(A(i-1, j, k)) + sqrt(A(i, j-1, k)) + sqrt(A(i, j, k-1))
+            ENDFOR
+          ENDFOR
+        ENDFOR";
+
+    #[test]
+    fn plans_paper_kernel_end_to_end() {
+        let machine = MachineParams::paper_cluster();
+        let report = plan(PAPER_3D, &machine, &[4, 4]).unwrap();
+        assert_eq!(report.mapping_dim, 2);
+        assert_eq!(&report.tile_sides[..2], &[4, 4]);
+        assert!(report.skew.is_none());
+        assert!(report.v_optimal > 10 && report.v_optimal < 1000);
+        assert!(report.predicted_improvement() > 0.10);
+        let (b, o) = report.simulated_s.expect("simulable layout");
+        assert!(o < b);
+        // Display renders.
+        let text = report.to_string();
+        assert!(text.contains("predicted improvement"));
+    }
+
+    #[test]
+    fn plans_negative_dep_nest_with_skew() {
+        let src = "
+            FOR t = 0 TO 255 DO
+              FOR x = 0 TO 1023 DO
+                A(t, x) = A(t-1, x-1) + A(t-1, x) + A(t-1, x+1)
+              ENDFOR
+            ENDFOR";
+        let machine = MachineParams::paper_cluster();
+        let report = plan(src, &machine, &[8]).unwrap();
+        assert!(report.skew.is_some());
+        assert!(report
+            .deps
+            .iter()
+            .all(|d| d.components().iter().all(|&c| c >= 0)));
+        assert!(report.nonoverlap_s > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let machine = MachineParams::paper_cluster();
+        assert!(matches!(
+            plan("FOR garbage", &machine, &[4]),
+            Err(PlanError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_forward_dependence() {
+        let machine = MachineParams::paper_cluster();
+        let src = "FOR i = 0 TO 9\n A(i) = A(i+1)\nENDFOR";
+        // 1-D nest needs an empty proc grid; the dependence error comes
+        // first.
+        assert!(matches!(
+            plan(src, &machine, &[]),
+            Err(PlanError::Dependences(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_grid_arity() {
+        let machine = MachineParams::paper_cluster();
+        assert!(matches!(
+            plan(PAPER_3D, &machine, &[4]),
+            Err(PlanError::Layout(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_parallel_nest() {
+        let machine = MachineParams::paper_cluster();
+        let src = "FOR i = 0 TO 9\n B(i) = C(i)\nENDFOR";
+        assert!(matches!(
+            plan(src, &machine, &[]),
+            Err(PlanError::Dependences(_))
+        ));
+    }
+}
