@@ -10,6 +10,8 @@
 //! paper table12    Fig. 12 — the summary table, paper vs reproduction
 //! paper ablation   Fig. 3  — overlap-level ablation
 //! paper threads    real multi-threaded run (msgpass backend)
+//! paper perf       hot-path benchmark: optimized vs legacy executors
+//!                  (writes BENCH_stencil.json at the repo root)
 //! paper all        everything above
 //! ```
 //!
@@ -302,9 +304,222 @@ fn cmd_threads() {
     );
 }
 
+// ---- `paper perf`: the hot-path benchmark ------------------------------
+//
+// Measures the optimized distributed executors against the preserved
+// element-wise baseline (`stencil::legacy`) on identical workloads and
+// writes the comparison to BENCH_stencil.json at the repository root.
+// Latency is zero and the box may have a single core, so wall-clock time
+// equals total CPU work: exactly the per-cell/per-face overhead the
+// optimization removes.
+
+mod perf {
+    use msgpass::thread_backend::LatencyModel;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+    use stencil::dist3d::{Decomp3D, ExecMode};
+    use stencil::grid::Grid3D;
+    use stencil::kernel::{Paper3D, Relax3D};
+
+    struct CountingAlloc;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// One timed run: median wall time over `trials`, plus the
+    /// allocation count of a single run.
+    struct Measurement {
+        secs: f64,
+        cells_per_sec: f64,
+        step_us: f64,
+        allocs: u64,
+    }
+
+    fn measure(trials: usize, d: Decomp3D, run: impl Fn() -> Grid3D) -> Measurement {
+        let mut times = Vec::with_capacity(trials);
+        let mut allocs = u64::MAX;
+        let mut sink = 0.0f32;
+        for _ in 0..trials {
+            let a0 = ALLOCS.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let grid = run();
+            let secs = t0.elapsed().as_secs_f64();
+            let a1 = ALLOCS.load(Ordering::Relaxed);
+            sink += grid.data()[grid.data().len() / 2];
+            times.push(secs);
+            allocs = allocs.min(a1 - a0);
+        }
+        assert!(sink.is_finite());
+        times.sort_by(f64::total_cmp);
+        let secs = times[times.len() / 2];
+        let cells = (d.nx * d.ny * d.nz) as f64;
+        Measurement {
+            secs,
+            cells_per_sec: cells / secs,
+            step_us: secs * 1e6 / d.steps() as f64,
+            allocs,
+        }
+    }
+
+    struct Comparison {
+        name: &'static str,
+        kernel: &'static str,
+        mode: ExecMode,
+        d: Decomp3D,
+        baseline: Measurement,
+        optimized: Measurement,
+    }
+
+    impl Comparison {
+        fn speedup(&self) -> f64 {
+            self.baseline.secs / self.optimized.secs
+        }
+    }
+
+    fn compare(
+        name: &'static str,
+        kernel: &'static str,
+        d: Decomp3D,
+        mode: ExecMode,
+        trials: usize,
+    ) -> Comparison {
+        let lat = LatencyModel::zero();
+        let (baseline, optimized) = match kernel {
+            "relax3d" => (
+                measure(trials, d, || {
+                    stencil::legacy::run_dist3d(Relax3D::default(), d, lat, mode).0
+                }),
+                measure(trials, d, || {
+                    stencil::dist3d::run_dist3d(Relax3D::default(), d, lat, mode).0
+                }),
+            ),
+            "paper3d" => (
+                measure(trials, d, || {
+                    stencil::legacy::run_dist3d(Paper3D, d, lat, mode).0
+                }),
+                measure(trials, d, || stencil::dist3d::run_dist3d(Paper3D, d, lat, mode).0),
+            ),
+            other => unreachable!("unknown kernel {other}"),
+        };
+        Comparison {
+            name,
+            kernel,
+            mode,
+            d,
+            baseline,
+            optimized,
+        }
+    }
+
+    fn json_measurement(m: &Measurement) -> String {
+        format!(
+            "{{\"secs\": {:.6}, \"cells_per_sec\": {:.0}, \"step_us\": {:.3}, \"allocs\": {}}}",
+            m.secs, m.cells_per_sec, m.step_us, m.allocs
+        )
+    }
+
+    fn json_comparison(c: &Comparison) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"kernel\": \"{}\",\n      \"mode\": \"{}\",\n      \
+             \"grid\": [{}, {}, {}],\n      \"procs\": [{}, {}],\n      \"v\": {},\n      \"steps\": {},\n      \
+             \"baseline\": {},\n      \"optimized\": {},\n      \"speedup\": {:.3}\n    }}",
+            c.name,
+            c.kernel,
+            match c.mode {
+                ExecMode::Blocking => "blocking",
+                ExecMode::Overlapping => "overlapping",
+            },
+            c.d.nx,
+            c.d.ny,
+            c.d.nz,
+            c.d.pi,
+            c.d.pj,
+            c.d.v,
+            c.d.steps(),
+            json_measurement(&c.baseline),
+            json_measurement(&c.optimized),
+            c.speedup()
+        )
+    }
+
+    pub fn run() {
+        println!("== hot-path benchmark: optimized executors vs element-wise legacy ==\n");
+        // Cheap kernel, small cross-section, deep pipeline: the
+        // per-cell/per-face overhead the optimization targets dominates
+        // the kernel arithmetic. Zero latency isolates executor cost.
+        let deep = Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: 65_536,
+            pi: 2,
+            pj: 2,
+            v: 256,
+            boundary: 1.0,
+        };
+        let trials = 5;
+        let comparisons = [
+            compare("relax3d-overlap", "relax3d", deep, ExecMode::Overlapping, trials),
+            compare("relax3d-blocking", "relax3d", deep, ExecMode::Blocking, trials),
+            compare("paper3d-overlap", "paper3d", deep, ExecMode::Overlapping, trials),
+        ];
+        for c in &comparisons {
+            println!(
+                "{:18} {:11} baseline {:>7.1} Mcells/s, {:>6} allocs | optimized {:>7.1} Mcells/s, {:>6} allocs | speedup {:.2}x",
+                c.name,
+                format!("({:?})", c.mode),
+                c.baseline.cells_per_sec / 1e6,
+                c.baseline.allocs,
+                c.optimized.cells_per_sec / 1e6,
+                c.optimized.allocs,
+                c.speedup()
+            );
+        }
+        let headline = &comparisons[0];
+        let json = format!(
+            "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"{}\",\n    \
+             \"baseline_cells_per_sec\": {:.0},\n    \"optimized_cells_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
+             \"comparisons\": [\n{}\n  ]\n}}\n",
+            headline.name,
+            headline.baseline.cells_per_sec,
+            headline.optimized.cells_per_sec,
+            headline.speedup(),
+            comparisons
+                .iter()
+                .map(json_comparison)
+                .collect::<Vec<_>>()
+                .join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json");
+        std::fs::write(path, &json).expect("write BENCH_stencil.json");
+        println!(
+            "\nheadline: {} — {:.2}x cells/sec over the element-wise baseline",
+            headline.name,
+            headline.speedup()
+        );
+        println!("written to {path}");
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|all>"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|perf|all>"
     );
     std::process::exit(2);
 }
@@ -325,6 +540,7 @@ fn main() {
         "sensitivity" => cmd_sensitivity(),
         "scaling" => cmd_scaling(),
         "threads" => cmd_threads(),
+        "perf" => perf::run(),
         "all" => {
             cmd_example1();
             println!("\n");
@@ -347,6 +563,8 @@ fn main() {
             cmd_scaling();
             println!("\n");
             cmd_threads();
+            println!("\n");
+            perf::run();
         }
         _ => usage(),
     }

@@ -1,0 +1,294 @@
+//! # microbench — offline micro-benchmark harness
+//!
+//! A dependency-free stand-in for the subset of the [`criterion`] API the
+//! workspace's `[[bench]]` targets use. The build environment has no network
+//! access to a crates registry, so the workspace maps
+//! `criterion = { package = "microbench" }` onto this crate; the existing
+//! bench files compile unchanged.
+//!
+//! Supported surface: `Criterion`, `benchmark_group` + `sample_size` +
+//! `throughput` + `finish`, `bench_function`, `Bencher::{iter, iter_custom}`,
+//! `Throughput::{Elements, Bytes}`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated with a single timed call,
+//! then run for `sample_size` samples (each batching enough iterations to be
+//! timeable); the median, mean and min per-iteration times are printed along
+//! with throughput when configured. Set `MICROBENCH_FAST=1` to clamp every
+//! benchmark to one sample of one iteration (smoke mode for CI).
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            target_sample: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &id.into(),
+            self.sample_size,
+            self.target_sample,
+            None,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            target_sample: self.target_sample,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Print the end-of-run banner (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        eprintln!("\nmicrobench: done");
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    target_sample: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so throughput can be reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.target_sample, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`, consuming each result with `black_box`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hand full control of timing to the closure: it receives the
+    /// iteration count and must return the elapsed time for exactly that
+    /// many iterations.
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("MICROBENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    target_sample: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration (doubles as warm-up): one iteration, timed.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let calib = b.elapsed.max(Duration::from_nanos(1));
+
+    let (samples, iters_per_sample) = if fast_mode() {
+        (1usize, 1u64)
+    } else {
+        let per = (target_sample.as_nanos() / calib.as_nanos()).clamp(1, 1 << 20) as u64;
+        (sample_size.max(1), per)
+    };
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns[0];
+
+    let thrpt = throughput.map(|t| match t {
+        Throughput::Elements(n) => format_rate(n as f64 / (median * 1e-9), "elem/s"),
+        Throughput::Bytes(n) => format_rate(n as f64 / (median * 1e-9), "B/s"),
+    });
+
+    eprint!(
+        "{id:<52} time: [{} median, {} mean, {} min; {samples}x{iters_per_sample}]",
+        format_ns(median),
+        format_ns(mean),
+        format_ns(min),
+    );
+    match thrpt {
+        Some(t) => eprintln!("  thrpt: {t}"),
+        None => eprintln!(),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Bundle benchmark functions into a group runner (mirrors criterion's
+/// macro; the generated function takes `&mut Criterion`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("MICROBENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(1 + 1);
+                }
+                t.elapsed()
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatters_cover_scales() {
+        assert!(format_ns(0.5).contains("ns"));
+        assert!(format_ns(2.5e3).contains("µs"));
+        assert!(format_ns(2.5e6).contains("ms"));
+        assert!(format_ns(2.5e9).contains(" s"));
+        assert!(format_rate(5e9, "elem/s").starts_with("5.000 G"));
+        assert!(format_rate(5e3, "elem/s").starts_with("5.000 K"));
+        assert!(format_rate(5.0, "elem/s").starts_with("5.0 "));
+    }
+}

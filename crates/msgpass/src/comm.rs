@@ -61,4 +61,61 @@ pub trait Communicator<T: Send + 'static> {
 
     /// Block until every rank has entered the barrier.
     fn barrier(&mut self);
+
+    // ---- persistent-buffer API ----------------------------------------
+    //
+    // MPI-persistent-request-style variants that let callers keep
+    // ownership of their buffers across steps. The default
+    // implementations fall back to the owning `Vec` methods (one
+    // allocation per call); backends with a buffer pool — notably
+    // `ThreadComm` — override them so steady-state pipeline steps
+    // allocate nothing.
+
+    /// Blocking send out of a caller-owned buffer (`MPI_Send` on a
+    /// persistent buffer). The caller may reuse `data` immediately after
+    /// the call returns.
+    fn send_from(&mut self, to: usize, tag: Tag, data: &[T])
+    where
+        T: Copy,
+    {
+        self.send(to, tag, data.to_vec());
+    }
+
+    /// Non-blocking send out of a caller-owned buffer (`MPI_Isend` on a
+    /// persistent buffer). The transport copies `data` before returning,
+    /// so the caller may reuse the buffer immediately — no need to hold
+    /// it until `wait_send`.
+    fn isend_from(&mut self, to: usize, tag: Tag, data: &[T]) -> SendRequest
+    where
+        T: Copy,
+    {
+        self.isend(to, tag, data.to_vec())
+    }
+
+    /// Blocking receive into a caller-owned buffer (`MPI_Recv` on a
+    /// persistent buffer). Panics if the message length differs from
+    /// `out.len()`.
+    fn recv_into(&mut self, from: usize, tag: Tag, out: &mut [T])
+    where
+        T: Copy,
+    {
+        let data = self.recv(from, tag);
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "recv_into: message length mismatch (from {from}, tag {tag})"
+        );
+        out.copy_from_slice(&data);
+    }
+
+    /// Complete a non-blocking receive into a caller-owned buffer.
+    /// Panics if the message length differs from `out.len()`.
+    fn wait_recv_into(&mut self, req: RecvRequest, out: &mut [T])
+    where
+        T: Copy,
+    {
+        let data = self.wait_recv(req);
+        assert_eq!(data.len(), out.len(), "wait_recv_into: message length mismatch");
+        out.copy_from_slice(&data);
+    }
 }

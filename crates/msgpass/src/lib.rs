@@ -29,6 +29,6 @@ pub mod topology;
 pub mod prelude {
     pub use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
     pub use crate::recording::{record_sequential, RecordingComm};
-    pub use crate::thread_backend::{run_threads, LatencyModel, ThreadComm};
+    pub use crate::thread_backend::{run_threads, LatencyModel, PoolStats, ThreadComm};
     pub use crate::topology::CartesianGrid;
 }

@@ -1,4 +1,4 @@
-//! Real multi-threaded backend: one OS thread per rank, crossbeam
+//! Real multi-threaded backend: one OS thread per rank, `std::sync::mpsc`
 //! channels as the transport, and an injected wire-latency model.
 //!
 //! The latency model is what makes overlap *measurable* on a shared-
@@ -11,10 +11,21 @@
 //! Blocking sends additionally sleep the *sender* for the transmission
 //! time (the paper's Fig. 7: a blocking send suspends the caller until
 //! the message is out).
+//!
+//! ## Persistent buffers
+//!
+//! Every directed rank pair carries a second, reverse channel that
+//! returns spent payload buffers to their sender. The persistent-buffer
+//! entry points (`send_from`/`isend_from`/`recv_into`/`wait_recv_into`)
+//! draw from this pool, so after a short warm-up a steady-state pipeline
+//! step performs **zero heap allocations** in the transport: the same
+//! few buffers shuttle back and forth for the lifetime of the run,
+//! mirroring MPI persistent requests. [`ThreadComm::pool_stats`] exposes
+//! counters that tests use to assert this.
 
 use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
 /// Affine wire-latency model `startup + per_byte · payload_bytes`.
@@ -44,9 +55,12 @@ impl LatencyModel {
         }
     }
 
-    /// The wire time of a `bytes`-byte message.
+    /// The wire time of a `bytes`-byte message, rounded to the nearest
+    /// nanosecond (truncation would silently floor sub-ns amounts, biasing
+    /// accumulated model time low).
     pub fn delay(&self, bytes: usize) -> Duration {
-        Duration::from_nanos(((self.startup_us + self.per_byte_us * bytes as f64) * 1e3) as u64)
+        let ns = (self.startup_us + self.per_byte_us * bytes as f64) * 1e3;
+        Duration::from_nanos(ns.round() as u64)
     }
 }
 
@@ -74,6 +88,18 @@ fn wait_until(deadline: Instant) {
     }
 }
 
+/// Buffer-pool counters for the persistent-buffer API (see
+/// [`ThreadComm::pool_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers allocated because the pool had none available (warm-up).
+    pub fresh_allocs: u64,
+    /// Sends served from a recycled buffer (steady state).
+    pub recycled: u64,
+    /// Consumed receive buffers returned to their sender's pool.
+    pub returned: u64,
+}
+
 /// The per-rank communicator of the threaded backend.
 pub struct ThreadComm<T> {
     rank: usize,
@@ -84,6 +110,11 @@ pub struct ThreadComm<T> {
     receivers: Vec<Receiver<Msg<T>>>,
     /// Out-of-order buffer per source.
     stash: Vec<VecDeque<Msg<T>>>,
+    /// `ret_tx[src]` returns spent buffers of messages from `src`.
+    ret_tx: Vec<Sender<Vec<T>>>,
+    /// `ret_rx[dst]` yields back buffers this rank previously sent to `dst`.
+    ret_rx: Vec<Receiver<Vec<T>>>,
+    stats: PoolStats,
     latency: LatencyModel,
     /// Barrier shared by the world.
     barrier: std::sync::Arc<std::sync::Barrier>,
@@ -94,6 +125,42 @@ pub struct ThreadComm<T> {
 impl<T: Send + 'static> ThreadComm<T> {
     fn payload_bytes(&self, len: usize) -> usize {
         len * self.elem_bytes
+    }
+
+    /// Buffer-pool counters: after warm-up, `fresh_allocs` stays flat
+    /// while `recycled`/`returned` grow with the step count — the
+    /// zero-steady-state-allocation property the overlapping executor
+    /// relies on.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Obtain a send buffer holding a copy of `data`: recycled from the
+    /// `dst` return channel when available, freshly allocated otherwise.
+    fn acquire(&mut self, dst: usize, data: &[T]) -> Vec<T>
+    where
+        T: Copy,
+    {
+        let mut buf = match self.ret_rx[dst].try_recv() {
+            Ok(b) => {
+                self.stats.recycled += 1;
+                b
+            }
+            Err(_) => {
+                self.stats.fresh_allocs += 1;
+                Vec::with_capacity(data.len())
+            }
+        };
+        buf.clear();
+        buf.extend_from_slice(data);
+        buf
+    }
+
+    /// Hand a consumed payload buffer back to the rank that sent it. The
+    /// peer may already have exited; its pool is then simply dropped.
+    fn release(&mut self, src: usize, buf: Vec<T>) {
+        self.stats.returned += 1;
+        let _ = self.ret_tx[src].send(buf);
     }
 
     /// Pull messages from `from` until one with `tag` appears; honor the
@@ -199,10 +266,60 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
     fn barrier(&mut self) {
         self.barrier.wait();
     }
+
+    fn send_from(&mut self, to: usize, tag: Tag, data: &[T])
+    where
+        T: Copy,
+    {
+        let buf = self.acquire(to, data);
+        self.send(to, tag, buf);
+    }
+
+    fn isend_from(&mut self, to: usize, tag: Tag, data: &[T]) -> SendRequest
+    where
+        T: Copy,
+    {
+        let buf = self.acquire(to, data);
+        self.isend(to, tag, buf)
+    }
+
+    fn recv_into(&mut self, from: usize, tag: Tag, out: &mut [T])
+    where
+        T: Copy,
+    {
+        let msg = self.match_message(from, tag);
+        wait_until(msg.ready_at);
+        assert_eq!(
+            msg.data.len(),
+            out.len(),
+            "recv_into: message length mismatch (from {from}, tag {tag})"
+        );
+        out.copy_from_slice(&msg.data);
+        self.release(from, msg.data);
+    }
+
+    fn wait_recv_into(&mut self, req: RecvRequest, out: &mut [T])
+    where
+        T: Copy,
+    {
+        let msg = self.match_message(req.from, req.tag);
+        wait_until(msg.ready_at);
+        assert_eq!(
+            msg.data.len(),
+            out.len(),
+            "wait_recv_into: message length mismatch (from {}, tag {})",
+            req.from,
+            req.tag
+        );
+        out.copy_from_slice(&msg.data);
+        self.release(req.from, msg.data);
+    }
 }
 
 /// Build the full mesh of per-rank communicators (used by
-/// [`run_threads`] and by the trace-recording driver).
+/// [`run_threads`] and by the trace-recording driver). Each directed
+/// pair gets a data channel plus a reverse buffer-return channel for the
+/// persistent-buffer pool.
 pub(crate) fn build_world<T: Send + 'static>(
     size: usize,
     latency: LatencyModel,
@@ -212,13 +329,23 @@ pub(crate) fn build_world<T: Send + 'static>(
     let mut to_senders: Vec<Vec<Option<Sender<Msg<T>>>>> = Vec::with_capacity(size);
     let mut from_receivers: Vec<Vec<Option<Receiver<Msg<T>>>>> =
         (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-    #[allow(clippy::needless_range_loop)] // src/dst index two structures
+    // Return path of the buffer pool: for the data link src→dst, the
+    // consumer (dst) holds the sender half and the producer (src) the
+    // receiver half.
+    let mut ret_senders: Vec<Vec<Option<Sender<Vec<T>>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    let mut ret_receivers: Vec<Vec<Option<Receiver<Vec<T>>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    #[allow(clippy::needless_range_loop)] // src/dst index several structures
     for src in 0..size {
         let mut row = Vec::with_capacity(size);
         for dst in 0..size {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             row.push(Some(s));
             from_receivers[dst][src] = Some(r);
+            let (rs, rr) = channel::<Vec<T>>();
+            ret_senders[dst][src] = Some(rs);
+            ret_receivers[src][dst] = Some(rr);
         }
         to_senders.push(row);
     }
@@ -233,12 +360,21 @@ pub(crate) fn build_world<T: Send + 'static>(
         let receivers = (0..size)
             .map(|src| from_receivers[rank][src].take().expect("receiver taken once"))
             .collect();
+        let ret_tx = (0..size)
+            .map(|src| ret_senders[rank][src].take().expect("ret sender taken once"))
+            .collect();
+        let ret_rx = (0..size)
+            .map(|dst| ret_receivers[rank][dst].take().expect("ret receiver taken once"))
+            .collect();
         comms.push(ThreadComm {
             rank,
             size,
             senders,
             receivers,
             stash: (0..size).map(|_| VecDeque::new()).collect(),
+            ret_tx,
+            ret_rx,
+            stats: PoolStats::default(),
             latency,
             barrier: barrier.clone(),
             next_req: 0,
@@ -450,5 +586,88 @@ mod tests {
         assert_eq!(lat.delay(0), Duration::from_micros(100));
         assert_eq!(lat.delay(200), Duration::from_micros(200));
         assert_eq!(LatencyModel::zero().delay(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_model_delay_rounds_to_nearest() {
+        // zero() stays exactly zero for any size.
+        assert_eq!(LatencyModel::zero().delay(0), Duration::ZERO);
+        assert_eq!(LatencyModel::zero().delay(usize::MAX >> 16), Duration::ZERO);
+        // 0.6 ns rounds up to 1 ns (`as u64` used to floor it to 0).
+        let sub_ns = LatencyModel {
+            startup_us: 0.0006,
+            per_byte_us: 0.0,
+        };
+        assert_eq!(sub_ns.delay(0), Duration::from_nanos(1));
+        // 0.4 ns rounds down.
+        let below_half = LatencyModel {
+            startup_us: 0.0004,
+            per_byte_us: 0.0,
+        };
+        assert_eq!(below_half.delay(0), Duration::ZERO);
+        // Fractional-µs startup: 1.2346 µs = 1234.6 ns → 1235 ns, where
+        // truncation produced 1234 ns.
+        let frac = LatencyModel {
+            startup_us: 1.2346,
+            per_byte_us: 0.0,
+        };
+        assert_eq!(frac.delay(0), Duration::from_nanos(1235));
+        // Per-byte fractions accumulate before rounding: 2 B × 0.0003 µs/B
+        // = 0.6 ns → 1 ns (truncation: 0).
+        let per_byte = LatencyModel {
+            startup_us: 0.0,
+            per_byte_us: 0.0003,
+        };
+        assert_eq!(per_byte.delay(2), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn persistent_buffers_recycle_after_warmup() {
+        const STEPS: u64 = 50;
+        let (results, _) = run_threads::<f64, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                let payload: Vec<f64> = (0..64).map(|i| i as f64).collect();
+                let mut ack = [0.0f64; 1];
+                for k in 0..STEPS {
+                    let s = comm.isend_from(1, k, &payload);
+                    comm.wait_send(s);
+                    // Wait for the ack so the buffer has round-tripped
+                    // before the next send.
+                    comm.recv_into(1, 1000 + k, &mut ack);
+                }
+                comm.pool_stats()
+            } else {
+                let mut out = vec![0.0f64; 64];
+                for k in 0..STEPS {
+                    let r = comm.irecv(0, k);
+                    comm.wait_recv_into(r, &mut out);
+                    assert_eq!(out[63], 63.0);
+                    comm.send_from(0, 1000 + k, &out[..1]);
+                }
+                comm.pool_stats()
+            }
+        });
+        for stats in &results {
+            // Exactly one warm-up allocation per link; everything after
+            // that is recycled.
+            assert_eq!(stats.fresh_allocs, 1, "{stats:?}");
+            assert_eq!(stats.recycled, STEPS - 1, "{stats:?}");
+            assert_eq!(stats.returned, STEPS, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn recv_into_checks_length() {
+        let result = std::panic::catch_unwind(|| {
+            run_threads::<u8, _, _>(2, LatencyModel::zero(), |mut comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![1, 2, 3]);
+                } else {
+                    let mut out = [0u8; 2];
+                    comm.recv_into(0, 0, &mut out);
+                }
+            });
+        });
+        assert!(result.is_err(), "length mismatch must panic");
     }
 }

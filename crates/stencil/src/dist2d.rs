@@ -7,9 +7,22 @@
 //! keeping the *whole* halo column resident: the value `(i−1, j₀−1)`
 //! needed by tile `k` arrived with message `k` (rows `kV..`) or message
 //! `k−1` (row `kV−1`), both already received before tile `k` computes.
+//!
+//! ## Hot-path structure
+//!
+//! Mirrors [`crate::dist3d`]: `compute_tile` peels `i==0`/`j==0` out of
+//! the inner loop — each row's `i−1` neighbors are one contiguous slice
+//! (the previous strip row or a boundary splat), the `j−1` value is
+//! loop-carried, and the diagonal/west pair comes from a two-wide window
+//! over the neighbor row. The outgoing face column (stride `by`) packs
+//! into a persistent buffer; the halo column is contiguous, so receives
+//! land *directly* in `halo[i0..i1]` with no unpack step or scratch
+//! buffer. Steady-state steps allocate nothing. The element-wise
+//! original survives in [`crate::legacy`] as oracle and perf baseline.
 
 use crate::grid::Grid2D;
 use crate::kernel::{Example1, Kernel2D};
+use crate::proto::{tag, DIR_J};
 use msgpass::comm::Communicator;
 use msgpass::thread_backend::{run_threads, LatencyModel};
 use std::time::Duration;
@@ -59,11 +72,14 @@ impl Decomp2D {
         self.nx.div_ceil(self.v)
     }
 
-    fn irange(&self, k: usize) -> (usize, usize) {
+    /// The i-range of step `k` (the last tile may be partial).
+    pub(crate) fn irange(&self, k: usize) -> (usize, usize) {
         (k * self.v, ((k + 1) * self.v).min(self.nx))
     }
 }
 
+/// Per-rank working state. All buffers are allocated once; the pipeline
+/// loop never allocates.
 struct Strip2D {
     d: Decomp2D,
     /// Own strip, `nx × by`, j fastest.
@@ -73,6 +89,10 @@ struct Strip2D {
     has_left: bool,
     /// Global j of the strip's first column.
     gj0: i64,
+    /// Boundary splat, `by` long: the `i−1` neighbor row of row 0.
+    brow: Vec<f32>,
+    /// Persistent outgoing-face buffer (max tile height, sliced per step).
+    face_buf: Vec<f32>,
 }
 
 impl Strip2D {
@@ -83,59 +103,55 @@ impl Strip2D {
             halo: vec![0.0; d.nx],
             has_left: rank > 0,
             gj0: (rank * d.by()) as i64,
+            brow: vec![d.boundary; d.by()],
+            face_buf: vec![0.0; d.v.min(d.nx)],
         }
     }
 
-    #[inline]
-    fn sidx(&self, i: usize, j: usize) -> usize {
-        i * self.d.by() + j
-    }
-
+    /// Compute one tile (rows `irange(k)` across the strip width).
+    ///
+    /// Bitwise-identical to the element-wise reference in
+    /// [`crate::legacy`].
     fn compute_tile<K: Kernel2D>(&mut self, kernel: K, k: usize) {
         let (i0, i1) = self.d.irange(k);
         let by = self.d.by();
         let b = self.d.boundary;
         for i in i0..i1 {
-            for j in 0..by {
-                let diag = if i == 0 {
-                    b
-                } else if j > 0 {
-                    self.strip[self.sidx(i - 1, j - 1)]
-                } else if self.has_left {
-                    self.halo[i - 1]
-                } else {
-                    b
-                };
-                let im1 = if i == 0 {
-                    b
-                } else {
-                    self.strip[self.sidx(i - 1, j)]
-                };
-                let jm1 = if j > 0 {
-                    self.strip[self.sidx(i, j - 1)]
-                } else if self.has_left {
-                    self.halo[i]
-                } else {
-                    b
-                };
-                let idx = self.sidx(i, j);
-                self.strip[idx] =
-                    kernel.eval(i as i64, self.gj0 + j as i64, diag, im1, jm1);
+            let row = i * by;
+            let (done, rest) = self.strip.split_at_mut(row);
+            // Row i−1, fully computed (earlier tile or earlier row of
+            // this tile); row 0 reads the boundary splat instead.
+            let up: &[f32] = if i > 0 { &done[row - by..] } else { &self.brow };
+            let cur = &mut rest[..by];
+            // Peel j == 0: its west/diagonal neighbors come from the
+            // halo column (or the boundary).
+            let diag0 = if i > 0 && self.has_left {
+                self.halo[i - 1]
+            } else {
+                b
+            };
+            let jm1_0 = if self.has_left { self.halo[i] } else { b };
+            let mut prev = kernel.eval(i as i64, self.gj0, diag0, up[0], jm1_0);
+            cur[0] = prev;
+            // Steady state: diag = up[j−1], north = up[j], west carried.
+            for (gj, (out, w)) in (self.gj0 + 1..).zip(cur[1..].iter_mut().zip(up.windows(2))) {
+                let val = kernel.eval(i as i64, gj, w[0], w[1], prev);
+                *out = val;
+                prev = val;
             }
         }
     }
 
-    /// Outgoing boundary column (j = by−1) rows of tile `k`.
-    fn face(&self, k: usize) -> Vec<f32> {
+    /// Pack the outgoing boundary column (j = by−1) rows of tile `k`
+    /// into `face_buf`; returns the packed length.
+    fn pack_face(&mut self, k: usize) -> usize {
         let (i0, i1) = self.d.irange(k);
-        let j = self.d.by() - 1;
-        (i0..i1).map(|i| self.strip[self.sidx(i, j)]).collect()
-    }
-
-    fn store_halo(&mut self, k: usize, data: &[f32]) {
-        let (i0, i1) = self.d.irange(k);
-        assert_eq!(data.len(), i1 - i0, "halo column size mismatch");
-        self.halo[i0..i1].copy_from_slice(data);
+        let by = self.d.by();
+        let col = by - 1;
+        for (out, i) in self.face_buf[..i1 - i0].iter_mut().zip(i0..i1) {
+            *out = self.strip[i * by + col];
+        }
+        i1 - i0
     }
 }
 
@@ -150,12 +166,14 @@ pub fn rank_blocking_2d<C: Communicator<f32>, K: Kernel2D>(
     let mut s = Strip2D::new(d, rank);
     for k in 0..d.steps() {
         if rank > 0 {
-            let data = comm.recv(rank - 1, k as u64);
-            s.store_halo(k, &data);
+            // The halo column is contiguous: receive straight into it.
+            let (i0, i1) = d.irange(k);
+            comm.recv_into(rank - 1, tag(k, DIR_J), &mut s.halo[i0..i1]);
         }
         s.compute_tile(kernel, k);
         if rank + 1 < d.ranks {
-            comm.send(rank + 1, k as u64, s.face(k));
+            let n = s.pack_face(k);
+            comm.send_from(rank + 1, tag(k, DIR_J), &s.face_buf[..n]);
         }
     }
     s.strip
@@ -170,14 +188,18 @@ pub fn rank_overlap_2d<C: Communicator<f32>, K: Kernel2D>(
     let rank = comm.rank();
     let steps = d.steps();
     let mut s = Strip2D::new(d, rank);
-    let mut cur_recv = (rank > 0).then(|| comm.irecv(rank - 1, 0));
+    let mut cur_recv = (rank > 0).then(|| comm.irecv(rank - 1, tag(0, DIR_J)));
     for k in 0..steps {
-        let next_recv = (rank > 0 && k + 1 < steps).then(|| comm.irecv(rank - 1, (k + 1) as u64));
-        let send_req = (k >= 1 && rank + 1 < d.ranks)
-            .then(|| comm.isend(rank + 1, (k - 1) as u64, s.face(k - 1)));
+        let next_recv =
+            (rank > 0 && k + 1 < steps).then(|| comm.irecv(rank - 1, tag(k + 1, DIR_J)));
+        let mut send_req = None;
+        if k >= 1 && rank + 1 < d.ranks {
+            let n = s.pack_face(k - 1);
+            send_req = Some(comm.isend_from(rank + 1, tag(k - 1, DIR_J), &s.face_buf[..n]));
+        }
         if let Some(req) = cur_recv.take() {
-            let data = comm.wait_recv(req);
-            s.store_halo(k, &data);
+            let (i0, i1) = d.irange(k);
+            comm.wait_recv_into(req, &mut s.halo[i0..i1]);
         }
         s.compute_tile(kernel, k);
         if let Some(req) = send_req {
@@ -186,7 +208,8 @@ pub fn rank_overlap_2d<C: Communicator<f32>, K: Kernel2D>(
         cur_recv = next_recv;
     }
     if rank + 1 < d.ranks {
-        let req = comm.isend(rank + 1, (steps - 1) as u64, s.face(steps - 1));
+        let n = s.pack_face(steps - 1);
+        let req = comm.isend_from(rank + 1, tag(steps - 1, DIR_J), &s.face_buf[..n]);
         comm.wait_send(req);
     }
     s.strip
@@ -206,13 +229,12 @@ pub fn run_dist2d<K: Kernel2D>(
             ExecMode::Overlapping => rank_overlap_2d(&mut comm, kernel, d),
         }
     });
+    // Assemble: each strip row is a contiguous span of the output row.
     let by = d.by();
     let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
     for (rank, strip) in strips.iter().enumerate() {
         for i in 0..d.nx {
-            for j in 0..by {
-                out.set(i, rank * by + j, strip[i * by + j]);
-            }
+            out.row_mut(i)[rank * by..][..by].copy_from_slice(&strip[i * by..][..by]);
         }
     }
     (out, elapsed)
@@ -323,6 +345,22 @@ mod tests {
     }
 
     #[test]
+    fn unit_width_strips() {
+        // by == 1: every row's steady-state loop is empty and the face
+        // column is also the first column.
+        check(
+            Decomp2D {
+                nx: 12,
+                ny: 3,
+                ranks: 3,
+                v: 5,
+                boundary: 2.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
     fn generic_2d_kernels_match_sequential() {
         use crate::kernel::{Alignment2D, Smooth2D};
         use crate::seq::run_seq2d;
@@ -343,6 +381,23 @@ mod tests {
             let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode);
             let seq = run_seq2d(k, d.nx, d.ny, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "Smooth2D {mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_legacy_executor_bitwise() {
+        let d = Decomp2D {
+            nx: 23,
+            ny: 8,
+            ranks: 2,
+            v: 5, // partial last tile
+            boundary: 1.5,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let (new, _) = run_example1_dist(d, LatencyModel::zero(), mode);
+            let (old, _) =
+                crate::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }
 

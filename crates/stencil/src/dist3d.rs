@@ -10,13 +10,31 @@
 //!   of step `k−1` results, compute step `k`, wait — the wire time rides
 //!   under the computation, eq. (4).
 //!
+//! ## Hot-path structure
+//!
+//! The per-step path is allocation-free and branch-free in its inner
+//! loop. `compute_tile` peels the `i==0`/`j==0`/`k==0` boundary cases
+//! out of the k-loop: for each `(i, j)` pencil it split-borrows the
+//! block at the current row, selects the `i−1`/`j−1` neighbor rows
+//! *once* (previous block row, halo row, or a pre-splatted boundary
+//! row), carries the `k−1` value in a register, and runs a zip over
+//! equal-length slices — no per-cell index arithmetic, no bounds checks,
+//! no boundary branches. Faces pack/unpack through the row-chunked
+//! [`crate::halo`] copies into persistent buffers, and sends/receives go
+//! through the `msgpass` persistent-buffer API, so a steady-state step
+//! performs zero heap allocations (asserted by `tests/zero_alloc.rs`).
+//! The original element-wise paths survive in [`crate::legacy`] as the
+//! property-test oracle and perf baseline.
+//!
 //! Executors are generic over any [`Communicator`], and the driver
 //! [`run_paper3d_dist`] runs them on the threaded backend, gathering the
 //! blocks into a full [`Grid3D`] for verification.
 
 use crate::grid::Grid3D;
+use crate::halo;
 use crate::kernel::{Kernel3D, Paper3D};
-use msgpass::comm::{Communicator, RecvRequest};
+use crate::proto::{tag, DIR_I, DIR_J};
+use msgpass::comm::Communicator;
 use msgpass::thread_backend::{run_threads, LatencyModel};
 use msgpass::topology::CartesianGrid;
 use std::time::Duration;
@@ -82,13 +100,14 @@ impl Decomp3D {
         self.nz.div_ceil(self.v)
     }
 
-    /// The k-range of step `k`.
-    fn krange(&self, k: usize) -> (usize, usize) {
+    /// The k-range of step `k` (the last tile may be partial).
+    pub(crate) fn krange(&self, k: usize) -> (usize, usize) {
         (k * self.v, ((k + 1) * self.v).min(self.nz))
     }
 }
 
-/// Per-rank working state for a 3-D kernel.
+/// Per-rank working state for a 3-D kernel. All buffers are allocated
+/// once at construction; the pipeline loop never allocates.
 struct Block3D {
     d: Decomp3D,
     /// Own block, `bx × by × nz`, k fastest.
@@ -102,10 +121,20 @@ struct Block3D {
     /// Global coordinates of the block origin.
     gi0: i64,
     gj0: i64,
+    /// Boundary splat, `nz` long: the "neighbor row" of cells whose
+    /// `i−1`/`j−1` neighbor is outside the global grid.
+    brow: Vec<f32>,
+    /// Persistent outgoing-face buffers (max tile size, sliced per step).
+    face_i_buf: Vec<f32>,
+    face_j_buf: Vec<f32>,
+    /// Persistent incoming-face buffers.
+    recv_i_buf: Vec<f32>,
+    recv_j_buf: Vec<f32>,
 }
 
 impl Block3D {
     fn new(d: Decomp3D, coords: &[usize]) -> Self {
+        let vmax = d.v.min(d.nz);
         Block3D {
             d,
             block: vec![0.0; d.bx() * d.by() * d.nz],
@@ -115,114 +144,138 @@ impl Block3D {
             has_left_j: coords[1] > 0,
             gi0: (coords[0] * d.bx()) as i64,
             gj0: (coords[1] * d.by()) as i64,
+            brow: vec![d.boundary; d.nz],
+            face_i_buf: vec![0.0; d.by() * vmax],
+            face_j_buf: vec![0.0; d.bx() * vmax],
+            recv_i_buf: vec![0.0; d.by() * vmax],
+            recv_j_buf: vec![0.0; d.bx() * vmax],
         }
     }
 
-    #[inline]
-    fn bidx(&self, i: usize, j: usize, k: usize) -> usize {
-        (i * self.d.by() + j) * self.d.nz + k
+    /// Packed length of the `i`-face of step `k`.
+    fn face_i_len(&self, k: usize) -> usize {
+        let (k0, k1) = self.d.krange(k);
+        self.d.by() * (k1 - k0)
+    }
+
+    /// Packed length of the `j`-face of step `k`.
+    fn face_j_len(&self, k: usize) -> usize {
+        let (k0, k1) = self.d.krange(k);
+        self.d.bx() * (k1 - k0)
     }
 
     /// Compute one tile (all of the block's cross-section over `krange`).
+    ///
+    /// Bitwise-identical to the element-wise reference in
+    /// [`crate::legacy`]: the arithmetic per cell is unchanged, only the
+    /// addressing is hoisted.
     fn compute_tile<K: Kernel3D>(&mut self, kernel: K, k: usize) {
         let (k0, k1) = self.d.krange(k);
+        let len = k1 - k0;
         let (bx, by) = (self.d.bx(), self.d.by());
         let nz = self.d.nz;
         let b = self.d.boundary;
         for i in 0..bx {
+            let gi = self.gi0 + i as i64;
             for j in 0..by {
-                for kz in k0..k1 {
-                    let im1 = if i > 0 {
-                        self.block[self.bidx(i - 1, j, kz)]
-                    } else if self.has_left_i {
-                        self.halo_i[j * nz + kz]
-                    } else {
-                        b
-                    };
-                    let jm1 = if j > 0 {
-                        self.block[self.bidx(i, j - 1, kz)]
-                    } else if self.has_left_j {
-                        self.halo_j[i * nz + kz]
-                    } else {
-                        b
-                    };
-                    let km1 = if kz > 0 {
-                        self.block[self.bidx(i, j, kz - 1)]
-                    } else {
-                        b
-                    };
-                    let idx = self.bidx(i, j, kz);
-                    self.block[idx] = kernel.eval(
-                        self.gi0 + i as i64,
-                        self.gj0 + j as i64,
-                        kz as i64,
-                        im1,
-                        jm1,
-                        km1,
-                    );
+                let gj = self.gj0 + j as i64;
+                let row = (i * by + j) * nz;
+                // Rows before `row` are fully computed this step; the
+                // split lets us borrow them immutably next to the
+                // mutable current row.
+                let (done, rest) = self.block.split_at_mut(row);
+                let im1: &[f32] = if i > 0 {
+                    &done[((i - 1) * by + j) * nz + k0..][..len]
+                } else if self.has_left_i {
+                    &self.halo_i[j * nz + k0..][..len]
+                } else {
+                    &self.brow[k0..k1]
+                };
+                let jm1: &[f32] = if j > 0 {
+                    &done[((i * by) + (j - 1)) * nz + k0..][..len]
+                } else if self.has_left_j {
+                    &self.halo_j[i * nz + k0..][..len]
+                } else {
+                    &self.brow[k0..k1]
+                };
+                // k−1 dependence: seed from below the tile (or the
+                // boundary), then carry the freshly computed value.
+                let mut km1 = if k0 > 0 { rest[k0 - 1] } else { b };
+                let cur = &mut rest[k0..k1];
+                for (kz, (out, (&a, &c))) in
+                    (k0 as i64..).zip(cur.iter_mut().zip(im1.iter().zip(jm1)))
+                {
+                    let val = kernel.eval(gi, gj, kz, a, c, km1);
+                    *out = val;
+                    km1 = val;
                 }
             }
         }
     }
 
-    /// Extract the outgoing `i`-face (i = bx−1) for step `k`.
-    fn face_i(&self, k: usize) -> Vec<f32> {
+    /// Pack the outgoing `i`-face (i = bx−1) of step `k` into
+    /// `face_i_buf`; returns the packed length.
+    fn pack_face_i(&mut self, k: usize) -> usize {
         let (k0, k1) = self.d.krange(k);
-        let i = self.d.bx() - 1;
-        let mut out = Vec::with_capacity(self.d.by() * (k1 - k0));
-        for j in 0..self.d.by() {
-            for kz in k0..k1 {
-                out.push(self.block[self.bidx(i, j, kz)]);
-            }
-        }
-        out
+        let len = k1 - k0;
+        let n = self.d.by() * len;
+        let base = (self.d.bx() - 1) * self.d.by() * self.d.nz;
+        halo::pack_rows(
+            &self.block,
+            base,
+            self.d.nz,
+            k0,
+            len,
+            &mut self.face_i_buf[..n],
+        );
+        n
     }
 
-    /// Extract the outgoing `j`-face (j = by−1) for step `k`.
-    fn face_j(&self, k: usize) -> Vec<f32> {
+    /// Pack the outgoing `j`-face (j = by−1) of step `k` into
+    /// `face_j_buf`; returns the packed length.
+    fn pack_face_j(&mut self, k: usize) -> usize {
         let (k0, k1) = self.d.krange(k);
-        let j = self.d.by() - 1;
-        let mut out = Vec::with_capacity(self.d.bx() * (k1 - k0));
-        for i in 0..self.d.bx() {
-            for kz in k0..k1 {
-                out.push(self.block[self.bidx(i, j, kz)]);
-            }
-        }
-        out
+        let len = k1 - k0;
+        let n = self.d.bx() * len;
+        let base = (self.d.by() - 1) * self.d.nz;
+        halo::pack_rows(
+            &self.block,
+            base,
+            self.d.by() * self.d.nz,
+            k0,
+            len,
+            &mut self.face_j_buf[..n],
+        );
+        n
     }
 
-    /// Install a received `i`-face into the halo.
-    fn store_halo_i(&mut self, k: usize, data: &[f32]) {
+    /// Install the `n` received `i`-face values (already in
+    /// `recv_i_buf`) into the halo plane.
+    fn store_halo_i(&mut self, k: usize, n: usize) {
         let (k0, k1) = self.d.krange(k);
-        assert_eq!(data.len(), self.d.by() * (k1 - k0), "i-face size mismatch");
-        let nz = self.d.nz;
-        let mut it = data.iter();
-        for j in 0..self.d.by() {
-            for kz in k0..k1 {
-                self.halo_i[j * nz + kz] = *it.next().expect("size checked");
-            }
-        }
+        halo::unpack_rows(
+            &self.recv_i_buf[..n],
+            &mut self.halo_i,
+            0,
+            self.d.nz,
+            k0,
+            k1 - k0,
+        );
     }
 
-    /// Install a received `j`-face into the halo.
-    fn store_halo_j(&mut self, k: usize, data: &[f32]) {
+    /// Install the `n` received `j`-face values (already in
+    /// `recv_j_buf`) into the halo plane.
+    fn store_halo_j(&mut self, k: usize, n: usize) {
         let (k0, k1) = self.d.krange(k);
-        assert_eq!(data.len(), self.d.bx() * (k1 - k0), "j-face size mismatch");
-        let nz = self.d.nz;
-        let mut it = data.iter();
-        for i in 0..self.d.bx() {
-            for kz in k0..k1 {
-                self.halo_j[i * nz + kz] = *it.next().expect("size checked");
-            }
-        }
+        halo::unpack_rows(
+            &self.recv_j_buf[..n],
+            &mut self.halo_j,
+            0,
+            self.d.nz,
+            k0,
+            k1 - k0,
+        );
     }
-}
-
-const DIR_I: u64 = 0;
-const DIR_J: u64 = 1;
-
-fn tag(k: usize, dir: u64) -> u64 {
-    (k as u64) * 2 + dir
 }
 
 /// Run one rank's blocking (`ProcB`) execution of any 3-D kernel;
@@ -241,26 +294,32 @@ pub fn rank_blocking_3d<C: Communicator<f32>, K: Kernel3D>(
     let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
     for k in 0..d.steps() {
         if let Some(src) = up_i {
-            let data = comm.recv(src, tag(k, DIR_I));
-            blk.store_halo_i(k, &data);
+            let n = blk.face_i_len(k);
+            comm.recv_into(src, tag(k, DIR_I), &mut blk.recv_i_buf[..n]);
+            blk.store_halo_i(k, n);
         }
         if let Some(src) = up_j {
-            let data = comm.recv(src, tag(k, DIR_J));
-            blk.store_halo_j(k, &data);
+            let n = blk.face_j_len(k);
+            comm.recv_into(src, tag(k, DIR_J), &mut blk.recv_j_buf[..n]);
+            blk.store_halo_j(k, n);
         }
         blk.compute_tile(kernel, k);
         if let Some(dst) = dn_i {
-            comm.send(dst, tag(k, DIR_I), blk.face_i(k));
+            let n = blk.pack_face_i(k);
+            comm.send_from(dst, tag(k, DIR_I), &blk.face_i_buf[..n]);
         }
         if let Some(dst) = dn_j {
-            comm.send(dst, tag(k, DIR_J), blk.face_j(k));
+            let n = blk.pack_face_j(k);
+            comm.send_from(dst, tag(k, DIR_J), &blk.face_j_buf[..n]);
         }
     }
     blk.block
 }
 
 /// Run one rank's overlapping (`ProcNB`) execution of any 3-D kernel;
-/// returns its block.
+/// returns its block. The steady-state loop performs no heap
+/// allocations: requests live in fixed `Option` slots and payloads move
+/// through the persistent-buffer API.
 pub fn rank_overlap_3d<C: Communicator<f32>, K: Kernel3D>(
     comm: &mut C,
     kernel: K,
@@ -275,60 +334,64 @@ pub fn rank_overlap_3d<C: Communicator<f32>, K: Kernel3D>(
     let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
     let steps = d.steps();
 
-    let post_recvs = |comm: &mut C, k: usize| -> Vec<(u64, RecvRequest)> {
-        let mut reqs = Vec::new();
-        if let Some(src) = up_i {
-            reqs.push((DIR_I, comm.irecv(src, tag(k, DIR_I))));
-        }
-        if let Some(src) = up_j {
-            reqs.push((DIR_J, comm.irecv(src, tag(k, DIR_J))));
-        }
-        reqs
-    };
-
     // Prologue: receives for step 0.
-    let mut cur_recvs = post_recvs(comm, 0);
+    let mut cur_recv_i = up_i.map(|src| comm.irecv(src, tag(0, DIR_I)));
+    let mut cur_recv_j = up_j.map(|src| comm.irecv(src, tag(0, DIR_J)));
     for k in 0..steps {
         // Post receives for the next tile…
-        let next_recvs = if k + 1 < steps {
-            post_recvs(comm, k + 1)
+        let next_recv_i = if k + 1 < steps {
+            up_i.map(|src| comm.irecv(src, tag(k + 1, DIR_I)))
         } else {
-            Vec::new()
+            None
+        };
+        let next_recv_j = if k + 1 < steps {
+            up_j.map(|src| comm.irecv(src, tag(k + 1, DIR_J)))
+        } else {
+            None
         };
         // …and sends of the previous tile's results.
-        let mut send_reqs = Vec::new();
+        let mut send_i = None;
+        let mut send_j = None;
         if k >= 1 {
             if let Some(dst) = dn_i {
-                send_reqs.push(comm.isend(dst, tag(k - 1, DIR_I), blk.face_i(k - 1)));
+                let n = blk.pack_face_i(k - 1);
+                send_i = Some(comm.isend_from(dst, tag(k - 1, DIR_I), &blk.face_i_buf[..n]));
             }
             if let Some(dst) = dn_j {
-                send_reqs.push(comm.isend(dst, tag(k - 1, DIR_J), blk.face_j(k - 1)));
+                let n = blk.pack_face_j(k - 1);
+                send_j = Some(comm.isend_from(dst, tag(k - 1, DIR_J), &blk.face_j_buf[..n]));
             }
         }
         // Wait for this tile's inputs, then compute.
-        for (dir, req) in cur_recvs.drain(..) {
-            let data = comm.wait_recv(req);
-            if dir == DIR_I {
-                blk.store_halo_i(k, &data);
-            } else {
-                blk.store_halo_j(k, &data);
-            }
+        if let Some(req) = cur_recv_i.take() {
+            let n = blk.face_i_len(k);
+            comm.wait_recv_into(req, &mut blk.recv_i_buf[..n]);
+            blk.store_halo_i(k, n);
+        }
+        if let Some(req) = cur_recv_j.take() {
+            let n = blk.face_j_len(k);
+            comm.wait_recv_into(req, &mut blk.recv_j_buf[..n]);
+            blk.store_halo_j(k, n);
         }
         blk.compute_tile(kernel, k);
-        for req in send_reqs {
+        if let Some(req) = send_i {
             comm.wait_send(req);
         }
-        cur_recvs = next_recvs;
+        if let Some(req) = send_j {
+            comm.wait_send(req);
+        }
+        cur_recv_i = next_recv_i;
+        cur_recv_j = next_recv_j;
     }
     // Epilogue: ship the last tile's faces.
-    let mut send_reqs = Vec::new();
     if let Some(dst) = dn_i {
-        send_reqs.push(comm.isend(dst, tag(steps - 1, DIR_I), blk.face_i(steps - 1)));
+        let n = blk.pack_face_i(steps - 1);
+        let req = comm.isend_from(dst, tag(steps - 1, DIR_I), &blk.face_i_buf[..n]);
+        comm.wait_send(req);
     }
     if let Some(dst) = dn_j {
-        send_reqs.push(comm.isend(dst, tag(steps - 1, DIR_J), blk.face_j(steps - 1)));
-    }
-    for req in send_reqs {
+        let n = blk.pack_face_j(steps - 1);
+        let req = comm.isend_from(dst, tag(steps - 1, DIR_J), &blk.face_j_buf[..n]);
         comm.wait_send(req);
     }
     blk.block
@@ -351,7 +414,8 @@ pub fn run_dist3d<K: Kernel3D>(
             ExecMode::Overlapping => rank_overlap_3d(&mut comm, kernel, d),
         }
     });
-    // Assemble.
+    // Assemble: every block pencil is contiguous in both the block and
+    // the destination grid, so the gather is one memcpy per (i, j).
     let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
     let mut out = Grid3D::new(d.nx, d.ny, d.nz, 0.0, d.boundary);
     let (bx, by) = (d.bx(), d.by());
@@ -359,14 +423,8 @@ pub fn run_dist3d<K: Kernel3D>(
         let c = grid_topo.coords_of(rank);
         for i in 0..bx {
             for j in 0..by {
-                for k in 0..d.nz {
-                    out.set(
-                        c[0] * bx + i,
-                        c[1] * by + j,
-                        k,
-                        block[(i * by + j) * d.nz + k],
-                    );
-                }
+                out.row_mut(c[0] * bx + i, c[1] * by + j)
+                    .copy_from_slice(&block[(i * by + j) * d.nz..][..d.nz]);
             }
         }
     }
@@ -511,6 +569,22 @@ mod tests {
     }
 
     #[test]
+    fn v_larger_than_nz() {
+        check_matches_seq(
+            Decomp3D {
+                nx: 4,
+                ny: 4,
+                nz: 5,
+                pi: 2,
+                pj: 2,
+                v: 9, // single, clamped step
+                boundary: 1.0,
+            },
+            ExecMode::Overlapping,
+        );
+    }
+
+    #[test]
     fn generic_kernels_match_sequential() {
         let d = Decomp3D {
             nx: 6,
@@ -529,6 +603,26 @@ mod tests {
             let (dist, _) = run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode);
             let seq = run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "LongestPath3D {mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_legacy_executor_bitwise() {
+        // The optimized paths must agree with the preserved element-wise
+        // baseline exactly, including a partial last tile.
+        let d = Decomp3D {
+            nx: 6,
+            ny: 4,
+            nz: 19,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 1.5,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let (new, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let (old, _) = crate::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }
 

@@ -64,6 +64,13 @@ impl Grid2D {
         &self.data
     }
 
+    /// Mutable row `i` (all `ny` values), for bulk copies.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.nx, "grid row out of range");
+        &mut self.data[i * self.ny..(i + 1) * self.ny]
+    }
+
     /// Maximum absolute difference to another grid of the same shape.
     pub fn max_abs_diff(&self, other: &Grid2D) -> f32 {
         assert_eq!((self.nx, self.ny), (other.nx, other.ny), "shape mismatch");
@@ -153,6 +160,14 @@ impl Grid3D {
     /// Raw data (row-major, k fastest).
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable k-row at `(i, j)` (all `nz` values), for bulk copies.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize, j: usize) -> &mut [f32] {
+        assert!(i < self.nx && j < self.ny, "grid row out of range");
+        let start = (i * self.ny + j) * self.nz;
+        &mut self.data[start..start + self.nz]
     }
 
     /// Maximum absolute difference to another grid of the same shape.

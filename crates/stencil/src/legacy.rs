@@ -1,0 +1,523 @@
+//! The pre-optimization executor paths: element-wise pack/unpack, branchy
+//! per-cell compute, per-step heap allocations and per-cell gathers.
+//!
+//! Kept deliberately, with two jobs:
+//!
+//! 1. **Oracle.** Property tests assert that the chunked
+//!    [`crate::halo`] pack/unpack and the branch-free
+//!    [`crate::dist3d`]/[`crate::dist2d`] compute paths are bitwise
+//!    identical to these reference implementations on randomized shapes,
+//!    including partial last tiles (`v` not dividing the pipelined
+//!    extent).
+//! 2. **Baseline.** The `paper perf` benchmark runs these executors
+//!    next to the optimized ones and records both in
+//!    `BENCH_stencil.json`, so the speedup claimed by the optimization
+//!    is measured, not asserted.
+//!
+//! Nothing here is used by the optimized hot paths.
+
+use crate::dist2d::Decomp2D;
+use crate::dist3d::{Decomp3D, ExecMode};
+use crate::grid::{Grid2D, Grid3D};
+use crate::kernel::{Kernel2D, Kernel3D};
+use crate::proto::{tag, DIR_I, DIR_J};
+use msgpass::comm::{Communicator, RecvRequest};
+use msgpass::thread_backend::{run_threads, LatencyModel};
+use msgpass::topology::CartesianGrid;
+use std::time::Duration;
+
+// ---- element-wise pack/unpack (the property-test oracle) --------------
+
+/// Element-wise extraction of the outgoing `i`-face (i = bx−1) of step
+/// `k` from a `bx × by × nz` block (k fastest).
+pub fn face_i_elementwise(block: &[f32], d: &Decomp3D, k: usize) -> Vec<f32> {
+    let (k0, k1) = d.krange(k);
+    let (bx, by) = (d.bx(), d.by());
+    let i = bx - 1;
+    let mut out = Vec::with_capacity(by * (k1 - k0));
+    for j in 0..by {
+        for kz in k0..k1 {
+            out.push(block[(i * by + j) * d.nz + kz]);
+        }
+    }
+    out
+}
+
+/// Element-wise extraction of the outgoing `j`-face (j = by−1).
+pub fn face_j_elementwise(block: &[f32], d: &Decomp3D, k: usize) -> Vec<f32> {
+    let (k0, k1) = d.krange(k);
+    let (bx, by) = (d.bx(), d.by());
+    let j = by - 1;
+    let mut out = Vec::with_capacity(bx * (k1 - k0));
+    for i in 0..bx {
+        for kz in k0..k1 {
+            out.push(block[(i * by + j) * d.nz + kz]);
+        }
+    }
+    out
+}
+
+/// Element-wise install of a received `i`-face into a `by × nz` halo.
+pub fn store_halo_i_elementwise(halo_i: &mut [f32], d: &Decomp3D, k: usize, data: &[f32]) {
+    let (k0, k1) = d.krange(k);
+    assert_eq!(data.len(), d.by() * (k1 - k0), "i-face size mismatch");
+    let nz = d.nz;
+    let mut it = data.iter();
+    for j in 0..d.by() {
+        for kz in k0..k1 {
+            halo_i[j * nz + kz] = *it.next().expect("size checked");
+        }
+    }
+}
+
+/// Element-wise install of a received `j`-face into a `bx × nz` halo.
+pub fn store_halo_j_elementwise(halo_j: &mut [f32], d: &Decomp3D, k: usize, data: &[f32]) {
+    let (k0, k1) = d.krange(k);
+    assert_eq!(data.len(), d.bx() * (k1 - k0), "j-face size mismatch");
+    let nz = d.nz;
+    let mut it = data.iter();
+    for i in 0..d.bx() {
+        for kz in k0..k1 {
+            halo_j[i * nz + kz] = *it.next().expect("size checked");
+        }
+    }
+}
+
+/// Element-wise extraction of the outgoing 2-D boundary column
+/// (j = by−1) rows of tile `k` from an `nx × by` strip (j fastest).
+pub fn face_2d_elementwise(strip: &[f32], d: &Decomp2D, k: usize) -> Vec<f32> {
+    let (i0, i1) = d.irange(k);
+    let by = d.by();
+    let j = by - 1;
+    (i0..i1).map(|i| strip[i * by + j]).collect()
+}
+
+// ---- legacy per-rank state --------------------------------------------
+
+/// Old per-rank 3-D working state: per-cell indexed compute with three
+/// boundary branches per cell.
+struct LegacyBlock3D {
+    d: Decomp3D,
+    block: Vec<f32>,
+    halo_i: Vec<f32>,
+    halo_j: Vec<f32>,
+    has_left_i: bool,
+    has_left_j: bool,
+    gi0: i64,
+    gj0: i64,
+}
+
+impl LegacyBlock3D {
+    fn new(d: Decomp3D, coords: &[usize]) -> Self {
+        LegacyBlock3D {
+            d,
+            block: vec![0.0; d.bx() * d.by() * d.nz],
+            halo_i: vec![0.0; d.by() * d.nz],
+            halo_j: vec![0.0; d.bx() * d.nz],
+            has_left_i: coords[0] > 0,
+            has_left_j: coords[1] > 0,
+            gi0: (coords[0] * d.bx()) as i64,
+            gj0: (coords[1] * d.by()) as i64,
+        }
+    }
+
+    #[inline]
+    fn bidx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.d.by() + j) * self.d.nz + k
+    }
+
+    fn compute_tile<K: Kernel3D>(&mut self, kernel: K, k: usize) {
+        let (k0, k1) = self.d.krange(k);
+        let (bx, by) = (self.d.bx(), self.d.by());
+        let nz = self.d.nz;
+        let b = self.d.boundary;
+        for i in 0..bx {
+            for j in 0..by {
+                for kz in k0..k1 {
+                    let im1 = if i > 0 {
+                        self.block[self.bidx(i - 1, j, kz)]
+                    } else if self.has_left_i {
+                        self.halo_i[j * nz + kz]
+                    } else {
+                        b
+                    };
+                    let jm1 = if j > 0 {
+                        self.block[self.bidx(i, j - 1, kz)]
+                    } else if self.has_left_j {
+                        self.halo_j[i * nz + kz]
+                    } else {
+                        b
+                    };
+                    let km1 = if kz > 0 {
+                        self.block[self.bidx(i, j, kz - 1)]
+                    } else {
+                        b
+                    };
+                    let idx = self.bidx(i, j, kz);
+                    self.block[idx] = kernel.eval(
+                        self.gi0 + i as i64,
+                        self.gj0 + j as i64,
+                        kz as i64,
+                        im1,
+                        jm1,
+                        km1,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Old per-rank 2-D working state.
+struct LegacyStrip2D {
+    d: Decomp2D,
+    strip: Vec<f32>,
+    halo: Vec<f32>,
+    has_left: bool,
+    gj0: i64,
+}
+
+impl LegacyStrip2D {
+    fn new(d: Decomp2D, rank: usize) -> Self {
+        LegacyStrip2D {
+            d,
+            strip: vec![0.0; d.nx * d.by()],
+            halo: vec![0.0; d.nx],
+            has_left: rank > 0,
+            gj0: (rank * d.by()) as i64,
+        }
+    }
+
+    #[inline]
+    fn sidx(&self, i: usize, j: usize) -> usize {
+        i * self.d.by() + j
+    }
+
+    fn compute_tile<K: Kernel2D>(&mut self, kernel: K, k: usize) {
+        let (i0, i1) = self.d.irange(k);
+        let by = self.d.by();
+        let b = self.d.boundary;
+        for i in i0..i1 {
+            for j in 0..by {
+                let diag = if i == 0 {
+                    b
+                } else if j > 0 {
+                    self.strip[self.sidx(i - 1, j - 1)]
+                } else if self.has_left {
+                    self.halo[i - 1]
+                } else {
+                    b
+                };
+                let im1 = if i == 0 {
+                    b
+                } else {
+                    self.strip[self.sidx(i - 1, j)]
+                };
+                let jm1 = if j > 0 {
+                    self.strip[self.sidx(i, j - 1)]
+                } else if self.has_left {
+                    self.halo[i]
+                } else {
+                    b
+                };
+                let idx = self.sidx(i, j);
+                self.strip[idx] = kernel.eval(i as i64, self.gj0 + j as i64, diag, im1, jm1);
+            }
+        }
+    }
+
+    fn store_halo(&mut self, k: usize, data: &[f32]) {
+        let (i0, i1) = self.d.irange(k);
+        assert_eq!(data.len(), i1 - i0, "halo column size mismatch");
+        self.halo[i0..i1].copy_from_slice(data);
+    }
+}
+
+// ---- legacy executors --------------------------------------------------
+
+/// Old blocking 3-D rank loop (owning-`Vec` sends, element-wise halos).
+pub fn rank_blocking_3d<C: Communicator<f32>, K: Kernel3D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+) -> Vec<f32> {
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+    let coords = grid.coords_of(comm.rank());
+    let mut blk = LegacyBlock3D::new(d, &coords);
+    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
+    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
+    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
+    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
+    for k in 0..d.steps() {
+        if let Some(src) = up_i {
+            let data = comm.recv(src, tag(k, DIR_I));
+            store_halo_i_elementwise(&mut blk.halo_i, &d, k, &data);
+        }
+        if let Some(src) = up_j {
+            let data = comm.recv(src, tag(k, DIR_J));
+            store_halo_j_elementwise(&mut blk.halo_j, &d, k, &data);
+        }
+        blk.compute_tile(kernel, k);
+        if let Some(dst) = dn_i {
+            comm.send(dst, tag(k, DIR_I), face_i_elementwise(&blk.block, &d, k));
+        }
+        if let Some(dst) = dn_j {
+            comm.send(dst, tag(k, DIR_J), face_j_elementwise(&blk.block, &d, k));
+        }
+    }
+    blk.block
+}
+
+/// Old overlapping 3-D rank loop (per-step request `Vec`s, allocating
+/// face extraction).
+pub fn rank_overlap_3d<C: Communicator<f32>, K: Kernel3D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+) -> Vec<f32> {
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+    let coords = grid.coords_of(comm.rank());
+    let mut blk = LegacyBlock3D::new(d, &coords);
+    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
+    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
+    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
+    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
+    let steps = d.steps();
+
+    let post_recvs = |comm: &mut C, k: usize| -> Vec<(u64, RecvRequest)> {
+        let mut reqs = Vec::new();
+        if let Some(src) = up_i {
+            reqs.push((DIR_I, comm.irecv(src, tag(k, DIR_I))));
+        }
+        if let Some(src) = up_j {
+            reqs.push((DIR_J, comm.irecv(src, tag(k, DIR_J))));
+        }
+        reqs
+    };
+
+    let mut cur_recvs = post_recvs(comm, 0);
+    for k in 0..steps {
+        let next_recvs = if k + 1 < steps {
+            post_recvs(comm, k + 1)
+        } else {
+            Vec::new()
+        };
+        let mut send_reqs = Vec::new();
+        if k >= 1 {
+            if let Some(dst) = dn_i {
+                send_reqs.push(comm.isend(
+                    dst,
+                    tag(k - 1, DIR_I),
+                    face_i_elementwise(&blk.block, &d, k - 1),
+                ));
+            }
+            if let Some(dst) = dn_j {
+                send_reqs.push(comm.isend(
+                    dst,
+                    tag(k - 1, DIR_J),
+                    face_j_elementwise(&blk.block, &d, k - 1),
+                ));
+            }
+        }
+        for (dir, req) in cur_recvs.drain(..) {
+            let data = comm.wait_recv(req);
+            if dir == DIR_I {
+                store_halo_i_elementwise(&mut blk.halo_i, &d, k, &data);
+            } else {
+                store_halo_j_elementwise(&mut blk.halo_j, &d, k, &data);
+            }
+        }
+        blk.compute_tile(kernel, k);
+        for req in send_reqs {
+            comm.wait_send(req);
+        }
+        cur_recvs = next_recvs;
+    }
+    let mut send_reqs = Vec::new();
+    if let Some(dst) = dn_i {
+        send_reqs.push(comm.isend(
+            dst,
+            tag(steps - 1, DIR_I),
+            face_i_elementwise(&blk.block, &d, steps - 1),
+        ));
+    }
+    if let Some(dst) = dn_j {
+        send_reqs.push(comm.isend(
+            dst,
+            tag(steps - 1, DIR_J),
+            face_j_elementwise(&blk.block, &d, steps - 1),
+        ));
+    }
+    for req in send_reqs {
+        comm.wait_send(req);
+    }
+    blk.block
+}
+
+/// Old blocking 2-D rank loop.
+pub fn rank_blocking_2d<C: Communicator<f32>, K: Kernel2D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp2D,
+) -> Vec<f32> {
+    let rank = comm.rank();
+    let mut s = LegacyStrip2D::new(d, rank);
+    for k in 0..d.steps() {
+        if rank > 0 {
+            let data = comm.recv(rank - 1, tag(k, DIR_J));
+            s.store_halo(k, &data);
+        }
+        s.compute_tile(kernel, k);
+        if rank + 1 < d.ranks {
+            comm.send(rank + 1, tag(k, DIR_J), face_2d_elementwise(&s.strip, &d, k));
+        }
+    }
+    s.strip
+}
+
+/// Old overlapping 2-D rank loop.
+pub fn rank_overlap_2d<C: Communicator<f32>, K: Kernel2D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp2D,
+) -> Vec<f32> {
+    let rank = comm.rank();
+    let steps = d.steps();
+    let mut s = LegacyStrip2D::new(d, rank);
+    let mut cur_recv = (rank > 0).then(|| comm.irecv(rank - 1, tag(0, DIR_J)));
+    for k in 0..steps {
+        let next_recv =
+            (rank > 0 && k + 1 < steps).then(|| comm.irecv(rank - 1, tag(k + 1, DIR_J)));
+        let send_req = (k >= 1 && rank + 1 < d.ranks).then(|| {
+            comm.isend(
+                rank + 1,
+                tag(k - 1, DIR_J),
+                face_2d_elementwise(&s.strip, &d, k - 1),
+            )
+        });
+        if let Some(req) = cur_recv.take() {
+            let data = comm.wait_recv(req);
+            s.store_halo(k, &data);
+        }
+        s.compute_tile(kernel, k);
+        if let Some(req) = send_req {
+            comm.wait_send(req);
+        }
+        cur_recv = next_recv;
+    }
+    if rank + 1 < d.ranks {
+        let req = comm.isend(
+            rank + 1,
+            tag(steps - 1, DIR_J),
+            face_2d_elementwise(&s.strip, &d, steps - 1),
+        );
+        comm.wait_send(req);
+    }
+    s.strip
+}
+
+// ---- legacy drivers ----------------------------------------------------
+
+/// Old 3-D driver: runs the legacy rank loops on the threaded backend
+/// and gathers with per-cell `Grid3D::set` calls.
+pub fn run_dist3d<K: Kernel3D>(
+    kernel: K,
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> (Grid3D, Duration) {
+    d.validate().expect("invalid decomposition");
+    let ranks = d.pi * d.pj;
+    let (blocks, elapsed) = run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| {
+        match mode {
+            ExecMode::Blocking => rank_blocking_3d(&mut comm, kernel, d),
+            ExecMode::Overlapping => rank_overlap_3d(&mut comm, kernel, d),
+        }
+    });
+    let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
+    let mut out = Grid3D::new(d.nx, d.ny, d.nz, 0.0, d.boundary);
+    let (bx, by) = (d.bx(), d.by());
+    for (rank, block) in blocks.iter().enumerate() {
+        let c = grid_topo.coords_of(rank);
+        for i in 0..bx {
+            for j in 0..by {
+                for k in 0..d.nz {
+                    out.set(
+                        c[0] * bx + i,
+                        c[1] * by + j,
+                        k,
+                        block[(i * by + j) * d.nz + k],
+                    );
+                }
+            }
+        }
+    }
+    (out, elapsed)
+}
+
+/// Old 2-D driver with per-cell gather.
+pub fn run_dist2d<K: Kernel2D>(
+    kernel: K,
+    d: Decomp2D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> (Grid2D, Duration) {
+    d.validate().expect("invalid decomposition");
+    let (strips, elapsed) = run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| {
+        match mode {
+            ExecMode::Blocking => rank_blocking_2d(&mut comm, kernel, d),
+            ExecMode::Overlapping => rank_overlap_2d(&mut comm, kernel, d),
+        }
+    });
+    let by = d.by();
+    let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
+    for (rank, strip) in strips.iter().enumerate() {
+        for i in 0..d.nx {
+            for j in 0..by {
+                out.set(i, rank * by + j, strip[i * by + j]);
+            }
+        }
+    }
+    (out, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Example1, Paper3D};
+    use crate::seq::{run_example1_seq, run_paper3d_seq};
+
+    #[test]
+    fn legacy_3d_still_matches_sequential() {
+        let d = Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 17,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 1.0,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let (dist, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+            assert_eq!(dist.max_abs_diff(&seq), 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_2d_still_matches_sequential() {
+        let d = Decomp2D {
+            nx: 23,
+            ny: 6,
+            ranks: 2,
+            v: 5,
+            boundary: 2.0,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let (dist, _) = run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            let seq = run_example1_seq(d.nx, d.ny, d.boundary);
+            assert_eq!(dist.max_abs_diff(&seq), 0.0, "{mode:?}");
+        }
+    }
+}

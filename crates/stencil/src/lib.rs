@@ -41,7 +41,10 @@
 pub mod dist2d;
 pub mod dist3d;
 pub mod grid;
+pub mod halo;
 pub mod kernel;
+pub mod legacy;
+pub mod proto;
 pub mod seq;
 pub mod verify;
 
