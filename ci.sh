@@ -3,6 +3,7 @@
 set -eu
 
 cargo build --release --workspace
+cargo build --workspace --examples
 cargo test -q --workspace
 
 # Clippy is part of the gate when the component is installed; degrade

@@ -24,10 +24,10 @@ fn bench_dist3d(c: &mut Criterion) {
     let mut g = c.benchmark_group("dist3d_8x8x1024_4ranks");
     g.sample_size(10);
     g.bench_function("blocking", |b| {
-        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Blocking).1))
+        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Blocking).unwrap().1))
     });
     g.bench_function("overlapping", |b| {
-        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Overlapping).1))
+        b.iter(|| black_box(run_paper3d_dist(d, lat, ExecMode::Overlapping).unwrap().1))
     });
     g.finish();
 }
@@ -47,17 +47,17 @@ fn bench_dist2d(c: &mut Criterion) {
     let mut g = c.benchmark_group("dist2d_2048x16_4ranks");
     g.sample_size(10);
     g.bench_function("blocking", |b| {
-        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Blocking).1))
+        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Blocking).unwrap().1))
     });
     g.bench_function("overlapping", |b| {
-        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Overlapping).1))
+        b.iter(|| black_box(run_example1_dist(d, lat, ExecMode::Overlapping).unwrap().1))
     });
     g.finish();
 }
 
 fn bench_recording(c: &mut Criterion) {
     use msgpass::recording::record_sequential;
-    use stencil::dist3d::rank_overlap_3d;
+    use stencil::dist3d::run_rank3d;
     use stencil::kernel::Paper3D;
     let d = Decomp3D {
         nx: 4,
@@ -73,7 +73,7 @@ fn bench_recording(c: &mut Criterion) {
     g.bench_function("record_4ranks_8steps", |b| {
         b.iter(|| {
             black_box(record_sequential::<f32, _, _>(4, |comm| {
-                rank_overlap_3d(comm, Paper3D, d)
+                run_rank3d(comm, Paper3D, d, ExecMode::Overlapping)
             }))
         })
     });

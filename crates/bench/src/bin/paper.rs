@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! paper example1   §3 Example 1 + §4 Example 3 analytic reproduction
-//! paper gantt      Fig. 1 / Fig. 2 schedule Gantt charts (simulated)
+//! paper gantt      Fig. 1 / Fig. 2 schedule Gantt charts (simulated);
+//!                  `paper gantt --backend thread` renders the same
+//!                  charts from a measured thread-backend run
 //! paper fig9       Fig. 9  — 16×16×16384 V-sweep (CSV + plot + optima)
 //! paper fig10      Fig. 10 — 16×16×32768 V-sweep
 //! paper fig11      Fig. 11 — 32×32×4096 V-sweep
@@ -101,7 +103,18 @@ fn cmd_example1() {
     );
 }
 
-fn cmd_gantt() {
+fn cmd_gantt(backend: &str) {
+    match backend {
+        "sim" => cmd_gantt_sim(),
+        "thread" => cmd_gantt_thread(),
+        other => {
+            eprintln!("unknown gantt backend '{other}' (expected 'sim' or 'thread')");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_gantt_sim() {
     println!("== Fig. 1 / Fig. 2: schedule structure on a 6-processor pipeline ==\n");
     let machine = MachineParams::example_1();
     print!("{}", render_figures(&machine, 6, 8, 16));
@@ -116,6 +129,36 @@ fn cmd_gantt() {
     std::fs::write(out_dir().join("fig2.svg"), f2.trace.to_svg(&ranks, horizon, 900))
         .expect("write fig2.svg");
     println!("SVG charts written to results/fig1.svg and results/fig2.svg");
+}
+
+fn cmd_gantt_thread() {
+    use bench::gantt::{render_thread_figures, thread_demo_decomp, thread_figure};
+    use msgpass::thread_backend::LatencyModel;
+    use stencil::dist3d::ExecMode;
+    println!("== Fig. 1 / Fig. 2 from real execution (thread backend, wall-clock trace) ==\n");
+    let d = thread_demo_decomp();
+    // Visible wire time at this grain without swamping the compute.
+    let lat = LatencyModel {
+        startup_us: 300.0,
+        per_byte_us: 0.05,
+    };
+    print!("{}", render_thread_figures(d, lat));
+    // SVG versions on a shared horizon, next to the simulated pair.
+    let ranks: Vec<usize> = (0..d.pi * d.pj).collect();
+    let f1 = thread_figure(d, lat, ExecMode::Blocking);
+    let f2 = thread_figure(d, lat, ExecMode::Overlapping);
+    let horizon = f1.horizon().max(f2.horizon());
+    std::fs::write(
+        out_dir().join("fig1_thread.svg"),
+        f1.trace.to_svg(&ranks, horizon, 900),
+    )
+    .expect("write fig1_thread.svg");
+    std::fs::write(
+        out_dir().join("fig2_thread.svg"),
+        f2.trace.to_svg(&ranks, horizon, 900),
+    )
+    .expect("write fig2_thread.svg");
+    println!("SVG charts written to results/fig1_thread.svg and results/fig2_thread.svg");
 }
 
 fn run_figure(exp: &Experiment, figure: &str) {
@@ -291,8 +334,10 @@ fn cmd_threads() {
         startup_us: 500.0,
         per_byte_us: 0.08,
     };
-    let (g_block, t_block) = run_paper3d_dist(d, lat, ExecMode::Blocking);
-    let (g_over, t_over) = run_paper3d_dist(d, lat, ExecMode::Overlapping);
+    let (g_block, t_block) =
+        run_paper3d_dist(d, lat, ExecMode::Blocking).expect("valid decomposition");
+    let (g_over, t_over) =
+        run_paper3d_dist(d, lat, ExecMode::Overlapping).expect("valid decomposition");
     let seq = stencil::seq::run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     println!("blocking:     {:.3} s (verified: {})", t_block.as_secs_f64(),
         g_block.max_abs_diff(&seq) == 0.0);
@@ -407,14 +452,20 @@ mod perf {
                     stencil::legacy::run_dist3d(Relax3D::default(), d, lat, mode).0
                 }),
                 measure(trials, d, || {
-                    stencil::dist3d::run_dist3d(Relax3D::default(), d, lat, mode).0
+                    stencil::dist3d::run_dist3d(Relax3D::default(), d, lat, mode)
+                        .expect("valid decomposition")
+                        .0
                 }),
             ),
             "paper3d" => (
                 measure(trials, d, || {
                     stencil::legacy::run_dist3d(Paper3D, d, lat, mode).0
                 }),
-                measure(trials, d, || stencil::dist3d::run_dist3d(Paper3D, d, lat, mode).0),
+                measure(trials, d, || {
+                    stencil::dist3d::run_dist3d(Paper3D, d, lat, mode)
+                        .expect("valid decomposition")
+                        .0
+                }),
             ),
             other => unreachable!("unknown kernel {other}"),
         };
@@ -426,6 +477,47 @@ mod perf {
             baseline,
             optimized,
         }
+    }
+
+    /// Per-mode A-lane/B-lane step-time summary from an instrumented
+    /// run: the measured counterpart of eq. 4's `max(A, B)` split (A =
+    /// compute + face copies + request posts, B = waits on the wire).
+    struct LaneSummary {
+        mode: ExecMode,
+        a_mean_us: f64,
+        a_max_us: f64,
+        b_mean_us: f64,
+        b_max_us: f64,
+    }
+
+    fn lane_summary(d: Decomp3D, lat: LatencyModel, mode: ExecMode) -> LaneSummary {
+        use stencil::engine::LaneStats;
+        let steps = d.steps();
+        let (_, _, stats) =
+            stencil::dist3d::run_dist3d_observed(Paper3D, d, lat, mode, |_| LaneStats::new(steps))
+                .expect("valid decomposition");
+        let (a_mean_us, a_max_us, b_mean_us, b_max_us) = LaneStats::summarize(&stats);
+        LaneSummary {
+            mode,
+            a_mean_us,
+            a_max_us,
+            b_mean_us,
+            b_max_us,
+        }
+    }
+
+    fn json_lane(l: &LaneSummary) -> String {
+        format!(
+            "    {{\"mode\": \"{}\", \"a_mean_us\": {:.3}, \"a_max_us\": {:.3}, \"b_mean_us\": {:.3}, \"b_max_us\": {:.3}}}",
+            match l.mode {
+                ExecMode::Blocking => "blocking",
+                ExecMode::Overlapping => "overlapping",
+            },
+            l.a_mean_us,
+            l.a_max_us,
+            l.b_mean_us,
+            l.b_max_us
+        )
     }
 
     fn json_measurement(m: &Measurement) -> String {
@@ -491,11 +583,41 @@ mod perf {
                 c.speedup()
             );
         }
+        // Instrumented lane accounting on a shallower pipeline with
+        // injected latency: under Blocking the B lane shows up in the
+        // step time; under Overlapping it rides beneath the A lane.
+        let lane_d = Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: 4096,
+            pi: 2,
+            pj: 2,
+            v: 128,
+            boundary: 1.0,
+        };
+        let lane_lat = LatencyModel {
+            startup_us: 200.0,
+            per_byte_us: 0.02,
+        };
+        let lanes = [
+            lane_summary(lane_d, lane_lat, ExecMode::Blocking),
+            lane_summary(lane_d, lane_lat, ExecMode::Overlapping),
+        ];
+        for l in &lanes {
+            println!(
+                "lanes {:11} A (cpu) mean {:>8.1} µs max {:>8.1} µs | B (comm) mean {:>8.1} µs max {:>8.1} µs",
+                format!("({:?})", l.mode),
+                l.a_mean_us,
+                l.a_max_us,
+                l.b_mean_us,
+                l.b_max_us
+            );
+        }
         let headline = &comparisons[0];
         let json = format!(
             "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"{}\",\n    \
              \"baseline_cells_per_sec\": {:.0},\n    \"optimized_cells_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
-             \"comparisons\": [\n{}\n  ]\n}}\n",
+             \"comparisons\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ]\n}}\n",
             headline.name,
             headline.baseline.cells_per_sec,
             headline.optimized.cells_per_sec,
@@ -504,7 +626,8 @@ mod perf {
                 .iter()
                 .map(json_comparison)
                 .collect::<Vec<_>>()
-                .join(",\n")
+                .join(",\n"),
+            lanes.iter().map(json_lane).collect::<Vec<_>>().join(",\n")
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json");
         std::fs::write(path, &json).expect("write BENCH_stencil.json");
@@ -519,7 +642,7 @@ mod perf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|perf|all>"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|perf|all>\n       paper gantt [--backend sim|thread]"
     );
     std::process::exit(2);
 }
@@ -529,7 +652,18 @@ fn main() {
     let [e1, e2, e3] = paper_experiments();
     match cmd.as_str() {
         "example1" => cmd_example1(),
-        "gantt" => cmd_gantt(),
+        "gantt" => {
+            // `paper gantt [--backend sim|thread]`, defaulting to sim.
+            let backend = match std::env::args().nth(2).as_deref() {
+                Some("--backend") => std::env::args().nth(3).unwrap_or_else(|| usage()),
+                Some(other) => {
+                    eprintln!("unknown gantt option '{other}'");
+                    usage()
+                }
+                None => "sim".to_string(),
+            };
+            cmd_gantt(&backend)
+        }
         "fig9" => run_figure(&e1, "fig9"),
         "fig10" => run_figure(&e2, "fig10"),
         "fig11" => run_figure(&e3, "fig11"),
@@ -544,7 +678,9 @@ fn main() {
         "all" => {
             cmd_example1();
             println!("\n");
-            cmd_gantt();
+            cmd_gantt("sim");
+            println!("\n");
+            cmd_gantt("thread");
             println!("\n");
             run_figure(&e1, "fig9");
             println!("\n");

@@ -107,6 +107,24 @@ impl Trace {
         &self.intervals
     }
 
+    /// Absorb another trace's intervals (used to merge per-rank traces
+    /// recorded on separate threads into one world trace). A disabled
+    /// receiver stays empty.
+    pub fn extend(&mut self, other: Trace) {
+        if self.enabled {
+            self.intervals.extend(other.intervals);
+        }
+    }
+
+    /// Latest interval end — the natural horizon for rendering.
+    pub fn horizon(&self) -> SimTime {
+        self.intervals
+            .iter()
+            .map(|i| i.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
     /// Intervals of one rank, in recording order.
     pub fn for_rank(&self, rank: Rank) -> impl Iterator<Item = &Interval> {
         self.intervals.iter().filter(move |i| i.rank == rank)
@@ -277,6 +295,24 @@ mod tests {
         let mut tr = Trace::enabled();
         tr.record(0, Activity::Compute, t(5.0), t(5.0));
         assert!(tr.intervals().is_empty());
+    }
+
+    #[test]
+    fn extend_merges_and_horizon_tracks_latest_end() {
+        let mut a = Trace::enabled();
+        a.record(0, Activity::Compute, t(0.0), t(10.0));
+        let mut b = Trace::enabled();
+        b.record(1, Activity::Compute, t(5.0), t(25.0));
+        a.extend(b);
+        assert_eq!(a.intervals().len(), 2);
+        assert_eq!(a.horizon(), t(25.0));
+        assert_eq!(Trace::enabled().horizon(), SimTime::ZERO);
+
+        let mut off = Trace::disabled();
+        let mut c = Trace::enabled();
+        c.record(0, Activity::Compute, t(0.0), t(1.0));
+        off.extend(c);
+        assert!(off.intervals().is_empty());
     }
 
     #[test]

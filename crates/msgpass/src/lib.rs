@@ -12,6 +12,9 @@
 //! * [`thread_backend`] — the real threaded implementation
 //!   ([`thread_backend::run_threads`]).
 //! * [`topology`] — Cartesian process grids (the paper's 4×4 layout).
+//! * [`trace`] — wall-clock activity recording in the *same* interval
+//!   format the `cluster-sim` simulator emits, so real runs render
+//!   through the same Gantt paths.
 //!
 //! Timing-only simulation of the paper's cluster lives in the sibling
 //! `cluster-sim` crate; this crate moves *real data* and is what the
@@ -24,6 +27,7 @@ pub mod comm;
 pub mod recording;
 pub mod thread_backend;
 pub mod topology;
+pub mod trace;
 
 /// Convenient re-exports.
 pub mod prelude {
@@ -31,4 +35,5 @@ pub mod prelude {
     pub use crate::recording::{record_sequential, RecordingComm};
     pub use crate::thread_backend::{run_threads, LatencyModel, PoolStats, ThreadComm};
     pub use crate::topology::CartesianGrid;
+    pub use crate::trace::WallTrace;
 }

@@ -118,6 +118,9 @@ pub struct ThreadComm<T> {
     latency: LatencyModel,
     /// Barrier shared by the world.
     barrier: std::sync::Arc<std::sync::Barrier>,
+    /// Common time origin of the world (same `Instant` on every rank),
+    /// so per-rank wall-clock trace recorders share one zero.
+    epoch: Instant,
     next_req: u64,
     elem_bytes: usize,
 }
@@ -133,6 +136,14 @@ impl<T: Send + 'static> ThreadComm<T> {
     /// relies on.
     pub fn pool_stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// The world's shared time origin: the same `Instant` on every rank
+    /// of one [`run_threads`] world. Wall-clock trace recorders
+    /// ([`crate::trace::WallTrace`]) measure against it so intervals
+    /// from different rank threads land on one comparable time axis.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Obtain a send buffer holding a copy of `data`: recycled from the
@@ -350,6 +361,7 @@ pub(crate) fn build_world<T: Send + 'static>(
         to_senders.push(row);
     }
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(size));
+    let epoch = Instant::now();
     let elem_bytes = std::mem::size_of::<T>();
 
     let mut comms: Vec<ThreadComm<T>> = Vec::with_capacity(size);
@@ -377,6 +389,7 @@ pub(crate) fn build_world<T: Send + 'static>(
             stats: PoolStats::default(),
             latency,
             barrier: barrier.clone(),
+            epoch,
             next_req: 0,
             elem_bytes,
         });

@@ -1,0 +1,111 @@
+//! Wall-clock activity tracing for the thread backend.
+//!
+//! The simulator (`cluster-sim`) and the real threaded backend emit the
+//! **same** trace format: this module re-exports the canonical
+//! interval/trace types from [`cluster_sim::trace`] and adds
+//! [`WallTrace`], the bridge that converts measured `Instant` pairs into
+//! [`SimTime`] intervals against a world-shared epoch
+//! ([`crate::thread_backend::ThreadComm::epoch`]). A trace recorded
+//! from a real run therefore renders through the exact same Gantt/SVG
+//! paths as a simulated one — Fig. 1/Fig. 2 next to their measured
+//! counterparts.
+
+pub use cluster_sim::time::SimTime;
+pub use cluster_sim::trace::{Activity, Interval, Trace};
+use std::time::Instant;
+
+/// Per-rank wall-clock trace recorder: measured `[start, end]` instants
+/// become [`SimTime`] intervals relative to the world epoch.
+#[derive(Debug)]
+pub struct WallTrace {
+    rank: usize,
+    epoch: Instant,
+    trace: Trace,
+}
+
+impl WallTrace {
+    /// A recorder for `rank` measuring against `epoch` (pass
+    /// [`crate::thread_backend::ThreadComm::epoch`] so all ranks of one
+    /// world share the time origin).
+    pub fn new(rank: usize, epoch: Instant) -> Self {
+        WallTrace {
+            rank,
+            epoch,
+            trace: Trace::enabled(),
+        }
+    }
+
+    /// The rank this recorder stamps on every interval.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Record one measured activity interval. Instants before the epoch
+    /// saturate to 0 (cannot happen for activities inside the world).
+    pub fn record(&mut self, activity: Activity, start: Instant, end: Instant) {
+        let s = SimTime::from_nanos(start.saturating_duration_since(self.epoch).as_nanos() as u64);
+        let e = SimTime::from_nanos(end.saturating_duration_since(self.epoch).as_nanos() as u64);
+        self.trace.record(self.rank, activity, s, e);
+    }
+
+    /// Finish recording, yielding the rank's trace (merge the ranks of
+    /// one world with [`Trace::extend`]).
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn instants_map_onto_epoch_relative_simtime() {
+        let epoch = Instant::now();
+        let mut w = WallTrace::new(3, epoch);
+        let a = epoch + Duration::from_micros(10);
+        let b = epoch + Duration::from_micros(25);
+        w.record(Activity::Compute, a, b);
+        let tr = w.into_trace();
+        assert_eq!(tr.intervals().len(), 1);
+        let iv = tr.intervals()[0];
+        assert_eq!(iv.rank, 3);
+        assert_eq!(iv.start, SimTime::from_us(10.0));
+        assert_eq!(iv.end, SimTime::from_us(25.0));
+    }
+
+    #[test]
+    fn pre_epoch_instants_saturate() {
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let epoch = Instant::now();
+        let mut w = WallTrace::new(0, epoch);
+        w.record(Activity::Compute, early, epoch + Duration::from_micros(5));
+        let tr = w.into_trace();
+        assert_eq!(tr.intervals()[0].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn per_rank_traces_merge_into_world_trace() {
+        let epoch = Instant::now();
+        let mut a = WallTrace::new(0, epoch);
+        let mut b = WallTrace::new(1, epoch);
+        a.record(
+            Activity::Compute,
+            epoch,
+            epoch + Duration::from_micros(4),
+        );
+        b.record(
+            Activity::Idle,
+            epoch + Duration::from_micros(2),
+            epoch + Duration::from_micros(9),
+        );
+        let mut world = Trace::enabled();
+        world.extend(a.into_trace());
+        world.extend(b.into_trace());
+        assert_eq!(world.for_rank(0).count(), 1);
+        assert_eq!(world.for_rank(1).count(), 1);
+        assert_eq!(world.horizon(), SimTime::from_us(9.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared decomposition arithmetic and validation for the distributed
+//! executors.
+//!
+//! [`crate::dist2d::Decomp2D`] and [`crate::dist3d::Decomp3D`] describe
+//! the same thing at different arities — a block partition of the
+//! cross-section plus a tile height `V` along the pipelined dimension —
+//! so the block-extent division, step count `⌈extent / V⌉`, per-step
+//! tile ranges and validation checks live here once. Validation errors
+//! are a typed [`DecompError`] (not a panic), and the `run_dist*`
+//! drivers surface them as `Result`s.
+
+use std::fmt;
+
+/// Why a decomposition is invalid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecompError {
+    /// A global grid extent is zero.
+    EmptyGrid,
+    /// A processor-grid extent or the tile height `V` is zero.
+    EmptyDecomposition,
+    /// An extent does not divide evenly across its processor-grid axis.
+    NotDivisible {
+        /// The global axis (e.g. `"nx"`).
+        axis: &'static str,
+        /// The global extent along that axis.
+        extent: usize,
+        /// The number of processor-grid parts it must divide into.
+        parts: usize,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::EmptyGrid => write!(f, "empty grid"),
+            DecompError::EmptyDecomposition => write!(f, "empty decomposition"),
+            DecompError::NotDivisible {
+                axis,
+                extent,
+                parts,
+            } => write!(f, "{axis} = {extent} not divisible by {parts} processors"),
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+/// All global extents must be positive.
+pub fn require_nonempty_grid(extents: &[usize]) -> Result<(), DecompError> {
+    if extents.contains(&0) {
+        return Err(DecompError::EmptyGrid);
+    }
+    Ok(())
+}
+
+/// All processor-grid extents and the tile height must be positive.
+pub fn require_nonempty_decomp(parts: &[usize]) -> Result<(), DecompError> {
+    if parts.contains(&0) {
+        return Err(DecompError::EmptyDecomposition);
+    }
+    Ok(())
+}
+
+/// `extent` must divide evenly into `parts` blocks along `axis`.
+pub fn require_divides(
+    axis: &'static str,
+    extent: usize,
+    parts: usize,
+) -> Result<(), DecompError> {
+    if !extent.is_multiple_of(parts) {
+        return Err(DecompError::NotDivisible {
+            axis,
+            extent,
+            parts,
+        });
+    }
+    Ok(())
+}
+
+/// Number of pipeline steps along the pipelined dimension:
+/// `⌈extent / V⌉` (the last tile may be partial).
+pub fn pipeline_steps(extent: usize, v: usize) -> usize {
+    extent.div_ceil(v)
+}
+
+/// The half-open index range of pipeline step `k`, clamped at the
+/// global extent for the partial last tile.
+pub fn tile_range(extent: usize, v: usize, k: usize) -> (usize, usize) {
+    (k * v, ((k + 1) * v).min(extent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_helpers() {
+        assert_eq!(require_nonempty_grid(&[4, 4, 8]), Ok(()));
+        assert_eq!(require_nonempty_grid(&[4, 0]), Err(DecompError::EmptyGrid));
+        assert_eq!(require_nonempty_decomp(&[2, 2, 1]), Ok(()));
+        assert_eq!(
+            require_nonempty_decomp(&[2, 0]),
+            Err(DecompError::EmptyDecomposition)
+        );
+        assert_eq!(require_divides("nx", 8, 2), Ok(()));
+        assert_eq!(
+            require_divides("ny", 7, 2),
+            Err(DecompError::NotDivisible {
+                axis: "ny",
+                extent: 7,
+                parts: 2
+            })
+        );
+    }
+
+    #[test]
+    fn steps_and_ranges() {
+        assert_eq!(pipeline_steps(10, 4), 3);
+        assert_eq!(tile_range(10, 4, 0), (0, 4));
+        assert_eq!(tile_range(10, 4, 2), (8, 10)); // partial last tile
+        assert_eq!(pipeline_steps(5, 9), 1);
+        assert_eq!(tile_range(5, 9, 0), (0, 5)); // V > extent clamps
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = DecompError::NotDivisible {
+            axis: "ny",
+            extent: 10,
+            parts: 3,
+        };
+        assert_eq!(e.to_string(), "ny = 10 not divisible by 3 processors");
+        assert_eq!(DecompError::EmptyGrid.to_string(), "empty grid");
+    }
+}

@@ -8,26 +8,32 @@
 //! needed by tile `k` arrived with message `k` (rows `kV..`) or message
 //! `k−1` (row `kV−1`), both already received before tile `k` computes.
 //!
-//! ## Hot-path structure
+//! ## Structure
 //!
-//! Mirrors [`crate::dist3d`]: `compute_tile` peels `i==0`/`j==0` out of
-//! the inner loop — each row's `i−1` neighbors are one contiguous slice
-//! (the previous strip row or a boundary splat), the `j−1` value is
-//! loop-carried, and the diagonal/west pair comes from a two-wide window
-//! over the neighbor row. The outgoing face column (stride `by`) packs
-//! into a persistent buffer; the halo column is contiguous, so receives
-//! land *directly* in `halo[i0..i1]` with no unpack step or scratch
-//! buffer. Steady-state steps allocate nothing. The element-wise
-//! original survives in [`crate::legacy`] as oracle and perf baseline.
+//! [`Strip2D`] is the 2-D [`TileOps`] implementation: it owns the strip,
+//! halo column and face buffer and supplies the branch-peeled
+//! `compute_tile` hot path (unchanged from the pre-engine executors) —
+//! the pipeline loop itself lives in [`crate::engine`], driven by the
+//! [`tiling_core`] schedule type behind the chosen [`ExecMode`]. Each
+//! row's `i−1` neighbors are one contiguous slice (the previous strip
+//! row or a boundary splat), the `j−1` value is loop-carried, and the
+//! diagonal/west pair comes from a two-wide window over the neighbor
+//! row. The outgoing face column (stride `by`) packs into a persistent
+//! buffer; the halo column is contiguous, so receives land *directly*
+//! in `halo[i0..i1]` with no unpack step or scratch buffer.
+//! Steady-state steps allocate nothing. The element-wise original
+//! survives in [`crate::legacy`] as oracle and perf baseline.
 
+use crate::decomp::{self, DecompError};
+use crate::engine::{self, NoopObserver, StepObserver, TileOps};
 use crate::grid::Grid2D;
 use crate::kernel::{Example1, Kernel2D};
-use crate::proto::{tag, DIR_J};
+use crate::proto::DIR_J;
 use msgpass::comm::Communicator;
 use msgpass::thread_backend::{run_threads, LatencyModel};
 use std::time::Duration;
 
-pub use crate::dist3d::ExecMode;
+pub use crate::engine::ExecMode;
 
 /// Domain decomposition for the 2-D kernel.
 #[derive(Clone, Copy, Debug)]
@@ -46,20 +52,10 @@ pub struct Decomp2D {
 
 impl Decomp2D {
     /// Validate divisibility and sizes.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.nx == 0 || self.ny == 0 {
-            return Err("empty grid".into());
-        }
-        if self.ranks == 0 || self.v == 0 {
-            return Err("empty decomposition".into());
-        }
-        if !self.ny.is_multiple_of(self.ranks) {
-            return Err(format!(
-                "ny = {} not divisible by ranks = {}",
-                self.ny, self.ranks
-            ));
-        }
-        Ok(())
+    pub fn validate(&self) -> Result<(), DecompError> {
+        decomp::require_nonempty_grid(&[self.nx, self.ny])?;
+        decomp::require_nonempty_decomp(&[self.ranks, self.v])?;
+        decomp::require_divides("ny", self.ny, self.ranks)
     }
 
     /// Strip width per rank.
@@ -69,24 +65,28 @@ impl Decomp2D {
 
     /// Number of pipeline steps `⌈nx / V⌉`.
     pub fn steps(&self) -> usize {
-        self.nx.div_ceil(self.v)
+        decomp::pipeline_steps(self.nx, self.v)
     }
 
     /// The i-range of step `k` (the last tile may be partial).
     pub(crate) fn irange(&self, k: usize) -> (usize, usize) {
-        (k * self.v, ((k + 1) * self.v).min(self.nx))
+        decomp::tile_range(self.nx, self.v, k)
     }
 }
 
-/// Per-rank working state. All buffers are allocated once; the pipeline
-/// loop never allocates.
-struct Strip2D {
+/// Per-rank working state: the 2-D [`TileOps`] implementation. All
+/// buffers are allocated once; the pipeline loop never allocates.
+struct Strip2D<K> {
     d: Decomp2D,
+    kernel: K,
     /// Own strip, `nx × by`, j fastest.
     strip: Vec<f32>,
     /// Halo column `j = own_lo − 1`, full `nx` length.
     halo: Vec<f32>,
     has_left: bool,
+    /// Upstream/downstream ranks along the single halo direction.
+    up: Option<usize>,
+    down: Option<usize>,
     /// Global j of the strip's first column.
     gj0: i64,
     /// Boundary splat, `by` long: the `i−1` neighbor row of row 0.
@@ -95,13 +95,16 @@ struct Strip2D {
     face_buf: Vec<f32>,
 }
 
-impl Strip2D {
-    fn new(d: Decomp2D, rank: usize) -> Self {
+impl<K: Kernel2D> Strip2D<K> {
+    fn new(d: Decomp2D, kernel: K, rank: usize) -> Self {
         Strip2D {
             d,
+            kernel,
             strip: vec![0.0; d.nx * d.by()],
             halo: vec![0.0; d.nx],
             has_left: rank > 0,
+            up: (rank > 0).then(|| rank - 1),
+            down: (rank + 1 < d.ranks).then_some(rank + 1),
             gj0: (rank * d.by()) as i64,
             brow: vec![d.boundary; d.by()],
             face_buf: vec![0.0; d.v.min(d.nx)],
@@ -112,7 +115,8 @@ impl Strip2D {
     ///
     /// Bitwise-identical to the element-wise reference in
     /// [`crate::legacy`].
-    fn compute_tile<K: Kernel2D>(&mut self, kernel: K, k: usize) {
+    fn compute_tile(&mut self, k: usize) {
+        let kernel = self.kernel;
         let (i0, i1) = self.d.irange(k);
         let by = self.d.by();
         let b = self.d.boundary;
@@ -141,11 +145,38 @@ impl Strip2D {
             }
         }
     }
+}
 
-    /// Pack the outgoing boundary column (j = by−1) rows of tile `k`
-    /// into `face_buf`; returns the packed length.
-    fn pack_face(&mut self, k: usize) -> usize {
-        let (i0, i1) = self.d.irange(k);
+impl<K: Kernel2D> TileOps for Strip2D<K> {
+    fn num_dirs(&self) -> usize {
+        1
+    }
+
+    fn upstream(&self, _dir: usize) -> Option<usize> {
+        self.up
+    }
+
+    fn downstream(&self, _dir: usize) -> Option<usize> {
+        self.down
+    }
+
+    fn wire_dir(&self, _dir: usize) -> u64 {
+        DIR_J
+    }
+
+    fn recv_buf(&mut self, _dir: usize, step: usize) -> &mut [f32] {
+        // The halo column is contiguous: receives land straight in it.
+        let (i0, i1) = self.d.irange(step);
+        &mut self.halo[i0..i1]
+    }
+
+    fn unpack(&mut self, _dir: usize, _step: usize) {
+        // Receives land in place; nothing to install.
+    }
+
+    fn pack(&mut self, _dir: usize, step: usize) -> usize {
+        // Pack the outgoing boundary column (j = by−1) rows of the tile.
+        let (i0, i1) = self.d.irange(step);
         let by = self.d.by();
         let col = by - 1;
         for (out, i) in self.face_buf[..i1 - i0].iter_mut().zip(i0..i1) {
@@ -153,66 +184,41 @@ impl Strip2D {
         }
         i1 - i0
     }
+
+    fn face(&self, _dir: usize) -> &[f32] {
+        &self.face_buf
+    }
+
+    fn compute(&mut self, step: usize) {
+        self.compute_tile(step);
+    }
 }
 
-/// One rank's blocking execution of any 2-D kernel; returns its strip
-/// (`nx × by`).
-pub fn rank_blocking_2d<C: Communicator<f32>, K: Kernel2D>(
+/// One rank's execution of any 2-D kernel under `mode`'s schedule,
+/// reporting every phase to `obs`; returns its strip (`nx × by`).
+pub fn run_rank2d_observed<C: Communicator<f32>, K: Kernel2D, O: StepObserver>(
     comm: &mut C,
     kernel: K,
     d: Decomp2D,
+    mode: ExecMode,
+    obs: &mut O,
 ) -> Vec<f32> {
-    let rank = comm.rank();
-    let mut s = Strip2D::new(d, rank);
-    for k in 0..d.steps() {
-        if rank > 0 {
-            // The halo column is contiguous: receive straight into it.
-            let (i0, i1) = d.irange(k);
-            comm.recv_into(rank - 1, tag(k, DIR_J), &mut s.halo[i0..i1]);
-        }
-        s.compute_tile(kernel, k);
-        if rank + 1 < d.ranks {
-            let n = s.pack_face(k);
-            comm.send_from(rank + 1, tag(k, DIR_J), &s.face_buf[..n]);
-        }
-    }
+    let mut s = Strip2D::new(d, kernel, comm.rank());
+    // Example 1 maps along i₁ of a 2-D tiled space (pi = [1, 2]).
+    let plan = mode.step_plan(2, 0, d.steps());
+    engine::run_rank(comm, &mut s, &plan, obs);
     s.strip
 }
 
-/// One rank's overlapping execution of any 2-D kernel; returns its strip.
-pub fn rank_overlap_2d<C: Communicator<f32>, K: Kernel2D>(
+/// One rank's execution of any 2-D kernel under `mode`'s schedule;
+/// returns its strip (`nx × by`).
+pub fn run_rank2d<C: Communicator<f32>, K: Kernel2D>(
     comm: &mut C,
     kernel: K,
     d: Decomp2D,
+    mode: ExecMode,
 ) -> Vec<f32> {
-    let rank = comm.rank();
-    let steps = d.steps();
-    let mut s = Strip2D::new(d, rank);
-    let mut cur_recv = (rank > 0).then(|| comm.irecv(rank - 1, tag(0, DIR_J)));
-    for k in 0..steps {
-        let next_recv =
-            (rank > 0 && k + 1 < steps).then(|| comm.irecv(rank - 1, tag(k + 1, DIR_J)));
-        let mut send_req = None;
-        if k >= 1 && rank + 1 < d.ranks {
-            let n = s.pack_face(k - 1);
-            send_req = Some(comm.isend_from(rank + 1, tag(k - 1, DIR_J), &s.face_buf[..n]));
-        }
-        if let Some(req) = cur_recv.take() {
-            let (i0, i1) = d.irange(k);
-            comm.wait_recv_into(req, &mut s.halo[i0..i1]);
-        }
-        s.compute_tile(kernel, k);
-        if let Some(req) = send_req {
-            comm.wait_send(req);
-        }
-        cur_recv = next_recv;
-    }
-    if rank + 1 < d.ranks {
-        let n = s.pack_face(steps - 1);
-        let req = comm.isend_from(rank + 1, tag(steps - 1, DIR_J), &s.face_buf[..n]);
-        comm.wait_send(req);
-    }
-    s.strip
+    run_rank2d_observed(comm, kernel, d, mode, &mut NoopObserver)
 }
 
 /// Run a distributed 2-D kernel on the threaded backend and gather.
@@ -221,13 +227,10 @@ pub fn run_dist2d<K: Kernel2D>(
     d: Decomp2D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid2D, Duration) {
-    d.validate().expect("invalid decomposition");
+) -> Result<(Grid2D, Duration), DecompError> {
+    d.validate()?;
     let (strips, elapsed) = run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| {
-        match mode {
-            ExecMode::Blocking => rank_blocking_2d(&mut comm, kernel, d),
-            ExecMode::Overlapping => rank_overlap_2d(&mut comm, kernel, d),
-        }
+        run_rank2d(&mut comm, kernel, d, mode)
     });
     // Assemble: each strip row is a contiguous span of the output row.
     let by = d.by();
@@ -237,7 +240,7 @@ pub fn run_dist2d<K: Kernel2D>(
             out.row_mut(i)[rank * by..][..by].copy_from_slice(&strip[i * by..][..by]);
         }
     }
-    (out, elapsed)
+    Ok((out, elapsed))
 }
 
 /// [`run_dist2d`] specialized to the Example 1 kernel.
@@ -245,7 +248,7 @@ pub fn run_example1_dist(
     d: Decomp2D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid2D, Duration) {
+) -> Result<(Grid2D, Duration), DecompError> {
     run_dist2d(Example1, d, latency, mode)
 }
 
@@ -255,7 +258,7 @@ mod tests {
     use crate::seq::run_example1_seq;
 
     fn check(d: Decomp2D, mode: ExecMode) {
-        let (dist, _) = run_example1_dist(d, LatencyModel::zero(), mode);
+        let (dist, _) = run_example1_dist(d, LatencyModel::zero(), mode).expect("valid decomp");
         let seq = run_example1_seq(d.nx, d.ny, d.boundary);
         assert_eq!(dist.max_abs_diff(&seq), 0.0, "{mode:?} {d:?}");
     }
@@ -373,12 +376,12 @@ mod tests {
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let k = Alignment2D { alphabet: 3 };
-            let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode);
+            let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode).expect("valid decomp");
             let seq = run_seq2d(k, d.nx, d.ny, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "Alignment2D {mode:?}");
 
             let k = Smooth2D::default();
-            let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode);
+            let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode).expect("valid decomp");
             let seq = run_seq2d(k, d.nx, d.ny, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "Smooth2D {mode:?}");
         }
@@ -394,33 +397,32 @@ mod tests {
             boundary: 1.5,
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-            let (new, _) = run_example1_dist(d, LatencyModel::zero(), mode);
-            let (old, _) =
-                crate::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            let (new, _) = run_example1_dist(d, LatencyModel::zero(), mode).expect("valid decomp");
+            let (old, _) = crate::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
             assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }
 
     #[test]
-    fn validate_rejects() {
-        assert!(Decomp2D {
+    fn invalid_decomps_are_errors_not_panics() {
+        let bad_div = Decomp2D {
             nx: 10,
             ny: 10,
             ranks: 3,
             v: 2,
-            boundary: 0.0
-        }
-        .validate()
-        .is_err());
-        assert!(Decomp2D {
-            nx: 10,
-            ny: 10,
-            ranks: 2,
-            v: 0,
-            boundary: 0.0
-        }
-        .validate()
-        .is_err());
+            boundary: 0.0,
+        };
+        assert_eq!(
+            bad_div.validate(),
+            Err(DecompError::NotDivisible {
+                axis: "ny",
+                extent: 10,
+                parts: 3
+            })
+        );
+        assert!(run_example1_dist(bad_div, LatencyModel::zero(), ExecMode::Blocking).is_err());
+        let bad_v = Decomp2D { v: 0, ..bad_div };
+        assert_eq!(bad_v.validate(), Err(DecompError::EmptyDecomposition));
     }
 
     #[test]

@@ -10,14 +10,18 @@
 //!   of step `k−1` results, compute step `k`, wait — the wire time rides
 //!   under the computation, eq. (4).
 //!
-//! ## Hot-path structure
+//! ## Structure
 //!
-//! The per-step path is allocation-free and branch-free in its inner
-//! loop. `compute_tile` peels the `i==0`/`j==0`/`k==0` boundary cases
-//! out of the k-loop: for each `(i, j)` pencil it split-borrows the
-//! block at the current row, selects the `i−1`/`j−1` neighbor rows
-//! *once* (previous block row, halo row, or a pre-splatted boundary
-//! row), carries the `k−1` value in a register, and runs a zip over
+//! [`Block3D`] is the 3-D [`TileOps`] implementation: it owns the block,
+//! halo planes and face buffers and supplies the hot paths — the
+//! pipeline loop itself lives in [`crate::engine`], driven by the
+//! [`tiling_core`] schedule type behind the chosen [`ExecMode`]. The
+//! per-step path is allocation-free and branch-free in its inner loop.
+//! `compute_tile` peels the `i==0`/`j==0`/`k==0` boundary cases out of
+//! the k-loop: for each `(i, j)` pencil it split-borrows the block at
+//! the current row, selects the `i−1`/`j−1` neighbor rows *once*
+//! (previous block row, halo row, or a pre-splatted boundary row),
+//! carries the `k−1` value in a register, and runs a zip over
 //! equal-length slices — no per-cell index arithmetic, no bounds checks,
 //! no boundary branches. Faces pack/unpack through the row-chunked
 //! [`crate::halo`] copies into persistent buffers, and sends/receives go
@@ -28,25 +32,23 @@
 //!
 //! Executors are generic over any [`Communicator`], and the driver
 //! [`run_paper3d_dist`] runs them on the threaded backend, gathering the
-//! blocks into a full [`Grid3D`] for verification.
+//! blocks into a full [`Grid3D`] for verification. The observed/traced
+//! drivers additionally collect per-rank [`StepObserver`] output — real
+//! wall-clock Gantt traces via [`run_dist3d_traced`].
 
+use crate::decomp::{self, DecompError};
+use crate::engine::{self, NoopObserver, StepObserver, TileOps, TraceObserver};
 use crate::grid::Grid3D;
 use crate::halo;
 use crate::kernel::{Kernel3D, Paper3D};
-use crate::proto::{tag, DIR_I, DIR_J};
+use crate::proto::{DIR_I, DIR_J};
 use msgpass::comm::Communicator;
-use msgpass::thread_backend::{run_threads, LatencyModel};
+use msgpass::thread_backend::{run_threads, LatencyModel, ThreadComm};
 use msgpass::topology::CartesianGrid;
+use msgpass::trace::Trace;
 use std::time::Duration;
 
-/// Execution style.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ExecMode {
-    /// Blocking receive → compute → send per tile (§3).
-    Blocking,
-    /// Non-blocking pipelined overlap (§4).
-    Overlapping,
-}
+pub use crate::engine::ExecMode;
 
 /// Domain decomposition of the 3-D experiment.
 #[derive(Clone, Copy, Debug)]
@@ -69,20 +71,11 @@ pub struct Decomp3D {
 
 impl Decomp3D {
     /// Validate divisibility and sizes.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
-            return Err("empty grid".into());
-        }
-        if self.pi == 0 || self.pj == 0 || self.v == 0 {
-            return Err("empty decomposition".into());
-        }
-        if !self.nx.is_multiple_of(self.pi) {
-            return Err(format!("nx = {} not divisible by pi = {}", self.nx, self.pi));
-        }
-        if !self.ny.is_multiple_of(self.pj) {
-            return Err(format!("ny = {} not divisible by pj = {}", self.ny, self.pj));
-        }
-        Ok(())
+    pub fn validate(&self) -> Result<(), DecompError> {
+        decomp::require_nonempty_grid(&[self.nx, self.ny, self.nz])?;
+        decomp::require_nonempty_decomp(&[self.pi, self.pj, self.v])?;
+        decomp::require_divides("nx", self.nx, self.pi)?;
+        decomp::require_divides("ny", self.ny, self.pj)
     }
 
     /// Block extent along i.
@@ -97,19 +90,25 @@ impl Decomp3D {
 
     /// Number of pipeline steps `⌈nz / V⌉`.
     pub fn steps(&self) -> usize {
-        self.nz.div_ceil(self.v)
+        decomp::pipeline_steps(self.nz, self.v)
     }
 
     /// The k-range of step `k` (the last tile may be partial).
     pub(crate) fn krange(&self, k: usize) -> (usize, usize) {
-        (k * self.v, ((k + 1) * self.v).min(self.nz))
+        decomp::tile_range(self.nz, self.v, k)
     }
 }
 
-/// Per-rank working state for a 3-D kernel. All buffers are allocated
-/// once at construction; the pipeline loop never allocates.
-struct Block3D {
+/// Halo-direction indices of the 3-D block (the [`TileOps`] `dir` axis).
+const FACE_I: usize = 0;
+const FACE_J: usize = 1;
+
+/// Per-rank working state: the 3-D [`TileOps`] implementation. All
+/// buffers are allocated once at construction; the pipeline loop never
+/// allocates.
+struct Block3D<K> {
     d: Decomp3D,
+    kernel: K,
     /// Own block, `bx × by × nz`, k fastest.
     block: Vec<f32>,
     /// Halo plane `i = own_lo_i − 1`: `by × nz`.
@@ -118,6 +117,9 @@ struct Block3D {
     halo_j: Vec<f32>,
     has_left_i: bool,
     has_left_j: bool,
+    /// Upstream/downstream ranks per halo direction (`[i, j]`).
+    up: [Option<usize>; 2],
+    dn: [Option<usize>; 2],
     /// Global coordinates of the block origin.
     gi0: i64,
     gj0: i64,
@@ -132,16 +134,24 @@ struct Block3D {
     recv_j_buf: Vec<f32>,
 }
 
-impl Block3D {
-    fn new(d: Decomp3D, coords: &[usize]) -> Self {
+impl<K: Kernel3D> Block3D<K> {
+    fn new(d: Decomp3D, kernel: K, rank: usize) -> Self {
+        let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+        let coords = grid.coords_of(rank);
         let vmax = d.v.min(d.nz);
         Block3D {
             d,
+            kernel,
             block: vec![0.0; d.bx() * d.by() * d.nz],
             halo_i: vec![0.0; d.by() * d.nz],
             halo_j: vec![0.0; d.bx() * d.nz],
             has_left_i: coords[0] > 0,
             has_left_j: coords[1] > 0,
+            up: [
+                grid.neighbor(rank, &[-1, 0]),
+                grid.neighbor(rank, &[0, -1]),
+            ],
+            dn: [grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])],
             gi0: (coords[0] * d.bx()) as i64,
             gj0: (coords[1] * d.by()) as i64,
             brow: vec![d.boundary; d.nz],
@@ -169,7 +179,8 @@ impl Block3D {
     /// Bitwise-identical to the element-wise reference in
     /// [`crate::legacy`]: the arithmetic per cell is unchanged, only the
     /// addressing is hoisted.
-    fn compute_tile<K: Kernel3D>(&mut self, kernel: K, k: usize) {
+    fn compute_tile(&mut self, k: usize) {
+        let kernel = self.kernel;
         let (k0, k1) = self.d.krange(k);
         let len = k1 - k0;
         let (bx, by) = (self.d.bx(), self.d.by());
@@ -248,172 +259,104 @@ impl Block3D {
         );
         n
     }
+}
 
-    /// Install the `n` received `i`-face values (already in
-    /// `recv_i_buf`) into the halo plane.
-    fn store_halo_i(&mut self, k: usize, n: usize) {
-        let (k0, k1) = self.d.krange(k);
-        halo::unpack_rows(
-            &self.recv_i_buf[..n],
-            &mut self.halo_i,
-            0,
-            self.d.nz,
-            k0,
-            k1 - k0,
-        );
+impl<K: Kernel3D> TileOps for Block3D<K> {
+    fn num_dirs(&self) -> usize {
+        2
     }
 
-    /// Install the `n` received `j`-face values (already in
-    /// `recv_j_buf`) into the halo plane.
-    fn store_halo_j(&mut self, k: usize, n: usize) {
-        let (k0, k1) = self.d.krange(k);
-        halo::unpack_rows(
-            &self.recv_j_buf[..n],
-            &mut self.halo_j,
-            0,
-            self.d.nz,
-            k0,
-            k1 - k0,
-        );
+    fn upstream(&self, dir: usize) -> Option<usize> {
+        self.up[dir]
+    }
+
+    fn downstream(&self, dir: usize) -> Option<usize> {
+        self.dn[dir]
+    }
+
+    fn wire_dir(&self, dir: usize) -> u64 {
+        if dir == FACE_I {
+            DIR_I
+        } else {
+            debug_assert_eq!(dir, FACE_J);
+            DIR_J
+        }
+    }
+
+    fn recv_buf(&mut self, dir: usize, step: usize) -> &mut [f32] {
+        if dir == FACE_I {
+            let n = self.face_i_len(step);
+            &mut self.recv_i_buf[..n]
+        } else {
+            let n = self.face_j_len(step);
+            &mut self.recv_j_buf[..n]
+        }
+    }
+
+    fn unpack(&mut self, dir: usize, step: usize) {
+        // Install the received face (already in its recv buffer) into
+        // the halo plane via the row-chunked copies.
+        let (k0, k1) = self.d.krange(step);
+        let len = k1 - k0;
+        let (src, halo) = if dir == FACE_I {
+            (&self.recv_i_buf[..self.d.by() * len], &mut self.halo_i)
+        } else {
+            (&self.recv_j_buf[..self.d.bx() * len], &mut self.halo_j)
+        };
+        halo::unpack_rows(src, halo, 0, self.d.nz, k0, len);
+    }
+
+    fn pack(&mut self, dir: usize, step: usize) -> usize {
+        if dir == FACE_I {
+            self.pack_face_i(step)
+        } else {
+            self.pack_face_j(step)
+        }
+    }
+
+    fn face(&self, dir: usize) -> &[f32] {
+        if dir == FACE_I {
+            &self.face_i_buf
+        } else {
+            &self.face_j_buf
+        }
+    }
+
+    fn compute(&mut self, step: usize) {
+        self.compute_tile(step);
     }
 }
 
-/// Run one rank's blocking (`ProcB`) execution of any 3-D kernel;
-/// returns its block.
-pub fn rank_blocking_3d<C: Communicator<f32>, K: Kernel3D>(
+/// One rank's execution of any 3-D kernel under `mode`'s schedule,
+/// reporting every phase to `obs`; returns its block (`bx × by × nz`).
+pub fn run_rank3d_observed<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     comm: &mut C,
     kernel: K,
     d: Decomp3D,
-) -> Vec<f32> {
-    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
-    let coords = grid.coords_of(comm.rank());
-    let mut blk = Block3D::new(d, &coords);
-    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
-    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
-    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
-    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
-    for k in 0..d.steps() {
-        if let Some(src) = up_i {
-            let n = blk.face_i_len(k);
-            comm.recv_into(src, tag(k, DIR_I), &mut blk.recv_i_buf[..n]);
-            blk.store_halo_i(k, n);
-        }
-        if let Some(src) = up_j {
-            let n = blk.face_j_len(k);
-            comm.recv_into(src, tag(k, DIR_J), &mut blk.recv_j_buf[..n]);
-            blk.store_halo_j(k, n);
-        }
-        blk.compute_tile(kernel, k);
-        if let Some(dst) = dn_i {
-            let n = blk.pack_face_i(k);
-            comm.send_from(dst, tag(k, DIR_I), &blk.face_i_buf[..n]);
-        }
-        if let Some(dst) = dn_j {
-            let n = blk.pack_face_j(k);
-            comm.send_from(dst, tag(k, DIR_J), &blk.face_j_buf[..n]);
-        }
-    }
-    blk.block
-}
-
-/// Run one rank's overlapping (`ProcNB`) execution of any 3-D kernel;
-/// returns its block. The steady-state loop performs no heap
-/// allocations: requests live in fixed `Option` slots and payloads move
-/// through the persistent-buffer API.
-pub fn rank_overlap_3d<C: Communicator<f32>, K: Kernel3D>(
-    comm: &mut C,
-    kernel: K,
-    d: Decomp3D,
-) -> Vec<f32> {
-    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
-    let coords = grid.coords_of(comm.rank());
-    let mut blk = Block3D::new(d, &coords);
-    let up_i = grid.neighbor(comm.rank(), &[-1, 0]);
-    let up_j = grid.neighbor(comm.rank(), &[0, -1]);
-    let dn_i = grid.neighbor(comm.rank(), &[1, 0]);
-    let dn_j = grid.neighbor(comm.rank(), &[0, 1]);
-    let steps = d.steps();
-
-    // Prologue: receives for step 0.
-    let mut cur_recv_i = up_i.map(|src| comm.irecv(src, tag(0, DIR_I)));
-    let mut cur_recv_j = up_j.map(|src| comm.irecv(src, tag(0, DIR_J)));
-    for k in 0..steps {
-        // Post receives for the next tile…
-        let next_recv_i = if k + 1 < steps {
-            up_i.map(|src| comm.irecv(src, tag(k + 1, DIR_I)))
-        } else {
-            None
-        };
-        let next_recv_j = if k + 1 < steps {
-            up_j.map(|src| comm.irecv(src, tag(k + 1, DIR_J)))
-        } else {
-            None
-        };
-        // …and sends of the previous tile's results.
-        let mut send_i = None;
-        let mut send_j = None;
-        if k >= 1 {
-            if let Some(dst) = dn_i {
-                let n = blk.pack_face_i(k - 1);
-                send_i = Some(comm.isend_from(dst, tag(k - 1, DIR_I), &blk.face_i_buf[..n]));
-            }
-            if let Some(dst) = dn_j {
-                let n = blk.pack_face_j(k - 1);
-                send_j = Some(comm.isend_from(dst, tag(k - 1, DIR_J), &blk.face_j_buf[..n]));
-            }
-        }
-        // Wait for this tile's inputs, then compute.
-        if let Some(req) = cur_recv_i.take() {
-            let n = blk.face_i_len(k);
-            comm.wait_recv_into(req, &mut blk.recv_i_buf[..n]);
-            blk.store_halo_i(k, n);
-        }
-        if let Some(req) = cur_recv_j.take() {
-            let n = blk.face_j_len(k);
-            comm.wait_recv_into(req, &mut blk.recv_j_buf[..n]);
-            blk.store_halo_j(k, n);
-        }
-        blk.compute_tile(kernel, k);
-        if let Some(req) = send_i {
-            comm.wait_send(req);
-        }
-        if let Some(req) = send_j {
-            comm.wait_send(req);
-        }
-        cur_recv_i = next_recv_i;
-        cur_recv_j = next_recv_j;
-    }
-    // Epilogue: ship the last tile's faces.
-    if let Some(dst) = dn_i {
-        let n = blk.pack_face_i(steps - 1);
-        let req = comm.isend_from(dst, tag(steps - 1, DIR_I), &blk.face_i_buf[..n]);
-        comm.wait_send(req);
-    }
-    if let Some(dst) = dn_j {
-        let n = blk.pack_face_j(steps - 1);
-        let req = comm.isend_from(dst, tag(steps - 1, DIR_J), &blk.face_j_buf[..n]);
-        comm.wait_send(req);
-    }
-    blk.block
-}
-
-/// Run a full distributed 3-D kernel on the threaded backend and gather
-/// the result. Returns the assembled grid and the wall-clock time of the
-/// parallel region.
-pub fn run_dist3d<K: Kernel3D>(
-    kernel: K,
-    d: Decomp3D,
-    latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid3D, Duration) {
-    d.validate().expect("invalid decomposition");
-    let ranks = d.pi * d.pj;
-    let (blocks, elapsed) = run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| {
-        match mode {
-            ExecMode::Blocking => rank_blocking_3d(&mut comm, kernel, d),
-            ExecMode::Overlapping => rank_overlap_3d(&mut comm, kernel, d),
-        }
-    });
+    obs: &mut O,
+) -> Vec<f32> {
+    let mut blk = Block3D::new(d, kernel, comm.rank());
+    // The paper's §5 layout maps along i₃ of a 3-D tiled space
+    // (pi = [2, 2, 1]).
+    let plan = mode.step_plan(3, 2, d.steps());
+    engine::run_rank(comm, &mut blk, &plan, obs);
+    blk.block
+}
+
+/// One rank's execution of any 3-D kernel under `mode`'s schedule;
+/// returns its block (`bx × by × nz`).
+pub fn run_rank3d<C: Communicator<f32>, K: Kernel3D>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+    mode: ExecMode,
+) -> Vec<f32> {
+    run_rank3d_observed(comm, kernel, d, mode, &mut NoopObserver)
+}
+
+/// Gather per-rank blocks into the full grid.
+fn gather_blocks(d: Decomp3D, blocks: &[Vec<f32>]) -> Grid3D {
     // Assemble: every block pencil is contiguous in both the block and
     // the destination grid, so the gather is one memcpy per (i, j).
     let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
@@ -428,7 +371,69 @@ pub fn run_dist3d<K: Kernel3D>(
             }
         }
     }
-    (out, elapsed)
+    out
+}
+
+/// Run a full distributed 3-D kernel on the threaded backend with a
+/// per-rank [`StepObserver`] built by `make_obs`. Returns the assembled
+/// grid, the wall-clock time of the parallel region, and the observers
+/// in rank order.
+pub fn run_dist3d_observed<K, O, F>(
+    kernel: K,
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+    make_obs: F,
+) -> Result<(Grid3D, Duration, Vec<O>), DecompError>
+where
+    K: Kernel3D,
+    O: StepObserver + Send,
+    F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
+{
+    d.validate()?;
+    let ranks = d.pi * d.pj;
+    let (results, elapsed) =
+        run_threads::<f32, (Vec<f32>, O), _>(ranks, latency, |mut comm| {
+            let mut obs = make_obs(&comm);
+            let block = run_rank3d_observed(&mut comm, kernel, d, mode, &mut obs);
+            (block, obs)
+        });
+    let (blocks, observers): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    Ok((gather_blocks(d, &blocks), elapsed, observers))
+}
+
+/// Run a full distributed 3-D kernel on the threaded backend and gather
+/// the result. Returns the assembled grid and the wall-clock time of the
+/// parallel region.
+pub fn run_dist3d<K: Kernel3D>(
+    kernel: K,
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> Result<(Grid3D, Duration), DecompError> {
+    let (grid, elapsed, _) = run_dist3d_observed(kernel, d, latency, mode, |_| NoopObserver)?;
+    Ok((grid, elapsed))
+}
+
+/// Run a full distributed 3-D kernel with wall-clock activity tracing:
+/// every rank records its phases against the world epoch, and the
+/// per-rank traces merge into one [`Trace`] renderable by the same
+/// Gantt/SVG paths as the simulator's.
+pub fn run_dist3d_traced<K: Kernel3D>(
+    kernel: K,
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> Result<(Grid3D, Duration, Trace), DecompError> {
+    let (grid, elapsed, observers) =
+        run_dist3d_observed(kernel, d, latency, mode, |comm: &ThreadComm<f32>| {
+            TraceObserver::new(comm.rank(), comm.epoch())
+        })?;
+    let mut trace = Trace::enabled();
+    for obs in observers {
+        trace.extend(obs.into_trace());
+    }
+    Ok((grid, elapsed, trace))
 }
 
 /// [`run_dist3d`] specialized to the paper's √ kernel.
@@ -436,7 +441,7 @@ pub fn run_paper3d_dist(
     d: Decomp3D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid3D, Duration) {
+) -> Result<(Grid3D, Duration), DecompError> {
     run_dist3d(Paper3D, d, latency, mode)
 }
 
@@ -447,7 +452,7 @@ mod tests {
     use crate::seq::{run_paper3d_seq, run_seq3d};
 
     fn check_matches_seq(d: Decomp3D, mode: ExecMode) {
-        let (dist, _) = run_paper3d_dist(d, LatencyModel::zero(), mode);
+        let (dist, _) = run_paper3d_dist(d, LatencyModel::zero(), mode).expect("valid decomp");
         let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
         assert_eq!(
             dist.max_abs_diff(&seq),
@@ -596,11 +601,13 @@ mod tests {
             boundary: 1.0,
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-            let (dist, _) = run_dist3d(Relax3D::default(), d, LatencyModel::zero(), mode);
+            let (dist, _) =
+                run_dist3d(Relax3D::default(), d, LatencyModel::zero(), mode).expect("valid");
             let seq = run_seq3d(Relax3D::default(), d.nx, d.ny, d.nz, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "Relax3D {mode:?}");
 
-            let (dist, _) = run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode);
+            let (dist, _) =
+                run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode).expect("valid");
             let seq = run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "LongestPath3D {mode:?}");
         }
@@ -620,14 +627,14 @@ mod tests {
             boundary: 1.5,
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-            let (new, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let (new, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid");
             let (old, _) = crate::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
             assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }
 
     #[test]
-    fn validate_rejects_bad_decomp() {
+    fn invalid_decomps_are_errors_not_panics() {
         let d = Decomp3D {
             nx: 7,
             ny: 8,
@@ -637,9 +644,17 @@ mod tests {
             v: 4,
             boundary: 0.0,
         };
-        assert!(d.validate().is_err());
+        assert_eq!(
+            d.validate(),
+            Err(DecompError::NotDivisible {
+                axis: "nx",
+                extent: 7,
+                parts: 2
+            })
+        );
+        assert!(run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Overlapping).is_err());
         let d2 = Decomp3D { v: 0, ..d };
-        assert!(d2.validate().is_err());
+        assert_eq!(d2.validate(), Err(DecompError::EmptyDecomposition));
     }
 
     #[test]
@@ -655,5 +670,34 @@ mod tests {
         };
         assert_eq!(d.steps(), 3);
         assert_eq!(d.krange(2), (8, 10));
+    }
+
+    #[test]
+    fn traced_run_emits_per_rank_intervals() {
+        let d = Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 16,
+            pi: 2,
+            pj: 2,
+            v: 4,
+            boundary: 1.0,
+        };
+        let (grid, _, trace) =
+            run_dist3d_traced(Paper3D, d, LatencyModel::zero(), ExecMode::Overlapping)
+                .expect("valid decomp");
+        let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+        assert_eq!(grid.max_abs_diff(&seq), 0.0);
+        // Every rank computed d.steps() tiles; the trace must hold one
+        // Compute interval per tile per rank, on a shared time axis.
+        use msgpass::trace::Activity;
+        for rank in 0..4 {
+            let computes = trace
+                .for_rank(rank)
+                .filter(|iv| iv.activity == Activity::Compute)
+                .count();
+            assert_eq!(computes, d.steps(), "rank {rank}");
+        }
+        assert!(trace.horizon() > msgpass::trace::SimTime::ZERO);
     }
 }

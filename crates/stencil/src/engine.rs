@@ -1,0 +1,539 @@
+//! The schedule-driven pipelined-rank engine.
+//!
+//! One executor core replaces the four hand-rolled
+//! `rank_{blocking,overlap}_{2d,3d}` drivers: a rank's tile sequence is
+//! executed from a [`StepPlan`] derived from the `tiling-core` schedule
+//! types, so the *schedule type* — [`NonOverlapSchedule`] (eq. 3) or
+//! [`OverlapSchedule`] (eq. 4) — selects the communication structure:
+//!
+//! * [`StepStrategy::Blocking`]: per step, *receive faces → compute
+//!   tile → send faces*, fully serialized;
+//! * [`StepStrategy::Overlap`]: per step `k`, post the receives of
+//!   `k+1` and the sends of `k−1`, compute `k`, then wait — the wire
+//!   time rides under the computation.
+//!
+//! Dimensionality lives entirely in the [`TileOps`] implementation
+//! (2-D strips in [`crate::dist2d`], 3-D blocks in [`crate::dist3d`]),
+//! which carries the zero-allocation branch-peeled hot paths unchanged:
+//! the engine itself performs no heap allocation — request slots are
+//! fixed arrays of [`MAX_DIRS`] options — so the steady-state step
+//! allocates nothing (asserted by `tests/zero_alloc.rs`).
+//!
+//! Every phase of every step is reported to a [`StepObserver`]:
+//! [`NoopObserver`] compiles the instrumentation out, [`TraceObserver`]
+//! records wall-clock activity intervals in the simulator's trace
+//! format (rendered by the same Gantt paths as Fig. 1/2), [`PhaseLog`]
+//! captures the exact event order for schedule-conformance tests, and
+//! [`LaneStats`] accumulates the per-step A-lane/B-lane split of eq. 4.
+
+use crate::proto::tag;
+use msgpass::comm::Communicator;
+use msgpass::trace::{Activity, Trace, WallTrace};
+use std::time::Instant;
+use tiling_core::schedule::{NonOverlapSchedule, OverlapSchedule, StepPlan, StepStrategy};
+
+/// Maximum number of halo directions any [`TileOps`] may expose (the
+/// 3-D block has two: the `i`-face and the `j`-face).
+pub const MAX_DIRS: usize = 2;
+
+/// Execution style of a distributed run — a shorthand that maps onto
+/// the `tiling-core` schedule type actually driving the engine (see
+/// [`ExecMode::step_plan`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Blocking receive → compute → send per tile (§3,
+    /// [`NonOverlapSchedule`]).
+    Blocking,
+    /// Non-blocking pipelined overlap (§4, [`OverlapSchedule`]).
+    Overlapping,
+}
+
+impl ExecMode {
+    /// Build the [`StepPlan`] for `steps` local tiles from the schedule
+    /// type this mode names: the non-overlapping `Π = [1 … 1]` schedule
+    /// or the overlapping `2·Σ_{k≠i} j_k + j_i` one, mapped along
+    /// `mapping_dim` of a `dims`-dimensional tiled space.
+    pub fn step_plan(self, dims: usize, mapping_dim: usize, steps: usize) -> StepPlan {
+        match self {
+            ExecMode::Blocking => {
+                NonOverlapSchedule::with_mapping(dims, mapping_dim).step_plan(steps)
+            }
+            ExecMode::Overlapping => {
+                OverlapSchedule::with_mapping(dims, mapping_dim).step_plan(steps)
+            }
+        }
+    }
+}
+
+/// One rank's tile pipeline, abstracted over dimensionality: the engine
+/// drives these operations from a [`StepPlan`], never touching grid
+/// layout itself. Directions index halo faces (`0..num_dirs()`); all
+/// buffers behind `recv_buf`/`face` are persistent, so steady-state
+/// steps allocate nothing.
+pub trait TileOps {
+    /// Number of halo directions (≤ [`MAX_DIRS`]).
+    fn num_dirs(&self) -> usize;
+
+    /// The rank faces arrive from in `dir`, if any.
+    fn upstream(&self, dir: usize) -> Option<usize>;
+
+    /// The rank this rank's `dir`-face goes to, if any.
+    fn downstream(&self, dir: usize) -> Option<usize>;
+
+    /// The wire-protocol direction code of `dir` (see [`crate::proto`]).
+    fn wire_dir(&self, dir: usize) -> u64;
+
+    /// The persistent landing buffer for the `dir`-face of `step`,
+    /// sized exactly to the incoming message.
+    fn recv_buf(&mut self, dir: usize, step: usize) -> &mut [f32];
+
+    /// Install the received `dir`-face of `step` (already in
+    /// [`TileOps::recv_buf`]) into the halo (a no-op where receives
+    /// land in place).
+    fn unpack(&mut self, dir: usize, step: usize);
+
+    /// Pack the outgoing `dir`-face of `step` into the persistent face
+    /// buffer; returns the packed length.
+    fn pack(&mut self, dir: usize, step: usize) -> usize;
+
+    /// The persistent outgoing face buffer of `dir` (slice to the
+    /// length [`TileOps::pack`] returned).
+    fn face(&self, dir: usize) -> &[f32];
+
+    /// Compute tile `step`.
+    fn compute(&mut self, step: usize);
+}
+
+/// One phase of one pipeline step, as reported to a [`StepObserver`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Tile computation (`A₂`).
+    Compute {
+        /// Pipeline step.
+        step: usize,
+    },
+    /// Packing an outgoing face into its kernel buffer.
+    Pack {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the face belongs to.
+        step: usize,
+    },
+    /// Installing a received face into the halo.
+    Unpack {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the face belongs to.
+        step: usize,
+    },
+    /// Posting a non-blocking receive (`A₃`).
+    PostRecv {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the receive is for.
+        step: usize,
+    },
+    /// Posting a non-blocking send (`A₁`).
+    PostSend {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the payload belongs to.
+        step: usize,
+    },
+    /// Blocking receive (wire wait plus copy).
+    Recv {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the face belongs to.
+        step: usize,
+    },
+    /// Blocking send (copy plus wire wait).
+    Send {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the face belongs to.
+        step: usize,
+    },
+    /// Waiting on a posted receive.
+    WaitRecv {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the face belongs to.
+        step: usize,
+    },
+    /// Waiting on a posted send.
+    WaitSend {
+        /// Halo direction.
+        dir: usize,
+        /// Pipeline step the payload belongs to.
+        step: usize,
+    },
+}
+
+impl Phase {
+    /// The pipeline step this phase belongs to.
+    pub fn step(&self) -> usize {
+        match *self {
+            Phase::Compute { step }
+            | Phase::Pack { step, .. }
+            | Phase::Unpack { step, .. }
+            | Phase::PostRecv { step, .. }
+            | Phase::PostSend { step, .. }
+            | Phase::Recv { step, .. }
+            | Phase::Send { step, .. }
+            | Phase::WaitRecv { step, .. }
+            | Phase::WaitSend { step, .. } => step,
+        }
+    }
+
+    /// The trace activity this phase renders as — the mapping that
+    /// makes real-execution Gantt charts structurally comparable to
+    /// simulated ones: packing/unpacking are CPU post work (`s`/`r`),
+    /// blocking transfers keep their striped `S`/`R` glyphs, and
+    /// request waits are idle time.
+    pub fn activity(&self) -> Activity {
+        match self {
+            Phase::Compute { .. } => Activity::Compute,
+            Phase::Pack { .. } | Phase::PostSend { .. } => Activity::PostSend,
+            Phase::Unpack { .. } | Phase::PostRecv { .. } => Activity::PostRecv,
+            Phase::Recv { .. } => Activity::BlockingRecv,
+            Phase::Send { .. } => Activity::BlockingSend,
+            Phase::WaitRecv { .. } | Phase::WaitSend { .. } => Activity::Idle,
+        }
+    }
+
+    /// True for phases that occupy the CPU lane (`A₁+A₂+A₃` plus the
+    /// kernel-buffer copies); false for the waits that expose the
+    /// communication lane (`B`).
+    pub fn is_cpu_lane(&self) -> bool {
+        !matches!(
+            self,
+            Phase::Recv { .. } | Phase::Send { .. } | Phase::WaitRecv { .. } | Phase::WaitSend { .. }
+        )
+    }
+}
+
+/// Receives the timed phases of an engine run. Implementations with
+/// `ENABLED = false` compile the instrumentation out of the hot path.
+pub trait StepObserver {
+    /// Whether the engine should time phases at all.
+    const ENABLED: bool;
+
+    /// One phase ran over `[start, end]`.
+    fn on_phase(&mut self, phase: Phase, start: Instant, end: Instant);
+}
+
+/// The default observer: records nothing, costs nothing.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoopObserver;
+
+impl StepObserver for NoopObserver {
+    const ENABLED: bool = false;
+
+    fn on_phase(&mut self, _phase: Phase, _start: Instant, _end: Instant) {}
+}
+
+/// Records wall-clock activity intervals in the simulator's trace
+/// format (via [`WallTrace`]): a real run becomes a [`Trace`] the
+/// existing Gantt/SVG renderers draw directly.
+#[derive(Debug)]
+pub struct TraceObserver {
+    wall: WallTrace,
+}
+
+impl TraceObserver {
+    /// A recorder for `rank` against the world `epoch` (use
+    /// `ThreadComm::epoch()` so all ranks share the origin).
+    pub fn new(rank: usize, epoch: Instant) -> Self {
+        TraceObserver {
+            wall: WallTrace::new(rank, epoch),
+        }
+    }
+
+    /// Finish recording, yielding the rank's trace.
+    pub fn into_trace(self) -> Trace {
+        self.wall.into_trace()
+    }
+}
+
+impl StepObserver for TraceObserver {
+    const ENABLED: bool = true;
+
+    fn on_phase(&mut self, phase: Phase, start: Instant, end: Instant) {
+        self.wall.record(phase.activity(), start, end);
+    }
+}
+
+/// Captures the exact phase order of a run (timing discarded) — the
+/// instrument behind the schedule-conformance tests.
+#[derive(Clone, Default, Debug)]
+pub struct PhaseLog {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl StepObserver for PhaseLog {
+    const ENABLED: bool = true;
+
+    fn on_phase(&mut self, phase: Phase, _start: Instant, _end: Instant) {
+        self.phases.push(phase);
+    }
+}
+
+/// Per-step lane accounting: the measured counterpart of eq. 4's
+/// `max(A-lane, B-lane)` split. Index `k` holds the µs tile `k` spent
+/// in CPU-lane phases (compute, pack/unpack, posts) and in
+/// communication-lane phases (blocking transfers and request waits).
+#[derive(Clone, Debug)]
+pub struct LaneStats {
+    /// CPU-lane µs per step (`A₁+A₂+A₃` plus kernel-buffer copies).
+    pub cpu_us: Vec<f64>,
+    /// Communication-lane µs per step (waits and blocking transfers).
+    pub comm_us: Vec<f64>,
+}
+
+impl LaneStats {
+    /// Zeroed accounting for a `steps`-deep pipeline.
+    pub fn new(steps: usize) -> Self {
+        LaneStats {
+            cpu_us: vec![0.0; steps],
+            comm_us: vec![0.0; steps],
+        }
+    }
+
+    /// Mean/max summary over every (rank, step) sample of several
+    /// ranks' stats: `(a_mean, a_max, b_mean, b_max)` in µs.
+    pub fn summarize(all: &[LaneStats]) -> (f64, f64, f64, f64) {
+        let mut a = (0.0f64, 0.0f64, 0usize);
+        let mut b = (0.0f64, 0.0f64, 0usize);
+        for s in all {
+            for &v in &s.cpu_us {
+                a = (a.0 + v, a.1.max(v), a.2 + 1);
+            }
+            for &v in &s.comm_us {
+                b = (b.0 + v, b.1.max(v), b.2 + 1);
+            }
+        }
+        let mean = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+        (mean(a.0, a.2), a.1, mean(b.0, b.2), b.1)
+    }
+}
+
+impl StepObserver for LaneStats {
+    const ENABLED: bool = true;
+
+    fn on_phase(&mut self, phase: Phase, start: Instant, end: Instant) {
+        let us = end.duration_since(start).as_secs_f64() * 1e6;
+        let k = phase.step();
+        if k < self.cpu_us.len() {
+            if phase.is_cpu_lane() {
+                self.cpu_us[k] += us;
+            } else {
+                self.comm_us[k] += us;
+            }
+        }
+    }
+}
+
+/// Time `f` and report it as `phase` — compiled down to a bare call
+/// when the observer is disabled.
+#[inline(always)]
+fn timed<O: StepObserver, R>(obs: &mut O, phase: Phase, f: impl FnOnce() -> R) -> R {
+    if O::ENABLED {
+        let start = Instant::now();
+        let r = f();
+        obs.on_phase(phase, start, Instant::now());
+        r
+    } else {
+        f()
+    }
+}
+
+/// Execute one rank's full tile sequence according to `plan`. The
+/// schedule type the plan came from decides the communication
+/// structure; `ops` supplies the dimensional mechanics.
+pub fn run_rank<T, C, O>(comm: &mut C, ops: &mut T, plan: &StepPlan, obs: &mut O)
+where
+    T: TileOps,
+    C: Communicator<f32>,
+    O: StepObserver,
+{
+    debug_assert!(ops.num_dirs() <= MAX_DIRS, "too many halo directions");
+    match plan.strategy() {
+        StepStrategy::Blocking => run_blocking(comm, ops, plan.steps(), obs),
+        StepStrategy::Overlap => run_overlap(comm, ops, plan.steps(), obs),
+    }
+}
+
+/// Eq. 3: every step a serialized *receive → compute → send* triplet.
+fn run_blocking<T, C, O>(comm: &mut C, ops: &mut T, steps: usize, obs: &mut O)
+where
+    T: TileOps,
+    C: Communicator<f32>,
+    O: StepObserver,
+{
+    let dirs = ops.num_dirs();
+    for k in 0..steps {
+        for dir in 0..dirs {
+            if let Some(src) = ops.upstream(dir) {
+                let t = tag(k, ops.wire_dir(dir));
+                timed(obs, Phase::Recv { dir, step: k }, || {
+                    comm.recv_into(src, t, ops.recv_buf(dir, k))
+                });
+                timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
+            }
+        }
+        timed(obs, Phase::Compute { step: k }, || ops.compute(k));
+        for dir in 0..dirs {
+            if let Some(dst) = ops.downstream(dir) {
+                let n = timed(obs, Phase::Pack { dir, step: k }, || ops.pack(dir, k));
+                let t = tag(k, ops.wire_dir(dir));
+                timed(obs, Phase::Send { dir, step: k }, || {
+                    comm.send_from(dst, t, &ops.face(dir)[..n])
+                });
+            }
+        }
+    }
+}
+
+/// Eq. 4: post receives for `k+1` and sends of `k−1`, compute `k`,
+/// wait. Request slots live in fixed arrays, so the steady-state loop
+/// performs no heap allocations.
+fn run_overlap<T, C, O>(comm: &mut C, ops: &mut T, steps: usize, obs: &mut O)
+where
+    T: TileOps,
+    C: Communicator<f32>,
+    O: StepObserver,
+{
+    use msgpass::comm::{RecvRequest, SendRequest};
+    let dirs = ops.num_dirs();
+
+    // Prologue: receives for step 0.
+    let mut cur_recv: [Option<RecvRequest>; MAX_DIRS] = [None, None];
+    let mut next_recv: [Option<RecvRequest>; MAX_DIRS] = [None, None];
+    let mut sends: [Option<SendRequest>; MAX_DIRS] = [None, None];
+    for (dir, slot) in cur_recv.iter_mut().enumerate().take(dirs) {
+        *slot = ops.upstream(dir).map(|src| {
+            let t = tag(0, ops.wire_dir(dir));
+            timed(obs, Phase::PostRecv { dir, step: 0 }, || comm.irecv(src, t))
+        });
+    }
+    for k in 0..steps {
+        // Post receives for the next tile…
+        for (dir, slot) in next_recv.iter_mut().enumerate().take(dirs) {
+            *slot = if k + 1 < steps {
+                ops.upstream(dir).map(|src| {
+                    let t = tag(k + 1, ops.wire_dir(dir));
+                    timed(obs, Phase::PostRecv { dir, step: k + 1 }, || {
+                        comm.irecv(src, t)
+                    })
+                })
+            } else {
+                None
+            };
+        }
+        // …and sends of the previous tile's results.
+        if k >= 1 {
+            for (dir, slot) in sends.iter_mut().enumerate().take(dirs) {
+                if let Some(dst) = ops.downstream(dir) {
+                    let n = timed(obs, Phase::Pack { dir, step: k - 1 }, || {
+                        ops.pack(dir, k - 1)
+                    });
+                    let t = tag(k - 1, ops.wire_dir(dir));
+                    *slot = Some(timed(obs, Phase::PostSend { dir, step: k - 1 }, || {
+                        comm.isend_from(dst, t, &ops.face(dir)[..n])
+                    }));
+                }
+            }
+        }
+        // Wait for this tile's inputs, then compute.
+        for (dir, slot) in cur_recv.iter_mut().enumerate().take(dirs) {
+            if let Some(req) = slot.take() {
+                timed(obs, Phase::WaitRecv { dir, step: k }, || {
+                    comm.wait_recv_into(req, ops.recv_buf(dir, k))
+                });
+                timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
+            }
+        }
+        timed(obs, Phase::Compute { step: k }, || ops.compute(k));
+        for (dir, slot) in sends.iter_mut().enumerate().take(dirs) {
+            if let Some(req) = slot.take() {
+                timed(obs, Phase::WaitSend { dir, step: k - 1 }, || {
+                    comm.wait_send(req)
+                });
+            }
+        }
+        std::mem::swap(&mut cur_recv, &mut next_recv);
+    }
+    // Epilogue: ship the last tile's faces.
+    for dir in 0..dirs {
+        if let Some(dst) = ops.downstream(dir) {
+            let n = timed(obs, Phase::Pack { dir, step: steps - 1 }, || {
+                ops.pack(dir, steps - 1)
+            });
+            let t = tag(steps - 1, ops.wire_dir(dir));
+            let req = timed(obs, Phase::PostSend { dir, step: steps - 1 }, || {
+                comm.isend_from(dst, t, &ops.face(dir)[..n])
+            });
+            timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
+                comm.wait_send(req)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_selects_schedule_type() {
+        let b = ExecMode::Blocking.step_plan(3, 2, 10);
+        assert_eq!(b.strategy(), StepStrategy::Blocking);
+        assert_eq!(b.steps(), 10);
+        let o = ExecMode::Overlapping.step_plan(3, 2, 10);
+        assert_eq!(o.strategy(), StepStrategy::Overlap);
+    }
+
+    #[test]
+    fn phase_lane_and_activity_mapping() {
+        assert_eq!(Phase::Compute { step: 0 }.activity(), Activity::Compute);
+        assert!(Phase::Compute { step: 0 }.is_cpu_lane());
+        assert_eq!(
+            Phase::Pack { dir: 0, step: 1 }.activity(),
+            Activity::PostSend
+        );
+        assert_eq!(
+            Phase::Unpack { dir: 1, step: 2 }.activity(),
+            Activity::PostRecv
+        );
+        assert_eq!(
+            Phase::Recv { dir: 0, step: 0 }.activity(),
+            Activity::BlockingRecv
+        );
+        assert!(!Phase::Recv { dir: 0, step: 0 }.is_cpu_lane());
+        assert_eq!(
+            Phase::WaitRecv { dir: 0, step: 4 }.activity(),
+            Activity::Idle
+        );
+        assert!(!Phase::WaitSend { dir: 1, step: 4 }.is_cpu_lane());
+        assert_eq!(Phase::WaitSend { dir: 1, step: 4 }.step(), 4);
+    }
+
+    #[test]
+    fn lane_stats_accumulate_and_summarize() {
+        let mut s = LaneStats::new(2);
+        let t0 = Instant::now();
+        let t1 = t0 + std::time::Duration::from_micros(10);
+        let t2 = t0 + std::time::Duration::from_micros(14);
+        s.on_phase(Phase::Compute { step: 0 }, t0, t1);
+        s.on_phase(Phase::WaitRecv { dir: 0, step: 1 }, t1, t2);
+        assert!((s.cpu_us[0] - 10.0).abs() < 1e-6);
+        assert!((s.comm_us[1] - 4.0).abs() < 1e-6);
+        let (a_mean, a_max, b_mean, b_max) = LaneStats::summarize(&[s]);
+        assert!((a_mean - 5.0).abs() < 1e-6); // steps 0 and 1 average
+        assert!((a_max - 10.0).abs() < 1e-6);
+        assert!((b_mean - 2.0).abs() < 1e-6);
+        assert!((b_max - 4.0).abs() < 1e-6);
+    }
+}

@@ -5,8 +5,12 @@
 //! references ([`seq`]) and distributed tiled executors for both the
 //! non-overlapping (§3) and overlapping (§4) schedules, running on the
 //! `msgpass` threaded backend with injected wire latency ([`dist2d`],
-//! [`dist3d`]). [`verify`] checks that every distributed run is bitwise
-//! identical to the sequential sweep.
+//! [`dist3d`]). The pipeline loop itself lives once in [`engine`]: a
+//! [`engine::TileOps`] implementation per dimensionality, driven by a
+//! `tiling-core` `StepPlan` whose schedule type selects blocking or
+//! overlapped communication. [`decomp`] holds the shared decomposition
+//! arithmetic and typed validation errors. [`verify`] checks that every
+//! distributed run is bitwise identical to the sequential sweep.
 //!
 //! Kernels (all single-assignment wavefront recurrences, so distributed
 //! results are exactly reproducible):
@@ -30,7 +34,7 @@
 //! use msgpass::thread_backend::LatencyModel;
 //!
 //! let d = Decomp3D { nx: 4, ny: 4, nz: 16, pi: 2, pj: 2, v: 4, boundary: 1.0 };
-//! let (dist, _) = run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Overlapping);
+//! let (dist, _) = run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Overlapping).unwrap();
 //! let seq = run_paper3d_seq(4, 4, 16, 1.0);
 //! assert_eq!(dist.max_abs_diff(&seq), 0.0);
 //! ```
@@ -38,8 +42,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod decomp;
 pub mod dist2d;
 pub mod dist3d;
+pub mod engine;
 pub mod grid;
 pub mod halo;
 pub mod kernel;
@@ -50,8 +56,14 @@ pub mod verify;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::decomp::DecompError;
     pub use crate::dist2d::{run_dist2d, run_example1_dist, Decomp2D};
-    pub use crate::dist3d::{run_dist3d, run_paper3d_dist, Decomp3D, ExecMode};
+    pub use crate::dist3d::{
+        run_dist3d, run_dist3d_traced, run_paper3d_dist, Decomp3D, ExecMode,
+    };
+    pub use crate::engine::{
+        run_rank, LaneStats, NoopObserver, Phase, PhaseLog, StepObserver, TileOps, TraceObserver,
+    };
     pub use crate::grid::{Grid2D, Grid3D};
     pub use crate::kernel::{
         Alignment2D, Example1, Kernel2D, Kernel3D, LongestPath3D, Paper3D, Relax3D, Smooth2D,

@@ -26,7 +26,7 @@ impl VerifyReport {
 /// Verify a 3-D decomposition in the given mode against the sequential
 /// reference.
 pub fn verify_paper3d(d: Decomp3D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
-    let (dist, elapsed) = run_paper3d_dist(d, latency, mode);
+    let (dist, elapsed) = run_paper3d_dist(d, latency, mode).expect("invalid decomposition");
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     VerifyReport {
         max_abs_diff: dist.max_abs_diff(&seq),
@@ -36,7 +36,7 @@ pub fn verify_paper3d(d: Decomp3D, latency: LatencyModel, mode: ExecMode) -> Ver
 
 /// Verify a 2-D decomposition in the given mode.
 pub fn verify_example1(d: Decomp2D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
-    let (dist, elapsed) = run_example1_dist(d, latency, mode);
+    let (dist, elapsed) = run_example1_dist(d, latency, mode).expect("invalid decomposition");
     let seq = run_example1_seq(d.nx, d.ny, d.boundary);
     VerifyReport {
         max_abs_diff: dist.max_abs_diff(&seq),

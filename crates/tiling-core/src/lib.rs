@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::rational::Rational;
     pub use crate::schedule::{
         LinearSchedule, NonOverlapReport, NonOverlapSchedule, OverlapMode, OverlapReport,
-        OverlapSchedule,
+        OverlapSchedule, StepPlan, StepStrategy,
     };
     pub use crate::space::{IterationSpace, Point};
     pub use crate::tile_graph::TileGraph;

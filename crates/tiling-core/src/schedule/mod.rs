@@ -6,11 +6,16 @@
 //! * [`overlap`] — the paper's contribution (§4): the pipelined schedule
 //!   `2·Σ_{k≠i} j_k + j_i` that overlaps each step's communication with
 //!   the computation of an independent tile.
+//! * [`plan`] — the executable projection of a schedule onto one
+//!   processor ([`plan::StepPlan`]), consumed by the distributed
+//!   executors.
 
 pub mod linear;
 pub mod nonoverlap;
 pub mod overlap;
+pub mod plan;
 
 pub use linear::{optimal_linear_schedule, LinearSchedule};
 pub use nonoverlap::{NonOverlapReport, NonOverlapSchedule};
 pub use overlap::{OverlapMode, OverlapReport, OverlapSchedule};
+pub use plan::{StepPlan, StepStrategy};

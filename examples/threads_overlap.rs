@@ -47,14 +47,16 @@ fn main() {
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     println!("sequential reference: {:.3} s", seq_start.elapsed().as_secs_f64());
 
-    let (g_block, t_block) = run_paper3d_dist(d, lat, ExecMode::Blocking);
+    let (g_block, t_block) =
+        run_paper3d_dist(d, lat, ExecMode::Blocking).expect("valid decomposition");
     println!(
         "blocking  (ProcB):    {:.3} s   bitwise-correct: {}",
         t_block.as_secs_f64(),
         g_block.max_abs_diff(&seq) == 0.0
     );
 
-    let (g_over, t_over) = run_paper3d_dist(d, lat, ExecMode::Overlapping);
+    let (g_over, t_over) =
+        run_paper3d_dist(d, lat, ExecMode::Overlapping).expect("valid decomposition");
     println!(
         "overlap   (ProcNB):   {:.3} s   bitwise-correct: {}",
         t_over.as_secs_f64(),

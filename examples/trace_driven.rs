@@ -13,7 +13,7 @@
 //! under any `MachineParams` — swap in a faster network and re-predict.
 
 use overlap_tiling::prelude::*;
-use stencil::dist3d::{rank_blocking_3d, rank_overlap_3d};
+use stencil::dist3d::run_rank3d;
 
 fn main() {
     let d = Decomp3D {
@@ -32,10 +32,12 @@ fn main() {
 
     // Record both schedules by running the *actual* executors
     // sequentially (rank order is a topological order of the wavefront).
-    let (blocks_b, progs_blocking) =
-        record_sequential::<f32, _, _>(d.pi * d.pj, |comm| rank_blocking_3d(comm, Paper3D, d));
-    let (blocks_o, progs_overlap) =
-        record_sequential::<f32, _, _>(d.pi * d.pj, |comm| rank_overlap_3d(comm, Paper3D, d));
+    let (blocks_b, progs_blocking) = record_sequential::<f32, _, _>(d.pi * d.pj, |comm| {
+        run_rank3d(comm, Paper3D, d, ExecMode::Blocking)
+    });
+    let (blocks_o, progs_overlap) = record_sequential::<f32, _, _>(d.pi * d.pj, |comm| {
+        run_rank3d(comm, Paper3D, d, ExecMode::Overlapping)
+    });
 
     // The recorded runs produced real, correct data.
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);

@@ -108,11 +108,12 @@ proptest! {
         };
         let mode = if overlap { ExecMode::Overlapping } else { ExecMode::Blocking };
         let k = Relax3D { omega };
-        let (dist, _) = run_dist3d(k, d, LatencyModel::zero(), mode);
+        let (dist, _) = run_dist3d(k, d, LatencyModel::zero(), mode).expect("valid decomp");
         let seq = run_seq3d(k, d.nx, d.ny, d.nz, d.boundary);
         prop_assert_eq!(dist.max_abs_diff(&seq), 0.0);
 
-        let (dist, _) = run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode);
+        let (dist, _) = run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode)
+            .expect("valid decomp");
         let seq = run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary);
         prop_assert_eq!(dist.max_abs_diff(&seq), 0.0);
     }
@@ -138,12 +139,12 @@ proptest! {
         };
         let mode = if overlap { ExecMode::Overlapping } else { ExecMode::Blocking };
         let k = Alignment2D { alphabet };
-        let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode);
+        let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode).expect("valid decomp");
         let seq = run_seq2d(k, d.nx, d.ny, d.boundary);
         prop_assert_eq!(dist.max_abs_diff(&seq), 0.0);
 
         let k = Smooth2D::default();
-        let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode);
+        let (dist, _) = run_dist2d(k, d, LatencyModel::zero(), mode).expect("valid decomp");
         let seq = run_seq2d(k, d.nx, d.ny, d.boundary);
         prop_assert_eq!(dist.max_abs_diff(&seq), 0.0);
     }
@@ -162,8 +163,10 @@ fn modes_agree_with_each_other() {
         v: 7,
         boundary: 1.5,
     };
-    let (a, _) = run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Blocking);
-    let (b, _) = run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Overlapping);
+    let (a, _) =
+        run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Blocking).expect("valid decomp");
+    let (b, _) =
+        run_paper3d_dist(d, LatencyModel::zero(), ExecMode::Overlapping).expect("valid decomp");
     assert_eq!(a.max_abs_diff(&b), 0.0);
 }
 
@@ -178,6 +181,7 @@ fn long_pipeline_stays_finite() {
         v: 32,
         boundary: 1.0,
     };
-    let (g, _) = run_example1_dist(d, LatencyModel::zero(), ExecMode::Overlapping);
+    let (g, _) =
+        run_example1_dist(d, LatencyModel::zero(), ExecMode::Overlapping).expect("valid decomp");
     assert!(g.data().iter().all(|x| x.is_finite()));
 }

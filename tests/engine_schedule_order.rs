@@ -1,0 +1,129 @@
+//! The engine's event order *realizes* the tiling-core schedules.
+//!
+//! Under the Overlap strategy, replaying each rank's recorded phase
+//! sequence through a unit-cost logical clock (compute = 1 tick, a
+//! posted face arrives 1 tick after its post, everything else free)
+//! must start tile `(ci, cj, k)` exactly at the paper's eq. 4 time
+//! `OverlapSchedule::time_of = 2·(ci + cj) + k` — the engine's
+//! post-receive / post-send / compute / wait interleaving *is* the
+//! overlapping schedule, not merely something that computes the same
+//! values. Under Blocking, every step must be the serialized
+//! *receive → compute → send* triplet of eq. 3.
+
+use msgpass::thread_backend::{run_threads, LatencyModel};
+use msgpass::topology::CartesianGrid;
+use std::collections::HashMap;
+use stencil::dist3d::{run_rank3d_observed, Decomp3D, ExecMode};
+use stencil::engine::{Phase, PhaseLog};
+use stencil::kernel::Paper3D;
+use tiling_core::schedule::OverlapSchedule;
+use tiling_core::space::IterationSpace;
+
+/// Run the 3-D executor on the thread backend and collect each rank's
+/// phase log (rank order).
+fn phase_logs(d: Decomp3D, mode: ExecMode) -> Vec<PhaseLog> {
+    run_threads::<f32, PhaseLog, _>(d.pi * d.pj, LatencyModel::zero(), |mut comm| {
+        let mut log = PhaseLog::default();
+        let _ = run_rank3d_observed(&mut comm, Paper3D, d, mode, &mut log);
+        log
+    })
+    .0
+}
+
+#[test]
+fn overlap_phase_order_realizes_eq4_times() {
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz: 26,
+        pi: 2,
+        pj: 2,
+        v: 4, // 7 steps, partial last tile
+        boundary: 1.0,
+    };
+    let steps = d.steps();
+    let logs = phase_logs(d, ExecMode::Overlapping);
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+
+    // Unit-cost replay. Ascending rank order is a topological order of
+    // the wavefront (upstream neighbors have smaller row-major index),
+    // so every send post is stamped before its receiver waits on it.
+    let mut send_time: HashMap<(usize, usize, usize), i64> = HashMap::new();
+    let mut start: HashMap<(usize, usize), i64> = HashMap::new();
+    for (rank, log) in logs.iter().enumerate() {
+        let up = [grid.neighbor(rank, &[-1, 0]), grid.neighbor(rank, &[0, -1])];
+        let mut clock = 0i64;
+        for ph in &log.phases {
+            match *ph {
+                Phase::PostSend { dir, step } => {
+                    send_time.insert((rank, dir, step), clock);
+                }
+                Phase::WaitRecv { dir, step } => {
+                    let src = up[dir].expect("engine only waits on upstream faces");
+                    let arrival = send_time[&(src, dir, step)] + 1;
+                    clock = clock.max(arrival);
+                }
+                Phase::Compute { step } => {
+                    start.insert((rank, step), clock);
+                    clock += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The §5 mapping: pipelined dimension i₃ of the (pi, pj, steps)
+    // tiled space, so pi = [2, 2, 1] and t = 2·(ci + cj) + k.
+    let sched = OverlapSchedule::with_mapping(3, 2);
+    let tiled = IterationSpace::from_extents(&[d.pi as i64, d.pj as i64, steps as i64]);
+    for rank in 0..d.pi * d.pj {
+        let c = grid.coords_of(rank);
+        for k in 0..steps {
+            let expected = sched.time_of(&[c[0] as i64, c[1] as i64, k as i64], &tiled);
+            assert_eq!(
+                start[&(rank, k)],
+                expected,
+                "rank {rank} (coords {c:?}) tile {k}: engine order disagrees with eq. 4"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocking_phase_order_is_serialized_triplets() {
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz: 12,
+        pi: 2,
+        pj: 2,
+        v: 4,
+        boundary: 1.0,
+    };
+    let steps = d.steps();
+    let logs = phase_logs(d, ExecMode::Blocking);
+    let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+    for (rank, log) in logs.iter().enumerate() {
+        let up = [grid.neighbor(rank, &[-1, 0]), grid.neighbor(rank, &[0, -1])];
+        let dn = [grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])];
+        // Eq. 3 per step: receive every face, compute, send every face —
+        // nothing posted ahead, nothing deferred.
+        let mut expected = Vec::new();
+        for step in 0..steps {
+            for (dir, src) in up.iter().enumerate() {
+                if src.is_some() {
+                    expected.push(Phase::Recv { dir, step });
+                    expected.push(Phase::Unpack { dir, step });
+                }
+            }
+            expected.push(Phase::Compute { step });
+            for (dir, dst) in dn.iter().enumerate() {
+                if dst.is_some() {
+                    expected.push(Phase::Pack { dir, step });
+                    expected.push(Phase::Send { dir, step });
+                }
+            }
+        }
+        assert_eq!(log.phases, expected, "rank {rank}");
+    }
+}

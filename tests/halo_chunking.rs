@@ -124,7 +124,8 @@ proptest! {
             boundary: 1.25,
         };
         let mode = if blocking { ExecMode::Blocking } else { ExecMode::Overlapping };
-        let (new, _) = stencil::dist3d::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+        let (new, _) = stencil::dist3d::run_dist3d(Paper3D, d, LatencyModel::zero(), mode)
+            .expect("valid decomp");
         let (old, _) = legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
         prop_assert_eq!(new.max_abs_diff(&old), 0.0, "{:?} {:?}", mode, d);
     }
@@ -142,7 +143,8 @@ proptest! {
             boundary: 0.75,
         };
         let mode = if blocking { ExecMode::Blocking } else { ExecMode::Overlapping };
-        let (new, _) = stencil::dist2d::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+        let (new, _) = stencil::dist2d::run_dist2d(Example1, d, LatencyModel::zero(), mode)
+            .expect("valid decomp");
         let (old, _) = legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
         prop_assert_eq!(new.max_abs_diff(&old), 0.0, "{:?} {:?}", mode, d);
     }

@@ -7,7 +7,7 @@
 
 use overlap_tiling::prelude::*;
 use cluster_sim::program::{Op, Program};
-use stencil::dist3d::{rank_blocking_3d, rank_overlap_3d};
+use stencil::dist3d::run_rank3d;
 
 /// The multiset of communication ops (kind, peer, bytes), sorted. The
 /// executor and the builder may order the two sends *within* one step
@@ -55,7 +55,7 @@ fn recorded_blocking_matches_builder_structure() {
     let (d, problem) = setup();
     let machine = MachineParams::paper_cluster();
     let (_, recorded) =
-        record_sequential::<f32, _, _>(4, |comm| rank_blocking_3d(comm, Paper3D, d));
+        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Blocking));
     let built = problem.blocking_programs(&machine);
     for rank in 0..4 {
         assert_eq!(
@@ -71,7 +71,7 @@ fn recorded_overlap_matches_builder_structure() {
     let (d, problem) = setup();
     let machine = MachineParams::paper_cluster();
     let (_, recorded) =
-        record_sequential::<f32, _, _>(4, |comm| rank_overlap_3d(comm, Paper3D, d));
+        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
     let built = problem.overlapping_programs(&machine);
     for rank in 0..4 {
         assert_eq!(
@@ -90,9 +90,9 @@ fn recorded_programs_simulate_with_overlap_advantage() {
     // replays complete and rank deterministically.
     let (d, _) = setup();
     let (_, blocking) =
-        record_sequential::<f32, _, _>(4, |comm| rank_blocking_3d(comm, Paper3D, d));
+        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Blocking));
     let (_, overlap) =
-        record_sequential::<f32, _, _>(4, |comm| rank_overlap_3d(comm, Paper3D, d));
+        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
     let machine = MachineParams::paper_cluster();
     let cfg = SimConfig::new(machine).with_trace(false);
     let b = simulate(cfg, blocking).unwrap();
@@ -111,7 +111,7 @@ fn recorded_programs_simulate_with_overlap_advantage() {
 fn recorded_executor_output_is_correct() {
     let (d, _) = setup();
     let (blocks, _) =
-        record_sequential::<f32, _, _>(4, |comm| rank_overlap_3d(comm, Paper3D, d));
+        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
     // Assemble and compare against the sequential reference.
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     let grid = CartesianGrid::new(vec![d.pi, d.pj]);

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use msgpass::thread_backend::{run_threads, LatencyModel, PoolStats};
-use stencil::dist3d::{rank_blocking_3d, rank_overlap_3d, run_dist3d, Decomp3D, ExecMode};
+use stencil::dist3d::{run_dist3d, run_rank3d, Decomp3D, ExecMode};
 use stencil::kernel::Relax3D;
 
 struct CountingAlloc;
@@ -73,7 +73,8 @@ fn count_single_rank_run(nz: usize) -> u64 {
     for _ in 0..3 {
         let d = single_rank_decomp(nz);
         let before = ALLOCS.load(Ordering::Relaxed);
-        let (grid, _) = run_dist3d(Relax3D::default(), d, LatencyModel::zero(), ExecMode::Overlapping);
+        let (grid, _) = run_dist3d(Relax3D::default(), d, LatencyModel::zero(), ExecMode::Overlapping)
+            .expect("valid decomp");
         let after = ALLOCS.load(Ordering::Relaxed);
         assert!(grid.data().iter().all(|x| x.is_finite()));
         best = best.min(after - before);
@@ -122,7 +123,7 @@ fn blocking_3d_send_buffers_recycle_under_load() {
         per_byte_us: 0.0,
     };
     let (stats, _) = run_threads::<f32, PoolStats, _>(2, latency, move |mut comm| {
-        let _ = rank_blocking_3d(&mut comm, Relax3D::default(), d);
+        let _ = run_rank3d(&mut comm, Relax3D::default(), d, ExecMode::Blocking);
         comm.pool_stats()
     });
     // Rank 0 sends `steps` i-faces to rank 1; rank 1 sends nothing.
@@ -156,7 +157,7 @@ fn overlap_3d_pool_accounting_is_exact() {
     };
     let steps = d.steps() as u64;
     let (stats, _) = run_threads::<f32, PoolStats, _>(4, LatencyModel::zero(), move |mut comm| {
-        let _ = rank_overlap_3d(&mut comm, Relax3D::default(), d);
+        let _ = run_rank3d(&mut comm, Relax3D::default(), d, ExecMode::Overlapping);
         comm.pool_stats()
     });
     // Ranks are laid out row-major on the 2×2 grid: rank 0 = (0,0) has
