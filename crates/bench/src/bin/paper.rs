@@ -12,6 +12,10 @@
 //! paper table12    Fig. 12 — the summary table, paper vs reproduction
 //! paper ablation   Fig. 3  — overlap-level ablation
 //! paper threads    real multi-threaded run (msgpass backend)
+//! paper chaos      fault-injection demo: seeded drops/duplicates/
+//!                  reorders/delay-spikes under the reliability layer,
+//!                  a typed unrecoverable failure, and a stall-annotated
+//!                  Gantt chart (results/chaos_gantt.svg)
 //! paper perf       hot-path benchmark: optimized vs legacy executors
 //!                  (writes BENCH_stencil.json at the repo root)
 //! paper all        everything above
@@ -349,6 +353,122 @@ fn cmd_threads() {
     );
 }
 
+fn cmd_chaos() {
+    use msgpass::prelude::*;
+    use std::time::Duration;
+    use stencil::dist3d::{run_dist3d_observed_with, run_dist3d_with, Decomp3D, ExecMode};
+    use stencil::engine::TraceObserver;
+    use stencil::kernel::Paper3D;
+
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE_u64);
+    println!("== chaos: the executors under a seeded fault plan (seed {seed:#x}) ==\n");
+    let d = Decomp3D {
+        nx: 8,
+        ny: 8,
+        nz: 2048,
+        pi: 2,
+        pj: 2,
+        v: 128,
+        boundary: 1.0,
+    };
+    let rel = ReliabilityConfig {
+        recv_timeout: Duration::from_millis(50),
+        max_retries: 6,
+        backoff: Duration::from_millis(2),
+    };
+    let plan = FaultPlan::seeded(seed)
+        .with_drops(0.10)
+        .with_duplicates(0.05)
+        .with_reorders(0.05)
+        .with_delay_spikes(0.15, Duration::from_micros(800));
+    let cfg = WorldConfig::new(LatencyModel::zero())
+        .with_reliability(rel)
+        .with_faults(plan);
+    let seq = stencil::seq::run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+    for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+        let (grid, elapsed, stats) =
+            run_dist3d_with(Paper3D, d, &cfg, mode).expect("recoverable plan completes");
+        let mut total = FaultStats::default();
+        for s in &stats {
+            total.merge(s);
+        }
+        println!(
+            "{mode:?}: {:.3} s, bitwise-exact: {} | injected {} faults \
+             (drops {}, dups {}, reorders {}, delays {}), recovered {}, dups discarded {}",
+            elapsed.as_secs_f64(),
+            grid.max_abs_diff(&seq) == 0.0,
+            total.total_injected(),
+            total.dropped,
+            total.duplicated,
+            total.reordered,
+            total.delayed,
+            total.recovered,
+            total.duplicates_discarded,
+        );
+    }
+
+    // Unrecoverable: lose a face permanently — the run fails with a
+    // typed error inside the retry schedule instead of hanging.
+    println!("\n-- unrecoverable loss (rank 0's step-1 i-face to rank 2) --");
+    let lossy = WorldConfig::new(LatencyModel::zero())
+        .with_reliability(ReliabilityConfig {
+            recv_timeout: Duration::from_millis(10),
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        })
+        .with_faults(FaultPlan::seeded(seed).lose_at(0, 2, stencil::proto::tag(1, stencil::proto::DIR_I)));
+    match run_dist3d_with(Paper3D, d, &lossy, ExecMode::Overlapping) {
+        Err(e) => println!("typed failure (as expected): {e}"),
+        Ok(_) => println!("UNEXPECTED: lossy run completed"),
+    }
+
+    // Stall-annotated Gantt: drive the same faulty world with tracing
+    // observers so fault-inflated waits render as red Stall bars.
+    println!("\n-- stall-annotated Gantt (wire latency + delay spikes) --");
+    let spiky = WorldConfig::new(LatencyModel {
+        startup_us: 300.0,
+        per_byte_us: 0.05,
+    })
+    .with_reliability(rel)
+    .with_faults(
+        FaultPlan::seeded(seed)
+            .with_drops(0.10)
+            .with_delay_spikes(0.25, Duration::from_millis(2)),
+    );
+    let gantt_d = Decomp3D { nz: 512, v: 64, ..d };
+    let stall_after = Duration::from_millis(1);
+    let (grid, _, observers, _) =
+        run_dist3d_observed_with(Paper3D, gantt_d, &spiky, ExecMode::Overlapping, |comm| {
+            TraceObserver::new(comm.rank(), comm.epoch()).with_stall_threshold(stall_after)
+        })
+        .expect("recoverable plan completes");
+    let seq = stencil::seq::run_paper3d_seq(gantt_d.nx, gantt_d.ny, gantt_d.nz, gantt_d.boundary);
+    assert_eq!(grid.max_abs_diff(&seq), 0.0, "traced chaos run must stay exact");
+    let mut trace = msgpass::trace::Trace::enabled();
+    for obs in observers {
+        trace.extend(obs.into_trace());
+    }
+    let ranks: Vec<usize> = (0..gantt_d.pi * gantt_d.pj).collect();
+    let horizon = trace.horizon();
+    let stalls = trace
+        .intervals()
+        .iter()
+        .filter(|iv| iv.activity == msgpass::trace::Activity::Stall)
+        .count();
+    print!("{}", trace.gantt(&ranks, horizon, 90));
+    std::fs::write(
+        out_dir().join("chaos_gantt.svg"),
+        trace.to_svg(&ranks, horizon, 900),
+    )
+    .expect("write chaos_gantt.svg");
+    println!(
+        "{stalls} stall intervals (waits over {stall_after:?}); SVG written to results/chaos_gantt.svg"
+    );
+}
+
 // ---- `paper perf`: the hot-path benchmark ------------------------------
 //
 // Measures the optimized distributed executors against the preserved
@@ -642,7 +762,7 @@ mod perf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|perf|all>\n       paper gantt [--backend sim|thread]"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)"
     );
     std::process::exit(2);
 }
@@ -674,6 +794,7 @@ fn main() {
         "sensitivity" => cmd_sensitivity(),
         "scaling" => cmd_scaling(),
         "threads" => cmd_threads(),
+        "chaos" => cmd_chaos(),
         "perf" => perf::run(),
         "all" => {
             cmd_example1();
@@ -699,6 +820,8 @@ fn main() {
             cmd_scaling();
             println!("\n");
             cmd_threads();
+            println!("\n");
+            cmd_chaos();
             println!("\n");
             perf::run();
         }

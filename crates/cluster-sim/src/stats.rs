@@ -47,7 +47,7 @@ pub fn rank_stats(result: &SimResult) -> Vec<RankStats> {
                 Activity::Compute => compute += dur,
                 Activity::PostSend | Activity::PostRecv => post += dur,
                 Activity::BlockingSend | Activity::BlockingRecv => blocking += dur,
-                Activity::Idle => idle += dur,
+                Activity::Idle | Activity::Stall => idle += dur,
                 Activity::TxBusy | Activity::RxBusy => {}
             }
         }

@@ -25,6 +25,10 @@ pub enum Activity {
     BlockingRecv,
     /// CPU idle, waiting for a request or message.
     Idle,
+    /// CPU idle past the configured stall threshold — a wait that
+    /// should have been hidden by the schedule (or a fault-induced
+    /// retry). Rendered prominently so stalls stand out in figures.
+    Stall,
     /// NIC/DMA transmit lane busy (`B₃+B₄`).
     TxBusy,
     /// NIC/DMA receive lane busy (`B₁+B₂`).
@@ -41,6 +45,7 @@ impl Activity {
             Activity::BlockingSend => 'S',
             Activity::BlockingRecv => 'R',
             Activity::Idle => '.',
+            Activity::Stall => '!',
             Activity::TxBusy => '>',
             Activity::RxBusy => '<',
         }
@@ -48,7 +53,10 @@ impl Activity {
 
     /// True for activities that occupy the CPU.
     pub fn is_cpu(&self) -> bool {
-        !matches!(self, Activity::TxBusy | Activity::RxBusy | Activity::Idle)
+        !matches!(
+            self,
+            Activity::TxBusy | Activity::RxBusy | Activity::Idle | Activity::Stall
+        )
     }
 }
 
@@ -167,7 +175,9 @@ impl Trace {
         for &rank in ranks {
             let mut row = vec!['.'; width];
             for iv in self.for_rank(rank) {
-                if !iv.activity.is_cpu() {
+                // Stalls are idle time, but they are exactly what a
+                // reader scans a chart for — draw them like CPU work.
+                if !iv.activity.is_cpu() && iv.activity != Activity::Stall {
                     continue;
                 }
                 let a = ((iv.start.as_us() / span) * width as f64).floor() as usize;
@@ -204,6 +214,7 @@ impl Trace {
             Activity::BlockingSend => "#b27900",
             Activity::BlockingRecv => "#9d5555",
             Activity::Idle => "#e8e8e8",
+            Activity::Stall => "#d62728",
             Activity::TxBusy => "#72b7b2",
             Activity::RxBusy => "#54a24b",
         };
@@ -221,7 +232,10 @@ impl Trace {
             for iv in self.for_rank(rank) {
                 let x0 = x_of(iv.start);
                 let x1 = x_of(iv.end);
-                let (yy, hh) = if iv.activity.is_cpu() || iv.activity == Activity::Idle {
+                let (yy, hh) = if iv.activity.is_cpu()
+                    || iv.activity == Activity::Idle
+                    || iv.activity == Activity::Stall
+                {
                     (y, row_h)
                 } else {
                     (y + row_h + 1, lane_h)
@@ -376,10 +390,54 @@ mod tests {
             BlockingSend,
             BlockingRecv,
             Idle,
+            Stall,
             TxBusy,
             RxBusy,
         ];
         let set: std::collections::HashSet<char> = all.iter().map(|a| a.glyph()).collect();
         assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn stalls_render_in_gantt_and_svg() {
+        let mut tr = Trace::enabled();
+        tr.record(0, Activity::Compute, t(0.0), t(40.0));
+        tr.record(0, Activity::Stall, t(40.0), t(100.0));
+        assert!(!Activity::Stall.is_cpu());
+        // ASCII: stalls draw even though they are not CPU work.
+        let g = tr.gantt(&[0], t(100.0), 20);
+        assert!(g.contains('!'), "{g}");
+        // SVG: full-height bar in the stall color.
+        let svg = tr.to_svg(&[0], t(100.0), 600);
+        assert!(svg.contains("#d62728"), "{svg}");
+        assert!(svg.contains("Stall"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        // Zero-step runs produce empty traces with a zero horizon; both
+        // renderers must survive the degenerate time scale.
+        let tr = Trace::enabled();
+        assert_eq!(tr.horizon(), SimTime::ZERO);
+        let g = tr.gantt(&[0, 1], tr.horizon(), 20);
+        assert_eq!(g.lines().count(), 3); // two empty rows + axis
+        assert!(g.lines().all(|l| !l.contains('#')));
+        let svg = tr.to_svg(&[0, 1], tr.horizon(), 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 0);
+        // CSV degenerates to just the header.
+        assert_eq!(tr.to_csv(), "rank,activity,start_us,end_us\n");
+    }
+
+    #[test]
+    fn single_interval_trace_renders() {
+        let mut tr = Trace::enabled();
+        tr.record(0, Activity::Compute, t(0.0), t(1.0));
+        let g = tr.gantt(&[0], tr.horizon(), 10);
+        // The lone interval fills the whole row.
+        assert!(g.lines().next().unwrap().contains("##########"), "{g}");
+        let svg = tr.to_svg(&[0], tr.horizon(), 400);
+        assert_eq!(svg.matches("<rect").count(), 1);
     }
 }

@@ -4,9 +4,101 @@
 //! §3 non-overlapping executor) and non-blocking `isend`/`irecv`/`wait`
 //! (the §4 overlapping executor). Matching is by `(peer rank, tag)` in
 //! FIFO order, like MPI with a fixed communicator.
+//!
+//! The `try_*` variants are the fallible face of the same operations:
+//! on a reliability-enabled world (see
+//! [`crate::thread_backend::WorldConfig`]) they surface a typed
+//! [`CommError`] — timeout, sequence gap, peer failure — instead of
+//! blocking forever or panicking. The default implementations simply
+//! delegate to the infallible methods, so observers and recording
+//! wrappers keep working unchanged.
+
+use std::fmt;
+use std::time::Duration;
 
 /// A tag disambiguating messages between the same pair of ranks.
 pub type Tag = u64;
+
+/// Why a communication operation failed on a reliability-enabled
+/// world. The infallible [`Communicator`] methods never return these —
+/// they keep MPI's abort-on-error behavior — but the `try_*` variants
+/// surface them so the engine can fail a run cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the configured retry
+    /// schedule.
+    Timeout {
+        /// The peer the receive was posted against.
+        from: usize,
+        /// The expected tag.
+        tag: Tag,
+        /// Total time spent waiting across all attempts.
+        waited: Duration,
+        /// Number of retry attempts made.
+        retries: u32,
+    },
+    /// The sender committed a message that can no longer be delivered
+    /// or recovered — an unrecoverable loss on the link.
+    SequenceGap {
+        /// The peer the receive was posted against.
+        from: usize,
+        /// The expected tag.
+        tag: Tag,
+        /// The sequence number that can never arrive.
+        seq: u64,
+    },
+    /// The peer's channel closed before the expected message arrived
+    /// (its thread exited or panicked).
+    PeerClosed {
+        /// The rank whose channel hung up.
+        peer: usize,
+    },
+    /// The matched message's length differs from the receive buffer's.
+    SizeMismatch {
+        /// The sending peer.
+        from: usize,
+        /// The message tag.
+        tag: Tag,
+        /// Received payload length.
+        got: usize,
+        /// Expected payload length.
+        want: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout {
+                from,
+                tag,
+                waited,
+                retries,
+            } => write!(
+                f,
+                "receive (from {from}, tag {tag}) timed out after {waited:?} and {retries} retries"
+            ),
+            CommError::SequenceGap { from, tag, seq } => write!(
+                f,
+                "sequence gap (from {from}, tag {tag}): message #{seq} was sent but is unrecoverable"
+            ),
+            CommError::PeerClosed { peer } => {
+                write!(f, "peer {peer} hung up before sending expected message")
+            }
+            CommError::SizeMismatch {
+                from,
+                tag,
+                got,
+                want,
+            } => write!(
+                f,
+                "message length mismatch (from {from}, tag {tag}): got {got}, want {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Handle for an in-flight non-blocking send.
 #[derive(Debug)]
@@ -117,5 +209,54 @@ pub trait Communicator<T: Send + 'static> {
         let data = self.wait_recv(req);
         assert_eq!(data.len(), out.len(), "wait_recv_into: message length mismatch");
         out.copy_from_slice(&data);
+    }
+
+    // ---- fallible API --------------------------------------------------
+    //
+    // The engine drives these. On a plain world they are the infallible
+    // operations (the defaults below delegate and can only return `Ok`);
+    // on a reliability-enabled `ThreadComm` world they surface typed
+    // `CommError`s — timeouts, sequence gaps, peer failures — instead of
+    // hanging or panicking.
+
+    /// Fallible [`Communicator::recv_into`].
+    fn try_recv_into(&mut self, from: usize, tag: Tag, out: &mut [T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        self.recv_into(from, tag, out);
+        Ok(())
+    }
+
+    /// Fallible [`Communicator::wait_recv_into`].
+    fn try_wait_recv_into(&mut self, req: RecvRequest, out: &mut [T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        self.wait_recv_into(req, out);
+        Ok(())
+    }
+
+    /// Fallible [`Communicator::send_from`].
+    fn try_send_from(&mut self, to: usize, tag: Tag, data: &[T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        self.send_from(to, tag, data);
+        Ok(())
+    }
+
+    /// Fallible [`Communicator::isend_from`].
+    fn try_isend_from(&mut self, to: usize, tag: Tag, data: &[T]) -> Result<SendRequest, CommError>
+    where
+        T: Copy,
+    {
+        Ok(self.isend_from(to, tag, data))
+    }
+
+    /// Fallible [`Communicator::wait_send`].
+    fn try_wait_send(&mut self, req: SendRequest) -> Result<(), CommError> {
+        self.wait_send(req);
+        Ok(())
     }
 }

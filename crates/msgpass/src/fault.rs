@@ -1,0 +1,384 @@
+//! Deterministic fault injection and the reliability configuration of
+//! the threaded transport.
+//!
+//! A [`FaultPlan`] is installed on a world (via
+//! [`crate::thread_backend::WorldConfig`]) and decides, **at the
+//! sender**, what happens to each logical message: delivered normally,
+//! dropped recoverably (the payload is parked in a per-link ledger the
+//! receiver can recover it from), lost permanently, duplicated,
+//! reordered past the next message on the same link, or delay-spiked on
+//! the wire. Decisions are a pure hash of `(seed, src, dst, tag, seq)`
+//! — the same plan replays the same faults on every run, which is what
+//! makes chaos tests assertable.
+//!
+//! The matching receive side is configured by [`ReliabilityConfig`]:
+//! bounded receive timeouts with exponential backoff, ledger-based
+//! retransmission of recoverably dropped messages, duplicate discard by
+//! per-`(src, dst, tag)` sequence number, and sequence-gap detection
+//! for permanent losses. Outcomes are counted in [`FaultStats`].
+
+use crate::comm::Tag;
+use std::time::Duration;
+
+/// Receive-side reliability parameters of a world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Base receive-timeout slice; attempt `n` waits
+    /// `recv_timeout · 2ⁿ` (capped at `2⁶`) before consulting the
+    /// retransmission ledger.
+    pub recv_timeout: Duration,
+    /// Receive attempts after the first before giving up with
+    /// [`crate::comm::CommError::Timeout`].
+    pub max_retries: u32,
+    /// Base sleep between attempts, doubled per attempt (capped at
+    /// `2⁶`).
+    pub backoff: Duration,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            recv_timeout: Duration::from_millis(50),
+            max_retries: 5,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// An upper bound on the wall-clock time one receive may spend
+    /// before surfacing a typed error (timeout slices plus backoff
+    /// sleeps; ledger work is not wire-bound).
+    pub fn worst_case_wait(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..=self.max_retries {
+            let factor = 1u32 << attempt.min(6);
+            total += self.recv_timeout * factor + self.backoff * factor;
+        }
+        total
+    }
+}
+
+/// What a targeted fault does to its message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Recoverable drop: the payload is parked in the link ledger and
+    /// the receiver retransmits it to itself on timeout.
+    Drop,
+    /// Permanent loss: counted as sent but never stored — the receiver
+    /// detects a sequence gap.
+    Lose,
+    /// The message is delivered twice with the same sequence number.
+    Duplicate,
+    /// The message is held back until the next message on the same
+    /// link has been sent.
+    Reorder,
+    /// The message's wire arrival is postponed by the given extra
+    /// delay.
+    Delay(Duration),
+}
+
+/// A fault pinned to one `(src, dst, tag)` site (applies to every
+/// sequence number at that site).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message tag at the site.
+    pub tag: Tag,
+    /// What happens to the matching messages.
+    pub kind: FaultKind,
+}
+
+/// The per-message outcome of consulting a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Park the payload in the ledger instead of sending (recoverable).
+    pub drop: bool,
+    /// Discard the payload entirely (unrecoverable).
+    pub lose: bool,
+    /// Send the message twice.
+    pub duplicate: bool,
+    /// Hold the message until the next one on the same link.
+    pub reorder: bool,
+    /// Extra wire delay, if spiked.
+    pub extra_delay: Option<Duration>,
+}
+
+impl FaultDecision {
+    /// True when the message is affected in any way.
+    pub fn is_faulty(&self) -> bool {
+        self.drop || self.lose || self.duplicate || self.reorder || self.extra_delay.is_some()
+    }
+}
+
+/// A seeded, deterministic plan of message faults for one world.
+///
+/// Probabilistic faults are decided per message by hashing
+/// `(seed, src, dst, tag, seq)` — independent draws per fault class —
+/// so a plan is a pure function of the message's identity: replaying
+/// the same program under the same plan injects the same faults.
+/// Targeted faults ([`FaultPlan::lose_at`]) pin a [`FaultKind`] to an
+/// exact `(src, dst, tag)` site and take precedence over the
+/// probabilistic draws.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    duplicate_p: f64,
+    reorder_p: f64,
+    delay_p: f64,
+    delay_spike: Duration,
+    targeted: Vec<FaultSite>,
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer; full-period,
+/// cheap, and good enough to decorrelate per-message fault draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Drop each message recoverably with probability `p`.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Duplicate each message with probability `p`.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Reorder each message past its successor with probability `p`.
+    pub fn with_reorders(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Spike each message's wire delay by `spike` with probability `p`.
+    pub fn with_delay_spikes(mut self, p: f64, spike: Duration) -> Self {
+        self.delay_p = p;
+        self.delay_spike = spike;
+        self
+    }
+
+    /// Permanently lose every message at `(src, dst, tag)` — the
+    /// unrecoverable fault chaos tests use to force a typed error.
+    pub fn lose_at(mut self, src: usize, dst: usize, tag: Tag) -> Self {
+        self.targeted.push(FaultSite {
+            src,
+            dst,
+            tag,
+            kind: FaultKind::Lose,
+        });
+        self
+    }
+
+    /// Pin an arbitrary fault to `(src, dst, tag)`.
+    pub fn targeted(mut self, site: FaultSite) -> Self {
+        self.targeted.push(site);
+        self
+    }
+
+    /// True when the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.duplicate_p > 0.0
+            || self.reorder_p > 0.0
+            || self.delay_p > 0.0
+            || !self.targeted.is_empty()
+    }
+
+    /// Decide the fate of message `seq` on the link `src → dst` with
+    /// `tag`. Pure: the same arguments always produce the same
+    /// decision.
+    pub fn decide(&self, src: usize, dst: usize, tag: Tag, seq: u64) -> FaultDecision {
+        let mut d = FaultDecision::default();
+        for site in &self.targeted {
+            if site.src == src && site.dst == dst && site.tag == tag {
+                match site.kind {
+                    FaultKind::Drop => d.drop = true,
+                    FaultKind::Lose => d.lose = true,
+                    FaultKind::Duplicate => d.duplicate = true,
+                    FaultKind::Reorder => d.reorder = true,
+                    FaultKind::Delay(extra) => d.extra_delay = Some(extra),
+                }
+                return d;
+            }
+        }
+        let key = self
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(splitmix64(
+                (src as u64) << 48 ^ (dst as u64) << 32 ^ tag.wrapping_mul(0x9e3779b1) ^ seq,
+            ));
+        let draw = |salt: u64| unit(splitmix64(key ^ splitmix64(salt)));
+        if self.drop_p > 0.0 && draw(1) < self.drop_p {
+            d.drop = true;
+            return d; // a dropped message can't also be duplicated etc.
+        }
+        if self.duplicate_p > 0.0 && draw(2) < self.duplicate_p {
+            d.duplicate = true;
+        }
+        if self.reorder_p > 0.0 && draw(3) < self.reorder_p {
+            d.reorder = true;
+        }
+        if self.delay_p > 0.0 && draw(4) < self.delay_p {
+            d.extra_delay = Some(self.delay_spike);
+        }
+        d
+    }
+}
+
+/// Per-rank counters of injected faults and recovery work. Injection
+/// counts accrue at the sender; discard/recovery/retry counts at the
+/// receiver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages recoverably dropped (parked in the ledger).
+    pub dropped: u64,
+    /// Messages permanently lost.
+    pub lost: u64,
+    /// Messages sent twice.
+    pub duplicated: u64,
+    /// Messages held back past their successor.
+    pub reordered: u64,
+    /// Messages with a spiked wire delay.
+    pub delayed: u64,
+    /// Received messages discarded as duplicates (stale sequence).
+    pub duplicates_discarded: u64,
+    /// Messages recovered from the retransmission ledger.
+    pub recovered: u64,
+    /// Receive attempts that timed out and retried.
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected at this rank's sender side.
+    pub fn total_injected(&self) -> u64 {
+        self.dropped + self.lost + self.duplicated + self.reordered + self.delayed
+    }
+
+    /// Accumulate another rank's counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.lost += other.lost;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.delayed += other.delayed;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.recovered += other.recovered;
+        self.retries += other.retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::seeded(42)
+            .with_drops(0.2)
+            .with_duplicates(0.1)
+            .with_reorders(0.1)
+            .with_delay_spikes(0.3, Duration::from_micros(500));
+        for seq in 0..64 {
+            assert_eq!(
+                plan.decide(0, 1, 7, seq),
+                plan.decide(0, 1, 7, seq),
+                "seq {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_decisions() {
+        let a = FaultPlan::seeded(1).with_drops(0.5);
+        let b = FaultPlan::seeded(2).with_drops(0.5);
+        let differs = (0..256).any(|seq| a.decide(0, 1, 0, seq) != b.decide(0, 1, 0, seq));
+        assert!(differs, "different seeds never disagreed over 256 draws");
+    }
+
+    #[test]
+    fn probabilities_land_near_their_targets() {
+        let plan = FaultPlan::seeded(7).with_drops(0.25);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&seq| plan.decide(2, 3, 11, seq).drop)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.18..0.32).contains(&frac), "drop rate {frac}");
+    }
+
+    #[test]
+    fn zero_probability_plan_is_silent() {
+        let plan = FaultPlan::seeded(99);
+        assert!(!plan.is_active());
+        for seq in 0..128 {
+            assert!(!plan.decide(0, 1, 3, seq).is_faulty());
+        }
+    }
+
+    #[test]
+    fn targeted_loss_overrides_draws() {
+        let plan = FaultPlan::seeded(5).with_drops(0.0).lose_at(0, 2, 6);
+        assert!(plan.is_active());
+        let d = plan.decide(0, 2, 6, 17);
+        assert!(d.lose && !d.drop);
+        assert!(!plan.decide(0, 1, 6, 17).is_faulty(), "other dst unaffected");
+        assert!(!plan.decide(0, 2, 7, 17).is_faulty(), "other tag unaffected");
+    }
+
+    #[test]
+    fn worst_case_wait_bounds_the_schedule() {
+        let cfg = ReliabilityConfig {
+            recv_timeout: Duration::from_millis(10),
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        // Slices 10+20+40 ms, backoffs 1+2+4 ms.
+        assert_eq!(cfg.worst_case_wait(), Duration::from_millis(77));
+    }
+
+    #[test]
+    fn stats_merge_and_totals() {
+        let mut a = FaultStats {
+            dropped: 2,
+            delayed: 1,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            lost: 1,
+            recovered: 2,
+            retries: 3,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.lost, 1);
+        assert_eq!(a.recovered, 2);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.total_injected(), 4);
+    }
+}

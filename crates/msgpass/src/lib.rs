@@ -8,7 +8,11 @@
 //! computation in wall-clock time.
 //!
 //! * [`comm`] — the [`comm::Communicator`] trait the distributed
-//!   executors are written against.
+//!   executors are written against, including the fallible `try_*`
+//!   operations that surface [`comm::CommError`].
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`])
+//!   and the reliability parameters ([`fault::ReliabilityConfig`])
+//!   of a [`thread_backend::WorldConfig`]-configured world.
 //! * [`thread_backend`] — the real threaded implementation
 //!   ([`thread_backend::run_threads`]).
 //! * [`topology`] — Cartesian process grids (the paper's 4×4 layout).
@@ -24,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod comm;
+pub mod fault;
 pub mod recording;
 pub mod thread_backend;
 pub mod topology;
@@ -31,9 +36,12 @@ pub mod trace;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
+    pub use crate::comm::{CommError, Communicator, RecvRequest, SendRequest, Tag};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultSite, FaultStats, ReliabilityConfig};
     pub use crate::recording::{record_sequential, RecordingComm};
-    pub use crate::thread_backend::{run_threads, LatencyModel, PoolStats, ThreadComm};
+    pub use crate::thread_backend::{
+        run_threads, run_threads_with, LatencyModel, PoolStats, ThreadComm, WorldConfig,
+    };
     pub use crate::topology::CartesianGrid;
     pub use crate::trace::WallTrace;
 }

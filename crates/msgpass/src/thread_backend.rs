@@ -23,9 +23,11 @@
 //! mirroring MPI persistent requests. [`ThreadComm::pool_stats`] exposes
 //! counters that tests use to assert this.
 
-use crate::comm::{Communicator, RecvRequest, SendRequest, Tag};
-use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use crate::comm::{CommError, Communicator, RecvRequest, SendRequest, Tag};
+use crate::fault::{FaultPlan, FaultStats, ReliabilityConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Affine wire-latency model `startup + per_byte · payload_bytes`.
@@ -35,6 +37,13 @@ pub struct LatencyModel {
     pub startup_us: f64,
     /// Per-byte transmission time, µs.
     pub per_byte_us: f64,
+}
+
+impl Default for LatencyModel {
+    /// Defaults to [`LatencyModel::zero`].
+    fn default() -> Self {
+        LatencyModel::zero()
+    }
 }
 
 impl LatencyModel {
@@ -58,8 +67,20 @@ impl LatencyModel {
     /// The wire time of a `bytes`-byte message, rounded to the nearest
     /// nanosecond (truncation would silently floor sub-ns amounts, biasing
     /// accumulated model time low).
+    ///
+    /// The conversion clamps explicitly: `f64 → u64` casts saturate in
+    /// Rust, but NaN casts to 0 and negative model parameters would
+    /// silently alias to zero delay — both are treated as 0 here, while
+    /// non-finite/overflowing positive values saturate to `u64::MAX`
+    /// nanoseconds instead of wrapping.
     pub fn delay(&self, bytes: usize) -> Duration {
         let ns = (self.startup_us + self.per_byte_us * bytes as f64) * 1e3;
+        if ns.is_nan() || ns <= 0.0 {
+            return Duration::ZERO;
+        }
+        if ns >= u64::MAX as f64 {
+            return Duration::from_nanos(u64::MAX);
+        }
         Duration::from_nanos(ns.round() as u64)
     }
 }
@@ -67,8 +88,118 @@ impl LatencyModel {
 struct Msg<T> {
     tag: Tag,
     data: Vec<T>,
+    /// Per-`(src, dst, tag)` occurrence index, stamped only on
+    /// reliability-enabled worlds (always 0 otherwise). Lets the
+    /// receiver discard duplicates and detect gaps.
+    seq: u64,
     /// Receiver may not consume the message before this instant.
     ready_at: Instant,
+}
+
+/// Full configuration of a threaded world: the wire-latency model plus
+/// the optional reliability layer and fault plan. [`run_threads`] is
+/// the plain-latency shorthand; [`run_threads_with`] accepts this.
+#[derive(Clone, Debug, Default)]
+pub struct WorldConfig {
+    /// Injected wire latency.
+    pub latency: LatencyModel,
+    /// Receive-side reliability parameters. `None` with an active
+    /// fault plan still enables the layer with
+    /// [`ReliabilityConfig::default`].
+    pub reliability: Option<ReliabilityConfig>,
+    /// Sender-side deterministic fault injection.
+    pub faults: Option<FaultPlan>,
+}
+
+impl WorldConfig {
+    /// A plain world: the given latency, no reliability layer, no
+    /// faults — byte-for-byte the transport [`run_threads`] builds.
+    pub fn new(latency: LatencyModel) -> Self {
+        WorldConfig {
+            latency,
+            reliability: None,
+            faults: None,
+        }
+    }
+
+    /// Enable the reliability layer (sequence numbers, receive
+    /// timeouts with retry, ledger recovery, typed errors).
+    pub fn with_reliability(mut self, cfg: ReliabilityConfig) -> Self {
+        self.reliability = Some(cfg);
+        self
+    }
+
+    /// Install a deterministic fault plan. Implies the reliability
+    /// layer (with default parameters unless
+    /// [`WorldConfig::with_reliability`] set them).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Whether this configuration builds reliability state.
+    fn reliable(&self) -> bool {
+        self.reliability.is_some() || self.faults.is_some()
+    }
+}
+
+/// Retransmission ledger of one directed link `src → dst`, shared
+/// between the two endpoints. The sender commits every logical message
+/// (`sent`) and parks recoverably dropped or held payloads in `stored`;
+/// the receiver recovers parked payloads on timeout and uses the
+/// commit counts to tell a slow message from a permanently lost one.
+struct PairLedger<T> {
+    /// Logical messages committed per tag (includes dropped/lost ones).
+    sent: HashMap<Tag, u64>,
+    /// Parked payloads keyed by `(tag, seq)`.
+    stored: HashMap<(Tag, u64), Vec<T>>,
+}
+
+/// A directed link's ledger, shared between its two endpoints.
+type SharedLedger<T> = Arc<Mutex<PairLedger<T>>>;
+
+impl<T> Default for PairLedger<T> {
+    fn default() -> Self {
+        PairLedger {
+            sent: HashMap::new(),
+            stored: HashMap::new(),
+        }
+    }
+}
+
+/// Per-rank reliability state, present only on reliability-enabled
+/// worlds — the default transport carries no trace of it.
+struct RelState<T> {
+    cfg: ReliabilityConfig,
+    plan: Option<FaultPlan>,
+    stats: FaultStats,
+    /// `send_seq[dst][tag]`: next sequence number to stamp.
+    send_seq: Vec<HashMap<Tag, u64>>,
+    /// `consumed[src][tag]`: next sequence number to accept.
+    consumed: Vec<HashMap<Tag, u64>>,
+    /// `ledger_out[dst]`: this rank's sender ledger toward `dst`.
+    ledger_out: Vec<SharedLedger<T>>,
+    /// `ledger_in[src]`: the ledger of the link arriving from `src`.
+    ledger_in: Vec<SharedLedger<T>>,
+    /// Message held back per destination by a reorder fault; flushed
+    /// after the next send to the same destination (or at a barrier /
+    /// when the communicator drops).
+    held: Vec<Option<Msg<T>>>,
+}
+
+impl<T> RelState<T> {
+    fn new(size: usize, cfg: ReliabilityConfig, plan: Option<FaultPlan>) -> Self {
+        RelState {
+            cfg,
+            plan,
+            stats: FaultStats::default(),
+            send_seq: (0..size).map(|_| HashMap::new()).collect(),
+            consumed: (0..size).map(|_| HashMap::new()).collect(),
+            ledger_out: Vec::with_capacity(size),
+            ledger_in: Vec::with_capacity(size),
+            held: (0..size).map(|_| None).collect(),
+        }
+    }
 }
 
 /// Sleep-then-spin until `deadline` (sleep for the coarse part, spin the
@@ -123,6 +254,9 @@ pub struct ThreadComm<T> {
     epoch: Instant,
     next_req: u64,
     elem_bytes: usize,
+    /// Reliability/fault state — `None` on plain worlds, so the default
+    /// transport pays nothing for the layer's existence.
+    rel: Option<RelState<T>>,
 }
 
 impl<T: Send + 'static> ThreadComm<T> {
@@ -174,6 +308,11 @@ impl<T: Send + 'static> ThreadComm<T> {
         let _ = self.ret_tx[src].send(buf);
     }
 
+    /// Per-rank fault/reliability counters (all zero on plain worlds).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.rel.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
     /// Pull messages from `from` until one with `tag` appears; honor the
     /// stash first (FIFO per source).
     fn match_message(&mut self, from: usize, tag: Tag) -> Msg<T> {
@@ -188,6 +327,171 @@ impl<T: Send + 'static> ThreadComm<T> {
                 return msg;
             }
             self.stash[from].push_back(msg);
+        }
+    }
+
+    /// Fallible match: the reliability path when enabled, the classic
+    /// blocking path (which can only fail by panicking) otherwise.
+    fn fetch(&mut self, from: usize, tag: Tag) -> Result<Msg<T>, CommError> {
+        if self.rel.is_some() {
+            self.match_message_rel(from, tag)
+        } else {
+            Ok(self.match_message(from, tag))
+        }
+    }
+
+    /// Accept `msg` from `from` if it is the next expected occurrence of
+    /// its tag: `Some(msg)` to deliver, `None` if it was consumed as a
+    /// duplicate or stashed for later.
+    fn triage(&mut self, from: usize, tag: Tag, expect: u64, msg: Msg<T>) -> Option<Msg<T>> {
+        let rel = self.rel.as_mut().expect("triage requires reliability");
+        if msg.tag == tag && msg.seq == expect {
+            return Some(msg);
+        }
+        let seen = *rel.consumed[from].get(&msg.tag).unwrap_or(&0);
+        if msg.seq < seen {
+            // A duplicate of something already consumed.
+            rel.stats.duplicates_discarded += 1;
+            return None;
+        }
+        self.stash[from].push_back(msg);
+        None
+    }
+
+    /// The reliability receive: bounded timeout slices with exponential
+    /// backoff, duplicate discard by sequence number, ledger recovery of
+    /// recoverably dropped messages, and gap detection for permanent
+    /// losses. Returns a typed [`CommError`] instead of hanging.
+    fn match_message_rel(&mut self, from: usize, tag: Tag) -> Result<Msg<T>, CommError> {
+        let (cfg, expect) = {
+            let rel = self.rel.as_ref().expect("reliability enabled");
+            (rel.cfg, *rel.consumed[from].get(&tag).unwrap_or(&0))
+        };
+        let commit = |rel: &mut RelState<T>| {
+            *rel.consumed[from].entry(tag).or_insert(0) = expect + 1;
+        };
+        let mut waited = Duration::ZERO;
+        // Two consecutive attempts that see a committed-but-absent
+        // message (and fail ledger recovery) before declaring a gap: a
+        // reordered message held at the sender gets one full extra
+        // slice to flush.
+        let mut missing_strikes = 0u32;
+        for attempt in 0..=cfg.max_retries {
+            // 1. The stash may already hold the match (purging stale
+            //    duplicates as we scan).
+            let mut i = 0;
+            while i < self.stash[from].len() {
+                let m = &self.stash[from][i];
+                if m.tag == tag && m.seq == expect {
+                    let msg = self.stash[from].remove(i).expect("position valid");
+                    let rel = self.rel.as_mut().expect("reliability enabled");
+                    commit(rel);
+                    return Ok(msg);
+                }
+                let seen = {
+                    let rel = self.rel.as_ref().expect("reliability enabled");
+                    *rel.consumed[from].get(&m.tag).unwrap_or(&0)
+                };
+                if m.seq < seen {
+                    self.stash[from].remove(i);
+                    let rel = self.rel.as_mut().expect("reliability enabled");
+                    rel.stats.duplicates_discarded += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            // 2. Drain the channel for one timeout slice.
+            let factor = 1u32 << attempt.min(6);
+            let slice = cfg.recv_timeout * factor;
+            let deadline = Instant::now() + slice;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match self.receivers[from].recv_timeout(remaining) {
+                    Ok(msg) => {
+                        if let Some(msg) = self.triage(from, tag, expect, msg) {
+                            let rel = self.rel.as_mut().expect("reliability enabled");
+                            commit(rel);
+                            return Ok(msg);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // The peer is gone — its parked payloads are the
+                        // only hope left.
+                        let rel = self.rel.as_mut().expect("reliability enabled");
+                        let recovered = rel.ledger_in[from]
+                            .lock()
+                            .expect("ledger lock")
+                            .stored
+                            .remove(&(tag, expect));
+                        if let Some(data) = recovered {
+                            rel.stats.recovered += 1;
+                            commit(rel);
+                            return Ok(Msg {
+                                tag,
+                                data,
+                                seq: expect,
+                                ready_at: Instant::now(),
+                            });
+                        }
+                        return Err(CommError::PeerClosed { peer: from });
+                    }
+                }
+            }
+            waited += slice;
+            // 3. Nothing on the wire: try the retransmission ledger.
+            let rel = self.rel.as_mut().expect("reliability enabled");
+            let (recovered, committed) = {
+                let mut led = rel.ledger_in[from].lock().expect("ledger lock");
+                (
+                    led.stored.remove(&(tag, expect)),
+                    *led.sent.get(&tag).unwrap_or(&0),
+                )
+            };
+            if let Some(data) = recovered {
+                rel.stats.recovered += 1;
+                rel.stats.retries += attempt as u64;
+                commit(rel);
+                return Ok(Msg {
+                    tag,
+                    data,
+                    seq: expect,
+                    ready_at: Instant::now(),
+                });
+            }
+            if committed > expect {
+                missing_strikes += 1;
+                if missing_strikes >= 2 {
+                    return Err(CommError::SequenceGap {
+                        from,
+                        tag,
+                        seq: expect,
+                    });
+                }
+            }
+            rel.stats.retries += 1;
+            if attempt < cfg.max_retries && !cfg.backoff.is_zero() {
+                std::thread::sleep(cfg.backoff * factor);
+            }
+        }
+        Err(CommError::Timeout {
+            from,
+            tag,
+            waited,
+            retries: cfg.max_retries,
+        })
+    }
+
+    /// Flush a message held back by a reorder fault (best effort: the
+    /// peer may already be gone).
+    fn flush_held(&mut self, to: usize) {
+        if let Some(rel) = self.rel.as_mut() {
+            if let Some(msg) = rel.held[to].take() {
+                let _ = self.senders[to].send(msg);
+            }
         }
     }
 
@@ -214,7 +518,108 @@ impl<T: Send + 'static> ThreadComm<T> {
     }
 }
 
-impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
+impl<T: Clone + Send + 'static> ThreadComm<T> {
+    /// Hand `data` to the transport toward `to`, applying the world's
+    /// fault plan; returns the instant the message is (modeled to be)
+    /// fully on the wire. This is the single choke point of all four
+    /// send entry points.
+    fn transmit(&mut self, to: usize, tag: Tag, data: Vec<T>) -> Result<Instant, CommError> {
+        let bytes = self.payload_bytes(data.len());
+        let ready_at = Instant::now() + self.latency.delay(bytes);
+        if self.rel.is_none() {
+            self.senders[to]
+                .send(Msg {
+                    tag,
+                    data,
+                    seq: 0,
+                    ready_at,
+                })
+                .map_err(|_| CommError::PeerClosed { peer: to })?;
+            return Ok(ready_at);
+        }
+        let rank = self.rank;
+        let rel = self.rel.as_mut().expect("reliability enabled");
+        let seq = {
+            let e = rel.send_seq[to].entry(tag).or_insert(0);
+            let s = *e;
+            *e += 1;
+            s
+        };
+        // Commit the logical message before any fault decision: the
+        // receiver's gap detector counts commitments, not deliveries.
+        rel.ledger_out[to]
+            .lock()
+            .expect("ledger lock")
+            .sent
+            .entry(tag)
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        let decision = rel
+            .plan
+            .as_ref()
+            .map(|p| p.decide(rank, to, tag, seq))
+            .unwrap_or_default();
+        if decision.lose {
+            rel.stats.lost += 1;
+            self.flush_held(to);
+            return Ok(ready_at);
+        }
+        if decision.drop {
+            rel.stats.dropped += 1;
+            rel.ledger_out[to]
+                .lock()
+                .expect("ledger lock")
+                .stored
+                .insert((tag, seq), data);
+            self.flush_held(to);
+            return Ok(ready_at);
+        }
+        let ready_at = match decision.extra_delay {
+            Some(extra) => {
+                rel.stats.delayed += 1;
+                ready_at + extra
+            }
+            None => ready_at,
+        };
+        let msg = Msg {
+            tag,
+            data,
+            seq,
+            ready_at,
+        };
+        if decision.duplicate {
+            rel.stats.duplicated += 1;
+            let dup = Msg {
+                tag,
+                data: msg.data.clone(),
+                seq,
+                ready_at,
+            };
+            let _ = self.senders[to].send(dup);
+        }
+        let rel = self.rel.as_mut().expect("reliability enabled");
+        if decision.reorder && rel.held[to].is_none() {
+            rel.stats.reordered += 1;
+            // Park a copy in the ledger too: if no later message ever
+            // flushes the held one, the receiver can still recover it.
+            rel.ledger_out[to]
+                .lock()
+                .expect("ledger lock")
+                .stored
+                .insert((tag, seq), msg.data.clone());
+            rel.held[to] = Some(msg);
+            return Ok(ready_at);
+        }
+        self.senders[to]
+            .send(msg)
+            .map_err(|_| CommError::PeerClosed { peer: to })?;
+        // An older held message leaves after the newer one: reordered.
+        self.flush_held(to);
+        Ok(ready_at)
+    }
+}
+
+impl<T: Clone + Send + 'static> Communicator<T> for ThreadComm<T> {
     fn rank(&self) -> usize {
         self.rank
     }
@@ -224,36 +629,21 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
     }
 
     fn send(&mut self, to: usize, tag: Tag, data: Vec<T>) {
-        let bytes = self.payload_bytes(data.len());
-        let delay = self.latency.delay(bytes);
-        let ready_at = Instant::now() + delay;
-        self.senders[to]
-            .send(Msg {
-                tag,
-                data,
-                ready_at,
-            })
-            .expect("peer hung up");
+        let ready_at = self.transmit(to, tag, data).expect("peer hung up");
         // Blocking semantics: the caller is suspended for the wire time.
         wait_until(ready_at);
     }
 
     fn recv(&mut self, from: usize, tag: Tag) -> Vec<T> {
-        let msg = self.match_message(from, tag);
+        let msg = self
+            .fetch(from, tag)
+            .unwrap_or_else(|e| panic!("recv failed: {e}"));
         wait_until(msg.ready_at);
         msg.data
     }
 
     fn isend(&mut self, to: usize, tag: Tag, data: Vec<T>) -> SendRequest {
-        let bytes = self.payload_bytes(data.len());
-        let ready_at = Instant::now() + self.latency.delay(bytes);
-        self.senders[to]
-            .send(Msg {
-                tag,
-                data,
-                ready_at,
-            })
-            .expect("peer hung up");
+        self.transmit(to, tag, data).expect("peer hung up");
         let id = self.next_req;
         self.next_req += 1;
         SendRequest { id }
@@ -269,12 +659,19 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
     }
 
     fn wait_recv(&mut self, req: RecvRequest) -> Vec<T> {
-        let msg = self.match_message(req.from, req.tag);
+        let msg = self
+            .fetch(req.from, req.tag)
+            .unwrap_or_else(|e| panic!("wait_recv failed: {e}"));
         wait_until(msg.ready_at);
         msg.data
     }
 
     fn barrier(&mut self) {
+        // A barrier is a hard progress point: nothing may stay held
+        // back past it.
+        for to in 0..self.size {
+            self.flush_held(to);
+        }
         self.barrier.wait();
     }
 
@@ -298,7 +695,9 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
     where
         T: Copy,
     {
-        let msg = self.match_message(from, tag);
+        let msg = self
+            .fetch(from, tag)
+            .unwrap_or_else(|e| panic!("recv_into failed: {e}"));
         wait_until(msg.ready_at);
         assert_eq!(
             msg.data.len(),
@@ -313,7 +712,9 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
     where
         T: Copy,
     {
-        let msg = self.match_message(req.from, req.tag);
+        let msg = self
+            .fetch(req.from, req.tag)
+            .unwrap_or_else(|e| panic!("wait_recv_into failed: {e}"));
         wait_until(msg.ready_at);
         assert_eq!(
             msg.data.len(),
@@ -325,6 +726,73 @@ impl<T: Send + 'static> Communicator<T> for ThreadComm<T> {
         out.copy_from_slice(&msg.data);
         self.release(req.from, msg.data);
     }
+
+    fn try_recv_into(&mut self, from: usize, tag: Tag, out: &mut [T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        let msg = self.fetch(from, tag)?;
+        wait_until(msg.ready_at);
+        if msg.data.len() != out.len() {
+            return Err(CommError::SizeMismatch {
+                from,
+                tag,
+                got: msg.data.len(),
+                want: out.len(),
+            });
+        }
+        out.copy_from_slice(&msg.data);
+        self.release(from, msg.data);
+        Ok(())
+    }
+
+    fn try_wait_recv_into(&mut self, req: RecvRequest, out: &mut [T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        self.try_recv_into(req.from, req.tag, out)
+    }
+
+    fn try_send_from(&mut self, to: usize, tag: Tag, data: &[T]) -> Result<(), CommError>
+    where
+        T: Copy,
+    {
+        let buf = self.acquire(to, data);
+        let ready_at = self.transmit(to, tag, buf)?;
+        wait_until(ready_at);
+        Ok(())
+    }
+
+    fn try_isend_from(&mut self, to: usize, tag: Tag, data: &[T]) -> Result<SendRequest, CommError>
+    where
+        T: Copy,
+    {
+        let buf = self.acquire(to, data);
+        self.transmit(to, tag, buf)?;
+        let id = self.next_req;
+        self.next_req += 1;
+        Ok(SendRequest { id })
+    }
+
+    fn try_wait_send(&mut self, req: SendRequest) -> Result<(), CommError> {
+        self.wait_send(req);
+        Ok(())
+    }
+}
+
+/// Anything still held back by a reorder fault leaves when the
+/// communicator goes away — a rank that exits cleanly must not strand
+/// messages its peers are waiting for.
+impl<T> Drop for ThreadComm<T> {
+    fn drop(&mut self) {
+        if let Some(rel) = self.rel.as_mut() {
+            for (to, slot) in rel.held.iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    let _ = self.senders[to].send(msg);
+                }
+            }
+        }
+    }
 }
 
 /// Build the full mesh of per-rank communicators (used by
@@ -335,7 +803,18 @@ pub(crate) fn build_world<T: Send + 'static>(
     size: usize,
     latency: LatencyModel,
 ) -> Vec<ThreadComm<T>> {
+    build_world_with(size, &WorldConfig::new(latency))
+}
+
+/// [`build_world`] with the full [`WorldConfig`]: additionally wires
+/// the per-link retransmission ledgers and per-rank reliability state
+/// when the configuration asks for them.
+pub(crate) fn build_world_with<T: Send + 'static>(
+    size: usize,
+    cfg: &WorldConfig,
+) -> Vec<ThreadComm<T>> {
     assert!(size > 0, "world size must be positive");
+    let latency = cfg.latency;
     // channels[src][dst]
     let mut to_senders: Vec<Vec<Option<Sender<Msg<T>>>>> = Vec::with_capacity(size);
     let mut from_receivers: Vec<Vec<Option<Receiver<Msg<T>>>>> =
@@ -363,6 +842,14 @@ pub(crate) fn build_world<T: Send + 'static>(
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(size));
     let epoch = Instant::now();
     let elem_bytes = std::mem::size_of::<T>();
+    // One shared ledger per directed link (built only when needed):
+    // ledgers[src][dst] is cloned into src's ledger_out[dst] and dst's
+    // ledger_in[src].
+    let ledgers: Option<Vec<Vec<SharedLedger<T>>>> = cfg.reliable().then(|| {
+        (0..size)
+            .map(|_| (0..size).map(|_| Arc::default()).collect())
+            .collect()
+    });
 
     let mut comms: Vec<ThreadComm<T>> = Vec::with_capacity(size);
     for rank in 0..size {
@@ -378,6 +865,16 @@ pub(crate) fn build_world<T: Send + 'static>(
         let ret_rx = (0..size)
             .map(|dst| ret_receivers[rank][dst].take().expect("ret receiver taken once"))
             .collect();
+        let rel = ledgers.as_ref().map(|led| {
+            let mut state = RelState::new(
+                size,
+                cfg.reliability.unwrap_or_default(),
+                cfg.faults.clone(),
+            );
+            state.ledger_out = (0..size).map(|dst| led[rank][dst].clone()).collect();
+            state.ledger_in = (0..size).map(|src| led[src][rank].clone()).collect();
+            state
+        });
         comms.push(ThreadComm {
             rank,
             size,
@@ -392,6 +889,7 @@ pub(crate) fn build_world<T: Send + 'static>(
             epoch,
             next_req: 0,
             elem_bytes,
+            rel,
         });
     }
     comms
@@ -410,18 +908,40 @@ where
     R: Send,
     F: Fn(ThreadComm<T>) -> R + Send + Sync,
 {
-    let comms = build_world::<T>(size, latency);
+    let (results, elapsed) = run_threads_with(size, &WorldConfig::new(latency), body);
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("rank thread panicked"))
+            .collect(),
+        elapsed,
+    )
+}
+
+/// [`run_threads`] under a full [`WorldConfig`] (reliability layer,
+/// fault plan). Per-rank panics are captured rather than propagated —
+/// on a reliability-enabled world a crashed rank surfaces to its peers
+/// as a timeout/closed-peer error, and to the driver as the `Err` slot
+/// of that rank, so the caller can report *which* rank failed.
+pub fn run_threads_with<T, R, F>(
+    size: usize,
+    cfg: &WorldConfig,
+    body: F,
+) -> (Vec<std::thread::Result<R>>, Duration)
+where
+    T: Send + 'static,
+    R: Send,
+    F: Fn(ThreadComm<T>) -> R + Send + Sync,
+{
+    let comms = build_world_with::<T>(size, cfg);
     let start = Instant::now();
     let body = &body;
-    let results: Vec<R> = std::thread::scope(|scope| {
+    let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| scope.spawn(move || body(comm)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
     (results, start.elapsed())
 }
@@ -632,6 +1152,232 @@ mod tests {
             per_byte_us: 0.0003,
         };
         assert_eq!(per_byte.delay(2), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn latency_model_delay_clamps_extreme_parameters() {
+        // NaN model parameters must not alias to an arbitrary delay.
+        let nan = LatencyModel {
+            startup_us: f64::NAN,
+            per_byte_us: 0.0,
+        };
+        assert_eq!(nan.delay(1024), Duration::ZERO);
+        // Negative parameters (nonsensical but representable) clamp to
+        // zero instead of casting through a negative f64.
+        let neg = LatencyModel {
+            startup_us: -5.0,
+            per_byte_us: -1.0,
+        };
+        assert_eq!(neg.delay(4096), Duration::ZERO);
+        // A negative startup that a large payload overcomes stays exact.
+        let mixed = LatencyModel {
+            startup_us: -1.0,
+            per_byte_us: 1.0,
+        };
+        assert_eq!(mixed.delay(3), Duration::from_micros(2));
+        // Absurd per-byte cost × huge payload overflows u64 nanoseconds:
+        // saturate instead of wrapping to a tiny delay.
+        let huge = LatencyModel {
+            startup_us: 0.0,
+            per_byte_us: 1e18,
+        };
+        assert_eq!(huge.delay(usize::MAX), Duration::from_nanos(u64::MAX));
+        assert_eq!(
+            LatencyModel {
+                startup_us: f64::INFINITY,
+                per_byte_us: 0.0
+            }
+            .delay(0),
+            Duration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn recv_for_later_tag_preserves_earlier_tagged_messages() {
+        // Regression for the per-pair stash: receiving tag B while two
+        // tag-A messages are queued must neither match them nor lose
+        // them nor break their FIFO order.
+        let (results, _) = run_threads::<u32, _, _>(2, LatencyModel::zero(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1]); // A #1
+                comm.send(1, 10, vec![2]); // A #2
+                comm.send(1, 20, vec![9]); // B
+                0
+            } else {
+                let b = comm.recv(0, 20)[0]; // stashes both A messages
+                let a1 = comm.recv(0, 10)[0];
+                let a2 = comm.recv(0, 10)[0];
+                b * 100 + a1 * 10 + a2
+            }
+        });
+        assert_eq!(results[1], 912);
+    }
+
+    #[test]
+    fn reliable_world_roundtrip_without_faults() {
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_reliability(ReliabilityConfig::default());
+        let (results, _) = run_threads_with::<f32, _, _>(2, &cfg, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0, 2.0]);
+                comm.recv(1, 8)
+            } else {
+                let got = comm.recv(0, 7);
+                comm.send(0, 8, got.iter().map(|x| x * 3.0).collect());
+                vec![]
+            }
+        });
+        let r0 = results.into_iter().next().unwrap().expect("rank 0 ok");
+        assert_eq!(r0, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn receive_timeout_is_a_typed_error() {
+        let rel = ReliabilityConfig {
+            recv_timeout: Duration::from_millis(5),
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+        };
+        let cfg = WorldConfig::new(LatencyModel::zero()).with_reliability(rel);
+        let (results, _) = run_threads_with::<u8, _, _>(2, &cfg, move |mut comm| {
+            if comm.rank() == 0 {
+                // Never send; stay alive past the peer's retry schedule
+                // so the error is Timeout, not PeerClosed.
+                std::thread::sleep(rel.worst_case_wait() + Duration::from_millis(50));
+                Ok(())
+            } else {
+                let mut out = [0u8; 1];
+                comm.try_recv_into(0, 42, &mut out)
+            }
+        });
+        let r1 = results.into_iter().nth(1).unwrap().expect("no panic");
+        match r1 {
+            Err(CommError::Timeout { from: 0, tag: 42, retries: 1, .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_message_is_recovered_from_ledger() {
+        use crate::fault::{FaultKind, FaultSite};
+        let rel = ReliabilityConfig {
+            recv_timeout: Duration::from_millis(5),
+            max_retries: 4,
+            backoff: Duration::from_millis(1),
+        };
+        let plan = FaultPlan::seeded(1).targeted(FaultSite {
+            src: 0,
+            dst: 1,
+            tag: 3,
+            kind: FaultKind::Drop,
+        });
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_reliability(rel)
+            .with_faults(plan);
+        let (results, _) = run_threads_with::<u32, _, _>(2, &cfg, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![77]);
+                (0, comm.fault_stats())
+            } else {
+                let got = comm.recv(0, 3)[0];
+                (got, comm.fault_stats())
+            }
+        });
+        let results: Vec<_> = results.into_iter().map(|r| r.expect("no panic")).collect();
+        assert_eq!(results[1].0, 77, "payload recovered bit-exact");
+        assert_eq!(results[0].1.dropped, 1, "sender counted the drop");
+        assert_eq!(results[1].1.recovered, 1, "receiver recovered from ledger");
+    }
+
+    #[test]
+    fn duplicated_messages_are_discarded_by_sequence() {
+        use crate::fault::{FaultKind, FaultSite};
+        let plan = FaultPlan::seeded(2).targeted(FaultSite {
+            src: 0,
+            dst: 1,
+            tag: 6,
+            kind: FaultKind::Duplicate,
+        });
+        let cfg = WorldConfig::new(LatencyModel::zero()).with_faults(plan);
+        let (results, _) = run_threads_with::<u32, _, _>(2, &cfg, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, vec![1]);
+                comm.send(1, 6, vec![2]);
+                (0, comm.fault_stats())
+            } else {
+                let a = comm.recv(0, 6)[0];
+                let b = comm.recv(0, 6)[0];
+                (a * 10 + b, comm.fault_stats())
+            }
+        });
+        let results: Vec<_> = results.into_iter().map(|r| r.expect("no panic")).collect();
+        assert_eq!(results[1].0, 12, "each payload delivered exactly once, in order");
+        assert_eq!(results[0].1.duplicated, 2);
+        assert!(results[1].1.duplicates_discarded >= 1);
+    }
+
+    #[test]
+    fn reordered_messages_are_resequenced() {
+        use crate::fault::{FaultKind, FaultSite};
+        let rel = ReliabilityConfig {
+            recv_timeout: Duration::from_millis(20),
+            max_retries: 4,
+            backoff: Duration::from_millis(1),
+        };
+        let plan = FaultPlan::seeded(3).targeted(FaultSite {
+            src: 0,
+            dst: 1,
+            tag: 9,
+            kind: FaultKind::Reorder,
+        });
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_reliability(rel)
+            .with_faults(plan);
+        let (results, _) = run_threads_with::<u32, _, _>(2, &cfg, |mut comm| {
+            if comm.rank() == 0 {
+                for v in 1..=4 {
+                    comm.send(1, 9, vec![v]);
+                }
+                (0, comm.fault_stats())
+            } else {
+                let mut got = 0;
+                for _ in 0..4 {
+                    got = got * 10 + comm.recv(0, 9)[0];
+                }
+                (got, comm.fault_stats())
+            }
+        });
+        let results: Vec<_> = results.into_iter().map(|r| r.expect("no panic")).collect();
+        assert_eq!(results[1].0, 1234, "sequence numbers restore FIFO order");
+        assert!(results[0].1.reordered >= 1, "{:?}", results[0].1);
+    }
+
+    #[test]
+    fn permanent_loss_is_a_sequence_gap() {
+        let rel = ReliabilityConfig {
+            recv_timeout: Duration::from_millis(5),
+            max_retries: 6,
+            backoff: Duration::from_millis(1),
+        };
+        let plan = FaultPlan::seeded(4).lose_at(0, 1, 5);
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_reliability(rel)
+            .with_faults(plan);
+        let (results, _) = run_threads_with::<u8, _, _>(2, &cfg, move |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1]);
+                std::thread::sleep(rel.worst_case_wait() + Duration::from_millis(50));
+                Ok(())
+            } else {
+                let mut out = [0u8; 1];
+                comm.try_recv_into(0, 5, &mut out)
+            }
+        });
+        let r1 = results.into_iter().nth(1).unwrap().expect("no panic");
+        match r1 {
+            Err(CommError::SequenceGap { from: 0, tag: 5, seq: 0 }) => {}
+            other => panic!("expected SequenceGap, got {other:?}"),
+        }
     }
 
     #[test]

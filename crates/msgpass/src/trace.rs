@@ -87,6 +87,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_step_run_yields_a_renderable_empty_trace() {
+        // A zero-step pipeline records nothing; the rendering paths
+        // must still produce valid (if empty) output from it.
+        let w = WallTrace::new(0, Instant::now());
+        assert_eq!(w.rank(), 0);
+        let tr = w.into_trace();
+        assert!(tr.intervals().is_empty());
+        assert_eq!(tr.horizon(), SimTime::ZERO);
+        let g = tr.gantt(&[0], tr.horizon(), 20);
+        assert!(g.starts_with("P0"));
+        let svg = tr.to_svg(&[0], tr.horizon(), 300);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn zero_length_interval_is_dropped() {
+        let epoch = Instant::now();
+        let mut w = WallTrace::new(0, epoch);
+        let t = epoch + Duration::from_micros(5);
+        w.record(Activity::Compute, t, t);
+        assert!(w.into_trace().intervals().is_empty());
+    }
+
+    #[test]
     fn per_rank_traces_merge_into_world_trace() {
         let epoch = Instant::now();
         let mut a = WallTrace::new(0, epoch);

@@ -84,9 +84,11 @@ pub fn pipeline_steps(extent: usize, v: usize) -> usize {
 }
 
 /// The half-open index range of pipeline step `k`, clamped at the
-/// global extent for the partial last tile.
+/// global extent for the partial last tile. Both endpoints clamp, so a
+/// step index past the pipeline yields an empty range instead of a
+/// reversed one (`start > end`).
 pub fn tile_range(extent: usize, v: usize, k: usize) -> (usize, usize) {
-    (k * v, ((k + 1) * v).min(extent))
+    ((k * v).min(extent), ((k + 1) * v).min(extent))
 }
 
 #[cfg(test)]
@@ -120,6 +122,9 @@ mod tests {
         assert_eq!(tile_range(10, 4, 2), (8, 10)); // partial last tile
         assert_eq!(pipeline_steps(5, 9), 1);
         assert_eq!(tile_range(5, 9, 0), (0, 5)); // V > extent clamps
+        // A step index past the pipeline is empty, not reversed.
+        assert_eq!(tile_range(10, 4, 3), (10, 10));
+        assert_eq!(tile_range(10, 4, 100), (10, 10));
     }
 
     #[test]

@@ -25,12 +25,13 @@
 //! survives in [`crate::legacy`] as oracle and perf baseline.
 
 use crate::decomp::{self, DecompError};
-use crate::engine::{self, NoopObserver, StepObserver, TileOps};
+use crate::engine::{self, EngineError, NoopObserver, StepObserver, TileOps};
 use crate::grid::Grid2D;
 use crate::kernel::{Example1, Kernel2D};
 use crate::proto::DIR_J;
 use msgpass::comm::Communicator;
-use msgpass::thread_backend::{run_threads, LatencyModel};
+use msgpass::fault::FaultStats;
+use msgpass::thread_backend::{run_threads_with, LatencyModel, WorldConfig};
 use std::time::Duration;
 
 pub use crate::engine::ExecMode;
@@ -195,6 +196,23 @@ impl<K: Kernel2D> TileOps for Strip2D<K> {
 }
 
 /// One rank's execution of any 2-D kernel under `mode`'s schedule,
+/// reporting every phase to `obs`; returns its strip (`nx × by`) or
+/// the typed transport/structure error that stopped it.
+pub fn try_run_rank2d_observed<C: Communicator<f32>, K: Kernel2D, O: StepObserver>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp2D,
+    mode: ExecMode,
+    obs: &mut O,
+) -> Result<Vec<f32>, EngineError> {
+    let mut s = Strip2D::new(d, kernel, comm.rank());
+    // Example 1 maps along i₁ of a 2-D tiled space (pi = [1, 2]).
+    let plan = mode.step_plan(2, 0, d.steps());
+    engine::run_rank(comm, &mut s, &plan, obs)?;
+    Ok(s.strip)
+}
+
+/// One rank's execution of any 2-D kernel under `mode`'s schedule,
 /// reporting every phase to `obs`; returns its strip (`nx × by`).
 pub fn run_rank2d_observed<C: Communicator<f32>, K: Kernel2D, O: StepObserver>(
     comm: &mut C,
@@ -203,11 +221,9 @@ pub fn run_rank2d_observed<C: Communicator<f32>, K: Kernel2D, O: StepObserver>(
     mode: ExecMode,
     obs: &mut O,
 ) -> Vec<f32> {
-    let mut s = Strip2D::new(d, kernel, comm.rank());
-    // Example 1 maps along i₁ of a 2-D tiled space (pi = [1, 2]).
-    let plan = mode.step_plan(2, 0, d.steps());
-    engine::run_rank(comm, &mut s, &plan, obs);
-    s.strip
+    let rank = comm.rank();
+    try_run_rank2d_observed(comm, kernel, d, mode, obs)
+        .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
 }
 
 /// One rank's execution of any 2-D kernel under `mode`'s schedule;
@@ -221,17 +237,46 @@ pub fn run_rank2d<C: Communicator<f32>, K: Kernel2D>(
     run_rank2d_observed(comm, kernel, d, mode, &mut NoopObserver)
 }
 
-/// Run a distributed 2-D kernel on the threaded backend and gather.
-pub fn run_dist2d<K: Kernel2D>(
+/// Run a distributed 2-D kernel on a fully configured world — wire
+/// latency, and optionally a reliability layer and a fault plan — and
+/// gather. Returns the assembled grid, the wall-clock time, and each
+/// rank's fault counters. When ranks fail, the most diagnostic error
+/// is returned (see [`EngineError::severity`]).
+pub fn run_dist2d_with<K: Kernel2D>(
     kernel: K,
     d: Decomp2D,
-    latency: LatencyModel,
+    cfg: &WorldConfig,
     mode: ExecMode,
-) -> Result<(Grid2D, Duration), DecompError> {
+) -> Result<(Grid2D, Duration, Vec<FaultStats>), EngineError> {
     d.validate()?;
-    let (strips, elapsed) = run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| {
-        run_rank2d(&mut comm, kernel, d, mode)
+    let (results, elapsed) = run_threads_with::<f32, _, _>(d.ranks, cfg, move |mut comm| {
+        let strip = try_run_rank2d_observed(&mut comm, kernel, d, mode, &mut NoopObserver);
+        (strip, comm.fault_stats())
     });
+    let mut strips = Vec::with_capacity(d.ranks);
+    let mut stats = Vec::with_capacity(d.ranks);
+    let mut worst: Option<EngineError> = None;
+    for (rank, joined) in results.into_iter().enumerate() {
+        let err = match joined {
+            Ok((Ok(strip), st)) => {
+                strips.push(strip);
+                stats.push(st);
+                continue;
+            }
+            Ok((Err(e), st)) => {
+                stats.push(st);
+                e
+            }
+            Err(_) => EngineError::RankFailed { rank },
+        };
+        worst = Some(match worst.take() {
+            Some(w) => w.prefer(err),
+            None => err,
+        });
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
     // Assemble: each strip row is a contiguous span of the output row.
     let by = d.by();
     let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
@@ -240,6 +285,17 @@ pub fn run_dist2d<K: Kernel2D>(
             out.row_mut(i)[rank * by..][..by].copy_from_slice(&strip[i * by..][..by]);
         }
     }
+    Ok((out, elapsed, stats))
+}
+
+/// Run a distributed 2-D kernel on the threaded backend and gather.
+pub fn run_dist2d<K: Kernel2D>(
+    kernel: K,
+    d: Decomp2D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> Result<(Grid2D, Duration), EngineError> {
+    let (out, elapsed, _) = run_dist2d_with(kernel, d, &WorldConfig::new(latency), mode)?;
     Ok((out, elapsed))
 }
 
@@ -248,7 +304,7 @@ pub fn run_example1_dist(
     d: Decomp2D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> Result<(Grid2D, Duration), DecompError> {
+) -> Result<(Grid2D, Duration), EngineError> {
     run_dist2d(Example1, d, latency, mode)
 }
 

@@ -37,13 +37,14 @@
 //! wall-clock Gantt traces via [`run_dist3d_traced`].
 
 use crate::decomp::{self, DecompError};
-use crate::engine::{self, NoopObserver, StepObserver, TileOps, TraceObserver};
+use crate::engine::{self, EngineError, NoopObserver, StepObserver, TileOps, TraceObserver};
 use crate::grid::Grid3D;
 use crate::halo;
 use crate::kernel::{Kernel3D, Paper3D};
 use crate::proto::{DIR_I, DIR_J};
 use msgpass::comm::Communicator;
-use msgpass::thread_backend::{run_threads, LatencyModel, ThreadComm};
+use msgpass::fault::FaultStats;
+use msgpass::thread_backend::{run_threads_with, LatencyModel, ThreadComm, WorldConfig};
 use msgpass::topology::CartesianGrid;
 use msgpass::trace::Trace;
 use std::time::Duration;
@@ -328,6 +329,24 @@ impl<K: Kernel3D> TileOps for Block3D<K> {
 }
 
 /// One rank's execution of any 3-D kernel under `mode`'s schedule,
+/// reporting every phase to `obs`; returns its block (`bx × by × nz`)
+/// or the typed transport/structure error that stopped it.
+pub fn try_run_rank3d_observed<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+    mode: ExecMode,
+    obs: &mut O,
+) -> Result<Vec<f32>, EngineError> {
+    let mut blk = Block3D::new(d, kernel, comm.rank());
+    // The paper's §5 layout maps along i₃ of a 3-D tiled space
+    // (pi = [2, 2, 1]).
+    let plan = mode.step_plan(3, 2, d.steps());
+    engine::run_rank(comm, &mut blk, &plan, obs)?;
+    Ok(blk.block)
+}
+
+/// One rank's execution of any 3-D kernel under `mode`'s schedule,
 /// reporting every phase to `obs`; returns its block (`bx × by × nz`).
 pub fn run_rank3d_observed<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     comm: &mut C,
@@ -336,12 +355,9 @@ pub fn run_rank3d_observed<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     mode: ExecMode,
     obs: &mut O,
 ) -> Vec<f32> {
-    let mut blk = Block3D::new(d, kernel, comm.rank());
-    // The paper's §5 layout maps along i₃ of a 3-D tiled space
-    // (pi = [2, 2, 1]).
-    let plan = mode.step_plan(3, 2, d.steps());
-    engine::run_rank(comm, &mut blk, &plan, obs);
-    blk.block
+    let rank = comm.rank();
+    try_run_rank3d_observed(comm, kernel, d, mode, obs)
+        .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
 }
 
 /// One rank's execution of any 3-D kernel under `mode`'s schedule;
@@ -374,6 +390,62 @@ fn gather_blocks(d: Decomp3D, blocks: &[Vec<f32>]) -> Grid3D {
     out
 }
 
+/// Run a full distributed 3-D kernel on a fully configured world —
+/// wire latency, and optionally a reliability layer and a fault plan —
+/// with a per-rank [`StepObserver`] built by `make_obs`. Returns the
+/// assembled grid, the wall-clock time of the parallel region, the
+/// observers in rank order, and each rank's fault counters. When ranks
+/// fail, the most diagnostic error is returned (see
+/// [`EngineError::severity`]).
+pub fn run_dist3d_observed_with<K, O, F>(
+    kernel: K,
+    d: Decomp3D,
+    cfg: &WorldConfig,
+    mode: ExecMode,
+    make_obs: F,
+) -> Result<(Grid3D, Duration, Vec<O>, Vec<FaultStats>), EngineError>
+where
+    K: Kernel3D,
+    O: StepObserver + Send,
+    F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
+{
+    d.validate()?;
+    let ranks = d.pi * d.pj;
+    let (results, elapsed) = run_threads_with::<f32, _, _>(ranks, cfg, |mut comm| {
+        let mut obs = make_obs(&comm);
+        let block = try_run_rank3d_observed(&mut comm, kernel, d, mode, &mut obs);
+        (block, obs, comm.fault_stats())
+    });
+    let mut blocks = Vec::with_capacity(ranks);
+    let mut observers = Vec::with_capacity(ranks);
+    let mut stats = Vec::with_capacity(ranks);
+    let mut worst: Option<EngineError> = None;
+    for (rank, joined) in results.into_iter().enumerate() {
+        let err = match joined {
+            Ok((Ok(block), obs, st)) => {
+                blocks.push(block);
+                observers.push(obs);
+                stats.push(st);
+                continue;
+            }
+            Ok((Err(e), obs, st)) => {
+                observers.push(obs);
+                stats.push(st);
+                e
+            }
+            Err(_) => EngineError::RankFailed { rank },
+        };
+        worst = Some(match worst.take() {
+            Some(w) => w.prefer(err),
+            None => err,
+        });
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    Ok((gather_blocks(d, &blocks), elapsed, observers, stats))
+}
+
 /// Run a full distributed 3-D kernel on the threaded backend with a
 /// per-rank [`StepObserver`] built by `make_obs`. Returns the assembled
 /// grid, the wall-clock time of the parallel region, and the observers
@@ -384,22 +456,29 @@ pub fn run_dist3d_observed<K, O, F>(
     latency: LatencyModel,
     mode: ExecMode,
     make_obs: F,
-) -> Result<(Grid3D, Duration, Vec<O>), DecompError>
+) -> Result<(Grid3D, Duration, Vec<O>), EngineError>
 where
     K: Kernel3D,
     O: StepObserver + Send,
     F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
 {
-    d.validate()?;
-    let ranks = d.pi * d.pj;
-    let (results, elapsed) =
-        run_threads::<f32, (Vec<f32>, O), _>(ranks, latency, |mut comm| {
-            let mut obs = make_obs(&comm);
-            let block = run_rank3d_observed(&mut comm, kernel, d, mode, &mut obs);
-            (block, obs)
-        });
-    let (blocks, observers): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    Ok((gather_blocks(d, &blocks), elapsed, observers))
+    let (grid, elapsed, observers, _) =
+        run_dist3d_observed_with(kernel, d, &WorldConfig::new(latency), mode, make_obs)?;
+    Ok((grid, elapsed, observers))
+}
+
+/// Run a full distributed 3-D kernel on a fully configured world and
+/// gather. Returns the assembled grid, the wall-clock time, and each
+/// rank's fault counters.
+pub fn run_dist3d_with<K: Kernel3D>(
+    kernel: K,
+    d: Decomp3D,
+    cfg: &WorldConfig,
+    mode: ExecMode,
+) -> Result<(Grid3D, Duration, Vec<FaultStats>), EngineError> {
+    let (grid, elapsed, _, stats) =
+        run_dist3d_observed_with(kernel, d, cfg, mode, |_| NoopObserver)?;
+    Ok((grid, elapsed, stats))
 }
 
 /// Run a full distributed 3-D kernel on the threaded backend and gather
@@ -410,8 +489,8 @@ pub fn run_dist3d<K: Kernel3D>(
     d: Decomp3D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> Result<(Grid3D, Duration), DecompError> {
-    let (grid, elapsed, _) = run_dist3d_observed(kernel, d, latency, mode, |_| NoopObserver)?;
+) -> Result<(Grid3D, Duration), EngineError> {
+    let (grid, elapsed, _) = run_dist3d_with(kernel, d, &WorldConfig::new(latency), mode)?;
     Ok((grid, elapsed))
 }
 
@@ -424,7 +503,7 @@ pub fn run_dist3d_traced<K: Kernel3D>(
     d: Decomp3D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> Result<(Grid3D, Duration, Trace), DecompError> {
+) -> Result<(Grid3D, Duration, Trace), EngineError> {
     let (grid, elapsed, observers) =
         run_dist3d_observed(kernel, d, latency, mode, |comm: &ThreadComm<f32>| {
             TraceObserver::new(comm.rank(), comm.epoch())
@@ -441,7 +520,7 @@ pub fn run_paper3d_dist(
     d: Decomp3D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> Result<(Grid3D, Duration), DecompError> {
+) -> Result<(Grid3D, Duration), EngineError> {
     run_dist3d(Paper3D, d, latency, mode)
 }
 

@@ -26,15 +26,170 @@
 //! captures the exact event order for schedule-conformance tests, and
 //! [`LaneStats`] accumulates the per-step A-lane/B-lane split of eq. 4.
 
+use crate::decomp::DecompError;
 use crate::proto::tag;
-use msgpass::comm::Communicator;
+use msgpass::comm::{CommError, Communicator, Tag};
 use msgpass::trace::{Activity, Trace, WallTrace};
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
 use tiling_core::schedule::{NonOverlapSchedule, OverlapSchedule, StepPlan, StepStrategy};
 
 /// Maximum number of halo directions any [`TileOps`] may expose (the
 /// 3-D block has two: the `i`-face and the `j`-face).
 pub const MAX_DIRS: usize = 2;
+
+/// Why a distributed run failed. Produced by [`run_rank`] and the
+/// `dist2d`/`dist3d` drivers instead of hanging forever or panicking
+/// with an index error: decomposition problems are caught up front,
+/// transport faults (on a reliability-enabled world) surface with the
+/// rank that observed them attached.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The problem could not be decomposed over the requested ranks.
+    Decomp(DecompError),
+    /// A [`TileOps`] exposed more halo directions than the engine's
+    /// fixed request-slot arrays can hold.
+    TooManyDirections {
+        /// Directions the tile operations asked for.
+        dirs: usize,
+        /// The engine's [`MAX_DIRS`] capacity.
+        max: usize,
+    },
+    /// A receive timed out past the configured retry schedule.
+    Timeout {
+        /// The rank whose receive timed out.
+        rank: usize,
+        /// The peer it was waiting on.
+        from: usize,
+        /// The expected message tag.
+        tag: Tag,
+        /// Total time spent waiting across all attempts.
+        waited: Duration,
+        /// Retry attempts made.
+        retries: u32,
+    },
+    /// A message was sent but is unrecoverably lost on the link.
+    SequenceGap {
+        /// The rank that detected the gap.
+        rank: usize,
+        /// The peer whose message is missing.
+        from: usize,
+        /// The expected message tag.
+        tag: Tag,
+        /// The sequence number that can never arrive.
+        seq: u64,
+    },
+    /// A rank's thread exited or panicked mid-run.
+    RankFailed {
+        /// The failed rank.
+        rank: usize,
+    },
+    /// Any other transport error, with the reporting rank attached.
+    Comm {
+        /// The rank that observed the error.
+        rank: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// Attach `rank` to a transport error. A peer hanging up is
+    /// reported as *that peer's* failure, not the observer's.
+    pub fn from_comm(rank: usize, err: CommError) -> Self {
+        match err {
+            CommError::Timeout {
+                from,
+                tag,
+                waited,
+                retries,
+            } => EngineError::Timeout {
+                rank,
+                from,
+                tag,
+                waited,
+                retries,
+            },
+            CommError::SequenceGap { from, tag, seq } => EngineError::SequenceGap {
+                rank,
+                from,
+                tag,
+                seq,
+            },
+            CommError::PeerClosed { peer } => EngineError::RankFailed { rank: peer },
+            other => EngineError::Comm {
+                rank,
+                message: other.to_string(),
+            },
+        }
+    }
+
+    /// Combine with another rank's error, keeping the more diagnostic
+    /// one (see [`EngineError::severity`]).
+    pub fn prefer(self, other: EngineError) -> EngineError {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Diagnostic value of this error when several ranks fail at once:
+    /// a sequence gap or a structural error names the root cause, a
+    /// timeout is usually its echo on neighboring ranks, and a failed
+    /// rank is the least specific (every peer of a crashed rank
+    /// reports it). Drivers keep the highest-severity error.
+    pub fn severity(&self) -> u8 {
+        match self {
+            EngineError::Decomp(_) | EngineError::TooManyDirections { .. } => 4,
+            EngineError::SequenceGap { .. } => 3,
+            EngineError::Timeout { .. } => 2,
+            EngineError::Comm { .. } => 1,
+            EngineError::RankFailed { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Decomp(e) => write!(f, "decomposition error: {e}"),
+            EngineError::TooManyDirections { dirs, max } => write!(
+                f,
+                "tile operations expose {dirs} halo directions but the engine holds at most {max}"
+            ),
+            EngineError::Timeout {
+                rank,
+                from,
+                tag,
+                waited,
+                retries,
+            } => write!(
+                f,
+                "rank {rank}: receive (from {from}, tag {tag}) timed out after {waited:?} and {retries} retries"
+            ),
+            EngineError::SequenceGap {
+                rank,
+                from,
+                tag,
+                seq,
+            } => write!(
+                f,
+                "rank {rank}: message #{seq} (from {from}, tag {tag}) is unrecoverably lost"
+            ),
+            EngineError::RankFailed { rank } => write!(f, "rank {rank} exited or panicked mid-run"),
+            EngineError::Comm { rank, message } => write!(f, "rank {rank}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DecompError> for EngineError {
+    fn from(e: DecompError) -> Self {
+        EngineError::Decomp(e)
+    }
+}
 
 /// Execution style of a distributed run — a shorthand that maps onto
 /// the `tiling-core` schedule type actually driving the engine (see
@@ -221,6 +376,22 @@ pub trait StepObserver {
 
     /// One phase ran over `[start, end]`.
     fn on_phase(&mut self, phase: Phase, start: Instant, end: Instant);
+
+    /// How long a communication-lane phase (a wait or a blocking
+    /// transfer) may run before the engine reports it via
+    /// [`StepObserver::on_stall`]. `None` (the default) disables stall
+    /// detection.
+    fn stall_threshold(&self) -> Option<Duration> {
+        None
+    }
+
+    /// A communication-lane phase exceeded
+    /// [`StepObserver::stall_threshold`] — the schedule failed to hide
+    /// this wait (or a fault-induced retry inflated it). Called *in
+    /// addition to* [`StepObserver::on_phase`], over the same interval.
+    fn on_stall(&mut self, phase: Phase, start: Instant, end: Instant) {
+        let _ = (phase, start, end);
+    }
 }
 
 /// The default observer: records nothing, costs nothing.
@@ -239,6 +410,7 @@ impl StepObserver for NoopObserver {
 #[derive(Debug)]
 pub struct TraceObserver {
     wall: WallTrace,
+    stall_after: Option<Duration>,
 }
 
 impl TraceObserver {
@@ -247,12 +419,28 @@ impl TraceObserver {
     pub fn new(rank: usize, epoch: Instant) -> Self {
         TraceObserver {
             wall: WallTrace::new(rank, epoch),
+            stall_after: None,
         }
+    }
+
+    /// Record waits longer than `threshold` as [`Activity::Stall`]
+    /// instead of plain idle time, so they stand out in the rendered
+    /// Gantt charts.
+    pub fn with_stall_threshold(mut self, threshold: Duration) -> Self {
+        self.stall_after = Some(threshold);
+        self
     }
 
     /// Finish recording, yielding the rank's trace.
     pub fn into_trace(self) -> Trace {
         self.wall.into_trace()
+    }
+
+    fn is_stall(&self, phase: Phase, start: Instant, end: Instant) -> bool {
+        !phase.is_cpu_lane()
+            && self
+                .stall_after
+                .is_some_and(|th| end.duration_since(start) >= th)
     }
 }
 
@@ -260,7 +448,20 @@ impl StepObserver for TraceObserver {
     const ENABLED: bool = true;
 
     fn on_phase(&mut self, phase: Phase, start: Instant, end: Instant) {
+        // A stalled wait is recorded by `on_stall` instead, so each
+        // phase contributes exactly one interval to the trace.
+        if self.is_stall(phase, start, end) {
+            return;
+        }
         self.wall.record(phase.activity(), start, end);
+    }
+
+    fn stall_threshold(&self) -> Option<Duration> {
+        self.stall_after
+    }
+
+    fn on_stall(&mut self, _phase: Phase, start: Instant, end: Instant) {
+        self.wall.record(Activity::Stall, start, end);
     }
 }
 
@@ -342,7 +543,15 @@ fn timed<O: StepObserver, R>(obs: &mut O, phase: Phase, f: impl FnOnce() -> R) -
     if O::ENABLED {
         let start = Instant::now();
         let r = f();
-        obs.on_phase(phase, start, Instant::now());
+        let end = Instant::now();
+        obs.on_phase(phase, start, end);
+        if !phase.is_cpu_lane() {
+            if let Some(th) = obs.stall_threshold() {
+                if end.duration_since(start) >= th {
+                    obs.on_stall(phase, start, end);
+                }
+            }
+        }
         r
     } else {
         f()
@@ -352,13 +561,34 @@ fn timed<O: StepObserver, R>(obs: &mut O, phase: Phase, f: impl FnOnce() -> R) -
 /// Execute one rank's full tile sequence according to `plan`. The
 /// schedule type the plan came from decides the communication
 /// structure; `ops` supplies the dimensional mechanics.
-pub fn run_rank<T, C, O>(comm: &mut C, ops: &mut T, plan: &StepPlan, obs: &mut O)
+///
+/// On a plain world the transport never reports errors, so the only
+/// possible failure is [`EngineError::TooManyDirections`]; on a
+/// reliability-enabled world transport faults surface as typed
+/// [`EngineError`]s instead of hanging the rank forever.
+pub fn run_rank<T, C, O>(
+    comm: &mut C,
+    ops: &mut T,
+    plan: &StepPlan,
+    obs: &mut O,
+) -> Result<(), EngineError>
 where
     T: TileOps,
     C: Communicator<f32>,
     O: StepObserver,
 {
-    debug_assert!(ops.num_dirs() <= MAX_DIRS, "too many halo directions");
+    let dirs = ops.num_dirs();
+    if dirs > MAX_DIRS {
+        return Err(EngineError::TooManyDirections {
+            dirs,
+            max: MAX_DIRS,
+        });
+    }
+    if plan.steps() == 0 {
+        // Nothing to do — and the overlap epilogue addresses tile
+        // `steps - 1`, which does not exist for an empty pipeline.
+        return Ok(());
+    }
     match plan.strategy() {
         StepStrategy::Blocking => run_blocking(comm, ops, plan.steps(), obs),
         StepStrategy::Overlap => run_overlap(comm, ops, plan.steps(), obs),
@@ -366,20 +596,27 @@ where
 }
 
 /// Eq. 3: every step a serialized *receive → compute → send* triplet.
-fn run_blocking<T, C, O>(comm: &mut C, ops: &mut T, steps: usize, obs: &mut O)
+fn run_blocking<T, C, O>(
+    comm: &mut C,
+    ops: &mut T,
+    steps: usize,
+    obs: &mut O,
+) -> Result<(), EngineError>
 where
     T: TileOps,
     C: Communicator<f32>,
     O: StepObserver,
 {
+    let rank = comm.rank();
     let dirs = ops.num_dirs();
     for k in 0..steps {
         for dir in 0..dirs {
             if let Some(src) = ops.upstream(dir) {
                 let t = tag(k, ops.wire_dir(dir));
                 timed(obs, Phase::Recv { dir, step: k }, || {
-                    comm.recv_into(src, t, ops.recv_buf(dir, k))
-                });
+                    comm.try_recv_into(src, t, ops.recv_buf(dir, k))
+                })
+                .map_err(|e| EngineError::from_comm(rank, e))?;
                 timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
             }
         }
@@ -389,23 +626,31 @@ where
                 let n = timed(obs, Phase::Pack { dir, step: k }, || ops.pack(dir, k));
                 let t = tag(k, ops.wire_dir(dir));
                 timed(obs, Phase::Send { dir, step: k }, || {
-                    comm.send_from(dst, t, &ops.face(dir)[..n])
-                });
+                    comm.try_send_from(dst, t, &ops.face(dir)[..n])
+                })
+                .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
     }
+    Ok(())
 }
 
 /// Eq. 4: post receives for `k+1` and sends of `k−1`, compute `k`,
 /// wait. Request slots live in fixed arrays, so the steady-state loop
 /// performs no heap allocations.
-fn run_overlap<T, C, O>(comm: &mut C, ops: &mut T, steps: usize, obs: &mut O)
+fn run_overlap<T, C, O>(
+    comm: &mut C,
+    ops: &mut T,
+    steps: usize,
+    obs: &mut O,
+) -> Result<(), EngineError>
 where
     T: TileOps,
     C: Communicator<f32>,
     O: StepObserver,
 {
     use msgpass::comm::{RecvRequest, SendRequest};
+    let rank = comm.rank();
     let dirs = ops.num_dirs();
 
     // Prologue: receives for step 0.
@@ -440,9 +685,11 @@ where
                         ops.pack(dir, k - 1)
                     });
                     let t = tag(k - 1, ops.wire_dir(dir));
-                    *slot = Some(timed(obs, Phase::PostSend { dir, step: k - 1 }, || {
-                        comm.isend_from(dst, t, &ops.face(dir)[..n])
-                    }));
+                    let req = timed(obs, Phase::PostSend { dir, step: k - 1 }, || {
+                        comm.try_isend_from(dst, t, &ops.face(dir)[..n])
+                    })
+                    .map_err(|e| EngineError::from_comm(rank, e))?;
+                    *slot = Some(req);
                 }
             }
         }
@@ -450,8 +697,9 @@ where
         for (dir, slot) in cur_recv.iter_mut().enumerate().take(dirs) {
             if let Some(req) = slot.take() {
                 timed(obs, Phase::WaitRecv { dir, step: k }, || {
-                    comm.wait_recv_into(req, ops.recv_buf(dir, k))
-                });
+                    comm.try_wait_recv_into(req, ops.recv_buf(dir, k))
+                })
+                .map_err(|e| EngineError::from_comm(rank, e))?;
                 timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
             }
         }
@@ -459,8 +707,9 @@ where
         for (dir, slot) in sends.iter_mut().enumerate().take(dirs) {
             if let Some(req) = slot.take() {
                 timed(obs, Phase::WaitSend { dir, step: k - 1 }, || {
-                    comm.wait_send(req)
-                });
+                    comm.try_wait_send(req)
+                })
+                .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
         std::mem::swap(&mut cur_recv, &mut next_recv);
@@ -473,13 +722,16 @@ where
             });
             let t = tag(steps - 1, ops.wire_dir(dir));
             let req = timed(obs, Phase::PostSend { dir, step: steps - 1 }, || {
-                comm.isend_from(dst, t, &ops.face(dir)[..n])
-            });
+                comm.try_isend_from(dst, t, &ops.face(dir)[..n])
+            })
+            .map_err(|e| EngineError::from_comm(rank, e))?;
             timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
-                comm.wait_send(req)
-            });
+                comm.try_wait_send(req)
+            })
+            .map_err(|e| EngineError::from_comm(rank, e))?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -518,6 +770,145 @@ mod tests {
         );
         assert!(!Phase::WaitSend { dir: 1, step: 4 }.is_cpu_lane());
         assert_eq!(Phase::WaitSend { dir: 1, step: 4 }.step(), 4);
+    }
+
+    struct FakeOps {
+        dirs: usize,
+        computed: usize,
+    }
+
+    impl TileOps for FakeOps {
+        fn num_dirs(&self) -> usize {
+            self.dirs
+        }
+        fn upstream(&self, _dir: usize) -> Option<usize> {
+            None
+        }
+        fn downstream(&self, _dir: usize) -> Option<usize> {
+            None
+        }
+        fn wire_dir(&self, dir: usize) -> u64 {
+            dir as u64
+        }
+        fn recv_buf(&mut self, _dir: usize, _step: usize) -> &mut [f32] {
+            &mut []
+        }
+        fn unpack(&mut self, _dir: usize, _step: usize) {}
+        fn pack(&mut self, _dir: usize, _step: usize) -> usize {
+            0
+        }
+        fn face(&self, _dir: usize) -> &[f32] {
+            &[]
+        }
+        fn compute(&mut self, _step: usize) {
+            self.computed += 1;
+        }
+    }
+
+    #[test]
+    fn too_many_directions_is_a_typed_error_not_a_panic() {
+        use msgpass::prelude::*;
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let plan = mode.step_plan(3, 2, 4);
+            let (results, _) = run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
+                let mut ops = FakeOps {
+                    dirs: MAX_DIRS + 1,
+                    computed: 0,
+                };
+                run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver)
+            });
+            assert_eq!(
+                results[0],
+                Err(EngineError::TooManyDirections {
+                    dirs: MAX_DIRS + 1,
+                    max: MAX_DIRS
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn zero_step_plan_completes_without_computing() {
+        use msgpass::prelude::*;
+        // Regression: the overlap epilogue addresses tile `steps - 1`,
+        // which used to underflow for an empty pipeline.
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let plan = mode.step_plan(3, 2, 0);
+            let (results, _) = run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
+                let mut ops = FakeOps {
+                    dirs: 2,
+                    computed: 0,
+                };
+                run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver).map(|()| ops.computed)
+            });
+            assert_eq!(results[0], Ok(0));
+        }
+    }
+
+    #[test]
+    fn engine_error_mapping_and_severity() {
+        let e = EngineError::from_comm(
+            3,
+            msgpass::comm::CommError::Timeout {
+                from: 1,
+                tag: 7,
+                waited: Duration::from_millis(80),
+                retries: 4,
+            },
+        );
+        assert_eq!(
+            e,
+            EngineError::Timeout {
+                rank: 3,
+                from: 1,
+                tag: 7,
+                waited: Duration::from_millis(80),
+                retries: 4
+            }
+        );
+        // A peer hanging up is that peer's failure.
+        let e = EngineError::from_comm(2, msgpass::comm::CommError::PeerClosed { peer: 5 });
+        assert_eq!(e, EngineError::RankFailed { rank: 5 });
+        // Root causes outrank their echoes.
+        let gap = EngineError::from_comm(
+            0,
+            msgpass::comm::CommError::SequenceGap {
+                from: 1,
+                tag: 2,
+                seq: 3,
+            },
+        );
+        assert!(gap.severity() > e.severity());
+        assert!(
+            EngineError::TooManyDirections { dirs: 3, max: 2 }.severity() > gap.severity()
+        );
+        assert!(!format!("{gap}").is_empty());
+    }
+
+    #[test]
+    fn trace_observer_marks_long_waits_as_stalls() {
+        // The threshold is generous relative to an empty closure so the
+        // "fast" cases cannot cross it even on a loaded machine.
+        let threshold = Duration::from_millis(25);
+        let mut obs =
+            TraceObserver::new(0, Instant::now()).with_stall_threshold(threshold);
+        // A fast wait stays idle; a slow one becomes a stall; compute is
+        // never a stall no matter how long.
+        timed(&mut obs, Phase::WaitRecv { dir: 0, step: 0 }, || {
+            std::thread::sleep(Duration::from_micros(10))
+        });
+        timed(&mut obs, Phase::WaitRecv { dir: 0, step: 1 }, || {
+            std::thread::sleep(threshold * 2)
+        });
+        timed(&mut obs, Phase::Compute { step: 1 }, || {
+            std::thread::sleep(threshold * 2)
+        });
+        let trace = obs.into_trace();
+        let acts: Vec<Activity> = trace.intervals().iter().map(|iv| iv.activity).collect();
+        assert_eq!(
+            acts,
+            vec![Activity::Idle, Activity::Stall, Activity::Compute]
+        );
     }
 
     #[test]

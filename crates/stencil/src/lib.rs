@@ -57,12 +57,13 @@ pub mod verify;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::decomp::DecompError;
-    pub use crate::dist2d::{run_dist2d, run_example1_dist, Decomp2D};
+    pub use crate::dist2d::{run_dist2d, run_dist2d_with, run_example1_dist, Decomp2D};
     pub use crate::dist3d::{
-        run_dist3d, run_dist3d_traced, run_paper3d_dist, Decomp3D, ExecMode,
+        run_dist3d, run_dist3d_traced, run_dist3d_with, run_paper3d_dist, Decomp3D, ExecMode,
     };
     pub use crate::engine::{
-        run_rank, LaneStats, NoopObserver, Phase, PhaseLog, StepObserver, TileOps, TraceObserver,
+        run_rank, EngineError, LaneStats, NoopObserver, Phase, PhaseLog, StepObserver, TileOps,
+        TraceObserver,
     };
     pub use crate::grid::{Grid2D, Grid3D};
     pub use crate::kernel::{
