@@ -18,4 +18,46 @@ else
     echo "ci.sh: cargo-clippy not installed, skipping lint" >&2
 fi
 
+# Perf gate. The committed BENCH_stencil.json is the reference: it must
+# carry the transport-ablation rows (mpsc vs shared-slots). A quick
+# benchmark run (shorter pipeline, separate output file) then re-measures
+# on this machine: the shared-slot rows must show a zero steady-state
+# allocation slope, and the headline speedup must not regress more than
+# 10% below the committed reference.
+grep -q '"transport": "shared-slots"' BENCH_stencil.json || {
+    echo "ci.sh: BENCH_stencil.json is missing the shared-slots transport-ablation rows" >&2
+    exit 1
+}
+ref_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' BENCH_stencil.json | head -n 1)
+[ -n "$ref_speedup" ] || {
+    echo "ci.sh: could not read the headline speedup from BENCH_stencil.json" >&2
+    exit 1
+}
+
+cargo run --release -q -p bench --bin paper -- perf --quick
+
+quick_json=results/BENCH_quick.json
+grep -q '"transport": "shared-slots"' "$quick_json" || {
+    echo "ci.sh: quick perf run produced no shared-slots transport rows" >&2
+    exit 1
+}
+awk -F'"steady_allocs_per_step": ' '
+    /"transport": "shared-slots"/ && /"steady_allocs_per_step"/ {
+        split($2, a, "}"); slope = a[1] + 0
+        if (slope >= 0.5 || slope <= -0.5) {
+            printf "ci.sh: shared-slots steady-state allocation slope is %s allocs/step, expected 0\n", slope
+            bad = 1
+        }
+    }
+    END { exit bad }
+' "$quick_json" || exit 1
+quick_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' "$quick_json" | head -n 1)
+awk -v q="$quick_speedup" -v r="$ref_speedup" 'BEGIN {
+    if (q + 0 < 0.9 * r) {
+        printf "ci.sh: headline speedup regressed: quick run %.3fx vs committed %.3fx (floor %.3fx)\n", q, r, 0.9 * r
+        exit 1
+    }
+    printf "ci.sh: perf gate ok — quick headline %.2fx vs committed %.2fx\n", q, r
+}' || exit 1
+
 echo "ci.sh: all checks passed"

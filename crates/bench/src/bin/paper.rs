@@ -479,7 +479,8 @@ fn cmd_chaos() {
 // optimization removes.
 
 mod perf {
-    use msgpass::thread_backend::LatencyModel;
+    use msgpass::thread_backend::{LatencyModel, WorldConfig};
+    use msgpass::transport::TransportKind;
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Instant;
@@ -599,26 +600,96 @@ mod perf {
         }
     }
 
+    /// One transport-ablation row: the optimized executor on a given
+    /// transport, plus its steady-state allocation rate (the slope of
+    /// allocation count over pipeline steps between a short and a deep
+    /// run — zero when warm steps allocate nothing).
+    struct TransportRow {
+        name: &'static str,
+        mode: ExecMode,
+        transport: &'static str,
+        m: Measurement,
+        steady_allocs_per_step: f64,
+    }
+
+    fn transport_label(kind: TransportKind) -> &'static str {
+        match kind {
+            TransportKind::Mpsc => "mpsc",
+            TransportKind::SharedSlots { .. } => "shared-slots",
+        }
+    }
+
+    fn measure_transport(
+        trials: usize,
+        d: Decomp3D,
+        kind: TransportKind,
+        mode: ExecMode,
+    ) -> Measurement {
+        let cfg = WorldConfig::new(LatencyModel::zero()).with_transport(kind);
+        measure(trials, d, || {
+            stencil::dist3d::run_dist3d_with(Relax3D::default(), d, &cfg, mode)
+                .expect("valid decomposition")
+                .0
+        })
+    }
+
+    fn transport_row(
+        name: &'static str,
+        trials: usize,
+        d: Decomp3D,
+        kind: TransportKind,
+        mode: ExecMode,
+    ) -> TransportRow {
+        let deep = measure_transport(trials, d, kind, mode);
+        // Same world a quarter as deep: the allocation-count difference
+        // divided by the step difference is the per-step allocation
+        // rate with all one-time costs (threads, links, buffer growth)
+        // subtracted out.
+        let shallow_d = Decomp3D {
+            nz: d.nz / 4,
+            ..d
+        };
+        let shallow = measure_transport(trials, shallow_d, kind, mode);
+        let dsteps = (d.steps() - shallow_d.steps()) as f64;
+        let steady_allocs_per_step = (deep.allocs as f64 - shallow.allocs as f64) / dsteps;
+        TransportRow {
+            name,
+            mode,
+            transport: transport_label(kind),
+            m: deep,
+            steady_allocs_per_step,
+        }
+    }
+
     /// Per-mode A-lane/B-lane step-time summary from an instrumented
     /// run: the measured counterpart of eq. 4's `max(A, B)` split (A =
     /// compute + face copies + request posts, B = waits on the wire).
     struct LaneSummary {
         mode: ExecMode,
+        transport: &'static str,
         a_mean_us: f64,
         a_max_us: f64,
         b_mean_us: f64,
         b_max_us: f64,
     }
 
-    fn lane_summary(d: Decomp3D, lat: LatencyModel, mode: ExecMode) -> LaneSummary {
+    fn lane_summary(
+        d: Decomp3D,
+        lat: LatencyModel,
+        kind: TransportKind,
+        mode: ExecMode,
+    ) -> LaneSummary {
+        use stencil::dist3d::run_dist3d_observed_with;
         use stencil::engine::LaneStats;
         let steps = d.steps();
-        let (_, _, stats) =
-            stencil::dist3d::run_dist3d_observed(Paper3D, d, lat, mode, |_| LaneStats::new(steps))
+        let cfg = WorldConfig::new(lat).with_transport(kind);
+        let (_, _, stats, _) =
+            run_dist3d_observed_with(Paper3D, d, &cfg, mode, |_| LaneStats::new(steps))
                 .expect("valid decomposition");
         let (a_mean_us, a_max_us, b_mean_us, b_max_us) = LaneStats::summarize(&stats);
         LaneSummary {
             mode,
+            transport: transport_label(kind),
             a_mean_us,
             a_max_us,
             b_mean_us,
@@ -626,17 +697,35 @@ mod perf {
         }
     }
 
+    fn mode_label(mode: ExecMode) -> &'static str {
+        match mode {
+            ExecMode::Blocking => "blocking",
+            ExecMode::Overlapping => "overlapping",
+        }
+    }
+
     fn json_lane(l: &LaneSummary) -> String {
         format!(
-            "    {{\"mode\": \"{}\", \"a_mean_us\": {:.3}, \"a_max_us\": {:.3}, \"b_mean_us\": {:.3}, \"b_max_us\": {:.3}}}",
-            match l.mode {
-                ExecMode::Blocking => "blocking",
-                ExecMode::Overlapping => "overlapping",
-            },
+            "    {{\"mode\": \"{}\", \"transport\": \"{}\", \"a_mean_us\": {:.3}, \"a_max_us\": {:.3}, \"b_mean_us\": {:.3}, \"b_max_us\": {:.3}}}",
+            mode_label(l.mode),
+            l.transport,
             l.a_mean_us,
             l.a_max_us,
             l.b_mean_us,
             l.b_max_us
+        )
+    }
+
+    fn json_transport(r: &TransportRow) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"transport\": \"{}\", \"cells_per_sec\": {:.0}, \"step_us\": {:.3}, \"allocs\": {}, \"steady_allocs_per_step\": {:.3}}}",
+            r.name,
+            mode_label(r.mode),
+            r.transport,
+            r.m.cells_per_sec,
+            r.m.step_us,
+            r.m.allocs,
+            r.steady_allocs_per_step
         )
     }
 
@@ -671,21 +760,29 @@ mod perf {
         )
     }
 
-    pub fn run() {
-        println!("== hot-path benchmark: optimized executors vs element-wise legacy ==\n");
+    pub fn run(quick: bool) {
+        println!(
+            "== hot-path benchmark: optimized executors vs element-wise legacy{} ==\n",
+            if quick { " (quick mode)" } else { "" }
+        );
         // Cheap kernel, small cross-section, deep pipeline: the
         // per-cell/per-face overhead the optimization targets dominates
         // the kernel arithmetic. Zero latency isolates executor cost.
+        // Quick mode keeps the per-step shape and only shortens the
+        // pipeline and trial count, so speedups stay comparable with a
+        // committed full run (it also writes to a separate file —
+        // results/BENCH_quick.json — instead of the reference
+        // BENCH_stencil.json).
         let deep = Decomp3D {
             nx: 8,
             ny: 8,
-            nz: 65_536,
+            nz: if quick { 16_384 } else { 65_536 },
             pi: 2,
             pj: 2,
             v: 256,
             boundary: 1.0,
         };
-        let trials = 5;
+        let trials = if quick { 3 } else { 5 };
         let comparisons = [
             compare("relax3d-overlap", "relax3d", deep, ExecMode::Overlapping, trials),
             compare("relax3d-blocking", "relax3d", deep, ExecMode::Blocking, trials),
@@ -703,13 +800,37 @@ mod perf {
                 c.speedup()
             );
         }
+        // Transport ablation: the same optimized executor over the mpsc
+        // channel transport vs the zero-copy shared-slot rings. The
+        // steady-state allocation slope must be zero on slots — packing
+        // goes straight into the peer-visible slot and the reader hands
+        // the slot back, so a warm step touches no allocator at all.
+        let transports = [
+            transport_row("relax3d-overlap", trials, deep, TransportKind::Mpsc, ExecMode::Overlapping),
+            transport_row("relax3d-overlap", trials, deep, TransportKind::shared_slots(), ExecMode::Overlapping),
+            transport_row("relax3d-blocking", trials, deep, TransportKind::Mpsc, ExecMode::Blocking),
+            transport_row("relax3d-blocking", trials, deep, TransportKind::shared_slots(), ExecMode::Blocking),
+        ];
+        for r in &transports {
+            println!(
+                "transport {:18} {:13} {:>7.1} Mcells/s, {:>6} allocs, {:>6.2} allocs/step (steady)",
+                r.name,
+                r.transport,
+                r.m.cells_per_sec / 1e6,
+                r.m.allocs,
+                r.steady_allocs_per_step
+            );
+        }
         // Instrumented lane accounting on a shallower pipeline with
         // injected latency: under Blocking the B lane shows up in the
         // step time; under Overlapping it rides beneath the A lane.
+        // Both transports are instrumented — the slot rows show the
+        // wire-side B-lane without the channel transport's per-message
+        // queue-node and pool traffic.
         let lane_d = Decomp3D {
             nx: 8,
             ny: 8,
-            nz: 4096,
+            nz: if quick { 1024 } else { 4096 },
             pi: 2,
             pj: 2,
             v: 128,
@@ -720,41 +841,58 @@ mod perf {
             per_byte_us: 0.02,
         };
         let lanes = [
-            lane_summary(lane_d, lane_lat, ExecMode::Blocking),
-            lane_summary(lane_d, lane_lat, ExecMode::Overlapping),
+            lane_summary(lane_d, lane_lat, TransportKind::Mpsc, ExecMode::Blocking),
+            lane_summary(lane_d, lane_lat, TransportKind::Mpsc, ExecMode::Overlapping),
+            lane_summary(lane_d, lane_lat, TransportKind::shared_slots(), ExecMode::Blocking),
+            lane_summary(lane_d, lane_lat, TransportKind::shared_slots(), ExecMode::Overlapping),
         ];
         for l in &lanes {
             println!(
-                "lanes {:11} A (cpu) mean {:>8.1} µs max {:>8.1} µs | B (comm) mean {:>8.1} µs max {:>8.1} µs",
+                "lanes {:11} {:13} A (cpu) mean {:>8.1} µs max {:>8.1} µs | B (comm) mean {:>8.1} µs max {:>8.1} µs",
                 format!("({:?})", l.mode),
+                l.transport,
                 l.a_mean_us,
                 l.a_max_us,
                 l.b_mean_us,
                 l.b_max_us
             );
         }
-        let headline = &comparisons[0];
+        // Headline: the full zero-copy stack (slot transport + in-place
+        // pack/unpack + pencil kernels) against the element-wise legacy
+        // executor on the overlap schedule.
+        let legacy = &comparisons[0].baseline;
+        let slots_overlap = &transports[1].m;
+        let headline_speedup = legacy.secs / slots_overlap.secs;
         let json = format!(
-            "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"{}\",\n    \
+            "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"relax3d-overlap-slots\",\n    \
+             \"transport\": \"shared-slots\",\n    \
              \"baseline_cells_per_sec\": {:.0},\n    \"optimized_cells_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
-             \"comparisons\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ]\n}}\n",
-            headline.name,
-            headline.baseline.cells_per_sec,
-            headline.optimized.cells_per_sec,
-            headline.speedup(),
+             \"comparisons\": [\n{}\n  ],\n  \"transports\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ]\n}}\n",
+            legacy.cells_per_sec,
+            slots_overlap.cells_per_sec,
+            headline_speedup,
             comparisons
                 .iter()
                 .map(json_comparison)
                 .collect::<Vec<_>>()
                 .join(",\n"),
+            transports
+                .iter()
+                .map(json_transport)
+                .collect::<Vec<_>>()
+                .join(",\n"),
             lanes.iter().map(json_lane).collect::<Vec<_>>().join(",\n")
         );
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json");
-        std::fs::write(path, &json).expect("write BENCH_stencil.json");
+        let path = if quick {
+            let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+            std::fs::create_dir_all(dir).expect("create results dir");
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_quick.json")
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json")
+        };
+        std::fs::write(path, &json).expect("write benchmark json");
         println!(
-            "\nheadline: {} — {:.2}x cells/sec over the element-wise baseline",
-            headline.name,
-            headline.speedup()
+            "\nheadline: relax3d-overlap-slots — {headline_speedup:.2}x cells/sec over the element-wise baseline"
         );
         println!("written to {path}");
     }
@@ -762,7 +900,7 @@ mod perf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json"
     );
     std::process::exit(2);
 }
@@ -795,7 +933,14 @@ fn main() {
         "scaling" => cmd_scaling(),
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
-        "perf" => perf::run(),
+        "perf" => {
+            let quick = match std::env::args().nth(2).as_deref() {
+                None => false,
+                Some("--quick") => true,
+                Some(_) => usage(),
+            };
+            perf::run(quick)
+        }
         "all" => {
             cmd_example1();
             println!("\n");
@@ -823,7 +968,7 @@ fn main() {
             println!("\n");
             cmd_chaos();
             println!("\n");
-            perf::run();
+            perf::run(false);
         }
         _ => usage(),
     }

@@ -259,4 +259,87 @@ pub trait Communicator<T: Send + 'static> {
         self.wait_send(req);
         Ok(())
     }
+
+    // ---- zero-copy staging API ----------------------------------------
+    //
+    // The slot-transport entry points: instead of handing the transport
+    // a finished buffer (which it must then copy into wire storage),
+    // the caller receives the wire storage itself and packs directly
+    // into it — on `ThreadComm` with `TransportKind::SharedSlots` that
+    // storage is the peer-visible slot, so the halo face is written
+    // exactly once end to end. The defaults stage through a scratch
+    // vector and delegate to the `_from`/`_into` operations, so
+    // recording wrappers and plain backends compose unchanged.
+
+    /// Blocking send of a `len`-element payload packed in place by
+    /// `fill`, which receives the (zeroed or stale) wire buffer and
+    /// must overwrite all of it.
+    fn try_send_with(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [T]),
+    ) -> Result<(), CommError>
+    where
+        T: Copy + Default,
+    {
+        let mut buf = vec![T::default(); len];
+        fill(&mut buf);
+        self.try_send_from(to, tag, &buf)
+    }
+
+    /// Non-blocking send of a `len`-element payload packed in place by
+    /// `fill` (see [`Communicator::try_send_with`]).
+    fn try_isend_with(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [T]),
+    ) -> Result<SendRequest, CommError>
+    where
+        T: Copy + Default,
+    {
+        let mut buf = vec![T::default(); len];
+        fill(&mut buf);
+        self.try_isend_from(to, tag, &buf)
+    }
+
+    /// Blocking receive of a `want`-element payload consumed in place
+    /// by `take`, which reads directly from wire storage (the
+    /// peer-visible slot on a slot-transport world). Fails with
+    /// [`CommError::SizeMismatch`] if the message length differs.
+    fn try_recv_with(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        want: usize,
+        take: &mut dyn FnMut(&[T]),
+    ) -> Result<(), CommError>
+    where
+        T: Copy + Default,
+    {
+        let mut buf = vec![T::default(); want];
+        self.try_recv_into(from, tag, &mut buf)?;
+        take(&buf);
+        Ok(())
+    }
+
+    /// Complete a non-blocking receive, consuming the payload in place
+    /// (see [`Communicator::try_recv_with`]).
+    fn try_wait_recv_with(
+        &mut self,
+        req: RecvRequest,
+        want: usize,
+        take: &mut dyn FnMut(&[T]),
+    ) -> Result<(), CommError>
+    where
+        T: Copy + Default,
+    {
+        let mut buf = vec![T::default(); want];
+        self.try_wait_recv_into(req, &mut buf)?;
+        take(&buf);
+        Ok(())
+    }
 }

@@ -15,6 +15,11 @@
 //!   of a [`thread_backend::WorldConfig`]-configured world.
 //! * [`thread_backend`] — the real threaded implementation
 //!   ([`thread_backend::run_threads`]).
+//! * [`transport`] — the per-link wire abstraction
+//!   ([`transport::TransportKind`]): mpsc channels with a buffer-return
+//!   pool, or zero-copy shared-memory slot rings.
+//! * [`slot_transport`] — the SPSC slot-ring transport itself
+//!   (cache-line-padded cursors, slot leases, FIFO overflow).
 //! * [`topology`] — Cartesian process grids (the paper's 4×4 layout).
 //! * [`trace`] — wall-clock activity recording in the *same* interval
 //!   format the `cluster-sim` simulator emits, so real runs render
@@ -30,9 +35,11 @@
 pub mod comm;
 pub mod fault;
 pub mod recording;
+pub mod slot_transport;
 pub mod thread_backend;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 
 /// Convenient re-exports.
 pub mod prelude {
@@ -43,5 +50,6 @@ pub mod prelude {
         run_threads, run_threads_with, LatencyModel, PoolStats, ThreadComm, WorldConfig,
     };
     pub use crate::topology::CartesianGrid;
+    pub use crate::transport::TransportKind;
     pub use crate::trace::WallTrace;
 }

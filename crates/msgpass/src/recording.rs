@@ -61,7 +61,7 @@ enum Rec {
 
 /// A [`Communicator`] wrapper that executes for real (through an inner
 /// [`ThreadComm`]) while recording a simulator program.
-pub struct RecordingComm<T: Send + 'static> {
+pub struct RecordingComm<T: Send + Sync + 'static> {
     inner: ThreadComm<T>,
     ops: Vec<Rec>,
     mark: Instant,
@@ -71,7 +71,7 @@ pub struct RecordingComm<T: Send + 'static> {
     send_ops: HashMap<u64, usize>,
 }
 
-impl<T: Clone + Send + 'static> RecordingComm<T> {
+impl<T: Clone + Send + Sync + 'static> RecordingComm<T> {
     fn new(inner: ThreadComm<T>) -> Self {
         RecordingComm {
             inner,
@@ -136,7 +136,7 @@ impl<T: Clone + Send + 'static> RecordingComm<T> {
     }
 }
 
-impl<T: Clone + Send + 'static> Communicator<T> for RecordingComm<T> {
+impl<T: Clone + Send + Sync + 'static> Communicator<T> for RecordingComm<T> {
     fn rank(&self) -> usize {
         self.inner.rank()
     }
@@ -235,7 +235,7 @@ impl<T: Clone + Send + 'static> Communicator<T> for RecordingComm<T> {
 /// see the module docs.
 pub fn record_sequential<T, R, F>(size: usize, body: F) -> (Vec<R>, Vec<Program>)
 where
-    T: Clone + Send + 'static,
+    T: Clone + Send + Sync + 'static,
     F: Fn(&mut RecordingComm<T>) -> R,
 {
     let comms = build_world::<T>(size, LatencyModel::zero());

@@ -1,0 +1,580 @@
+//! Shared-memory slot transport: per-directed-link SPSC rings of
+//! fixed-capacity payload slots.
+//!
+//! A link is two shared structures:
+//!
+//! * a [`SlotPool`]: `slots` refcounted payload buffers. The sender
+//!   claims a free slot (refcount 0 → 1), packs the payload **directly
+//!   into it** while holding exclusive access, and wraps it in a
+//!   [`SlotLease`] that travels inside the envelope. The receiver (and
+//!   the reliability layer's ledger/duplicates) read straight out of
+//!   the slot; the slot is not reclaimed until the last lease drops.
+//! * an envelope ring: a single-producer single-consumer circular
+//!   buffer with cache-line-padded head/tail counters. The producer
+//!   publishes with a release store of `tail`; the consumer acquires
+//!   `tail` and releases `head`. No allocation per message — unlike an
+//!   mpsc channel, which heap-allocates a queue node per send.
+//!
+//! Both structures degrade rather than block or reorder under
+//! pressure: a sender whose pool is exhausted waits a bounded while
+//! for the consumer to free a slot (the transport's backpressure —
+//! `wait_send` is eager, so nothing else throttles a producer that
+//! outruns its consumer) and then falls back to an owned heap copy,
+//! and a full ring spills into a mutex-guarded overflow queue that
+//! preserves link FIFO order (the producer keeps using the overflow
+//! until the consumer has drained it).
+//!
+//! After a warm-up in which each slot's buffer grows to the payload
+//! size once, a steady-state halo exchange performs **zero heap
+//! allocations** in the transport — `tests/zero_alloc.rs` asserts
+//! this with a counting global allocator.
+
+use crate::transport::{Envelope, LinkClosed, LinkRx, LinkTx, Payload, PoolStats};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Pad to a cache line so the producer's `tail` and the consumer's
+/// `head` never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One payload slot: a refcount and the buffer it guards.
+///
+/// Invariant: the buffer is only written between a successful claim
+/// (`refs` 0 → 1 by the producer) and the creation of the first lease;
+/// from then until `refs` returns to 0 every access is a shared read.
+struct Slot<T> {
+    refs: CachePadded<AtomicU32>,
+    buf: UnsafeCell<Vec<T>>,
+}
+
+/// The payload slots of one directed link, shared by both endpoints
+/// and by every outstanding [`SlotLease`].
+pub(crate) struct SlotPool<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+// Safety: the refcount protocol above makes cross-thread access to the
+// `UnsafeCell` buffers data-race-free; the payloads themselves only
+// need to be sendable.
+unsafe impl<T: Send + Sync> Send for SlotPool<T> {}
+unsafe impl<T: Send + Sync> Sync for SlotPool<T> {}
+
+impl<T> SlotPool<T> {
+    fn new(slots: usize) -> Arc<Self> {
+        Arc::new(SlotPool {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    refs: CachePadded(AtomicU32::new(0)),
+                    buf: UnsafeCell::new(Vec::new()),
+                })
+                .collect(),
+        })
+    }
+
+    /// Claim a free slot for exclusive filling: refcount 0 → 1 with
+    /// acquire ordering, so the claim synchronizes with the release
+    /// decrement of the lease that last used the slot.
+    fn claim(&self) -> Option<usize> {
+        self.slots.iter().position(|s| {
+            s.refs
+                .0
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        })
+    }
+}
+
+/// A zero-copy handle on a filled transport slot. Clones share the
+/// slot (refcount bump); the slot returns to its pool when the last
+/// lease drops. This is how a retransmission ledger entry, a duplicate
+/// on the wire, and the original message all reference one buffer.
+pub struct SlotLease<T> {
+    pool: Arc<SlotPool<T>>,
+    idx: usize,
+    len: usize,
+}
+
+impl<T> SlotLease<T> {
+    /// The leased payload.
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: leases only exist after the producer finished writing
+        // (see `Slot` invariant), so shared reads are race-free.
+        unsafe {
+            let buf: &Vec<T> = &*self.pool.slots[self.idx].buf.get();
+            &buf[..self.len]
+        }
+    }
+}
+
+impl<T> Clone for SlotLease<T> {
+    fn clone(&self) -> Self {
+        // Relaxed suffices: a clone is always derived from a live lease,
+        // so the count cannot concurrently hit zero.
+        self.pool.slots[self.idx].refs.0.fetch_add(1, Ordering::Relaxed);
+        SlotLease {
+            pool: Arc::clone(&self.pool),
+            idx: self.idx,
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Drop for SlotLease<T> {
+    fn drop(&mut self) {
+        // Release pairs with the acquire CAS in `SlotPool::claim`: all
+        // reads of this lease happen-before the slot's next refill.
+        self.pool.slots[self.idx].refs.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// SPSC envelope ring with a FIFO-preserving mutex overflow.
+struct Ring<T> {
+    cells: Box<[UnsafeCell<MaybeUninit<Envelope<T>>>]>,
+    /// Consumer cursor (monotonic; index = `head % capacity`).
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor.
+    tail: CachePadded<AtomicUsize>,
+    /// Set by the producer's drop; the consumer drains, then reports
+    /// the link closed.
+    closed: AtomicBool,
+    /// Set by the consumer's drop; pushes start failing.
+    rx_gone: AtomicBool,
+    /// Spill queue for a full ring. The producer routes *every* push
+    /// here while `overflow_len > 0`, so ring entries are always older
+    /// than overflow entries and the consumer's ring-first drain order
+    /// preserves link FIFO.
+    overflow: Mutex<VecDeque<Envelope<T>>>,
+    overflow_len: AtomicUsize,
+}
+
+// Safety: head/tail/overflow_len ordering makes cell handoff
+// race-free; envelopes cross threads, so `T: Send` is required.
+unsafe impl<T: Send + Sync> Send for Ring<T> {}
+unsafe impl<T: Send + Sync> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Ring {
+            cells: (0..capacity.max(2))
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+            rx_gone: AtomicBool::new(false),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Producer side. Never blocks: a full ring spills to the overflow
+    /// queue instead.
+    fn push(&self, env: Envelope<T>) {
+        let cap = self.cells.len();
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        if self.overflow_len.load(Ordering::Acquire) == 0
+            && tail - self.head.0.load(Ordering::Acquire) < cap
+        {
+            // Safety: single producer, and `tail - head < cap` means the
+            // consumer is done with this cell.
+            unsafe { (*self.cells[tail % cap].get()).write(env) };
+            self.tail.0.store(tail + 1, Ordering::Release);
+            return;
+        }
+        let mut q = self.overflow.lock().expect("overflow lock");
+        q.push_back(env);
+        self.overflow_len.store(q.len(), Ordering::Release);
+    }
+
+    /// Consumer side: ring first, then overflow.
+    fn try_pop(&self) -> Option<Envelope<T>> {
+        let cap = self.cells.len();
+        let head = self.head.0.load(Ordering::Relaxed);
+        if head < self.tail.0.load(Ordering::Acquire) {
+            // Safety: single consumer, and `head < tail` means the
+            // producer published this cell.
+            let env = unsafe { (*self.cells[head % cap].get()).assume_init_read() };
+            self.head.0.store(head + 1, Ordering::Release);
+            return Some(env);
+        }
+        if self.overflow_len.load(Ordering::Acquire) > 0 {
+            let mut q = self.overflow.lock().expect("overflow lock");
+            let env = q.pop_front();
+            self.overflow_len.store(q.len(), Ordering::Release);
+            return env;
+        }
+        None
+    }
+}
+
+/// Unconsumed envelopes are dropped with the ring (their slot leases
+/// release themselves).
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        let cap = self.cells.len();
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            // Safety: exclusive access (last Arc holder), and cells in
+            // `head..tail` are initialized.
+            unsafe { self.cells[i % cap].get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// Incremental backoff for the consumer's wait loops: spin briefly,
+/// yield, then sleep in short slices.
+struct Backoff(u32);
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff(0)
+    }
+
+    fn snooze(&mut self) {
+        if self.0 < 64 {
+            std::hint::spin_loop();
+        } else if self.0 < 192 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+        self.0 = self.0.saturating_add(1);
+    }
+}
+
+/// Sender half of a slot link.
+struct SlotTx<T> {
+    ring: Arc<Ring<T>>,
+    pool: Arc<SlotPool<T>>,
+}
+
+/// Receiver half of a slot link.
+struct SlotRx<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Build one directed slot link with `slots` payload slots (the
+/// envelope ring gets twice that, so it only overflows when the pool
+/// itself is oversubscribed).
+pub(crate) fn make_slot_link<T: Send + Sync + 'static>(
+    slots: usize,
+) -> (Box<dyn LinkTx<T>>, Box<dyn LinkRx<T>>) {
+    let slots = slots.max(1);
+    let ring = Ring::new(slots * 2);
+    let pool = SlotPool::new(slots);
+    (
+        Box::new(SlotTx {
+            ring: Arc::clone(&ring),
+            pool,
+        }),
+        Box::new(SlotRx { ring }),
+    )
+}
+
+/// How many backoff iterations a sender waits for a pool slot to free
+/// before falling back to an owned copy (~1 ms worst case): long enough
+/// that ordinary consumer lag always resolves inside it — the wait *is*
+/// the transport's backpressure — yet bounded so a lease parked forever
+/// (a fault-injected drop awaiting retransmission) degrades the sender
+/// to copies instead of deadlocking it.
+const STAGE_WAIT_BUDGET: u32 = 256;
+
+impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
+    fn stage(&mut self, stats: &mut PoolStats, fill: &mut dyn FnMut(&mut Vec<T>)) -> Payload<T> {
+        let mut claimed = self.pool.claim();
+        if claimed.is_none() {
+            // Every slot is leased: the producer has outrun the
+            // consumer (there is no other wire-level flow control — an
+            // eager-protocol `wait_send` completes immediately). Wait a
+            // bounded while for the consumer to release one.
+            let mut backoff = Backoff::new();
+            for _ in 0..STAGE_WAIT_BUDGET {
+                backoff.snooze();
+                claimed = self.pool.claim();
+                if claimed.is_some() {
+                    break;
+                }
+            }
+        }
+        match claimed {
+            Some(idx) => {
+                // Safety: the claim gives exclusive access until the
+                // lease below is created.
+                let buf = unsafe { &mut *self.pool.slots[idx].buf.get() };
+                let cap = buf.capacity();
+                fill(buf);
+                if buf.capacity() == cap {
+                    stats.recycled += 1;
+                } else {
+                    stats.fresh_allocs += 1; // slot grew: warm-up
+                }
+                let len = buf.len();
+                Payload::Lease(SlotLease {
+                    pool: Arc::clone(&self.pool),
+                    idx,
+                    len,
+                })
+            }
+            None => {
+                // Still nothing after the wait (a lease is parked in a
+                // retransmission ledger, or the consumer is truly
+                // wedged): fall back to an owned copy so the sender
+                // never blocks forever on its own pool.
+                stats.fresh_allocs += 1;
+                let mut buf = Vec::new();
+                fill(&mut buf);
+                Payload::Owned(buf)
+            }
+        }
+    }
+
+    fn push(&mut self, env: Envelope<T>) -> Result<(), LinkClosed> {
+        if self.ring.rx_gone.load(Ordering::Acquire) {
+            return Err(LinkClosed);
+        }
+        self.ring.push(env);
+        Ok(())
+    }
+}
+
+impl<T> Drop for SlotTx<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send + Sync> LinkRx<T> for SlotRx<T> {
+    fn try_pop(&mut self) -> Option<Envelope<T>> {
+        self.ring.try_pop()
+    }
+
+    fn pop_blocking(&mut self) -> Result<Envelope<T>, LinkClosed> {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(env) = self.ring.try_pop() {
+                return Ok(env);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                // The close flag is set after the producer's last push,
+                // so one more drain after observing it is definitive.
+                return self.ring.try_pop().ok_or(LinkClosed);
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn pop_timeout(&mut self, timeout: Duration) -> Result<Option<Envelope<T>>, LinkClosed> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(env) = self.ring.try_pop() {
+                return Ok(Some(env));
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                return match self.ring.try_pop() {
+                    Some(env) => Ok(Some(env)),
+                    None => Err(LinkClosed),
+                };
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn reclaim(&mut self, payload: Payload<T>, stats: &mut PoolStats) {
+        stats.returned += 1;
+        // Dropping a lease releases its slot; owned overflow copies
+        // just free.
+        drop(payload);
+    }
+}
+
+impl<T> Drop for SlotRx<T> {
+    fn drop(&mut self) {
+        self.ring.rx_gone.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Tag;
+
+    fn env(tag: Tag, val: u32) -> Envelope<u32> {
+        Envelope {
+            tag,
+            payload: Payload::Owned(vec![val]),
+            seq: 0,
+            ready_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn ring_overflow_preserves_fifo() {
+        // Capacity 2 ring (slots=1): push far more than fits, pop
+        // everything, and demand exact FIFO order across the
+        // ring → overflow → ring transitions.
+        let (mut tx, mut rx) = make_slot_link::<u32>(1);
+        let mut popped = Vec::new();
+        for round in 0..4u32 {
+            for i in 0..10u32 {
+                tx.push(env(0, round * 10 + i)).expect("rx alive");
+            }
+            for _ in 0..7 {
+                let e = rx.try_pop().expect("pushed more than popped");
+                popped.push(e.payload.as_slice()[0]);
+            }
+        }
+        while let Some(e) = rx.try_pop() {
+            popped.push(e.payload.as_slice()[0]);
+        }
+        let expected: Vec<u32> = (0..4).flat_map(|r| (0..10).map(move |i| r * 10 + i)).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn exhausted_pool_falls_back_to_owned_copies() {
+        let (mut tx, mut rx) = make_slot_link::<u32>(2);
+        let mut stats = PoolStats::default();
+        // Stage 5 payloads without consuming: 2 leases, then owned
+        // fallbacks — all still delivered in order.
+        for i in 0..5u32 {
+            let p = tx.stage(&mut stats, &mut |buf| {
+                buf.clear();
+                buf.extend_from_slice(&[i]);
+            });
+            tx.push(Envelope {
+                tag: 0,
+                payload: p,
+                seq: 0,
+                ready_at: Instant::now(),
+            })
+            .expect("rx alive");
+        }
+        assert_eq!(stats.fresh_allocs, 5, "2 slot warm-ups + 3 fallback copies");
+        for i in 0..5u32 {
+            let e = rx.try_pop().expect("queued");
+            assert_eq!(e.payload.as_slice(), &[i]);
+            rx.reclaim(e.payload, &mut stats);
+        }
+        assert_eq!(stats.returned, 5);
+    }
+
+    #[test]
+    fn slot_is_not_reused_while_a_lease_is_parked() {
+        let (mut tx, _rx) = make_slot_link::<u32>(1);
+        let mut stats = PoolStats::default();
+        let first = tx.stage(&mut stats, &mut |buf| {
+            buf.clear();
+            buf.extend_from_slice(&[7, 8]);
+        });
+        let mut first = first;
+        let parked = first.share(); // e.g. a retransmission-ledger entry
+        drop(first); // wire copy consumed
+        // The slot still has a live lease: staging again must not
+        // scribble over it.
+        let second = tx.stage(&mut stats, &mut |buf| {
+            buf.clear();
+            buf.extend_from_slice(&[9, 9]);
+        });
+        assert_eq!(parked.as_slice(), &[7, 8], "parked lease untouched");
+        assert!(
+            matches!(second, Payload::Owned(_)),
+            "exhausted pool must fall back to an owned copy"
+        );
+        drop(parked);
+        // Lease released: the slot (and its warm buffer) is reusable.
+        let third = tx.stage(&mut stats, &mut |buf| {
+            buf.clear();
+            buf.extend_from_slice(&[1, 2]);
+        });
+        assert!(matches!(third, Payload::Lease(_)));
+        assert_eq!(third.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn steady_state_staging_recycles_slot_buffers() {
+        let (mut tx, mut rx) = make_slot_link::<f32>(4);
+        let mut stats = PoolStats::default();
+        for step in 0..100 {
+            let p = tx.stage(&mut stats, &mut |buf| {
+                buf.clear();
+                buf.resize(64, step as f32);
+            });
+            tx.push(Envelope {
+                tag: step,
+                payload: p,
+                seq: 0,
+                ready_at: Instant::now(),
+            })
+            .expect("rx alive");
+            let e = rx.try_pop().expect("lockstep");
+            assert_eq!(e.payload.len(), 64);
+            rx.reclaim(e.payload, &mut stats);
+        }
+        // Lockstep reuses slot 0 after its single warm-up growth.
+        assert_eq!(stats.fresh_allocs, 1, "{stats:?}");
+        assert_eq!(stats.recycled, 99, "{stats:?}");
+        assert_eq!(stats.returned, 100, "{stats:?}");
+    }
+
+    #[test]
+    fn closed_link_reports_after_draining() {
+        let (mut tx, mut rx) = make_slot_link::<u32>(2);
+        tx.push(env(1, 42)).expect("rx alive");
+        drop(tx);
+        let e = rx
+            .pop_timeout(Duration::from_millis(100))
+            .expect("message before close")
+            .expect("not a timeout");
+        assert_eq!(e.payload.as_slice(), &[42]);
+        assert!(rx.pop_blocking().is_err(), "drained + closed");
+        assert!(rx.pop_timeout(Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn push_to_dropped_receiver_fails() {
+        let (mut tx, rx) = make_slot_link::<u32>(2);
+        drop(rx);
+        assert!(tx.push(env(0, 1)).is_err());
+    }
+
+    #[test]
+    fn cross_thread_spsc_delivers_everything_in_order() {
+        let (mut tx, mut rx) = make_slot_link::<u64>(4);
+        const N: u64 = 10_000;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut stats = PoolStats::default();
+                for i in 0..N {
+                    let p = tx.stage(&mut stats, &mut |buf| {
+                        buf.clear();
+                        buf.extend_from_slice(&[i]);
+                    });
+                    tx.push(Envelope {
+                        tag: 0,
+                        payload: p,
+                        seq: 0,
+                        ready_at: Instant::now(),
+                    })
+                    .expect("rx alive");
+                }
+            });
+            let mut stats = PoolStats::default();
+            for i in 0..N {
+                let e = rx.pop_blocking().expect("producer sends N");
+                assert_eq!(e.payload.as_slice(), &[i]);
+                rx.reclaim(e.payload, &mut stats);
+            }
+            assert!(rx.pop_blocking().is_err(), "producer dropped");
+        });
+    }
+}

@@ -18,11 +18,12 @@
 //! row's `i−1` neighbors are one contiguous slice (the previous strip
 //! row or a boundary splat), the `j−1` value is loop-carried, and the
 //! diagonal/west pair comes from a two-wide window over the neighbor
-//! row. The outgoing face column (stride `by`) packs into a persistent
-//! buffer; the halo column is contiguous, so receives land *directly*
-//! in `halo[i0..i1]` with no unpack step or scratch buffer.
-//! Steady-state steps allocate nothing. The element-wise original
-//! survives in [`crate::legacy`] as oracle and perf baseline.
+//! row. The outgoing face column (stride `by`) gathers straight into
+//! the transport's wire buffer and the received column copies straight
+//! from the wire payload into the contiguous halo window — no face or
+//! landing buffers at all. Steady-state steps allocate nothing. The
+//! element-wise original survives in [`crate::legacy`] as oracle and
+//! perf baseline.
 
 use crate::decomp::{self, DecompError};
 use crate::engine::{self, EngineError, NoopObserver, StepObserver, TileOps};
@@ -92,8 +93,6 @@ struct Strip2D<K> {
     gj0: i64,
     /// Boundary splat, `by` long: the `i−1` neighbor row of row 0.
     brow: Vec<f32>,
-    /// Persistent outgoing-face buffer (max tile height, sliced per step).
-    face_buf: Vec<f32>,
 }
 
 impl<K: Kernel2D> Strip2D<K> {
@@ -108,7 +107,6 @@ impl<K: Kernel2D> Strip2D<K> {
             down: (rank + 1 < d.ranks).then_some(rank + 1),
             gj0: (rank * d.by()) as i64,
             brow: vec![d.boundary; d.by()],
-            face_buf: vec![0.0; d.v.min(d.nx)],
         }
     }
 
@@ -165,29 +163,27 @@ impl<K: Kernel2D> TileOps for Strip2D<K> {
         DIR_J
     }
 
-    fn recv_buf(&mut self, _dir: usize, step: usize) -> &mut [f32] {
-        // The halo column is contiguous: receives land straight in it.
+    fn face_len(&self, _dir: usize, step: usize) -> usize {
         let (i0, i1) = self.d.irange(step);
-        &mut self.halo[i0..i1]
-    }
-
-    fn unpack(&mut self, _dir: usize, _step: usize) {
-        // Receives land in place; nothing to install.
-    }
-
-    fn pack(&mut self, _dir: usize, step: usize) -> usize {
-        // Pack the outgoing boundary column (j = by−1) rows of the tile.
-        let (i0, i1) = self.d.irange(step);
-        let by = self.d.by();
-        let col = by - 1;
-        for (out, i) in self.face_buf[..i1 - i0].iter_mut().zip(i0..i1) {
-            *out = self.strip[i * by + col];
-        }
         i1 - i0
     }
 
-    fn face(&self, _dir: usize) -> &[f32] {
-        &self.face_buf
+    fn pack_into(&mut self, _dir: usize, step: usize, out: &mut [f32]) {
+        // Gather the outgoing boundary column (j = by−1) of the tile
+        // straight into the wire buffer — no intermediate face buffer.
+        let (i0, i1) = self.d.irange(step);
+        let by = self.d.by();
+        let col = by - 1;
+        for (o, i) in out.iter_mut().zip(i0..i1) {
+            *o = self.strip[i * by + col];
+        }
+    }
+
+    fn unpack_from(&mut self, _dir: usize, step: usize, data: &[f32]) {
+        // The halo column is contiguous: the wire payload copies
+        // straight into its tile window.
+        let (i0, i1) = self.d.irange(step);
+        self.halo[i0..i1].copy_from_slice(data);
     }
 
     fn compute(&mut self, step: usize) {

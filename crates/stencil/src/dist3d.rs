@@ -24,9 +24,11 @@
 //! carries the `k−1` value in a register, and runs a zip over
 //! equal-length slices — no per-cell index arithmetic, no bounds checks,
 //! no boundary branches. Faces pack/unpack through the row-chunked
-//! [`crate::halo`] copies into persistent buffers, and sends/receives go
-//! through the `msgpass` persistent-buffer API, so a steady-state step
-//! performs zero heap allocations (asserted by `tests/zero_alloc.rs`).
+//! [`crate::halo`] copies straight to and from transport wire storage
+//! (on a slot-transport world, the peer-visible slot itself): there is
+//! no intermediate face or landing buffer at all, and a steady-state
+//! step performs zero heap allocations (asserted by
+//! `tests/zero_alloc.rs`).
 //! The original element-wise paths survive in [`crate::legacy`] as the
 //! property-test oracle and perf baseline.
 //!
@@ -127,19 +129,12 @@ struct Block3D<K> {
     /// Boundary splat, `nz` long: the "neighbor row" of cells whose
     /// `i−1`/`j−1` neighbor is outside the global grid.
     brow: Vec<f32>,
-    /// Persistent outgoing-face buffers (max tile size, sliced per step).
-    face_i_buf: Vec<f32>,
-    face_j_buf: Vec<f32>,
-    /// Persistent incoming-face buffers.
-    recv_i_buf: Vec<f32>,
-    recv_j_buf: Vec<f32>,
 }
 
 impl<K: Kernel3D> Block3D<K> {
     fn new(d: Decomp3D, kernel: K, rank: usize) -> Self {
         let grid = CartesianGrid::new(vec![d.pi, d.pj]);
         let coords = grid.coords_of(rank);
-        let vmax = d.v.min(d.nz);
         Block3D {
             d,
             kernel,
@@ -156,10 +151,6 @@ impl<K: Kernel3D> Block3D<K> {
             gi0: (coords[0] * d.bx()) as i64,
             gj0: (coords[1] * d.by()) as i64,
             brow: vec![d.boundary; d.nz],
-            face_i_buf: vec![0.0; d.by() * vmax],
-            face_j_buf: vec![0.0; d.bx() * vmax],
-            recv_i_buf: vec![0.0; d.by() * vmax],
-            recv_j_buf: vec![0.0; d.bx() * vmax],
         }
     }
 
@@ -178,8 +169,10 @@ impl<K: Kernel3D> Block3D<K> {
     /// Compute one tile (all of the block's cross-section over `krange`).
     ///
     /// Bitwise-identical to the element-wise reference in
-    /// [`crate::legacy`]: the arithmetic per cell is unchanged, only the
-    /// addressing is hoisted.
+    /// [`crate::legacy`]: each `(i, j)` pencil goes through
+    /// [`Kernel3D::eval_pencil`], whose overrides are bitwise-equal to
+    /// the scalar `eval` by contract — only addressing and
+    /// loop-invariant work are hoisted.
     fn compute_tile(&mut self, k: usize) {
         let kernel = self.kernel;
         let (k0, k1) = self.d.krange(k);
@@ -211,55 +204,13 @@ impl<K: Kernel3D> Block3D<K> {
                     &self.brow[k0..k1]
                 };
                 // k−1 dependence: seed from below the tile (or the
-                // boundary), then carry the freshly computed value.
-                let mut km1 = if k0 > 0 { rest[k0 - 1] } else { b };
-                let cur = &mut rest[k0..k1];
-                for (kz, (out, (&a, &c))) in
-                    (k0 as i64..).zip(cur.iter_mut().zip(im1.iter().zip(jm1)))
-                {
-                    let val = kernel.eval(gi, gj, kz, a, c, km1);
-                    *out = val;
-                    km1 = val;
-                }
+                // boundary), then let the kernel's pencil form carry it.
+                let km1 = if k0 > 0 { rest[k0 - 1] } else { b };
+                kernel.eval_pencil(gi, gj, k0 as i64, im1, jm1, km1, &mut rest[k0..k1]);
             }
         }
     }
 
-    /// Pack the outgoing `i`-face (i = bx−1) of step `k` into
-    /// `face_i_buf`; returns the packed length.
-    fn pack_face_i(&mut self, k: usize) -> usize {
-        let (k0, k1) = self.d.krange(k);
-        let len = k1 - k0;
-        let n = self.d.by() * len;
-        let base = (self.d.bx() - 1) * self.d.by() * self.d.nz;
-        halo::pack_rows(
-            &self.block,
-            base,
-            self.d.nz,
-            k0,
-            len,
-            &mut self.face_i_buf[..n],
-        );
-        n
-    }
-
-    /// Pack the outgoing `j`-face (j = by−1) of step `k` into
-    /// `face_j_buf`; returns the packed length.
-    fn pack_face_j(&mut self, k: usize) -> usize {
-        let (k0, k1) = self.d.krange(k);
-        let len = k1 - k0;
-        let n = self.d.bx() * len;
-        let base = (self.d.by() - 1) * self.d.nz;
-        halo::pack_rows(
-            &self.block,
-            base,
-            self.d.by() * self.d.nz,
-            k0,
-            len,
-            &mut self.face_j_buf[..n],
-        );
-        n
-    }
 }
 
 impl<K: Kernel3D> TileOps for Block3D<K> {
@@ -284,43 +235,41 @@ impl<K: Kernel3D> TileOps for Block3D<K> {
         }
     }
 
-    fn recv_buf(&mut self, dir: usize, step: usize) -> &mut [f32] {
+    fn face_len(&self, dir: usize, step: usize) -> usize {
         if dir == FACE_I {
-            let n = self.face_i_len(step);
-            &mut self.recv_i_buf[..n]
+            self.face_i_len(step)
         } else {
-            let n = self.face_j_len(step);
-            &mut self.recv_j_buf[..n]
+            self.face_j_len(step)
         }
     }
 
-    fn unpack(&mut self, dir: usize, step: usize) {
-        // Install the received face (already in its recv buffer) into
-        // the halo plane via the row-chunked copies.
+    fn pack_into(&mut self, dir: usize, step: usize, out: &mut [f32]) {
+        // Gather the outgoing face's rows straight into the wire buffer
+        // (the peer-visible slot on a slot-transport world) — the
+        // block-to-kernel-buffer copy of the paper's B₂ phase is this
+        // one strided copy, with no further staging behind it.
         let (k0, k1) = self.d.krange(step);
         let len = k1 - k0;
-        let (src, halo) = if dir == FACE_I {
-            (&self.recv_i_buf[..self.d.by() * len], &mut self.halo_i)
+        if dir == FACE_I {
+            let base = (self.d.bx() - 1) * self.d.by() * self.d.nz;
+            halo::pack_rows(&self.block, base, self.d.nz, k0, len, out);
         } else {
-            (&self.recv_j_buf[..self.d.bx() * len], &mut self.halo_j)
+            let base = (self.d.by() - 1) * self.d.nz;
+            halo::pack_rows(&self.block, base, self.d.by() * self.d.nz, k0, len, out);
+        }
+    }
+
+    fn unpack_from(&mut self, dir: usize, step: usize, data: &[f32]) {
+        // Scatter the received face directly from the wire payload into
+        // the halo plane — B₃ without an intermediate landing buffer.
+        let (k0, k1) = self.d.krange(step);
+        let len = k1 - k0;
+        let halo = if dir == FACE_I {
+            &mut self.halo_i
+        } else {
+            &mut self.halo_j
         };
-        halo::unpack_rows(src, halo, 0, self.d.nz, k0, len);
-    }
-
-    fn pack(&mut self, dir: usize, step: usize) -> usize {
-        if dir == FACE_I {
-            self.pack_face_i(step)
-        } else {
-            self.pack_face_j(step)
-        }
-    }
-
-    fn face(&self, dir: usize) -> &[f32] {
-        if dir == FACE_I {
-            &self.face_i_buf
-        } else {
-            &self.face_j_buf
-        }
+        halo::unpack_rows(data, halo, 0, self.d.nz, k0, len);
     }
 
     fn compute(&mut self, step: usize) {
@@ -527,7 +476,7 @@ pub fn run_paper3d_dist(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::{LongestPath3D, Relax3D};
+    use crate::kernel::{Fused3D, LongestPath3D, Relax3D};
     use crate::seq::{run_paper3d_seq, run_seq3d};
 
     fn check_matches_seq(d: Decomp3D, mode: ExecMode) {
@@ -689,6 +638,11 @@ mod tests {
                 run_dist3d(LongestPath3D, d, LatencyModel::zero(), mode).expect("valid");
             let seq = run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "LongestPath3D {mode:?}");
+
+            let (dist, _) =
+                run_dist3d(Fused3D::default(), d, LatencyModel::zero(), mode).expect("valid");
+            let seq = run_seq3d(Fused3D::default(), d.nx, d.ny, d.nz, d.boundary);
+            assert_eq!(dist.max_abs_diff(&seq), 0.0, "Fused3D {mode:?}");
         }
     }
 

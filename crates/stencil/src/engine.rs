@@ -222,9 +222,16 @@ impl ExecMode {
 
 /// One rank's tile pipeline, abstracted over dimensionality: the engine
 /// drives these operations from a [`StepPlan`], never touching grid
-/// layout itself. Directions index halo faces (`0..num_dirs()`); all
-/// buffers behind `recv_buf`/`face` are persistent, so steady-state
-/// steps allocate nothing.
+/// layout itself. Directions index halo faces (`0..num_dirs()`).
+///
+/// Faces move through *callbacks over wire storage* rather than through
+/// intermediate buffers: the engine hands [`TileOps::pack_into`] the
+/// transport's outgoing buffer (on a slot-transport world, the
+/// peer-visible slot itself) and [`TileOps::unpack_from`] the received
+/// payload in place, so a halo face is written exactly once by the
+/// sender and read exactly once by the receiver — the paper's B₂/B₃
+/// kernel-buffer copies disappear from the on-node path, and the
+/// steady-state step allocates nothing.
 pub trait TileOps {
     /// Number of halo directions (≤ [`MAX_DIRS`]).
     fn num_dirs(&self) -> usize;
@@ -238,22 +245,20 @@ pub trait TileOps {
     /// The wire-protocol direction code of `dir` (see [`crate::proto`]).
     fn wire_dir(&self, dir: usize) -> u64;
 
-    /// The persistent landing buffer for the `dir`-face of `step`,
-    /// sized exactly to the incoming message.
-    fn recv_buf(&mut self, dir: usize, step: usize) -> &mut [f32];
+    /// Element count of the `dir`-face of `step` (identical for the
+    /// incoming and outgoing side of a direction: neighbors exchange
+    /// congruent faces; the last tile of a pipeline may be partial).
+    fn face_len(&self, dir: usize, step: usize) -> usize;
 
-    /// Install the received `dir`-face of `step` (already in
-    /// [`TileOps::recv_buf`]) into the halo (a no-op where receives
-    /// land in place).
-    fn unpack(&mut self, dir: usize, step: usize);
+    /// Pack the outgoing `dir`-face of `step` into `out`, the
+    /// transport-owned wire buffer of exactly [`TileOps::face_len`]
+    /// elements. Every element must be written.
+    fn pack_into(&mut self, dir: usize, step: usize, out: &mut [f32]);
 
-    /// Pack the outgoing `dir`-face of `step` into the persistent face
-    /// buffer; returns the packed length.
-    fn pack(&mut self, dir: usize, step: usize) -> usize;
-
-    /// The persistent outgoing face buffer of `dir` (slice to the
-    /// length [`TileOps::pack`] returned).
-    fn face(&self, dir: usize) -> &[f32];
+    /// Install the received `dir`-face of `step` into the halo,
+    /// reading straight from the wire payload `data`
+    /// ([`TileOps::face_len`] elements).
+    fn unpack_from(&mut self, dir: usize, step: usize, data: &[f32]);
 
     /// Compute tile `step`.
     fn compute(&mut self, step: usize);
@@ -544,17 +549,136 @@ fn timed<O: StepObserver, R>(obs: &mut O, phase: Phase, f: impl FnOnce() -> R) -
         let start = Instant::now();
         let r = f();
         let end = Instant::now();
-        obs.on_phase(phase, start, end);
-        if !phase.is_cpu_lane() {
-            if let Some(th) = obs.stall_threshold() {
-                if end.duration_since(start) >= th {
-                    obs.on_stall(phase, start, end);
-                }
-            }
-        }
+        note(obs, phase, start, end);
         r
     } else {
         f()
+    }
+}
+
+/// Report an already-timed `[start, end]` interval as `phase`,
+/// including the stall check for communication-lane phases. Used where
+/// one transport call spans two phases (a receive whose payload is
+/// unpacked inside the callback, a send packed inside the callback):
+/// the callback records the interior split point and the two halves
+/// are reported as disjoint phase intervals.
+#[inline(always)]
+fn note<O: StepObserver>(obs: &mut O, phase: Phase, start: Instant, end: Instant) {
+    obs.on_phase(phase, start, end);
+    if !phase.is_cpu_lane() {
+        if let Some(th) = obs.stall_threshold() {
+            if end.duration_since(start) >= th {
+                obs.on_stall(phase, start, end);
+            }
+        }
+    }
+}
+
+/// Receive the `dir`-face of step `k` and unpack it in place from the
+/// wire payload: a posted request (`req = Some`, reported as
+/// [`Phase::WaitRecv`]) or a blocking receive (reported as
+/// [`Phase::Recv`]), followed by [`Phase::Unpack`] over the in-callback
+/// unpack span.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // the (peer, tag, dir, step, request) wire tuple is irreducible
+fn recv_unpack<T, C, O>(
+    comm: &mut C,
+    ops: &mut T,
+    obs: &mut O,
+    src: usize,
+    t: Tag,
+    dir: usize,
+    k: usize,
+    req: Option<msgpass::comm::RecvRequest>,
+) -> Result<(), CommError>
+where
+    T: TileOps,
+    C: Communicator<f32>,
+    O: StepObserver,
+{
+    let want = ops.face_len(dir, k);
+    let posted = req.is_some();
+    if O::ENABLED {
+        let start = Instant::now();
+        let mut span = (start, start);
+        let take = &mut |data: &[f32]| {
+            let u0 = Instant::now();
+            ops.unpack_from(dir, k, data);
+            span = (u0, Instant::now());
+        };
+        match req {
+            Some(r) => comm.try_wait_recv_with(r, want, take)?,
+            None => comm.try_recv_with(src, t, want, take)?,
+        }
+        let wait_phase = if posted {
+            Phase::WaitRecv { dir, step: k }
+        } else {
+            Phase::Recv { dir, step: k }
+        };
+        note(obs, wait_phase, start, span.0);
+        note(obs, Phase::Unpack { dir, step: k }, span.0, span.1);
+        Ok(())
+    } else {
+        let take = &mut |data: &[f32]| ops.unpack_from(dir, k, data);
+        match req {
+            Some(r) => comm.try_wait_recv_with(r, want, take),
+            None => comm.try_recv_with(src, t, want, take),
+        }
+    }
+}
+
+/// Pack the `dir`-face of step `k` straight into the transport's wire
+/// buffer and send it: blocking ([`Phase::Send`]) or posted
+/// (`post = true`, [`Phase::PostSend`], returning the request), with
+/// [`Phase::Pack`] reported over the in-callback pack span.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // the (peer, tag, dir, step, post) wire tuple is irreducible
+fn pack_send<T, C, O>(
+    comm: &mut C,
+    ops: &mut T,
+    obs: &mut O,
+    dst: usize,
+    t: Tag,
+    dir: usize,
+    k: usize,
+    post: bool,
+) -> Result<Option<msgpass::comm::SendRequest>, CommError>
+where
+    T: TileOps,
+    C: Communicator<f32>,
+    O: StepObserver,
+{
+    let len = ops.face_len(dir, k);
+    if O::ENABLED {
+        let start = Instant::now();
+        let mut packed = start;
+        let fill = &mut |out: &mut [f32]| {
+            ops.pack_into(dir, k, out);
+            packed = Instant::now();
+        };
+        let req = if post {
+            Some(comm.try_isend_with(dst, t, len, fill)?)
+        } else {
+            comm.try_send_with(dst, t, len, fill)?;
+            None
+        };
+        let end = Instant::now();
+        note(obs, Phase::Pack { dir, step: k }, start, packed);
+        let send_phase = if post {
+            Phase::PostSend { dir, step: k }
+        } else {
+            Phase::Send { dir, step: k }
+        };
+        note(obs, send_phase, packed, end);
+        Ok(req)
+    } else {
+        let fill = &mut |out: &mut [f32]| ops.pack_into(dir, k, out);
+        if post {
+            Ok(Some(comm.try_isend_with(dst, t, len, fill)?))
+        } else {
+            comm.try_send_with(dst, t, len, fill)?;
+            Ok(None)
+        }
     }
 }
 
@@ -613,22 +737,16 @@ where
         for dir in 0..dirs {
             if let Some(src) = ops.upstream(dir) {
                 let t = tag(k, ops.wire_dir(dir));
-                timed(obs, Phase::Recv { dir, step: k }, || {
-                    comm.try_recv_into(src, t, ops.recv_buf(dir, k))
-                })
-                .map_err(|e| EngineError::from_comm(rank, e))?;
-                timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
+                recv_unpack(comm, ops, obs, src, t, dir, k, None)
+                    .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
         timed(obs, Phase::Compute { step: k }, || ops.compute(k));
         for dir in 0..dirs {
             if let Some(dst) = ops.downstream(dir) {
-                let n = timed(obs, Phase::Pack { dir, step: k }, || ops.pack(dir, k));
                 let t = tag(k, ops.wire_dir(dir));
-                timed(obs, Phase::Send { dir, step: k }, || {
-                    comm.try_send_from(dst, t, &ops.face(dir)[..n])
-                })
-                .map_err(|e| EngineError::from_comm(rank, e))?;
+                pack_send(comm, ops, obs, dst, t, dir, k, false)
+                    .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
     }
@@ -677,30 +795,25 @@ where
                 None
             };
         }
-        // …and sends of the previous tile's results.
+        // …and sends of the previous tile's results, packed straight
+        // into wire storage (the peer-visible slot on a slot-transport
+        // world) so the face is copied exactly once.
         if k >= 1 {
             for (dir, slot) in sends.iter_mut().enumerate().take(dirs) {
                 if let Some(dst) = ops.downstream(dir) {
-                    let n = timed(obs, Phase::Pack { dir, step: k - 1 }, || {
-                        ops.pack(dir, k - 1)
-                    });
                     let t = tag(k - 1, ops.wire_dir(dir));
-                    let req = timed(obs, Phase::PostSend { dir, step: k - 1 }, || {
-                        comm.try_isend_from(dst, t, &ops.face(dir)[..n])
-                    })
-                    .map_err(|e| EngineError::from_comm(rank, e))?;
-                    *slot = Some(req);
+                    *slot = pack_send(comm, ops, obs, dst, t, dir, k - 1, true)
+                        .map_err(|e| EngineError::from_comm(rank, e))?;
                 }
             }
         }
         // Wait for this tile's inputs, then compute.
         for (dir, slot) in cur_recv.iter_mut().enumerate().take(dirs) {
             if let Some(req) = slot.take() {
-                timed(obs, Phase::WaitRecv { dir, step: k }, || {
-                    comm.try_wait_recv_into(req, ops.recv_buf(dir, k))
-                })
-                .map_err(|e| EngineError::from_comm(rank, e))?;
-                timed(obs, Phase::Unpack { dir, step: k }, || ops.unpack(dir, k));
+                // src/tag are carried by the request; placeholders are
+                // only used when req is None, which it is not here.
+                recv_unpack(comm, ops, obs, 0, 0, dir, k, Some(req))
+                    .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
         timed(obs, Phase::Compute { step: k }, || ops.compute(k));
@@ -717,14 +830,10 @@ where
     // Epilogue: ship the last tile's faces.
     for dir in 0..dirs {
         if let Some(dst) = ops.downstream(dir) {
-            let n = timed(obs, Phase::Pack { dir, step: steps - 1 }, || {
-                ops.pack(dir, steps - 1)
-            });
             let t = tag(steps - 1, ops.wire_dir(dir));
-            let req = timed(obs, Phase::PostSend { dir, step: steps - 1 }, || {
-                comm.try_isend_from(dst, t, &ops.face(dir)[..n])
-            })
-            .map_err(|e| EngineError::from_comm(rank, e))?;
+            let req = pack_send(comm, ops, obs, dst, t, dir, steps - 1, true)
+                .map_err(|e| EngineError::from_comm(rank, e))?
+                .expect("posted send returns a request");
             timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
                 comm.try_wait_send(req)
             })
@@ -790,16 +899,11 @@ mod tests {
         fn wire_dir(&self, dir: usize) -> u64 {
             dir as u64
         }
-        fn recv_buf(&mut self, _dir: usize, _step: usize) -> &mut [f32] {
-            &mut []
-        }
-        fn unpack(&mut self, _dir: usize, _step: usize) {}
-        fn pack(&mut self, _dir: usize, _step: usize) -> usize {
+        fn face_len(&self, _dir: usize, _step: usize) -> usize {
             0
         }
-        fn face(&self, _dir: usize) -> &[f32] {
-            &[]
-        }
+        fn pack_into(&mut self, _dir: usize, _step: usize, _out: &mut [f32]) {}
+        fn unpack_from(&mut self, _dir: usize, _step: usize, _data: &[f32]) {}
         fn compute(&mut self, _step: usize) {
             self.computed += 1;
         }

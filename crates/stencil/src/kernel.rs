@@ -30,6 +30,30 @@ pub trait Kernel3D: Copy + Send + Sync + 'static {
     /// Compute the value of cell `(i, j, k)` from its upstream values.
     fn eval(&self, i: i64, j: i64, k: i64, im1: f32, jm1: f32, km1: f32) -> f32;
 
+    /// Evaluate a whole `k`-pencil: cells `(i, j, k0..k0+out.len())`,
+    /// with `im1`/`jm1` the equal-length neighbor pencils and `km1`
+    /// seeding the loop-carried `k−1` dependence.
+    ///
+    /// This is the executors' inner loop. The default walks
+    /// [`Kernel3D::eval`] cell by cell — **bitwise identical** by
+    /// construction. Kernels override it to hoist loop-invariant work
+    /// out of the pencil and iterate over zipped slices (no bounds
+    /// checks, no per-cell index arithmetic), which is what lets the
+    /// compiler keep the non-carried part of the arithmetic in vector
+    /// registers; overrides must preserve each cell's exact operation
+    /// order so results stay bitwise equal to the scalar form (the
+    /// kernel tests assert this).
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors eval()'s per-cell signature, pencil-wide
+    fn eval_pencil(&self, i: i64, j: i64, k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+        let mut prev = km1;
+        for (kz, (o, (&a, &c))) in (k0..).zip(out.iter_mut().zip(im1.iter().zip(jm1))) {
+            let v = self.eval(i, j, kz, a, c, prev);
+            *o = v;
+            prev = v;
+        }
+    }
+
     /// The kernel's dependence set.
     fn deps(&self) -> DependenceSet {
         DependenceSet::paper_3d()
@@ -60,6 +84,20 @@ impl Kernel3D for Paper3D {
     fn eval(&self, _i: i64, _j: i64, _k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
         Paper3D::eval(im1, jm1, km1)
     }
+
+    // Carry √A(i,j,k−1) across the pencil: each cell then does two fresh
+    // square roots (vectorizable, no index math) plus the carried one.
+    // The scalar form adds `(√im1 + √jm1) + √km1` left-to-right, which
+    // is exactly this loop's order, so results are bitwise equal.
+    #[inline]
+    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+        let mut sk = km1.max(0.0).sqrt();
+        for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
+            let v = a.max(0.0).sqrt() + c.max(0.0).sqrt() + sk;
+            *o = v;
+            sk = v.max(0.0).sqrt();
+        }
+    }
 }
 
 /// A damped 3-D smoothing recurrence (successive-relaxation flavour):
@@ -80,6 +118,21 @@ impl Kernel3D for Relax3D {
     #[inline]
     fn eval(&self, _i: i64, _j: i64, _k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
         self.omega / 3.0 * (im1 + jm1 + km1)
+    }
+
+    // Hoist the `ω/3` division out of the pencil and pre-add the two
+    // non-carried neighbors. The scalar form is `(ω/3) · ((im1 + jm1)
+    // + km1)`, so `w · (s + prev)` performs the identical operations in
+    // the identical order — bitwise equal, one divide per pencil.
+    #[inline]
+    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+        let w = self.omega / 3.0;
+        let mut prev = km1;
+        for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
+            let v = w * (a + c + prev);
+            *o = v;
+            prev = v;
+        }
     }
 }
 
@@ -106,6 +159,47 @@ impl Kernel3D for LongestPath3D {
     #[inline]
     fn eval(&self, i: i64, j: i64, k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
         im1.max(jm1).max(km1) + cell_weight(i, j, k)
+    }
+}
+
+/// A fused-multiply-add anisotropic smoothing recurrence:
+/// `A = wa·A_{i−1} + wa·A_{j−1} + wc·A_{k−1}`, written with
+/// [`f32::mul_add`] in **both** the scalar and pencil forms so the two
+/// are bitwise identical by construction and the compiler can emit FMA
+/// instructions for the non-carried lanes. Contractive when
+/// `2·wa + wc < 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fused3D {
+    /// Weight of the `i−1` and `j−1` neighbors.
+    pub wa: f32,
+    /// Weight of the loop-carried `k−1` neighbor.
+    pub wc: f32,
+}
+
+impl Default for Fused3D {
+    fn default() -> Self {
+        Fused3D { wa: 0.45, wc: 0.09 }
+    }
+}
+
+impl Kernel3D for Fused3D {
+    #[inline]
+    fn eval(&self, _i: i64, _j: i64, _k: i64, im1: f32, jm1: f32, km1: f32) -> f32 {
+        im1.mul_add(self.wa, jm1.mul_add(self.wa, km1 * self.wc))
+    }
+
+    // Same fused expression over zipped slices: nothing to hoist, but
+    // the slice form drops the per-cell coordinate bookkeeping of the
+    // default and keeps the two FMAs in straight-line code.
+    #[inline]
+    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+        let (wa, wc) = (self.wa, self.wc);
+        let mut prev = km1;
+        for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
+            let v = a.mul_add(wa, c.mul_add(wa, prev * wc));
+            *o = v;
+            prev = v;
+        }
     }
 }
 
@@ -285,5 +379,55 @@ mod tests {
         let d = Example1::deps();
         assert_eq!(d.len(), 3);
         assert_eq!(d.dims(), 2);
+    }
+
+    #[test]
+    fn fused3d_is_contraction() {
+        let k = Fused3D::default();
+        let v = Kernel3D::eval(&k, 0, 0, 0, 1.0, 1.0, 1.0);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    /// Walk `eval` cell by cell with the loop-carried `k−1` value —
+    /// the reference the pencil overrides must match bitwise.
+    fn scalar_pencil<K: Kernel3D>(k: &K, i: i64, j: i64, k0: i64, im1: &[f32], jm1: &[f32], km1: f32) -> Vec<f32> {
+        let mut prev = km1;
+        let mut out = Vec::with_capacity(im1.len());
+        for (n, (&a, &c)) in im1.iter().zip(jm1).enumerate() {
+            let v = k.eval(i, j, k0 + n as i64, a, c, prev);
+            out.push(v);
+            prev = v;
+        }
+        out
+    }
+
+    fn check_pencil_bitwise<K: Kernel3D>(kernel: K, name: &str) {
+        // Deterministic awkward data: mixed signs and magnitudes so the
+        // `max(0.0)` guards and non-associative sums are exercised.
+        for (len, seed) in [(1usize, 3u64), (7, 17), (64, 255), (129, 4096)] {
+            let gen = |s: u64, n: usize| {
+                let w = cell_weight(s as i64, n as i64, len as i64);
+                (w - 0.5) * 8.0 * if n.is_multiple_of(3) { -1.0 } else { 1.0 }
+            };
+            let im1: Vec<f32> = (0..len).map(|n| gen(seed, n)).collect();
+            let jm1: Vec<f32> = (0..len).map(|n| gen(seed ^ 0xFF, n)).collect();
+            let km1 = gen(seed ^ 0xABCD, len);
+            let want = scalar_pencil(&kernel, 5, -2, 11, &im1, &jm1, km1);
+            let mut got = vec![0.0f32; len];
+            kernel.eval_pencil(5, -2, 11, &im1, &jm1, km1, &mut got);
+            for (n, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{name}: cell {n} of {len} differs: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pencil_matches_scalar_bitwise() {
+        check_pencil_bitwise(Paper3D, "paper3d");
+        check_pencil_bitwise(Relax3D::default(), "relax3d");
+        check_pencil_bitwise(Relax3D { omega: 0.37 }, "relax3d-0.37");
+        check_pencil_bitwise(LongestPath3D, "longest-path");
+        check_pencil_bitwise(Fused3D::default(), "fused3d");
+        check_pencil_bitwise(Fused3D { wa: 0.3, wc: 0.25 }, "fused3d-0.3");
     }
 }

@@ -20,6 +20,7 @@
 //! | [`kernel::Paper3D`] | 3 | the paper's `√A(i−1)+√A(j−1)+√A(k−1)` |
 //! | [`kernel::Relax3D`] | 3 | damped smoothing `ω/3·(…)` |
 //! | [`kernel::LongestPath3D`] | 3 | max-plus lattice paths |
+//! | [`kernel::Fused3D`] | 3 | FMA smoothing `wa·A(i−1)+wa·A(j−1)+wc·A(k−1)` |
 //! | [`kernel::Example1`] | 2 | the §3 Example 1 sum (damped) |
 //! | [`kernel::Alignment2D`] | 2 | LCS-style sequence alignment DP |
 //! | [`kernel::Smooth2D`] | 2 | axis-dependence Gauss–Seidel sweep |
@@ -67,7 +68,8 @@ pub mod prelude {
     };
     pub use crate::grid::{Grid2D, Grid3D};
     pub use crate::kernel::{
-        Alignment2D, Example1, Kernel2D, Kernel3D, LongestPath3D, Paper3D, Relax3D, Smooth2D,
+        Alignment2D, Example1, Fused3D, Kernel2D, Kernel3D, LongestPath3D, Paper3D, Relax3D,
+        Smooth2D,
     };
     pub use crate::seq::{
         measure_t_c_paper3d, run_example1_seq, run_paper3d_seq, run_seq2d, run_seq3d,

@@ -63,8 +63,16 @@ fn recoverable_plan(seed: u64) -> FaultPlan {
         .with_delay_spikes(0.20, Duration::from_micros(500))
 }
 
-fn chaos_world(seed: u64) -> WorldConfig {
+/// Both transports under test: the mpsc fallback and the zero-copy
+/// shared-slot rings. The fault layer works on [`Payload`] handles, so
+/// every chaos contract must hold identically on both.
+fn transports() -> [TransportKind; 2] {
+    [TransportKind::Mpsc, TransportKind::shared_slots()]
+}
+
+fn chaos_world(seed: u64, transport: TransportKind) -> WorldConfig {
     WorldConfig::new(LatencyModel::zero())
+        .with_transport(transport)
         .with_reliability(ReliabilityConfig {
             recv_timeout: Duration::from_millis(50),
             max_retries: 6,
@@ -83,19 +91,26 @@ fn chaos_2d_recoverable_faults_preserve_bitwise_results() {
         boundary: 1.5,
     };
     let seq = run_example1_seq(d.nx, d.ny, d.boundary);
-    for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
-        let seed = chaos_seed() + i as u64;
-        let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
-            run_dist2d_with(Example1, d, &chaos_world(seed), mode)
-        })
-        .unwrap_or_else(|e| panic!("{mode:?} failed under recoverable faults: {e}"));
-        assert_eq!(
-            grid.max_abs_diff(&seq),
-            0.0,
-            "{mode:?} result differs under faults"
-        );
-        let total: u64 = stats.iter().map(|s| s.total_injected()).sum();
-        assert!(total > 0, "{mode:?}: the plan injected nothing — test is vacuous");
+    for transport in transports() {
+        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
+            let seed = chaos_seed() + i as u64;
+            let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
+                run_dist2d_with(Example1, d, &chaos_world(seed, transport), mode)
+            })
+            .unwrap_or_else(|e| {
+                panic!("{mode:?}/{transport:?} failed under recoverable faults: {e}")
+            });
+            assert_eq!(
+                grid.max_abs_diff(&seq),
+                0.0,
+                "{mode:?}/{transport:?} result differs under faults"
+            );
+            let total: u64 = stats.iter().map(|s| s.total_injected()).sum();
+            assert!(
+                total > 0,
+                "{mode:?}/{transport:?}: the plan injected nothing — test is vacuous"
+            );
+        }
     }
 }
 
@@ -111,19 +126,84 @@ fn chaos_3d_recoverable_faults_preserve_bitwise_results() {
         boundary: 2.0,
     };
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
-    for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
-        let seed = chaos_seed() ^ (0x3D00 + i as u64);
+    for transport in transports() {
+        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
+            let seed = chaos_seed() ^ (0x3D00 + i as u64);
+            let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
+                run_dist3d_with(Paper3D, d, &chaos_world(seed, transport), mode)
+            })
+            .unwrap_or_else(|e| {
+                panic!("{mode:?}/{transport:?} failed under recoverable faults: {e}")
+            });
+            assert_eq!(
+                grid.max_abs_diff(&seq),
+                0.0,
+                "{mode:?}/{transport:?} result differs under faults"
+            );
+            let total: u64 = stats.iter().map(|s| s.total_injected()).sum();
+            assert!(
+                total > 0,
+                "{mode:?}/{transport:?}: the plan injected nothing — test is vacuous"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_3d_slot_lease_retransmission_is_bitwise_exact() {
+    // The zero-copy corner case: a dropped message whose payload is a
+    // *shared slot lease*. The ledger parking must keep the slot alive
+    // (refcount, not a copy) while later sends keep flowing through the
+    // same pool; the receiver's timeout recovery must then read the
+    // parked lease's bits, not a recycled slot's. Target a mid-pipeline
+    // drop on both wire directions and require both recoveries and a
+    // bitwise-exact grid.
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz: 32,
+        pi: 2,
+        pj: 2,
+        v: 4,
+        boundary: 1.0,
+    };
+    let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
+    for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_transport(TransportKind::shared_slots())
+            .with_reliability(ReliabilityConfig {
+                recv_timeout: Duration::from_millis(20),
+                max_retries: 6,
+                backoff: Duration::from_millis(1),
+            })
+            .with_faults(
+                FaultPlan::seeded(chaos_seed())
+                    .targeted(FaultSite {
+                        src: 0,
+                        dst: 2,
+                        tag: stencil::proto::tag(3, stencil::proto::DIR_I),
+                        kind: FaultKind::Drop,
+                    })
+                    .targeted(FaultSite {
+                        src: 1,
+                        dst: 3,
+                        tag: stencil::proto::tag(4, stencil::proto::DIR_I),
+                        kind: FaultKind::Drop,
+                    }),
+            );
         let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
-            run_dist3d_with(Paper3D, d, &chaos_world(seed), mode)
+            run_dist3d_with(Paper3D, d, &cfg, mode)
         })
-        .unwrap_or_else(|e| panic!("{mode:?} failed under recoverable faults: {e}"));
+        .unwrap_or_else(|e| panic!("{mode:?} failed to recover a dropped slot lease: {e}"));
         assert_eq!(
             grid.max_abs_diff(&seq),
             0.0,
-            "{mode:?} result differs under faults"
+            "{mode:?}: retransmitted slot lease delivered stale or wrong bits"
         );
-        let total: u64 = stats.iter().map(|s| s.total_injected()).sum();
-        assert!(total > 0, "{mode:?}: the plan injected nothing — test is vacuous");
+        let dropped: u64 = stats.iter().map(|s| s.dropped).sum();
+        let recovered: u64 = stats.iter().map(|s| s.recovered).sum();
+        assert_eq!(dropped, 2, "{mode:?}: both targeted drops must fire");
+        assert_eq!(recovered, 2, "{mode:?}: both parked leases must be recovered");
     }
 }
 
@@ -213,7 +293,12 @@ proptest! {
     ) {
         let d = Decomp2D { nx, ny: ranks * by, ranks, v, boundary: 1.0 };
         let seq = run_example1_seq(d.nx, d.ny, d.boundary);
-        let cfg = chaos_world(chaos_seed() ^ seed);
+        let transport = if seed % 2 == 0 {
+            TransportKind::Mpsc
+        } else {
+            TransportKind::shared_slots()
+        };
+        let cfg = chaos_world(chaos_seed() ^ seed, transport);
         let (grid, _, _) = with_watchdog(Duration::from_secs(60), move || {
             run_dist2d_with(Example1, d, &cfg, ExecMode::Overlapping)
         }).expect("recoverable plan must complete");

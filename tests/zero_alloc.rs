@@ -19,8 +19,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use msgpass::thread_backend::{run_threads, LatencyModel, PoolStats};
-use stencil::dist3d::{run_dist3d, run_rank3d, Decomp3D, ExecMode};
+use msgpass::thread_backend::{run_threads, LatencyModel, PoolStats, WorldConfig};
+use msgpass::transport::TransportKind;
+use stencil::dist3d::{run_dist3d, run_dist3d_with, run_rank3d, Decomp3D, ExecMode};
 use stencil::kernel::Relax3D;
 
 struct CountingAlloc;
@@ -95,6 +96,56 @@ fn overlap_3d_steady_state_steps_allocate_nothing() {
     assert_eq!(
         short, long,
         "allocation count grew with step count: {short} allocs at 4 steps vs {long} at 16"
+    );
+}
+
+/// Allocation count of one full 2×2-rank overlapping run on the
+/// shared-slot transport; minimum over trials sheds scheduler noise
+/// (a descheduled receiver can push the sender one slot deeper into
+/// the pool, costing an extra first-use buffer growth).
+fn count_slot_world_run(nz: usize) -> u64 {
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz,
+        pi: 2,
+        pj: 2,
+        v: 4,
+        boundary: 1.0,
+    };
+    let cfg = WorldConfig::new(LatencyModel::zero()).with_transport(TransportKind::shared_slots());
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let (grid, _, _) = run_dist3d_with(Relax3D::default(), d, &cfg, ExecMode::Overlapping)
+            .expect("valid decomp");
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert!(grid.data().iter().all(|x| x.is_finite()));
+        best = best.min(after - before);
+    }
+    best
+}
+
+#[test]
+fn slot_transport_multi_rank_steps_allocate_nothing() {
+    let _guard = lock();
+    // Warm up lazy runtime state outside the measured window.
+    let _ = count_slot_world_run(16);
+    // 8 steps vs 64 steps across a real 2×2 world: faces pack straight
+    // into the peer-visible slots and unpack straight out of them, so
+    // once each link's working slots have grown their buffers the
+    // per-step path — compute, pack, wire, unpack — performs zero heap
+    // allocations. A leak of even one allocation per message would add
+    // ≥ 224 allocations to the longer run (56 extra steps × 4 wire
+    // messages per step); the allowed slack only covers warm-up breadth
+    // (how many of a link's 8 slots grow a buffer depends on how far
+    // the producer gets ahead, ±a few per link).
+    let short = count_slot_world_run(32);
+    let long = count_slot_world_run(256);
+    assert!(
+        long <= short + 32,
+        "slot-transport steady state allocates per step: \
+         {short} allocs over 8 steps vs {long} over 64"
     );
 }
 
