@@ -18,6 +18,61 @@ else
     echo "ci.sh: cargo-clippy not installed, skipping lint" >&2
 fi
 
+# SAFETY lint: every line using the `unsafe` keyword in library, bin or
+# test sources must carry a `// SAFETY:` comment within the three lines
+# above it (or on the line itself). Attribute mentions like
+# `forbid(unsafe_code)` don't use the bare token and are not matched;
+# comment lines are skipped.
+find crates src tests -name '*.rs' -print | sort | xargs awk '
+    FNR == 1 { ctx[0] = ctx[1] = ctx[2] = ctx[3] = "" }
+    {
+        stripped = $0
+        sub(/^[ \t]+/, "", stripped)
+        is_comment = (stripped ~ /^\/\//)
+        if (!is_comment && $0 ~ /(^|[^_[:alnum:]])unsafe([^_[:alnum:]]|$)/) {
+            ok = ($0 ~ /SAFETY:/)
+            for (i = 1; i <= 3 && !ok; i++)
+                if (FNR > i && ctx[(FNR - i) % 4] ~ /SAFETY:/) ok = 1
+            if (!ok) {
+                printf "%s:%d: unsafe without a SAFETY: comment\n", FILENAME, FNR
+                bad = 1
+            }
+        }
+        ctx[FNR % 4] = $0
+    }
+    END { exit bad }
+' || {
+    echo "ci.sh: SAFETY lint failed — annotate every unsafe site" >&2
+    exit 1
+}
+
+# Static analysis gate: pre-flight every shipped configuration, prove
+# the seeded-bad chaos plans are rejected with their typed errors, and
+# exhaustively model-check the SPSC slot ring (the command exits
+# nonzero on any violation).
+cargo run --release -q -p bench --bin paper -- analyze
+
+# The mini-loom interleaving suite must run (and pass) explicitly, so a
+# filtered-out or renamed suite can't silently drop the coverage.
+mc_out=$(cargo test -q -p msgpass modelcheck 2>&1) || {
+    echo "$mc_out"
+    echo "ci.sh: msgpass modelcheck suite failed" >&2
+    exit 1
+}
+echo "$mc_out" | grep -q "0 failed" || {
+    echo "$mc_out"
+    echo "ci.sh: msgpass modelcheck suite did not report a clean pass" >&2
+    exit 1
+}
+
+# Miri hunts UB in the unsafe slot-transport paths when the component
+# is installed; degrade gracefully on minimal toolchains.
+if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p msgpass
+else
+    echo "ci.sh: cargo-miri not installed, skipping UB check" >&2
+fi
+
 # Perf gate. The committed BENCH_stencil.json is the reference: it must
 # carry the transport-ablation rows (mpsc vs shared-slots). A quick
 # benchmark run (shorter pipeline, separate output file) then re-measures

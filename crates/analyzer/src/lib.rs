@@ -1,0 +1,224 @@
+//! # analyzer — pre-flight static analysis of distributed tile plans
+//!
+//! The chaos layer (`msgpass::faults`) and the reliability ledger prove
+//! the runtime *recovers* from injected failures; this crate proves a
+//! plan is *well-formed before any thread spawns*. Given a
+//! [`StepPlan`], a [`RankTopology`] describing who exchanges which
+//! halo faces, and the algorithm's [`DependenceSet`], the analyzer:
+//!
+//! 1. verifies the schedule is legal — `Π·d^S > 0` for every
+//!    dependence, plus the eq.-4 overlap ordering (a cross-processor
+//!    dependence must advance ≥ 2 time steps, because its face spends
+//!    one full step in flight);
+//! 2. replays the engine's event loops symbolically into a
+//!    [`CommPlan`] and matches every staged send against its peer's
+//!    receive on (rank, tag, size, step);
+//! 3. symbolically executes the plan under the transport's semantics
+//!    (eager sends, blocking receives) and, if it wedges, extracts the
+//!    deadlock cycle from the SCC of the cross-rank wait-for graph.
+//!
+//! Failures are typed [`AnalysisError`]s naming the offending (rank,
+//! step, tag) — the information a hang destroys. The stencil engine
+//! runs [`analyze`] up front on every `run_dist*` entry point (opt out
+//! with `WorldConfig::without_preflight` for benchmarks); `paper
+//! analyze` sweeps every shipped configuration through it.
+//!
+//! [`StepPlan`]: tiling_core::schedule::StepPlan
+//! [`DependenceSet`]: tiling_core::dependence::DependenceSet
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod check;
+pub mod error;
+pub mod plan;
+
+pub use check::{
+    analyze, check_comm_plan, check_deadlock, check_matching, check_schedule, AnalysisReport,
+};
+pub use error::{AnalysisError, Tag, WaitPoint};
+pub use plan::{CommPlan, PlanOp, RankProgram, RankTopology};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling_core::dependence::DependenceSet;
+    use tiling_core::schedule::{StepPlan, StepStrategy};
+
+    /// A 1-D chain of `ranks` processors exchanging one face per step
+    /// downstream — the shape of the 2-D strip decomposition.
+    struct Chain {
+        ranks: usize,
+        face: usize,
+    }
+
+    impl RankTopology for Chain {
+        fn ranks(&self) -> usize {
+            self.ranks
+        }
+        fn num_dirs(&self) -> usize {
+            1
+        }
+        fn upstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+            rank.checked_sub(1)
+        }
+        fn downstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+            (rank + 1 < self.ranks).then_some(rank + 1)
+        }
+        fn wire_dir(&self, _dir: usize) -> u64 {
+            1
+        }
+        fn face_len(&self, _rank: usize, _dir: usize, _step: usize) -> usize {
+            self.face
+        }
+    }
+
+    fn chain() -> Chain {
+        Chain { ranks: 3, face: 8 }
+    }
+
+    #[test]
+    fn blocking_chain_plan_is_clean() {
+        let plan = StepPlan::new(StepStrategy::Blocking, 4);
+        let report = analyze(
+            &chain(),
+            &plan,
+            &[1, 1],
+            0,
+            &DependenceSet::example_1(),
+        )
+        .expect("legal plan");
+        assert_eq!(report.ranks, 3);
+        assert_eq!(report.steps, 4);
+        // 2 interior channels × 4 steps.
+        assert_eq!(report.messages, 8);
+        // Eq. 3: P(g) = hops + steps = 2 + 4.
+        assert_eq!(report.logical_makespan, 6);
+    }
+
+    #[test]
+    fn overlap_chain_plan_is_clean() {
+        let plan = StepPlan::new(StepStrategy::Overlap, 4);
+        let report = analyze(
+            &chain(),
+            &plan,
+            &[1, 2],
+            0,
+            &DependenceSet::example_1(),
+        )
+        .expect("legal plan");
+        assert_eq!(report.messages, 8);
+        // Eq. 4: 2·hops + steps = 4 + 4.
+        assert_eq!(report.logical_makespan, 8);
+    }
+
+    #[test]
+    fn zero_step_plan_is_trivially_clean() {
+        let plan = StepPlan::new(StepStrategy::Overlap, 0);
+        let report = analyze(
+            &chain(),
+            &plan,
+            &[1, 2],
+            0,
+            &DependenceSet::example_1(),
+        )
+        .expect("empty plan");
+        assert_eq!(report.events, 0);
+        assert_eq!(report.messages, 0);
+        assert_eq!(report.logical_makespan, 0);
+    }
+
+    #[test]
+    fn comm_plan_event_orders_match_engine_shape() {
+        let topo = chain();
+        let blocking = CommPlan::build(&topo, &StepPlan::new(StepStrategy::Blocking, 2));
+        // Rank 1 (interior): recv, compute, send per step.
+        assert_eq!(
+            blocking.programs[1].ops,
+            vec![
+                PlanOp::Recv { from: 0, tag: 1, len: 8, step: 0 },
+                PlanOp::Compute { step: 0 },
+                PlanOp::Send { to: 2, tag: 1, len: 8, step: 0 },
+                PlanOp::Recv { from: 0, tag: 3, len: 8, step: 1 },
+                PlanOp::Compute { step: 1 },
+                PlanOp::Send { to: 2, tag: 3, len: 8, step: 1 },
+            ]
+        );
+        let overlap = CommPlan::build(&topo, &StepPlan::new(StepStrategy::Overlap, 2));
+        assert_eq!(
+            overlap.programs[1].ops,
+            vec![
+                PlanOp::PostRecv { from: 0, tag: 1, len: 8, step: 0 },
+                PlanOp::PostRecv { from: 0, tag: 3, len: 8, step: 1 },
+                PlanOp::WaitRecv { from: 0, tag: 1, step: 0 },
+                PlanOp::Compute { step: 0 },
+                PlanOp::PostSend { to: 2, tag: 1, len: 8, step: 0 },
+                PlanOp::WaitRecv { from: 0, tag: 3, step: 1 },
+                PlanOp::Compute { step: 1 },
+                PlanOp::WaitSend { step: 0 },
+                PlanOp::PostSend { to: 2, tag: 3, len: 8, step: 1 },
+                PlanOp::WaitSend { step: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn size_mismatch_is_detected() {
+        /// A chain whose interior rank stages a bigger face than its
+        /// downstream peer expects.
+        struct Lopsided;
+        impl RankTopology for Lopsided {
+            fn ranks(&self) -> usize {
+                2
+            }
+            fn num_dirs(&self) -> usize {
+                1
+            }
+            fn upstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+                rank.checked_sub(1)
+            }
+            fn downstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+                (rank == 0).then_some(1)
+            }
+            fn wire_dir(&self, _dir: usize) -> u64 {
+                0
+            }
+            fn face_len(&self, rank: usize, _dir: usize, _step: usize) -> usize {
+                if rank == 0 {
+                    16
+                } else {
+                    12
+                }
+            }
+        }
+        let plan = StepPlan::new(StepStrategy::Blocking, 1);
+        let err = analyze(&Lopsided, &plan, &[1, 1], 0, &DependenceSet::example_1())
+            .expect_err("sizes disagree");
+        assert_eq!(
+            err,
+            AnalysisError::SizeMismatch {
+                from: 0,
+                to: 1,
+                tag: 0,
+                step: 0,
+                send_len: 16,
+                recv_len: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn errors_render_their_coordinates() {
+        let e = AnalysisError::UnmatchedSend {
+            from: 2,
+            to: 3,
+            tag: 7,
+            step: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("tag 7"), "{s}");
+        assert!(s.contains("step 1"), "{s}");
+    }
+}

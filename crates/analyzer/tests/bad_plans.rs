@@ -1,0 +1,236 @@
+//! The analyzer's acceptance gauntlet: four known-bad inputs, each of
+//! which must be rejected with its *specific* typed error — never a
+//! hang, never a generic failure.
+
+use analyzer::{
+    check_comm_plan, check_schedule, AnalysisError, CommPlan, PlanOp, RankProgram, WaitPoint,
+};
+use tiling_core::dependence::DependenceSet;
+use tiling_core::schedule::{StepPlan, StepStrategy};
+
+fn world(programs: Vec<Vec<PlanOp>>) -> CommPlan {
+    CommPlan {
+        programs: programs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ops)| RankProgram { rank, ops })
+            .collect(),
+    }
+}
+
+/// Bad input 1: sender stages tag 5, receiver expects tag 7 on the
+/// same channel and step.
+#[test]
+fn mismatched_tag_plan_is_rejected() {
+    let plan = world(vec![
+        vec![PlanOp::Send {
+            to: 1,
+            tag: 5,
+            len: 8,
+            step: 0,
+        }],
+        vec![PlanOp::Recv {
+            from: 0,
+            tag: 7,
+            len: 8,
+            step: 0,
+        }],
+    ]);
+    assert_eq!(
+        check_comm_plan(&plan),
+        Err(AnalysisError::TagMismatch {
+            from: 0,
+            to: 1,
+            step: 0,
+            sent: 5,
+            expected: 7,
+        })
+    );
+}
+
+/// Bad input 2: a send whose peer never posts any receive.
+#[test]
+fn send_without_receive_is_rejected() {
+    let plan = world(vec![
+        vec![
+            PlanOp::Compute { step: 0 },
+            PlanOp::Send {
+                to: 1,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+        ],
+        vec![PlanOp::Compute { step: 0 }],
+    ]);
+    assert_eq!(
+        check_comm_plan(&plan),
+        Err(AnalysisError::UnmatchedSend {
+            from: 0,
+            to: 1,
+            tag: 0,
+            step: 0,
+        })
+    );
+}
+
+/// Bad input 3: a two-rank wait-for cycle. Every message has a
+/// matching peer — the matcher passes — but each rank's blocking
+/// receive precedes the send its peer is waiting for, so symbolic
+/// execution wedges and SCC analysis names the cycle.
+#[test]
+fn cyclic_wait_for_graph_is_rejected_as_deadlock() {
+    let plan = world(vec![
+        vec![
+            PlanOp::Recv {
+                from: 1,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Send {
+                to: 1,
+                tag: 1,
+                len: 4,
+                step: 0,
+            },
+        ],
+        vec![
+            PlanOp::Recv {
+                from: 0,
+                tag: 1,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Send {
+                to: 0,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+        ],
+    ]);
+    assert_eq!(
+        check_comm_plan(&plan),
+        Err(AnalysisError::Deadlock {
+            cycle: vec![
+                WaitPoint {
+                    rank: 0,
+                    from: 1,
+                    tag: 0,
+                    step: 0,
+                },
+                WaitPoint {
+                    rank: 1,
+                    from: 0,
+                    tag: 1,
+                    step: 0,
+                },
+            ],
+        })
+    );
+}
+
+/// Bad input 4: an illegal schedule — `Π = [1, −1]` gives
+/// `Π·(1,1) = 0` for Example 1's diagonal dependence.
+#[test]
+fn illegal_schedule_is_rejected() {
+    let plan = StepPlan::new(StepStrategy::Blocking, 4);
+    assert_eq!(
+        check_schedule(&plan, &[1, -1], 0, &DependenceSet::example_1()),
+        Err(AnalysisError::IllegalSchedule {
+            pi: vec![1, -1],
+            dep: vec![1, 1],
+            dot: 0,
+        })
+    );
+}
+
+/// The overlap ordering check (eq. 4): a legal-but-too-tight schedule
+/// where a cross-processor dependence advances only 1 time step.
+#[test]
+fn overlap_ordering_violation_is_rejected() {
+    let plan = StepPlan::new(StepStrategy::Overlap, 4);
+    // Π = [1, 2] with mapping dim 1: dependence (1, 0) crosses ranks
+    // (nonzero off the mapping dim) but only advances 1.
+    assert_eq!(
+        check_schedule(&plan, &[1, 2], 1, &DependenceSet::example_1()),
+        Err(AnalysisError::OverlapOrderingViolation {
+            pi: vec![1, 2],
+            dep: vec![1, 0],
+            dot: 1,
+        })
+    );
+}
+
+/// A receive with no matching send anywhere — distinct from the
+/// deadlock case (which only fires when matching succeeds).
+#[test]
+fn receive_without_send_is_rejected() {
+    let plan = world(vec![
+        vec![PlanOp::Compute { step: 0 }],
+        vec![PlanOp::Recv {
+            from: 0,
+            tag: 2,
+            len: 4,
+            step: 1,
+        }],
+    ]);
+    assert_eq!(
+        check_comm_plan(&plan),
+        Err(AnalysisError::UnmatchedReceive {
+            rank: 1,
+            from: 0,
+            tag: 2,
+            step: 1,
+        })
+    );
+}
+
+/// Order sensitivity inside one channel is legal for the engine's
+/// plans (tags disambiguate steps); a plan that reuses one tag twice
+/// with different payload sizes must still be caught.
+#[test]
+fn reused_tag_with_diverging_sizes_is_rejected() {
+    let plan = world(vec![
+        vec![
+            PlanOp::Send {
+                to: 1,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Send {
+                to: 1,
+                tag: 0,
+                len: 6,
+                step: 1,
+            },
+        ],
+        vec![
+            PlanOp::Recv {
+                from: 0,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Recv {
+                from: 0,
+                tag: 0,
+                len: 4,
+                step: 1,
+            },
+        ],
+    ]);
+    assert_eq!(
+        check_comm_plan(&plan),
+        Err(AnalysisError::SizeMismatch {
+            from: 0,
+            to: 1,
+            tag: 0,
+            step: 1,
+            send_len: 6,
+            recv_len: 4,
+        })
+    );
+}

@@ -469,6 +469,180 @@ fn cmd_chaos() {
     );
 }
 
+// ---- `paper analyze`: the static-analysis gate -------------------------
+
+/// Sweep every decomposition the harness ships through the pre-flight
+/// plan analyzer, prove the known-bad chaos plans are rejected with
+/// their specific typed errors, and exhaustively model-check the SPSC
+/// slot ring. Exits nonzero on any failure, so `ci.sh` can gate on it.
+fn cmd_analyze() {
+    use analyzer::{check_comm_plan, check_schedule, AnalysisError, CommPlan, PlanOp, RankProgram};
+    use bench::gantt::thread_demo_decomp;
+    use stencil::dist2d::Decomp2D;
+    use stencil::dist3d::{Decomp3D, ExecMode};
+    use stencil::preflight::{check_plan2d, check_plan3d};
+    use tiling_core::schedule::{StepPlan, StepStrategy};
+
+    let mut failures = 0usize;
+    println!("== pre-flight plan analysis: every shipped configuration ==\n");
+    println!(
+        "{:<26} {:<12} {:>5} {:>6} {:>9} {:>9}  result",
+        "config", "mode", "ranks", "steps", "messages", "makespan"
+    );
+
+    let d3 = [
+        ("threads (scaled exp. i)", Decomp3D { nx: 8, ny: 8, nz: 4096, pi: 2, pj: 2, v: 128, boundary: 1.0 }),
+        ("chaos", Decomp3D { nx: 8, ny: 8, nz: 2048, pi: 2, pj: 2, v: 128, boundary: 1.0 }),
+        ("chaos gantt", Decomp3D { nx: 8, ny: 8, nz: 512, pi: 2, pj: 2, v: 64, boundary: 1.0 }),
+        ("gantt thread demo", thread_demo_decomp()),
+        ("perf deep", Decomp3D { nx: 8, ny: 8, nz: 65_536, pi: 2, pj: 2, v: 256, boundary: 1.0 }),
+    ];
+    let d2 = [(
+        "example 1 (strip)",
+        Decomp2D { nx: 10_000, ny: 1_000, ranks: 10, v: 10, boundary: 1.0 },
+    )];
+    for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+        for (name, d) in &d3 {
+            match check_plan3d(d, mode) {
+                Ok(r) => println!(
+                    "{name:<26} {:<12} {:>5} {:>6} {:>9} {:>9}  ok",
+                    format!("{mode:?}"), r.ranks, r.steps, r.messages, r.logical_makespan
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("{name:<26} {:<12} REJECTED: {e}", format!("{mode:?}"));
+                }
+            }
+        }
+        for (name, d) in &d2 {
+            match check_plan2d(d, mode) {
+                Ok(r) => println!(
+                    "{name:<26} {:<12} {:>5} {:>6} {:>9} {:>9}  ok",
+                    format!("{mode:?}"), r.ranks, r.steps, r.messages, r.logical_makespan
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("{name:<26} {:<12} REJECTED: {e}", format!("{mode:?}"));
+                }
+            }
+        }
+    }
+
+    println!("\n== chaos plans: each must be rejected with its typed error ==\n");
+    let world = |programs: Vec<Vec<PlanOp>>| CommPlan {
+        programs: programs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ops)| RankProgram { rank, ops })
+            .collect(),
+    };
+    let send = |to, tag, len, step| PlanOp::Send { to, tag, len, step };
+    let recv = |from, tag, len, step| PlanOp::Recv { from, tag, len, step };
+    type ErrorPredicate = fn(&AnalysisError) -> bool;
+    let bad: [(&str, CommPlan, ErrorPredicate); 4] = [
+        (
+            "mismatched tag",
+            world(vec![vec![send(1, 5, 8, 0)], vec![recv(0, 7, 8, 0)]]),
+            |e| matches!(e, AnalysisError::TagMismatch { .. }),
+        ),
+        (
+            "send without receive",
+            world(vec![vec![send(1, 0, 4, 0)], vec![PlanOp::Compute { step: 0 }]]),
+            |e| matches!(e, AnalysisError::UnmatchedSend { .. }),
+        ),
+        (
+            "cyclic wait-for",
+            world(vec![
+                vec![recv(1, 0, 4, 0), send(1, 1, 4, 0)],
+                vec![recv(0, 1, 4, 0), send(0, 0, 4, 0)],
+            ]),
+            |e| matches!(e, AnalysisError::Deadlock { .. }),
+        ),
+        (
+            "reused tag, diverging sizes",
+            world(vec![
+                vec![send(1, 0, 4, 0), send(1, 0, 6, 1)],
+                vec![recv(0, 0, 4, 0), recv(0, 0, 4, 1)],
+            ]),
+            |e| matches!(e, AnalysisError::SizeMismatch { .. }),
+        ),
+    ];
+    for (name, plan, expected) in &bad {
+        match check_comm_plan(plan) {
+            Err(e) if expected(&e) => println!("{name:<30} rejected: {e}"),
+            Err(e) => {
+                failures += 1;
+                println!("{name:<30} WRONG ERROR: {e}");
+            }
+            Ok(_) => {
+                failures += 1;
+                println!("{name:<30} NOT REJECTED");
+            }
+        }
+    }
+    // Illegal schedules go through the Π·d check rather than the
+    // matcher: Π = [1, −1] zeroes Example 1's diagonal dependence, and
+    // a too-tight overlap Π advances a cross-rank dependence by only 1.
+    let sched_bad = [
+        (
+            "illegal schedule (dot 0)",
+            check_schedule(
+                &StepPlan::new(StepStrategy::Blocking, 4),
+                &[1, -1],
+                0,
+                &tiling_core::dependence::DependenceSet::example_1(),
+            ),
+            AnalysisError::IllegalSchedule { pi: vec![1, -1], dep: vec![1, 1], dot: 0 },
+        ),
+        (
+            "overlap ordering (eq. 4)",
+            check_schedule(
+                &StepPlan::new(StepStrategy::Overlap, 4),
+                &[1, 2],
+                1,
+                &tiling_core::dependence::DependenceSet::example_1(),
+            ),
+            AnalysisError::OverlapOrderingViolation { pi: vec![1, 2], dep: vec![1, 0], dot: 1 },
+        ),
+    ];
+    for (name, got, want) in &sched_bad {
+        match got {
+            Err(e) if e == want => println!("{name:<30} rejected: {e}"),
+            Err(e) => {
+                failures += 1;
+                println!("{name:<30} WRONG ERROR: {e}");
+            }
+            Ok(_) => {
+                failures += 1;
+                println!("{name:<30} NOT REJECTED");
+            }
+        }
+    }
+
+    println!("\n== SPSC slot ring: exhaustive interleaving exploration ==\n");
+    for (slots, messages) in [(1usize, 3usize), (2, 3), (2, 4)] {
+        match msgpass::modelcheck::check_slot_ring(slots, messages) {
+            Ok(r) => println!(
+                "slots {slots}, messages {messages}: {} schedules, {} steps — no violation",
+                r.schedules, r.steps
+            ),
+            Err(v) => {
+                failures += 1;
+                println!(
+                    "slots {slots}, messages {messages}: VIOLATION under schedule {:?}: {}",
+                    v.schedule, v.message
+                );
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nanalysis FAILED: {failures} check(s) did not behave as required");
+        std::process::exit(1);
+    }
+    println!("\nall static checks passed");
+}
+
 // ---- `paper perf`: the hot-path benchmark ------------------------------
 //
 // Measures the optimized distributed executors against the preserved
@@ -492,17 +666,26 @@ mod perf {
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+    // SAFETY: every method delegates to the `System` allocator, which
+    // upholds the `GlobalAlloc` contract; the counter bump is a Relaxed
+    // atomic with no effect on the returned memory.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: caller obligations forwarded verbatim to `System`.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
-            System.alloc(layout)
+            // SAFETY: `layout` is the caller's valid layout.
+            unsafe { System.alloc(layout) }
         }
+        // SAFETY: caller obligations forwarded verbatim to `System`.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-            System.dealloc(ptr, layout)
+            // SAFETY: `ptr` was allocated by `System` with `layout`.
+            unsafe { System.dealloc(ptr, layout) }
         }
+        // SAFETY: caller obligations forwarded verbatim to `System`.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
-            System.realloc(ptr, layout, new_size)
+            // SAFETY: `ptr`/`layout` come from a prior `System` allocation.
+            unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
 
@@ -567,23 +750,31 @@ mod perf {
         trials: usize,
     ) -> Comparison {
         let lat = LatencyModel::zero();
+        // Benchmarks opt out of the pre-flight analyzer: `paper analyze`
+        // covers these exact layouts, and the measurement should time
+        // the executor alone.
+        let cfg = WorldConfig::new(lat).without_preflight();
         let (baseline, optimized) = match kernel {
             "relax3d" => (
                 measure(trials, d, || {
-                    stencil::legacy::run_dist3d(Relax3D::default(), d, lat, mode).0
+                    stencil::legacy::run_dist3d(Relax3D::default(), d, lat, mode)
+                        .expect("valid decomposition")
+                        .0
                 }),
                 measure(trials, d, || {
-                    stencil::dist3d::run_dist3d(Relax3D::default(), d, lat, mode)
+                    stencil::dist3d::run_dist3d_with(Relax3D::default(), d, &cfg, mode)
                         .expect("valid decomposition")
                         .0
                 }),
             ),
             "paper3d" => (
                 measure(trials, d, || {
-                    stencil::legacy::run_dist3d(Paper3D, d, lat, mode).0
+                    stencil::legacy::run_dist3d(Paper3D, d, lat, mode)
+                        .expect("valid decomposition")
+                        .0
                 }),
                 measure(trials, d, || {
-                    stencil::dist3d::run_dist3d(Paper3D, d, lat, mode)
+                    stencil::dist3d::run_dist3d_with(Paper3D, d, &cfg, mode)
                         .expect("valid decomposition")
                         .0
                 }),
@@ -625,7 +816,9 @@ mod perf {
         kind: TransportKind,
         mode: ExecMode,
     ) -> Measurement {
-        let cfg = WorldConfig::new(LatencyModel::zero()).with_transport(kind);
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_transport(kind)
+            .without_preflight();
         measure(trials, d, || {
             stencil::dist3d::run_dist3d_with(Relax3D::default(), d, &cfg, mode)
                 .expect("valid decomposition")
@@ -682,7 +875,7 @@ mod perf {
         use stencil::dist3d::run_dist3d_observed_with;
         use stencil::engine::LaneStats;
         let steps = d.steps();
-        let cfg = WorldConfig::new(lat).with_transport(kind);
+        let cfg = WorldConfig::new(lat).with_transport(kind).without_preflight();
         let (_, _, stats, _) =
             run_dist3d_observed_with(Paper3D, d, &cfg, mode, |_| LaneStats::new(steps))
                 .expect("valid decomposition");
@@ -900,7 +1093,7 @@ mod perf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json"
     );
     std::process::exit(2);
 }
@@ -933,6 +1126,7 @@ fn main() {
         "scaling" => cmd_scaling(),
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
+        "analyze" => cmd_analyze(),
         "perf" => {
             let quick = match std::env::args().nth(2).as_deref() {
                 None => false,
@@ -967,6 +1161,8 @@ fn main() {
             cmd_threads();
             println!("\n");
             cmd_chaos();
+            println!("\n");
+            cmd_analyze();
             println!("\n");
             perf::run(false);
         }

@@ -38,6 +38,7 @@
 //! assert!(overlap.makespan < blocking.makespan);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

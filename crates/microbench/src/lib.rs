@@ -19,6 +19,8 @@
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -20,6 +20,8 @@
 //!
 //! [`proptest`]: https://docs.rs/proptest
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Case driver: configuration, error type and the deterministic RNG.
 

@@ -20,6 +20,9 @@
 //!   pool, or zero-copy shared-memory slot rings.
 //! * [`slot_transport`] — the SPSC slot-ring transport itself
 //!   (cache-line-padded cursors, slot leases, FIFO overflow).
+//! * [`modelcheck`] — exhaustive interleaving checks of the slot ring
+//!   (every producer/consumer merge order, via `miniloom`), proving
+//!   no double-claim, no ABA reuse, and no lost slot.
 //! * [`topology`] — Cartesian process grids (the paper's 4×4 layout).
 //! * [`trace`] — wall-clock activity recording in the *same* interval
 //!   format the `cluster-sim` simulator emits, so real runs render
@@ -31,9 +34,11 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod comm;
 pub mod fault;
+pub mod modelcheck;
 pub mod recording;
 pub mod slot_transport;
 pub mod thread_backend;

@@ -58,10 +58,12 @@ pub(crate) struct SlotPool<T> {
     slots: Box<[Slot<T>]>,
 }
 
-// Safety: the refcount protocol above makes cross-thread access to the
+// SAFETY: the refcount protocol above makes cross-thread access to the
 // `UnsafeCell` buffers data-race-free; the payloads themselves only
 // need to be sendable.
 unsafe impl<T: Send + Sync> Send for SlotPool<T> {}
+// SAFETY: same protocol as `Send` above — shared references only reach
+// a slot's buffer through a claimed lease or a positive refcount.
 unsafe impl<T: Send + Sync> Sync for SlotPool<T> {}
 
 impl<T> SlotPool<T> {
@@ -87,6 +89,16 @@ impl<T> SlotPool<T> {
                 .is_ok()
         })
     }
+
+    /// Number of payload slots (model-check introspection).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current refcount of slot `idx` (model-check introspection).
+    pub(crate) fn ref_count(&self, idx: usize) -> u32 {
+        self.slots[idx].refs.0.load(Ordering::Acquire)
+    }
 }
 
 /// A zero-copy handle on a filled transport slot. Clones share the
@@ -100,9 +112,14 @@ pub struct SlotLease<T> {
 }
 
 impl<T> SlotLease<T> {
+    /// Which pool slot this lease holds (model-check introspection).
+    pub(crate) fn slot_index(&self) -> usize {
+        self.idx
+    }
+
     /// The leased payload.
     pub fn as_slice(&self) -> &[T] {
-        // Safety: leases only exist after the producer finished writing
+        // SAFETY: leases only exist after the producer finished writing
         // (see `Slot` invariant), so shared reads are race-free.
         unsafe {
             let buf: &Vec<T> = &*self.pool.slots[self.idx].buf.get();
@@ -152,7 +169,7 @@ struct Ring<T> {
     overflow_len: AtomicUsize,
 }
 
-// Safety: head/tail/overflow_len ordering makes cell handoff
+// SAFETY: head/tail/overflow_len ordering makes cell handoff
 // race-free; envelopes cross threads, so `T: Send` is required.
 unsafe impl<T: Send + Sync> Send for Ring<T> {}
 unsafe impl<T: Send + Sync> Sync for Ring<T> {}
@@ -180,13 +197,16 @@ impl<T> Ring<T> {
         if self.overflow_len.load(Ordering::Acquire) == 0
             && tail - self.head.0.load(Ordering::Acquire) < cap
         {
-            // Safety: single producer, and `tail - head < cap` means the
+            // SAFETY: single producer, and `tail - head < cap` means the
             // consumer is done with this cell.
             unsafe { (*self.cells[tail % cap].get()).write(env) };
             self.tail.0.store(tail + 1, Ordering::Release);
             return;
         }
-        let mut q = self.overflow.lock().expect("overflow lock");
+        // A poisoned overflow mutex (a peer panicked mid-queue-op) still
+        // guards a structurally valid VecDeque — keep delivering rather
+        // than cascading the panic across the link.
+        let mut q = self.overflow.lock().unwrap_or_else(|e| e.into_inner());
         q.push_back(env);
         self.overflow_len.store(q.len(), Ordering::Release);
     }
@@ -196,14 +216,14 @@ impl<T> Ring<T> {
         let cap = self.cells.len();
         let head = self.head.0.load(Ordering::Relaxed);
         if head < self.tail.0.load(Ordering::Acquire) {
-            // Safety: single consumer, and `head < tail` means the
+            // SAFETY: single consumer, and `head < tail` means the
             // producer published this cell.
             let env = unsafe { (*self.cells[head % cap].get()).assume_init_read() };
             self.head.0.store(head + 1, Ordering::Release);
             return Some(env);
         }
         if self.overflow_len.load(Ordering::Acquire) > 0 {
-            let mut q = self.overflow.lock().expect("overflow lock");
+            let mut q = self.overflow.lock().unwrap_or_else(|e| e.into_inner());
             let env = q.pop_front();
             self.overflow_len.store(q.len(), Ordering::Release);
             return env;
@@ -220,7 +240,7 @@ impl<T> Drop for Ring<T> {
         let head = *self.head.0.get_mut();
         let tail = *self.tail.0.get_mut();
         for i in head..tail {
-            // Safety: exclusive access (last Arc holder), and cells in
+            // SAFETY: exclusive access (last Arc holder), and cells in
             // `head..tail` are initialized.
             unsafe { self.cells[i % cap].get_mut().assume_init_drop() };
         }
@@ -249,13 +269,13 @@ impl Backoff {
 }
 
 /// Sender half of a slot link.
-struct SlotTx<T> {
+pub(crate) struct SlotTx<T> {
     ring: Arc<Ring<T>>,
     pool: Arc<SlotPool<T>>,
 }
 
 /// Receiver half of a slot link.
-struct SlotRx<T> {
+pub(crate) struct SlotRx<T> {
     ring: Arc<Ring<T>>,
 }
 
@@ -265,15 +285,26 @@ struct SlotRx<T> {
 pub(crate) fn make_slot_link<T: Send + Sync + 'static>(
     slots: usize,
 ) -> (Box<dyn LinkTx<T>>, Box<dyn LinkRx<T>>) {
+    let (tx, rx, _) = make_slot_link_raw(slots);
+    (Box::new(tx), Box::new(rx))
+}
+
+/// Like [`make_slot_link`], but returns the concrete halves plus a
+/// handle on the shared pool — the model checker (`crate::modelcheck`)
+/// drives the real endpoint types and inspects slot refcounts directly.
+pub(crate) fn make_slot_link_raw<T: Send + Sync + 'static>(
+    slots: usize,
+) -> (SlotTx<T>, SlotRx<T>, Arc<SlotPool<T>>) {
     let slots = slots.max(1);
     let ring = Ring::new(slots * 2);
     let pool = SlotPool::new(slots);
     (
-        Box::new(SlotTx {
+        SlotTx {
             ring: Arc::clone(&ring),
-            pool,
-        }),
-        Box::new(SlotRx { ring }),
+            pool: Arc::clone(&pool),
+        },
+        SlotRx { ring },
+        pool,
     )
 }
 
@@ -285,8 +316,18 @@ pub(crate) fn make_slot_link<T: Send + Sync + 'static>(
 /// to copies instead of deadlocking it.
 const STAGE_WAIT_BUDGET: u32 = 256;
 
-impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
-    fn stage(&mut self, stats: &mut PoolStats, fill: &mut dyn FnMut(&mut Vec<T>)) -> Payload<T> {
+impl<T: Send + Sync> SlotTx<T> {
+    /// [`LinkTx::stage`] with an explicit wait budget. The model
+    /// checker replays schedules on one thread, where no consumer can
+    /// free a slot *during* the wait — it stages with budget 0 so an
+    /// exhausted pool falls straight through to the owned-copy path
+    /// instead of spinning out the full backoff per schedule.
+    pub(crate) fn stage_with_budget(
+        &mut self,
+        stats: &mut PoolStats,
+        fill: &mut dyn FnMut(&mut Vec<T>),
+        wait_budget: u32,
+    ) -> Payload<T> {
         let mut claimed = self.pool.claim();
         if claimed.is_none() {
             // Every slot is leased: the producer has outrun the
@@ -294,7 +335,7 @@ impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
             // eager-protocol `wait_send` completes immediately). Wait a
             // bounded while for the consumer to release one.
             let mut backoff = Backoff::new();
-            for _ in 0..STAGE_WAIT_BUDGET {
+            for _ in 0..wait_budget {
                 backoff.snooze();
                 claimed = self.pool.claim();
                 if claimed.is_some() {
@@ -304,7 +345,7 @@ impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
         }
         match claimed {
             Some(idx) => {
-                // Safety: the claim gives exclusive access until the
+                // SAFETY: the claim gives exclusive access until the
                 // lease below is created.
                 let buf = unsafe { &mut *self.pool.slots[idx].buf.get() };
                 let cap = buf.capacity();
@@ -332,6 +373,12 @@ impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
                 Payload::Owned(buf)
             }
         }
+    }
+}
+
+impl<T: Send + Sync> LinkTx<T> for SlotTx<T> {
+    fn stage(&mut self, stats: &mut PoolStats, fill: &mut dyn FnMut(&mut Vec<T>)) -> Payload<T> {
+        self.stage_with_budget(stats, fill, STAGE_WAIT_BUDGET)
     }
 
     fn push(&mut self, env: Envelope<T>) -> Result<(), LinkClosed> {

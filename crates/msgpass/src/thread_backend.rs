@@ -106,6 +106,12 @@ pub struct WorldConfig {
     pub reliability: Option<ReliabilityConfig>,
     /// Sender-side deterministic fault injection.
     pub faults: Option<FaultPlan>,
+    /// Skip the pre-flight static plan analysis that executors run
+    /// before spawning rank threads (see the `analyzer` crate). Off by
+    /// default — benchmarks opt out via
+    /// [`WorldConfig::without_preflight`] to keep timing loops free of
+    /// even the (constant, microsecond-scale) check cost.
+    pub skip_preflight: bool,
 }
 
 impl WorldConfig {
@@ -118,7 +124,16 @@ impl WorldConfig {
             transport: TransportKind::Mpsc,
             reliability: None,
             faults: None,
+            skip_preflight: false,
         }
+    }
+
+    /// Disable the executors' pre-flight plan analysis for this world
+    /// (benchmark hot paths; the shipped configurations are analyzed
+    /// separately by `paper analyze`).
+    pub fn without_preflight(mut self) -> Self {
+        self.skip_preflight = true;
+        self
     }
 
     /// Select the wire implementation of every link.
@@ -166,6 +181,11 @@ struct PairLedger<T> {
 }
 
 /// A directed link's ledger, shared between its two endpoints.
+///
+/// Lock acquisitions tolerate poisoning (`into_inner` on the error):
+/// the ledger's maps stay structurally valid if a peer panics while
+/// holding the lock, and the reliability layer exists precisely to
+/// keep delivering through a misbehaving peer.
 type SharedLedger<T> = Arc<Mutex<PairLedger<T>>>;
 
 impl<T> Default for PairLedger<T> {
@@ -323,8 +343,9 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
     /// Pull messages from `from` until one with `tag` appears; honor the
     /// stash first (FIFO per source).
     fn match_message(&mut self, from: usize, tag: Tag) -> Envelope<T> {
-        if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
-            return self.stash[from].remove(pos).expect("position valid");
+        let pos = self.stash[from].iter().position(|m| m.tag == tag);
+        if let Some(msg) = pos.and_then(|p| self.stash[from].remove(p)) {
+            return msg;
         }
         loop {
             let msg = self.rx[from]
@@ -388,7 +409,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             *rel.consumed[from].entry(tag).or_insert(0) = expect + 1;
             rel.ledger_in[from]
                 .lock()
-                .expect("ledger lock")
+                .unwrap_or_else(|e| e.into_inner())
                 .stored
                 .remove(&(tag, expect));
         };
@@ -405,7 +426,12 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             while i < self.stash[from].len() {
                 let m = &self.stash[from][i];
                 if m.tag == tag && m.seq == expect {
-                    let msg = self.stash[from].remove(i).expect("position valid");
+                    // `i` is in bounds (loop guard), so the remove
+                    // always yields; fall through to the wire drain on
+                    // the impossible miss rather than panicking.
+                    let Some(msg) = self.stash[from].remove(i) else {
+                        break;
+                    };
                     let rel = self.rel.as_mut().expect("reliability enabled");
                     commit(rel);
                     return Ok(msg);
@@ -446,7 +472,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
                         let rel = self.rel.as_mut().expect("reliability enabled");
                         let recovered = rel.ledger_in[from]
                             .lock()
-                            .expect("ledger lock")
+                            .unwrap_or_else(|e| e.into_inner())
                             .stored
                             .remove(&(tag, expect));
                         if let Some(payload) = recovered {
@@ -467,7 +493,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             // 3. Nothing on the wire: try the retransmission ledger.
             let rel = self.rel.as_mut().expect("reliability enabled");
             let (recovered, committed) = {
-                let mut led = rel.ledger_in[from].lock().expect("ledger lock");
+                let mut led = rel.ledger_in[from].lock().unwrap_or_else(|e| e.into_inner());
                 (
                     led.stored.remove(&(tag, expect)),
                     *led.sent.get(&tag).unwrap_or(&0),
@@ -525,8 +551,8 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
     where
         T: Clone,
     {
-        if let Some(pos) = self.stash[from].iter().position(|m| m.tag == tag) {
-            let msg = self.stash[from].remove(pos).expect("position valid");
+        let pos = self.stash[from].iter().position(|m| m.tag == tag);
+        if let Some(msg) = pos.and_then(|p| self.stash[from].remove(p)) {
             return msg.payload.into_vec();
         }
         loop {
@@ -582,7 +608,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
         // receiver's gap detector counts commitments, not deliveries.
         rel.ledger_out[to]
             .lock()
-            .expect("ledger lock")
+            .unwrap_or_else(|e| e.into_inner())
             .sent
             .entry(tag)
             .and_modify(|c| *c += 1)
@@ -601,7 +627,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             rel.stats.dropped += 1;
             rel.ledger_out[to]
                 .lock()
-                .expect("ledger lock")
+                .unwrap_or_else(|e| e.into_inner())
                 .stored
                 .insert((tag, seq), payload);
             self.flush_held(to);
@@ -632,7 +658,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             let parked = payload.share();
             rel.ledger_out[to]
                 .lock()
-                .expect("ledger lock")
+                .unwrap_or_else(|e| e.into_inner())
                 .stored
                 .insert((tag, seq), parked);
             rel.held[to] = Some(Envelope {

@@ -245,6 +245,9 @@ pub fn run_dist2d_with<K: Kernel2D>(
     mode: ExecMode,
 ) -> Result<(Grid2D, Duration, Vec<FaultStats>), EngineError> {
     d.validate()?;
+    if !cfg.skip_preflight {
+        crate::preflight::check_plan2d(&d, mode)?;
+    }
     let (results, elapsed) = run_threads_with::<f32, _, _>(d.ranks, cfg, move |mut comm| {
         let strip = try_run_rank2d_observed(&mut comm, kernel, d, mode, &mut NoopObserver);
         (strip, comm.fault_stats())
@@ -450,7 +453,8 @@ mod tests {
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let (new, _) = run_example1_dist(d, LatencyModel::zero(), mode).expect("valid decomp");
-            let (old, _) = crate::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            let (old, _) =
+                crate::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode).expect("valid");
             assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }

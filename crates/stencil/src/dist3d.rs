@@ -359,6 +359,9 @@ where
     F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
 {
     d.validate()?;
+    if !cfg.skip_preflight {
+        crate::preflight::check_plan3d(&d, mode)?;
+    }
     let ranks = d.pi * d.pj;
     let (results, elapsed) = run_threads_with::<f32, _, _>(ranks, cfg, |mut comm| {
         let mut obs = make_obs(&comm);
@@ -661,7 +664,8 @@ mod tests {
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let (new, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid");
-            let (old, _) = crate::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let (old, _) =
+                crate::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid");
             assert_eq!(new.max_abs_diff(&old), 0.0, "{mode:?}");
         }
     }

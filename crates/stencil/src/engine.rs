@@ -47,6 +47,10 @@ pub const MAX_DIRS: usize = 2;
 pub enum EngineError {
     /// The problem could not be decomposed over the requested ranks.
     Decomp(DecompError),
+    /// The pre-flight static analysis rejected the plan before any
+    /// thread spawned (see the `analyzer` crate): unmatched or
+    /// mismatched messages, an illegal schedule, or a deadlock cycle.
+    Analysis(analyzer::AnalysisError),
     /// A [`TileOps`] exposed more halo directions than the engine's
     /// fixed request-slot arrays can hold.
     TooManyDirections {
@@ -141,7 +145,9 @@ impl EngineError {
     /// reports it). Drivers keep the highest-severity error.
     pub fn severity(&self) -> u8 {
         match self {
-            EngineError::Decomp(_) | EngineError::TooManyDirections { .. } => 4,
+            EngineError::Decomp(_)
+            | EngineError::Analysis(_)
+            | EngineError::TooManyDirections { .. } => 4,
             EngineError::SequenceGap { .. } => 3,
             EngineError::Timeout { .. } => 2,
             EngineError::Comm { .. } => 1,
@@ -154,6 +160,9 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Decomp(e) => write!(f, "decomposition error: {e}"),
+            EngineError::Analysis(e) => {
+                write!(f, "pre-flight analysis rejected the plan: {e}")
+            }
             EngineError::TooManyDirections { dirs, max } => write!(
                 f,
                 "tile operations expose {dirs} halo directions but the engine holds at most {max}"
@@ -188,6 +197,12 @@ impl std::error::Error for EngineError {}
 impl From<DecompError> for EngineError {
     fn from(e: DecompError) -> Self {
         EngineError::Decomp(e)
+    }
+}
+
+impl From<analyzer::AnalysisError> for EngineError {
+    fn from(e: analyzer::AnalysisError) -> Self {
+        EngineError::Analysis(e)
     }
 }
 
@@ -831,13 +846,16 @@ where
     for dir in 0..dirs {
         if let Some(dst) = ops.downstream(dir) {
             let t = tag(steps - 1, ops.wire_dir(dir));
-            let req = pack_send(comm, ops, obs, dst, t, dir, steps - 1, true)
+            // A posted send always yields a request, but degrade to
+            // "nothing to wait on" rather than panicking mid-epilogue.
+            if let Some(req) = pack_send(comm, ops, obs, dst, t, dir, steps - 1, true)
                 .map_err(|e| EngineError::from_comm(rank, e))?
-                .expect("posted send returns a request");
-            timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
-                comm.try_wait_send(req)
-            })
-            .map_err(|e| EngineError::from_comm(rank, e))?;
+            {
+                timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
+                    comm.try_wait_send(req)
+                })
+                .map_err(|e| EngineError::from_comm(rank, e))?;
+            }
         }
     }
     Ok(())

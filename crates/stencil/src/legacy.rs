@@ -16,6 +16,7 @@
 //!
 //! Nothing here is used by the optimized hot paths.
 
+use crate::decomp::DecompError;
 use crate::dist2d::Decomp2D;
 use crate::dist3d::{Decomp3D, ExecMode};
 use crate::grid::{Grid2D, Grid3D};
@@ -62,11 +63,9 @@ pub fn store_halo_i_elementwise(halo_i: &mut [f32], d: &Decomp3D, k: usize, data
     let (k0, k1) = d.krange(k);
     assert_eq!(data.len(), d.by() * (k1 - k0), "i-face size mismatch");
     let nz = d.nz;
-    let mut it = data.iter();
-    for j in 0..d.by() {
-        for kz in k0..k1 {
-            halo_i[j * nz + kz] = *it.next().expect("size checked");
-        }
+    let cells = (0..d.by()).flat_map(|j| (k0..k1).map(move |kz| j * nz + kz));
+    for (idx, &v) in cells.zip(data) {
+        halo_i[idx] = v;
     }
 }
 
@@ -75,11 +74,9 @@ pub fn store_halo_j_elementwise(halo_j: &mut [f32], d: &Decomp3D, k: usize, data
     let (k0, k1) = d.krange(k);
     assert_eq!(data.len(), d.bx() * (k1 - k0), "j-face size mismatch");
     let nz = d.nz;
-    let mut it = data.iter();
-    for i in 0..d.bx() {
-        for kz in k0..k1 {
-            halo_j[i * nz + kz] = *it.next().expect("size checked");
-        }
+    let cells = (0..d.bx()).flat_map(|i| (k0..k1).map(move |kz| i * nz + kz));
+    for (idx, &v) in cells.zip(data) {
+        halo_j[idx] = v;
     }
 }
 
@@ -425,8 +422,8 @@ pub fn run_dist3d<K: Kernel3D>(
     d: Decomp3D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid3D, Duration) {
-    d.validate().expect("invalid decomposition");
+) -> Result<(Grid3D, Duration), DecompError> {
+    d.validate()?;
     let ranks = d.pi * d.pj;
     let (blocks, elapsed) = run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| {
         match mode {
@@ -452,7 +449,7 @@ pub fn run_dist3d<K: Kernel3D>(
             }
         }
     }
-    (out, elapsed)
+    Ok((out, elapsed))
 }
 
 /// Old 2-D driver with per-cell gather.
@@ -461,8 +458,8 @@ pub fn run_dist2d<K: Kernel2D>(
     d: Decomp2D,
     latency: LatencyModel,
     mode: ExecMode,
-) -> (Grid2D, Duration) {
-    d.validate().expect("invalid decomposition");
+) -> Result<(Grid2D, Duration), DecompError> {
+    d.validate()?;
     let (strips, elapsed) = run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| {
         match mode {
             ExecMode::Blocking => rank_blocking_2d(&mut comm, kernel, d),
@@ -478,7 +475,7 @@ pub fn run_dist2d<K: Kernel2D>(
             }
         }
     }
-    (out, elapsed)
+    Ok((out, elapsed))
 }
 
 #[cfg(test)]
@@ -499,7 +496,7 @@ mod tests {
             boundary: 1.0,
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-            let (dist, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let (dist, _) = run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid");
             let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "{mode:?}");
         }
@@ -515,7 +512,7 @@ mod tests {
             boundary: 2.0,
         };
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-            let (dist, _) = run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            let (dist, _) = run_dist2d(Example1, d, LatencyModel::zero(), mode).expect("valid");
             let seq = run_example1_seq(d.nx, d.ny, d.boundary);
             assert_eq!(dist.max_abs_diff(&seq), 0.0, "{mode:?}");
         }

@@ -40,6 +40,7 @@
 //! assert_eq!(dist.max_abs_diff(&seq), 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -51,6 +52,7 @@ pub mod grid;
 pub mod halo;
 pub mod kernel;
 pub mod legacy;
+pub mod preflight;
 pub mod proto;
 pub mod seq;
 pub mod verify;
@@ -71,6 +73,7 @@ pub mod prelude {
         Alignment2D, Example1, Fused3D, Kernel2D, Kernel3D, LongestPath3D, Paper3D, Relax3D,
         Smooth2D,
     };
+    pub use crate::preflight::{check_plan2d, check_plan3d};
     pub use crate::seq::{
         measure_t_c_paper3d, run_example1_seq, run_paper3d_seq, run_seq2d, run_seq3d,
     };

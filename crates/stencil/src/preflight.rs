@@ -1,0 +1,215 @@
+//! Pre-flight static analysis of the stencil decompositions.
+//!
+//! Bridges the concrete [`Decomp2D`] / [`Decomp3D`] rank layouts to the
+//! `analyzer` crate's [`RankTopology`] and runs the full analysis —
+//! schedule legality against the kernel's dependence set, symbolic
+//! send/receive matching, and deadlock detection — *before any rank
+//! thread spawns*. The distributed drivers call [`check_plan2d`] /
+//! [`check_plan3d`] on every entry unless the world opts out
+//! (`WorldConfig::without_preflight`); `paper analyze` sweeps every
+//! shipped configuration through the same functions.
+//!
+//! The check is allocation-frugal by construction (every collection in
+//! the analyzer is pre-sized), so the zero-allocation steady-state
+//! assertions of `tests/zero_alloc.rs` hold with pre-flight enabled —
+//! the check costs a constant number of allocations per *run*, not per
+//! step.
+
+use crate::dist2d::Decomp2D;
+use crate::dist3d::Decomp3D;
+use crate::engine::{EngineError, ExecMode};
+use crate::proto::{DIR_I, DIR_J};
+use analyzer::{analyze, AnalysisReport, RankTopology};
+use msgpass::topology::CartesianGrid;
+use tiling_core::dependence::DependenceSet;
+use tiling_core::schedule::{NonOverlapSchedule, OverlapSchedule};
+
+/// The schedule vector `Π` the mode's schedule type mandates — the
+/// same construction [`ExecMode::step_plan`] projects from.
+fn mode_pi(mode: ExecMode, dims: usize, mapping_dim: usize) -> Vec<i64> {
+    match mode {
+        ExecMode::Blocking => NonOverlapSchedule::with_mapping(dims, mapping_dim)
+            .schedule()
+            .pi()
+            .to_vec(),
+        ExecMode::Overlapping => OverlapSchedule::with_mapping(dims, mapping_dim).pi(),
+    }
+}
+
+/// The 2-D strip decomposition as a rank topology: a 1-D chain where
+/// rank `r` ships its last `j`-column to rank `r + 1`, one face per
+/// pipeline step.
+struct Chain2D(Decomp2D);
+
+impl RankTopology for Chain2D {
+    fn ranks(&self) -> usize {
+        self.0.ranks
+    }
+
+    fn num_dirs(&self) -> usize {
+        1
+    }
+
+    fn upstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+        rank.checked_sub(1)
+    }
+
+    fn downstream(&self, rank: usize, _dir: usize) -> Option<usize> {
+        (rank + 1 < self.0.ranks).then_some(rank + 1)
+    }
+
+    fn wire_dir(&self, _dir: usize) -> u64 {
+        DIR_J
+    }
+
+    fn face_len(&self, _rank: usize, _dir: usize, step: usize) -> usize {
+        let (i0, i1) = self.0.irange(step);
+        i1 - i0
+    }
+}
+
+/// The 3-D block decomposition as a rank topology: a `pi × pj`
+/// Cartesian grid where every rank ships its high-`i` face to the
+/// `(+1, 0)` neighbor and its high-`j` face to the `(0, +1)` neighbor.
+///
+/// Neighbors are precomputed per rank: `CartesianGrid::neighbor`
+/// allocates coordinate scratch, and the analyzer queries the topology
+/// once per plan event — caching keeps the whole analysis at a
+/// constant allocation count regardless of pipeline depth.
+struct Grid3DTopo {
+    d: Decomp3D,
+    /// `[i-dir, j-dir]` upstream neighbor per rank.
+    up: Vec<[Option<usize>; 2]>,
+    /// `[i-dir, j-dir]` downstream neighbor per rank.
+    dn: Vec<[Option<usize>; 2]>,
+}
+
+impl Grid3DTopo {
+    fn new(d: Decomp3D) -> Self {
+        let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+        let ranks = d.pi * d.pj;
+        let mut up = Vec::with_capacity(ranks);
+        let mut dn = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            up.push([
+                grid.neighbor(rank, &[-1, 0]),
+                grid.neighbor(rank, &[0, -1]),
+            ]);
+            dn.push([grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])]);
+        }
+        Grid3DTopo { d, up, dn }
+    }
+}
+
+impl RankTopology for Grid3DTopo {
+    fn ranks(&self) -> usize {
+        self.d.pi * self.d.pj
+    }
+
+    fn num_dirs(&self) -> usize {
+        2
+    }
+
+    fn upstream(&self, rank: usize, dir: usize) -> Option<usize> {
+        self.up[rank][dir]
+    }
+
+    fn downstream(&self, rank: usize, dir: usize) -> Option<usize> {
+        self.dn[rank][dir]
+    }
+
+    fn wire_dir(&self, dir: usize) -> u64 {
+        if dir == 0 {
+            DIR_I
+        } else {
+            DIR_J
+        }
+    }
+
+    fn face_len(&self, _rank: usize, dir: usize, step: usize) -> usize {
+        let (k0, k1) = self.d.krange(step);
+        let width = if dir == 0 { self.d.by() } else { self.d.bx() };
+        width * (k1 - k0)
+    }
+}
+
+/// Statically analyze the 2-D strip plan `mode` will execute over `d`.
+/// The decomposition must already be validated.
+pub fn check_plan2d(d: &Decomp2D, mode: ExecMode) -> Result<AnalysisReport, EngineError> {
+    // Example 1 maps along i₁ of a 2-D tiled space (`try_run_rank2d_observed`).
+    let plan = mode.step_plan(2, 0, d.steps());
+    let pi = mode_pi(mode, 2, 0);
+    analyze(&Chain2D(*d), &plan, &pi, 0, &DependenceSet::example_1()).map_err(EngineError::from)
+}
+
+/// Statically analyze the 3-D block plan `mode` will execute over `d`.
+/// The decomposition must already be validated.
+pub fn check_plan3d(d: &Decomp3D, mode: ExecMode) -> Result<AnalysisReport, EngineError> {
+    // The paper's §5 layout maps along i₃ (`try_run_rank3d_observed`).
+    let plan = mode.step_plan(3, 2, d.steps());
+    let pi = mode_pi(mode, 3, 2);
+    analyze(&Grid3DTopo::new(*d), &plan, &pi, 2, &DependenceSet::paper_3d())
+        .map_err(EngineError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_2d_plans_are_clean() {
+        let d = Decomp2D {
+            nx: 40,
+            ny: 12,
+            ranks: 4,
+            v: 10,
+            boundary: 1.0,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let report = check_plan2d(&d, mode).expect("shipped layout analyzes clean");
+            assert_eq!(report.ranks, 4);
+            assert_eq!(report.steps, 4);
+            // 3 interior channels × 4 steps.
+            assert_eq!(report.messages, 12);
+        }
+    }
+
+    #[test]
+    fn shipped_3d_plans_are_clean() {
+        let d = Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: 32,
+            pi: 2,
+            pj: 2,
+            v: 8,
+            boundary: 1.0,
+        };
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let report = check_plan3d(&d, mode).expect("shipped layout analyzes clean");
+            assert_eq!(report.ranks, 4);
+            assert_eq!(report.steps, 4);
+            // 4 directed interior faces × 4 steps.
+            assert_eq!(report.messages, 16);
+        }
+    }
+
+    #[test]
+    fn overlap_makespan_matches_eq4() {
+        // 2×2 grid: deepest rank is 2 hops from the origin; eq. 4 gives
+        // 2·2 + steps time hyperplanes.
+        let d = Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: 32,
+            pi: 2,
+            pj: 2,
+            v: 8,
+            boundary: 1.0,
+        };
+        let o = check_plan3d(&d, ExecMode::Overlapping).expect("clean");
+        assert_eq!(o.logical_makespan, 2 * 2 + 4);
+        let b = check_plan3d(&d, ExecMode::Blocking).expect("clean");
+        assert_eq!(b.logical_makespan, 2 + 4);
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::dist2d::{run_example1_dist, Decomp2D};
 use crate::dist3d::{run_paper3d_dist, Decomp3D, ExecMode};
+use crate::engine::EngineError;
 use crate::seq::{run_example1_seq, run_paper3d_seq};
 use msgpass::thread_backend::LatencyModel;
 
@@ -24,24 +25,35 @@ impl VerifyReport {
 }
 
 /// Verify a 3-D decomposition in the given mode against the sequential
-/// reference.
-pub fn verify_paper3d(d: Decomp3D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
-    let (dist, elapsed) = run_paper3d_dist(d, latency, mode).expect("invalid decomposition");
+/// reference. Returns the engine's typed error if the decomposition or
+/// its communication plan is rejected.
+pub fn verify_paper3d(
+    d: Decomp3D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> Result<VerifyReport, EngineError> {
+    let (dist, elapsed) = run_paper3d_dist(d, latency, mode)?;
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
-    VerifyReport {
+    Ok(VerifyReport {
         max_abs_diff: dist.max_abs_diff(&seq),
         elapsed_secs: elapsed.as_secs_f64(),
-    }
+    })
 }
 
-/// Verify a 2-D decomposition in the given mode.
-pub fn verify_example1(d: Decomp2D, latency: LatencyModel, mode: ExecMode) -> VerifyReport {
-    let (dist, elapsed) = run_example1_dist(d, latency, mode).expect("invalid decomposition");
+/// Verify a 2-D decomposition in the given mode. Returns the engine's
+/// typed error if the decomposition or its communication plan is
+/// rejected.
+pub fn verify_example1(
+    d: Decomp2D,
+    latency: LatencyModel,
+    mode: ExecMode,
+) -> Result<VerifyReport, EngineError> {
+    let (dist, elapsed) = run_example1_dist(d, latency, mode)?;
     let seq = run_example1_seq(d.nx, d.ny, d.boundary);
-    VerifyReport {
+    Ok(VerifyReport {
         max_abs_diff: dist.max_abs_diff(&seq),
         elapsed_secs: elapsed.as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -59,8 +71,12 @@ mod tests {
             v: 5,
             boundary: 1.0,
         };
-        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Blocking).passed());
-        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping).passed());
+        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Blocking)
+            .expect("valid")
+            .passed());
+        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping)
+            .expect("valid")
+            .passed());
     }
 
     #[test]
@@ -72,8 +88,12 @@ mod tests {
             v: 7,
             boundary: 2.0,
         };
-        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Blocking).passed());
-        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Overlapping).passed());
+        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Blocking)
+            .expect("valid")
+            .passed());
+        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Overlapping)
+            .expect("valid")
+            .passed());
     }
 
     #[test]
@@ -92,7 +112,7 @@ mod tests {
             v: 4,
             boundary: 1.0,
         };
-        assert!(verify_paper3d(d, lat, ExecMode::Overlapping).passed());
+        assert!(verify_paper3d(d, lat, ExecMode::Overlapping).expect("valid").passed());
     }
 
     #[test]
@@ -104,7 +124,7 @@ mod tests {
             v: 4,
             boundary: 1.0,
         };
-        let r = verify_example1(d, LatencyModel::zero(), ExecMode::Blocking);
+        let r = verify_example1(d, LatencyModel::zero(), ExecMode::Blocking).expect("valid");
         assert!(r.passed());
         assert!(r.elapsed_secs >= 0.0);
     }

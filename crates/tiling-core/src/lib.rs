@@ -45,6 +45,7 @@
 //! assert!(overlap.total_secs() < nonoverlap.total_secs());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

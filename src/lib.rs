@@ -23,6 +23,7 @@
 //! (`cargo run --release -p bench --bin paper -- all`) for the full
 //! figure-by-figure reproduction.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;

@@ -1,0 +1,135 @@
+//! End-to-end checks of the pre-flight static analysis layer: every
+//! decomposition the harness ships must pass, the report must agree
+//! with the paper's schedule-length arithmetic, and the engine must
+//! surface analyzer rejections as its own typed error.
+
+use msgpass::thread_backend::{LatencyModel, WorldConfig};
+use stencil::dist2d::Decomp2D;
+use stencil::dist3d::{run_dist3d_with, Decomp3D, ExecMode};
+use stencil::engine::EngineError;
+use stencil::kernel::Relax3D;
+use stencil::preflight::{check_plan2d, check_plan3d};
+
+fn shipped_3d() -> Vec<Decomp3D> {
+    let base = Decomp3D {
+        nx: 8,
+        ny: 8,
+        nz: 4096,
+        pi: 2,
+        pj: 2,
+        v: 128,
+        boundary: 1.0,
+    };
+    vec![
+        base,
+        Decomp3D { nz: 2048, ..base },
+        Decomp3D { nz: 512, v: 64, ..base },
+        Decomp3D { nz: 65_536, v: 256, ..base },
+        // Doc-example scale.
+        Decomp3D { nx: 4, ny: 4, nz: 16, v: 4, ..base },
+    ]
+}
+
+#[test]
+fn every_shipped_3d_config_passes_preflight() {
+    for d in shipped_3d() {
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let report = check_plan3d(&d, mode)
+                .unwrap_or_else(|e| panic!("{d:?} under {mode:?} rejected: {e}"));
+            assert_eq!(report.ranks, d.pi * d.pj);
+            assert_eq!(report.steps, d.steps());
+            // A 2×2 grid has 4 directed interior faces, one message
+            // each per step.
+            assert_eq!(report.messages, 4 * d.steps());
+        }
+    }
+}
+
+#[test]
+fn every_shipped_2d_config_passes_preflight() {
+    for d in [
+        Decomp2D {
+            nx: 10_000,
+            ny: 1_000,
+            ranks: 10,
+            v: 10,
+            boundary: 1.0,
+        },
+        Decomp2D {
+            nx: 30,
+            ny: 8,
+            ranks: 4,
+            v: 7,
+            boundary: 2.0,
+        },
+    ] {
+        for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+            let report = check_plan2d(&d, mode)
+                .unwrap_or_else(|e| panic!("{d:?} under {mode:?} rejected: {e}"));
+            assert_eq!(report.ranks, d.ranks);
+            assert_eq!(report.messages, (d.ranks - 1) * d.steps());
+        }
+    }
+}
+
+#[test]
+fn makespan_matches_schedule_length_arithmetic() {
+    // §3/§4: blocking finishes after (hops + steps) time hyperplanes,
+    // overlap after (2·hops + steps) — more planes, each far cheaper.
+    let d = Decomp3D {
+        nx: 8,
+        ny: 8,
+        nz: 1024,
+        pi: 2,
+        pj: 2,
+        v: 128,
+        boundary: 1.0,
+    };
+    let hops = (d.pi - 1) + (d.pj - 1);
+    let b = check_plan3d(&d, ExecMode::Blocking).expect("clean");
+    let o = check_plan3d(&d, ExecMode::Overlapping).expect("clean");
+    assert_eq!(b.logical_makespan, (hops + d.steps()) as i64);
+    assert_eq!(o.logical_makespan, (2 * hops + d.steps()) as i64);
+}
+
+#[test]
+fn engine_wraps_analyzer_rejections() {
+    let err: EngineError = analyzer::AnalysisError::IllegalSchedule {
+        pi: vec![1, -1],
+        dep: vec![1, 1],
+        dot: 0,
+    }
+    .into();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("pre-flight analysis rejected the plan"),
+        "unexpected message: {msg}"
+    );
+    assert!(msg.contains("illegal schedule"), "unexpected message: {msg}");
+}
+
+#[test]
+fn preflight_gate_is_transparent_to_results() {
+    // The default path analyzes before spawning; the opt-out path skips
+    // it. Both must produce bitwise-identical grids.
+    let d = Decomp3D {
+        nx: 4,
+        ny: 4,
+        nz: 32,
+        pi: 2,
+        pj: 2,
+        v: 8,
+        boundary: 1.0,
+    };
+    let checked = WorldConfig::new(LatencyModel::zero());
+    assert!(!checked.skip_preflight);
+    let unchecked = WorldConfig::new(LatencyModel::zero()).without_preflight();
+    assert!(unchecked.skip_preflight);
+    for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+        let (a, _, _) =
+            run_dist3d_with(Relax3D::default(), d, &checked, mode).expect("checked run");
+        let (b, _, _) =
+            run_dist3d_with(Relax3D::default(), d, &unchecked, mode).expect("unchecked run");
+        assert_eq!(a.max_abs_diff(&b), 0.0, "{mode:?}");
+    }
+}

@@ -32,7 +32,7 @@ proptest! {
             boundary,
         };
         let mode = if overlap { ExecMode::Overlapping } else { ExecMode::Blocking };
-        let rep = verify_paper3d(d, LatencyModel::zero(), mode);
+        let rep = verify_paper3d(d, LatencyModel::zero(), mode).expect("valid decomposition");
         prop_assert!(rep.passed(), "max diff {}", rep.max_abs_diff);
     }
 
@@ -53,7 +53,7 @@ proptest! {
             boundary,
         };
         let mode = if overlap { ExecMode::Overlapping } else { ExecMode::Blocking };
-        let rep = verify_example1(d, LatencyModel::zero(), mode);
+        let rep = verify_example1(d, LatencyModel::zero(), mode).expect("valid decomposition");
         prop_assert!(rep.passed(), "max diff {}", rep.max_abs_diff);
     }
 
@@ -73,7 +73,7 @@ proptest! {
             boundary: 1.0,
         };
         let lat = LatencyModel { startup_us: startup, per_byte_us: 0.01 };
-        let rep = verify_paper3d(d, lat, ExecMode::Overlapping);
+        let rep = verify_paper3d(d, lat, ExecMode::Overlapping).expect("valid decomposition");
         prop_assert!(rep.passed());
     }
 }

@@ -126,7 +126,8 @@ proptest! {
         let mode = if blocking { ExecMode::Blocking } else { ExecMode::Overlapping };
         let (new, _) = stencil::dist3d::run_dist3d(Paper3D, d, LatencyModel::zero(), mode)
             .expect("valid decomp");
-        let (old, _) = legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+        let (old, _) =
+            legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid decomposition");
         prop_assert_eq!(new.max_abs_diff(&old), 0.0, "{:?} {:?}", mode, d);
     }
 
@@ -145,7 +146,8 @@ proptest! {
         let mode = if blocking { ExecMode::Blocking } else { ExecMode::Overlapping };
         let (new, _) = stencil::dist2d::run_dist2d(Example1, d, LatencyModel::zero(), mode)
             .expect("valid decomp");
-        let (old, _) = legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+        let (old, _) =
+            legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode).expect("valid decomposition");
         prop_assert_eq!(new.max_abs_diff(&old), 0.0, "{:?} {:?}", mode, d);
     }
 }

@@ -176,8 +176,8 @@ fn threaded_backend_end_to_end() {
         startup_us: 300.0,
         per_byte_us: 0.0,
     };
-    let rep_b = verify_paper3d(d, lat, ExecMode::Blocking);
-    let rep_o = verify_paper3d(d, lat, ExecMode::Overlapping);
+    let rep_b = verify_paper3d(d, lat, ExecMode::Blocking).expect("valid decomposition");
+    let rep_o = verify_paper3d(d, lat, ExecMode::Overlapping).expect("valid decomposition");
     assert!(rep_b.passed());
     assert!(rep_o.passed());
     assert!(rep_o.elapsed_secs <= rep_b.elapsed_secs * 1.05);

@@ -82,6 +82,7 @@ fn text_to_real_execution() {
         v: 16,
         boundary: 1.0,
     };
-    let rep = verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping);
+    let rep = verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping)
+        .expect("valid decomposition");
     assert!(rep.passed());
 }

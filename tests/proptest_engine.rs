@@ -34,7 +34,8 @@ proptest! {
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let (engine, _) =
                 run_dist3d(Paper3D, d, LatencyModel::zero(), mode).expect("valid decomp");
-            let (oracle, _) = stencil::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode);
+            let (oracle, _) = stencil::legacy::run_dist3d(Paper3D, d, LatencyModel::zero(), mode)
+                .expect("valid decomposition");
             prop_assert_eq!(engine.max_abs_diff(&oracle), 0.0, "vs legacy oracle {:?}", mode);
             prop_assert_eq!(engine.max_abs_diff(&seq), 0.0, "vs sequential {:?}", mode);
         }
@@ -54,7 +55,8 @@ proptest! {
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let (engine, _) =
                 run_dist2d(Example1, d, LatencyModel::zero(), mode).expect("valid decomp");
-            let (oracle, _) = stencil::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode);
+            let (oracle, _) = stencil::legacy::run_dist2d(Example1, d, LatencyModel::zero(), mode)
+                .expect("valid decomposition");
             prop_assert_eq!(engine.max_abs_diff(&oracle), 0.0, "vs legacy oracle {:?}", mode);
             prop_assert_eq!(engine.max_abs_diff(&seq), 0.0, "vs sequential {:?}", mode);
         }

@@ -28,19 +28,28 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to the `System` allocator, which
+// upholds the `GlobalAlloc` contract; the counter bump is a Relaxed
+// atomic with no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is the caller's valid layout.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was allocated by `System` with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout` come from a prior `System` allocation.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
