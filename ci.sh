@@ -74,13 +74,25 @@ else
 fi
 
 # Perf gate. The committed BENCH_stencil.json is the reference: it must
-# carry the transport-ablation rows (mpsc vs shared-slots). A quick
+# carry the transport-ablation rows (mpsc vs shared-slots), the
+# kernel-tier ablation rows and the weak/strong scaling rows. A quick
 # benchmark run (shorter pipeline, separate output file) then re-measures
 # on this machine: the shared-slot rows must show a zero steady-state
-# allocation slope, and the headline speedup must not regress more than
-# 10% below the committed reference.
+# allocation slope, and neither the headline speedup nor any per-rank-
+# count scaling row may regress more than 10% below the committed
+# reference. Wall-clock gates on a shared, oversubscribed box are noisy
+# even with best-of-N rows, so a failed comparison re-measures once
+# before being declared a regression.
 grep -q '"transport": "shared-slots"' BENCH_stencil.json || {
     echo "ci.sh: BENCH_stencil.json is missing the shared-slots transport-ablation rows" >&2
+    exit 1
+}
+grep -q '"kernel": "paper3d"' BENCH_stencil.json || {
+    echo "ci.sh: BENCH_stencil.json is missing the kernel-tier ablation rows" >&2
+    exit 1
+}
+grep -q '"kind": "weak"' BENCH_stencil.json && grep -q '"kind": "strong"' BENCH_stencil.json || {
+    echo "ci.sh: BENCH_stencil.json is missing the weak/strong scaling rows" >&2
     exit 1
 }
 ref_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' BENCH_stencil.json | head -n 1)
@@ -89,30 +101,92 @@ ref_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' BENCH_stencil.json |
     exit 1
 }
 
-cargo run --release -q -p bench --bin paper -- perf --quick
-
 quick_json=results/BENCH_quick.json
-grep -q '"transport": "shared-slots"' "$quick_json" || {
-    echo "ci.sh: quick perf run produced no shared-slots transport rows" >&2
+
+# One quick measurement pass plus every comparison against the committed
+# reference. Returns nonzero on any miss; the caller decides whether to
+# re-measure or fail.
+perf_quick_gates() {
+    cargo run --release -q -p bench --bin paper -- perf --quick || return 1
+
+    grep -q '"transport": "shared-slots"' "$quick_json" || {
+        echo "ci.sh: quick perf run produced no shared-slots transport rows" >&2
+        return 1
+    }
+    grep -q '"kernel": "paper3d"' "$quick_json" || {
+        echo "ci.sh: quick perf run produced no kernel-tier ablation rows" >&2
+        return 1
+    }
+    awk -F'"steady_allocs_per_step": ' '
+        /"transport": "shared-slots"/ && /"steady_allocs_per_step"/ {
+            split($2, a, "}"); slope = a[1] + 0
+            if (slope >= 0.5 || slope <= -0.5) {
+                printf "ci.sh: shared-slots steady-state allocation slope is %s allocs/step, expected 0\n", slope
+                bad = 1
+            }
+        }
+        END { exit bad }
+    ' "$quick_json" || return 1
+    quick_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' "$quick_json" | head -n 1)
+    awk -v q="$quick_speedup" -v r="$ref_speedup" 'BEGIN {
+        if (q + 0 < 0.9 * r) {
+            printf "ci.sh: headline speedup regressed: quick run %.3fx vs committed %.3fx (floor %.3fx)\n", q, r, 0.9 * r
+            exit 1
+        }
+        printf "ci.sh: perf gate ok — quick headline %.2fx vs committed %.2fx\n", q, r
+    }' || return 1
+
+    # Scaling regression gate: every per-rank-count throughput row of
+    # the quick run (best-of-N, identical configuration to the
+    # reference) must hold within 10% of the committed value.
+    awk '
+        FNR == 1 { file++ }
+        /"kind": / {
+            split($0, k, /"kind": "/);          split(k[2], kk, /"/)
+            split($0, w, /"world": "/);         split(w[2], ww, /"/)
+            split($0, c, /"cells_per_sec": /);  split(c[2], cc, /[,}]/)
+            key = kk[1] "/" ww[1]
+            if (file == 1) ref[key] = cc[1] + 0
+            else {
+                seen++
+                if (!(key in ref)) {
+                    printf "ci.sh: scaling row %s missing from the committed reference\n", key
+                    bad = 1
+                } else if (cc[1] + 0 < 0.9 * ref[key]) {
+                    printf "ci.sh: scaling row %s regressed: %.1f Mcells/s vs committed %.1f (floor %.1f)\n", \
+                        key, cc[1] / 1e6, ref[key] / 1e6, 0.9 * ref[key] / 1e6
+                    bad = 1
+                }
+            }
+        }
+        END {
+            if (seen < 6) {
+                printf "ci.sh: quick run produced %d scaling rows, expected 6\n", seen
+                bad = 1
+            }
+            exit bad
+        }
+    ' BENCH_stencil.json "$quick_json" || return 1
+}
+
+if ! perf_quick_gates; then
+    echo "ci.sh: perf gate missed once, re-measuring (noisy box tolerance)" >&2
+    perf_quick_gates || exit 1
+fi
+
+# Many-rank smoke: a 4×4 thread world with pooled tiles runs under the
+# full analyzer pre-flight (the one path `paper perf` does not disable)
+# and must verify bitwise against the sequential sweep.
+smoke_out=$(cargo run --release -q -p bench --bin paper -- \
+    perf --procs 4x4 --grid 16x16x256 --workers 2) || {
+    echo "$smoke_out"
+    echo "ci.sh: 4x4 pooled smoke run failed" >&2
     exit 1
 }
-awk -F'"steady_allocs_per_step": ' '
-    /"transport": "shared-slots"/ && /"steady_allocs_per_step"/ {
-        split($2, a, "}"); slope = a[1] + 0
-        if (slope >= 0.5 || slope <= -0.5) {
-            printf "ci.sh: shared-slots steady-state allocation slope is %s allocs/step, expected 0\n", slope
-            bad = 1
-        }
-    }
-    END { exit bad }
-' "$quick_json" || exit 1
-quick_speedup=$(sed -n 's/^    "speedup": \([0-9.]*\).*/\1/p' "$quick_json" | head -n 1)
-awk -v q="$quick_speedup" -v r="$ref_speedup" 'BEGIN {
-    if (q + 0 < 0.9 * r) {
-        printf "ci.sh: headline speedup regressed: quick run %.3fx vs committed %.3fx (floor %.3fx)\n", q, r, 0.9 * r
-        exit 1
-    }
-    printf "ci.sh: perf gate ok — quick headline %.2fx vs committed %.2fx\n", q, r
-}' || exit 1
+echo "$smoke_out" | grep -q "PASS" || {
+    echo "$smoke_out"
+    echo "ci.sh: 4x4 pooled smoke run did not report PASS" >&2
+    exit 1
+}
 
 echo "ci.sh: all checks passed"

@@ -660,7 +660,7 @@ mod perf {
     use std::time::Instant;
     use stencil::dist3d::{Decomp3D, ExecMode};
     use stencil::grid::Grid3D;
-    use stencil::kernel::{Paper3D, Relax3D};
+    use stencil::kernel::{Fused3D, KernelTier, Paper3D, Relax3D};
 
     struct CountingAlloc;
 
@@ -876,10 +876,22 @@ mod perf {
         use stencil::engine::LaneStats;
         let steps = d.steps();
         let cfg = WorldConfig::new(lat).with_transport(kind).without_preflight();
-        let (_, _, stats, _) =
-            run_dist3d_observed_with(Paper3D, d, &cfg, mode, |_| LaneStats::new(steps))
-                .expect("valid decomposition");
-        let (a_mean_us, a_max_us, b_mean_us, b_max_us) = LaneStats::summarize(&stats);
+        // Best of 3: every rank here is a thread oversubscribed onto
+        // the host's cores, so a single run's lane means carry whatever
+        // scheduler noise the box had that instant. The minimum over a
+        // few runs is the stable "what the code costs" number; the max
+        // columns still come from the same (best) run.
+        let mut best: Option<(f64, f64, f64, f64)> = None;
+        for _ in 0..3 {
+            let (_, _, stats, _) =
+                run_dist3d_observed_with(Paper3D, d, &cfg, mode, |_| LaneStats::new(steps))
+                    .expect("valid decomposition");
+            let s = LaneStats::summarize(&stats);
+            if best.is_none_or(|b| s.0 + s.2 < b.0 + b.2) {
+                best = Some(s);
+            }
+        }
+        let (a_mean_us, a_max_us, b_mean_us, b_max_us) = best.unwrap();
         LaneSummary {
             mode,
             transport: transport_label(kind),
@@ -895,6 +907,177 @@ mod perf {
             ExecMode::Blocking => "blocking",
             ExecMode::Overlapping => "overlapping",
         }
+    }
+
+    /// One many-rank scaling row: the optimized executor on slot
+    /// transport with core pinning, at a given world size. `weak` rows
+    /// hold the per-rank block fixed while the world grows; `strong`
+    /// rows hold the global grid fixed while it is cut finer.
+    struct ScalingRow {
+        kind: &'static str,
+        world: String,
+        ranks: usize,
+        cells_per_sec: f64,
+        a_mean_us: f64,
+        b_mean_us: f64,
+    }
+
+    fn scaling_row(kind: &'static str, d: Decomp3D, trials: usize) -> ScalingRow {
+        use stencil::dist3d::run_dist3d_observed_with;
+        use stencil::engine::LaneStats;
+        let steps = d.steps();
+        // Slot transport with a raised park cap: at 64 ranks on few
+        // cores the schedule is pure oversubscription, and longer parks
+        // keep the spinning waiters from starving the runnable ranks.
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_transport(TransportKind::shared_slots())
+            .with_backoff_cap(std::time::Duration::from_micros(200))
+            .with_core_pinning()
+            .without_preflight();
+        // Best of N: a 64-rank world on a handful of cores is pure
+        // oversubscription, and any single run's wall time carries the
+        // scheduler's mood. The fastest trial is the row the ci.sh
+        // regression gate can actually hold to a tolerance; the lane
+        // means come from that same fastest run.
+        let mut secs = f64::INFINITY;
+        let (mut a_mean_us, mut b_mean_us) = (0.0, 0.0);
+        for _ in 0..trials {
+            let (grid, elapsed, stats, _) =
+                run_dist3d_observed_with(Paper3D, d, &cfg, ExecMode::Overlapping, |_| {
+                    LaneStats::new(steps)
+                })
+                .expect("valid decomposition");
+            assert!(grid.data()[grid.data().len() / 2].is_finite());
+            if elapsed.as_secs_f64() < secs {
+                secs = elapsed.as_secs_f64();
+                let (a, _, b, _) = LaneStats::summarize(&stats);
+                a_mean_us = a;
+                b_mean_us = b;
+            }
+        }
+        ScalingRow {
+            kind,
+            world: format!("{}x{}", d.pi, d.pj),
+            ranks: d.pi * d.pj,
+            cells_per_sec: (d.nx * d.ny * d.nz) as f64 / secs,
+            a_mean_us,
+            b_mean_us,
+        }
+    }
+
+    /// One kernel-tier ablation row: the same kernel and world on the
+    /// bitwise-pinned tier vs the epsilon-verified fast tier.
+    struct TierRow {
+        kernel: &'static str,
+        bitwise_cells_per_sec: f64,
+        fast_cells_per_sec: f64,
+        fast_vs_bitwise: f64,
+        max_abs_diff: f32,
+    }
+
+    fn tier_row_for<K: stencil::kernel::Kernel3D>(
+        kernel_name: &'static str,
+        k: K,
+        trials: usize,
+        d: Decomp3D,
+    ) -> TierRow {
+        let bit_cfg = WorldConfig::new(LatencyModel::zero()).without_preflight();
+        let fast_cfg = bit_cfg.clone().with_kernel_tier(KernelTier::Fast);
+        let mode = ExecMode::Overlapping;
+        let run = |cfg: &WorldConfig| {
+            stencil::dist3d::run_dist3d_with(k, d, cfg, mode)
+                .expect("valid decomposition")
+                .0
+        };
+        let diff = run(&fast_cfg).max_abs_diff(&run(&bit_cfg));
+        let bit = measure(trials, d, || run(&bit_cfg));
+        let fast = measure(trials, d, || run(&fast_cfg));
+        TierRow {
+            kernel: kernel_name,
+            bitwise_cells_per_sec: bit.cells_per_sec,
+            fast_cells_per_sec: fast.cells_per_sec,
+            fast_vs_bitwise: bit.secs / fast.secs,
+            max_abs_diff: diff,
+        }
+    }
+
+    fn json_scaling(r: &ScalingRow) -> String {
+        format!(
+            "    {{\"kind\": \"{}\", \"world\": \"{}\", \"ranks\": {}, \"cells_per_sec\": {:.0}, \"a_mean_us\": {:.3}, \"b_mean_us\": {:.3}}}",
+            r.kind, r.world, r.ranks, r.cells_per_sec, r.a_mean_us, r.b_mean_us
+        )
+    }
+
+    fn json_tier(r: &TierRow) -> String {
+        format!(
+            "    {{\"kernel\": \"{}\", \"bitwise_cells_per_sec\": {:.0}, \"fast_cells_per_sec\": {:.0}, \"fast_vs_bitwise\": {:.3}, \"max_abs_diff\": {:e}}}",
+            r.kernel, r.bitwise_cells_per_sec, r.fast_cells_per_sec, r.fast_vs_bitwise, r.max_abs_diff
+        )
+    }
+
+    fn tier_label(tier: KernelTier) -> &'static str {
+        match tier {
+            KernelTier::Bitwise => "bitwise",
+            KernelTier::Fast => "fast",
+        }
+    }
+
+    /// `paper perf --procs PIxPJ --grid NXxNYxNZ [--tier T] [--workers N]`:
+    /// one analyzer-preflighted world, verified against the sequential
+    /// reference (bitwise for the pinned tier, epsilon for fast), with a
+    /// PASS/FAIL row — the CI smoke entry point for larger worlds.
+    pub fn run_custom(
+        procs: (usize, usize),
+        grid: (usize, usize, usize),
+        tier: KernelTier,
+        workers: usize,
+    ) -> ! {
+        use stencil::dist3d::run_dist3d_observed_with;
+        use stencil::engine::LaneStats;
+        let (pi, pj) = procs;
+        let (nx, ny, nz) = grid;
+        let d = Decomp3D {
+            nx,
+            ny,
+            nz,
+            pi,
+            pj,
+            v: (nz / 16).max(1),
+            boundary: 1.0,
+        };
+        // Pre-flight stays ON here (unlike the timed benchmark rows):
+        // this path exists to prove the analyzer accepts the world
+        // before anything runs.
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_transport(TransportKind::shared_slots())
+            .with_kernel_tier(tier)
+            .with_compute_workers(workers);
+        let steps = d.steps();
+        let (dist, elapsed, stats, _) =
+            run_dist3d_observed_with(Paper3D, d, &cfg, ExecMode::Overlapping, |_| {
+                LaneStats::new(steps)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL ({e})");
+                std::process::exit(1);
+            });
+        let seq = stencil::seq::run_paper3d_seq(nx, ny, nz, d.boundary);
+        let err = dist.max_abs_diff(&seq);
+        let ok = match tier {
+            KernelTier::Bitwise => err == 0.0,
+            KernelTier::Fast => err <= 1e-4,
+        };
+        let (a_mean, _, b_mean, _) = LaneStats::summarize(&stats);
+        println!(
+            "custom {pi}x{pj} {nx}x{ny}x{nz} tier={} workers={workers}: {} ({:.1} Mcells/s, a_mean {:.1} µs, b_mean {:.1} µs, max_abs_diff {:e})",
+            tier_label(tier),
+            if ok { "PASS" } else { "FAIL" },
+            (nx * ny * nz) as f64 / elapsed.as_secs_f64() / 1e6,
+            a_mean,
+            b_mean,
+            err
+        );
+        std::process::exit(if ok { 0 } else { 1 });
     }
 
     fn json_lane(l: &LaneSummary) -> String {
@@ -1050,6 +1233,77 @@ mod perf {
                 l.b_max_us
             );
         }
+        // Kernel-tier ablation: each wave kernel on the bitwise-pinned
+        // tier vs the reassociated fast tier, same world, plus the
+        // measured divergence between the two results.
+        let tier_d = Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: if quick { 4096 } else { 16_384 },
+            pi: 2,
+            pj: 2,
+            v: 256,
+            boundary: 1.0,
+        };
+        let tiers = [
+            tier_row_for("paper3d", Paper3D, trials, tier_d),
+            tier_row_for("relax3d", Relax3D::default(), trials, tier_d),
+            tier_row_for("fused3d", Fused3D::default(), trials, tier_d),
+        ];
+        for t in &tiers {
+            println!(
+                "tier {:8} bitwise {:>7.1} Mcells/s | fast {:>7.1} Mcells/s | fast/bitwise {:.2}x | max |Δ| {:e}",
+                t.kernel,
+                t.bitwise_cells_per_sec / 1e6,
+                t.fast_cells_per_sec / 1e6,
+                t.fast_vs_bitwise,
+                t.max_abs_diff
+            );
+        }
+        // Many-rank scaling on the slot transport. Weak rows fix the
+        // per-rank block (4×4×2048 pencils, v = 128) and grow the
+        // world; strong rows fix the global 16×16×2048 grid and cut it
+        // finer. The identical configurations and trial count run in
+        // quick and full mode so CI can compare a quick run against the
+        // committed reference row-for-row under a fixed tolerance.
+        let scaling_trials = 5;
+        let mut scaling = Vec::new();
+        for p in [2usize, 4, 8] {
+            scaling.push(scaling_row(
+                "weak",
+                Decomp3D {
+                    nx: 4 * p,
+                    ny: 4 * p,
+                    nz: 2048,
+                    pi: p,
+                    pj: p,
+                    v: 128,
+                    boundary: 1.0,
+                },
+                scaling_trials,
+            ));
+        }
+        for p in [2usize, 4, 8] {
+            scaling.push(scaling_row(
+                "strong",
+                Decomp3D {
+                    nx: 16,
+                    ny: 16,
+                    nz: 2048,
+                    pi: p,
+                    pj: p,
+                    v: 128,
+                    boundary: 1.0,
+                },
+                scaling_trials,
+            ));
+        }
+        for s in &scaling {
+            println!(
+                "scaling {:6} {:>3} ranks ({:>3}) {:>7.1} Mcells/s | A mean {:>7.1} µs | B mean {:>7.1} µs",
+                s.kind, s.ranks, s.world, s.cells_per_sec / 1e6, s.a_mean_us, s.b_mean_us
+            );
+        }
         // Headline: the full zero-copy stack (slot transport + in-place
         // pack/unpack + pencil kernels) against the element-wise legacy
         // executor on the overlap schedule.
@@ -1060,7 +1314,8 @@ mod perf {
             "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"relax3d-overlap-slots\",\n    \
              \"transport\": \"shared-slots\",\n    \
              \"baseline_cells_per_sec\": {:.0},\n    \"optimized_cells_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
-             \"comparisons\": [\n{}\n  ],\n  \"transports\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ]\n}}\n",
+             \"comparisons\": [\n{}\n  ],\n  \"transports\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ],\n  \
+             \"tiers\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
             legacy.cells_per_sec,
             slots_overlap.cells_per_sec,
             headline_speedup,
@@ -1074,7 +1329,9 @@ mod perf {
                 .map(json_transport)
                 .collect::<Vec<_>>()
                 .join(",\n"),
-            lanes.iter().map(json_lane).collect::<Vec<_>>().join(",\n")
+            lanes.iter().map(json_lane).collect::<Vec<_>>().join(",\n"),
+            tiers.iter().map(json_tier).collect::<Vec<_>>().join(",\n"),
+            scaling.iter().map(json_scaling).collect::<Vec<_>>().join(",\n")
         );
         let path = if quick {
             let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
@@ -1093,9 +1350,22 @@ mod perf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one pre-flighted world verified against the sequential reference (PASS/FAIL)"
     );
     std::process::exit(2);
+}
+
+/// Parse "AxB" (e.g. `--procs 4x4`).
+fn parse_pair(s: &str) -> Option<(usize, usize)> {
+    let (a, b) = s.split_once('x')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+/// Parse "AxBxC" (e.g. `--grid 16x16x256`).
+fn parse_triple(s: &str) -> Option<(usize, usize, usize)> {
+    let (a, rest) = s.split_once('x')?;
+    let (b, c) = rest.split_once('x')?;
+    Some((a.parse().ok()?, b.parse().ok()?, c.parse().ok()?))
 }
 
 fn main() {
@@ -1128,12 +1398,52 @@ fn main() {
         "chaos" => cmd_chaos(),
         "analyze" => cmd_analyze(),
         "perf" => {
-            let quick = match std::env::args().nth(2).as_deref() {
-                None => false,
-                Some("--quick") => true,
-                Some(_) => usage(),
-            };
-            perf::run(quick)
+            let mut quick = false;
+            let mut procs: Option<(usize, usize)> = None;
+            let mut grid: Option<(usize, usize, usize)> = None;
+            let mut tier = stencil::kernel::KernelTier::Bitwise;
+            let mut workers = 1usize;
+            let mut args = std::env::args().skip(2);
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--procs" => {
+                        procs = parse_pair(&args.next().unwrap_or_else(|| usage()));
+                        if procs.is_none() {
+                            usage();
+                        }
+                    }
+                    "--grid" => {
+                        grid = parse_triple(&args.next().unwrap_or_else(|| usage()));
+                        if grid.is_none() {
+                            usage();
+                        }
+                    }
+                    "--tier" => {
+                        tier = match args.next().as_deref() {
+                            Some("bitwise") => stencil::kernel::KernelTier::Bitwise,
+                            Some("fast") => stencil::kernel::KernelTier::Fast,
+                            _ => usage(),
+                        }
+                    }
+                    "--workers" => {
+                        workers = args
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&w| w >= 1)
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            match (procs, grid) {
+                (Some(p), Some(g)) => perf::run_custom(p, g, tier, workers),
+                (None, None) => perf::run(quick),
+                _ => {
+                    eprintln!("--procs and --grid must be given together");
+                    usage()
+                }
+            }
         }
         "all" => {
             cmd_example1();

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod affinity;
 pub mod comm;
 pub mod fault;
 pub mod modelcheck;

@@ -247,24 +247,39 @@ impl<T> Drop for Ring<T> {
     }
 }
 
-/// Incremental backoff for the consumer's wait loops: spin briefly,
-/// yield, then sleep in short slices.
-struct Backoff(u32);
+/// Default cap of the backoff ladder's longest park — the same
+/// worst-case wait as the fixed 20 µs sleep this ladder replaced.
+pub(crate) const DEFAULT_BACKOFF_CAP: Duration = Duration::from_micros(20);
+
+/// Incremental backoff for the transport wait loops: spin briefly,
+/// yield, then park in exponentially growing slices (1 µs doubling up
+/// to `cap`). The exponential ramp is what keeps oversubscribed worlds
+/// (more ranks than cores) from serializing on sleeps: a consumer that
+/// frees a slot a microsecond after the producer starts waiting costs
+/// the producer ~1 µs, not a fixed full sleep quantum, while a
+/// long-wedged peer still converges to `cap`-sized parks instead of
+/// burning the core.
+struct Backoff {
+    step: u32,
+    cap: Duration,
+}
 
 impl Backoff {
-    fn new() -> Self {
-        Backoff(0)
+    fn with_cap(cap: Duration) -> Self {
+        Backoff { step: 0, cap }
     }
 
     fn snooze(&mut self) {
-        if self.0 < 64 {
+        if self.step < 64 {
             std::hint::spin_loop();
-        } else if self.0 < 192 {
+        } else if self.step < 192 {
             std::thread::yield_now();
         } else {
-            std::thread::sleep(Duration::from_micros(20));
+            let exp = (self.step - 192).min(14);
+            let park = Duration::from_micros(1u64 << exp).min(self.cap);
+            std::thread::park_timeout(park);
         }
-        self.0 = self.0.saturating_add(1);
+        self.step = self.step.saturating_add(1);
     }
 }
 
@@ -272,20 +287,25 @@ impl Backoff {
 pub(crate) struct SlotTx<T> {
     ring: Arc<Ring<T>>,
     pool: Arc<SlotPool<T>>,
+    backoff_cap: Duration,
 }
 
 /// Receiver half of a slot link.
 pub(crate) struct SlotRx<T> {
     ring: Arc<Ring<T>>,
+    backoff_cap: Duration,
 }
 
 /// Build one directed slot link with `slots` payload slots (the
 /// envelope ring gets twice that, so it only overflows when the pool
-/// itself is oversubscribed).
+/// itself is oversubscribed) and the given backoff park cap.
 pub(crate) fn make_slot_link<T: Send + Sync + 'static>(
     slots: usize,
+    backoff_cap: Duration,
 ) -> (Box<dyn LinkTx<T>>, Box<dyn LinkRx<T>>) {
-    let (tx, rx, _) = make_slot_link_raw(slots);
+    let (mut tx, mut rx, _) = make_slot_link_raw(slots);
+    tx.backoff_cap = backoff_cap;
+    rx.backoff_cap = backoff_cap;
     (Box::new(tx), Box::new(rx))
 }
 
@@ -302,8 +322,12 @@ pub(crate) fn make_slot_link_raw<T: Send + Sync + 'static>(
         SlotTx {
             ring: Arc::clone(&ring),
             pool: Arc::clone(&pool),
+            backoff_cap: DEFAULT_BACKOFF_CAP,
         },
-        SlotRx { ring },
+        SlotRx {
+            ring,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+        },
         pool,
     )
 }
@@ -334,7 +358,7 @@ impl<T: Send + Sync> SlotTx<T> {
             // consumer (there is no other wire-level flow control — an
             // eager-protocol `wait_send` completes immediately). Wait a
             // bounded while for the consumer to release one.
-            let mut backoff = Backoff::new();
+            let mut backoff = Backoff::with_cap(self.backoff_cap);
             for _ in 0..wait_budget {
                 backoff.snooze();
                 claimed = self.pool.claim();
@@ -402,7 +426,7 @@ impl<T: Send + Sync> LinkRx<T> for SlotRx<T> {
     }
 
     fn pop_blocking(&mut self) -> Result<Envelope<T>, LinkClosed> {
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::with_cap(self.backoff_cap);
         loop {
             if let Some(env) = self.ring.try_pop() {
                 return Ok(env);
@@ -418,7 +442,7 @@ impl<T: Send + Sync> LinkRx<T> for SlotRx<T> {
 
     fn pop_timeout(&mut self, timeout: Duration) -> Result<Option<Envelope<T>>, LinkClosed> {
         let deadline = Instant::now() + timeout;
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::with_cap(self.backoff_cap);
         loop {
             if let Some(env) = self.ring.try_pop() {
                 return Ok(Some(env));
@@ -469,7 +493,7 @@ mod tests {
         // Capacity 2 ring (slots=1): push far more than fits, pop
         // everything, and demand exact FIFO order across the
         // ring → overflow → ring transitions.
-        let (mut tx, mut rx) = make_slot_link::<u32>(1);
+        let (mut tx, mut rx) = make_slot_link::<u32>(1, DEFAULT_BACKOFF_CAP);
         let mut popped = Vec::new();
         for round in 0..4u32 {
             for i in 0..10u32 {
@@ -489,7 +513,7 @@ mod tests {
 
     #[test]
     fn exhausted_pool_falls_back_to_owned_copies() {
-        let (mut tx, mut rx) = make_slot_link::<u32>(2);
+        let (mut tx, mut rx) = make_slot_link::<u32>(2, DEFAULT_BACKOFF_CAP);
         let mut stats = PoolStats::default();
         // Stage 5 payloads without consuming: 2 leases, then owned
         // fallbacks — all still delivered in order.
@@ -517,7 +541,7 @@ mod tests {
 
     #[test]
     fn slot_is_not_reused_while_a_lease_is_parked() {
-        let (mut tx, _rx) = make_slot_link::<u32>(1);
+        let (mut tx, _rx) = make_slot_link::<u32>(1, DEFAULT_BACKOFF_CAP);
         let mut stats = PoolStats::default();
         let first = tx.stage(&mut stats, &mut |buf| {
             buf.clear();
@@ -549,7 +573,7 @@ mod tests {
 
     #[test]
     fn steady_state_staging_recycles_slot_buffers() {
-        let (mut tx, mut rx) = make_slot_link::<f32>(4);
+        let (mut tx, mut rx) = make_slot_link::<f32>(4, DEFAULT_BACKOFF_CAP);
         let mut stats = PoolStats::default();
         for step in 0..100 {
             let p = tx.stage(&mut stats, &mut |buf| {
@@ -575,7 +599,7 @@ mod tests {
 
     #[test]
     fn closed_link_reports_after_draining() {
-        let (mut tx, mut rx) = make_slot_link::<u32>(2);
+        let (mut tx, mut rx) = make_slot_link::<u32>(2, DEFAULT_BACKOFF_CAP);
         tx.push(env(1, 42)).expect("rx alive");
         drop(tx);
         let e = rx
@@ -589,14 +613,14 @@ mod tests {
 
     #[test]
     fn push_to_dropped_receiver_fails() {
-        let (mut tx, rx) = make_slot_link::<u32>(2);
+        let (mut tx, rx) = make_slot_link::<u32>(2, DEFAULT_BACKOFF_CAP);
         drop(rx);
         assert!(tx.push(env(0, 1)).is_err());
     }
 
     #[test]
     fn cross_thread_spsc_delivers_everything_in_order() {
-        let (mut tx, mut rx) = make_slot_link::<u64>(4);
+        let (mut tx, mut rx) = make_slot_link::<u64>(4, DEFAULT_BACKOFF_CAP);
         const N: u64 = 10_000;
         std::thread::scope(|s| {
             s.spawn(move || {

@@ -34,6 +34,7 @@ pub use crate::transport::{PoolStats, TransportKind};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tiling_core::machine::KernelTier;
 
 /// Affine wire-latency model `startup + per_byte · payload_bytes`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -94,7 +95,7 @@ impl LatencyModel {
 /// the transport kind, the optional reliability layer, and the fault
 /// plan. [`run_threads`] is the plain-latency shorthand;
 /// [`run_threads_with`] accepts this.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// Injected wire latency.
     pub latency: LatencyModel,
@@ -112,9 +113,42 @@ pub struct WorldConfig {
     /// [`WorldConfig::without_preflight`] to keep timing loops free of
     /// even the (constant, microsecond-scale) check cost.
     pub skip_preflight: bool,
+    /// Longest single park of a transport backpressure backoff. The
+    /// spin-then-park ladder doubles its park from 1 µs up to this cap,
+    /// so a blocked sender wakes at least this often to re-check. Large
+    /// caps cost nothing when uncontended; on oversubscribed worlds
+    /// (more ranks than cores) a smaller cap keeps a full slot ring
+    /// from stalling its consumer's time slice.
+    pub backoff_cap: Duration,
+    /// Numerical tier the compute kernels run at
+    /// ([`KernelTier::Bitwise`] by default — distributed results are
+    /// bitwise-equal to sequential; [`KernelTier::Fast`] trades that
+    /// for shorter dependency chains, ULP-bounded).
+    pub kernel_tier: KernelTier,
+    /// Compute workers *per rank* (1 = no intra-rank parallelism). The
+    /// stencil executors split each tile's independent pencils across
+    /// this many threads while the rank's engine keeps driving the
+    /// communication lanes.
+    pub compute_workers: usize,
+    /// Best-effort core-affinity pinning: rank `r` (and its compute
+    /// workers) to core `r mod cores`. Failures are ignored — this is
+    /// a scheduling hint for scaling measurements, not a correctness
+    /// knob.
+    pub pin_cores: bool,
+}
+
+impl Default for WorldConfig {
+    /// Same as [`WorldConfig::new`] with the default (zero) latency.
+    fn default() -> Self {
+        WorldConfig::new(LatencyModel::default())
+    }
 }
 
 impl WorldConfig {
+    /// Default cap of the transport backpressure backoff ladder —
+    /// matches the legacy fixed 20 µs sleep's worst-case wait.
+    pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_micros(20);
+
     /// A plain world: the given latency, mpsc transport, no reliability
     /// layer, no faults — byte-for-byte the transport [`run_threads`]
     /// builds.
@@ -125,7 +159,35 @@ impl WorldConfig {
             reliability: None,
             faults: None,
             skip_preflight: false,
+            backoff_cap: Self::DEFAULT_BACKOFF_CAP,
+            kernel_tier: KernelTier::Bitwise,
+            compute_workers: 1,
+            pin_cores: false,
         }
+    }
+
+    /// Cap the transport backpressure backoff's longest park.
+    pub fn with_backoff_cap(mut self, cap: Duration) -> Self {
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Select the numerical tier of the compute kernels.
+    pub fn with_kernel_tier(mut self, tier: KernelTier) -> Self {
+        self.kernel_tier = tier;
+        self
+    }
+
+    /// Set the per-rank compute worker count (≥ 1).
+    pub fn with_compute_workers(mut self, workers: usize) -> Self {
+        self.compute_workers = workers.max(1);
+        self
+    }
+
+    /// Request best-effort core-affinity pinning of rank threads.
+    pub fn with_core_pinning(mut self) -> Self {
+        self.pin_cores = true;
+        self
     }
 
     /// Disable the executors' pre-flight plan analysis for this world
@@ -964,7 +1026,7 @@ pub(crate) fn build_world_with<T: Send + Sync + 'static>(
     #[allow(clippy::needless_range_loop)] // src/dst index two grids
     for src in 0..size {
         for dst in 0..size {
-            let (t, r) = make_link::<T>(cfg.transport);
+            let (t, r) = make_link::<T>(cfg.transport, cfg.backoff_cap);
             tx_grid[src][dst] = Some(t);
             rx_grid[dst][src] = Some(r);
         }
@@ -1059,10 +1121,20 @@ where
     let comms = build_world_with::<T>(size, cfg);
     let start = Instant::now();
     let body = &body;
+    let pin = cfg.pin_cores;
     let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| scope.spawn(move || body(comm)))
+            .map(|comm| {
+                let rank = comm.rank;
+                scope.spawn(move || {
+                    if pin {
+                        // Best-effort placement hint; failure is fine.
+                        let _ = crate::affinity::pin_current_thread(rank);
+                    }
+                    body(comm)
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join()).collect()
     });

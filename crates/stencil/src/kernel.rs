@@ -13,6 +13,164 @@
 //! recurrences like LCS-style dynamic programming.
 
 use tiling_core::dependence::DependenceSet;
+pub use tiling_core::machine::KernelTier;
+
+/// Maximum number of pencils a [`Wave`] can hold.
+///
+/// Sixteen interleaved carry chains are enough to saturate the sqrt/FMA
+/// units on every x86 microarchitecture we care about (the chain latency
+/// is ~20 cycles and the units have 4–6-cycle throughput), while keeping
+/// the carry state (`16 × f32`) comfortably in registers.
+pub const MAX_WAVE: usize = 16;
+
+/// A batch of up to [`MAX_WAVE`] *mutually independent* pencils.
+///
+/// The executors walk a tile's cross-section in anti-diagonal order:
+/// all pencils with `i + j = const` depend only on rows from earlier
+/// diagonals, so their loop-carried `k`-chains are independent and a
+/// kernel may interleave them freely — each *cell* still sees exactly
+/// its sequential operation order, so the bitwise tier stays pinned,
+/// but the CPU now has `m` independent dependency chains in flight
+/// instead of one.
+///
+/// Stored struct-of-arrays so the interleaved chain pass indexes flat
+/// arrays; slots past `len` hold empty slices and are never touched.
+pub struct Wave<'a> {
+    len: usize,
+    gi: [i64; MAX_WAVE],
+    gj: [i64; MAX_WAVE],
+    k0: [i64; MAX_WAVE],
+    km1: [f32; MAX_WAVE],
+    im1: [&'a [f32]; MAX_WAVE],
+    jm1: [&'a [f32]; MAX_WAVE],
+    out: [&'a mut [f32]; MAX_WAVE],
+}
+
+/// Disjoint field views of a [`Wave`], all truncated to its length —
+/// lets a kernel's pass-1/pass-2 loops borrow inputs (shared) and
+/// outputs (mutable) simultaneously.
+pub struct WaveParts<'w, 'a> {
+    /// Number of live pencils (`1..=MAX_WAVE`).
+    pub m: usize,
+    /// Global `i` of each pencil.
+    pub gi: &'w [i64],
+    /// Global `j` of each pencil.
+    pub gj: &'w [i64],
+    /// Global `k` of each pencil's first cell.
+    pub k0: &'w [i64],
+    /// Loop-carried `k−1` seed of each pencil.
+    pub km1: &'w [f32],
+    /// `i−1` neighbor pencil of each pencil.
+    pub im1: &'w [&'a [f32]],
+    /// `j−1` neighbor pencil of each pencil.
+    pub jm1: &'w [&'a [f32]],
+    /// Output pencil of each pencil.
+    pub out: &'w mut [&'a mut [f32]],
+}
+
+impl<'a> Default for Wave<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Wave<'a> {
+    /// An empty wave.
+    pub fn new() -> Self {
+        Wave {
+            len: 0,
+            gi: [0; MAX_WAVE],
+            gj: [0; MAX_WAVE],
+            k0: [0; MAX_WAVE],
+            km1: [0.0; MAX_WAVE],
+            im1: [&[]; MAX_WAVE],
+            jm1: [&[]; MAX_WAVE],
+            out: core::array::from_fn(|_| Default::default()),
+        }
+    }
+
+    /// Number of pencils currently batched.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no pencils are batched.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when another [`Wave::push`] would overflow.
+    pub fn is_full(&self) -> bool {
+        self.len == MAX_WAVE
+    }
+
+    /// Drop all pencils (also releases the `out` borrows by replacing
+    /// them with empty slices).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.im1 = [&[]; MAX_WAVE];
+        self.jm1 = [&[]; MAX_WAVE];
+        self.out = core::array::from_fn(|_| Default::default());
+    }
+
+    /// Append one pencil. The caller asserts (by construction of the
+    /// batch) that it is independent of every pencil already present.
+    ///
+    /// # Panics
+    /// If the wave is full.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_pencil's signature
+    pub fn push(&mut self, gi: i64, gj: i64, k0: i64, im1: &'a [f32], jm1: &'a [f32], km1: f32, out: &'a mut [f32]) {
+        let n = self.len;
+        assert!(n < MAX_WAVE, "wave overflow");
+        self.gi[n] = gi;
+        self.gj[n] = gj;
+        self.k0[n] = k0;
+        self.km1[n] = km1;
+        self.im1[n] = im1;
+        self.jm1[n] = jm1;
+        self.out[n] = out;
+        self.len = n + 1;
+    }
+
+    /// Borrow all fields at once, truncated to the live length.
+    pub fn parts(&mut self) -> WaveParts<'_, 'a> {
+        let m = self.len;
+        WaveParts {
+            m,
+            gi: &self.gi[..m],
+            gj: &self.gj[..m],
+            k0: &self.k0[..m],
+            km1: &self.km1[..m],
+            im1: &self.im1[..m],
+            jm1: &self.jm1[..m],
+            out: &mut self.out[..m],
+        }
+    }
+}
+
+/// Pass-1 helper: `o[z] = f(a[z], c[z])` over the carry-free lanes, in
+/// hand-unrolled `[f32; 8]` blocks (one cache line of `f32`) with a
+/// scalar remainder loop. The block form gives the compiler a
+/// straight-line 8-lane body with no cross-iteration dependence — i.e.
+/// license to keep the whole block in vector registers.
+#[inline(always)]
+fn chunk8(a: &[f32], c: &[f32], o: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    let len = o.len();
+    assert!(a.len() >= len && c.len() >= len);
+    let mut z = 0;
+    while z + 8 <= len {
+        let mut t = [0.0f32; 8];
+        for (l, t) in t.iter_mut().enumerate() {
+            *t = f(a[z + l], c[z + l]);
+        }
+        o[z..z + 8].copy_from_slice(&t);
+        z += 8;
+    }
+    while z < len {
+        o[z] = f(a[z], c[z]);
+        z += 1;
+    }
+}
 
 /// A 2-D wavefront kernel with dependences ⊆ `{(1,1),(1,0),(0,1)}`.
 pub trait Kernel2D: Copy + Send + Sync + 'static {
@@ -51,6 +209,50 @@ pub trait Kernel3D: Copy + Send + Sync + 'static {
             let v = self.eval(i, j, kz, a, c, prev);
             *o = v;
             prev = v;
+        }
+    }
+
+    /// Evaluate a [`Wave`] of mutually independent pencils.
+    ///
+    /// This is the two-pass vectorized form of [`Kernel3D::eval_pencil`]:
+    /// overrides run a carry-free vector pass (the non-carried term of
+    /// every cell, in chunked 8-lane blocks) followed by a scalar carry
+    /// pass that *interleaves* the `m` independent `k`-chains — each
+    /// cell still performs exactly its sequential operations in the
+    /// sequential order, so the result is **bitwise** equal to running
+    /// [`Kernel3D::eval_pencil`] on each pencil (the kernel proptests
+    /// assert this); only the chain-level parallelism changes.
+    ///
+    /// The default simply walks the pencils one by one — bitwise by
+    /// construction for kernels without an override.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave(&self, wave: &mut Wave<'_>) {
+        let p = wave.parts();
+        for n in 0..p.m {
+            self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+        }
+    }
+
+    /// Fast-math tier of [`Kernel3D::eval_wave`] ([`KernelTier::Fast`]).
+    ///
+    /// Overrides may reassociate the per-cell arithmetic and substitute
+    /// cheaper equivalents valid on the recurrence's reachable domain,
+    /// shortening the loop-carried dependency chain at the cost of
+    /// bitwise reproducibility. Results are ULP-bounded against the
+    /// pinned tier (asserted by the fast-tier tests), never assumed
+    /// identical. The default falls back to the bitwise wave.
+    #[inline]
+    fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
+        self.eval_wave(wave)
+    }
+
+    /// Dispatch a wave through the tier-selected evaluator.
+    #[inline]
+    fn eval_wave_tier(&self, tier: KernelTier, wave: &mut Wave<'_>) {
+        match tier {
+            KernelTier::Bitwise => self.eval_wave(wave),
+            KernelTier::Fast => self.eval_wave_fast(wave),
         }
     }
 
@@ -98,6 +300,80 @@ impl Kernel3D for Paper3D {
             sk = v.max(0.0).sqrt();
         }
     }
+
+    // Two-pass wave: pass 1 writes the carry-free `√im1 + √jm1` term of
+    // every cell into `out` (8-lane chunked, fully vectorizable); pass 2
+    // interleaves the m scalar carry chains `v = out[z] + sk; sk = √v⁺`.
+    // Each cell computes `(√a⁺ + √c⁺) + √km1⁺` in exactly the scalar
+    // order, so the result is bitwise equal to `eval_pencil`; the win is
+    // that the ~20-cycle add→max→sqrt carry latency of one chain hides
+    // the same latency of the other m−1.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave(&self, wave: &mut Wave<'_>) {
+        let p = wave.parts();
+        // Narrow waves don't amortize the split: one or two interleaved
+        // chains hide almost no carry latency, but still pay the extra
+        // sweep over `out` — measurably slower than the fused pencil
+        // loop, and every tile walk spends its ramp cells there. The
+        // fallback is bitwise-free (both forms run each cell's scalar
+        // operation order), so only the bitwise tier takes it; the fast
+        // tier must stay grouping-invariant across wave widths.
+        if p.m <= 2 {
+            for n in 0..p.m {
+                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+            }
+            return;
+        }
+        let mut sk = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| {
+                a.max(0.0).sqrt() + c.max(0.0).sqrt()
+            });
+            sk[n] = p.km1[n].max(0.0).sqrt();
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for (o, s) in p.out.iter_mut().zip(sk.iter_mut()) {
+                if z < o.len() {
+                    let v = o[z] + *s;
+                    o[z] = v;
+                    *s = v.max(0.0).sqrt();
+                }
+            }
+        }
+    }
+
+    // Fast tier: every carried value is a sum of square roots, hence
+    // ≥ 0, so on the reachable domain `max(v, 0)` reduces to `|v|` (one
+    // cycle, off the sqrt's critical path on most cores) and the input
+    // guards in pass 1 can go entirely — the executors only feed the
+    // kernel its own outputs, the (non-negative) boundary splat, or
+    // halos thereof. Off-domain (negative) inputs would produce NaNs
+    // here where the pinned tier clamps, which is exactly the contract
+    // difference the tier flag signals.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
+        let p = wave.parts();
+        let mut sk = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| a.sqrt() + c.sqrt());
+            sk[n] = p.km1[n].abs().sqrt();
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for (o, s) in p.out.iter_mut().zip(sk.iter_mut()) {
+                if z < o.len() {
+                    let v = o[z] + *s;
+                    o[z] = v;
+                    *s = v.abs().sqrt();
+                }
+            }
+        }
+    }
 }
 
 /// A damped 3-D smoothing recurrence (successive-relaxation flavour):
@@ -132,6 +408,75 @@ impl Kernel3D for Relax3D {
             let v = w * (a + c + prev);
             *o = v;
             prev = v;
+        }
+    }
+
+    // Two-pass wave: pass 1 writes the carry-free `im1 + jm1` term
+    // (8-lane chunked); pass 2 interleaves the carries, each cell doing
+    // `w · ((a + c) + prev)` in exactly the scalar association — the
+    // scalar `a + c + prev` parses left-to-right, so bitwise equal.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave(&self, wave: &mut Wave<'_>) {
+        let w = self.omega / 3.0;
+        let p = wave.parts();
+        // Narrow waves don't amortize the split: one or two interleaved
+        // chains hide almost no carry latency, but still pay the extra
+        // sweep over `out` — measurably slower than the fused pencil
+        // loop, and every tile walk spends its ramp cells there. The
+        // fallback is bitwise-free (both forms run each cell's scalar
+        // operation order), so only the bitwise tier takes it; the fast
+        // tier must stay grouping-invariant across wave widths.
+        if p.m <= 2 {
+            for n in 0..p.m {
+                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+            }
+            return;
+        }
+        let mut prev = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| a + c);
+            prev[n] = p.km1[n];
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for (o, s) in p.out.iter_mut().zip(prev.iter_mut()) {
+                if z < o.len() {
+                    let v = w * (o[z] + *s);
+                    o[z] = v;
+                    *s = v;
+                }
+            }
+        }
+    }
+
+    // Fast tier: distribute `w` into the carry-free term — pass 1
+    // precomputes `w·(a + c)` (still fully vectorizable), and the carry
+    // becomes a single fused multiply-add `v = prev·w + ws[z]`, halving
+    // the loop-carried latency (one FMA vs add-then-multiply). The
+    // reassociation perturbs each cell by ≤ a few ULP; the recurrence is
+    // a contraction (`ω < 1`), so the perturbation stays bounded.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
+        let w = self.omega / 3.0;
+        let p = wave.parts();
+        let mut prev = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| w * (a + c));
+            prev[n] = p.km1[n];
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for (o, s) in p.out.iter_mut().zip(prev.iter_mut()) {
+                if z < o.len() {
+                    let v = s.mul_add(w, o[z]);
+                    o[z] = v;
+                    *s = v;
+                }
+            }
         }
     }
 }
@@ -199,6 +544,73 @@ impl Kernel3D for Fused3D {
             let v = a.mul_add(wa, c.mul_add(wa, prev * wc));
             *o = v;
             prev = v;
+        }
+    }
+
+    // Bitwise wave: the fused expression nests `prev` *inside* the
+    // second FMA, so no carry-free prefix can be split off without
+    // reassociating — instead the full per-cell chains are interleaved
+    // (identical ops and order per cell, m chains in flight).
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave(&self, wave: &mut Wave<'_>) {
+        let (wa, wc) = (self.wa, self.wc);
+        let p = wave.parts();
+        // Narrow waves don't amortize the split: one or two interleaved
+        // chains hide almost no carry latency, but still pay the extra
+        // sweep over `out` — measurably slower than the fused pencil
+        // loop, and every tile walk spends its ramp cells there. The
+        // fallback is bitwise-free (both forms run each cell's scalar
+        // operation order), so only the bitwise tier takes it; the fast
+        // tier must stay grouping-invariant across wave widths.
+        if p.m <= 2 {
+            for n in 0..p.m {
+                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+            }
+            return;
+        }
+        let mut prev = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            prev[n] = p.km1[n];
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for n in 0..p.m {
+                let o = &mut p.out[n];
+                if z < o.len() {
+                    let v = p.im1[n][z].mul_add(wa, p.jm1[n][z].mul_add(wa, prev[n] * wc));
+                    o[z] = v;
+                    prev[n] = v;
+                }
+            }
+        }
+    }
+
+    // Fast tier: hoist the non-carried `wa·a + wa·c` into pass 1 (one
+    // FMA per cell, vectorizable) so the carry chain collapses to the
+    // single FMA `v = prev·wc + e[z]` — reassociated, ULP-bounded, and
+    // contractive for the shipped weights (`2·wa + wc < 1`).
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
+        let (wa, wc) = (self.wa, self.wc);
+        let p = wave.parts();
+        let mut prev = [0.0f32; MAX_WAVE];
+        let mut len = 0;
+        for n in 0..p.m {
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| a.mul_add(wa, c * wa));
+            prev[n] = p.km1[n];
+            len = len.max(p.out[n].len());
+        }
+        for z in 0..len {
+            for (o, s) in p.out.iter_mut().zip(prev.iter_mut()) {
+                if z < o.len() {
+                    let v = s.mul_add(wc, o[z]);
+                    o[z] = v;
+                    *s = v;
+                }
+            }
         }
     }
 }
@@ -429,5 +841,108 @@ mod tests {
         check_pencil_bitwise(LongestPath3D, "longest-path");
         check_pencil_bitwise(Fused3D::default(), "fused3d");
         check_pencil_bitwise(Fused3D { wa: 0.3, wc: 0.25 }, "fused3d-0.3");
+    }
+
+    /// Deterministic mixed-sign pencil data, distinct per (pencil, salt).
+    fn wave_data(p: usize, salt: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|n| {
+                let w = cell_weight(p as i64 + salt as i64 * 31, n as i64, len as i64);
+                (w - 0.5) * 8.0
+            })
+            .collect()
+    }
+
+    fn check_wave_bitwise<K: Kernel3D>(kernel: K, name: &str) {
+        // Widths spanning 1..MAX_WAVE, lengths hitting the 8-lane
+        // remainder cases, plus one ragged batch (mixed pencil lengths
+        // exercising the chain pass's per-pencil end guard).
+        for (m, lens) in [
+            (1usize, vec![5usize]),
+            (3, vec![64; 3]),
+            (4, vec![7; 4]),
+            (MAX_WAVE, vec![129; MAX_WAVE]),
+            (5, vec![1, 8, 17, 3, 40]),
+        ] {
+            let im1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 1, lens[p])).collect();
+            let jm1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 2, lens[p])).collect();
+            let km1s: Vec<f32> = (0..m).map(|p| (cell_weight(p as i64, 9, 9) - 0.5) * 4.0).collect();
+            let mut want: Vec<Vec<f32>> = lens.iter().map(|&l| vec![0.0; l]).collect();
+            for p in 0..m {
+                kernel.eval_pencil(p as i64, -1, 3, &im1s[p], &jm1s[p], km1s[p], &mut want[p]);
+            }
+            let mut got: Vec<Vec<f32>> = lens.iter().map(|&l| vec![0.0; l]).collect();
+            let mut wave = Wave::new();
+            for (p, g) in got.iter_mut().enumerate() {
+                wave.push(p as i64, -1, 3, &im1s[p], &jm1s[p], km1s[p], g);
+            }
+            assert_eq!(wave.len(), m);
+            kernel.eval_wave(&mut wave);
+            wave.clear(); // release the `out` borrows before reading `got`
+            for p in 0..m {
+                for (n, (g, w)) in got[p].iter().zip(&want[p]).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{name}: wave m={m} pencil {p} cell {n} differs: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wave_matches_pencil_bitwise() {
+        check_wave_bitwise(Paper3D, "paper3d");
+        check_wave_bitwise(Relax3D::default(), "relax3d");
+        check_wave_bitwise(Relax3D { omega: 0.37 }, "relax3d-0.37");
+        check_wave_bitwise(LongestPath3D, "longest-path");
+        check_wave_bitwise(Fused3D::default(), "fused3d");
+        check_wave_bitwise(Fused3D { wa: 0.3, wc: 0.25 }, "fused3d-0.3");
+    }
+
+    /// ULP distance between two finite f32 of the same sign region.
+    fn ulp_diff(a: f32, b: f32) -> u32 {
+        let (ia, ib) = (a.to_bits() as i32, b.to_bits() as i32);
+        ia.abs_diff(ib)
+    }
+
+    #[test]
+    fn fast_tier_stays_within_ulp_bound() {
+        // Non-negative inputs: the fast tier's domain contract.
+        for kernel_check in [0usize, 1, 2] {
+            let m = 6;
+            let len = 65;
+            let im1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 1, len).iter().map(|x| x.abs()).collect()).collect();
+            let jm1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 2, len).iter().map(|x| x.abs()).collect()).collect();
+            let km1s: Vec<f32> = (0..m).map(|p| cell_weight(p as i64, 9, 9) * 4.0).collect();
+            let mut want: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
+            let mut got: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
+            let run = |fast: bool, outs: &mut Vec<Vec<f32>>| {
+                let mut wave = Wave::new();
+                for (p, g) in outs.iter_mut().enumerate() {
+                    wave.push(p as i64, -1, 3, &im1s[p], &jm1s[p], km1s[p], g);
+                }
+                match (kernel_check, fast) {
+                    (0, false) => Paper3D.eval_wave(&mut wave),
+                    (0, true) => Paper3D.eval_wave_fast(&mut wave),
+                    (1, false) => Relax3D::default().eval_wave(&mut wave),
+                    (1, true) => Relax3D::default().eval_wave_fast(&mut wave),
+                    (2, false) => Fused3D::default().eval_wave(&mut wave),
+                    (2, true) => Fused3D::default().eval_wave_fast(&mut wave),
+                    _ => unreachable!(),
+                }
+            };
+            run(false, &mut want);
+            run(true, &mut got);
+            let max_ulp = got
+                .iter()
+                .flatten()
+                .zip(want.iter().flatten())
+                .map(|(g, w)| ulp_diff(*g, *w))
+                .max()
+                .unwrap();
+            assert!(max_ulp <= 8, "kernel {kernel_check}: fast tier drifted {max_ulp} ULP");
+        }
     }
 }

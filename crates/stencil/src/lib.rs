@@ -52,6 +52,7 @@ pub mod grid;
 pub mod halo;
 pub mod kernel;
 pub mod legacy;
+pub(crate) mod pool;
 pub mod preflight;
 pub mod proto;
 pub mod seq;

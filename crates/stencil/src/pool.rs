@@ -1,0 +1,338 @@
+//! Intra-rank compute worker pool for the 3-D executors.
+//!
+//! One rank = one engine thread (the A/B communication lanes) plus
+//! `compute_workers − 1` pool workers. Per tile, the engine publishes a
+//! job and every thread — engine included, as worker 0 — takes a
+//! contiguous share of each anti-diagonal of the tile cross-section,
+//! evaluates its pencils as [`Wave`]s, and meets the others at a spin
+//! barrier before the next diagonal. Pencils on one diagonal are
+//! mutually independent (see [`crate::dist3d`]), so the split changes
+//! only *who* computes a pencil, never the per-cell operation order:
+//! pooled runs stay bitwise-equal to sequential on the pinned tier.
+//!
+//! **Pool workers never touch the communication lanes.** Every
+//! send/receive — posting, waiting, packing, unpacking — happens on the
+//! engine thread, outside [`TileOps::compute`]; in overlap mode the
+//! sends it posted *before* compute are already staged in transport
+//! slots, where the peer's receive progresses without any action from
+//! this rank. Workers therefore need no access to the communicator, no
+//! send ordering is perturbed, and the engine's lane bookkeeping
+//! ([`crate::engine::LaneStats`]) keeps its single-threaded meaning.
+//!
+//! ## Storage and locking
+//!
+//! The block is sharded one row (pencil) per [`RwLock`]: a worker
+//! write-locks the rows of its own wave and read-locks their `i−1`/
+//! `j−1` neighbors. Writers lock only current-diagonal rows, readers
+//! only previous-diagonal rows (finished before the last barrier), so
+//! no lock acquisition ever blocks — the locks exist to let the borrow
+//! checker hand disjoint `&mut` rows to threads, not to arbitrate — and
+//! no deadlock is possible. Workers are spawned **once per rank run**
+//! (scoped threads) and park on a condvar between tiles; the steady-
+//! state tile path allocates nothing (asserted by `tests/zero_alloc.rs`).
+
+use crate::dist3d::Decomp3D;
+use crate::kernel::{Kernel3D, KernelTier, Wave, MAX_WAVE};
+use msgpass::topology::CartesianGrid;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock, RwLockReadGuard};
+
+/// Spin-then-yield barrier for the per-diagonal rendezvous. Diagonals
+/// are microseconds apart, so parking would dominate; generation-based
+/// so it is reusable without reset races.
+struct WaveBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl WaveBarrier {
+    fn new(parties: usize) -> Self {
+        WaveBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver: reset the count *before* releasing the
+            // generation — waiters re-enter only after observing the
+            // new generation, so they never see a stale count.
+            self.count.store(0, Ordering::Release);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.saturating_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed host: give the peers our slice.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Job mailbox: the engine bumps `seq` per tile; workers act on any
+/// `seq` they have not seen yet (state-based, so a late waiter cannot
+/// miss a wakeup).
+struct Job {
+    seq: u64,
+    step: usize,
+    quit: bool,
+}
+
+/// Per-rank shared compute state: the row-sharded block plus the job
+/// mailbox and barrier the pool synchronizes on.
+pub(crate) struct Shared<K> {
+    d: Decomp3D,
+    kernel: K,
+    tier: KernelTier,
+    workers: usize,
+    /// Block rows, `rows[i·by + j]` = the `(i, j)` pencil (`nz` long).
+    rows: Vec<RwLock<Vec<f32>>>,
+    /// Halo plane `i = own_lo_i − 1`, `by × nz` (engine writes between
+    /// tiles, workers read during them — phases never overlap).
+    halo_i: RwLock<Vec<f32>>,
+    /// Halo plane `j = own_lo_j − 1`, `bx × nz`.
+    halo_j: RwLock<Vec<f32>>,
+    /// Boundary splat, `nz` long.
+    brow: Vec<f32>,
+    has_left_i: bool,
+    has_left_j: bool,
+    pub(crate) up: [Option<usize>; 2],
+    pub(crate) dn: [Option<usize>; 2],
+    gi0: i64,
+    gj0: i64,
+    job: Mutex<Job>,
+    cv: Condvar,
+    barrier: WaveBarrier,
+}
+
+impl<K: Kernel3D> Shared<K> {
+    pub(crate) fn new(d: Decomp3D, kernel: K, tier: KernelTier, workers: usize, rank: usize) -> Self {
+        let grid = CartesianGrid::new(vec![d.pi, d.pj]);
+        let coords = grid.coords_of(rank);
+        let workers = workers.max(1);
+        Shared {
+            d,
+            kernel,
+            tier,
+            workers,
+            rows: (0..d.bx() * d.by()).map(|_| RwLock::new(vec![0.0; d.nz])).collect(),
+            halo_i: RwLock::new(vec![0.0; d.by() * d.nz]),
+            halo_j: RwLock::new(vec![0.0; d.bx() * d.nz]),
+            brow: vec![d.boundary; d.nz],
+            has_left_i: coords[0] > 0,
+            has_left_j: coords[1] > 0,
+            up: [grid.neighbor(rank, &[-1, 0]), grid.neighbor(rank, &[0, -1])],
+            dn: [grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])],
+            gi0: (coords[0] * d.bx()) as i64,
+            gj0: (coords[1] * d.by()) as i64,
+            job: Mutex::new(Job {
+                seq: 0,
+                step: 0,
+                quit: false,
+            }),
+            cv: Condvar::new(),
+            barrier: WaveBarrier::new(workers),
+        }
+    }
+
+    /// Pool-worker body (workers `1..workers`; the engine is worker 0).
+    pub(crate) fn worker_loop(&self, worker: usize, pin_core: Option<usize>) {
+        if let Some(core) = pin_core {
+            // Best-effort placement; failure is fine.
+            let _ = msgpass::affinity::pin_current_thread(core);
+        }
+        let mut seen = 0u64;
+        loop {
+            let (seq, step, quit) = {
+                let mut g = self.job.lock().unwrap();
+                while !g.quit && g.seq == seen {
+                    g = self.cv.wait(g).unwrap();
+                }
+                (g.seq, g.step, g.quit)
+            };
+            if quit {
+                return;
+            }
+            seen = seq;
+            self.run_tile(worker, step);
+        }
+    }
+
+    /// Publish tile `step` to the pool and compute the engine's own
+    /// share; returns only when the whole tile is done (the final
+    /// diagonal barrier is the completion rendezvous).
+    pub(crate) fn compute(&self, step: usize) {
+        {
+            let mut g = self.job.lock().unwrap();
+            g.seq += 1;
+            g.step = step;
+        }
+        self.cv.notify_all();
+        self.run_tile(0, step);
+    }
+
+    /// Stop the pool (idempotent); workers drain out of `worker_loop`.
+    pub(crate) fn shutdown(&self) {
+        self.job.lock().unwrap().quit = true;
+        self.cv.notify_all();
+    }
+
+    /// One thread's share of one tile: its slice of every anti-diagonal,
+    /// with a barrier between diagonals.
+    fn run_tile(&self, worker: usize, step: usize) {
+        let (k0, k1) = self.d.krange(step);
+        let len = k1 - k0;
+        let (bx, by) = (self.d.bx(), self.d.by());
+        let halo_i = self.halo_i.read().unwrap();
+        let halo_j = self.halo_j.read().unwrap();
+        for diag in 0..(bx + by - 1) {
+            let i_lo = (diag + 1).saturating_sub(by);
+            let i_hi = diag.min(bx - 1);
+            let count = i_hi - i_lo + 1;
+            let lo = i_lo + (count * worker) / self.workers;
+            let hi = i_lo + (count * (worker + 1)) / self.workers;
+            let mut i = lo;
+            while i < hi {
+                let m = (hi - i).min(MAX_WAVE);
+                self.eval_wave_at(diag, i, m, k0, len, &halo_i, &halo_j);
+                i += m;
+            }
+            self.barrier.wait();
+        }
+    }
+
+    /// Lock and evaluate the wave of pencils `(i..i+m, diag−i..)`.
+    #[allow(clippy::too_many_arguments)] // one coordinate per wave axis, mirrors eval_pencil's shape
+    fn eval_wave_at(&self, diag: usize, i: usize, m: usize, k0: usize, len: usize, halo_i: &[f32], halo_j: &[f32]) {
+        let by = self.d.by();
+        let nz = self.d.nz;
+        // Lock phase: own rows exclusively, neighbor rows shared. None
+        // of these can block (see module docs), they just prove
+        // disjointness to the borrow checker.
+        let mut ngi: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] = core::array::from_fn(|_| None);
+        let mut ngj: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] = core::array::from_fn(|_| None);
+        let mut own: [_; MAX_WAVE] = core::array::from_fn(|_| None);
+        for p in 0..m {
+            let ii = i + p;
+            let jj = diag - ii;
+            own[p] = Some(self.rows[ii * by + jj].write().unwrap());
+            if ii > 0 {
+                ngi[p] = Some(self.rows[(ii - 1) * by + jj].read().unwrap());
+            }
+            if jj > 0 {
+                ngj[p] = Some(self.rows[ii * by + (jj - 1)].read().unwrap());
+            }
+        }
+        let mut wave = Wave::new();
+        for (p, og) in own[..m].iter_mut().enumerate() {
+            let ii = i + p;
+            let jj = diag - ii;
+            let im1: &[f32] = match &ngi[p] {
+                Some(g) => &g[k0..k0 + len],
+                None if self.has_left_i => &halo_i[jj * nz + k0..][..len],
+                None => &self.brow[k0..k0 + len],
+            };
+            let jm1: &[f32] = match &ngj[p] {
+                Some(g) => &g[k0..k0 + len],
+                None if self.has_left_j => &halo_j[ii * nz + k0..][..len],
+                None => &self.brow[k0..k0 + len],
+            };
+            let row: &mut Vec<f32> = og.as_mut().unwrap();
+            let (below, at) = row.split_at_mut(k0);
+            let km1 = if k0 > 0 { below[k0 - 1] } else { self.d.boundary };
+            let (out, _) = at.split_at_mut(len);
+            wave.push(self.gi0 + ii as i64, self.gj0 + jj as i64, k0 as i64, im1, jm1, km1, out);
+        }
+        self.kernel.eval_wave_tier(self.tier, &mut wave);
+    }
+
+    /// Pack the outgoing `dir` face of `step` into `out` (engine thread,
+    /// between tiles — all row locks are free).
+    pub(crate) fn pack_face(&self, dir: usize, step: usize, out: &mut [f32]) {
+        let (k0, k1) = self.d.krange(step);
+        let len = k1 - k0;
+        let (bx, by) = (self.d.bx(), self.d.by());
+        if dir == 0 {
+            for j in 0..by {
+                let row = self.rows[(bx - 1) * by + j].read().unwrap();
+                out[j * len..][..len].copy_from_slice(&row[k0..k1]);
+            }
+        } else {
+            for i in 0..bx {
+                let row = self.rows[i * by + (by - 1)].read().unwrap();
+                out[i * len..][..len].copy_from_slice(&row[k0..k1]);
+            }
+        }
+    }
+
+    /// Scatter a received `dir` face of `step` into the halo plane.
+    pub(crate) fn unpack_face(&self, dir: usize, step: usize, data: &[f32]) {
+        let (k0, k1) = self.d.krange(step);
+        let len = k1 - k0;
+        let mut halo = if dir == 0 {
+            self.halo_i.write().unwrap()
+        } else {
+            self.halo_j.write().unwrap()
+        };
+        let nz = self.d.nz;
+        for (n, chunk) in data.chunks_exact(len).enumerate() {
+            halo[n * nz + k0..][..len].copy_from_slice(chunk);
+        }
+    }
+
+    /// Flatten the sharded rows back into the `bx × by × nz` block
+    /// layout the gather paths expect.
+    pub(crate) fn into_flat_block(self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows.len() * self.d.nz);
+        for row in self.rows {
+            out.extend_from_slice(&row.into_inner().unwrap());
+        }
+        out
+    }
+
+    /// Decomposition this pool was built for.
+    pub(crate) fn decomp(&self) -> &Decomp3D {
+        &self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // 4 threads × many rounds: after leaving barrier round r, every
+        // thread must observe all 4 arrivals of round r.
+        let parties = 4;
+        let b = WaveBarrier::new(parties);
+        let hits = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..parties {
+                s.spawn(|| {
+                    for round in 1..=200u64 {
+                        hits.fetch_add(1, Ordering::AcqRel);
+                        b.wait();
+                        let seen = hits.load(Ordering::Acquire);
+                        assert!(
+                            seen >= round * parties as u64,
+                            "left barrier round {round} having seen only {seen} arrivals"
+                        );
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Acquire), 200 * parties as u64);
+    }
+}

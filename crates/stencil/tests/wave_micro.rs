@@ -1,0 +1,86 @@
+//! Ignored-by-default microbenchmarks of the wave kernel paths, run
+//! manually with
+//! `cargo test -p stencil --release --test wave_micro -- --ignored --nocapture`
+//! when tuning. Not part of CI timing gates (those live in `paper perf`).
+
+use std::time::Instant;
+use stencil::kernel::{Kernel3D, Paper3D, Wave, MAX_WAVE};
+
+fn bench(label: &str, m: usize, len: usize, reps: usize, wave_mode: bool) {
+    let src: Vec<Vec<f32>> = (0..m)
+        .map(|n| (0..len).map(|z| 1.0 + ((n * 7 + z) % 13) as f32 * 0.1).collect())
+        .collect();
+    let mut rows: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
+    let k = Paper3D;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        if wave_mode {
+            let mut wave = Wave::new();
+            let mut rest: &mut [Vec<f32>] = &mut rows;
+            for n in 0..m {
+                let (row, r) = rest.split_first_mut().unwrap();
+                rest = r;
+                wave.push(1 + n as i64, 1, 1, &src[n], &src[(n + 1) % m], 1.5, row);
+            }
+            k.eval_wave(&mut wave);
+        } else {
+            for n in 0..m {
+                k.eval_pencil(1 + n as i64, 1, 1, &src[n], &src[(n + 1) % m], 1.5, &mut rows[n]);
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let cells = (m * len * reps) as f64;
+    println!("{label:28} m={m:2} len={len:4}: {:6.2} ns/cell", secs * 1e9 / cells);
+    assert!(rows[0][len / 2].is_finite());
+}
+
+#[test]
+#[ignore]
+fn single_rank_tile_micro() {
+    use msgpass::thread_backend::{LatencyModel, WorldConfig};
+    use stencil::dist3d::{run_dist3d_with, Decomp3D, ExecMode};
+    for &(nx, nz) in &[
+        (4usize, 4096usize),
+        (4, 4096 + 64),
+        (4, 4096 + 16),
+        (8, 4096),
+        (8, 4096 + 16),
+    ] {
+        let d = Decomp3D {
+            nx,
+            ny: nx,
+            nz,
+            pi: 1,
+            pj: 1,
+            v: 256,
+            boundary: 1.0,
+        };
+        let cfg = WorldConfig::new(LatencyModel::zero()).without_preflight();
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let (g, _, _) = run_dist3d_with(Paper3D, d, &cfg, ExecMode::Overlapping).unwrap();
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(g.data()[1].is_finite());
+            best = best.min(secs);
+        }
+        let cells = (nx * nx * nz) as f64;
+        println!("single-rank {nx}x{nx}x{nz}: {:6.2} ns/cell (best of 5)", best * 1e9 / cells);
+    }
+}
+
+#[test]
+#[ignore]
+fn wave_vs_pencil_micro() {
+    let reps = 40_000;
+    for &m in &[1usize, 2, 4, 6, 8, 12, MAX_WAVE] {
+        bench("paper3d eval_wave", m, 64, reps, true);
+    }
+    for &m in &[1usize, 4, 8] {
+        bench("paper3d eval_pencil loop", m, 64, reps, false);
+    }
+    for &len in &[32usize, 128, 256] {
+        bench("paper3d eval_wave", 8, len, reps / (len / 32), true);
+    }
+}

@@ -12,6 +12,26 @@
 //!   size; the paper measured them (no analytical formula exists, §6),
 //!   so we carry an affine model calibrated to the paper's measurements.
 
+/// Numerical tier of the compute kernels on this machine.
+///
+/// The paper's verification story depends on the distributed schedule
+/// producing *exactly* the sequential result, so the default tier pins
+/// every kernel to the sequential per-cell operation order bit for bit.
+/// `Fast` relaxes that: kernels may reassociate the carry-free terms
+/// and substitute cheaper equivalents on the recurrence's reachable
+/// domain (e.g. `abs` for `max(·, 0)` on non-negative carries), trading
+/// bitwise reproducibility for a shorter dependency chain. Fast-tier
+/// output is epsilon-verified against the pinned tier, never assumed
+/// identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KernelTier {
+    /// Bitwise-pinned: identical to the sequential reference walk.
+    #[default]
+    Bitwise,
+    /// Fast math: reassociation allowed, ULP-bounded vs `Bitwise`.
+    Fast,
+}
+
 /// An affine time model `base + per_byte · bytes`, in microseconds.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AffineCost {
