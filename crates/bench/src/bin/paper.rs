@@ -320,43 +320,44 @@ fn cmd_utilization() {
 }
 
 fn cmd_threads() {
-    use msgpass::thread_backend::LatencyModel;
-    use stencil::dist3d::{run_paper3d_dist, Decomp3D, ExecMode};
+    use bench::configs::{plan_request, threads_decomp, threads_latency};
+    use msgpass::thread_backend::WorldConfig;
+    use stencil::dist3d::ExecMode;
     println!("== real threaded run (msgpass backend, scaled-down experiment i) ==\n");
     // Scaled to 2×2 ranks so the run is meaningful on small machines;
-    // the wire latency is injected per message.
-    let d = Decomp3D {
-        nx: 8,
-        ny: 8,
-        nz: 4096,
-        pi: 2,
-        pj: 2,
-        v: 128,
-        boundary: 1.0,
-    };
-    let lat = LatencyModel {
-        startup_us: 500.0,
-        per_byte_us: 0.08,
-    };
-    let (g_block, t_block) =
-        run_paper3d_dist(d, lat, ExecMode::Blocking).expect("valid decomposition");
-    let (g_over, t_over) =
-        run_paper3d_dist(d, lat, ExecMode::Overlapping).expect("valid decomposition");
-    let seq = stencil::seq::run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
-    println!("blocking:     {:.3} s (verified: {})", t_block.as_secs_f64(),
-        g_block.max_abs_diff(&seq) == 0.0);
-    println!("overlapping:  {:.3} s (verified: {})", t_over.as_secs_f64(),
-        g_over.max_abs_diff(&seq) == 0.0);
+    // the wire latency is injected per message. Each schedule is
+    // compiled to an analyzer-approved artifact before a single thread
+    // spawns; execution then verifies against the sequential sweep.
+    let d = threads_decomp();
+    let block = planc::compile(&plan_request(d, ExecMode::Blocking)).expect("shipped plan compiles");
+    let over =
+        planc::compile(&plan_request(d, ExecMode::Overlapping)).expect("shipped plan compiles");
+    println!(
+        "compiled: {} ranks × {} steps, logical makespan {} (blocking) / {} (overlapping)",
+        block.ranks(),
+        block.steps(),
+        block.logical_makespan(),
+        over.logical_makespan()
+    );
+    let base = WorldConfig::new(threads_latency());
+    let opts = planc::ExecOptions { verify: true };
+    let b = block.execute_with(&base, opts).expect("valid plan");
+    let o = over.execute_with(&base, opts).expect("valid plan");
+    println!("blocking:     {:.3} s (verified: {})", b.elapsed.as_secs_f64(),
+        b.verified == Some(true));
+    println!("overlapping:  {:.3} s (verified: {})", o.elapsed.as_secs_f64(),
+        o.verified == Some(true));
     println!(
         "improvement:  {:.0}%",
-        (1.0 - t_over.as_secs_f64() / t_block.as_secs_f64()) * 100.0
+        (1.0 - o.elapsed.as_secs_f64() / b.elapsed.as_secs_f64()) * 100.0
     );
 }
 
 fn cmd_chaos() {
+    use bench::configs::{chaos_decomp, chaos_gantt_decomp, demo_wire_latency, plan_request};
     use msgpass::prelude::*;
     use std::time::Duration;
-    use stencil::dist3d::{run_dist3d_observed_with, run_dist3d_with, Decomp3D, ExecMode};
+    use stencil::dist3d::{run_dist3d_observed_with, ExecMode};
     use stencil::engine::TraceObserver;
     use stencil::kernel::Paper3D;
 
@@ -365,15 +366,7 @@ fn cmd_chaos() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC0FFEE_u64);
     println!("== chaos: the executors under a seeded fault plan (seed {seed:#x}) ==\n");
-    let d = Decomp3D {
-        nx: 8,
-        ny: 8,
-        nz: 2048,
-        pi: 2,
-        pj: 2,
-        v: 128,
-        boundary: 1.0,
-    };
+    let d = chaos_decomp();
     let rel = ReliabilityConfig {
         recv_timeout: Duration::from_millis(50),
         max_retries: 6,
@@ -387,19 +380,24 @@ fn cmd_chaos() {
     let cfg = WorldConfig::new(LatencyModel::zero())
         .with_reliability(rel)
         .with_faults(plan);
+    // One compiled artifact per schedule; the fault plan and the
+    // reliability layer ride in through the caller's base config — the
+    // plan itself is immutable and analyzer-approved.
     let seq = stencil::seq::run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
-        let (grid, elapsed, stats) =
-            run_dist3d_with(Paper3D, d, &cfg, mode).expect("recoverable plan completes");
+        let art = planc::compile(&plan_request(d, mode)).expect("shipped plan compiles");
+        let out = art
+            .execute_with(&cfg, planc::ExecOptions::default())
+            .expect("recoverable plan completes");
         let mut total = FaultStats::default();
-        for s in &stats {
+        for s in &out.faults {
             total.merge(s);
         }
         println!(
             "{mode:?}: {:.3} s, bitwise-exact: {} | injected {} faults \
              (drops {}, dups {}, reorders {}, delays {}), recovered {}, dups discarded {}",
-            elapsed.as_secs_f64(),
-            grid.max_abs_diff(&seq) == 0.0,
+            out.elapsed.as_secs_f64(),
+            out.grid.dim3().expect("3-D plan").max_abs_diff(&seq) == 0.0,
             total.total_injected(),
             total.dropped,
             total.duplicated,
@@ -420,7 +418,8 @@ fn cmd_chaos() {
             backoff: Duration::from_millis(1),
         })
         .with_faults(FaultPlan::seeded(seed).lose_at(0, 2, stencil::proto::tag(1, stencil::proto::DIR_I)));
-    match run_dist3d_with(Paper3D, d, &lossy, ExecMode::Overlapping) {
+    let art = planc::compile(&plan_request(d, ExecMode::Overlapping)).expect("shipped plan compiles");
+    match art.execute_with(&lossy, planc::ExecOptions::default()) {
         Err(e) => println!("typed failure (as expected): {e}"),
         Ok(_) => println!("UNEXPECTED: lossy run completed"),
     }
@@ -428,17 +427,14 @@ fn cmd_chaos() {
     // Stall-annotated Gantt: drive the same faulty world with tracing
     // observers so fault-inflated waits render as red Stall bars.
     println!("\n-- stall-annotated Gantt (wire latency + delay spikes) --");
-    let spiky = WorldConfig::new(LatencyModel {
-        startup_us: 300.0,
-        per_byte_us: 0.05,
-    })
-    .with_reliability(rel)
-    .with_faults(
-        FaultPlan::seeded(seed)
-            .with_drops(0.10)
-            .with_delay_spikes(0.25, Duration::from_millis(2)),
-    );
-    let gantt_d = Decomp3D { nz: 512, v: 64, ..d };
+    let spiky = WorldConfig::new(demo_wire_latency())
+        .with_reliability(rel)
+        .with_faults(
+            FaultPlan::seeded(seed)
+                .with_drops(0.10)
+                .with_delay_spikes(0.25, Duration::from_millis(2)),
+        );
+    let gantt_d = chaos_gantt_decomp();
     let stall_after = Duration::from_millis(1);
     let (grid, _, observers, _) =
         run_dist3d_observed_with(Paper3D, gantt_d, &spiky, ExecMode::Overlapping, |comm| {
@@ -477,9 +473,11 @@ fn cmd_chaos() {
 /// slot ring. Exits nonzero on any failure, so `ci.sh` can gate on it.
 fn cmd_analyze() {
     use analyzer::{check_comm_plan, check_schedule, AnalysisError, CommPlan, PlanOp, RankProgram};
+    use bench::configs::{
+        chaos_decomp, chaos_gantt_decomp, example1_strip, perf_deep_decomp, threads_decomp,
+    };
     use bench::gantt::thread_demo_decomp;
-    use stencil::dist2d::Decomp2D;
-    use stencil::dist3d::{Decomp3D, ExecMode};
+    use stencil::dist3d::ExecMode;
     use stencil::preflight::{check_plan2d, check_plan3d};
     use tiling_core::schedule::{StepPlan, StepStrategy};
 
@@ -491,16 +489,13 @@ fn cmd_analyze() {
     );
 
     let d3 = [
-        ("threads (scaled exp. i)", Decomp3D { nx: 8, ny: 8, nz: 4096, pi: 2, pj: 2, v: 128, boundary: 1.0 }),
-        ("chaos", Decomp3D { nx: 8, ny: 8, nz: 2048, pi: 2, pj: 2, v: 128, boundary: 1.0 }),
-        ("chaos gantt", Decomp3D { nx: 8, ny: 8, nz: 512, pi: 2, pj: 2, v: 64, boundary: 1.0 }),
+        ("threads (scaled exp. i)", threads_decomp()),
+        ("chaos", chaos_decomp()),
+        ("chaos gantt", chaos_gantt_decomp()),
         ("gantt thread demo", thread_demo_decomp()),
-        ("perf deep", Decomp3D { nx: 8, ny: 8, nz: 65_536, pi: 2, pj: 2, v: 256, boundary: 1.0 }),
+        ("perf deep", perf_deep_decomp(false)),
     ];
-    let d2 = [(
-        "example 1 (strip)",
-        Decomp2D { nx: 10_000, ny: 1_000, ranks: 10, v: 10, boundary: 1.0 },
-    )];
+    let d2 = [("example 1 (strip)", example1_strip())];
     for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
         for (name, d) in &d3 {
             match check_plan3d(d, mode) {
@@ -1023,44 +1018,44 @@ mod perf {
     }
 
     /// `paper perf --procs PIxPJ --grid NXxNYxNZ [--tier T] [--workers N]`:
-    /// one analyzer-preflighted world, verified against the sequential
-    /// reference (bitwise for the pinned tier, epsilon for fast), with a
-    /// PASS/FAIL row — the CI smoke entry point for larger worlds.
+    /// the world is compiled to an analyzer-approved plan artifact
+    /// (pre-flight runs exactly once, at compile time), then executed
+    /// and verified against the sequential reference (bitwise for the
+    /// pinned tier, epsilon for fast), with a PASS/FAIL row — the CI
+    /// smoke entry point for larger worlds.
     pub fn run_custom(
         procs: (usize, usize),
         grid: (usize, usize, usize),
         tier: KernelTier,
         workers: usize,
     ) -> ! {
-        use stencil::dist3d::run_dist3d_observed_with;
         use stencil::engine::LaneStats;
+        use stencil::plan::run3d_observed_with;
         let (pi, pj) = procs;
         let (nx, ny, nz) = grid;
-        let d = Decomp3D {
-            nx,
-            ny,
-            nz,
-            pi,
-            pj,
-            v: (nz / 16).max(1),
-            boundary: 1.0,
-        };
-        // Pre-flight stays ON here (unlike the timed benchmark rows):
-        // this path exists to prove the analyzer accepts the world
-        // before anything runs.
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_transport(TransportKind::shared_slots())
-            .with_kernel_tier(tier)
-            .with_compute_workers(workers);
-        let steps = d.steps();
+        let req = planc::PlanRequest::grid3(nx, ny, nz, pi, pj)
+            .with_v((nz / 16).max(1))
+            .with_tier(tier);
+        let art = planc::compile(&req).unwrap_or_else(|e| {
+            eprintln!(
+                "custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL at {} stage ({e})",
+                e.stage()
+            );
+            std::process::exit(1);
+        });
+        // Worker count and pinning are run-time choices; transport,
+        // tier and the already-done pre-flight come from the artifact.
+        let cfg = art.stamp(WorldConfig::new(LatencyModel::zero()).with_compute_workers(workers));
+        let c3 = art.compiled3().expect("grid3 compiles to a 3-D plan");
+        let d = c3.decomp();
+        let steps = art.steps();
         let (dist, elapsed, stats, _) =
-            run_dist3d_observed_with(Paper3D, d, &cfg, ExecMode::Overlapping, |_| {
-                LaneStats::new(steps)
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL ({e})");
-                std::process::exit(1);
-            });
+            run3d_observed_with(Paper3D, c3, &cfg, |_| LaneStats::new(steps)).unwrap_or_else(
+                |e| {
+                    eprintln!("custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL ({e})");
+                    std::process::exit(1);
+                },
+            );
         let seq = stencil::seq::run_paper3d_seq(nx, ny, nz, d.boundary);
         let err = dist.max_abs_diff(&seq);
         let ok = match tier {
@@ -1149,15 +1144,7 @@ mod perf {
         // committed full run (it also writes to a separate file —
         // results/BENCH_quick.json — instead of the reference
         // BENCH_stencil.json).
-        let deep = Decomp3D {
-            nx: 8,
-            ny: 8,
-            nz: if quick { 16_384 } else { 65_536 },
-            pi: 2,
-            pj: 2,
-            v: 256,
-            boundary: 1.0,
-        };
+        let deep = bench::configs::perf_deep_decomp(quick);
         let trials = if quick { 3 } else { 5 };
         let comparisons = [
             compare("relax3d-overlap", "relax3d", deep, ExecMode::Overlapping, trials),
@@ -1304,18 +1291,40 @@ mod perf {
                 s.kind, s.ranks, s.world, s.cells_per_sec / 1e6, s.a_mean_us, s.b_mean_us
             );
         }
+        // Plan-compilation service under concurrent mixed load: the
+        // same client count, job count and plan shapes in quick and
+        // full mode, so ci.sh can hold a quick run's sustained jobs/sec
+        // against the committed reference under a fixed tolerance. The
+        // cache-hit ratio over the deterministic job mix must be
+        // nonzero — repeats of the six shapes land on cached artifacts.
+        let svc = planc::smoke(planc::ServiceConfig::default(), 8, 16);
+        println!(
+            "service 8 clients x 16 jobs: {:>6.0} jobs/s | hit ratio {:.2} | {} coalesced | {} compiles | {} worlds reused | {} verified",
+            svc.jobs_per_sec,
+            svc.hit_ratio,
+            svc.coalesced,
+            svc.compiles,
+            svc.worlds_reused,
+            svc.verified
+        );
+        assert!(svc.hit_ratio > 0.0, "service smoke must hit the plan cache");
         // Headline: the full zero-copy stack (slot transport + in-place
         // pack/unpack + pencil kernels) against the element-wise legacy
         // executor on the overlap schedule.
         let legacy = &comparisons[0].baseline;
         let slots_overlap = &transports[1].m;
         let headline_speedup = legacy.secs / slots_overlap.secs;
+        let json_service = format!(
+            "{{\n    \"jobs\": {},\n    \"jobs_per_sec\": {:.0},\n    \"cache_hit_ratio\": {:.4},\n    \
+             \"coalesced\": {},\n    \"compiles\": {},\n    \"worlds_reused\": {},\n    \"verified\": {}\n  }}",
+            svc.jobs, svc.jobs_per_sec, svc.hit_ratio, svc.coalesced, svc.compiles, svc.worlds_reused, svc.verified
+        );
         let json = format!(
             "{{\n  \"bench\": \"stencil-hot-paths\",\n  \"headline\": {{\n    \"name\": \"relax3d-overlap-slots\",\n    \
              \"transport\": \"shared-slots\",\n    \
              \"baseline_cells_per_sec\": {:.0},\n    \"optimized_cells_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
              \"comparisons\": [\n{}\n  ],\n  \"transports\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ],\n  \
-             \"tiers\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+             \"tiers\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \"service\": {}\n}}\n",
             legacy.cells_per_sec,
             slots_overlap.cells_per_sec,
             headline_speedup,
@@ -1331,7 +1340,8 @@ mod perf {
                 .join(",\n"),
             lanes.iter().map(json_lane).collect::<Vec<_>>().join(",\n"),
             tiers.iter().map(json_tier).collect::<Vec<_>>().join(",\n"),
-            scaling.iter().map(json_scaling).collect::<Vec<_>>().join(",\n")
+            scaling.iter().map(json_scaling).collect::<Vec<_>>().join(",\n"),
+            json_service
         );
         let path = if quick {
             let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
@@ -1348,9 +1358,214 @@ mod perf {
     }
 }
 
+// ---- `paper serve`: the plan-compilation service over TCP --------------
+//
+// A line-oriented protocol over the in-process `planc::PlanService`:
+// each request is one line, each reply one line.
+//
+//     compile <key=value ...>      -> ok compiled key=... v=... steps=...
+//     execute <key=value ...>      -> ok executed key=... verified=...
+//     stats                        -> ok submitted=... hit_ratio=...
+//     quit                         -> ok bye (connection closes)
+//
+// The key=value payload is `planc::PlanRequest::parse_kv`'s wire
+// format (workload=grid3 nx=8 ... — see its docs). Execute jobs always
+// verify against the sequential reference. `--smoke` spins the
+// listener on an ephemeral port, drives it with concurrent localhost
+// clients, and exits nonzero unless every job succeeds and the plan
+// cache was hit.
+
+mod serve {
+    use planc::{ExecOptions, JobRequest, JobResponse, PlanRequest, PlanService, ServiceConfig, ServiceError};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    fn respond(service: &PlanService, line: &str) -> String {
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "quit" => "ok bye".to_string(),
+            "stats" => {
+                let m = service.metrics();
+                format!(
+                    "ok submitted={} completed={} rejected={} hits={} misses={} evictions={} hit_ratio={:.4} coalesced={} compiles={} worlds_created={} worlds_reused={}",
+                    m.submitted,
+                    m.completed,
+                    m.rejected,
+                    m.cache.hits,
+                    m.cache.misses,
+                    m.cache.evictions,
+                    m.cache.hit_ratio(),
+                    m.compiler.coalesced,
+                    m.compiler.compiles,
+                    m.worlds.created,
+                    m.worlds.reused
+                )
+            }
+            "compile" | "execute" => {
+                let req = match PlanRequest::parse_kv(rest) {
+                    Ok(r) => r,
+                    Err(e) => return format!("err parse: {e}"),
+                };
+                let job = if verb == "compile" {
+                    JobRequest::Compile(req)
+                } else {
+                    JobRequest::Execute(req, ExecOptions { verify: true })
+                };
+                // A full queue back-pressures the connection rather
+                // than failing the request.
+                let ticket = loop {
+                    match service.try_submit(job.clone()) {
+                        Ok(t) => break t,
+                        Err(ServiceError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => return format!("err {e}"),
+                    }
+                };
+                match ticket.wait() {
+                    Ok(JobResponse::Compiled(a)) => format!(
+                        "ok compiled key={:016x} v={} ranks={} steps={} makespan={}",
+                        a.key().digest(),
+                        a.v(),
+                        a.ranks(),
+                        a.steps(),
+                        a.logical_makespan()
+                    ),
+                    Ok(JobResponse::Executed(a, out)) => format!(
+                        "ok executed key={:016x} elapsed_us={:.0} cells_per_sec={:.0} verified={}",
+                        a.key().digest(),
+                        out.elapsed.as_secs_f64() * 1e6,
+                        out.cells_per_sec,
+                        out.verified.unwrap_or(false)
+                    ),
+                    Err(e) => format!("err {e}"),
+                }
+            }
+            other => format!("err unknown verb: {other}"),
+        }
+    }
+
+    fn handle(service: &PlanService, stream: TcpStream) {
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(reader_stream);
+        let mut stream = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let reply = respond(service, line);
+            if stream
+                .write_all(reply.as_bytes())
+                .and_then(|_| stream.write_all(b"\n"))
+                .is_err()
+            {
+                return;
+            }
+            if line == "quit" {
+                return;
+            }
+        }
+    }
+
+    fn listen(listener: TcpListener, service: Arc<PlanService>) {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || handle(&service, stream));
+        }
+    }
+
+    /// `paper serve [--addr HOST:PORT]`: serve until killed.
+    pub fn run(addr: &str) -> ! {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        let local = listener.local_addr().expect("bound address");
+        println!("serving plan compilation on {local}");
+        listen(listener, Arc::new(PlanService::start(ServiceConfig::default())));
+        unreachable!("listener loop only ends by process exit");
+    }
+
+    /// `paper serve --smoke`: ephemeral listener + concurrent localhost
+    /// clients with a mixed compile/execute load; exits nonzero unless
+    /// every reply is `ok` and the plan cache was hit.
+    pub fn run_smoke(clients: usize, jobs_per_client: usize) -> ! {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("bound address");
+        let service = Arc::new(PlanService::start(ServiceConfig::default()));
+        {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || listen(listener, service));
+        }
+        let requests = [
+            "compile workload=grid3 nx=8 ny=8 nz=256 pi=2 pj=2 v=64",
+            "execute workload=grid3 nx=8 ny=8 nz=256 pi=2 pj=2 v=64",
+            "execute workload=grid3 nx=8 ny=8 nz=256 pi=2 pj=2 v=64 mode=blocking",
+            "compile workload=strip2 nx=64 ny=16 ranks=4 v=16",
+            "execute workload=strip2 nx=64 ny=16 ranks=4 v=16",
+            "compile workload=grid3 nx=4 ny=4 nz=512 pi=2 pj=2 v=128 transport=mpsc",
+        ];
+        let bad = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let bad = &bad;
+                let requests = &requests;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to smoke server");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut stream = stream;
+                    let mut line = String::new();
+                    for j in 0..jobs_per_client {
+                        let req = requests[(c + j) % requests.len()];
+                        stream.write_all(req.as_bytes()).expect("send request");
+                        stream.write_all(b"\n").expect("send newline");
+                        line.clear();
+                        reader.read_line(&mut line).expect("read reply");
+                        if !line.starts_with("ok ") {
+                            eprintln!("smoke client {c}: bad reply: {}", line.trim());
+                            bad.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let m = service.metrics();
+        let bad = bad.load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "serve smoke: {} clients x {} jobs on {addr}: {} completed | hit ratio {:.2} | {} coalesced | {} compiles | {} worlds reused | {} bad replies",
+            clients,
+            jobs_per_client,
+            m.completed,
+            m.cache.hit_ratio(),
+            m.compiler.coalesced,
+            m.compiler.compiles,
+            m.worlds.reused,
+            bad
+        );
+        let ok = bad == 0
+            && m.completed == (clients * jobs_per_client) as u64
+            && m.cache.hit_ratio() > 0.0;
+        println!("serve smoke: {}", if ok { "PASS" } else { "FAIL" });
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one pre-flighted world verified against the sequential reference (PASS/FAIL)"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|serve|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
     );
     std::process::exit(2);
 }
@@ -1397,6 +1612,23 @@ fn main() {
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
         "analyze" => cmd_analyze(),
+        "serve" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut smoke = false;
+            let mut args = std::env::args().skip(2);
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--smoke" => smoke = true,
+                    "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+                    _ => usage(),
+                }
+            }
+            if smoke {
+                serve::run_smoke(8, 12)
+            } else {
+                serve::run(&addr)
+            }
+        }
         "perf" => {
             let mut quick = false;
             let mut procs: Option<(usize, usize)> = None;

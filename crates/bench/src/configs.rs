@@ -1,0 +1,123 @@
+//! The shipped configurations: every decomposition, latency model and
+//! plan request the `paper` harness runs, defined once.
+//!
+//! Before this module each subcommand hand-built its own `Decomp3D`
+//! and `WorldConfig`, so `paper analyze`'s "every shipped
+//! configuration" sweep had to mirror those literals by hand. Now the
+//! subcommands and the analyzer sweep draw from the same builders, and
+//! the thread-backed subcommands compile their [`planc::PlanRequest`]s
+//! from the same source of truth.
+
+use msgpass::thread_backend::{LatencyModel, WorldConfig};
+use msgpass::transport::TransportKind;
+use planc::PlanRequest;
+use stencil::dist2d::Decomp2D;
+use stencil::dist3d::{Decomp3D, ExecMode};
+
+/// `paper threads`: experiment i scaled to a 2×2 world.
+pub fn threads_decomp() -> Decomp3D {
+    Decomp3D {
+        nx: 8,
+        ny: 8,
+        nz: 4096,
+        pi: 2,
+        pj: 2,
+        v: 128,
+        boundary: 1.0,
+    }
+}
+
+/// `paper chaos`: the fault-injection workload.
+pub fn chaos_decomp() -> Decomp3D {
+    Decomp3D {
+        nz: 2048,
+        ..threads_decomp()
+    }
+}
+
+/// `paper chaos`: the shallower traced run behind the stall Gantt.
+pub fn chaos_gantt_decomp() -> Decomp3D {
+    Decomp3D {
+        nz: 512,
+        v: 64,
+        ..threads_decomp()
+    }
+}
+
+/// `paper perf`: the deep zero-latency pipeline the executor
+/// comparisons run on (quick mode shortens it, same shape).
+pub fn perf_deep_decomp(quick: bool) -> Decomp3D {
+    Decomp3D {
+        nz: if quick { 16_384 } else { 65_536 },
+        v: 256,
+        ..threads_decomp()
+    }
+}
+
+/// `paper example1` as a real 2-D strip decomposition (also the
+/// analyzer sweep's 2-D row).
+pub fn example1_strip() -> Decomp2D {
+    Decomp2D {
+        nx: 10_000,
+        ny: 1_000,
+        ranks: 10,
+        v: 10,
+        boundary: 1.0,
+    }
+}
+
+/// `paper threads`: injected wire latency.
+pub fn threads_latency() -> LatencyModel {
+    LatencyModel {
+        startup_us: 500.0,
+        per_byte_us: 0.08,
+    }
+}
+
+/// The demo-scale wire latency used by the thread-backend Gantt charts
+/// and the chaos stall trace: visible against the compute without
+/// swamping it.
+pub fn demo_wire_latency() -> LatencyModel {
+    LatencyModel {
+        startup_us: 300.0,
+        per_byte_us: 0.05,
+    }
+}
+
+/// Zero-latency world: wall-clock equals executor work.
+pub fn zero_world() -> WorldConfig {
+    WorldConfig::new(LatencyModel::zero())
+}
+
+/// Benchmark world: zero latency, per-run pre-flight off (the timed
+/// sections measure the executor alone; `paper analyze` and the
+/// compiled-plan pipeline cover these layouts).
+pub fn bench_world() -> WorldConfig {
+    zero_world().without_preflight()
+}
+
+/// The plan request for a shipped 3-D decomposition, on the mpsc
+/// transport the thread demos have always used.
+pub fn plan_request(d: Decomp3D, mode: ExecMode) -> PlanRequest {
+    PlanRequest::grid3(d.nx, d.ny, d.nz, d.pi, d.pj)
+        .with_v(d.v)
+        .with_mode(mode)
+        .with_transport(TransportKind::Mpsc)
+        .with_boundary(d.boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_decomps_compile() {
+        for d in [threads_decomp(), chaos_decomp(), chaos_gantt_decomp()] {
+            for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
+                let a = planc::compile(&plan_request(d, mode)).expect("shipped decomp compiles");
+                assert_eq!(a.v(), d.v);
+                assert_eq!(a.ranks(), d.pi * d.pj);
+            }
+        }
+    }
+}

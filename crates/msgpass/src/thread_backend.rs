@@ -1013,7 +1013,14 @@ pub(crate) fn build_world<T: Send + Sync + 'static>(
 /// [`build_world`] with the full [`WorldConfig`]: additionally wires
 /// the per-link retransmission ledgers and per-rank reliability state
 /// when the configuration asks for them.
-pub(crate) fn build_world_with<T: Send + Sync + 'static>(
+///
+/// Public so long-running services can build a world *once* and drive
+/// it through [`run_world`] for many jobs: the links (and, on the
+/// slot transport, the peer-visible slot rings) are the expensive part
+/// of a world, and a fully drained world — one whose every send was
+/// matched by a receive, which the `analyzer` crate proves statically
+/// for engine plans — is reusable as-is.
+pub fn build_world_with<T: Send + Sync + 'static>(
     size: usize,
     cfg: &WorldConfig,
 ) -> Vec<ThreadComm<T>> {
@@ -1141,6 +1148,50 @@ where
     (results, start.elapsed())
 }
 
+/// Drive a *prebuilt* world through one job: rank `r` runs
+/// `body(&mut comms[r])` on its own OS thread. Unlike
+/// [`run_threads_with`], the communicators are borrowed, not consumed —
+/// after every rank's sends have been matched by receives (the engine's
+/// plans guarantee this; the analyzer proves it pre-flight) the world is
+/// drained and can be handed to the next job with its links, slot rings
+/// and buffer pools warm. Reliability sequence numbers and pool
+/// counters persist across jobs, consistently on both endpoints.
+///
+/// Per-rank panics are captured in the result slots, exactly as in
+/// [`run_threads_with`] — but note a panicked or errored job may leave
+/// links non-drained, in which case the world must be discarded, not
+/// reused.
+pub fn run_world<T, R, F>(
+    comms: &mut [ThreadComm<T>],
+    pin_cores: bool,
+    body: F,
+) -> (Vec<std::thread::Result<R>>, Duration)
+where
+    T: Send + Sync + 'static,
+    R: Send,
+    F: Fn(&mut ThreadComm<T>) -> R + Send + Sync,
+{
+    let start = Instant::now();
+    let body = &body;
+    let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|comm| {
+                let rank = comm.rank;
+                scope.spawn(move || {
+                    if pin_cores {
+                        // Best-effort placement hint; failure is fine.
+                        let _ = crate::affinity::pin_current_thread(rank);
+                    }
+                    body(comm)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    (results, start.elapsed())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1158,6 +1209,31 @@ mod tests {
             }
         });
         assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn prebuilt_world_is_reusable_across_jobs() {
+        // Two jobs over the same world: the second must see clean links
+        // (job 1 drained everything it sent), including on the
+        // zero-copy slot transport where the rings persist.
+        for transport in [TransportKind::Mpsc, TransportKind::shared_slots()] {
+            let cfg = WorldConfig::new(LatencyModel::zero()).with_transport(transport);
+            let mut world = build_world_with::<f32>(2, &cfg);
+            for job in 1..=3u32 {
+                let (results, _) = run_world(&mut world, false, |comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 7, vec![job as f32]);
+                        comm.recv(1, 8)[0]
+                    } else {
+                        let got = comm.recv(0, 7);
+                        comm.send(0, 8, vec![got[0] * 2.0]);
+                        0.0
+                    }
+                });
+                let r0 = results.into_iter().next().unwrap().unwrap();
+                assert_eq!(r0, job as f32 * 2.0, "{transport:?} job {job}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! [`PlanArtifact`]: the immutable, analyzer-approved output of plan
+//! compilation.
+//!
+//! An artifact bundles everything an execution needs and nothing it
+//! has to re-derive: the sealed [`Compiled2D`]/[`Compiled3D`] (which
+//! carries the validated decomposition, the `StepPlan` and the
+//! pre-flight [`AnalysisReport`]), the resolved tile height, the
+//! closed-form time prediction, and the [`PlanKey`] identifying it in
+//! the cache. Executing an artifact never re-validates, re-optimizes
+//! or re-analyzes — pre-flight ran exactly once, at compile time.
+
+use crate::cache::PlanKey;
+use crate::spec::{KernelName, PlanRequest};
+use crate::worlds::WorldPool;
+use analyzer::AnalysisReport;
+use msgpass::fault::FaultStats;
+use msgpass::thread_backend::{LatencyModel, WorldConfig};
+use std::time::Duration;
+use stencil::engine::{EngineError, ExecMode};
+use stencil::grid::{Grid2D, Grid3D};
+use stencil::kernel::{Example1, Fused3D, LongestPath3D, Paper3D, Relax3D, Smooth2D};
+use stencil::plan::{self, Compiled2D, Compiled3D};
+use tiling_core::machine::KernelTier;
+
+/// The sealed executable bundle inside an artifact.
+#[derive(Clone, Copy, Debug)]
+pub enum CompiledWorkload {
+    /// A 2-D strip plan.
+    Dim2(Compiled2D),
+    /// A 3-D block plan.
+    Dim3(Compiled3D),
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Verify the distributed result against the sequential reference
+    /// (bitwise for [`KernelTier::Bitwise`], epsilon-bounded for
+    /// [`KernelTier::Fast`]).
+    pub verify: bool,
+}
+
+/// The assembled result grid of an execution.
+#[derive(Clone, Debug)]
+pub enum GridResult {
+    /// 2-D output.
+    Dim2(Grid2D),
+    /// 3-D output.
+    Dim3(Grid3D),
+}
+
+impl GridResult {
+    /// The 3-D grid, if this was a 3-D plan.
+    pub fn dim3(&self) -> Option<&Grid3D> {
+        match self {
+            GridResult::Dim3(g) => Some(g),
+            GridResult::Dim2(_) => None,
+        }
+    }
+
+    /// The 2-D grid, if this was a 2-D plan.
+    pub fn dim2(&self) -> Option<&Grid2D> {
+        match self {
+            GridResult::Dim2(g) => Some(g),
+            GridResult::Dim3(_) => None,
+        }
+    }
+}
+
+/// What one execution of an artifact produced.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The assembled grid.
+    pub grid: GridResult,
+    /// Wall-clock time of the parallel region.
+    pub elapsed: Duration,
+    /// Grid cells computed per second of parallel region.
+    pub cells_per_sec: f64,
+    /// `Some(ok)` when [`ExecOptions::verify`] was set.
+    pub verified: Option<bool>,
+    /// Per-rank fault counters (empty on the pooled-world path).
+    pub faults: Vec<FaultStats>,
+}
+
+/// A compiled, analyzer-approved, immutable plan. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PlanArtifact {
+    pub(crate) key: PlanKey,
+    pub(crate) request: PlanRequest,
+    pub(crate) v: usize,
+    pub(crate) compiled: CompiledWorkload,
+    pub(crate) report: AnalysisReport,
+    pub(crate) predicted_us: Option<f64>,
+}
+
+impl PlanArtifact {
+    /// The cache key derived from the compilation inputs.
+    pub fn key(&self) -> &PlanKey {
+        &self.key
+    }
+
+    /// The request this artifact was compiled from.
+    pub fn request(&self) -> &PlanRequest {
+        &self.request
+    }
+
+    /// The resolved tile height (explicit or closed-form `V*`).
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// The sealed executable bundle.
+    pub fn compiled(&self) -> &CompiledWorkload {
+        &self.compiled
+    }
+
+    /// The 3-D compiled plan, if this is a 3-D artifact.
+    pub fn compiled3(&self) -> Option<&Compiled3D> {
+        match &self.compiled {
+            CompiledWorkload::Dim3(c) => Some(c),
+            CompiledWorkload::Dim2(_) => None,
+        }
+    }
+
+    /// The 2-D compiled plan, if this is a 2-D artifact.
+    pub fn compiled2(&self) -> Option<&Compiled2D> {
+        match &self.compiled {
+            CompiledWorkload::Dim2(c) => Some(c),
+            CompiledWorkload::Dim3(_) => None,
+        }
+    }
+
+    /// The pre-flight static-analysis report (compiled exactly once).
+    pub fn report(&self) -> &AnalysisReport {
+        &self.report
+    }
+
+    /// The plan's logical makespan (analyzer step count).
+    pub fn logical_makespan(&self) -> i64 {
+        self.report.logical_makespan
+    }
+
+    /// Pipeline steps per rank.
+    pub fn steps(&self) -> usize {
+        match &self.compiled {
+            CompiledWorkload::Dim2(c) => c.decomp().steps(),
+            CompiledWorkload::Dim3(c) => c.decomp().steps(),
+        }
+    }
+
+    /// World size the plan executes on.
+    pub fn ranks(&self) -> usize {
+        match &self.compiled {
+            CompiledWorkload::Dim2(c) => c.ranks(),
+            CompiledWorkload::Dim3(c) => c.ranks(),
+        }
+    }
+
+    /// The schedule mode the plan was compiled for.
+    pub fn mode(&self) -> ExecMode {
+        self.request.mode
+    }
+
+    /// Closed-form predicted total time at the resolved height (µs),
+    /// when the machine model admits one.
+    pub fn predicted_us(&self) -> Option<f64> {
+        self.predicted_us
+    }
+
+    /// Total grid cells one execution computes.
+    pub fn cells(&self) -> usize {
+        match &self.compiled {
+            CompiledWorkload::Dim2(c) => {
+                let d = c.decomp();
+                d.nx * d.ny
+            }
+            CompiledWorkload::Dim3(c) => {
+                let d = c.decomp();
+                d.nx * d.ny * d.nz
+            }
+        }
+    }
+
+    /// The world configuration the artifact was compiled for: zero
+    /// injected latency, the request's transport and tier, pre-flight
+    /// skipped (it already ran at compile time).
+    pub fn world_config(&self) -> WorldConfig {
+        self.stamp(WorldConfig::new(LatencyModel::zero()))
+    }
+
+    /// Stamp the plan-owned fields onto a caller-supplied base config
+    /// (latency, faults, reliability, workers and pinning stay the
+    /// caller's): the transport and tier come from the compilation
+    /// inputs, and the per-run pre-flight is off because it already ran
+    /// at compile time.
+    pub fn stamp(&self, base: WorldConfig) -> WorldConfig {
+        let mut cfg = base;
+        cfg.transport = self.request.transport;
+        cfg.kernel_tier = self.request.tier;
+        cfg.skip_preflight = true;
+        cfg
+    }
+
+    /// Execute on a fresh world with the artifact's own configuration.
+    pub fn execute(&self, opts: ExecOptions) -> Result<ExecOutcome, EngineError> {
+        self.execute_with(&self.world_config(), opts)
+    }
+
+    /// Execute on a fresh world built from `base` with the plan-owned
+    /// fields stamped over it (see [`PlanArtifact::stamp`]) — how the
+    /// chaos harness runs a compiled plan under faults and injected
+    /// latency.
+    pub fn execute_with(
+        &self,
+        base: &WorldConfig,
+        opts: ExecOptions,
+    ) -> Result<ExecOutcome, EngineError> {
+        let cfg = self.stamp(base.clone());
+        match &self.compiled {
+            CompiledWorkload::Dim3(c) => {
+                let (grid, elapsed, faults) = self.run3(c, &cfg)?;
+                Ok(self.outcome3(grid, elapsed, faults, opts))
+            }
+            CompiledWorkload::Dim2(c) => {
+                let (grid, elapsed, faults) = self.run2(c, &cfg)?;
+                Ok(self.outcome2(grid, elapsed, faults, opts))
+            }
+        }
+    }
+
+    /// Execute on a warm world checked out of `pool` (3-D plans; 2-D
+    /// plans fall back to [`PlanArtifact::execute`]). The world is
+    /// returned to the pool only on success — an errored world may hold
+    /// undrained messages and is discarded.
+    pub fn execute_pooled(
+        &self,
+        pool: &WorldPool,
+        opts: ExecOptions,
+    ) -> Result<ExecOutcome, EngineError> {
+        let c = match &self.compiled {
+            CompiledWorkload::Dim3(c) => c,
+            CompiledWorkload::Dim2(_) => return self.execute(opts),
+        };
+        let cfg = self.world_config();
+        let mut world = pool.checkout(&cfg, c.ranks());
+        let result = self.run3_on(c, &mut world);
+        match result {
+            Ok((grid, elapsed)) => {
+                pool.checkin(&cfg, world);
+                Ok(self.outcome3(grid, elapsed, Vec::new(), opts))
+            }
+            Err(e) => Err(e), // world dropped: may hold undrained state
+        }
+    }
+
+    fn run3(
+        &self,
+        c: &Compiled3D,
+        cfg: &WorldConfig,
+    ) -> Result<(Grid3D, Duration, Vec<FaultStats>), EngineError> {
+        match self.request.kernel {
+            KernelName::Paper3D => plan::run3d_with(Paper3D, c, cfg),
+            KernelName::Relax3D => plan::run3d_with(Relax3D::default(), c, cfg),
+            KernelName::Fused3D => plan::run3d_with(Fused3D::default(), c, cfg),
+            KernelName::LongestPath3D => plan::run3d_with(LongestPath3D, c, cfg),
+            k => unreachable!("2-D kernel {k:?} sealed into a 3-D plan"),
+        }
+    }
+
+    fn run3_on(
+        &self,
+        c: &Compiled3D,
+        world: &mut [msgpass::thread_backend::ThreadComm<f32>],
+    ) -> Result<(Grid3D, Duration), EngineError> {
+        let tier = self.request.tier;
+        match self.request.kernel {
+            KernelName::Paper3D => plan::run3d_on_world(Paper3D, c, tier, world),
+            KernelName::Relax3D => plan::run3d_on_world(Relax3D::default(), c, tier, world),
+            KernelName::Fused3D => plan::run3d_on_world(Fused3D::default(), c, tier, world),
+            KernelName::LongestPath3D => plan::run3d_on_world(LongestPath3D, c, tier, world),
+            k => unreachable!("2-D kernel {k:?} sealed into a 3-D plan"),
+        }
+    }
+
+    fn run2(
+        &self,
+        c: &Compiled2D,
+        cfg: &WorldConfig,
+    ) -> Result<(Grid2D, Duration, Vec<FaultStats>), EngineError> {
+        match self.request.kernel {
+            KernelName::Example1 => plan::run2d_with(Example1, c, cfg),
+            KernelName::Smooth2D => plan::run2d_with(Smooth2D::default(), c, cfg),
+            k => unreachable!("3-D kernel {k:?} sealed into a 2-D plan"),
+        }
+    }
+
+    fn seq3(&self, d: stencil::dist3d::Decomp3D) -> Grid3D {
+        use stencil::seq::run_seq3d;
+        match self.request.kernel {
+            KernelName::Paper3D => run_seq3d(Paper3D, d.nx, d.ny, d.nz, d.boundary),
+            KernelName::Relax3D => run_seq3d(Relax3D::default(), d.nx, d.ny, d.nz, d.boundary),
+            KernelName::Fused3D => run_seq3d(Fused3D::default(), d.nx, d.ny, d.nz, d.boundary),
+            KernelName::LongestPath3D => {
+                run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary)
+            }
+            k => unreachable!("2-D kernel {k:?} sealed into a 3-D plan"),
+        }
+    }
+
+    fn seq2(&self, d: stencil::dist2d::Decomp2D) -> Grid2D {
+        use stencil::seq::run_seq2d;
+        match self.request.kernel {
+            KernelName::Example1 => run_seq2d(Example1, d.nx, d.ny, d.boundary),
+            KernelName::Smooth2D => run_seq2d(Smooth2D::default(), d.nx, d.ny, d.boundary),
+            k => unreachable!("3-D kernel {k:?} sealed into a 2-D plan"),
+        }
+    }
+
+    /// The verification tolerance of the artifact's tier: bitwise for
+    /// the pinned tier, ULP-scale for fast math.
+    fn tolerance(&self) -> f32 {
+        match self.request.tier {
+            KernelTier::Bitwise => 0.0,
+            KernelTier::Fast => 1e-4,
+        }
+    }
+
+    fn outcome3(
+        &self,
+        grid: Grid3D,
+        elapsed: Duration,
+        faults: Vec<FaultStats>,
+        opts: ExecOptions,
+    ) -> ExecOutcome {
+        let verified = opts.verify.then(|| {
+            let c = self.compiled3().expect("3-D outcome");
+            grid.max_abs_diff(&self.seq3(c.decomp())) <= self.tolerance()
+        });
+        ExecOutcome {
+            cells_per_sec: self.cells() as f64 / elapsed.as_secs_f64().max(1e-12),
+            grid: GridResult::Dim3(grid),
+            elapsed,
+            verified,
+            faults,
+        }
+    }
+
+    fn outcome2(
+        &self,
+        grid: Grid2D,
+        elapsed: Duration,
+        faults: Vec<FaultStats>,
+        opts: ExecOptions,
+    ) -> ExecOutcome {
+        let verified = opts.verify.then(|| {
+            let c = self.compiled2().expect("2-D outcome");
+            grid.max_abs_diff(&self.seq2(c.decomp())) <= self.tolerance()
+        });
+        ExecOutcome {
+            cells_per_sec: self.cells() as f64 / elapsed.as_secs_f64().max(1e-12),
+            grid: GridResult::Dim2(grid),
+            elapsed,
+            verified,
+            faults,
+        }
+    }
+}

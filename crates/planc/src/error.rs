@@ -1,0 +1,76 @@
+//! Typed per-stage compilation errors.
+//!
+//! Every variant names the pipeline stage that rejected the request,
+//! so a service client sees *where* its request died — a parse error
+//! with line/column spans, a dependence-extraction failure, an
+//! infeasible decomposition, or a plan the static analyzer refused to
+//! approve. All variants are `Clone`: a single-flight compilation
+//! shares its outcome, success or failure, with every coalesced
+//! waiter.
+
+use stencil::decomp::DecompError;
+use stencil::engine::EngineError;
+use std::fmt;
+use tiling_core::parse::ParseError;
+
+/// Why plan compilation failed, by stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// The front stage could not parse the loop-nest source.
+    Parse(ParseError),
+    /// The front stage parsed the nest but could not extract a valid
+    /// uniform flow-dependence set, or the set does not match any
+    /// executor family.
+    Dependence(String),
+    /// The request itself is inconsistent (kernel/workload dimension
+    /// mismatch, wrong processor arity, …).
+    Spec(String),
+    /// The optimize stage could not produce a usable tile height.
+    Optimize(String),
+    /// The decompose stage rejected the decomposition.
+    Decompose(DecompError),
+    /// The analyze stage (pre-flight static analysis) rejected the
+    /// plan.
+    Analyze(EngineError),
+}
+
+impl CompileError {
+    /// The pipeline stage that produced this error.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            CompileError::Parse(_) | CompileError::Dependence(_) | CompileError::Spec(_) => {
+                "front"
+            }
+            CompileError::Optimize(_) => "optimize",
+            CompileError::Decompose(_) => "decompose",
+            CompileError::Analyze(_) => "analyze",
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "front: parse error: {e}"),
+            CompileError::Dependence(m) => write!(f, "front: dependence error: {m}"),
+            CompileError::Spec(m) => write!(f, "front: bad request: {m}"),
+            CompileError::Optimize(m) => write!(f, "optimize: {m}"),
+            CompileError::Decompose(e) => write!(f, "decompose: {e}"),
+            CompileError::Analyze(e) => write!(f, "analyze: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<DecompError> for CompileError {
+    fn from(e: DecompError) -> Self {
+        CompileError::Decompose(e)
+    }
+}

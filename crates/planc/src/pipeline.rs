@@ -1,0 +1,394 @@
+//! Staged plan compilation: front → decompose → optimize → analyze.
+//!
+//! Each stage has a typed error (see [`CompileError`]) naming where a
+//! request died:
+//!
+//! 1. **front** — resolve the workload into an executor family. Shipped
+//!    shapes pass through; loop-nest source is parsed
+//!    (`tiling-core::parse`), its uniform flow dependences extracted,
+//!    and the nest matched against the family the executors implement
+//!    (2-D strips for Example-1-class nests, the §5 block layout for
+//!    3-D unit-dependence nests). Kernel/workload dimensions must
+//!    agree.
+//! 2. **decompose** — build the decomposition skeleton and validate
+//!    divisibility and non-emptiness.
+//! 3. **optimize** — resolve the tile height: explicit `V` passes
+//!    through; `auto` evaluates the closed-form optimum
+//!    `V* = √(K·α/(γ·β))` (§6) for the request's machine and schedule,
+//!    clamped to the mapping extent.
+//! 4. **analyze** — run the pre-flight static analysis exactly once
+//!    (`stencil::plan::Compiled{2,3}D::compile`) and seal the
+//!    [`PlanArtifact`].
+
+use crate::artifact::{CompiledWorkload, PlanArtifact};
+use crate::cache::PlanKey;
+use crate::error::CompileError;
+use crate::spec::{PlanRequest, VChoice, WorkloadSpec};
+use std::collections::BTreeSet;
+use stencil::dist2d::Decomp2D;
+use stencil::dist3d::Decomp3D;
+use stencil::engine::ExecMode;
+use stencil::plan::{Compiled2D, Compiled3D};
+use tiling_core::closed_form::{nonoverlap_optimal_v, overlap_optimal_v, ClosedForm};
+use tiling_core::dependence::DependenceSet;
+use tiling_core::parse::parse_loop_nest;
+use tiling_core::space::IterationSpace;
+
+/// The front stage's resolved shape: which executor family the request
+/// compiles onto, with concrete extents and processor counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    D2 {
+        nx: usize,
+        ny: usize,
+        ranks: usize,
+    },
+    D3 {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        pi: usize,
+        pj: usize,
+    },
+}
+
+impl Shape {
+    fn dims(self) -> usize {
+        match self {
+            Shape::D2 { .. } => 2,
+            Shape::D3 { .. } => 3,
+        }
+    }
+}
+
+/// Stage 1: resolve the workload into an executor family.
+fn front(req: &PlanRequest) -> Result<Shape, CompileError> {
+    let shape = match &req.workload {
+        WorkloadSpec::Grid3D { nx, ny, nz, pi, pj } => Shape::D3 {
+            nx: *nx,
+            ny: *ny,
+            nz: *nz,
+            pi: *pi,
+            pj: *pj,
+        },
+        WorkloadSpec::Strip2D { nx, ny, ranks } => Shape::D2 {
+            nx: *nx,
+            ny: *ny,
+            ranks: *ranks,
+        },
+        WorkloadSpec::Source { text, procs } => {
+            let nest = parse_loop_nest(text)?;
+            let deps = nest
+                .dependences()
+                .map_err(|e| CompileError::Dependence(e.to_string()))?;
+            let dims = nest.space().dims();
+            let family = match dims {
+                2 => DependenceSet::example_1(),
+                3 => DependenceSet::paper_3d(),
+                n => {
+                    return Err(CompileError::Dependence(format!(
+                        "loop nests of depth {n} have no executor family (only 2 and 3)"
+                    )))
+                }
+            };
+            // Every extracted dependence must be one the family's halo
+            // exchange covers; extra vectors would make the executors
+            // silently read stale values.
+            let covered: BTreeSet<Vec<i64>> =
+                family.iter().map(|d| d.components().to_vec()).collect();
+            for d in deps.iter() {
+                if !covered.contains(d.components()) {
+                    return Err(CompileError::Dependence(format!(
+                        "dependence {:?} is outside the {}-D executor family {:?}",
+                        d.components(),
+                        dims,
+                        covered.iter().collect::<Vec<_>>()
+                    )));
+                }
+            }
+            if procs.len() != dims - 1 {
+                return Err(CompileError::Spec(format!(
+                    "a {dims}-D nest needs {} processor counts, got {:?}",
+                    dims - 1,
+                    procs
+                )));
+            }
+            let ext = |d: usize| nest.space().extent(d) as usize;
+            match dims {
+                2 => Shape::D2 {
+                    nx: ext(0),
+                    ny: ext(1),
+                    ranks: procs[0],
+                },
+                _ => Shape::D3 {
+                    nx: ext(0),
+                    ny: ext(1),
+                    nz: ext(2),
+                    pi: procs[0],
+                    pj: procs[1],
+                },
+            }
+        }
+    };
+    if req.kernel.dims() != shape.dims() {
+        return Err(CompileError::Spec(format!(
+            "kernel {} is {}-D but the workload is {}-D",
+            req.kernel.name(),
+            req.kernel.dims(),
+            shape.dims()
+        )));
+    }
+    Ok(shape)
+}
+
+/// Stage 2: validate the decomposition skeleton (everything except the
+/// tile height, which the optimize stage resolves next).
+fn decompose(shape: Shape, req: &PlanRequest) -> Result<(), CompileError> {
+    match shape {
+        Shape::D2 { nx, ny, ranks } => {
+            let d = Decomp2D {
+                nx,
+                ny,
+                ranks,
+                v: 1,
+                boundary: req.boundary,
+            };
+            d.validate()?;
+        }
+        Shape::D3 { nx, ny, nz, pi, pj } => {
+            let d = Decomp3D {
+                nx,
+                ny,
+                nz,
+                pi,
+                pj,
+                v: 1,
+                boundary: req.boundary,
+            };
+            d.validate()?;
+        }
+    }
+    Ok(())
+}
+
+/// Stage 3: resolve the tile height and the closed-form prediction.
+fn optimize(shape: Shape, req: &PlanRequest) -> Result<(usize, Option<f64>), CompileError> {
+    let machine = req.machine.params();
+    // The executor families fix the cross-section (one tile column per
+    // processor) and the mapping dimension: strips map along i₁, the
+    // §5 block layout along i₃.
+    let (space, deps, cross, mapping_dim, k_extent) = match shape {
+        Shape::D2 { nx, ny, ranks } => (
+            IterationSpace::from_extents(&[nx as i64, ny as i64]),
+            DependenceSet::example_1(),
+            vec![(ny / ranks) as i64],
+            0,
+            nx,
+        ),
+        Shape::D3 { nx, ny, nz, pi, pj } => (
+            IterationSpace::from_extents(&[nx as i64, ny as i64, nz as i64]),
+            DependenceSet::paper_3d(),
+            vec![(nx / pi) as i64, (ny / pj) as i64],
+            2,
+            nz,
+        ),
+    };
+    let cf: ClosedForm = match req.mode {
+        ExecMode::Overlapping => overlap_optimal_v(&space, &deps, &machine, &cross, mapping_dim),
+        ExecMode::Blocking => nonoverlap_optimal_v(&space, &deps, &machine, &cross, mapping_dim),
+    };
+    let v = match req.v {
+        VChoice::Explicit(v) => {
+            if v == 0 {
+                return Err(CompileError::Optimize("tile height must be ≥ 1".into()));
+            }
+            v
+        }
+        VChoice::Auto => {
+            if !cf.v_star.is_finite() {
+                return Err(CompileError::Optimize(format!(
+                    "closed form degenerate for this machine (V* = {})",
+                    cf.v_star
+                )));
+            }
+            (cf.v_star_integer().max(1) as usize).min(k_extent.max(1))
+        }
+    };
+    let predicted = {
+        let p = cf.predict_us(v as f64);
+        p.is_finite().then_some(p)
+    };
+    Ok((v, predicted))
+}
+
+/// Stage 4 + seal: run the pre-flight analysis exactly once and bundle
+/// the artifact.
+fn analyze(
+    shape: Shape,
+    v: usize,
+    predicted_us: Option<f64>,
+    req: &PlanRequest,
+) -> Result<PlanArtifact, CompileError> {
+    let (compiled, report) = match shape {
+        Shape::D2 { nx, ny, ranks } => {
+            let d = Decomp2D {
+                nx,
+                ny,
+                ranks,
+                v,
+                boundary: req.boundary,
+            };
+            let c = Compiled2D::compile(d, req.mode).map_err(CompileError::Analyze)?;
+            let report = *c.report().expect("compile always analyzes");
+            (CompiledWorkload::Dim2(c), report)
+        }
+        Shape::D3 { nx, ny, nz, pi, pj } => {
+            let d = Decomp3D {
+                nx,
+                ny,
+                nz,
+                pi,
+                pj,
+                v,
+                boundary: req.boundary,
+            };
+            let c = Compiled3D::compile(d, req.mode).map_err(CompileError::Analyze)?;
+            let report = *c.report().expect("compile always analyzes");
+            (CompiledWorkload::Dim3(c), report)
+        }
+    };
+    Ok(PlanArtifact {
+        key: PlanKey::of(req),
+        request: req.clone(),
+        v,
+        compiled,
+        report,
+        predicted_us,
+    })
+}
+
+/// Compile a request through every stage. This is the *uncached* entry
+/// point; services go through [`crate::compiler::Compiler`], which adds
+/// the keyed cache and single-flight batching on top.
+pub fn compile(req: &PlanRequest) -> Result<PlanArtifact, CompileError> {
+    let shape = front(req)?;
+    decompose(shape, req)?;
+    let (v, predicted_us) = optimize(shape, req)?;
+    analyze(shape, v, predicted_us, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ExecOptions;
+    use crate::spec::{KernelName, MachineSpec};
+    use stencil::decomp::DecompError;
+
+    #[test]
+    fn grid3_compiles_and_executes_verified() {
+        let a = compile(&PlanRequest::grid3(8, 8, 64, 2, 2).with_v(16)).expect("compiles");
+        assert_eq!(a.v(), 16);
+        assert_eq!(a.ranks(), 4);
+        assert!(a.report().messages > 0);
+        let out = a.execute(ExecOptions { verify: true }).expect("runs");
+        assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn strip2_compiles_and_executes_verified() {
+        let a = compile(&PlanRequest::strip2(40, 12, 4).with_v(10)).expect("compiles");
+        let out = a.execute(ExecOptions { verify: true }).expect("runs");
+        assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn auto_v_is_clamped_and_predicted() {
+        let a = compile(&PlanRequest::grid3(8, 8, 4096, 2, 2)).expect("compiles");
+        assert!(a.v() >= 1 && a.v() <= 4096, "v = {}", a.v());
+        assert!(a.predicted_us().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn source_nest_compiles_to_3d_plan() {
+        let src = "\
+FOR i1 = 1 TO 8 DO
+  FOR i2 = 1 TO 8 DO
+    FOR i3 = 1 TO 64 DO
+      A(i1, i2, i3) = sqrt(A(i1-1, i2, i3)) + sqrt(A(i1, i2-1, i3)) + sqrt(A(i1, i2, i3-1))
+    ENDFOR
+  ENDFOR
+ENDFOR
+";
+        let a = compile(&PlanRequest::source(src, vec![2, 2]).with_v(16)).expect("compiles");
+        assert_eq!(a.ranks(), 4);
+        let out = a.execute(ExecOptions { verify: true }).expect("runs");
+        assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn source_nest_compiles_to_2d_plan() {
+        let src = "\
+FOR i1 = 1 TO 40 DO
+  FOR i2 = 1 TO 12 DO
+    A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+  ENDFOR
+ENDFOR
+";
+        let req = PlanRequest::source(src, vec![4])
+            .with_kernel(KernelName::Example1)
+            .with_machine(MachineSpec::Example1)
+            .with_v(10);
+        let a = compile(&req).expect("compiles");
+        assert_eq!(a.ranks(), 4);
+        let out = a.execute(ExecOptions { verify: true }).expect("runs");
+        assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn stage_errors_are_typed() {
+        // front: parse error carries a position.
+        let e = compile(&PlanRequest::source("FOR FOR", vec![2, 2])).unwrap_err();
+        assert_eq!(e.stage(), "front");
+        assert!(matches!(e, CompileError::Parse(_)));
+
+        // front: kernel/workload dimension mismatch.
+        let e = compile(&PlanRequest::grid3(8, 8, 64, 2, 2).with_kernel(KernelName::Example1))
+            .unwrap_err();
+        assert!(matches!(e, CompileError::Spec(_)));
+
+        // front: dependence outside the family.
+        let src = "\
+FOR i1 = 1 TO 8 DO
+  FOR i2 = 1 TO 8 DO
+    A(i1, i2) = A(i1-2, i2)
+  ENDFOR
+ENDFOR
+";
+        let e = compile(
+            &PlanRequest::source(src, vec![4]).with_kernel(KernelName::Example1),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CompileError::Dependence(_)), "{e:?}");
+
+        // decompose: divisibility.
+        let e = compile(&PlanRequest::grid3(9, 8, 64, 2, 2)).unwrap_err();
+        assert_eq!(e.stage(), "decompose");
+        assert!(matches!(
+            e,
+            CompileError::Decompose(DecompError::NotDivisible { .. })
+        ));
+
+        // optimize: explicit zero height.
+        let e = compile(&PlanRequest::grid3(8, 8, 64, 2, 2).with_v(0)).unwrap_err();
+        assert_eq!(e.stage(), "optimize");
+    }
+
+    #[test]
+    fn preflight_runs_at_compile_time_only() {
+        // The artifact's world config always skips the per-run check;
+        // the report proves the compile-time analysis happened.
+        let a = compile(&PlanRequest::grid3(8, 8, 64, 2, 2).with_v(16)).expect("compiles");
+        assert!(a.world_config().skip_preflight);
+        assert_eq!(a.report().ranks, 4);
+    }
+}

@@ -32,8 +32,9 @@ use crate::kernel::{Example1, Kernel2D};
 use crate::proto::DIR_J;
 use msgpass::comm::Communicator;
 use msgpass::fault::FaultStats;
-use msgpass::thread_backend::{run_threads_with, LatencyModel, WorldConfig};
+use msgpass::thread_backend::{LatencyModel, WorldConfig};
 use std::time::Duration;
+use tiling_core::schedule::StepPlan;
 
 pub use crate::engine::ExecMode;
 
@@ -191,6 +192,23 @@ impl<K: Kernel2D> TileOps for Strip2D<K> {
     }
 }
 
+/// One rank's execution of any 2-D kernel from a pre-compiled
+/// [`StepPlan`] (see [`crate::plan::Compiled2D`]), reporting every
+/// phase to `obs`; returns its strip (`nx × by`) or the typed
+/// transport/structure error that stopped it. Nothing is re-derived
+/// here — the plan is executed exactly as compiled.
+pub fn try_run_rank2d_plan<C: Communicator<f32>, K: Kernel2D, O: StepObserver>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp2D,
+    plan: &StepPlan,
+    obs: &mut O,
+) -> Result<Vec<f32>, EngineError> {
+    let mut s = Strip2D::new(d, kernel, comm.rank());
+    engine::run_rank(comm, &mut s, plan, obs)?;
+    Ok(s.strip)
+}
+
 /// One rank's execution of any 2-D kernel under `mode`'s schedule,
 /// reporting every phase to `obs`; returns its strip (`nx × by`) or
 /// the typed transport/structure error that stopped it.
@@ -201,11 +219,9 @@ pub fn try_run_rank2d_observed<C: Communicator<f32>, K: Kernel2D, O: StepObserve
     mode: ExecMode,
     obs: &mut O,
 ) -> Result<Vec<f32>, EngineError> {
-    let mut s = Strip2D::new(d, kernel, comm.rank());
     // Example 1 maps along i₁ of a 2-D tiled space (pi = [1, 2]).
     let plan = mode.step_plan(2, 0, d.steps());
-    engine::run_rank(comm, &mut s, &plan, obs)?;
-    Ok(s.strip)
+    try_run_rank2d_plan(comm, kernel, d, &plan, obs)
 }
 
 /// One rank's execution of any 2-D kernel under `mode`'s schedule,
@@ -244,47 +260,14 @@ pub fn run_dist2d_with<K: Kernel2D>(
     cfg: &WorldConfig,
     mode: ExecMode,
 ) -> Result<(Grid2D, Duration, Vec<FaultStats>), EngineError> {
-    d.validate()?;
-    if !cfg.skip_preflight {
-        crate::preflight::check_plan2d(&d, mode)?;
-    }
-    let (results, elapsed) = run_threads_with::<f32, _, _>(d.ranks, cfg, move |mut comm| {
-        let strip = try_run_rank2d_observed(&mut comm, kernel, d, mode, &mut NoopObserver);
-        (strip, comm.fault_stats())
-    });
-    let mut strips = Vec::with_capacity(d.ranks);
-    let mut stats = Vec::with_capacity(d.ranks);
-    let mut worst: Option<EngineError> = None;
-    for (rank, joined) in results.into_iter().enumerate() {
-        let err = match joined {
-            Ok((Ok(strip), st)) => {
-                strips.push(strip);
-                stats.push(st);
-                continue;
-            }
-            Ok((Err(e), st)) => {
-                stats.push(st);
-                e
-            }
-            Err(_) => EngineError::RankFailed { rank },
-        };
-        worst = Some(match worst.take() {
-            Some(w) => w.prefer(err),
-            None => err,
-        });
-    }
-    if let Some(e) = worst {
-        return Err(e);
-    }
-    // Assemble: each strip row is a contiguous span of the output row.
-    let by = d.by();
-    let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
-    for (rank, strip) in strips.iter().enumerate() {
-        for i in 0..d.nx {
-            out.row_mut(i)[rank * by..][..by].copy_from_slice(&strip[i * by..][..by]);
-        }
-    }
-    Ok((out, elapsed, stats))
+    // Compile (validate + pre-flight, exactly once) then execute the
+    // sealed plan — see [`crate::plan`].
+    let compiled = if cfg.skip_preflight {
+        crate::plan::Compiled2D::compile_unchecked(d, mode)?
+    } else {
+        crate::plan::Compiled2D::compile(d, mode)?
+    };
+    crate::plan::run2d_with(kernel, &compiled, cfg)
 }
 
 /// Run a distributed 2-D kernel on the threaded backend and gather.

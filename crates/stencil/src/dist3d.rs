@@ -47,7 +47,7 @@ use crate::pool;
 use crate::proto::{DIR_I, DIR_J};
 use msgpass::comm::Communicator;
 use msgpass::fault::FaultStats;
-use msgpass::thread_backend::{run_threads_with, LatencyModel, ThreadComm, WorldConfig};
+use msgpass::thread_backend::{LatencyModel, ThreadComm, WorldConfig};
 use msgpass::topology::CartesianGrid;
 use msgpass::trace::Trace;
 use std::time::Duration;
@@ -459,11 +459,27 @@ pub fn try_run_rank3d_tier<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     tier: KernelTier,
     obs: &mut O,
 ) -> Result<Vec<f32>, EngineError> {
-    let mut blk = Block3D::new(d, kernel, tier, comm.rank());
     // The paper's §5 layout maps along i₃ of a 3-D tiled space
     // (pi = [2, 2, 1]).
     let plan = mode.step_plan(3, 2, d.steps());
-    engine::run_rank(comm, &mut blk, &plan, obs)?;
+    try_run_rank3d_plan(comm, kernel, d, &plan, tier, obs)
+}
+
+/// One rank's execution of any 3-D kernel from a pre-compiled
+/// [`StepPlan`] (see [`crate::plan::Compiled3D`]), reporting every
+/// phase to `obs`; returns its block (`bx × by × nz`) or the typed
+/// transport/structure error that stopped it. Nothing is re-derived
+/// here — the plan is executed exactly as compiled.
+pub fn try_run_rank3d_plan<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+    plan: &tiling_core::schedule::StepPlan,
+    tier: KernelTier,
+    obs: &mut O,
+) -> Result<Vec<f32>, EngineError> {
+    let mut blk = Block3D::new(d, kernel, tier, comm.rank());
+    engine::run_rank(comm, &mut blk, plan, obs)?;
     Ok(blk.block)
 }
 
@@ -536,15 +552,33 @@ pub fn try_run_rank3d_pooled<C: Communicator<f32>, K: Kernel3D, O: StepObserver>
     pin_base: Option<usize>,
     obs: &mut O,
 ) -> Result<Vec<f32>, EngineError> {
+    let plan = mode.step_plan(3, 2, d.steps());
+    try_run_rank3d_pooled_plan(comm, kernel, d, &plan, tier, workers, pin_base, obs)
+}
+
+/// [`try_run_rank3d_pooled`] from a pre-compiled [`StepPlan`] — the
+/// pooled counterpart of [`try_run_rank3d_plan`].
+///
+/// [`StepPlan`]: tiling_core::schedule::StepPlan
+#[allow(clippy::too_many_arguments)] // the pooled variant of try_run_rank3d_plan plus its pool knobs
+pub fn try_run_rank3d_pooled_plan<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
+    comm: &mut C,
+    kernel: K,
+    d: Decomp3D,
+    plan: &tiling_core::schedule::StepPlan,
+    tier: KernelTier,
+    workers: usize,
+    pin_base: Option<usize>,
+    obs: &mut O,
+) -> Result<Vec<f32>, EngineError> {
     let workers = workers.max(1);
     let shared = pool::Shared::new(d, kernel, tier, workers, comm.rank());
-    let plan = mode.step_plan(3, 2, d.steps());
     let result = std::thread::scope(|scope| {
         for w in 1..workers {
             let sh = &shared;
             scope.spawn(move || sh.worker_loop(w, pin_base.map(|b| b + w)));
         }
-        let r = engine::run_rank(comm, &mut PooledBlock { shared: &shared }, &plan, obs);
+        let r = engine::run_rank(comm, &mut PooledBlock { shared: &shared }, plan, obs);
         // Always release the pool — even on a transport error — or the
         // scope would join forever.
         shared.shutdown();
@@ -580,7 +614,7 @@ pub fn run_rank3d<C: Communicator<f32>, K: Kernel3D>(
 }
 
 /// Gather per-rank blocks into the full grid.
-fn gather_blocks(d: Decomp3D, blocks: &[Vec<f32>]) -> Grid3D {
+pub(crate) fn gather_blocks(d: Decomp3D, blocks: &[Vec<f32>]) -> Grid3D {
     // Assemble: every block pencil is contiguous in both the block and
     // the destination grid, so the gather is one memcpy per (i, j).
     let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
@@ -617,54 +651,14 @@ where
     O: StepObserver + Send,
     F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
 {
-    d.validate()?;
-    if !cfg.skip_preflight {
-        crate::preflight::check_plan3d(&d, mode)?;
-    }
-    let ranks = d.pi * d.pj;
-    let tier = cfg.kernel_tier;
-    let workers = cfg.compute_workers.max(1);
-    let pin = cfg.pin_cores;
-    let (results, elapsed) = run_threads_with::<f32, _, _>(ranks, cfg, |mut comm| {
-        let mut obs = make_obs(&comm);
-        let block = if workers > 1 {
-            // Place each rank's pool on a contiguous core span so the
-            // engine (worker 0) and its workers share locality.
-            let pin_base = if pin { Some(comm.rank() * workers) } else { None };
-            try_run_rank3d_pooled(&mut comm, kernel, d, mode, tier, workers, pin_base, &mut obs)
-        } else {
-            try_run_rank3d_tier(&mut comm, kernel, d, mode, tier, &mut obs)
-        };
-        (block, obs, comm.fault_stats())
-    });
-    let mut blocks = Vec::with_capacity(ranks);
-    let mut observers = Vec::with_capacity(ranks);
-    let mut stats = Vec::with_capacity(ranks);
-    let mut worst: Option<EngineError> = None;
-    for (rank, joined) in results.into_iter().enumerate() {
-        let err = match joined {
-            Ok((Ok(block), obs, st)) => {
-                blocks.push(block);
-                observers.push(obs);
-                stats.push(st);
-                continue;
-            }
-            Ok((Err(e), obs, st)) => {
-                observers.push(obs);
-                stats.push(st);
-                e
-            }
-            Err(_) => EngineError::RankFailed { rank },
-        };
-        worst = Some(match worst.take() {
-            Some(w) => w.prefer(err),
-            None => err,
-        });
-    }
-    if let Some(e) = worst {
-        return Err(e);
-    }
-    Ok((gather_blocks(d, &blocks), elapsed, observers, stats))
+    // Compile (validate + pre-flight, exactly once) then execute the
+    // sealed plan — see [`crate::plan`].
+    let compiled = if cfg.skip_preflight {
+        crate::plan::Compiled3D::compile_unchecked(d, mode)?
+    } else {
+        crate::plan::Compiled3D::compile(d, mode)?
+    };
+    crate::plan::run3d_observed_with(kernel, &compiled, cfg, make_obs)
 }
 
 /// Run a full distributed 3-D kernel on the threaded backend with a

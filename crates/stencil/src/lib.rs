@@ -52,6 +52,7 @@ pub mod grid;
 pub mod halo;
 pub mod kernel;
 pub mod legacy;
+pub mod plan;
 pub(crate) mod pool;
 pub mod preflight;
 pub mod proto;
@@ -74,6 +75,7 @@ pub mod prelude {
         Alignment2D, Example1, Fused3D, Kernel2D, Kernel3D, LongestPath3D, Paper3D, Relax3D,
         Smooth2D,
     };
+    pub use crate::plan::{Compiled2D, Compiled3D};
     pub use crate::preflight::{check_plan2d, check_plan3d};
     pub use crate::seq::{
         measure_t_c_paper3d, run_example1_seq, run_paper3d_seq, run_seq2d, run_seq3d,

@@ -1,0 +1,406 @@
+//! Compiled execution plans: validate + analyze once, execute many.
+//!
+//! A [`Compiled2D`] / [`Compiled3D`] is the sealed, immutable bundle a
+//! distributed run actually needs — the validated decomposition, the
+//! [`StepPlan`] projected from the schedule type behind the chosen
+//! [`ExecMode`], and the pre-flight [`AnalysisReport`] proving the plan
+//! legal, fully matched and deadlock-free. Compiling is the *only*
+//! place validation and pre-flight analysis happen; every runner in
+//! this module consumes the bundle as-is, so a plan compiled once can
+//! back any number of executions without re-deriving or re-checking
+//! anything (the `planc` crate's `PlanArtifact` wraps these bundles
+//! with a cache key and model metadata for exactly that reuse).
+//!
+//! The legacy per-run entry points (`run_dist2d_with`,
+//! `run_dist3d_observed_with`, …) are now thin compile-then-execute
+//! wrappers over this module — their behavior, results and error
+//! precedence are unchanged.
+//!
+//! [`run3d_on_world`] additionally executes a compiled plan over a
+//! *prebuilt* thread-backend world (`msgpass::thread_backend::run_world`):
+//! a service can keep a pool of worlds warm and run job after job on
+//! them, reusing links, slot rings and buffer pools. That reuse is
+//! sound precisely because the analyzer proved the plan drains every
+//! link — a completed run leaves no message behind.
+
+use crate::dist2d::{self, Decomp2D};
+use crate::dist3d::{self, Decomp3D};
+use crate::engine::{EngineError, ExecMode, NoopObserver, StepObserver};
+use crate::grid::{Grid2D, Grid3D};
+use crate::kernel::{Kernel2D, Kernel3D};
+use analyzer::AnalysisReport;
+use msgpass::comm::Communicator;
+use msgpass::fault::FaultStats;
+use msgpass::thread_backend::{run_threads_with, run_world, ThreadComm, WorldConfig};
+use std::time::Duration;
+use tiling_core::machine::KernelTier;
+use tiling_core::schedule::StepPlan;
+
+/// A compiled, analyzer-approved 2-D strip plan: decomposition,
+/// schedule projection and pre-flight report, sealed at compile time.
+#[derive(Clone, Copy, Debug)]
+pub struct Compiled2D {
+    d: Decomp2D,
+    mode: ExecMode,
+    plan: StepPlan,
+    report: Option<AnalysisReport>,
+}
+
+impl Compiled2D {
+    /// Validate the decomposition, run the pre-flight static analysis
+    /// exactly once, and seal the executable plan.
+    pub fn compile(d: Decomp2D, mode: ExecMode) -> Result<Self, EngineError> {
+        d.validate()?;
+        let report = crate::preflight::check_plan2d(&d, mode)?;
+        Ok(Compiled2D {
+            d,
+            mode,
+            // Example 1 maps along i₁ of a 2-D tiled space (pi = [1, 2]).
+            plan: mode.step_plan(2, 0, d.steps()),
+            report: Some(report),
+        })
+    }
+
+    /// Seal without the pre-flight analysis (benchmark hot paths that
+    /// opt out via `WorldConfig::without_preflight`; the layout must be
+    /// covered elsewhere, e.g. by `paper analyze`). Validation still
+    /// runs — an unexecutable decomposition is never sealed.
+    pub fn compile_unchecked(d: Decomp2D, mode: ExecMode) -> Result<Self, EngineError> {
+        d.validate()?;
+        Ok(Compiled2D {
+            d,
+            mode,
+            plan: mode.step_plan(2, 0, d.steps()),
+            report: None,
+        })
+    }
+
+    /// The validated decomposition.
+    pub fn decomp(&self) -> Decomp2D {
+        self.d
+    }
+
+    /// The execution mode the plan was compiled for.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The schedule's executable projection.
+    pub fn step_plan(&self) -> &StepPlan {
+        &self.plan
+    }
+
+    /// The pre-flight report (`None` for [`Compiled2D::compile_unchecked`]).
+    pub fn report(&self) -> Option<&AnalysisReport> {
+        self.report.as_ref()
+    }
+
+    /// World size the plan executes on.
+    pub fn ranks(&self) -> usize {
+        self.d.ranks
+    }
+}
+
+/// A compiled, analyzer-approved 3-D block plan (§5 layout).
+#[derive(Clone, Copy, Debug)]
+pub struct Compiled3D {
+    d: Decomp3D,
+    mode: ExecMode,
+    plan: StepPlan,
+    report: Option<AnalysisReport>,
+}
+
+impl Compiled3D {
+    /// Validate the decomposition, run the pre-flight static analysis
+    /// exactly once, and seal the executable plan.
+    pub fn compile(d: Decomp3D, mode: ExecMode) -> Result<Self, EngineError> {
+        d.validate()?;
+        let report = crate::preflight::check_plan3d(&d, mode)?;
+        Ok(Compiled3D {
+            d,
+            mode,
+            // The paper's §5 layout maps along i₃ (pi = [2, 2, 1]).
+            plan: mode.step_plan(3, 2, d.steps()),
+            report: Some(report),
+        })
+    }
+
+    /// Seal without the pre-flight analysis (see
+    /// [`Compiled2D::compile_unchecked`]).
+    pub fn compile_unchecked(d: Decomp3D, mode: ExecMode) -> Result<Self, EngineError> {
+        d.validate()?;
+        Ok(Compiled3D {
+            d,
+            mode,
+            plan: mode.step_plan(3, 2, d.steps()),
+            report: None,
+        })
+    }
+
+    /// The validated decomposition.
+    pub fn decomp(&self) -> Decomp3D {
+        self.d
+    }
+
+    /// The execution mode the plan was compiled for.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The schedule's executable projection.
+    pub fn step_plan(&self) -> &StepPlan {
+        &self.plan
+    }
+
+    /// The pre-flight report (`None` for [`Compiled3D::compile_unchecked`]).
+    pub fn report(&self) -> Option<&AnalysisReport> {
+        self.report.as_ref()
+    }
+
+    /// World size the plan executes on.
+    pub fn ranks(&self) -> usize {
+        self.d.pi * self.d.pj
+    }
+}
+
+/// Fold per-rank results, preferring the most diagnostic error (see
+/// [`EngineError::severity`]).
+fn prefer_worst(worst: &mut Option<EngineError>, err: EngineError) {
+    *worst = Some(match worst.take() {
+        Some(w) => w.prefer(err),
+        None => err,
+    });
+}
+
+/// Execute a compiled 2-D plan on a fully configured world and gather.
+/// No validation or pre-flight runs here — that happened at compile
+/// time. Returns the assembled grid, the wall-clock time, and each
+/// rank's fault counters.
+pub fn run2d_with<K: Kernel2D>(
+    kernel: K,
+    c: &Compiled2D,
+    cfg: &WorldConfig,
+) -> Result<(Grid2D, Duration, Vec<FaultStats>), EngineError> {
+    let d = c.d;
+    let plan = &c.plan;
+    let (results, elapsed) = run_threads_with::<f32, _, _>(d.ranks, cfg, move |mut comm| {
+        let strip =
+            dist2d::try_run_rank2d_plan(&mut comm, kernel, d, plan, &mut NoopObserver);
+        (strip, comm.fault_stats())
+    });
+    let mut strips = Vec::with_capacity(d.ranks);
+    let mut stats = Vec::with_capacity(d.ranks);
+    let mut worst: Option<EngineError> = None;
+    for (rank, joined) in results.into_iter().enumerate() {
+        match joined {
+            Ok((Ok(strip), st)) => {
+                strips.push(strip);
+                stats.push(st);
+            }
+            Ok((Err(e), st)) => {
+                stats.push(st);
+                prefer_worst(&mut worst, e);
+            }
+            Err(_) => prefer_worst(&mut worst, EngineError::RankFailed { rank }),
+        }
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    Ok((assemble2d(d, &strips), elapsed, stats))
+}
+
+/// Assemble per-rank strips into the full grid: each strip row is a
+/// contiguous span of the output row.
+fn assemble2d(d: Decomp2D, strips: &[Vec<f32>]) -> Grid2D {
+    let by = d.by();
+    let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
+    for (rank, strip) in strips.iter().enumerate() {
+        for i in 0..d.nx {
+            out.row_mut(i)[rank * by..][..by].copy_from_slice(&strip[i * by..][..by]);
+        }
+    }
+    out
+}
+
+/// Execute a compiled 3-D plan on a fully configured world with a
+/// per-rank [`StepObserver`] built by `make_obs`. No validation or
+/// pre-flight runs here — that happened at compile time. Returns the
+/// assembled grid, the wall-clock time of the parallel region, the
+/// observers in rank order, and each rank's fault counters.
+pub fn run3d_observed_with<K, O, F>(
+    kernel: K,
+    c: &Compiled3D,
+    cfg: &WorldConfig,
+    make_obs: F,
+) -> Result<(Grid3D, Duration, Vec<O>, Vec<FaultStats>), EngineError>
+where
+    K: Kernel3D,
+    O: StepObserver + Send,
+    F: Fn(&ThreadComm<f32>) -> O + Send + Sync,
+{
+    let d = c.d;
+    let plan = &c.plan;
+    let ranks = c.ranks();
+    let tier = cfg.kernel_tier;
+    let workers = cfg.compute_workers.max(1);
+    let pin = cfg.pin_cores;
+    let (results, elapsed) = run_threads_with::<f32, _, _>(ranks, cfg, |mut comm| {
+        let mut obs = make_obs(&comm);
+        let block = if workers > 1 {
+            // Place each rank's pool on a contiguous core span so the
+            // engine (worker 0) and its workers share locality.
+            let pin_base = if pin { Some(comm.rank() * workers) } else { None };
+            dist3d::try_run_rank3d_pooled_plan(
+                &mut comm, kernel, d, plan, tier, workers, pin_base, &mut obs,
+            )
+        } else {
+            dist3d::try_run_rank3d_plan(&mut comm, kernel, d, plan, tier, &mut obs)
+        };
+        (block, obs, comm.fault_stats())
+    });
+    let mut blocks = Vec::with_capacity(ranks);
+    let mut observers = Vec::with_capacity(ranks);
+    let mut stats = Vec::with_capacity(ranks);
+    let mut worst: Option<EngineError> = None;
+    for (rank, joined) in results.into_iter().enumerate() {
+        match joined {
+            Ok((Ok(block), obs, st)) => {
+                blocks.push(block);
+                observers.push(obs);
+                stats.push(st);
+            }
+            Ok((Err(e), obs, st)) => {
+                observers.push(obs);
+                stats.push(st);
+                prefer_worst(&mut worst, e);
+            }
+            Err(_) => prefer_worst(&mut worst, EngineError::RankFailed { rank }),
+        }
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    Ok((dist3d::gather_blocks(d, &blocks), elapsed, observers, stats))
+}
+
+/// Execute a compiled 3-D plan on a fully configured world and gather.
+pub fn run3d_with<K: Kernel3D>(
+    kernel: K,
+    c: &Compiled3D,
+    cfg: &WorldConfig,
+) -> Result<(Grid3D, Duration, Vec<FaultStats>), EngineError> {
+    let (grid, elapsed, _, stats) = run3d_observed_with(kernel, c, cfg, |_| NoopObserver)?;
+    Ok((grid, elapsed, stats))
+}
+
+/// Execute a compiled 3-D plan over a *prebuilt* world (see
+/// [`msgpass::thread_backend::build_world_with`] /
+/// [`msgpass::thread_backend::run_world`]): the world's links, slot
+/// rings and buffer pools are reused as-is, so a warm world costs no
+/// setup. The world's size must match the plan's rank count. On error
+/// the world may hold undrained messages and must be discarded.
+pub fn run3d_on_world<K: Kernel3D>(
+    kernel: K,
+    c: &Compiled3D,
+    tier: KernelTier,
+    world: &mut [ThreadComm<f32>],
+) -> Result<(Grid3D, Duration), EngineError> {
+    assert_eq!(
+        world.len(),
+        c.ranks(),
+        "prebuilt world size must match the compiled plan's rank count"
+    );
+    let d = c.d;
+    let plan = &c.plan;
+    let (results, elapsed) = run_world(world, false, |comm| {
+        dist3d::try_run_rank3d_plan(comm, kernel, d, plan, tier, &mut NoopObserver)
+    });
+    let mut blocks = Vec::with_capacity(c.ranks());
+    let mut worst: Option<EngineError> = None;
+    for (rank, joined) in results.into_iter().enumerate() {
+        match joined {
+            Ok(Ok(block)) => blocks.push(block),
+            Ok(Err(e)) => prefer_worst(&mut worst, e),
+            Err(_) => prefer_worst(&mut worst, EngineError::RankFailed { rank }),
+        }
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    Ok((dist3d::gather_blocks(d, &blocks), elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Example1, Paper3D};
+    use msgpass::thread_backend::{build_world_with, LatencyModel};
+
+    fn d3() -> Decomp3D {
+        Decomp3D {
+            nx: 8,
+            ny: 8,
+            nz: 64,
+            pi: 2,
+            pj: 2,
+            v: 16,
+            boundary: 1.0,
+        }
+    }
+
+    #[test]
+    fn compile_once_execute_many_matches_sequential() {
+        let c = Compiled3D::compile(d3(), ExecMode::Overlapping).expect("clean plan");
+        assert!(c.report().is_some());
+        let seq = crate::seq::run_paper3d_seq(8, 8, 64, 1.0);
+        let cfg = WorldConfig::new(LatencyModel::zero());
+        for _ in 0..2 {
+            let (grid, _, _) = run3d_with(Paper3D, &c, &cfg).expect("runs");
+            assert_eq!(grid.max_abs_diff(&seq), 0.0);
+        }
+    }
+
+    #[test]
+    fn compiled_2d_matches_sequential() {
+        let d = Decomp2D {
+            nx: 40,
+            ny: 12,
+            ranks: 4,
+            v: 10,
+            boundary: 4.0,
+        };
+        let c = Compiled2D::compile(d, ExecMode::Blocking).expect("clean plan");
+        let (grid, _, _) =
+            run2d_with(Example1, &c, &WorldConfig::new(LatencyModel::zero())).expect("runs");
+        let seq = crate::seq::run_example1_seq(d.nx, d.ny, d.boundary);
+        assert_eq!(grid.max_abs_diff(&seq), 0.0);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_decomp() {
+        let bad = Decomp3D { pi: 3, ..d3() }; // 8 % 3 != 0
+        assert!(Compiled3D::compile(bad, ExecMode::Blocking).is_err());
+        assert!(Compiled3D::compile_unchecked(bad, ExecMode::Blocking).is_err());
+    }
+
+    #[test]
+    fn prebuilt_world_runs_compiled_plans_back_to_back() {
+        use msgpass::transport::TransportKind;
+        let c = Compiled3D::compile(d3(), ExecMode::Overlapping).expect("clean plan");
+        let cfg = WorldConfig::new(LatencyModel::zero())
+            .with_transport(TransportKind::shared_slots());
+        let mut world = build_world_with::<f32>(c.ranks(), &cfg);
+        let seq = crate::seq::run_paper3d_seq(8, 8, 64, 1.0);
+        for _ in 0..3 {
+            let (grid, _) =
+                run3d_on_world(Paper3D, &c, KernelTier::Bitwise, &mut world).expect("runs");
+            assert_eq!(grid.max_abs_diff(&seq), 0.0);
+        }
+        // A different compiled plan (other mode) on the same warm world.
+        let c2 = Compiled3D::compile(d3(), ExecMode::Blocking).expect("clean plan");
+        let (grid, _) =
+            run3d_on_world(Paper3D, &c2, KernelTier::Bitwise, &mut world).expect("runs");
+        assert_eq!(grid.max_abs_diff(&seq), 0.0);
+    }
+}

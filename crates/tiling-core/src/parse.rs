@@ -23,20 +23,41 @@ use crate::space::IterationSpace;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Parse errors with (line, column) positions (1-based).
+/// Parse errors with (line, column) spans (1-based).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based line.
     pub line: usize,
-    /// 1-based column.
+    /// 1-based starting column.
     pub col: usize,
+    /// Span width in columns — the length of the offending token
+    /// (1 for single-character tokens and point errors).
+    pub len: usize,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    /// 1-based column one past the end of the span.
+    pub fn end_col(&self) -> usize {
+        self.col + self.len.max(1)
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        if self.len > 1 {
+            write!(
+                f,
+                "{}:{}-{}: {}",
+                self.line,
+                self.col,
+                self.end_col() - 1,
+                self.message
+            )
+        } else {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        }
     }
 }
 
@@ -61,12 +82,35 @@ struct Spanned {
     tok: Tok,
     line: usize,
     col: usize,
+    len: usize,
+}
+
+/// A bare (line, col, len) source span, without a token.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    line: usize,
+    col: usize,
+    len: usize,
+}
+
+fn err_at<T>(span: Span, message: impl Into<String>) -> Result<T, ParseError> {
+    err_span(span.line, span.col, span.len, message)
 }
 
 fn err<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    err_span(line, col, 1, message)
+}
+
+fn err_span<T>(
+    line: usize,
+    col: usize,
+    len: usize,
+    message: impl Into<String>,
+) -> Result<T, ParseError> {
     Err(ParseError {
         line,
         col,
+        len: len.max(1),
         message: message.into(),
     })
 }
@@ -82,90 +126,38 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
         while i < bytes.len() {
             let c = bytes[i];
             let col = i + 1;
-            match c {
-                ' ' | '\t' | '\r' | ';' => i += 1,
-                '=' => {
-                    out.push(Spanned {
-                        tok: Tok::Assign,
-                        line,
-                        col,
-                    });
+            let tok = match c {
+                ' ' | '\t' | '\r' | ';' => {
                     i += 1;
+                    continue;
                 }
-                '+' => {
-                    out.push(Spanned {
-                        tok: Tok::Plus,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                '-' => {
-                    out.push(Spanned {
-                        tok: Tok::Minus,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                '*' => {
-                    out.push(Spanned {
-                        tok: Tok::Star,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                '/' => {
-                    out.push(Spanned {
-                        tok: Tok::Slash,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                '(' | '[' => {
-                    out.push(Spanned {
-                        tok: Tok::LParen,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                ')' | ']' => {
-                    out.push(Spanned {
-                        tok: Tok::RParen,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
-                ',' => {
-                    out.push(Spanned {
-                        tok: Tok::Comma,
-                        line,
-                        col,
-                    });
-                    i += 1;
-                }
+                '=' => Tok::Assign,
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '(' | '[' => Tok::LParen,
+                ')' | ']' => Tok::RParen,
+                ',' => Tok::Comma,
                 '0'..='9' => {
                     let start = i;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
                     }
                     let s: String = bytes[start..i].iter().collect();
-                    let v: i64 = s
-                        .parse()
-                        .map_err(|_| ParseError {
-                            line,
-                            col,
-                            message: format!("integer literal out of range: {s}"),
-                        })?;
+                    let v: i64 = s.parse().map_err(|_| ParseError {
+                        line,
+                        col,
+                        len: i - start,
+                        message: format!("integer literal out of range: {s}"),
+                    })?;
                     out.push(Spanned {
                         tok: Tok::Int(v),
                         line,
                         col,
+                        len: i - start,
                     });
+                    continue;
                 }
                 c if c.is_alphabetic() || c == '_' => {
                     let start = i;
@@ -177,10 +169,19 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         tok: Tok::Ident(s),
                         line,
                         col,
+                        len: i - start,
                     });
+                    continue;
                 }
                 other => return err(line, col, format!("unexpected character {other:?}")),
-            }
+            };
+            out.push(Spanned {
+                tok,
+                line,
+                col,
+                len: 1,
+            });
+            i += 1;
         }
     }
     Ok(out)
@@ -209,31 +210,60 @@ impl Parser {
         t
     }
 
+    /// Where "end of input" is: one column past the last token.
+    fn eof_pos(&self) -> (usize, usize) {
+        self.toks
+            .last()
+            .map(|s| (s.line, s.col + s.len))
+            .unwrap_or((1, 1))
+    }
+
+    fn eof_err<T>(&self, message: String) -> Result<T, ParseError> {
+        let (line, col) = self.eof_pos();
+        err(line, col, message)
+    }
+
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.bump() {
             Some(Spanned { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            Some(s) => err(s.line, s.col, format!("expected `{kw}`, found {:?}", s.tok)),
-            None => err(0, 0, format!("expected `{kw}`, found end of input")),
+            Some(s) => err_span(
+                s.line,
+                s.col,
+                s.len,
+                format!("expected `{kw}`, found {:?}", s.tok),
+            ),
+            None => self.eof_err(format!("expected `{kw}`, found end of input")),
         }
     }
 
     fn expect_tok(&mut self, want: Tok, what: &str) -> Result<Spanned, ParseError> {
         match self.bump() {
             Some(s) if s.tok == want => Ok(s),
-            Some(s) => err(s.line, s.col, format!("expected {what}, found {:?}", s.tok)),
-            None => err(0, 0, format!("expected {what}, found end of input")),
+            Some(s) => err_span(
+                s.line,
+                s.col,
+                s.len,
+                format!("expected {what}, found {:?}", s.tok),
+            ),
+            None => self.eof_err(format!("expected {what}, found end of input")),
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<(String, usize, usize), ParseError> {
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
         match self.bump() {
             Some(Spanned {
                 tok: Tok::Ident(s),
                 line,
                 col,
-            }) => Ok((s, line, col)),
-            Some(s) => err(s.line, s.col, format!("expected {what}, found {:?}", s.tok)),
-            None => err(0, 0, format!("expected {what}, found end of input")),
+                len,
+            }) => Ok((s, Span { line, col, len })),
+            Some(s) => err_span(
+                s.line,
+                s.col,
+                s.len,
+                format!("expected {what}, found {:?}", s.tok),
+            ),
+            None => self.eof_err(format!("expected {what}, found end of input")),
         }
     }
 
@@ -247,8 +277,13 @@ impl Parser {
         };
         match self.bump() {
             Some(Spanned { tok: Tok::Int(v), .. }) => Ok(if neg { -v } else { v }),
-            Some(s) => err(s.line, s.col, format!("expected {what}, found {:?}", s.tok)),
-            None => err(0, 0, format!("expected {what}, found end of input")),
+            Some(s) => err_span(
+                s.line,
+                s.col,
+                s.len,
+                format!("expected {what}, found {:?}", s.tok),
+            ),
+            None => self.eof_err(format!("expected {what}, found end of input")),
         }
     }
 
@@ -259,14 +294,13 @@ impl Parser {
         loop_vars: &HashMap<String, usize>,
         depth: usize,
     ) -> Result<i64, ParseError> {
-        let (name, line, col) = self.expect_ident("an index variable")?;
+        let (name, span) = self.expect_ident("an index variable")?;
         let Some(&var_depth) = loop_vars.get(&name) else {
-            return err(line, col, format!("unknown index variable `{name}`"));
+            return err_at(span, format!("unknown index variable `{name}`"));
         };
         if var_depth != depth {
-            return err(
-                line,
-                col,
+            return err_at(
+                span,
                 format!(
                     "index position {} must use loop variable of that depth (found `{name}`); \
                      non-uniform accesses are outside the paper's model",
@@ -294,7 +328,7 @@ impl Parser {
         loop_vars: &HashMap<String, usize>,
         dims: usize,
     ) -> Result<Access, ParseError> {
-        let (name, line, col) = self.expect_ident("an array name")?;
+        let (name, span) = self.expect_ident("an array name")?;
         let next_id = ArrayId(arrays.len());
         let id = *arrays.entry(name.clone()).or_insert(next_id);
         self.expect_tok(Tok::LParen, "`(`")?;
@@ -307,7 +341,7 @@ impl Parser {
         }
         let close = self.expect_tok(Tok::RParen, "`)`");
         if close.is_err() {
-            return err(line, col, format!("array `{name}`: expected {dims} indices"));
+            return err_at(span, format!("array `{name}`: expected {dims} indices"));
         }
         Ok(Access::new(id, offset))
     }
@@ -325,7 +359,7 @@ impl Parser {
         let mut want_operand = true;
         loop {
             match self.peek().cloned() {
-                Some(Spanned { tok: Tok::Ident(s), line, col }) => {
+                Some(Spanned { tok: Tok::Ident(s), .. }) => {
                     if s.eq_ignore_ascii_case("endfor") || s.eq_ignore_ascii_case("for") {
                         break;
                     }
@@ -343,7 +377,6 @@ impl Parser {
                         // A bare index variable as a value.
                         self.bump();
                     } else {
-                        let _ = (line, col);
                         reads.push(self.access(arrays, loop_vars, dims)?);
                     }
                     want_operand = false;
@@ -383,9 +416,9 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
     let mut uppers = Vec::new();
     while p.at_keyword("for") {
         p.expect_keyword("for")?;
-        let (var, line, col) = p.expect_ident("a loop variable")?;
+        let (var, span) = p.expect_ident("a loop variable")?;
         if loop_vars.contains_key(&var) {
-            return err(line, col, format!("duplicate loop variable `{var}`"));
+            return err_at(span, format!("duplicate loop variable `{var}`"));
         }
         loop_vars.insert(var, lowers.len());
         p.expect_tok(Tok::Assign, "`=`")?;
@@ -396,7 +429,7 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
             p.bump();
         }
         if lo > hi {
-            return err(line, col, format!("empty loop range {lo}..{hi}"));
+            return err_at(span, format!("empty loop range {lo}..{hi}"));
         }
         lowers.push(lo);
         uppers.push(hi);
@@ -411,7 +444,8 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
     let mut statements = Vec::new();
     while !p.at_keyword("endfor") {
         if p.peek().is_none() {
-            return err(0, 0, "unexpected end of input: missing statements/ENDFOR");
+            let (line, col) = p.eof_pos();
+            return err(line, col, "unexpected end of input: missing statements/ENDFOR");
         }
         let write = p.access(&mut arrays, &loop_vars, dims)?;
         p.expect_tok(Tok::Assign, "`=`")?;
@@ -420,7 +454,11 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
         statements.push(Statement::new(write, reads));
     }
     if statements.is_empty() {
-        return err(0, 0, "loop body has no statements");
+        let (line, col) = p
+            .peek()
+            .map(|s| (s.line, s.col))
+            .unwrap_or_else(|| p.eof_pos());
+        return err(line, col, "loop body has no statements");
     }
 
     // Matching ENDFORs.
@@ -429,19 +467,22 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
             let (line, col) = p
                 .peek()
                 .map(|s| (s.line, s.col))
-                .unwrap_or((0, 0));
+                .unwrap_or_else(|| p.eof_pos());
             return err(line, col, format!("expected {dims} ENDFORs"));
         }
         p.bump();
     }
     if let Some(s) = p.peek() {
-        return err(s.line, s.col, format!("trailing input: {:?}", s.tok));
+        return err_span(s.line, s.col, s.len, format!("trailing input: {:?}", s.tok));
     }
 
     let space = IterationSpace::new(lowers, uppers);
+    // Semantic errors have no single offending token: span the nest's
+    // first line.
     LoopNest::new(space, statements).map_err(|e: LoopNestError| ParseError {
-        line: 0,
-        col: 0,
+        line: 1,
+        col: 1,
+        len: 1,
         message: e.to_string(),
     })
 }
@@ -596,6 +637,45 @@ mod tests {
         let e = parse_loop_nest(src).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_spans_cover_the_token() {
+        // `qvar` sits at line 2, columns 4-7.
+        let src = "FOR i = 0 TO 3\n A(qvar) = 1\nENDFOR";
+        let e = parse_loop_nest(src).unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (2, 4, 4));
+        assert_eq!(e.end_col(), 8);
+        assert_eq!(e.to_string(), "2:4-7: unknown index variable `qvar`");
+    }
+
+    #[test]
+    fn single_column_spans_display_as_a_point() {
+        let src = "FOR i = 0 TO 3\n A(i) = @\nENDFOR";
+        let e = parse_loop_nest(src).unwrap_err();
+        assert_eq!(e.len, 1);
+        assert!(
+            e.to_string().starts_with(&format!("{}:{}: ", e.line, e.col)),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn eof_errors_point_past_the_last_token() {
+        // Input ends after `A(i-1)` on line 2; the EOF error must
+        // anchor there, not at 0:0.
+        let src = "FOR i = 0 TO 3\n A(i) = A(i-1)";
+        let e = parse_loop_nest(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 15);
+        assert!(e.message.contains("end of input"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_loop_var_spans_the_variable() {
+        let src = "FOR i = 0 TO 3\nFOR i = 0 TO 3\n A(i, i) = 1\nENDFOR\nENDFOR";
+        let e = parse_loop_nest(src).unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (2, 5, 1));
     }
 
     #[test]
