@@ -65,6 +65,41 @@ echo "$mc_out" | grep -q "0 failed" || {
     exit 1
 }
 
+# Sweep gate: a fixed-seed quick design-space sweep must cover the CI
+# floor of 500 configs with zero worker panics, emit the stable column
+# schema, and — because the generator, the simulator and the formatter
+# are all deterministic — reproduce byte-identical output on a re-run.
+sweep_csv=results/sweep.csv
+sweep_json=results/sweep_summary.json
+cargo run --release -q -p bench --bin paper -- sweep --quick --seed 2026
+head -n 1 "$sweep_csv" | grep -q \
+    '^id,slice,preset,comm_scale,measured_curve,hetero_spread,grid_i,grid_j,side_i,side_j,nx,ny,nz,v,schedule,duplex,topology,seed,status,ranks,steps,makespan_us,mean_util,min_util,max_util,compute_fraction,predicted_us,pred_err_rel$' || {
+    echo "ci.sh: sweep CSV schema changed — update the gate and the docs together" >&2
+    exit 1
+}
+sweep_rows=$(($(wc -l < "$sweep_csv") - 1))
+[ "$sweep_rows" -ge 500 ] || {
+    echo "ci.sh: quick sweep covered $sweep_rows configs, CI floor is 500" >&2
+    exit 1
+}
+grep -q '"panics": 0' "$sweep_json" || {
+    echo "ci.sh: sweep workers panicked — a config escaped the panic isolation contract" >&2
+    exit 1
+}
+grep -q '"fig9"' "$sweep_json" && grep -q '"fig10"' "$sweep_json" && grep -q '"fig11"' "$sweep_json" || {
+    echo "ci.sh: sweep summary is missing the figure slices" >&2
+    exit 1
+}
+cp "$sweep_csv" "$sweep_csv.first"
+cp "$sweep_json" "$sweep_json.first"
+cargo run --release -q -p bench --bin paper -- sweep --quick --seed 2026 >/dev/null
+cmp -s "$sweep_csv" "$sweep_csv.first" && cmp -s "$sweep_json" "$sweep_json.first" || {
+    echo "ci.sh: sweep re-run with the same seed was not byte-identical" >&2
+    exit 1
+}
+rm -f "$sweep_csv.first" "$sweep_json.first"
+echo "ci.sh: sweep gate ok — $sweep_rows configs, zero panics, byte-identical re-run"
+
 # Miri hunts UB in the unsafe slot-transport paths when the component
 # is installed; degrade gracefully on minimal toolchains.
 if cargo miri --version >/dev/null 2>&1; then

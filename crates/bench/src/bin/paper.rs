@@ -18,6 +18,10 @@
 //!                  Gantt chart (results/chaos_gantt.svg)
 //! paper perf       hot-path benchmark: optimized vs legacy executors
 //!                  (writes BENCH_stencil.json at the repo root)
+//! paper sweep      Monte-Carlo design-space sweep over the simulator
+//!                  (seeded, parallel, panic-isolated; writes
+//!                  results/sweep.csv + results/sweep_summary.json with
+//!                  Figs. 9-11 embedded as named slices)
 //! paper all        everything above
 //! ```
 //!
@@ -34,6 +38,9 @@ use bench::sensitivity::{comm_scale_sweep, sensitivity_markdown};
 use cluster_sim::builders::ClusterProblem;
 use cluster_sim::engine::{simulate, SimConfig};
 use std::path::Path;
+use sweep::config::{generate as sweep_generate, Schedule as SweepSchedule, SweepSpec};
+use sweep::output::{summary_json, to_csv};
+use sweep::run::{run_sweep, RowStatus};
 use tiling_core::prelude::*;
 
 fn out_dir() -> &'static Path {
@@ -308,8 +315,8 @@ fn cmd_utilization() {
     let cfg = SimConfig::new(machine);
     let b = simulate(cfg, problem.blocking_programs(&machine)).expect("no deadlock");
     let o = simulate(cfg, problem.overlapping_programs(&machine)).expect("no deadlock");
-    let sb = summarize(&b);
-    let so = summarize(&o);
+    let sb = summarize(&b).expect("paper experiment has ranks");
+    let so = summarize(&o).expect("paper experiment has ranks");
     println!("blocking   : mean utilization {:.0}%, compute share of busy {:.0}%",
         sb.mean_utilization * 100.0, sb.mean_compute_fraction * 100.0);
     println!("overlapping: mean utilization {:.0}%, compute share of busy {:.0}%\n",
@@ -1563,11 +1570,86 @@ mod serve {
     }
 }
 
+/// `paper sweep`: the Monte-Carlo design-space sweep over the cluster
+/// simulator (machine preset × comm scale × transfer curve × node-speed
+/// jitter × grid × space × V × schedule × duplex × topology), with the
+/// Figs. 9–11 curves embedded as named slices.
+fn cmd_sweep(quick: bool, seed: u64, workers: usize) {
+    println!(
+        "== Monte-Carlo design-space sweep (seed {seed}{}) ==\n",
+        if quick { ", quick profile" } else { "" }
+    );
+    let spec = if quick {
+        SweepSpec::quick(seed)
+    } else {
+        SweepSpec::full(seed)
+    };
+    let configs = sweep_generate(&spec);
+    let t0 = std::time::Instant::now();
+    let outcome = run_sweep(&configs, workers);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let csv = to_csv(&outcome.rows);
+    let json = summary_json(seed, &outcome);
+    let dir = out_dir();
+    std::fs::write(dir.join("sweep.csv"), &csv).expect("write sweep.csv");
+    std::fs::write(dir.join("sweep_summary.json"), &json).expect("write sweep_summary.json");
+    let ok = outcome
+        .rows
+        .iter()
+        .filter(|r| r.status == RowStatus::Ok)
+        .count();
+    println!("configs: {}", outcome.rows.len());
+    println!("ok:      {ok}");
+    println!("errors:  {}", outcome.errors);
+    println!("panics:  {}", outcome.panics);
+    println!("workers: {workers}");
+    println!("elapsed: {elapsed:.2}s\n");
+    // The Figs. 9–11 slices, read back as Fig. 12 would summarize them:
+    // the best overlapping point, its tile height, and the improvement
+    // over the best blocking point.
+    for (slice, paper_v) in [("fig9", 444i64), ("fig10", 538), ("fig11", 164)] {
+        let best = |schedule: SweepSchedule| {
+            outcome
+                .rows
+                .iter()
+                .filter(|r| r.config.slice == slice && r.config.schedule == schedule)
+                .filter_map(|r| r.metrics.map(|m| (m.makespan_us, r.config.v)))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+        };
+        if let (Some((ov_us, ov_v)), Some((bl_us, _))) =
+            (best(SweepSchedule::Overlap), best(SweepSchedule::Blocking))
+        {
+            println!(
+                "{slice}: best overlap V = {ov_v} (paper V_opt = {paper_v}{}), \
+                 improvement over blocking = {:.1}%",
+                if quick { " at full size" } else { "" },
+                (1.0 - ov_us / bl_us) * 100.0
+            );
+            assert!(
+                ov_us < bl_us,
+                "{slice}: overlap must beat blocking at the optimum"
+            );
+        }
+    }
+    println!("\nwrote {}", dir.join("sweep.csv").display());
+    println!("wrote {}", dir.join("sweep_summary.json").display());
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|threads|chaos|analyze|perf|serve|all>\n       paper gantt [--backend sim|thread]\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|sweep|threads|chaos|analyze|perf|serve|all>\n       paper gantt [--backend sim|thread]\n       paper sweep [--quick] [--seed N] [--workers N]   Monte-Carlo design-space sweep over the simulator; writes results/sweep.csv + results/sweep_summary.json, embeds Figs. 9-11 as named slices; same seed => byte-identical output\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
     );
     std::process::exit(2);
+}
+
+/// Worker count for `paper sweep`: the machine's parallelism, capped —
+/// the sweep is embarrassingly parallel but each simulation is small,
+/// so more threads than cores only adds scheduling noise.
+fn default_sweep_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
 }
 
 /// Parse "AxB" (e.g. `--procs 4x4`).
@@ -1609,6 +1691,32 @@ fn main() {
         "utilization" => cmd_utilization(),
         "sensitivity" => cmd_sensitivity(),
         "scaling" => cmd_scaling(),
+        "sweep" => {
+            let mut quick = false;
+            let mut seed = 2001u64; // the paper's year
+            let mut workers = default_sweep_workers();
+            let mut args = std::env::args().skip(2);
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--seed" => {
+                        seed = args
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--workers" => {
+                        workers = args
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&w| w >= 1)
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            cmd_sweep(quick, seed, workers)
+        }
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
         "analyze" => cmd_analyze(),
@@ -1699,6 +1807,8 @@ fn main() {
             cmd_sensitivity();
             println!("\n");
             cmd_scaling();
+            println!("\n");
+            cmd_sweep(true, 2001, default_sweep_workers());
             println!("\n");
             cmd_threads();
             println!("\n");

@@ -18,7 +18,7 @@
 
 use crate::program::{Program, Rank, ReqId};
 use tiling_core::dependence::DependenceSet;
-use tiling_core::machine::MachineParams;
+use tiling_core::machine::{MachineParams, NodeSpeeds};
 use tiling_core::mapping::ProcessorMapping;
 use tiling_core::space::IterationSpace;
 use tiling_core::tiling::Tiling;
@@ -152,6 +152,13 @@ impl ClusterProblem {
     /// Number of pipeline steps per rank (tiles along the mapping dim).
     pub fn steps(&self) -> i64 {
         self.tiled.extent(self.mapping.mapping_dim())
+    }
+
+    /// A deterministic heterogeneous fleet sized to this problem:
+    /// [`NodeSpeeds::seeded`] with one factor per rank. `spread = 0`
+    /// yields the homogeneous paper cluster.
+    pub fn node_speeds(&self, seed: u64, spread: f64) -> NodeSpeeds {
+        NodeSpeeds::seeded(self.ranks(), seed, spread)
     }
 
     /// The tiled space.
@@ -437,6 +444,7 @@ mod tests {
             bytes_per_elem: 4,
             fill_mpi_buffer: AffineCost::constant(10.0),
             fill_kernel_buffer: AffineCost::constant(10.0),
+            transfer_curve: None,
         }
     }
 

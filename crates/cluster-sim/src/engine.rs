@@ -27,7 +27,7 @@ use crate::time::SimTime;
 use crate::trace::{Activity, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use tiling_core::machine::MachineParams;
+use tiling_core::machine::{MachineParams, NodeSpeeds};
 
 /// How the wire itself is shared between nodes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -274,6 +274,11 @@ pub struct Engine {
     /// Shared-medium wire availability (used only with
     /// [`NetworkTopology::SharedBus`]).
     bus_free: SimTime,
+    /// Per-rank relative compute speeds (heterogeneous fleet). Programs
+    /// carry *baseline* microseconds; a rank with factor `s` executes a
+    /// `Compute` op in `us / s`. Lives on the engine rather than
+    /// [`SimConfig`] because the config is `Copy` and the fleet is not.
+    speeds: NodeSpeeds,
 }
 
 impl Engine {
@@ -315,7 +320,17 @@ impl Engine {
             seq: 0,
             trace,
             bus_free: SimTime::ZERO,
+            speeds: NodeSpeeds::uniform(0),
         })
+    }
+
+    /// Builder: install per-rank compute-speed factors. Ranks beyond the
+    /// recorded fleet run at the baseline speed (factor 1.0), so an
+    /// empty [`NodeSpeeds`] (the default) is the homogeneous paper
+    /// cluster.
+    pub fn with_node_speeds(mut self, speeds: NodeSpeeds) -> Self {
+        self.speeds = speeds;
+        self
     }
 
     fn push(&mut self, time: SimTime, ev: Ev) {
@@ -549,7 +564,7 @@ impl Engine {
         match op {
             Op::Compute { us, .. } => {
                 let start = self.ranks[rank].now;
-                let end = start + SimTime::from_us(us);
+                let end = start + SimTime::from_us(us / self.speeds.factor(rank));
                 self.trace.record(rank, Activity::Compute, start, end);
                 self.ranks[rank].now = end;
                 self.ranks[rank].pc += 1;
@@ -704,6 +719,15 @@ pub fn simulate(cfg: SimConfig, programs: Vec<Program>) -> Result<SimResult, Sim
     Engine::new(cfg, programs)?.run()
 }
 
+/// Convenience: build and run with a heterogeneous fleet.
+pub fn simulate_heterogeneous(
+    cfg: SimConfig,
+    programs: Vec<Program>,
+    speeds: NodeSpeeds,
+) -> Result<SimResult, SimError> {
+    Engine::new(cfg, programs)?.with_node_speeds(speeds).run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +744,7 @@ mod tests {
             bytes_per_elem: 4,
             fill_mpi_buffer: AffineCost::constant(10.0),
             fill_kernel_buffer: AffineCost::constant(10.0),
+            transfer_curve: None,
         }
     }
 
@@ -1038,6 +1063,78 @@ mod tests {
         // First sender: 0..40; second: fills 0..20, wire 40..60.
         let s_finish = bus.finish[0].max(bus.finish[1]);
         assert_eq!(s_finish, SimTime::from_us(60.0));
+    }
+
+    #[test]
+    fn node_speed_scales_compute_only() {
+        // Rank at 2× the baseline computes in half the time; posts,
+        // fills and wire time are unchanged.
+        let mut p = Program::new();
+        p.compute(100.0, 0);
+        p.compute(50.0, 1);
+        let speeds = NodeSpeeds::from_factors(vec![2.0]).unwrap();
+        let r = simulate_heterogeneous(cfg(), vec![p], speeds).unwrap();
+        assert_eq!(r.makespan, SimTime::from_us(75.0));
+    }
+
+    #[test]
+    fn uniform_speeds_match_baseline() {
+        let build = || {
+            let mut s = Program::new();
+            let q = s.isend(1, 0, 1000);
+            s.compute(100.0, 0);
+            s.wait(q);
+            let mut r = Program::new();
+            let q2 = r.irecv(0, 0, 1000);
+            r.compute(100.0, 0);
+            r.wait(q2);
+            vec![s, r]
+        };
+        let base = simulate(cfg(), build()).unwrap();
+        let unif = simulate_heterogeneous(cfg(), build(), NodeSpeeds::uniform(2)).unwrap();
+        assert_eq!(base.makespan, unif.makespan);
+        assert_eq!(base.trace.intervals(), unif.trace.intervals());
+    }
+
+    #[test]
+    fn slow_node_paces_blocking_pipeline() {
+        // Sender computes then sends; a slow receiver does not delay
+        // the sender, but a slow *sender* delays the receiver.
+        let build = || {
+            let mut s = Program::new();
+            s.compute(100.0, 0);
+            s.send(1, 0, 100);
+            let mut r = Program::new();
+            r.recv(0, 0, 100);
+            vec![s, r]
+        };
+        let base = simulate(cfg(), build()).unwrap();
+        let slow_sender = simulate_heterogeneous(
+            cfg(),
+            build(),
+            NodeSpeeds::from_factors(vec![0.5, 1.0]).unwrap(),
+        )
+        .unwrap();
+        // Sender's 100 µs compute doubles; everything downstream shifts.
+        assert_eq!(
+            slow_sender.finish[1],
+            base.finish[1] + SimTime::from_us(100.0)
+        );
+    }
+
+    #[test]
+    fn seeded_speeds_are_deterministic() {
+        let mk = || {
+            let mut p = Program::new();
+            p.compute(1000.0, 0);
+            vec![p, Program::new()]
+        };
+        let s1 = NodeSpeeds::seeded(2, 42, 0.3);
+        let s2 = NodeSpeeds::seeded(2, 42, 0.3);
+        assert_eq!(s1, s2);
+        let a = simulate_heterogeneous(cfg(), mk(), s1).unwrap();
+        let b = simulate_heterogeneous(cfg(), mk(), s2).unwrap();
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]

@@ -53,10 +53,12 @@ pub mod trace;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::builders::{BuildError, ClusterProblem};
-    pub use crate::engine::{simulate, Engine, NetworkTopology, SimConfig, SimError, SimResult};
+    pub use crate::engine::{
+        simulate, simulate_heterogeneous, Engine, NetworkTopology, SimConfig, SimError, SimResult,
+    };
     pub use crate::program::{Op, Program, Rank, ReqId};
     pub use crate::pseudocode::{render_program, render_rank_listings};
     pub use crate::stats::{rank_stats, stats_markdown, summarize, RankStats, Summary};
-    pub use crate::time::SimTime;
+    pub use crate::time::{SimTime, TimeError};
     pub use crate::trace::{Activity, Interval, Trace};
 }

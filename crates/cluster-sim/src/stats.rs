@@ -82,12 +82,18 @@ pub struct Summary {
     pub makespan_us: f64,
 }
 
-/// Summarize a full result.
-pub fn summarize(result: &SimResult) -> Summary {
+/// Summarize a full result; `None` for a zero-rank result.
+///
+/// This used to `assert!` on empty input, which aborted whole sweep
+/// batches when a degenerate config produced no ranks. An absent
+/// summary is data, not a crash.
+pub fn summarize(result: &SimResult) -> Option<Summary> {
     let stats = rank_stats(result);
-    assert!(!stats.is_empty(), "no ranks to summarize");
+    if stats.is_empty() {
+        return None;
+    }
     let n = stats.len() as f64;
-    Summary {
+    Some(Summary {
         mean_utilization: stats.iter().map(|s| s.utilization).sum::<f64>() / n,
         min_utilization: stats
             .iter()
@@ -96,6 +102,23 @@ pub fn summarize(result: &SimResult) -> Summary {
         max_utilization: stats.iter().map(|s| s.utilization).fold(0.0, f64::max),
         mean_compute_fraction: stats.iter().map(|s| s.compute_fraction).sum::<f64>() / n,
         makespan_us: result.makespan.as_us(),
+    })
+}
+
+/// `summarize` of a result with no ranks is `None`, not a panic.
+#[cfg(test)]
+mod empty_tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn empty_result_summarizes_to_none() {
+        let empty = SimResult {
+            finish: Vec::new(),
+            makespan: SimTime::ZERO,
+            trace: Trace::disabled(),
+        };
+        assert_eq!(summarize(&empty), None);
     }
 }
 
@@ -151,8 +174,8 @@ mod tests {
         let cfg = SimConfig::new(machine);
         let b = simulate(cfg, problem().blocking_programs(&machine)).unwrap();
         let o = simulate(cfg, problem().overlapping_programs(&machine)).unwrap();
-        let sb = summarize(&b);
-        let so = summarize(&o);
+        let sb = summarize(&b).expect("non-empty fleet");
+        let so = summarize(&o).expect("non-empty fleet");
         // Blocking counts copies as "busy" too, so compare the *compute*
         // fraction of the makespan instead: overlap packs strictly more
         // computation per wall-clock unit.
@@ -206,7 +229,7 @@ mod tests {
         let machine = MachineParams::paper_cluster();
         let cfg = SimConfig::new(machine);
         let res = simulate(cfg, problem().overlapping_programs(&machine)).unwrap();
-        let s = summarize(&res);
+        let s = summarize(&res).expect("non-empty fleet");
         assert!(s.min_utilization <= s.mean_utilization);
         assert!(s.mean_utilization <= s.max_utilization);
         assert!(s.max_utilization <= 1.0 + 1e-9);

@@ -166,10 +166,17 @@ impl Trace {
         self.cpu_busy(rank).as_us() / horizon.as_us()
     }
 
+    /// The narrowest ASCII Gantt chart [`Trace::gantt`] will render.
+    pub const MIN_GANTT_WIDTH: usize = 10;
+
     /// Render an ASCII Gantt chart of CPU activities, `width` columns
     /// spanning `[0, horizon]`. One row per rank in `ranks`.
+    ///
+    /// Widths below [`Trace::MIN_GANTT_WIDTH`] are clamped up to it —
+    /// this is reachable from CLI flags, so a too-small terminal is a
+    /// rendering preference to correct, not a reason to panic.
     pub fn gantt(&self, ranks: &[Rank], horizon: SimTime, width: usize) -> String {
-        assert!(width >= 10, "gantt width too small");
+        let width = width.max(Self::MIN_GANTT_WIDTH);
         let mut out = String::new();
         let span = horizon.as_us().max(1e-9);
         for &rank in ranks {
@@ -204,6 +211,9 @@ impl Trace {
         let row_h = 26u32;
         let lane_h = 6u32;
         let label_w = 46u32;
+        // Same clamp rationale as `gantt`: anything narrower than the
+        // label gutter would underflow the plot width below.
+        let width = width.max(label_w + 18);
         let height = ranks.len() as u32 * (row_h + lane_h + 6) + 28;
         let span = horizon.as_us().max(1e-9);
         let x_of = |t: SimTime| label_w as f64 + t.as_us() / span * (width - label_w - 8) as f64;
@@ -352,6 +362,20 @@ mod tests {
         let row1: String = lines[1].chars().collect();
         assert!(row1.contains('#'));
         assert!(row1.find('#').unwrap() > row1.len() / 2);
+    }
+
+    #[test]
+    fn tiny_widths_clamp_instead_of_panicking() {
+        // Both widths are CLI-reachable; a 1-column request renders at
+        // the minimum instead of asserting.
+        let mut tr = Trace::enabled();
+        tr.record(0, Activity::Compute, t(0.0), t(50.0));
+        let g = tr.gantt(&[0], t(100.0), 1);
+        let wide = tr.gantt(&[0], t(100.0), Trace::MIN_GANTT_WIDTH);
+        assert_eq!(g, wide);
+        let svg = tr.to_svg(&[0], t(100.0), 1);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
     }
 
     #[test]

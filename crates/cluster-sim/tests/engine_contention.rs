@@ -14,6 +14,7 @@ fn toy() -> MachineParams {
         bytes_per_elem: 4,
         fill_mpi_buffer: AffineCost::constant(10.0),
         fill_kernel_buffer: AffineCost::constant(10.0),
+        transfer_curve: None,
     }
 }
 

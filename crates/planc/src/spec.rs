@@ -123,6 +123,9 @@ impl KernelName {
 /// The machine model compilation optimizes against — a named preset or
 /// explicit parameters. The model is a first-class key component: the
 /// same nest on a different machine is a different plan.
+// `Custom` holds `MachineParams` inline (now large after growing an optional
+// transfer curve) because the spec must stay `Copy` for bit-exact keying.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MachineSpec {
     /// `MachineParams::example_1()` (§3, 10 Mbps Ethernet).

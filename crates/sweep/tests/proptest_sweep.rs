@@ -1,0 +1,75 @@
+//! Property tests for the sweep harness.
+//!
+//! The sweep's contract is *reproducibility*: the CSV is a pure
+//! function of the seed — not of the worker count, not of thread
+//! scheduling, not of which run it is. These properties drive that over
+//! randomized seeds, plus the row-level sanity bounds every consumer
+//! (the CI gate, the future autotuner) relies on.
+
+use proptest::prelude::*;
+use sweep::config::{generate, SweepSpec};
+use sweep::output::{csv_header, summary_json, to_csv};
+use sweep::run::{run_sweep, RowStatus};
+
+fn small_spec(seed: u64) -> SweepSpec {
+    SweepSpec {
+        seed,
+        random_configs: 10,
+        quick: true,
+        figures: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed ⇒ byte-identical CSV, across runs and worker counts.
+    #[test]
+    fn same_seed_same_csv_bytes(seed in 0u64..10_000) {
+        let configs = generate(&small_spec(seed));
+        let first = to_csv(&run_sweep(&configs, 1).rows);
+        let second = to_csv(&run_sweep(&configs, 7).rows);
+        prop_assert_eq!(&first, &second);
+        // And regeneration from the seed gives the same configs too.
+        let regen = to_csv(&run_sweep(&generate(&small_spec(seed)), 3).rows);
+        prop_assert_eq!(&first, &regen);
+    }
+
+    /// Every simulated row satisfies the summary-stat bounds.
+    #[test]
+    fn row_stats_are_bounded(seed in 0u64..10_000) {
+        let out = run_sweep(&generate(&small_spec(seed)), 4);
+        prop_assert_eq!(out.panics, 0);
+        for r in &out.rows {
+            match r.status {
+                RowStatus::Ok => {
+                    let m = r.metrics.expect("ok row has metrics");
+                    prop_assert!(m.makespan_us > 0.0, "{:?}", r);
+                    prop_assert!(m.ranks > 0 && m.steps > 0, "{:?}", r);
+                    prop_assert!(0.0 <= m.min_util, "{:?}", r);
+                    prop_assert!(m.min_util <= m.mean_util + 1e-12, "{:?}", r);
+                    prop_assert!(m.mean_util <= m.max_util + 1e-12, "{:?}", r);
+                    prop_assert!(m.max_util <= 1.0 + 1e-9, "{:?}", r);
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&m.compute_fraction), "{:?}", r);
+                    prop_assert!(m.predicted_us > 0.0, "{:?}", r);
+                    prop_assert!(m.pred_err_rel.is_finite(), "{:?}", r);
+                }
+                _ => prop_assert!(r.metrics.is_none(), "{:?}", r),
+            }
+        }
+    }
+
+    /// The CSV schema is stable: header arity equals every row's arity,
+    /// and the summary JSON never reports panics for these spaces.
+    #[test]
+    fn csv_schema_holds(seed in 0u64..10_000) {
+        let out = run_sweep(&generate(&small_spec(seed)), 4);
+        let csv = to_csv(&out.rows);
+        let cols = csv_header().split(',').count();
+        for line in csv.lines() {
+            prop_assert_eq!(line.split(',').count(), cols, "{}", line);
+        }
+        let json = summary_json(seed, &out);
+        prop_assert!(json.contains("\"panics\": 0"), "{}", json);
+    }
+}

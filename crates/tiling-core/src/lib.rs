@@ -75,7 +75,10 @@ pub mod prelude {
     pub use crate::cost::{v_comm_mapped, v_comm_per_dimension, v_comm_total, v_comp};
     pub use crate::dependence::{Dependence, DependenceSet};
     pub use crate::loopnest::{Access, ArrayId, LoopNest, Statement};
-    pub use crate::machine::{AffineCost, KernelTier, MachineParams};
+    pub use crate::machine::{
+        AffineCost, CostCurveError, KernelTier, MachineParams, NodeSpeeds, PiecewiseCost,
+        SpeedError,
+    };
     pub use crate::mapping::{neighbor_messages, NeighborMessage, ProcessorMapping};
     pub use crate::matrix::{IntMatrix, RatMatrix};
     pub use crate::optimize::{

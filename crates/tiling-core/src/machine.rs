@@ -56,6 +56,249 @@ impl AffineCost {
     }
 }
 
+/// Maximum number of knots in a [`PiecewiseCost`] curve.
+///
+/// Fixed so the curve stays `Copy` (and `MachineParams` with it):
+/// measured transfer curves have a handful of protocol regimes (eager,
+/// rendezvous, fragmentation), not dozens.
+pub const MAX_COST_KNOTS: usize = 8;
+
+/// Why a knot list cannot become a [`PiecewiseCost`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostCurveError {
+    /// The curve needs at least one knot.
+    Empty,
+    /// More than [`MAX_COST_KNOTS`] knots.
+    TooManyKnots(usize),
+    /// A knot coordinate is NaN or infinite.
+    NonFinite(usize),
+    /// A byte coordinate or cost is negative.
+    Negative(usize),
+    /// Byte coordinates must be strictly increasing.
+    NonIncreasingBytes(usize),
+}
+
+impl core::fmt::Display for CostCurveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CostCurveError::Empty => write!(f, "cost curve needs at least one knot"),
+            CostCurveError::TooManyKnots(n) => {
+                write!(f, "cost curve has {n} knots, max {MAX_COST_KNOTS}")
+            }
+            CostCurveError::NonFinite(i) => write!(f, "knot {i} is not finite"),
+            CostCurveError::Negative(i) => write!(f, "knot {i} is negative"),
+            CostCurveError::NonIncreasingBytes(i) => {
+                write!(f, "knot {i} does not increase the byte coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostCurveError {}
+
+/// A measured-style piecewise-linear cost curve `bytes → µs`.
+///
+/// Kumar et al. ("Performance Models for Data Transfers") observe that
+/// real transfer costs are not affine in the message size: protocol
+/// switches (eager → rendezvous), fragmentation thresholds and cache
+/// effects put kinks in the measured curve. This type carries up to
+/// [`MAX_COST_KNOTS`] measured `(bytes, µs)` knots and interpolates:
+///
+/// * below the first knot the cost is the first knot's value,
+/// * between knots it interpolates linearly (continuous at breakpoints
+///   by construction),
+/// * past the last knot it extrapolates with the last segment's slope.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PiecewiseCost {
+    knots: [(f64, f64); MAX_COST_KNOTS],
+    len: usize,
+}
+
+impl PiecewiseCost {
+    /// Build a curve from measured `(bytes, µs)` knots.
+    ///
+    /// Bytes must be strictly increasing, everything finite and
+    /// non-negative; at most [`MAX_COST_KNOTS`] knots.
+    pub fn from_knots(knots: &[(f64, f64)]) -> Result<Self, CostCurveError> {
+        if knots.is_empty() {
+            return Err(CostCurveError::Empty);
+        }
+        if knots.len() > MAX_COST_KNOTS {
+            return Err(CostCurveError::TooManyKnots(knots.len()));
+        }
+        let mut stored = [(0.0, 0.0); MAX_COST_KNOTS];
+        for (i, &(b, us)) in knots.iter().enumerate() {
+            if !b.is_finite() || !us.is_finite() {
+                return Err(CostCurveError::NonFinite(i));
+            }
+            if b < 0.0 || us < 0.0 {
+                return Err(CostCurveError::Negative(i));
+            }
+            if i > 0 && b <= stored[i - 1].0 {
+                return Err(CostCurveError::NonIncreasingBytes(i));
+            }
+            stored[i] = (b, us);
+        }
+        Ok(PiecewiseCost {
+            knots: stored,
+            len: knots.len(),
+        })
+    }
+
+    /// The measured knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots[..self.len]
+    }
+
+    /// Interpolated cost of a `bytes`-byte transfer, µs.
+    pub fn eval(&self, bytes: f64) -> f64 {
+        let k = self.knots();
+        let (b0, us0) = k[0];
+        if bytes <= b0 || k.len() == 1 {
+            return us0;
+        }
+        for w in k.windows(2) {
+            let (ba, ua) = w[0];
+            let (bb, ub) = w[1];
+            if bytes <= bb {
+                return ua + (ub - ua) * (bytes - ba) / (bb - ba);
+            }
+        }
+        // Past the last knot: continue the last segment's slope.
+        let (ba, ua) = k[k.len() - 2];
+        let (bb, ub) = k[k.len() - 1];
+        let slope = (ub - ua) / (bb - ba);
+        (ub + slope * (bytes - bb)).max(0.0)
+    }
+
+    /// Whether the curve never decreases as the message grows (true of
+    /// any physically sensible transfer-cost measurement).
+    pub fn is_monotone(&self) -> bool {
+        self.knots().windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+
+    /// The curve with every cost scaled by `factor` (bytes unchanged).
+    pub fn scaled(&self, factor: f64) -> PiecewiseCost {
+        let mut out = *self;
+        for knot in out.knots[..out.len].iter_mut() {
+            knot.1 *= factor;
+        }
+        out
+    }
+}
+
+/// Why per-node speed factors are invalid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpeedError {
+    /// A factor is NaN or infinite.
+    NonFinite {
+        /// The offending rank.
+        rank: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A factor is zero or negative.
+    NonPositive {
+        /// The offending rank.
+        rank: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+}
+
+impl core::fmt::Display for SpeedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpeedError::NonFinite { rank, factor } => {
+                write!(f, "rank {rank} speed factor {factor} is not finite")
+            }
+            SpeedError::NonPositive { rank, factor } => {
+                write!(f, "rank {rank} speed factor {factor} is not positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpeedError {}
+
+/// Per-node relative compute speeds for a heterogeneous cluster.
+///
+/// The paper's testbed is 16 identical Pentium-IIIs; real clusters age
+/// into mixed generations. A factor of `s` means the node computes `s`
+/// times as fast as the [`MachineParams`] baseline — a tile that takes
+/// `g·t_c` µs on the baseline takes `g·t_c / s` on that node. Ranks
+/// beyond the recorded factors run at the baseline speed (factor 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpeeds {
+    factors: Vec<f64>,
+}
+
+impl NodeSpeeds {
+    /// All `n` nodes at the baseline speed.
+    pub fn uniform(n: usize) -> Self {
+        NodeSpeeds {
+            factors: vec![1.0; n],
+        }
+    }
+
+    /// Validated explicit factors (finite, strictly positive).
+    pub fn from_factors(factors: Vec<f64>) -> Result<Self, SpeedError> {
+        for (rank, &factor) in factors.iter().enumerate() {
+            if !factor.is_finite() {
+                return Err(SpeedError::NonFinite { rank, factor });
+            }
+            if factor <= 0.0 {
+                return Err(SpeedError::NonPositive { rank, factor });
+            }
+        }
+        Ok(NodeSpeeds { factors })
+    }
+
+    /// Deterministic pseudo-random speeds in `[1-spread, 1+spread]`.
+    ///
+    /// Same `(n, seed, spread)` always yields the same fleet — the
+    /// sweep's reproducibility depends on it. `spread` is clamped to
+    /// `[0, 0.9]` so factors stay strictly positive.
+    pub fn seeded(n: usize, seed: u64, spread: f64) -> Self {
+        let spread = spread.clamp(0.0, 0.9);
+        let mut state = seed;
+        let factors = (0..n)
+            .map(|_| {
+                // SplitMix64: the standard 64-bit mixer, good enough for
+                // jittered speed factors and dependency-free.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+                1.0 - spread + 2.0 * spread * unit
+            })
+            .collect();
+        NodeSpeeds { factors }
+    }
+
+    /// The speed factor of `rank` (baseline 1.0 beyond the fleet).
+    pub fn factor(&self, rank: usize) -> f64 {
+        self.factors.get(rank).copied().unwrap_or(1.0)
+    }
+
+    /// Number of nodes with recorded factors.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether no factors are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Whether every recorded node runs at the baseline speed.
+    pub fn is_uniform(&self) -> bool {
+        self.factors.iter().all(|&f| f == 1.0)
+    }
+}
+
 /// Parameters of the message-passing architecture.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MachineParams {
@@ -74,6 +317,12 @@ pub struct MachineParams {
     /// kernel socket buffer (the `B₂`/`B₃` phases). Runs on the DMA/NIC
     /// lane, overlappable with computation.
     pub fill_kernel_buffer: AffineCost,
+    /// Optional measured wire-transfer curve. When present it replaces
+    /// the affine `bytes · t_t` wire model in [`MachineParams::transmit_us`]
+    /// (the closed-form analysis keeps using `t_t`; the gap between the
+    /// two is exactly what the sweep's predicted-vs-simulated error
+    /// column measures).
+    pub transfer_curve: Option<PiecewiseCost>,
 }
 
 impl MachineParams {
@@ -93,9 +342,20 @@ impl MachineParams {
         self.fill_mpi_buffer.eval(bytes) + self.fill_kernel_buffer.eval(bytes)
     }
 
-    /// Wire transmission time of a `bytes`-byte message: `bytes · t_t`.
+    /// Wire transmission time of a `bytes`-byte message: the measured
+    /// [`PiecewiseCost`] curve when one is installed, `bytes · t_t`
+    /// otherwise.
     pub fn transmit_us(&self, bytes: f64) -> f64 {
-        bytes * self.t_t_us_per_byte
+        match &self.transfer_curve {
+            Some(curve) => curve.eval(bytes),
+            None => bytes * self.t_t_us_per_byte,
+        }
+    }
+
+    /// This machine with a measured wire-transfer curve installed.
+    pub fn with_transfer_curve(mut self, curve: PiecewiseCost) -> Self {
+        self.transfer_curve = Some(curve);
+        self
     }
 
     /// The architecture of Example 1 (§3): `t_c ≈ 1 µs`, `t_s = 100·t_c`,
@@ -112,6 +372,7 @@ impl MachineParams {
             bytes_per_elem: 4,
             fill_mpi_buffer: AffineCost::constant(0.5 * t_s),
             fill_kernel_buffer: AffineCost::constant(0.5 * t_s),
+            transfer_curve: None,
         }
     }
 
@@ -148,6 +409,7 @@ impl MachineParams {
                 base_us: base / 2.0,
                 per_byte_us: slope / 2.0,
             },
+            transfer_curve: None,
         }
     }
 
@@ -211,6 +473,7 @@ impl MachineParams {
             bytes_per_elem: self.bytes_per_elem,
             fill_mpi_buffer: scale(self.fill_mpi_buffer),
             fill_kernel_buffer: scale(self.fill_kernel_buffer),
+            transfer_curve: self.transfer_curve.map(|c| c.scaled(factor)),
         }
     }
 
@@ -225,6 +488,7 @@ impl MachineParams {
             bytes_per_elem: 4,
             fill_mpi_buffer: AffineCost::constant(0.0),
             fill_kernel_buffer: AffineCost::constant(0.0),
+            transfer_curve: None,
         }
     }
 }

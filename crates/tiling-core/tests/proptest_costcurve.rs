@@ -1,0 +1,139 @@
+//! Property tests for the measured piecewise transfer-cost curve.
+//!
+//! The sweep installs these curves in place of the affine `bytes · t_t`
+//! wire model, so the simulator's timing sanity rests on three
+//! invariants: monotone knots give a monotone curve, interpolation is
+//! continuous at every breakpoint, and extrapolation continues the last
+//! segment without going negative.
+
+use proptest::prelude::*;
+use tiling_core::machine::{CostCurveError, PiecewiseCost, MAX_COST_KNOTS};
+
+/// Build strictly-increasing byte coordinates and non-decreasing costs
+/// from positive increments, so every generated curve is valid and
+/// monotone by construction.
+fn curve_from_increments(db: &[f64], dus: &[f64]) -> PiecewiseCost {
+    let mut knots = Vec::with_capacity(db.len());
+    let mut b = 0.0;
+    let mut us = 1.0;
+    for (&stride, &rise) in db.iter().zip(dus) {
+        b += stride;
+        us += rise;
+        knots.push((b, us));
+    }
+    PiecewiseCost::from_knots(&knots).expect("increments build a valid curve")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monotone knots ⇒ monotone eval at arbitrary query points.
+    #[test]
+    fn monotone_knots_give_monotone_eval(
+        db in prop::collection::vec(1.0f64..500.0, 2..=8),
+        dus in prop::collection::vec(0.0f64..100.0, 8..=8),
+        q1 in 0.0f64..5000.0,
+        q2 in 0.0f64..5000.0,
+    ) {
+        let curve = curve_from_increments(&db, &dus[..db.len()]);
+        prop_assert!(curve.is_monotone());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(
+            curve.eval(lo) <= curve.eval(hi) + 1e-9,
+            "eval({lo}) = {} > eval({hi}) = {}",
+            curve.eval(lo),
+            curve.eval(hi)
+        );
+    }
+
+    /// The curve is continuous at every breakpoint: approaching a knot
+    /// from either side converges to the knot's value.
+    #[test]
+    fn continuous_at_breakpoints(
+        db in prop::collection::vec(1.0f64..500.0, 2..=8),
+        dus in prop::collection::vec(0.0f64..100.0, 8..=8),
+    ) {
+        let curve = curve_from_increments(&db, &dus[..db.len()]);
+        for &(b, us) in curve.knots() {
+            prop_assert!((curve.eval(b) - us).abs() < 1e-9);
+            let eps = 1e-6;
+            let below = curve.eval(b - eps);
+            let above = curve.eval(b + eps);
+            // Slopes are bounded by max rise / min stride = 100 µs/B;
+            // an eps-step moves the value by at most slope · eps.
+            prop_assert!((below - us).abs() < 1e-3, "left limit at {b}: {below} vs {us}");
+            prop_assert!((above - us).abs() < 1e-3, "right limit at {b}: {above} vs {us}");
+        }
+    }
+
+    /// Below the first knot the curve is flat at the first knot's cost
+    /// (a small-message floor, like real eager-protocol measurements).
+    #[test]
+    fn flat_below_first_knot(
+        first_b in 10.0f64..1000.0,
+        first_us in 0.0f64..500.0,
+        q in 0.0f64..1.0,
+    ) {
+        let curve = PiecewiseCost::from_knots(&[(first_b, first_us), (first_b * 2.0, first_us + 1.0)])
+            .expect("two valid knots");
+        let query = q * first_b;
+        prop_assert_eq!(curve.eval(query), first_us);
+    }
+
+    /// Past the last knot the curve continues the last segment's slope
+    /// exactly (and never goes negative).
+    #[test]
+    fn extrapolates_last_segment_slope(
+        db in prop::collection::vec(1.0f64..500.0, 2..=8),
+        dus in prop::collection::vec(0.0f64..100.0, 8..=8),
+        beyond in 1.0f64..1000.0,
+    ) {
+        let curve = curve_from_increments(&db, &dus[..db.len()]);
+        let k = curve.knots();
+        let (ba, ua) = k[k.len() - 2];
+        let (bb, ub) = k[k.len() - 1];
+        let slope = (ub - ua) / (bb - ba);
+        let q = bb + beyond;
+        let expect = (ub + slope * beyond).max(0.0);
+        prop_assert!((curve.eval(q) - expect).abs() < 1e-6 * expect.max(1.0));
+        prop_assert!(curve.eval(q) >= 0.0);
+    }
+
+    /// Scaling the curve scales every evaluation.
+    #[test]
+    fn scaled_curve_scales_eval(
+        db in prop::collection::vec(1.0f64..500.0, 2..=8),
+        dus in prop::collection::vec(0.0f64..100.0, 8..=8),
+        factor in 0.1f64..4.0,
+        q in 0.0f64..5000.0,
+    ) {
+        let curve = curve_from_increments(&db, &dus[..db.len()]);
+        let scaled = curve.scaled(factor);
+        let expect = curve.eval(q) * factor;
+        prop_assert!((scaled.eval(q) - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+}
+
+#[test]
+fn rejects_malformed_knot_lists() {
+    assert_eq!(PiecewiseCost::from_knots(&[]), Err(CostCurveError::Empty));
+    let too_many: Vec<(f64, f64)> = (0..=MAX_COST_KNOTS)
+        .map(|i| (i as f64, i as f64))
+        .collect();
+    assert_eq!(
+        PiecewiseCost::from_knots(&too_many),
+        Err(CostCurveError::TooManyKnots(MAX_COST_KNOTS + 1))
+    );
+    assert_eq!(
+        PiecewiseCost::from_knots(&[(0.0, f64::NAN)]),
+        Err(CostCurveError::NonFinite(0))
+    );
+    assert_eq!(
+        PiecewiseCost::from_knots(&[(0.0, 1.0), (0.0, 2.0)]),
+        Err(CostCurveError::NonIncreasingBytes(1))
+    );
+    assert_eq!(
+        PiecewiseCost::from_knots(&[(-1.0, 1.0)]),
+        Err(CostCurveError::Negative(0))
+    );
+}

@@ -113,6 +113,7 @@ proptest! {
             bytes_per_elem: 4,
             fill_mpi_buffer: AffineCost { base_us: base, per_byte_us: slope },
             fill_kernel_buffer: AffineCost { base_us: base / 2.0, per_byte_us: slope / 2.0 },
+            transfer_curve: None,
         };
         let space = IterationSpace::from_extents(&[16, 16, 8192]);
         let deps = DependenceSet::paper_3d();

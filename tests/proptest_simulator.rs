@@ -15,6 +15,7 @@ fn machine(fill_us: f64, t_t: f64, t_c: f64) -> MachineParams {
         bytes_per_elem: 4,
         fill_mpi_buffer: AffineCost::constant(fill_us),
         fill_kernel_buffer: AffineCost::constant(fill_us),
+        transfer_curve: None,
     }
 }
 
