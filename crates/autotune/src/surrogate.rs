@@ -1,0 +1,179 @@
+//! Cheap pre-ranking of candidates before any measurement is spent.
+//!
+//! Calibration runs are the expensive part of the loop, so candidates
+//! are first scored by a surrogate and only the best-ranked survive to
+//! measurement. Two surrogates exist:
+//!
+//! * [`Surrogate::ClosedForm`] — the analytic model itself, in its
+//!   discrete (`⌈K/V⌉` staircase) form. Free, but exactly as wrong as
+//!   the model the tuner is trying to beat.
+//! * [`Surrogate::Trained`] — the closed form multiplied by a measured
+//!   correction ratio learned from a sweep training slice
+//!   (`results/tune_train.csv`, exported by `paper sweep`): the median
+//!   `measured / predicted` over rows of the same schedule with a
+//!   height within 2× of the candidate's.
+
+use crate::candidates::Schedule;
+use tiling_core::closed_form::ClosedForm;
+
+/// One row of the sweep-exported training slice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainRow {
+    /// Schedule the row was simulated under.
+    pub schedule: Schedule,
+    /// Tile height of the row.
+    pub v: usize,
+    /// Closed-form prediction (µs).
+    pub predicted_us: f64,
+    /// Simulated makespan (µs).
+    pub makespan_us: f64,
+    /// Whether the closed form was in-model for the row's config.
+    pub in_model: bool,
+}
+
+/// A parsed training slice.
+#[derive(Clone, Debug, Default)]
+pub struct TrainSet {
+    rows: Vec<TrainRow>,
+}
+
+impl TrainSet {
+    /// Parse the `schedule,v,predicted_us,makespan_us,pred_in_model`
+    /// CSV written by `paper sweep`. Rows that fail to parse are
+    /// reported, not skipped — a malformed training file should be
+    /// loud.
+    pub fn parse_csv(text: &str) -> Result<TrainSet, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty training csv")?;
+        if header.trim() != "schedule,v,predicted_us,makespan_us,pred_in_model" {
+            return Err(format!("unexpected training header: {header}"));
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 5 {
+                return Err(format!("row {}: expected 5 fields, got {}", i + 2, f.len()));
+            }
+            let schedule = match f[0] {
+                "blocking" => Schedule::Blocking,
+                "overlap" => Schedule::Overlap,
+                s => return Err(format!("row {}: unknown schedule {s}", i + 2)),
+            };
+            let v = f[1].parse().map_err(|_| format!("row {}: bad v {}", i + 2, f[1]))?;
+            let predicted_us: f64 =
+                f[2].parse().map_err(|_| format!("row {}: bad predicted_us", i + 2))?;
+            let makespan_us: f64 =
+                f[3].parse().map_err(|_| format!("row {}: bad makespan_us", i + 2))?;
+            let in_model = match f[4] {
+                "true" => true,
+                "false" => false,
+                s => return Err(format!("row {}: bad pred_in_model {s}", i + 2)),
+            };
+            if predicted_us > 0.0 && makespan_us.is_finite() {
+                rows.push(TrainRow { schedule, v, predicted_us, makespan_us, in_model });
+            }
+        }
+        Ok(TrainSet { rows })
+    }
+
+    /// Number of usable rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the slice is empty (correction falls back to 1).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Median `measured / predicted` over rows of the same schedule
+    /// with height in `[v/2, 2v]`; 1.0 when no row qualifies.
+    pub fn correction(&self, schedule: Schedule, v: usize) -> f64 {
+        let lo = (v / 2).max(1);
+        let hi = v.saturating_mul(2);
+        let mut ratios: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.schedule == schedule && (lo..=hi).contains(&r.v))
+            .map(|r| r.makespan_us / r.predicted_us)
+            .collect();
+        if ratios.is_empty() {
+            return 1.0;
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
+    }
+}
+
+/// The pre-ranking policy.
+#[derive(Clone, Debug, Default)]
+pub enum Surrogate {
+    /// Rank by the discrete closed form alone.
+    #[default]
+    ClosedForm,
+    /// Rank by the closed form times a trained correction ratio.
+    Trained(TrainSet),
+}
+
+impl Surrogate {
+    /// Score a candidate height under a shape's closed form; lower is
+    /// better. Units are µs of the machine model.
+    pub fn score(&self, cf: &ClosedForm, schedule: Schedule, v: usize) -> f64 {
+        let base = cf.predict_us_discrete(v);
+        match self {
+            Surrogate::ClosedForm => base,
+            Surrogate::Trained(t) => base * t.correction(schedule, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "schedule,v,predicted_us,makespan_us,pred_in_model\n\
+                       overlap,100,1000,1100,true\n\
+                       overlap,120,1000,1300,false\n\
+                       overlap,800,1000,1200,true\n\
+                       blocking,100,1000,2000,true\n";
+
+    #[test]
+    fn parses_and_corrects_by_schedule_and_range() {
+        let t = TrainSet::parse_csv(CSV).unwrap();
+        assert_eq!(t.len(), 4);
+        // v=100 overlap window [50,200] → ratios {1.1, 1.3}, median 1.3
+        // (upper-median of an even set).
+        assert!((t.correction(Schedule::Overlap, 100) - 1.3).abs() < 1e-12);
+        // Blocking sees only its own rows.
+        assert!((t.correction(Schedule::Blocking, 100) - 2.0).abs() < 1e-12);
+        // No rows in range → identity.
+        assert_eq!(t.correction(Schedule::Overlap, 10_000), 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_slices() {
+        assert!(TrainSet::parse_csv("").is_err());
+        assert!(TrainSet::parse_csv("wrong,header\n").is_err());
+        assert!(TrainSet::parse_csv(
+            "schedule,v,predicted_us,makespan_us,pred_in_model\noverlap,1,2\n"
+        )
+        .is_err());
+        assert!(TrainSet::parse_csv(
+            "schedule,v,predicted_us,makespan_us,pred_in_model\nwarp,1,2,3,true\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trained_surrogate_scales_the_closed_form() {
+        let t = TrainSet::parse_csv(CSV).unwrap();
+        let cf = ClosedForm { alpha: 10.0, beta: 0.1, gamma: 7.0, k_extent: 1000.0, v_star: 100.0 };
+        let base = Surrogate::ClosedForm.score(&cf, Schedule::Overlap, 100);
+        let trained = Surrogate::Trained(t).score(&cf, Schedule::Overlap, 100);
+        assert!((trained / base - 1.3).abs() < 1e-9);
+    }
+}

@@ -21,7 +21,12 @@
 //! paper sweep      Monte-Carlo design-space sweep over the simulator
 //!                  (seeded, parallel, panic-isolated; writes
 //!                  results/sweep.csv + results/sweep_summary.json with
-//!                  Figs. 9-11 embedded as named slices)
+//!                  Figs. 9-11 embedded as named slices, plus the
+//!                  results/tune_train.csv surrogate training slice)
+//! paper tune       closed-loop autotuner: closed-form seed, surrogate
+//!                  pre-rank, measured calibration, commit to planc's
+//!                  tuned-plan cache (appends the "tune" section to
+//!                  BENCH_stencil.json)
 //! paper all        everything above
 //! ```
 //!
@@ -39,7 +44,7 @@ use cluster_sim::builders::ClusterProblem;
 use cluster_sim::engine::{simulate, SimConfig};
 use std::path::Path;
 use sweep::config::{generate as sweep_generate, Schedule as SweepSchedule, SweepSpec};
-use sweep::output::{summary_json, to_csv};
+use sweep::output::{summary_json, to_csv, training_csv};
 use sweep::run::{run_sweep, RowStatus};
 use tiling_core::prelude::*;
 
@@ -866,6 +871,22 @@ mod perf {
         a_max_us: f64,
         b_mean_us: f64,
         b_max_us: f64,
+        // Best-of-N spread: the across-run minimum and the population
+        // stddev of each lane's per-run mean, so a reader (and ci.sh)
+        // can tell a stable row from one rescued by a lucky trial.
+        a_min_us: f64,
+        a_std_us: f64,
+        b_min_us: f64,
+        b_std_us: f64,
+    }
+
+    /// Population stddev of a small sample (the N=3 lane trials).
+    fn stddev(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
     }
 
     fn lane_summary(
@@ -882,18 +903,22 @@ mod perf {
         // the host's cores, so a single run's lane means carry whatever
         // scheduler noise the box had that instant. The minimum over a
         // few runs is the stable "what the code costs" number; the max
-        // columns still come from the same (best) run.
-        let mut best: Option<(f64, f64, f64, f64)> = None;
+        // columns still come from the same (best) run. All three runs'
+        // lane means are kept so the row can also report the spread.
+        let mut runs: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(3);
         for _ in 0..3 {
             let (_, _, stats, _) =
                 run_dist3d_observed_with(Paper3D, d, &cfg, mode, |_| LaneStats::new(steps))
                     .expect("valid decomposition");
-            let s = LaneStats::summarize(&stats);
-            if best.is_none_or(|b| s.0 + s.2 < b.0 + b.2) {
-                best = Some(s);
-            }
+            runs.push(LaneStats::summarize(&stats));
         }
-        let (a_mean_us, a_max_us, b_mean_us, b_max_us) = best.unwrap();
+        let best = *runs
+            .iter()
+            .min_by(|a, b| (a.0 + a.2).total_cmp(&(b.0 + b.2)))
+            .unwrap();
+        let (a_mean_us, a_max_us, b_mean_us, b_max_us) = best;
+        let a_means: Vec<f64> = runs.iter().map(|r| r.0).collect();
+        let b_means: Vec<f64> = runs.iter().map(|r| r.2).collect();
         LaneSummary {
             mode,
             transport: transport_label(kind),
@@ -901,6 +926,10 @@ mod perf {
             a_max_us,
             b_mean_us,
             b_max_us,
+            a_min_us: a_means.iter().copied().fold(f64::INFINITY, f64::min),
+            a_std_us: stddev(&a_means),
+            b_min_us: b_means.iter().copied().fold(f64::INFINITY, f64::min),
+            b_std_us: stddev(&b_means),
         }
     }
 
@@ -1084,13 +1113,17 @@ mod perf {
 
     fn json_lane(l: &LaneSummary) -> String {
         format!(
-            "    {{\"mode\": \"{}\", \"transport\": \"{}\", \"a_mean_us\": {:.3}, \"a_max_us\": {:.3}, \"b_mean_us\": {:.3}, \"b_max_us\": {:.3}}}",
+            "    {{\"mode\": \"{}\", \"transport\": \"{}\", \"a_mean_us\": {:.3}, \"a_max_us\": {:.3}, \"b_mean_us\": {:.3}, \"b_max_us\": {:.3}, \"a_min_us\": {:.3}, \"a_std_us\": {:.3}, \"b_min_us\": {:.3}, \"b_std_us\": {:.3}}}",
             mode_label(l.mode),
             l.transport,
             l.a_mean_us,
             l.a_max_us,
             l.b_mean_us,
-            l.b_max_us
+            l.b_max_us,
+            l.a_min_us,
+            l.a_std_us,
+            l.b_min_us,
+            l.b_std_us
         )
     }
 
@@ -1218,13 +1251,17 @@ mod perf {
         ];
         for l in &lanes {
             println!(
-                "lanes {:11} {:13} A (cpu) mean {:>8.1} µs max {:>8.1} µs | B (comm) mean {:>8.1} µs max {:>8.1} µs",
+                "lanes {:11} {:13} A (cpu) mean {:>8.1} µs max {:>8.1} µs (min {:>8.1} ± {:>6.1}) | B (comm) mean {:>8.1} µs max {:>8.1} µs (min {:>8.1} ± {:>6.1})",
                 format!("({:?})", l.mode),
                 l.transport,
                 l.a_mean_us,
                 l.a_max_us,
+                l.a_min_us,
+                l.a_std_us,
                 l.b_mean_us,
-                l.b_max_us
+                l.b_max_us,
+                l.b_min_us,
+                l.b_std_us
             );
         }
         // Kernel-tier ablation: each wave kernel on the bitwise-pinned
@@ -1570,6 +1607,330 @@ mod serve {
     }
 }
 
+// ---- `paper tune`: the closed-loop autotuner ---------------------------
+//
+// Seed → surrogate pre-rank → calibrate → commit (DESIGN.md §12). Three
+// rows, one per regime:
+//
+//   thread-quick   real calibration executions on the thread backend
+//                  through compiled plans and a warm WorldPool; the
+//                  ci.sh gate holds tuned ≥ seed here.
+//   partial-tile   deterministic simulator, homogeneous 2×2 world whose
+//                  pipeline depth leaves a partial last tile at the
+//                  closed form's V* — and whose V* faces sit past the
+//                  measured transfer curve's rendezvous knee.
+//   hetero-4x4     deterministic simulator, 4×4 world with seeded
+//                  node-speed spread on the same out-of-model machine.
+//
+// The two simulator rows are the ISSUE's out-of-model acceptance rows:
+// the tuned (V, shape) must beat the closed-form seed by ≥5%, asserted
+// here (bit-reproducible) and re-checked by ci.sh against the committed
+// BENCH_stencil.json.
+
+mod tune {
+    use autotune::{
+        commit, tune, Schedule, SimBackend, Surrogate, ThreadBackend, TrainSet, TuneConfig,
+        TuneOutcome, TuneProblem,
+    };
+    use msgpass::transport::TransportKind;
+    use planc::{Compiler, MachineSpec, PlanRequest, TunedCache, WorldPool};
+    use stencil::engine::ExecMode;
+    use tiling_core::machine::{KernelTier, MachineParams};
+
+    struct Row {
+        name: &'static str,
+        backend: &'static str,
+        problem: TuneProblem,
+        schedule: Schedule,
+        out: TuneOutcome,
+    }
+
+    /// Prediction-shape error at the tuned point after normalizing the
+    /// model's scale at the seed point: the raw `pred_err_rel` compares
+    /// model-µs against backend-µs (meaningless across backends whose
+    /// clocks differ, e.g. host wall time vs. the paper machine), while
+    /// this metric cancels the scale and keeps only how well the model
+    /// *ranks* the tuned point relative to the seed. Gated by ci.sh.
+    fn norm_err(out: &TuneOutcome) -> f64 {
+        let scale = out.seed.makespan_us / out.seed.predicted_us;
+        out.incumbent.makespan_us / (out.incumbent.predicted_us * scale) - 1.0
+    }
+
+    fn tier_name(t: KernelTier) -> &'static str {
+        match t {
+            KernelTier::Bitwise => "bitwise",
+            KernelTier::Fast => "fast",
+        }
+    }
+
+    fn json_row(r: &Row) -> String {
+        let o = &r.out;
+        let (s, w) = (&o.seed, &o.incumbent);
+        format!(
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"grid\": [{}, {}, {}], \"procs\": [{}, {}], \
+             \"schedule\": \"{}\", \"seed_v\": {}, \"tuned_v\": {}, \"tuned_procs\": [{}, {}], \
+             \"tuned_tier\": \"{}\", \"tuned_workers\": {}, \"seed_makespan_us\": {:.3}, \
+             \"tuned_makespan_us\": {:.3}, \"tuned_speedup\": {:.4}, \"predicted_us\": {:.3}, \
+             \"pred_err_rel\": {:.4}, \"pred_err_norm\": {:.4}, \"evaluated\": {}, \"abandoned\": {}, \
+             \"infeasible\": {}, \"enumerated\": {}}}",
+            r.name,
+            r.backend,
+            r.problem.nx,
+            r.problem.ny,
+            r.problem.nz,
+            r.problem.pi,
+            r.problem.pj,
+            r.schedule.name(),
+            s.candidate.v,
+            w.candidate.v,
+            w.candidate.pi,
+            w.candidate.pj,
+            tier_name(w.candidate.tier),
+            w.candidate.workers,
+            s.makespan_us,
+            w.makespan_us,
+            o.speedup(),
+            w.predicted_us,
+            w.pred_err_rel,
+            norm_err(o),
+            o.evaluated.len(),
+            o.abandoned,
+            o.infeasible,
+            o.enumerated
+        )
+    }
+
+    /// The sweep-exported training slice (`results/tune_train.csv`,
+    /// written by `paper sweep`) when present, else the closed form.
+    fn load_surrogate() -> (Surrogate, &'static str) {
+        let path = super::out_dir().join("tune_train.csv");
+        match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| TrainSet::parse_csv(&s).ok())
+        {
+            Some(t) if !t.is_empty() => (Surrogate::Trained(t), "trained"),
+            _ => (Surrogate::ClosedForm, "closed-form"),
+        }
+    }
+
+    fn print_row(r: &Row) {
+        let o = &r.out;
+        println!(
+            "{:12} {:6} {:>2}x{:<2}x{:<5} {}x{}: seed V={} ({:.0} µs) -> tuned V={} {}x{} tier={} workers={} ({:.0} µs) | speedup {:.3}x | pred_err_rel {:+.3} norm {:+.3} | {} measured, {} abandoned, {} infeasible of {}",
+            r.name,
+            r.backend,
+            r.problem.nx,
+            r.problem.ny,
+            r.problem.nz,
+            r.problem.pi,
+            r.problem.pj,
+            o.seed.candidate.v,
+            o.seed.makespan_us,
+            o.incumbent.candidate.v,
+            o.incumbent.candidate.pi,
+            o.incumbent.candidate.pj,
+            tier_name(o.incumbent.candidate.tier),
+            o.incumbent.candidate.workers,
+            o.incumbent.makespan_us,
+            o.speedup(),
+            o.incumbent.pred_err_rel,
+            norm_err(o),
+            o.evaluated.len(),
+            o.abandoned,
+            o.infeasible,
+            o.enumerated
+        );
+    }
+
+    pub fn run(quick: bool, hetero_seed: u64) {
+        println!(
+            "== closed-loop autotune: seed -> surrogate pre-rank -> calibrate -> commit{} ==\n",
+            if quick { " (quick mode)" } else { "" }
+        );
+        let (surrogate, surrogate_name) = load_surrogate();
+        println!("surrogate: {surrogate_name}\n");
+
+        // Row 1: real calibration on the thread backend, through the
+        // shared compiler (probe re-runs are plan-cache hits) and the
+        // warm world pool (calibration never re-spawns worlds).
+        let tp = bench::configs::tune_thread_problem(quick);
+        let compiler = Compiler::new(64);
+        let pool = WorldPool::new(4);
+        let thread_backend = ThreadBackend {
+            problem: tp,
+            machine: MachineSpec::Paper,
+            mode: ExecMode::Overlapping,
+            transport: TransportKind::shared_slots(),
+            compiler: &compiler,
+            pool: &pool,
+        };
+        let model = MachineParams::paper_cluster();
+        let thread_cfg = TuneConfig {
+            max_candidates: if quick { 4 } else { 8 },
+            // A short prefix pays the pipeline-fill cost without the
+            // steady state that amortizes it, so the extrapolation
+            // overestimates: abandon only what is far over the
+            // incumbent, not everything the fill tax inflates.
+            abandon_factor: 2.0,
+            tiers: vec![KernelTier::Bitwise, KernelTier::Fast],
+            workers: vec![1, 2],
+            ..TuneConfig::default()
+        };
+        let thread_out = tune(
+            &tp,
+            &model,
+            Schedule::Overlap,
+            &thread_backend,
+            &surrogate,
+            &thread_cfg,
+        )
+        .expect("thread-backend tune");
+
+        // Commit the winner into planc's tuned-plan cache under the
+        // workload identity, and read it back the way an executor would.
+        let cache = TunedCache::new(16);
+        let req = PlanRequest::grid3(tp.nx, tp.ny, tp.nz, tp.pi, tp.pj)
+            .with_mode(ExecMode::Overlapping)
+            .with_machine(MachineSpec::Paper)
+            .with_transport(TransportKind::shared_slots());
+        let entry = commit(&thread_out, &req, &cache);
+        println!(
+            "committed: V={} {}x{} tier={} workers={} at {:.1} µs/step under {}\n",
+            entry.v,
+            entry.pi,
+            entry.pj,
+            tier_name(entry.tier),
+            entry.workers,
+            entry.measured_us_per_step,
+            planc::tuned_key(&req).canon()
+        );
+
+        // Rows 2+3: the deterministic out-of-model acceptance rows.
+        let machine = bench::configs::tune_machine();
+        let sim_cfg = TuneConfig {
+            max_candidates: 16,
+            ..TuneConfig::default()
+        };
+        let pt = bench::configs::tune_partial_tile_problem();
+        let pt_out = tune(
+            &pt,
+            &machine,
+            Schedule::Overlap,
+            &SimBackend {
+                problem: pt,
+                machine,
+                schedule: Schedule::Overlap,
+                duplex: true,
+                shared_bus: false,
+                hetero_seed: 0,
+                hetero_spread: 0.0,
+            },
+            &surrogate,
+            &sim_cfg,
+        )
+        .expect("partial-tile tune");
+        let het = bench::configs::tune_hetero_problem();
+        let het_out = tune(
+            &het,
+            &machine,
+            Schedule::Overlap,
+            &SimBackend {
+                problem: het,
+                machine,
+                schedule: Schedule::Overlap,
+                duplex: true,
+                shared_bus: false,
+                hetero_seed,
+                hetero_spread: bench::configs::TUNE_HETERO_SPREAD,
+            },
+            &surrogate,
+            &sim_cfg,
+        )
+        .expect("hetero tune");
+
+        let rows = [
+            Row {
+                name: "thread-quick",
+                backend: "thread",
+                problem: tp,
+                schedule: Schedule::Overlap,
+                out: thread_out,
+            },
+            Row {
+                name: "partial-tile",
+                backend: "sim",
+                problem: pt,
+                schedule: Schedule::Overlap,
+                out: pt_out,
+            },
+            Row {
+                name: "hetero-4x4",
+                backend: "sim",
+                problem: het,
+                schedule: Schedule::Overlap,
+                out: het_out,
+            },
+        ];
+        for r in &rows {
+            print_row(r);
+        }
+
+        // The invariants the rows ship under. The thread row's tuned
+        // plan can never be slower than the seed (same measurement
+        // procedure, incumbent is the min); the simulator rows must
+        // beat the closed form by the ISSUE's ≥5% — deterministic, so
+        // an assertion rather than a tolerance.
+        for r in &rows {
+            assert!(
+                r.out.speedup() >= 1.0,
+                "{}: tuned worse than closed-form seed",
+                r.name
+            );
+        }
+        for r in &rows[1..] {
+            assert!(
+                r.out.speedup() >= 1.05,
+                "{}: out-of-model speedup {:.3} under the 5% acceptance bar",
+                r.name,
+                r.out.speedup()
+            );
+        }
+
+        let json = format!(
+            "{{\n    \"seed\": {},\n    \"surrogate\": \"{}\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            hetero_seed,
+            surrogate_name,
+            rows.iter().map(json_row).collect::<Vec<_>>().join(",\n")
+        );
+        if quick {
+            let path = super::out_dir().join("BENCH_tune_quick.json");
+            std::fs::write(&path, format!("{{\n  \"tune\": {json}\n}}\n"))
+                .expect("write quick tune json");
+            println!("\nwritten to {}", path.display());
+        } else {
+            splice_into_bench(&json);
+        }
+    }
+
+    /// Splice (or replace) the `"tune"` section into the committed
+    /// BENCH_stencil.json, preserving every other section byte-for-byte.
+    fn splice_into_bench(tune_json: &str) {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json");
+        let mut base = std::fs::read_to_string(path)
+            .unwrap_or_else(|_| "{\n  \"bench\": \"stencil-hot-paths\"\n}\n".to_string());
+        if let Some(i) = base.find(",\n  \"tune\"") {
+            base.truncate(i);
+            base.push_str("\n}\n");
+        }
+        let root = base.rfind('}').expect("malformed BENCH_stencil.json");
+        base.truncate(root);
+        let trimmed = base.trim_end();
+        std::fs::write(path, format!("{trimmed},\n  \"tune\": {tune_json}\n}}\n"))
+            .expect("write benchmark json");
+        println!("\nwritten to {path}");
+    }
+}
+
 /// `paper sweep`: the Monte-Carlo design-space sweep over the cluster
 /// simulator (machine preset × comm scale × transfer curve × node-speed
 /// jitter × grid × space × V × schedule × duplex × topology), with the
@@ -1590,9 +1951,11 @@ fn cmd_sweep(quick: bool, seed: u64, workers: usize) {
     let elapsed = t0.elapsed().as_secs_f64();
     let csv = to_csv(&outcome.rows);
     let json = summary_json(seed, &outcome);
+    let train = training_csv(&outcome.rows);
     let dir = out_dir();
     std::fs::write(dir.join("sweep.csv"), &csv).expect("write sweep.csv");
     std::fs::write(dir.join("sweep_summary.json"), &json).expect("write sweep_summary.json");
+    std::fs::write(dir.join("tune_train.csv"), &train).expect("write tune_train.csv");
     let ok = outcome
         .rows
         .iter()
@@ -1633,11 +1996,15 @@ fn cmd_sweep(quick: bool, seed: u64, workers: usize) {
     }
     println!("\nwrote {}", dir.join("sweep.csv").display());
     println!("wrote {}", dir.join("sweep_summary.json").display());
+    println!(
+        "wrote {} (surrogate training slice for `paper tune`)",
+        dir.join("tune_train.csv").display()
+    );
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|sweep|threads|chaos|analyze|perf|serve|all>\n       paper gantt [--backend sim|thread]\n       paper sweep [--quick] [--seed N] [--workers N]   Monte-Carlo design-space sweep over the simulator; writes results/sweep.csv + results/sweep_summary.json, embeds Figs. 9-11 as named slices; same seed => byte-identical output\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|sweep|threads|chaos|analyze|perf|tune|serve|all>\n       paper gantt [--backend sim|thread]\n       paper sweep [--quick] [--seed N] [--workers N]   Monte-Carlo design-space sweep over the simulator; writes results/sweep.csv + results/sweep_summary.json + results/tune_train.csv, embeds Figs. 9-11 as named slices; same seed => byte-identical output\n       paper tune [--quick] [--seed N]   closed-loop autotuner (seed -> surrogate pre-rank -> calibrate -> commit); thread-backend calibration row plus two deterministic out-of-model simulator rows; --quick writes results/BENCH_tune_quick.json, full mode splices the \"tune\" section into BENCH_stencil.json; --seed sets the hetero row's node-speed seed\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
     );
     std::process::exit(2);
 }
@@ -1720,6 +2087,24 @@ fn main() {
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
         "analyze" => cmd_analyze(),
+        "tune" => {
+            let mut quick = false;
+            let mut seed = bench::configs::TUNE_HETERO_SEED;
+            let mut args = std::env::args().skip(2);
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--seed" => {
+                        seed = args
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            tune::run(quick, seed)
+        }
         "serve" => {
             let mut addr = "127.0.0.1:7077".to_string();
             let mut smoke = false;

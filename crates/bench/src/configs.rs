@@ -8,11 +8,13 @@
 //! the thread-backed subcommands compile their [`planc::PlanRequest`]s
 //! from the same source of truth.
 
+use autotune::TuneProblem;
 use msgpass::thread_backend::{LatencyModel, WorldConfig};
 use msgpass::transport::TransportKind;
 use planc::PlanRequest;
 use stencil::dist2d::Decomp2D;
 use stencil::dist3d::{Decomp3D, ExecMode};
+use tiling_core::machine::{MachineParams, PiecewiseCost};
 
 /// `paper threads`: experiment i scaled to a 2×2 world.
 pub fn threads_decomp() -> Decomp3D {
@@ -105,6 +107,61 @@ pub fn plan_request(d: Decomp3D, mode: ExecMode) -> PlanRequest {
         .with_transport(TransportKind::Mpsc)
         .with_boundary(d.boundary)
 }
+
+/// `paper tune`: a measured wire-transfer curve with a rendezvous knee
+/// — linear to the eager limit (~1 KiB), a protocol-switch cliff to
+/// 1.5 KiB, then fragmented-transfer slope. The closed form keeps
+/// predicting with the affine `t_t` wire model, which is exactly what
+/// makes machines carrying this curve out-of-model.
+pub fn tune_transfer_curve() -> PiecewiseCost {
+    PiecewiseCost::from_knots(&[
+        (0.0, 15.0),
+        (1024.0, 100.0),
+        (1536.0, 700.0),
+        (8192.0, 1800.0),
+    ])
+    .expect("static knots are valid")
+}
+
+/// `paper tune`: the machine the out-of-model acceptance rows simulate
+/// — the paper cluster with [`tune_transfer_curve`] installed.
+pub fn tune_machine() -> MachineParams {
+    MachineParams::paper_cluster().with_transfer_curve(tune_transfer_curve())
+}
+
+/// `paper tune`: the thread-backend calibration workload (quick mode
+/// shortens the pipeline, same shape). Gated by ci.sh: the tuned plan
+/// must never measure slower than the closed-form seed.
+pub fn tune_thread_problem(quick: bool) -> TuneProblem {
+    TuneProblem {
+        nx: 8,
+        ny: 8,
+        nz: if quick { 1024 } else { 4096 },
+        pi: 2,
+        pj: 2,
+    }
+}
+
+/// `paper tune`: the partial-tile acceptance grid. 2100 planes do not
+/// divide by the closed form's pick (V* = 98 ⇒ 21 full tiles plus a
+/// 42-plane remainder), and at V* the 1568-byte faces sit past the
+/// transfer curve's rendezvous knee — the tuner must find a
+/// step-aligned height below the knee.
+pub fn tune_partial_tile_problem() -> TuneProblem {
+    TuneProblem { nx: 8, ny: 8, nz: 2100, pi: 2, pj: 2 }
+}
+
+/// `paper tune`: the heterogeneous 4×4-world acceptance grid
+/// (node-speed spread [`TUNE_HETERO_SPREAD`], seeded per `--seed`).
+pub fn tune_hetero_problem() -> TuneProblem {
+    TuneProblem { nx: 16, ny: 16, nz: 4096, pi: 4, pj: 4 }
+}
+
+/// `paper tune`: node-speed spread of the heterogeneous acceptance row.
+pub const TUNE_HETERO_SPREAD: f64 = 0.35;
+
+/// `paper tune`: default node-speed seed of the heterogeneous row.
+pub const TUNE_HETERO_SEED: u64 = 7;
 
 #[cfg(test)]
 mod tests {

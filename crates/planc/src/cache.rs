@@ -8,7 +8,7 @@
 //! accelerates the map. [`PlanCache`] is a mutex-guarded LRU keyed by
 //! [`PlanKey`] with hit/miss/eviction counters.
 
-use crate::spec::{MachineSpec, PlanRequest, VChoice, WorkloadSpec};
+use crate::spec::{MachineSpec, PlanRequest, TuneMode, VChoice, WorkloadSpec};
 use msgpass::transport::TransportKind;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -59,6 +59,17 @@ impl PlanKey {
                 p.fill_kernel_buffer.base_us.to_bits(),
                 p.fill_kernel_buffer.per_byte_us.to_bits(),
             );
+            // A measured transfer curve changes Auto-V resolution, so
+            // it must participate in the identity too (machines without
+            // one render exactly as before the curve existed).
+            if let Some(curve) = &p.transfer_curve {
+                let _ = write!(c, "cv[");
+                for (i, &(bytes, us)) in curve.knots().iter().enumerate() {
+                    let sep = if i == 0 { "" } else { "," };
+                    let _ = write!(c, "{sep}{:x}:{:x}", bytes.to_bits(), us.to_bits());
+                }
+                let _ = write!(c, "]");
+            }
         }
         match req.v {
             VChoice::Explicit(v) => {
@@ -93,6 +104,17 @@ impl PlanKey {
             }
         );
         let _ = write!(c, "|b={:x}", req.boundary.to_bits());
+        match req.tune {
+            // `Off` renders nothing so pre-tuner canon strings (and any
+            // digests derived from them) are preserved byte-for-byte.
+            TuneMode::Off => {}
+            TuneMode::Calibration => {
+                let _ = write!(c, "|u=cal");
+            }
+            TuneMode::Committed => {
+                let _ = write!(c, "|u=tuned");
+            }
+        }
         let hash = fnv1a(c.as_bytes());
         PlanKey { canon: c, hash }
     }
@@ -290,6 +312,42 @@ mod tests {
         assert_eq!(s.len, 2);
         assert_eq!(s.hits, 3);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn tune_mode_partitions_keys_and_off_is_invisible() {
+        let base = PlanRequest::grid3(8, 8, 64, 2, 2);
+        let off = PlanKey::of(&base);
+        let cal = PlanKey::of(&base.clone().with_tune(TuneMode::Calibration));
+        let tuned = PlanKey::of(&base.clone().with_tune(TuneMode::Committed));
+        assert_ne!(off, cal);
+        assert_ne!(off, tuned);
+        assert_ne!(cal, tuned);
+        // `Off` must not change the canonical rendering at all.
+        assert!(!off.canon().contains("|u="));
+        assert!(cal.canon().ends_with("|u=cal"));
+        assert!(tuned.canon().ends_with("|u=tuned"));
+    }
+
+    #[test]
+    fn custom_machine_transfer_curve_participates_in_key() {
+        use crate::spec::MachineSpec;
+        use tiling_core::machine::{MachineParams, PiecewiseCost};
+        let plain = MachineParams::paper_cluster();
+        let curve = PiecewiseCost::from_knots(&[(0.0, 50.0), (4096.0, 400.0)]).unwrap();
+        let curved = plain.with_transfer_curve(curve);
+        let base = PlanRequest::grid3(8, 8, 64, 2, 2);
+        let k_plain = PlanKey::of(&base.clone().with_machine(MachineSpec::Custom(plain)));
+        let k_curved = PlanKey::of(&base.clone().with_machine(MachineSpec::Custom(curved)));
+        assert_ne!(k_plain, k_curved, "curve must change the identity");
+        assert!(!k_plain.canon().contains("cv["));
+        assert!(k_curved.canon().contains("cv["));
+        // Different knots → different keys.
+        let other = PiecewiseCost::from_knots(&[(0.0, 50.0), (4096.0, 500.0)]).unwrap();
+        let k_other = PlanKey::of(
+            &base.with_machine(MachineSpec::Custom(plain.with_transfer_curve(other))),
+        );
+        assert_ne!(k_curved, k_other);
     }
 
     #[test]

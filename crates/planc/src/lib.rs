@@ -23,6 +23,8 @@
 //!   identical in-flight compilations.
 //! * [`worlds`] — [`WorldPool`]: warm thread-backend worlds reused
 //!   across execute jobs.
+//! * [`tuned`] — [`TunedEntry`]/[`TunedCache`]: winning configurations
+//!   committed by the `autotune` crate's measured-feedback loop.
 //! * [`service`] — [`PlanService`]: bounded job queue + worker pool
 //!   over all of the above, and the [`service::smoke`] load CI gates
 //!   on.
@@ -34,6 +36,7 @@ pub mod error;
 pub mod pipeline;
 pub mod service;
 pub mod spec;
+pub mod tuned;
 pub mod worlds;
 
 pub use artifact::{CompiledWorkload, ExecOptions, ExecOutcome, GridResult, PlanArtifact};
@@ -45,5 +48,6 @@ pub use service::{
     smoke, JobRequest, JobResponse, JobTicket, PlanService, ServiceConfig, ServiceError,
     ServiceMetrics, SmokeReport,
 };
-pub use spec::{KernelName, MachineSpec, PlanRequest, VChoice, WorkloadSpec};
+pub use spec::{KernelName, MachineSpec, PlanRequest, TuneMode, VChoice, WorkloadSpec};
+pub use tuned::{tuned_key, TunedCache, TunedEntry};
 pub use worlds::{WorldPool, WorldPoolStats};

@@ -47,6 +47,6 @@ pub mod prelude {
     pub use crate::config::{
         generate, MachinePreset, Mix64, Schedule, SweepConfig, SweepSpec,
     };
-    pub use crate::output::{csv_header, to_csv, summary_json};
+    pub use crate::output::{csv_header, to_csv, training_csv, summary_json};
     pub use crate::run::{run_sweep, RowStatus, SweepOutcome, SweepRow};
 }

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 /// The CSV column list, in order. The header line is this joined with
 /// commas; CI gates on it verbatim.
-pub const CSV_COLUMNS: [&str; 28] = [
+pub const CSV_COLUMNS: [&str; 29] = [
     "id",
     "slice",
     "preset",
@@ -39,6 +39,7 @@ pub const CSV_COLUMNS: [&str; 28] = [
     "compute_fraction",
     "predicted_us",
     "pred_err_rel",
+    "pred_in_model",
 ];
 
 /// The CSV header line (no trailing newline).
@@ -79,7 +80,7 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             Some(m) => {
                 let _ = write!(
                     out,
-                    ",{},{},{:.3},{:.6},{:.6},{:.6},{:.6},{:.3},{:.6}",
+                    ",{},{},{:.3},{:.6},{:.6},{:.6},{:.6},{:.3},{:.6},{}",
                     m.ranks,
                     m.steps,
                     m.makespan_us,
@@ -89,11 +90,34 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
                     m.compute_fraction,
                     m.predicted_us,
                     m.pred_err_rel,
+                    m.pred_in_model,
                 );
             }
-            None => out.push_str(",,,,,,,,,"),
+            None => out.push_str(",,,,,,,,,,"),
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Render the training slice the autotune surrogate consumes: one line
+/// per `Ok` row with the schedule, height, closed-form prediction and
+/// simulated makespan, plus the in-model flag. Same determinism
+/// contract as [`to_csv`].
+pub fn training_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from("schedule,v,predicted_us,makespan_us,pred_in_model\n");
+    for r in rows {
+        if let Some(m) = &r.metrics {
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.3},{}",
+                r.config.schedule.name(),
+                r.config.v,
+                m.predicted_us,
+                m.makespan_us,
+                m.pred_in_model,
+            );
+        }
     }
     out
 }
@@ -145,7 +169,9 @@ fn aggregate(rows: &[SweepRow]) -> Vec<SliceAgg> {
         if let Some(m) = &r.metrics {
             s.makespans.push(m.makespan_us);
             s.mean_utils.push(m.mean_util);
-            if m.pred_err_rel.is_finite() {
+            // Only in-model rows speak to the closed form's fidelity;
+            // curves and heterogeneous fleets are tuner territory.
+            if m.pred_err_rel.is_finite() && m.pred_in_model {
                 s.abs_errs.push(m.pred_err_rel.abs());
             }
             match r.config.schedule {
@@ -186,7 +212,8 @@ fn num(x: f64, prec: usize) -> String {
 ///
 /// Top level: seed, config/ok/error/panic counts. Per slice (in
 /// first-seen order): row counts, `p10/p50/p90/mean` of the simulated
-/// makespan, mean utilization, mean absolute closed-form error, and —
+/// makespan, mean utilization, mean absolute closed-form error (over
+/// in-model rows only — see `RowMetrics::pred_in_model`), and —
 /// where both schedules appear — the best overlap point and its
 /// improvement over the best blocking point (the Fig. 12 quantities).
 pub fn summary_json(seed: u64, outcome: &SweepOutcome) -> String {
@@ -312,6 +339,64 @@ mod tests {
         assert!(json.contains("\"random\""));
         assert!(!json.contains(",\n  }"), "trailing comma:\n{json}");
         assert!(!json.contains(",\n    }"), "trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn training_csv_has_fixed_schema_and_ok_rows_only() {
+        let out = small_outcome(8);
+        let csv = training_csv(&out.rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "schedule,v,predicted_us,makespan_us,pred_in_model"
+        );
+        let ok = out.rows.iter().filter(|r| r.metrics.is_some()).count();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), ok);
+        for line in body {
+            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn out_of_model_rows_are_excluded_from_error_percentiles() {
+        use crate::config::{MachinePreset, Schedule, SweepConfig};
+        use crate::run::run_sweep;
+        let mk = |id: usize, spread: f64| SweepConfig {
+            id,
+            slice: "test",
+            preset: MachinePreset::Paper,
+            comm_scale: 1.0,
+            measured_curve: false,
+            hetero_spread: spread,
+            grid: [4, 4],
+            cross_sides: [4, 4],
+            extents: [16, 16, 1024],
+            v: 64,
+            schedule: Schedule::Overlap,
+            duplex: false,
+            shared_bus: false,
+            seed: 11,
+        };
+        // One in-model row, one heterogeneous row with a different
+        // error: the summary's mean must reflect only the former (a
+        // mixed-in hetero row would shift it).
+        let out = run_sweep(&[mk(0, 0.0), mk(1, 0.6)], 2);
+        let in_model_err = out.rows[0].metrics.unwrap().pred_err_rel.abs();
+        let hetero_err = out.rows[1].metrics.unwrap().pred_err_rel.abs();
+        assert!((hetero_err - in_model_err).abs() > 1e-3, "degenerate test point");
+        let json = summary_json(11, &out);
+        let line = json
+            .lines()
+            .find(|l| l.contains("mean_abs_pred_err"))
+            .unwrap();
+        let val: f64 = line
+            .trim()
+            .trim_start_matches("\"mean_abs_pred_err\": ")
+            .trim_end_matches(',')
+            .parse()
+            .unwrap();
+        assert!((val - in_model_err).abs() < 1e-5, "{val} vs {in_model_err}");
     }
 
     #[test]

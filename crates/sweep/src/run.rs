@@ -67,6 +67,12 @@ pub struct RowMetrics {
     /// `(simulated − predicted) / predicted` — where the affine model
     /// stops being faithful (curves, heterogeneity, buses), this grows.
     pub pred_err_rel: f64,
+    /// Whether the closed form actually models this config: false when
+    /// the machine carries a measured transfer curve or the fleet has
+    /// heterogeneous node speeds. Out-of-model rows keep their
+    /// `pred_err_rel` (the tuner trains on it) but are excluded from
+    /// the model-fidelity percentiles.
+    pub pred_in_model: bool,
 }
 
 /// One output row: the config plus what happened to it.
@@ -180,6 +186,7 @@ fn evaluate(c: &SweepConfig) -> Result<RowMetrics, EvalError> {
         compute_fraction: summary.mean_compute_fraction,
         predicted_us,
         pred_err_rel,
+        pred_in_model: !(c.hetero_spread > 0.0 || c.measured_curve),
     })
 }
 
@@ -321,6 +328,36 @@ mod tests {
                 assert!(m.pred_err_rel.is_finite(), "{r:?}");
             }
         }
+    }
+
+    #[test]
+    fn out_of_model_configs_are_marked() {
+        let mk = |spread: f64, curve: bool| SweepConfig {
+            id: 0,
+            slice: "test",
+            preset: crate::config::MachinePreset::Paper,
+            comm_scale: 1.0,
+            measured_curve: curve,
+            hetero_spread: spread,
+            grid: [4, 4],
+            cross_sides: [4, 4],
+            extents: [16, 16, 1024],
+            v: 64,
+            schedule: Schedule::Overlap,
+            duplex: false,
+            shared_bus: false,
+            seed: 5,
+        };
+        let out = run_sweep(
+            &[mk(0.0, false), mk(0.3, false), mk(0.0, true), mk(0.3, true)],
+            2,
+        );
+        let flags: Vec<bool> = out
+            .rows
+            .iter()
+            .map(|r| r.metrics.expect("ok").pred_in_model)
+            .collect();
+        assert_eq!(flags, [true, false, false, false]);
     }
 
     #[test]

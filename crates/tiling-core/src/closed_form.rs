@@ -75,6 +75,48 @@ impl ClosedForm {
             hi
         }
     }
+
+    /// The integer optimum clamped to a legal height `[1, extent]` —
+    /// what a plan can actually run with.
+    pub fn v_star_clamped(&self, extent: usize) -> usize {
+        let v = self.v_star_integer().max(1) as usize;
+        v.min(extent.max(1))
+    }
+
+    /// Predicted total time at *integer* height `v` with the discrete
+    /// step count `⌈K/v⌉` (µs). The continuous model smooths the
+    /// staircase away; at small step counts the partial last tile makes
+    /// the two disagree, which is exactly where a measured-feedback
+    /// tuner can beat `V*`.
+    pub fn predict_us_discrete(&self, v: usize) -> f64 {
+        assert!(v > 0, "tile height must be positive");
+        let steps = (self.k_extent / v as f64).ceil();
+        (self.gamma + steps) * (self.alpha + self.beta * v as f64)
+    }
+
+    /// Candidate tile heights around the optimum: a geometric ladder
+    /// `V*/4 … 4·V*` plus, for each step count the ladder reaches, the
+    /// smallest height achieving it (`⌈K/s⌉`). The step-aligned heights
+    /// eliminate the partial last tile the continuous formula ignores.
+    /// All heights are clamped to `[1, extent]`, sorted, deduplicated.
+    pub fn v_ladder(&self, extent: usize) -> Vec<usize> {
+        let extent = extent.max(1);
+        let vs = self.v_star_integer().max(1) as f64;
+        let mut out: Vec<usize> = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0]
+            .iter()
+            .map(|f| ((vs * f).round().max(1.0) as usize).min(extent))
+            .collect();
+        let k = (self.k_extent.max(1.0)) as usize;
+        for v in out.clone() {
+            let s = k.div_ceil(v);
+            for s in [s.saturating_sub(1).max(1), s, s + 1] {
+                out.push(k.div_ceil(s).clamp(1, extent));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 /// Fit the affine per-step message cost at two sample heights: returns
@@ -358,6 +400,83 @@ mod tests {
         let cf = overlap_optimal_v(&space, &deps, &machine, &[4, 4], 2);
         assert_eq!(cf.v_star, 0.0);
         assert_eq!(cf.v_star_integer(), 1);
+    }
+
+    #[test]
+    fn v_star_clamped_stays_in_range() {
+        let (space, deps, machine) = paper_setup();
+        let cf = overlap_optimal_v(&space, &deps, &machine, &[4, 4], 2);
+        // V* for the paper setup is a few hundred; a shallow pipeline
+        // must clamp it down to the extent, never above.
+        assert!(cf.v_star_integer() > 8);
+        assert_eq!(cf.v_star_clamped(8), 8);
+        assert_eq!(cf.v_star_clamped(1), 1);
+        // Free communication drives V* to 0; the clamp floors it at 1.
+        let free = MachineParams::free_communication(1.0);
+        let cf0 = overlap_optimal_v(&space, &deps, &free, &[4, 4], 2);
+        assert_eq!(cf0.v_star_clamped(16384), 1);
+        // Degenerate extent 0 still yields a legal height.
+        assert_eq!(cf.v_star_clamped(0), 1);
+    }
+
+    #[test]
+    fn discrete_prediction_tracks_partial_tile_remainder() {
+        let (space, deps, machine) = paper_setup();
+        let cf = overlap_optimal_v(&space, &deps, &machine, &[4, 4], 2);
+        // Where V divides K the staircase and the smooth model agree.
+        let v_even = 128;
+        assert_eq!(16384 % v_even, 0);
+        let smooth = cf.predict_us(v_even as f64);
+        let stair = cf.predict_us_discrete(v_even);
+        assert!((smooth - stair).abs() / smooth < 1e-12);
+        // A height just above an even divisor pays a whole extra step
+        // for a sliver of work: the discrete model is strictly above the
+        // smooth one there.
+        let v_odd = 129;
+        assert!(cf.predict_us_discrete(v_odd) > cf.predict_us(v_odd as f64));
+        // And the discrete model sees the penalty the smooth one hides:
+        // at few steps, rounding V up to the step-aligned height wins.
+        let k = 16384usize;
+        let s = k.div_ceil(v_odd); // 127 steps, last one nearly empty
+        let aligned = k.div_ceil(s);
+        assert!(cf.predict_us_discrete(aligned) < cf.predict_us_discrete(v_odd));
+    }
+
+    #[test]
+    fn degenerate_single_rank_grid_is_finite() {
+        // A 1×1 processor grid (cross-section = whole plane) has no
+        // neighbors to pay for; the closed form must stay finite and
+        // the ladder legal.
+        let space = IterationSpace::from_extents(&[16, 16, 1024]);
+        let deps = DependenceSet::paper_3d();
+        let machine = MachineParams::paper_cluster();
+        let cf = overlap_optimal_v(&space, &deps, &machine, &[16, 16], 2);
+        assert!(cf.gamma >= 1.0);
+        assert!(cf.beta > 0.0);
+        assert!(cf.v_star.is_finite());
+        let v = cf.v_star_clamped(1024);
+        assert!((1..=1024).contains(&v));
+        assert!(cf.predict_us_discrete(v).is_finite());
+        for v in cf.v_ladder(1024) {
+            assert!((1..=1024).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ladder_brackets_the_optimum_and_dedups() {
+        let (space, deps, machine) = paper_setup();
+        let cf = overlap_optimal_v(&space, &deps, &machine, &[4, 4], 2);
+        let ladder = cf.v_ladder(16384);
+        let vi = cf.v_star_integer() as usize;
+        assert!(ladder.contains(&vi));
+        assert!(ladder.iter().any(|&v| v < vi));
+        assert!(ladder.iter().any(|&v| v > vi));
+        let mut sorted = ladder.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ladder, sorted, "ladder must be sorted and unique");
+        // A tight extent clamps every rung.
+        assert!(cf.v_ladder(4).iter().all(|&v| (1..=4).contains(&v)));
     }
 
     #[test]
