@@ -204,8 +204,7 @@ pub fn check_deadlock(plan: &CommPlan) -> Result<(), AnalysisError> {
     let n = plan.programs.len();
     let mut pc = vec![0usize; n];
     // Per (from, to, tag): sends executed minus receives consumed.
-    let mut in_flight: HashMap<(usize, usize, Tag), i64> =
-        HashMap::with_capacity(plan.messages());
+    let mut in_flight: HashMap<(usize, usize, Tag), i64> = HashMap::with_capacity(plan.messages());
     loop {
         let mut progressed = false;
         let mut all_done = true;

@@ -159,7 +159,12 @@ impl fmt::Display for AnalysisError {
                 "size mismatch on rank {from} → rank {to} (tag {tag}, step {step}): \
                  sender stages {send_len} elements, receiver expects {recv_len}"
             ),
-            AnalysisError::UnmatchedSend { from, to, tag, step } => write!(
+            AnalysisError::UnmatchedSend {
+                from,
+                to,
+                tag,
+                step,
+            } => write!(
                 f,
                 "unmatched send: rank {from} → rank {to} (tag {tag}, step {step}) \
                  is never received"

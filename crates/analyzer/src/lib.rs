@@ -81,14 +81,8 @@ mod tests {
     #[test]
     fn blocking_chain_plan_is_clean() {
         let plan = StepPlan::new(StepStrategy::Blocking, 4);
-        let report = analyze(
-            &chain(),
-            &plan,
-            &[1, 1],
-            0,
-            &DependenceSet::example_1(),
-        )
-        .expect("legal plan");
+        let report =
+            analyze(&chain(), &plan, &[1, 1], 0, &DependenceSet::example_1()).expect("legal plan");
         assert_eq!(report.ranks, 3);
         assert_eq!(report.steps, 4);
         // 2 interior channels × 4 steps.
@@ -100,14 +94,8 @@ mod tests {
     #[test]
     fn overlap_chain_plan_is_clean() {
         let plan = StepPlan::new(StepStrategy::Overlap, 4);
-        let report = analyze(
-            &chain(),
-            &plan,
-            &[1, 2],
-            0,
-            &DependenceSet::example_1(),
-        )
-        .expect("legal plan");
+        let report =
+            analyze(&chain(), &plan, &[1, 2], 0, &DependenceSet::example_1()).expect("legal plan");
         assert_eq!(report.messages, 8);
         // Eq. 4: 2·hops + steps = 4 + 4.
         assert_eq!(report.logical_makespan, 8);
@@ -116,14 +104,8 @@ mod tests {
     #[test]
     fn zero_step_plan_is_trivially_clean() {
         let plan = StepPlan::new(StepStrategy::Overlap, 0);
-        let report = analyze(
-            &chain(),
-            &plan,
-            &[1, 2],
-            0,
-            &DependenceSet::example_1(),
-        )
-        .expect("empty plan");
+        let report =
+            analyze(&chain(), &plan, &[1, 2], 0, &DependenceSet::example_1()).expect("empty plan");
         assert_eq!(report.events, 0);
         assert_eq!(report.messages, 0);
         assert_eq!(report.logical_makespan, 0);
@@ -137,27 +119,75 @@ mod tests {
         assert_eq!(
             blocking.programs[1].ops,
             vec![
-                PlanOp::Recv { from: 0, tag: 1, len: 8, step: 0 },
+                PlanOp::Recv {
+                    from: 0,
+                    tag: 1,
+                    len: 8,
+                    step: 0
+                },
                 PlanOp::Compute { step: 0 },
-                PlanOp::Send { to: 2, tag: 1, len: 8, step: 0 },
-                PlanOp::Recv { from: 0, tag: 3, len: 8, step: 1 },
+                PlanOp::Send {
+                    to: 2,
+                    tag: 1,
+                    len: 8,
+                    step: 0
+                },
+                PlanOp::Recv {
+                    from: 0,
+                    tag: 3,
+                    len: 8,
+                    step: 1
+                },
                 PlanOp::Compute { step: 1 },
-                PlanOp::Send { to: 2, tag: 3, len: 8, step: 1 },
+                PlanOp::Send {
+                    to: 2,
+                    tag: 3,
+                    len: 8,
+                    step: 1
+                },
             ]
         );
         let overlap = CommPlan::build(&topo, &StepPlan::new(StepStrategy::Overlap, 2));
         assert_eq!(
             overlap.programs[1].ops,
             vec![
-                PlanOp::PostRecv { from: 0, tag: 1, len: 8, step: 0 },
-                PlanOp::PostRecv { from: 0, tag: 3, len: 8, step: 1 },
-                PlanOp::WaitRecv { from: 0, tag: 1, step: 0 },
+                PlanOp::PostRecv {
+                    from: 0,
+                    tag: 1,
+                    len: 8,
+                    step: 0
+                },
+                PlanOp::PostRecv {
+                    from: 0,
+                    tag: 3,
+                    len: 8,
+                    step: 1
+                },
+                PlanOp::WaitRecv {
+                    from: 0,
+                    tag: 1,
+                    step: 0
+                },
                 PlanOp::Compute { step: 0 },
-                PlanOp::PostSend { to: 2, tag: 1, len: 8, step: 0 },
-                PlanOp::WaitRecv { from: 0, tag: 3, step: 1 },
+                PlanOp::PostSend {
+                    to: 2,
+                    tag: 1,
+                    len: 8,
+                    step: 0
+                },
+                PlanOp::WaitRecv {
+                    from: 0,
+                    tag: 3,
+                    step: 1
+                },
                 PlanOp::Compute { step: 1 },
                 PlanOp::WaitSend { step: 0 },
-                PlanOp::PostSend { to: 2, tag: 3, len: 8, step: 1 },
+                PlanOp::PostSend {
+                    to: 2,
+                    tag: 3,
+                    len: 8,
+                    step: 1
+                },
                 PlanOp::WaitSend { step: 1 },
             ]
         );

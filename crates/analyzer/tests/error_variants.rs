@@ -1,0 +1,247 @@
+//! One dedicated test per [`AnalysisError`] variant. Each test drives
+//! the analyzer itself (never hand-constructs the error it asserts
+//! against alone), pins the *exact* variant with all fields, and pins
+//! the exact `Display` rendering — the string operators grep in chaos
+//! logs, which must not drift silently.
+
+use analyzer::{
+    check_comm_plan, check_schedule, AnalysisError, CommPlan, PlanOp, RankProgram, WaitPoint,
+};
+use tiling_core::dependence::DependenceSet;
+use tiling_core::schedule::{StepPlan, StepStrategy};
+
+fn world(programs: Vec<Vec<PlanOp>>) -> CommPlan {
+    CommPlan {
+        programs: programs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ops)| RankProgram { rank, ops })
+            .collect(),
+    }
+}
+
+#[test]
+fn illegal_schedule_variant_and_display() {
+    let plan = StepPlan::new(StepStrategy::Blocking, 4);
+    let err = check_schedule(&plan, &[1, -1], 0, &DependenceSet::example_1())
+        .expect_err("Π = [1, -1] nullifies the diagonal dependence");
+    assert_eq!(
+        err,
+        AnalysisError::IllegalSchedule {
+            pi: vec![1, -1],
+            dep: vec![1, 1],
+            dot: 0,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "illegal schedule: Π = [1, -1] gives Π·d = 0 ≤ 0 for dependence [1, 1]"
+    );
+}
+
+#[test]
+fn overlap_ordering_violation_variant_and_display() {
+    let plan = StepPlan::new(StepStrategy::Overlap, 4);
+    let err = check_schedule(&plan, &[1, 2], 1, &DependenceSet::example_1())
+        .expect_err("cross-processor dependence (1, 0) advances only 1 step");
+    assert_eq!(
+        err,
+        AnalysisError::OverlapOrderingViolation {
+            pi: vec![1, 2],
+            dep: vec![1, 0],
+            dot: 1,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "overlap ordering violated: cross-processor dependence [1, 0] advances \
+         Π·d = 1 < 2 time steps under Π = [1, 2] (eq. 4 needs the face one \
+         full step in flight)"
+    );
+}
+
+#[test]
+fn tag_mismatch_variant_and_display() {
+    let plan = world(vec![
+        vec![PlanOp::Send {
+            to: 1,
+            tag: 5,
+            len: 8,
+            step: 0,
+        }],
+        vec![PlanOp::Recv {
+            from: 0,
+            tag: 7,
+            len: 8,
+            step: 0,
+        }],
+    ]);
+    let err = check_comm_plan(&plan).expect_err("tag 5 staged, tag 7 expected");
+    assert_eq!(
+        err,
+        AnalysisError::TagMismatch {
+            from: 0,
+            to: 1,
+            step: 0,
+            sent: 5,
+            expected: 7,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "tag mismatch on rank 0 → rank 1 at step 0: \
+         sender stages tag 5, receiver expects tag 7"
+    );
+}
+
+#[test]
+fn size_mismatch_variant_and_display() {
+    let plan = world(vec![
+        vec![PlanOp::Send {
+            to: 1,
+            tag: 3,
+            len: 6,
+            step: 2,
+        }],
+        vec![PlanOp::Recv {
+            from: 0,
+            tag: 3,
+            len: 4,
+            step: 2,
+        }],
+    ]);
+    let err = check_comm_plan(&plan).expect_err("6 elements staged, 4 expected");
+    assert_eq!(
+        err,
+        AnalysisError::SizeMismatch {
+            from: 0,
+            to: 1,
+            tag: 3,
+            step: 2,
+            send_len: 6,
+            recv_len: 4,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "size mismatch on rank 0 → rank 1 (tag 3, step 2): \
+         sender stages 6 elements, receiver expects 4"
+    );
+}
+
+#[test]
+fn unmatched_send_variant_and_display() {
+    let plan = world(vec![
+        vec![PlanOp::Send {
+            to: 1,
+            tag: 9,
+            len: 4,
+            step: 1,
+        }],
+        vec![PlanOp::Compute { step: 1 }],
+    ]);
+    let err = check_comm_plan(&plan).expect_err("no receive ever consumes tag 9");
+    assert_eq!(
+        err,
+        AnalysisError::UnmatchedSend {
+            from: 0,
+            to: 1,
+            tag: 9,
+            step: 1,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "unmatched send: rank 0 → rank 1 (tag 9, step 1) is never received"
+    );
+}
+
+#[test]
+fn unmatched_receive_variant_and_display() {
+    let plan = world(vec![
+        vec![PlanOp::Compute { step: 0 }],
+        vec![PlanOp::Recv {
+            from: 0,
+            tag: 2,
+            len: 4,
+            step: 1,
+        }],
+    ]);
+    let err = check_comm_plan(&plan).expect_err("no send ever satisfies tag 2");
+    assert_eq!(
+        err,
+        AnalysisError::UnmatchedReceive {
+            rank: 1,
+            from: 0,
+            tag: 2,
+            step: 1,
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "unmatched receive: rank 1 waits for rank 0 \
+         (tag 2, step 1) but no such send is staged"
+    );
+}
+
+#[test]
+fn deadlock_variant_and_display() {
+    // Every message has a matching peer, but each rank's blocking
+    // receive precedes the send its peer waits on: a two-rank cycle.
+    let plan = world(vec![
+        vec![
+            PlanOp::Recv {
+                from: 1,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Send {
+                to: 1,
+                tag: 1,
+                len: 4,
+                step: 0,
+            },
+        ],
+        vec![
+            PlanOp::Recv {
+                from: 0,
+                tag: 1,
+                len: 4,
+                step: 0,
+            },
+            PlanOp::Send {
+                to: 0,
+                tag: 0,
+                len: 4,
+                step: 0,
+            },
+        ],
+    ]);
+    let err = check_comm_plan(&plan).expect_err("mutual blocking receives must wedge");
+    assert_eq!(
+        err,
+        AnalysisError::Deadlock {
+            cycle: vec![
+                WaitPoint {
+                    rank: 0,
+                    from: 1,
+                    tag: 0,
+                    step: 0,
+                },
+                WaitPoint {
+                    rank: 1,
+                    from: 0,
+                    tag: 1,
+                    step: 0,
+                },
+            ],
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "deadlock cycle across 2 ranks: \
+         rank 0 waits on rank 1 (tag 0, step 0); \
+         rank 1 waits on rank 0 (tag 1, step 0)"
+    );
+}

@@ -23,8 +23,8 @@ use cluster_sim::engine::{simulate_heterogeneous, NetworkTopology, SimConfig};
 use cluster_sim::stats::summarize;
 use msgpass::thread_backend::{LatencyModel, WorldConfig};
 use msgpass::transport::TransportKind;
-use planc::{Compiler, MachineSpec, PlanRequest, TuneMode, WorldPool};
 use planc::artifact::ExecOptions;
+use planc::{Compiler, MachineSpec, PlanRequest, TuneMode, WorldPool};
 use stencil::engine::ExecMode;
 use tiling_core::dependence::DependenceSet;
 use tiling_core::machine::MachineParams;
@@ -86,7 +86,8 @@ impl ThreadBackend<'_> {
         let art = self.compiler.compile(&req).map_err(|e| e.to_string())?;
         let opts = ExecOptions { verify: false };
         let outcome = if c.workers <= 1 {
-            art.execute_pooled(self.pool, opts).map_err(|e| e.to_string())?
+            art.execute_pooled(self.pool, opts)
+                .map_err(|e| e.to_string())?
         } else {
             // Worker counts are a world property, not a plan property:
             // pooled worlds are keyed without them, so multi-worker
@@ -182,7 +183,13 @@ mod tests {
 
     fn sim() -> SimBackend {
         SimBackend {
-            problem: TuneProblem { nx: 8, ny: 8, nz: 512, pi: 2, pj: 2 },
+            problem: TuneProblem {
+                nx: 8,
+                ny: 8,
+                nz: 512,
+                pi: 2,
+                pj: 2,
+            },
             machine: MachineParams::paper_cluster(),
             schedule: Schedule::Overlap,
             duplex: true,
@@ -193,7 +200,13 @@ mod tests {
     }
 
     fn cand(v: usize) -> Candidate {
-        Candidate { v, pi: 2, pj: 2, tier: KernelTier::Bitwise, workers: 1 }
+        Candidate {
+            v,
+            pi: 2,
+            pj: 2,
+            tier: KernelTier::Bitwise,
+            workers: 1,
+        }
     }
 
     #[test]
@@ -227,7 +240,13 @@ mod tests {
         let compiler = Compiler::new(32);
         let pool = WorldPool::new(2);
         let b = ThreadBackend {
-            problem: TuneProblem { nx: 4, ny: 4, nz: 256, pi: 2, pj: 2 },
+            problem: TuneProblem {
+                nx: 4,
+                ny: 4,
+                nz: 256,
+                pi: 2,
+                pj: 2,
+            },
             machine: MachineSpec::Paper,
             mode: ExecMode::Overlapping,
             transport: TransportKind::shared_slots(),

@@ -129,7 +129,13 @@ pub fn enumerate(
         for v in cf.v_ladder(problem.nz) {
             for &tier in tiers {
                 for &w in workers {
-                    out.push(Candidate { v, pi, pj, tier, workers: w });
+                    out.push(Candidate {
+                        v,
+                        pi,
+                        pj,
+                        tier,
+                        workers: w,
+                    });
                 }
             }
         }
@@ -142,7 +148,13 @@ mod tests {
     use super::*;
 
     fn problem() -> TuneProblem {
-        TuneProblem { nx: 16, ny: 16, nz: 16384, pi: 4, pj: 4 }
+        TuneProblem {
+            nx: 16,
+            ny: 16,
+            nz: 16384,
+            pi: 4,
+            pj: 4,
+        }
     }
 
     #[test]
@@ -158,7 +170,13 @@ mod tests {
             assert_eq!(p.ny % pj, 0);
         }
         // An indivisible grid drops the offending factorizations.
-        let odd = TuneProblem { nx: 12, ny: 16, nz: 64, pi: 4, pj: 2 };
+        let odd = TuneProblem {
+            nx: 12,
+            ny: 16,
+            nz: 64,
+            pi: 4,
+            pj: 2,
+        };
         assert!(!tile_shapes(&odd).contains(&(8, 1)));
         assert!(tile_shapes(&odd).contains(&(4, 2)));
     }
@@ -180,13 +198,26 @@ mod tests {
             .iter()
             .any(|c| c.v == seed_v && c.pi == p.pi && c.pj == p.pj));
         // Multiple shapes and multiple heights are explored.
-        assert!(cands.iter().map(|c| (c.pi, c.pj)).collect::<std::collections::HashSet<_>>().len() > 1);
+        assert!(
+            cands
+                .iter()
+                .map(|c| (c.pi, c.pj))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
         assert!(cands.len() > 10);
     }
 
     #[test]
     fn candidate_steps_round_up() {
-        let c = Candidate { v: 100, pi: 2, pj: 2, tier: KernelTier::Bitwise, workers: 1 };
+        let c = Candidate {
+            v: 100,
+            pi: 2,
+            pj: 2,
+            tier: KernelTier::Bitwise,
+            workers: 1,
+        };
         assert_eq!(c.steps(1000), 10);
         assert_eq!(c.steps(1001), 11);
         assert_eq!(c.steps(99), 1);

@@ -34,8 +34,6 @@ pub mod surrogate;
 pub mod tuner;
 
 pub use backend::{MeasureBackend, SimBackend, ThreadBackend};
-pub use candidates::{
-    closed_form_for, enumerate, tile_shapes, Candidate, Schedule, TuneProblem,
-};
+pub use candidates::{closed_form_for, enumerate, tile_shapes, Candidate, Schedule, TuneProblem};
 pub use surrogate::{Surrogate, TrainRow, TrainSet};
 pub use tuner::{commit, tune, Measured, TuneConfig, TuneOutcome};

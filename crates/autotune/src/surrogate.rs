@@ -63,18 +63,28 @@ impl TrainSet {
                 "overlap" => Schedule::Overlap,
                 s => return Err(format!("row {}: unknown schedule {s}", i + 2)),
             };
-            let v = f[1].parse().map_err(|_| format!("row {}: bad v {}", i + 2, f[1]))?;
-            let predicted_us: f64 =
-                f[2].parse().map_err(|_| format!("row {}: bad predicted_us", i + 2))?;
-            let makespan_us: f64 =
-                f[3].parse().map_err(|_| format!("row {}: bad makespan_us", i + 2))?;
+            let v = f[1]
+                .parse()
+                .map_err(|_| format!("row {}: bad v {}", i + 2, f[1]))?;
+            let predicted_us: f64 = f[2]
+                .parse()
+                .map_err(|_| format!("row {}: bad predicted_us", i + 2))?;
+            let makespan_us: f64 = f[3]
+                .parse()
+                .map_err(|_| format!("row {}: bad makespan_us", i + 2))?;
             let in_model = match f[4] {
                 "true" => true,
                 "false" => false,
                 s => return Err(format!("row {}: bad pred_in_model {s}", i + 2)),
             };
             if predicted_us > 0.0 && makespan_us.is_finite() {
-                rows.push(TrainRow { schedule, v, predicted_us, makespan_us, in_model });
+                rows.push(TrainRow {
+                    schedule,
+                    v,
+                    predicted_us,
+                    makespan_us,
+                    in_model,
+                });
             }
         }
         Ok(TrainSet { rows })
@@ -171,7 +181,13 @@ mod tests {
     #[test]
     fn trained_surrogate_scales_the_closed_form() {
         let t = TrainSet::parse_csv(CSV).unwrap();
-        let cf = ClosedForm { alpha: 10.0, beta: 0.1, gamma: 7.0, k_extent: 1000.0, v_star: 100.0 };
+        let cf = ClosedForm {
+            alpha: 10.0,
+            beta: 0.1,
+            gamma: 7.0,
+            k_extent: 1000.0,
+            v_star: 100.0,
+        };
         let base = Surrogate::ClosedForm.score(&cf, Schedule::Overlap, 100);
         let trained = Surrogate::Trained(t).score(&cf, Schedule::Overlap, 100);
         assert!((trained / base - 1.3).abs() < 1e-9);

@@ -109,7 +109,11 @@ pub fn tune(
             problem.nx, problem.ny, problem.pi, problem.pj
         ));
     }
-    let reps = if backend.deterministic() { 1 } else { cfg.best_of.max(1) };
+    let reps = if backend.deterministic() {
+        1
+    } else {
+        cfg.best_of.max(1)
+    };
     let measure = |c: &Candidate| -> Result<Measured, String> {
         let mut best = f64::INFINITY;
         for _ in 0..reps {
@@ -186,7 +190,14 @@ pub fn tune(
         evaluated.push(m);
     }
 
-    Ok(TuneOutcome { seed, incumbent, evaluated, abandoned, infeasible, enumerated })
+    Ok(TuneOutcome {
+        seed,
+        incumbent,
+        evaluated,
+        abandoned,
+        infeasible,
+        enumerated,
+    })
 }
 
 /// Record a winner in planc's tuned-plan cache under the workload
@@ -227,7 +238,13 @@ mod tests {
 
     #[test]
     fn incumbent_is_min_of_evaluated_and_never_worse_than_seed() {
-        let problem = TuneProblem { nx: 8, ny: 8, nz: 700, pi: 2, pj: 2 };
+        let problem = TuneProblem {
+            nx: 8,
+            ny: 8,
+            nz: 700,
+            pi: 2,
+            pj: 2,
+        };
         let backend = sim_backend(problem, 0.0, 1);
         let machine = MachineParams::paper_cluster();
         let out = tune(
@@ -253,7 +270,13 @@ mod tests {
 
     #[test]
     fn rejects_indivisible_problem() {
-        let problem = TuneProblem { nx: 9, ny: 8, nz: 64, pi: 2, pj: 2 };
+        let problem = TuneProblem {
+            nx: 9,
+            ny: 8,
+            nz: 64,
+            pi: 2,
+            pj: 2,
+        };
         let backend = sim_backend(problem, 0.0, 1);
         let machine = MachineParams::paper_cluster();
         assert!(tune(
@@ -269,7 +292,13 @@ mod tests {
 
     #[test]
     fn commit_records_the_incumbent_under_the_workload_key() {
-        let problem = TuneProblem { nx: 8, ny: 8, nz: 700, pi: 2, pj: 2 };
+        let problem = TuneProblem {
+            nx: 8,
+            ny: 8,
+            nz: 700,
+            pi: 2,
+            pj: 2,
+        };
         let backend = sim_backend(problem, 0.0, 1);
         let machine = MachineParams::paper_cluster();
         let out = tune(

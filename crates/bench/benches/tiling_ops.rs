@@ -7,8 +7,9 @@ use tiling_core::prelude::*;
 
 fn bench_transform(c: &mut Criterion) {
     let rect = Tiling::rectangular(&[4, 4, 444]);
-    let skew = Tiling::from_side_matrix(IntMatrix::from_rows(&[&[4, 1, 0], &[0, 4, 1], &[0, 0, 8]]))
-        .unwrap();
+    let skew =
+        Tiling::from_side_matrix(IntMatrix::from_rows(&[&[4, 1, 0], &[0, 4, 1], &[0, 0, 8]]))
+            .unwrap();
     c.bench_function("tile_of/rectangular", |b| {
         let mut i = 0i64;
         b.iter(|| {
@@ -67,9 +68,7 @@ fn bench_schedule_analysis(c: &mut Criterion) {
     });
     c.bench_function("analyze/overlap", |b| {
         let s = OverlapSchedule::with_mapping(3, 2);
-        b.iter(|| {
-            black_box(s.analyze(&tiling, &deps, &space, &machine, OverlapMode::Serialized))
-        })
+        b.iter(|| black_box(s.analyze(&tiling, &deps, &space, &machine, OverlapMode::Serialized)))
     });
     c.bench_function("sweep_tile_height/analytic_40pts", |b| {
         let heights = tiling_core::optimize::height_ladder(4, 4096, 40);
@@ -117,12 +116,7 @@ fn bench_closed_form_and_codegen(c: &mut Criterion) {
 
 fn bench_matrices(c: &mut Criterion) {
     c.bench_function("det/4x4", |b| {
-        let m = IntMatrix::from_rows(&[
-            &[3, 1, 0, 2],
-            &[1, 4, 1, 0],
-            &[0, 1, 5, 1],
-            &[2, 0, 1, 6],
-        ]);
+        let m = IntMatrix::from_rows(&[&[3, 1, 0, 2], &[1, 4, 1, 0], &[0, 1, 5, 1], &[2, 0, 1, 6]]);
         b.iter(|| black_box(m.det()))
     });
     c.bench_function("inverse/3x3", |b| {

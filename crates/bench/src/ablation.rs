@@ -25,7 +25,11 @@ pub enum OverlapLevel {
 impl OverlapLevel {
     /// All levels in presentation order.
     pub fn all() -> [OverlapLevel; 3] {
-        [OverlapLevel::None, OverlapLevel::Dma, OverlapLevel::DuplexDma]
+        [
+            OverlapLevel::None,
+            OverlapLevel::Dma,
+            OverlapLevel::DuplexDma,
+        ]
     }
 
     /// Display label.
@@ -54,7 +58,9 @@ pub fn run_ablation(exp: &Experiment, v: i64, machine: &MachineParams) -> Vec<Ab
         .into_iter()
         .map(|level| {
             let duplex = level == OverlapLevel::DuplexDma;
-            let cfg = SimConfig::new(*machine).with_trace(false).with_duplex(duplex);
+            let cfg = SimConfig::new(*machine)
+                .with_trace(false)
+                .with_duplex(duplex);
             let programs = match level {
                 OverlapLevel::None => problem.blocking_programs(machine),
                 _ => problem.overlapping_programs(machine),
@@ -83,11 +89,7 @@ pub struct TopologyPoint {
 /// late-90s shared-medium hub, where every transmission in the cluster
 /// serializes. The overlap schedule hides even the extra contention as
 /// long as the CPU lane still dominates.
-pub fn run_topology_study(
-    exp: &Experiment,
-    v: i64,
-    machine: &MachineParams,
-) -> Vec<TopologyPoint> {
+pub fn run_topology_study(exp: &Experiment, v: i64, machine: &MachineParams) -> Vec<TopologyPoint> {
     let problem = problem_at(exp, v);
     [NetworkTopology::Switched, NetworkTopology::SharedBus]
         .into_iter()
@@ -114,9 +116,8 @@ pub fn run_topology_study(
 
 /// Markdown for the topology study.
 pub fn topology_markdown(points: &[TopologyPoint]) -> String {
-    let mut out = String::from(
-        "| network | blocking (s) | overlap (s) | improvement |\n|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| network | blocking (s) | overlap (s) | improvement |\n|---|---|---|---|\n");
     for p in points {
         out += &format!(
             "| {:?} | {:.4} | {:.4} | {:.0}% |\n",
@@ -131,7 +132,8 @@ pub fn topology_markdown(points: &[TopologyPoint]) -> String {
 
 /// Markdown table of an ablation.
 pub fn ablation_markdown(points: &[AblationPoint]) -> String {
-    let mut out = String::from("| overlap level | completion time (s) | vs no overlap |\n|---|---|---|\n");
+    let mut out =
+        String::from("| overlap level | completion time (s) | vs no overlap |\n|---|---|---|\n");
     let base = points
         .iter()
         .find(|p| p.level == OverlapLevel::None)
@@ -173,9 +175,7 @@ mod tests {
         let machine = MachineParams::paper_cluster();
         let pts = run_ablation(&mini(), 64, &machine);
         assert_eq!(pts.len(), 3);
-        let by_level = |l: OverlapLevel| {
-            pts.iter().find(|p| p.level == l).unwrap().total_us
-        };
+        let by_level = |l: OverlapLevel| pts.iter().find(|p| p.level == l).unwrap().total_us;
         // Non-blocking beats blocking; duplex never loses to half-duplex.
         assert!(by_level(OverlapLevel::Dma) < by_level(OverlapLevel::None));
         assert!(by_level(OverlapLevel::DuplexDma) <= by_level(OverlapLevel::Dma) * 1.0001);

@@ -61,7 +61,10 @@ fn cmd_example1() {
     let deps = nest.dependences().expect("example 1 is valid");
     let tiling = Tiling::rectangular(&[10, 10]);
     println!("dependences:        {deps:?}");
-    println!("tiling:             10×10 rectangular, g = {}", tiling.volume());
+    println!(
+        "tiling:             10×10 rectangular, g = {}",
+        tiling.volume()
+    );
     println!("legal (HD ≥ 0):     {}", tiling.is_legal(&deps));
     println!(
         "V_comm (formula 2): {} points (paper: 20)",
@@ -75,10 +78,7 @@ fn cmd_example1() {
         "step      = {:.0} t_c  (paper: 364 t_c = 100 comp + 200 startup + 64 transmit)",
         no.step_us
     );
-    println!(
-        "T         = {:.4} s  (paper: 0.4 s)",
-        no.total_secs()
-    );
+    println!("T         = {:.4} s  (paper: 0.4 s)", no.total_secs());
 
     let ov = OverlapSchedule::with_mapping(2, 0).analyze(
         &tiling,
@@ -104,8 +104,8 @@ fn cmd_example1() {
     // programs run through the simulator as a check on that arithmetic
     // (100 ranks — one per tile column along i2 — 1000 pipeline steps).
     println!("\n-- the same layout, fully simulated (100 ranks × 1000 steps) --");
-    let problem = ClusterProblem::new(tiling, deps, nest.space().clone(), 0)
-        .expect("example 1 layout");
+    let problem =
+        ClusterProblem::new(tiling, deps, nest.space().clone(), 0).expect("example 1 layout");
     let cfg = SimConfig::new(machine).with_trace(false).with_duplex(true);
     let blocking = simulate(cfg, problem.blocking_programs(&machine)).expect("no deadlock");
     let overlap = simulate(cfg, problem.overlapping_programs(&machine)).expect("no deadlock");
@@ -140,10 +140,16 @@ fn cmd_gantt_sim() {
     let f1 = fig1_simulation(&machine, 6, 8, 16);
     let f2 = fig2_simulation(&machine, 6, 8, 16);
     let horizon = f1.makespan.max(f2.makespan);
-    std::fs::write(out_dir().join("fig1.svg"), f1.trace.to_svg(&ranks, horizon, 900))
-        .expect("write fig1.svg");
-    std::fs::write(out_dir().join("fig2.svg"), f2.trace.to_svg(&ranks, horizon, 900))
-        .expect("write fig2.svg");
+    std::fs::write(
+        out_dir().join("fig1.svg"),
+        f1.trace.to_svg(&ranks, horizon, 900),
+    )
+    .expect("write fig1.svg");
+    std::fs::write(
+        out_dir().join("fig2.svg"),
+        f2.trace.to_svg(&ranks, horizon, 900),
+    )
+    .expect("write fig2.svg");
     println!("SVG charts written to results/fig1.svg and results/fig2.svg");
 }
 
@@ -286,7 +292,10 @@ fn cmd_sensitivity() {
         &[
             ("FastEthernet (paper)", MachineParams::paper_cluster()),
             ("Gigabit-class", MachineParams::gigabit_cluster()),
-            ("OS-bypass (the paper's §6 future work)", MachineParams::os_bypass_cluster()),
+            (
+                "OS-bypass (the paper's §6 future work)",
+                MachineParams::os_bypass_cluster(),
+            ),
         ],
         16,
     );
@@ -322,10 +331,16 @@ fn cmd_utilization() {
     let o = simulate(cfg, problem.overlapping_programs(&machine)).expect("no deadlock");
     let sb = summarize(&b).expect("paper experiment has ranks");
     let so = summarize(&o).expect("paper experiment has ranks");
-    println!("blocking   : mean utilization {:.0}%, compute share of busy {:.0}%",
-        sb.mean_utilization * 100.0, sb.mean_compute_fraction * 100.0);
-    println!("overlapping: mean utilization {:.0}%, compute share of busy {:.0}%\n",
-        so.mean_utilization * 100.0, so.mean_compute_fraction * 100.0);
+    println!(
+        "blocking   : mean utilization {:.0}%, compute share of busy {:.0}%",
+        sb.mean_utilization * 100.0,
+        sb.mean_compute_fraction * 100.0
+    );
+    println!(
+        "overlapping: mean utilization {:.0}%, compute share of busy {:.0}%\n",
+        so.mean_utilization * 100.0,
+        so.mean_compute_fraction * 100.0
+    );
     println!("per-rank breakdown (overlapping):");
     println!("{}", stats_markdown(&rank_stats(&o)[..4]));
     println!("(first 4 of {} ranks shown)", problem.ranks());
@@ -341,7 +356,8 @@ fn cmd_threads() {
     // compiled to an analyzer-approved artifact before a single thread
     // spawns; execution then verifies against the sequential sweep.
     let d = threads_decomp();
-    let block = planc::compile(&plan_request(d, ExecMode::Blocking)).expect("shipped plan compiles");
+    let block =
+        planc::compile(&plan_request(d, ExecMode::Blocking)).expect("shipped plan compiles");
     let over =
         planc::compile(&plan_request(d, ExecMode::Overlapping)).expect("shipped plan compiles");
     println!(
@@ -355,10 +371,16 @@ fn cmd_threads() {
     let opts = planc::ExecOptions { verify: true };
     let b = block.execute_with(&base, opts).expect("valid plan");
     let o = over.execute_with(&base, opts).expect("valid plan");
-    println!("blocking:     {:.3} s (verified: {})", b.elapsed.as_secs_f64(),
-        b.verified == Some(true));
-    println!("overlapping:  {:.3} s (verified: {})", o.elapsed.as_secs_f64(),
-        o.verified == Some(true));
+    println!(
+        "blocking:     {:.3} s (verified: {})",
+        b.elapsed.as_secs_f64(),
+        b.verified == Some(true)
+    );
+    println!(
+        "overlapping:  {:.3} s (verified: {})",
+        o.elapsed.as_secs_f64(),
+        o.verified == Some(true)
+    );
     println!(
         "improvement:  {:.0}%",
         (1.0 - o.elapsed.as_secs_f64() / b.elapsed.as_secs_f64()) * 100.0
@@ -429,8 +451,13 @@ fn cmd_chaos() {
             max_retries: 2,
             backoff: Duration::from_millis(1),
         })
-        .with_faults(FaultPlan::seeded(seed).lose_at(0, 2, stencil::proto::tag(1, stencil::proto::DIR_I)));
-    let art = planc::compile(&plan_request(d, ExecMode::Overlapping)).expect("shipped plan compiles");
+        .with_faults(FaultPlan::seeded(seed).lose_at(
+            0,
+            2,
+            stencil::proto::tag(1, stencil::proto::DIR_I),
+        ));
+    let art =
+        planc::compile(&plan_request(d, ExecMode::Overlapping)).expect("shipped plan compiles");
     match art.execute_with(&lossy, planc::ExecOptions::default()) {
         Err(e) => println!("typed failure (as expected): {e}"),
         Ok(_) => println!("UNEXPECTED: lossy run completed"),
@@ -454,7 +481,11 @@ fn cmd_chaos() {
         })
         .expect("recoverable plan completes");
     let seq = stencil::seq::run_paper3d_seq(gantt_d.nx, gantt_d.ny, gantt_d.nz, gantt_d.boundary);
-    assert_eq!(grid.max_abs_diff(&seq), 0.0, "traced chaos run must stay exact");
+    assert_eq!(
+        grid.max_abs_diff(&seq),
+        0.0,
+        "traced chaos run must stay exact"
+    );
     let mut trace = msgpass::trace::Trace::enabled();
     for obs in observers {
         trace.extend(obs.into_trace());
@@ -513,7 +544,11 @@ fn cmd_analyze() {
             match check_plan3d(d, mode) {
                 Ok(r) => println!(
                     "{name:<26} {:<12} {:>5} {:>6} {:>9} {:>9}  ok",
-                    format!("{mode:?}"), r.ranks, r.steps, r.messages, r.logical_makespan
+                    format!("{mode:?}"),
+                    r.ranks,
+                    r.steps,
+                    r.messages,
+                    r.logical_makespan
                 ),
                 Err(e) => {
                     failures += 1;
@@ -525,7 +560,11 @@ fn cmd_analyze() {
             match check_plan2d(d, mode) {
                 Ok(r) => println!(
                     "{name:<26} {:<12} {:>5} {:>6} {:>9} {:>9}  ok",
-                    format!("{mode:?}"), r.ranks, r.steps, r.messages, r.logical_makespan
+                    format!("{mode:?}"),
+                    r.ranks,
+                    r.steps,
+                    r.messages,
+                    r.logical_makespan
                 ),
                 Err(e) => {
                     failures += 1;
@@ -544,7 +583,12 @@ fn cmd_analyze() {
             .collect(),
     };
     let send = |to, tag, len, step| PlanOp::Send { to, tag, len, step };
-    let recv = |from, tag, len, step| PlanOp::Recv { from, tag, len, step };
+    let recv = |from, tag, len, step| PlanOp::Recv {
+        from,
+        tag,
+        len,
+        step,
+    };
     type ErrorPredicate = fn(&AnalysisError) -> bool;
     let bad: [(&str, CommPlan, ErrorPredicate); 4] = [
         (
@@ -554,7 +598,10 @@ fn cmd_analyze() {
         ),
         (
             "send without receive",
-            world(vec![vec![send(1, 0, 4, 0)], vec![PlanOp::Compute { step: 0 }]]),
+            world(vec![
+                vec![send(1, 0, 4, 0)],
+                vec![PlanOp::Compute { step: 0 }],
+            ]),
             |e| matches!(e, AnalysisError::UnmatchedSend { .. }),
         ),
         (
@@ -599,7 +646,11 @@ fn cmd_analyze() {
                 0,
                 &tiling_core::dependence::DependenceSet::example_1(),
             ),
-            AnalysisError::IllegalSchedule { pi: vec![1, -1], dep: vec![1, 1], dot: 0 },
+            AnalysisError::IllegalSchedule {
+                pi: vec![1, -1],
+                dep: vec![1, 1],
+                dot: 0,
+            },
         ),
         (
             "overlap ordering (eq. 4)",
@@ -609,7 +660,11 @@ fn cmd_analyze() {
                 1,
                 &tiling_core::dependence::DependenceSet::example_1(),
             ),
-            AnalysisError::OverlapOrderingViolation { pi: vec![1, 2], dep: vec![1, 0], dot: 1 },
+            AnalysisError::OverlapOrderingViolation {
+                pi: vec![1, 2],
+                dep: vec![1, 0],
+                dot: 1,
+            },
         ),
     ];
     for (name, got, want) in &sched_bad {
@@ -648,6 +703,166 @@ fn cmd_analyze() {
         std::process::exit(1);
     }
     println!("\nall static checks passed");
+}
+
+// ---- `paper modelcheck`: DPOR sweep over the concurrency models --------
+
+/// Run every shipped-protocol model under DPOR and every seeded-bug
+/// variant against the checker, reporting schedules explored vs. the
+/// unreduced interleaving count. Exits non-zero unless the shipped
+/// protocols come back clean (no races, violations, deadlocks, or
+/// budget overruns), every seeded bug is caught with a concrete
+/// schedule prefix, and at least one 3-thread model shows a reduction
+/// ratio above 1.
+fn cmd_modelcheck() {
+    use miniloom::{CheckOptions, ExploreError};
+    use planc::modelcheck::{SingleFlightModel, TunedCacheModel, WorldPoolModel};
+    use stencil::modelcheck::PoolHandoffModel;
+
+    let mut failures = 0usize;
+    let mut reduced_3thread = false;
+
+    println!("== shipped protocols: explored under dynamic partial-order reduction ==\n");
+    println!(
+        "{:<34} {:>7} {:>10} {:>10} {:>8}  result",
+        "model", "threads", "schedules", "unreduced", "ratio"
+    );
+
+    type Runner = Box<dyn Fn() -> Result<miniloom::Report, ExploreError>>;
+    let opts = CheckOptions::default();
+    let good: [(&str, usize, Runner); 6] = [
+        (
+            "pool mailbox/barrier handoff",
+            3,
+            Box::new(stencil::modelcheck::check_pool_handoff),
+        ),
+        (
+            "single-flight compile (ok path)",
+            3,
+            Box::new(|| planc::modelcheck::check_single_flight(false)),
+        ),
+        (
+            "single-flight compile (err path)",
+            3,
+            Box::new(|| planc::modelcheck::check_single_flight(true)),
+        ),
+        (
+            "world pool checkout vs evictor",
+            3,
+            Box::new(planc::modelcheck::check_world_pool),
+        ),
+        (
+            "tuned cache commit vs lookup",
+            3,
+            Box::new(planc::modelcheck::check_tuned_cache),
+        ),
+        (
+            "slot transport + retransmitter",
+            3,
+            Box::new(|| msgpass::modelcheck::check_slot_retrans(2, 2)),
+        ),
+    ];
+    for (name, threads, run) in &good {
+        match run() {
+            Ok(r) => {
+                let unreduced = r
+                    .unreduced
+                    .map(|u| u.to_string())
+                    .unwrap_or_else(|| "overflow".into());
+                let ratio = r.reduction_ratio().unwrap_or(1.0);
+                if *threads >= 3 && ratio > 1.0 {
+                    reduced_3thread = true;
+                }
+                println!(
+                    "{name:<34} {threads:>7} {:>10} {unreduced:>10} {ratio:>8.1}  clean",
+                    r.schedules
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name:<34} {threads:>7} FAILED: {e}");
+            }
+        }
+    }
+
+    println!("\n== seeded bugs: each variant must be caught with a schedule prefix ==\n");
+    let buggy: [(&str, &str, Runner); 5] = [
+        (
+            "pool: publish before halo write",
+            "race",
+            Box::new(move || {
+                miniloom::check(&PoolHandoffModel::seeded_publish_before_halo(), &opts)
+            }),
+        ),
+        (
+            "pool: lost barrier arrival",
+            "deadlock",
+            Box::new(move || {
+                miniloom::check(&PoolHandoffModel::seeded_lost_barrier_arrival(), &opts)
+            }),
+        ),
+        (
+            "single-flight: split check/act",
+            "violation",
+            Box::new(move || miniloom::check(&SingleFlightModel::seeded_split_probe(false), &opts)),
+        ),
+        (
+            "world pool: park while held",
+            "violation",
+            Box::new(move || miniloom::check(&WorldPoolModel::seeded_park_while_held(), &opts)),
+        ),
+        (
+            "tuned cache: torn commit",
+            "violation",
+            Box::new(move || miniloom::check(&TunedCacheModel::seeded_torn_commit(), &opts)),
+        ),
+    ];
+    let retrans_bug: (&str, &str, Runner) = (
+        "slot transport: blind retransmit",
+        "violation",
+        Box::new(|| {
+            miniloom::check(
+                &msgpass::modelcheck::SlotRetransModel::seeded_blind_retransmit(2, 2),
+                &CheckOptions::default(),
+            )
+        }),
+    );
+    for (name, want, run) in buggy.iter().chain(std::iter::once(&retrans_bug)) {
+        let (kind, prefix) = match run() {
+            Ok(r) => {
+                failures += 1;
+                println!("{name:<34} NOT CAUGHT ({} schedules clean)", r.schedules);
+                continue;
+            }
+            Err(ExploreError::Violation(v)) => ("violation", v.schedule),
+            Err(ExploreError::Race(r)) => ("race", r.prefix),
+            Err(ExploreError::Deadlock { schedule, .. }) => ("deadlock", schedule),
+            Err(e) => {
+                failures += 1;
+                println!("{name:<34} WRONG FAILURE CLASS: {e}");
+                continue;
+            }
+        };
+        if kind != *want || prefix.is_empty() {
+            failures += 1;
+            println!("{name:<34} caught as {kind} (wanted {want}), prefix {prefix:?}");
+        } else {
+            println!("{name:<34} caught: {kind} at schedule prefix {prefix:?}");
+        }
+    }
+
+    if !reduced_3thread {
+        failures += 1;
+        eprintln!("\nno 3-thread model achieved a DPOR reduction ratio > 1");
+    }
+    if failures > 0 {
+        eprintln!("\nmodelcheck FAILED: {failures} check(s) did not behave as required");
+        std::process::exit(1);
+    }
+    println!(
+        "\nPASS: all shipped protocols clean, all seeded bugs caught, \
+         DPOR reduction ratio > 1 on a 3-thread model"
+    );
 }
 
 // ---- `paper perf`: the hot-path benchmark ------------------------------
@@ -845,10 +1060,7 @@ mod perf {
         // divided by the step difference is the per-step allocation
         // rate with all one-time costs (threads, links, buffer growth)
         // subtracted out.
-        let shallow_d = Decomp3D {
-            nz: d.nz / 4,
-            ..d
-        };
+        let shallow_d = Decomp3D { nz: d.nz / 4, ..d };
         let shallow = measure_transport(trials, shallow_d, kind, mode);
         let dsteps = (d.steps() - shallow_d.steps()) as f64;
         let steady_allocs_per_step = (deep.allocs as f64 - shallow.allocs as f64) / dsteps;
@@ -898,7 +1110,9 @@ mod perf {
         use stencil::dist3d::run_dist3d_observed_with;
         use stencil::engine::LaneStats;
         let steps = d.steps();
-        let cfg = WorldConfig::new(lat).with_transport(kind).without_preflight();
+        let cfg = WorldConfig::new(lat)
+            .with_transport(kind)
+            .without_preflight();
         // Best of 3: every rank here is a thread oversubscribed onto
         // the host's cores, so a single run's lane means carry whatever
         // scheduler noise the box had that instant. The minimum over a
@@ -1086,12 +1300,10 @@ mod perf {
         let d = c3.decomp();
         let steps = art.steps();
         let (dist, elapsed, stats, _) =
-            run3d_observed_with(Paper3D, c3, &cfg, |_| LaneStats::new(steps)).unwrap_or_else(
-                |e| {
-                    eprintln!("custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL ({e})");
-                    std::process::exit(1);
-                },
-            );
+            run3d_observed_with(Paper3D, c3, &cfg, |_| LaneStats::new(steps)).unwrap_or_else(|e| {
+                eprintln!("custom {pi}x{pj} {nx}x{ny}x{nz}: FAIL ({e})");
+                std::process::exit(1);
+            });
         let seq = stencil::seq::run_paper3d_seq(nx, ny, nz, d.boundary);
         let err = dist.max_abs_diff(&seq);
         let ok = match tier {
@@ -1187,9 +1399,27 @@ mod perf {
         let deep = bench::configs::perf_deep_decomp(quick);
         let trials = if quick { 3 } else { 5 };
         let comparisons = [
-            compare("relax3d-overlap", "relax3d", deep, ExecMode::Overlapping, trials),
-            compare("relax3d-blocking", "relax3d", deep, ExecMode::Blocking, trials),
-            compare("paper3d-overlap", "paper3d", deep, ExecMode::Overlapping, trials),
+            compare(
+                "relax3d-overlap",
+                "relax3d",
+                deep,
+                ExecMode::Overlapping,
+                trials,
+            ),
+            compare(
+                "relax3d-blocking",
+                "relax3d",
+                deep,
+                ExecMode::Blocking,
+                trials,
+            ),
+            compare(
+                "paper3d-overlap",
+                "paper3d",
+                deep,
+                ExecMode::Overlapping,
+                trials,
+            ),
         ];
         for c in &comparisons {
             println!(
@@ -1209,10 +1439,34 @@ mod perf {
         // goes straight into the peer-visible slot and the reader hands
         // the slot back, so a warm step touches no allocator at all.
         let transports = [
-            transport_row("relax3d-overlap", trials, deep, TransportKind::Mpsc, ExecMode::Overlapping),
-            transport_row("relax3d-overlap", trials, deep, TransportKind::shared_slots(), ExecMode::Overlapping),
-            transport_row("relax3d-blocking", trials, deep, TransportKind::Mpsc, ExecMode::Blocking),
-            transport_row("relax3d-blocking", trials, deep, TransportKind::shared_slots(), ExecMode::Blocking),
+            transport_row(
+                "relax3d-overlap",
+                trials,
+                deep,
+                TransportKind::Mpsc,
+                ExecMode::Overlapping,
+            ),
+            transport_row(
+                "relax3d-overlap",
+                trials,
+                deep,
+                TransportKind::shared_slots(),
+                ExecMode::Overlapping,
+            ),
+            transport_row(
+                "relax3d-blocking",
+                trials,
+                deep,
+                TransportKind::Mpsc,
+                ExecMode::Blocking,
+            ),
+            transport_row(
+                "relax3d-blocking",
+                trials,
+                deep,
+                TransportKind::shared_slots(),
+                ExecMode::Blocking,
+            ),
         ];
         for r in &transports {
             println!(
@@ -1246,8 +1500,18 @@ mod perf {
         let lanes = [
             lane_summary(lane_d, lane_lat, TransportKind::Mpsc, ExecMode::Blocking),
             lane_summary(lane_d, lane_lat, TransportKind::Mpsc, ExecMode::Overlapping),
-            lane_summary(lane_d, lane_lat, TransportKind::shared_slots(), ExecMode::Blocking),
-            lane_summary(lane_d, lane_lat, TransportKind::shared_slots(), ExecMode::Overlapping),
+            lane_summary(
+                lane_d,
+                lane_lat,
+                TransportKind::shared_slots(),
+                ExecMode::Blocking,
+            ),
+            lane_summary(
+                lane_d,
+                lane_lat,
+                TransportKind::shared_slots(),
+                ExecMode::Overlapping,
+            ),
         ];
         for l in &lanes {
             println!(
@@ -1390,7 +1654,10 @@ mod perf {
         let path = if quick {
             let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
             std::fs::create_dir_all(dir).expect("create results dir");
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_quick.json")
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../results/BENCH_quick.json"
+            )
         } else {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json")
         };
@@ -1420,7 +1687,9 @@ mod perf {
 // cache was hit.
 
 mod serve {
-    use planc::{ExecOptions, JobRequest, JobResponse, PlanRequest, PlanService, ServiceConfig, ServiceError};
+    use planc::{
+        ExecOptions, JobRequest, JobResponse, PlanRequest, PlanService, ServiceConfig, ServiceError,
+    };
     use std::io::{BufRead, BufReader, Write};
     use std::net::{TcpListener, TcpStream};
     use std::sync::Arc;
@@ -1539,7 +1808,10 @@ mod serve {
         });
         let local = listener.local_addr().expect("bound address");
         println!("serving plan compilation on {local}");
-        listen(listener, Arc::new(PlanService::start(ServiceConfig::default())));
+        listen(
+            listener,
+            Arc::new(PlanService::start(ServiceConfig::default())),
+        );
         unreachable!("listener loop only ends by process exit");
     }
 
@@ -2004,7 +2276,7 @@ fn cmd_sweep(quick: bool, seed: u64, workers: usize) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|sweep|threads|chaos|analyze|perf|tune|serve|all>\n       paper gantt [--backend sim|thread]\n       paper sweep [--quick] [--seed N] [--workers N]   Monte-Carlo design-space sweep over the simulator; writes results/sweep.csv + results/sweep_summary.json + results/tune_train.csv, embeds Figs. 9-11 as named slices; same seed => byte-identical output\n       paper tune [--quick] [--seed N]   closed-loop autotuner (seed -> surrogate pre-rank -> calibrate -> commit); thread-backend calibration row plus two deterministic out-of-model simulator rows; --quick writes results/BENCH_tune_quick.json, full mode splices the \"tune\" section into BENCH_stencil.json; --seed sets the hetero row's node-speed seed\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
+        "usage: paper <example1|gantt|fig9|fig10|fig11|table12|ablation|listings|utilization|sensitivity|scaling|sweep|threads|chaos|analyze|modelcheck|perf|tune|serve|all>\n       paper gantt [--backend sim|thread]\n       paper sweep [--quick] [--seed N] [--workers N]   Monte-Carlo design-space sweep over the simulator; writes results/sweep.csv + results/sweep_summary.json + results/tune_train.csv, embeds Figs. 9-11 as named slices; same seed => byte-identical output\n       paper tune [--quick] [--seed N]   closed-loop autotuner (seed -> surrogate pre-rank -> calibrate -> commit); thread-backend calibration row plus two deterministic out-of-model simulator rows; --quick writes results/BENCH_tune_quick.json, full mode splices the \"tune\" section into BENCH_stencil.json; --seed sets the hetero row's node-speed seed\n       paper chaos   fault-injection demo (CHAOS_SEED=<n> overrides the plan seed)\n       paper analyze static analysis: pre-flight every shipped config, reject the chaos plans, model-check the slot ring\n       paper modelcheck   DPOR model-checking sweep: pool handoff, single-flight compile, world pool, tuned cache, slot retransmission — shipped protocols must be clean, seeded bugs must be caught with schedule prefixes\n       paper perf [--quick]   hot-path benchmark; --quick shortens the pipeline and writes results/BENCH_quick.json instead of BENCH_stencil.json\n       paper perf --procs PIxPJ --grid NXxNYxNZ [--tier bitwise|fast] [--workers N]   one compiled-plan world verified against the sequential reference (PASS/FAIL)\n       paper serve [--addr HOST:PORT]   plan-compilation service over TCP (default 127.0.0.1:7077); line protocol: compile/execute <key=value ...>, stats, quit\n       paper serve --smoke   ephemeral service + concurrent localhost clients; PASS iff every job succeeds and the plan cache is hit"
     );
     std::process::exit(2);
 }
@@ -2087,6 +2359,7 @@ fn main() {
         "threads" => cmd_threads(),
         "chaos" => cmd_chaos(),
         "analyze" => cmd_analyze(),
+        "modelcheck" => cmd_modelcheck(),
         "tune" => {
             let mut quick = false;
             let mut seed = bench::configs::TUNE_HETERO_SEED;
@@ -2200,6 +2473,8 @@ fn main() {
             cmd_chaos();
             println!("\n");
             cmd_analyze();
+            println!("\n");
+            cmd_modelcheck();
             println!("\n");
             perf::run(false);
         }

@@ -148,13 +148,25 @@ pub fn tune_thread_problem(quick: bool) -> TuneProblem {
 /// transfer curve's rendezvous knee — the tuner must find a
 /// step-aligned height below the knee.
 pub fn tune_partial_tile_problem() -> TuneProblem {
-    TuneProblem { nx: 8, ny: 8, nz: 2100, pi: 2, pj: 2 }
+    TuneProblem {
+        nx: 8,
+        ny: 8,
+        nz: 2100,
+        pi: 2,
+        pj: 2,
+    }
 }
 
 /// `paper tune`: the heterogeneous 4×4-world acceptance grid
 /// (node-speed spread [`TUNE_HETERO_SPREAD`], seeded per `--seed`).
 pub fn tune_hetero_problem() -> TuneProblem {
-    TuneProblem { nx: 16, ny: 16, nz: 4096, pi: 4, pj: 4 }
+    TuneProblem {
+        nx: 16,
+        ny: 16,
+        nz: 4096,
+        pi: 4,
+        pj: 4,
+    }
 }
 
 /// `paper tune`: node-speed spread of the heterogeneous acceptance row.

@@ -140,8 +140,8 @@ pub fn problem_at(exp: &Experiment, v: i64) -> ClusterProblem {
 pub fn simulate_point(exp: &Experiment, v: i64, machine: &MachineParams) -> SimSweepPoint {
     let problem = problem_at(exp, v);
     let cfg = SimConfig::new(*machine).with_trace(false);
-    let blocking = simulate(cfg, problem.blocking_programs(machine))
-        .expect("blocking program deadlock-free");
+    let blocking =
+        simulate(cfg, problem.blocking_programs(machine)).expect("blocking program deadlock-free");
     let overlap = simulate(cfg, problem.overlapping_programs(machine))
         .expect("overlapping program deadlock-free");
     SimSweepPoint {

@@ -18,9 +18,9 @@ use cluster_sim::engine::{simulate, SimConfig, SimResult};
 use cluster_sim::time::SimTime;
 use cluster_sim::trace::Trace;
 use msgpass::thread_backend::LatencyModel;
+use std::time::Duration;
 use stencil::dist3d::{run_dist3d_traced, Decomp3D, ExecMode};
 use stencil::kernel::Paper3D;
-use std::time::Duration;
 use tiling_core::dependence::DependenceSet;
 use tiling_core::machine::MachineParams;
 use tiling_core::space::IterationSpace;
@@ -47,8 +47,7 @@ pub fn fig1_simulation(machine: &MachineParams, procs: i64, steps: i64, tile: i6
 /// Simulate the overlapping (Fig. 2) schedule with traces.
 pub fn fig2_simulation(machine: &MachineParams, procs: i64, steps: i64, tile: i64) -> SimResult {
     let p = demo_problem(procs, steps, tile);
-    simulate(SimConfig::new(*machine), p.overlapping_programs(machine))
-        .expect("fig2 deadlock-free")
+    simulate(SimConfig::new(*machine), p.overlapping_programs(machine)).expect("fig2 deadlock-free")
 }
 
 /// Render both figures side by side (returns the combined text).

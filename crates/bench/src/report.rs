@@ -92,7 +92,9 @@ pub fn table12_markdown(rows: &[Table12Row]) -> String {
     out += &row("t_optimal overlap paper (s)", &|r| {
         format!("{:.4}", r.exp.paper_t_overlap_s)
     });
-    out += &row("T_fill_MPI_buf model (ms)", &|r| format!("{:.3}", r.fill_ms));
+    out += &row("T_fill_MPI_buf model (ms)", &|r| {
+        format!("{:.3}", r.fill_ms)
+    });
     out += &row("T_fill_MPI_buf paper (ms)", &|r| {
         format!("{:.3}", r.exp.paper_fill_ms)
     });

@@ -197,12 +197,7 @@ mod tests {
     #[test]
     fn optimal_v_grows_with_comm_cost() {
         // Costlier communication pushes both schedules to coarser grain.
-        let pts = comm_scale_sweep(
-            &mini(),
-            &MachineParams::paper_cluster(),
-            &[0.25, 4.0],
-            10,
-        );
+        let pts = comm_scale_sweep(&mini(), &MachineParams::paper_cluster(), &[0.25, 4.0], 10);
         assert!(pts[1].overlap_v >= pts[0].overlap_v, "{pts:?}");
         assert!(pts[1].blocking_v >= pts[0].blocking_v, "{pts:?}");
     }

@@ -318,8 +318,7 @@ impl ClusterProblem {
                 let tile = self.tile_at(&cross, k);
                 // Receive from every in-neighbor that actually sends.
                 for (qi, q) in self.proc_offsets.iter().enumerate() {
-                    let src_cross: Vec<i64> =
-                        cross.iter().zip(q).map(|(&c, &o)| c - o).collect();
+                    let src_cross: Vec<i64> = cross.iter().zip(q).map(|(&c, &o)| c - o).collect();
                     let Some(src) = self.rank_of_cross(&src_cross) else {
                         continue;
                     };
@@ -335,8 +334,7 @@ impl ClusterProblem {
                 }
                 // Send to every out-neighbor.
                 for (qi, q) in self.proc_offsets.iter().enumerate() {
-                    let dst_cross: Vec<i64> =
-                        cross.iter().zip(q).map(|(&c, &o)| c + o).collect();
+                    let dst_cross: Vec<i64> = cross.iter().zip(q).map(|(&c, &o)| c + o).collect();
                     let Some(dst) = self.rank_of_cross(&dst_cross) else {
                         continue;
                     };
@@ -369,8 +367,7 @@ impl ClusterProblem {
             let mut recv_reqs: Vec<Vec<ReqId>> = vec![Vec::new(); steps as usize];
             let post_recvs = |p: &mut Program, k: i64, reqs: &mut Vec<Vec<ReqId>>| {
                 for (qi, q) in self.proc_offsets.iter().enumerate() {
-                    let src_cross: Vec<i64> =
-                        cross.iter().zip(q).map(|(&c, &o)| c - o).collect();
+                    let src_cross: Vec<i64> = cross.iter().zip(q).map(|(&c, &o)| c - o).collect();
                     let Some(src) = self.rank_of_cross(&src_cross) else {
                         continue;
                     };
@@ -386,8 +383,7 @@ impl ClusterProblem {
                 let tile = self.tile_at(&cross, k);
                 let mut reqs = Vec::new();
                 for (qi, q) in self.proc_offsets.iter().enumerate() {
-                    let dst_cross: Vec<i64> =
-                        cross.iter().zip(q).map(|(&c, &o)| c + o).collect();
+                    let dst_cross: Vec<i64> = cross.iter().zip(q).map(|(&c, &o)| c + o).collect();
                     let Some(dst) = self.rank_of_cross(&dst_cross) else {
                         continue;
                     };

@@ -570,7 +570,12 @@ impl Engine {
                 self.ranks[rank].pc += 1;
                 self.push(end, Ev::Run(rank));
             }
-            Op::Isend { to, tag, bytes, req } => {
+            Op::Isend {
+                to,
+                tag,
+                bytes,
+                req,
+            } => {
                 // A₁ on the CPU; the NIC booking happens at `cpu_done`
                 // via a TxEnqueue event so it can't jump the wall clock.
                 let start = self.ranks[rank].now;
@@ -968,10 +973,7 @@ mod tests {
         r.recv(0, 0, 100);
         let base = simulate(cfg(), vec![s.clone(), r.clone()]).unwrap();
         let lat = simulate(cfg().with_wire_latency_us(100.0), vec![s, r]).unwrap();
-        assert_eq!(
-            lat.finish[1],
-            base.finish[1] + SimTime::from_us(100.0)
-        );
+        assert_eq!(lat.finish[1], base.finish[1] + SimTime::from_us(100.0));
     }
 
     #[test]
@@ -1003,12 +1005,16 @@ mod tests {
             vec![mk_sender(2), mk_sender(3), mk_recv(0), mk_recv(1)]
         };
         let sw = simulate(
-            cfg().with_duplex(true).with_topology(NetworkTopology::Switched),
+            cfg()
+                .with_duplex(true)
+                .with_topology(NetworkTopology::Switched),
             build(),
         )
         .unwrap();
         let bus = simulate(
-            cfg().with_duplex(true).with_topology(NetworkTopology::SharedBus),
+            cfg()
+                .with_duplex(true)
+                .with_topology(NetworkTopology::SharedBus),
             build(),
         )
         .unwrap();
@@ -1033,11 +1039,7 @@ mod tests {
         let q2 = r.irecv(0, 0, 1000);
         r.wait(q2);
         let sw = simulate(cfg(), vec![s.clone(), r.clone()]).unwrap();
-        let bus = simulate(
-            cfg().with_topology(NetworkTopology::SharedBus),
-            vec![s, r],
-        )
-        .unwrap();
+        let bus = simulate(cfg().with_topology(NetworkTopology::SharedBus), vec![s, r]).unwrap();
         assert_eq!(sw.makespan, bus.makespan);
     }
 

@@ -172,10 +172,9 @@ impl Program {
         let mut waited = std::collections::HashSet::new();
         for (idx, op) in self.ops.iter().enumerate() {
             match op {
-                Op::Isend { req, .. } | Op::Irecv { req, .. }
-                    if !created.insert(*req) => {
-                        return Err(ProgramError::DuplicateRequest { idx, req: *req });
-                    }
+                Op::Isend { req, .. } | Op::Irecv { req, .. } if !created.insert(*req) => {
+                    return Err(ProgramError::DuplicateRequest { idx, req: *req });
+                }
                 Op::Wait { req } => {
                     if !created.contains(req) {
                         return Err(ProgramError::WaitBeforeCreate { idx, req: *req });
@@ -184,10 +183,9 @@ impl Program {
                         return Err(ProgramError::DoubleWait { idx, req: *req });
                     }
                 }
-                Op::Compute { us, .. }
-                    if (!us.is_finite() || *us < 0.0) => {
-                        return Err(ProgramError::BadCompute { idx });
-                    }
+                Op::Compute { us, .. } if (!us.is_finite() || *us < 0.0) => {
+                    return Err(ProgramError::BadCompute { idx });
+                }
                 _ => {}
             }
         }

@@ -24,7 +24,12 @@ pub fn render_program(p: &Program) -> String {
             Op::Recv { from, tag, bytes } => {
                 writeln!(out, "  MPI_Recv(from P{from}, tag {tag}, {bytes} B)")
             }
-            Op::Isend { to, tag, bytes, req } => writeln!(
+            Op::Isend {
+                to,
+                tag,
+                bytes,
+                req,
+            } => writeln!(
                 out,
                 "  MPI_Isend(to P{to}, tag {tag}, {bytes} B) -> r{}",
                 req.0

@@ -179,16 +179,10 @@ mod tests {
         // Blocking counts copies as "busy" too, so compare the *compute*
         // fraction of the makespan instead: overlap packs strictly more
         // computation per wall-clock unit.
-        let compute_rate_b = rank_stats(&b)
-            .iter()
-            .map(|s| s.compute_us)
-            .sum::<f64>()
-            / sb.makespan_us;
-        let compute_rate_o = rank_stats(&o)
-            .iter()
-            .map(|s| s.compute_us)
-            .sum::<f64>()
-            / so.makespan_us;
+        let compute_rate_b =
+            rank_stats(&b).iter().map(|s| s.compute_us).sum::<f64>() / sb.makespan_us;
+        let compute_rate_o =
+            rank_stats(&o).iter().map(|s| s.compute_us).sum::<f64>() / so.makespan_us;
         assert!(
             compute_rate_o > compute_rate_b,
             "overlap {compute_rate_o} vs blocking {compute_rate_b}"

@@ -194,9 +194,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_nanos(5),
+        let mut v = [
+            SimTime::from_nanos(5),
             SimTime::ZERO,
-            SimTime::from_nanos(3)];
+            SimTime::from_nanos(3),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_nanos(5));

@@ -129,7 +129,9 @@ fn deterministic_under_fan_in() {
             })
             .collect();
         let mut r = Program::new();
-        let reqs: Vec<_> = (0..6).map(|i| r.irecv(i, i as u64, 256 * (i as u64 + 1))).collect();
+        let reqs: Vec<_> = (0..6)
+            .map(|i| r.irecv(i, i as u64, 256 * (i as u64 + 1)))
+            .collect();
         for q in reqs {
             r.wait(q);
         }

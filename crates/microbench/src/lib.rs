@@ -55,13 +55,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(
-            &id.into(),
-            self.sample_size,
-            self.target_sample,
-            None,
-            f,
-        );
+        run_benchmark(&id.into(), self.sample_size, self.target_sample, None, f);
         self
     }
 
@@ -112,7 +106,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
-        run_benchmark(&id, self.sample_size, self.target_sample, self.throughput, f);
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.target_sample,
+            self.throughput,
+            f,
+        );
         self
     }
 

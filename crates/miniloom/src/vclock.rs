@@ -1,0 +1,257 @@
+//! Vector-clock happens-before race detection over declared footprints.
+//!
+//! Run on every complete schedule the explorer replays: each thread
+//! carries a vector clock, every [`Access::Sync`] location carries the
+//! clock its last releaser published, and every data location
+//! remembers its last write plus the reads since. Two conflicting data
+//! accesses with no happens-before edge between them — no chain of
+//! program order and synchronization order — are a **race**: the
+//! schedule merely picked one of two unordered outcomes, and the model
+//! has no right to rely on it.
+//!
+//! Races are a property of the happens-before *partial order*, not of
+//! one interleaving, so checking the representative schedules DPOR
+//! explores covers every schedule in their equivalence classes.
+
+use crate::footprint::{Access, Footprint, Loc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A per-thread logical clock: `clock[t]` counts the steps of thread
+/// `t` this thread has synchronized with (its own included).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock over `threads` components.
+    pub fn new(threads: usize) -> Self {
+        VectorClock(vec![0; threads])
+    }
+
+    /// Component `t`.
+    pub fn get(&self, t: usize) -> u64 {
+        self.0[t]
+    }
+
+    /// Advance this thread's own component.
+    pub fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// One access site in a schedule: which scripted step touched the
+/// location, and where in the schedule it ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// The accessing thread.
+    pub tid: usize,
+    /// The index of the step in that thread's script.
+    pub step: usize,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by thread {} step {}",
+            if self.write { "write" } else { "read" },
+            self.tid,
+            self.step
+        )
+    }
+}
+
+/// Two conflicting, happens-before-unordered accesses to one modeled
+/// location, plus the shortest schedule prefix that exposes them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The raced location.
+    pub loc: Loc,
+    /// The earlier access (in the witnessing schedule).
+    pub first: Site,
+    /// The later access — the step at which the race was detected.
+    pub second: Site,
+    /// Thread ids of the witnessing schedule, truncated at the step
+    /// performing [`RaceReport::second`]: replaying exactly this
+    /// prefix reproduces the unordered pair.
+    pub prefix: Vec<usize>,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race on location {}: {} and {} have no happens-before edge \
+             (witness prefix {:?})",
+            self.loc, self.first, self.second, self.prefix
+        )
+    }
+}
+
+impl std::error::Error for RaceReport {}
+
+/// Last-write and subsequent-read history of one data location.
+#[derive(Default)]
+struct LocHistory {
+    last_write: Option<(Site, VectorClock)>,
+    reads: Vec<(Site, VectorClock)>,
+}
+
+/// Check one complete schedule (`events` are `(tid, idx)` in execution
+/// order) for happens-before races over the static `footprints`.
+pub(crate) fn detect_races(
+    footprints: &[Vec<Footprint>],
+    events: &[(usize, usize)],
+) -> Result<(), RaceReport> {
+    let threads = footprints.len();
+    let mut clocks: Vec<VectorClock> = (0..threads).map(|_| VectorClock::new(threads)).collect();
+    let mut sync_clocks: HashMap<Loc, VectorClock> = HashMap::new();
+    let mut data: HashMap<Loc, LocHistory> = HashMap::new();
+    let prefix = |upto: usize| events[..=upto].iter().map(|&(t, _)| t).collect::<Vec<_>>();
+
+    for (pos, &(tid, idx)) in events.iter().enumerate() {
+        clocks[tid].tick(tid);
+        let fp = &footprints[tid][idx];
+        // Acquire phase: join every sync location's published clock
+        // before judging the step's data accesses.
+        for a in fp.accesses() {
+            if let Access::Sync(l) = a {
+                if let Some(s) = sync_clocks.get(l) {
+                    clocks[tid].join(s);
+                }
+            }
+        }
+        let me = clocks[tid].clone();
+        let ordered = |past: &(Site, VectorClock)| past.1.get(past.0.tid) <= me.get(past.0.tid);
+        for a in fp.accesses() {
+            let site = |write| Site {
+                tid,
+                step: idx,
+                write,
+            };
+            match *a {
+                Access::Read(l) => {
+                    let h = data.entry(l).or_default();
+                    if let Some(w) = &h.last_write {
+                        if !ordered(w) {
+                            return Err(RaceReport {
+                                loc: l,
+                                first: w.0,
+                                second: site(false),
+                                prefix: prefix(pos),
+                            });
+                        }
+                    }
+                    h.reads.push((site(false), me.clone()));
+                }
+                Access::Write(l) => {
+                    let h = data.entry(l).or_default();
+                    if let Some(w) = &h.last_write {
+                        if !ordered(w) {
+                            return Err(RaceReport {
+                                loc: l,
+                                first: w.0,
+                                second: site(true),
+                                prefix: prefix(pos),
+                            });
+                        }
+                    }
+                    if let Some(r) = h.reads.iter().find(|r| !ordered(r)) {
+                        return Err(RaceReport {
+                            loc: l,
+                            first: r.0,
+                            second: site(true),
+                            prefix: prefix(pos),
+                        });
+                    }
+                    h.last_write = Some((site(true), me.clone()));
+                    h.reads.clear();
+                }
+                Access::Sync(_) => {}
+            }
+        }
+        // Release phase: publish this step's clock to its sync
+        // locations so later acquirers order after it.
+        for a in fp.accesses() {
+            if let Access::Sync(l) = a {
+                sync_clocks.insert(*l, me.clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(build: impl FnOnce(Footprint) -> Footprint) -> Vec<Footprint> {
+        vec![build(Footprint::empty())]
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_a_race() {
+        let fps = [fp(|f| f.write(0)), fp(|f| f.write(0))];
+        let err = detect_races(&fps, &[(0, 0), (1, 0)]).expect_err("must race");
+        assert_eq!(err.loc, 0);
+        assert_eq!((err.first.tid, err.second.tid), (0, 1));
+        assert!(err.first.write && err.second.write);
+        assert_eq!(err.prefix, vec![0, 1]);
+    }
+
+    #[test]
+    fn read_after_unordered_write_is_a_race() {
+        let fps = [fp(|f| f.write(4)), fp(|f| f.read(4))];
+        let err = detect_races(&fps, &[(0, 0), (1, 0)]).expect_err("must race");
+        assert!(err.first.write && !err.second.write);
+        assert_eq!(err.loc, 4);
+    }
+
+    #[test]
+    fn sync_on_a_shared_location_orders_the_accesses() {
+        // Thread 0: lock, write, unlock is modeled as one step carrying
+        // both the Sync and the Write; thread 1 likewise. The Sync's
+        // release/acquire chain orders the writes in either schedule.
+        let fps = [fp(|f| f.sync(9).write(1)), fp(|f| f.sync(9).write(1))];
+        detect_races(&fps, &[(0, 0), (1, 0)]).expect("mutexed writes do not race");
+        detect_races(&fps, &[(1, 0), (0, 0)]).expect("order must not matter");
+    }
+
+    #[test]
+    fn program_order_alone_orders_same_thread_accesses() {
+        let fps = [vec![
+            Footprint::empty().write(2),
+            Footprint::empty().read(2),
+        ]];
+        detect_races(&fps, &[(0, 0), (0, 1)]).expect("sequential accesses never race");
+    }
+
+    #[test]
+    fn transitive_sync_chain_suppresses_the_race() {
+        // t0 writes then releases L; t1 acquires L then writes: the
+        // chain write → release → acquire → write orders the pair.
+        let fps = [
+            vec![Footprint::empty().write(0), Footprint::empty().sync(7)],
+            vec![Footprint::empty().sync(7), Footprint::empty().write(0)],
+        ];
+        detect_races(&fps, &[(0, 0), (0, 1), (1, 0), (1, 1)]).expect("chained, no race");
+        // Without the release in between, the same writes race.
+        let unfenced = [fp(|f| f.write(0)), fp(|f| f.write(0))];
+        detect_races(&unfenced, &[(0, 0), (1, 0)]).expect_err("unfenced pair races");
+    }
+
+    #[test]
+    fn unordered_reads_do_not_race() {
+        let fps = [fp(|f| f.read(5)), fp(|f| f.read(5))];
+        detect_races(&fps, &[(0, 0), (1, 0)]).expect("reads commute");
+    }
+}

@@ -116,21 +116,15 @@ pub mod test_runner {
     }
 
     fn fnv1a(bytes: &[u8]) -> u64 {
-        bytes
-            .iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
-                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
-            })
+        bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
     }
 
     /// Drive one `proptest!`-generated test: repeatedly generate inputs and
     /// run `case` until `cfg.cases` successes. Rejections retry (bounded);
     /// the first failure panics with the seed for reproduction.
-    pub fn run(
-        name: &str,
-        cfg: &Config,
-        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
-    ) {
+    pub fn run(name: &str, cfg: &Config, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
         let base = fnv1a(name.as_bytes()) ^ 0xD6E8_FEB8_6659_FD93;
         let mut successes: u32 = 0;
         let mut attempts: u64 = 0;
@@ -559,6 +553,8 @@ macro_rules! __miniprop_tests {
     ) => {
         $(#[$meta])*
         fn $name() {
+            // LINT: the macro wraps the user body in a closure it
+            // immediately calls so `return`/`?` inside behave.
             #[allow(clippy::redundant_closure_call)]
             $crate::test_runner::run(
                 stringify!($name),

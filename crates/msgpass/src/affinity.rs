@@ -15,7 +15,9 @@
 /// Pin the calling thread to `core` (taken modulo the number of
 /// available cores). Returns whether the kernel accepted the mask.
 pub fn pin_current_thread(core: usize) -> bool {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     pin_impl(core % cores)
 }
 

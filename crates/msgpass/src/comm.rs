@@ -207,7 +207,11 @@ pub trait Communicator<T: Send + 'static> {
         T: Copy,
     {
         let data = self.wait_recv(req);
-        assert_eq!(data.len(), out.len(), "wait_recv_into: message length mismatch");
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "wait_recv_into: message length mismatch"
+        );
         out.copy_from_slice(&data);
     }
 

@@ -346,8 +346,14 @@ mod tests {
         assert!(plan.is_active());
         let d = plan.decide(0, 2, 6, 17);
         assert!(d.lose && !d.drop);
-        assert!(!plan.decide(0, 1, 6, 17).is_faulty(), "other dst unaffected");
-        assert!(!plan.decide(0, 2, 7, 17).is_faulty(), "other tag unaffected");
+        assert!(
+            !plan.decide(0, 1, 6, 17).is_faulty(),
+            "other dst unaffected"
+        );
+        assert!(
+            !plan.decide(0, 2, 7, 17).is_faulty(),
+            "other tag unaffected"
+        );
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub mod prelude {
         run_threads, run_threads_with, LatencyModel, PoolStats, ThreadComm, WorldConfig,
     };
     pub use crate::topology::CartesianGrid;
-    pub use crate::transport::TransportKind;
     pub use crate::trace::WallTrace;
+    pub use crate::transport::TransportKind;
 }

@@ -24,6 +24,7 @@
 
 use crate::slot_transport::{make_slot_link_raw, SlotPool, SlotRx, SlotTx};
 use crate::transport::{Envelope, LinkRx, LinkTx, Payload, PoolStats};
+use miniloom::CheckOptions;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -247,7 +248,9 @@ impl miniloom::Model for SlotRingModel {
         for idx in 0..state.pool.slot_count() {
             let refs = state.pool.ref_count(idx);
             if refs != 0 {
-                return Err(format!("lost slot: slot {idx} still holds {refs} reference(s)"));
+                return Err(format!(
+                    "lost slot: slot {idx} still holds {refs} reference(s)"
+                ));
             }
         }
         Ok(())
@@ -264,6 +267,304 @@ pub fn check_slot_ring(
     miniloom::explore(&SlotRingModel::new(slots, messages))
 }
 
+/// The slot transport with a retransmission ledger as a 3-participant
+/// [`miniloom::Model`]: a producer (tid 0) that parks a zero-copy
+/// ledger handle ([`Payload::share`]) for every message it pushes, a
+/// consumer (tid 1) that deduplicates by tag, and a retransmitter
+/// (tid 2) that either *drops* the front ledger lease once the
+/// consumer has acknowledged its generation, or pushes a duplicate of
+/// it onto the same wire.
+///
+/// On top of [`SlotRingModel`]'s refcount/ABA machinery this proves
+/// the duplicate path: a slot referenced by the ledger, the wire copy,
+/// *and* a retransmitted duplicate must count exactly that many
+/// references, and the consumer must discard stale duplicates without
+/// miscounting deliveries.
+pub struct SlotRetransModel {
+    /// Payload slots per link.
+    pub slots: usize,
+    /// Messages the producer stages and pushes.
+    pub messages: usize,
+    /// Seeded bug: the retransmitter re-stamps each duplicate with a
+    /// *fresh* tag instead of the original generation, so the consumer
+    /// counts a stale buffer as a new delivery.
+    blind_retransmit: bool,
+}
+
+impl SlotRetransModel {
+    /// A model of a `slots`-slot link carrying `messages` messages
+    /// with a correct, ack-respecting retransmitter.
+    pub fn new(slots: usize, messages: usize) -> Self {
+        SlotRetransModel {
+            slots,
+            messages,
+            blind_retransmit: false,
+        }
+    }
+
+    /// The deliberately buggy variant: duplicates are re-tagged as
+    /// fresh generations. The checker must report a violating schedule.
+    pub fn seeded_blind_retransmit(slots: usize, messages: usize) -> Self {
+        SlotRetransModel {
+            blind_retransmit: true,
+            ..SlotRetransModel::new(slots, messages)
+        }
+    }
+}
+
+/// One shadow record of an envelope currently on the wire.
+struct WireEntry {
+    /// True generation of the buffer contents.
+    gen: u32,
+    /// Tag actually stamped on the envelope (differs from `gen` only
+    /// for the seeded blind-retransmit bug).
+    tag: u64,
+    /// Slot index if the payload is a lease.
+    slot: Option<usize>,
+}
+
+/// One execution's state for [`SlotRetransModel`].
+pub struct RetransState {
+    tx: SlotTx<u32>,
+    rx: SlotRx<u32>,
+    pool: Arc<SlotPool<u32>>,
+    stats: PoolStats,
+    /// Staged but not yet pushed (at most one: stage/push alternate).
+    staged: Option<(u32, Payload<u32>)>,
+    /// Parked ledger handles, oldest generation first.
+    ledger: VecDeque<(u32, Payload<u32>)>,
+    /// Envelopes pushed but not yet popped, in wire FIFO order.
+    wire: VecDeque<WireEntry>,
+    /// Fresh deliveries popped but not yet released.
+    held: VecDeque<(u32, Payload<u32>)>,
+    /// Next fresh generation the consumer expects.
+    next_pop: u32,
+    /// Tag counter for the seeded blind-retransmit bug.
+    restamp: u64,
+}
+
+impl RetransState {
+    /// Slot index and multiplicity of every live lease handle.
+    fn live_slot_counts(&self, slot_count: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; slot_count];
+        let staged = self.staged.iter().filter_map(|(_, p)| lease_slot(p));
+        let ledger = self.ledger.iter().filter_map(|(_, p)| lease_slot(p));
+        let wire = self.wire.iter().filter_map(|e| e.slot);
+        let held = self.held.iter().filter_map(|(_, p)| lease_slot(p));
+        for idx in staged.chain(ledger).chain(wire).chain(held) {
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Pop one envelope and run the receiver's dedup logic: a tag equal
+    /// to the expected generation is a fresh delivery, a smaller tag is
+    /// a stale duplicate to discard, a larger one is a protocol error.
+    fn pop_checked(&mut self) -> Result<bool, String> {
+        let Some(env) = self.rx.try_pop() else {
+            return Ok(false);
+        };
+        let Some(entry) = self.wire.pop_front() else {
+            return Err(format!("popped tag {} but nothing is on the wire", env.tag));
+        };
+        if env.tag != entry.tag {
+            return Err(format!(
+                "wire reordered: popped tag {}, shadow front says {}",
+                env.tag, entry.tag
+            ));
+        }
+        if env.tag == u64::from(self.next_pop) {
+            // Fresh delivery: the buffer must carry the tag's data.
+            check_contents("delivered", env.tag as u32, &env.payload)?;
+            self.next_pop += 1;
+            self.held.push_back((entry.gen, env.payload));
+        } else if env.tag < u64::from(self.next_pop) {
+            // Stale duplicate: verify and discard immediately.
+            check_contents("duplicate", entry.gen, &env.payload)?;
+            self.rx.reclaim(env.payload, &mut self.stats);
+        } else {
+            return Err(format!(
+                "message from the future: tag {} while expecting generation {}",
+                env.tag, self.next_pop
+            ));
+        }
+        Ok(true)
+    }
+}
+
+impl miniloom::Model for SlotRetransModel {
+    type State = RetransState;
+
+    fn init(&self) -> RetransState {
+        let (tx, rx, pool) = make_slot_link_raw(self.slots);
+        RetransState {
+            tx,
+            rx,
+            pool,
+            stats: PoolStats::default(),
+            staged: None,
+            ledger: VecDeque::new(),
+            wire: VecDeque::new(),
+            held: VecDeque::new(),
+            next_pop: 0,
+            restamp: self.messages as u64,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn steps(&self, tid: usize) -> usize {
+        match tid {
+            // Producer stages + pushes, consumer pops + releases.
+            0 | 1 => 2 * self.messages,
+            // Retransmitter: one ledger action per message.
+            _ => self.messages,
+        }
+    }
+
+    fn step(&self, state: &mut RetransState, tid: usize, idx: usize) -> Result<(), String> {
+        match tid {
+            0 => {
+                if idx.is_multiple_of(2) {
+                    // Stage generation idx/2 and park a ledger handle on
+                    // the same buffer before it ever hits the wire.
+                    let gen = (idx / 2) as u32;
+                    let mut payload = state.tx.stage_with_budget(
+                        &mut state.stats,
+                        &mut |buf| {
+                            buf.clear();
+                            buf.resize(PAYLOAD_LEN, gen);
+                        },
+                        0,
+                    );
+                    state.ledger.push_back((gen, payload.share()));
+                    state.staged = Some((gen, payload));
+                } else if let Some((gen, payload)) = state.staged.take() {
+                    let slot = lease_slot(&payload);
+                    state
+                        .tx
+                        .push(Envelope {
+                            tag: u64::from(gen),
+                            payload,
+                            seq: 0,
+                            ready_at: Instant::now(),
+                        })
+                        .map_err(|_| "receiver vanished mid-run".to_string())?;
+                    state.wire.push_back(WireEntry {
+                        gen,
+                        tag: u64::from(gen),
+                        slot,
+                    });
+                }
+            }
+            1 => {
+                if idx.is_multiple_of(2) {
+                    state.pop_checked()?;
+                } else if let Some((gen, payload)) = state.held.pop_front() {
+                    check_contents("held", gen, &payload)?;
+                    state.rx.reclaim(payload, &mut state.stats);
+                }
+            }
+            _ => {
+                let acked = state
+                    .ledger
+                    .front()
+                    .is_some_and(|(gen, _)| *gen < state.next_pop);
+                if acked {
+                    // The consumer confirmed this generation: drop the
+                    // parked lease so the slot can recycle.
+                    state.ledger.pop_front();
+                } else if let Some((gen, payload)) = state.ledger.front_mut() {
+                    // Unacked: push a zero-copy duplicate.
+                    let dup = payload.share();
+                    let slot = lease_slot(&dup);
+                    let gen = *gen;
+                    let tag = if self.blind_retransmit {
+                        let t = state.restamp;
+                        state.restamp += 1;
+                        t
+                    } else {
+                        u64::from(gen)
+                    };
+                    state
+                        .tx
+                        .push(Envelope {
+                            tag,
+                            payload: dup,
+                            seq: 0,
+                            ready_at: Instant::now(),
+                        })
+                        .map_err(|_| "receiver vanished mid-run".to_string())?;
+                    state.wire.push_back(WireEntry { gen, tag, slot });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn invariant(&self, state: &RetransState) -> Result<(), String> {
+        // Refcount exactness, duplicate-aware: a slot's refcount must
+        // equal the number of live handles on it (staged + ledger +
+        // wire + held), not merely 0 or 1.
+        let counts = state.live_slot_counts(state.pool.slot_count());
+        for (idx, &expected) in counts.iter().enumerate() {
+            let refs = state.pool.ref_count(idx);
+            if refs != expected {
+                return Err(format!(
+                    "slot {idx} refcount {refs}, expected {expected} live handle(s)"
+                ));
+            }
+        }
+        // ABA: every inspectable live payload still carries its
+        // generation (wire payloads are checked at pop).
+        let held = state.staged.iter().chain(&state.ledger).chain(&state.held);
+        for (gen, p) in held {
+            check_contents("live", *gen, p)?;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, state: &mut RetransState) -> Result<(), String> {
+        // Drain the wire, release deliveries, drop the ledger.
+        while state.pop_checked()? {}
+        while let Some((gen, payload)) = state.held.pop_front() {
+            check_contents("held", gen, &payload)?;
+            state.rx.reclaim(payload, &mut state.stats);
+        }
+        state.ledger.clear();
+        if state.next_pop != self.messages as u32 {
+            return Err(format!(
+                "delivery miscount: {} of {} fresh generations arrived",
+                state.next_pop, self.messages
+            ));
+        }
+        for idx in 0..state.pool.slot_count() {
+            let refs = state.pool.ref_count(idx);
+            if refs != 0 {
+                return Err(format!(
+                    "lost slot: slot {idx} still holds {refs} reference(s)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Model-check the 3-participant retransmission protocol (producer,
+/// deduplicating consumer, lease-dropping retransmitter) over a
+/// `slots`-slot link carrying `messages` messages.
+pub fn check_slot_retrans(
+    slots: usize,
+    messages: usize,
+) -> Result<miniloom::Report, miniloom::ExploreError> {
+    miniloom::check(
+        &SlotRetransModel::new(slots, messages),
+        &CheckOptions::default(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,7 +573,10 @@ mod tests {
     fn capacity_two_ring_is_clean_across_all_924_interleavings() {
         // slots = 1 → ring capacity 2; 3 messages → 6 steps per thread.
         let report = check_slot_ring(1, 3).expect("no interleaving violates the slot protocol");
-        assert_eq!(report.schedules, miniloom::schedule_count(&[6, 6]));
+        assert_eq!(
+            Ok(report.schedules),
+            miniloom::schedule_count(&[6, 6]).map_err(|e| e.to_string())
+        );
         assert_eq!(report.schedules, 924);
     }
 
@@ -290,5 +594,34 @@ mod tests {
         model.leak_one = true;
         let v = miniloom::explore(&model).expect_err("a leak must be caught");
         assert!(v.message.contains("lost slot"), "{v}");
+    }
+
+    #[test]
+    fn retransmission_protocol_is_clean_across_all_3150_interleavings() {
+        // Scripts of 4 + 4 + 2 steps: 10!/(4!·4!·2!) = 3150 merge
+        // orders, all explored (the wire serializes every step).
+        let report = check_slot_retrans(2, 2).expect("retransmission protocol is clean");
+        assert_eq!(report.unreduced, Some(3150));
+        assert!(
+            report.schedules > 0 && report.schedules <= 3150,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn blind_retransmit_restamping_is_caught_with_a_schedule() {
+        let model = SlotRetransModel::seeded_blind_retransmit(2, 2);
+        let err = miniloom::check(&model, &CheckOptions::default())
+            .expect_err("fresh-tagged duplicates must be caught");
+        match err {
+            miniloom::ExploreError::Violation(v) => {
+                assert!(!v.schedule.is_empty(), "needs a concrete prefix");
+                assert!(
+                    v.message.contains("future") || v.message.contains("delivered"),
+                    "{v}"
+                );
+            }
+            other => panic!("expected a Violation, got {other}"),
+        }
     }
 }

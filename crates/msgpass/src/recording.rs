@@ -117,9 +117,8 @@ impl<T: Clone + Send + Sync + 'static> RecordingComm<T> {
                     req_of.insert(idx, r);
                 }
                 Rec::Irecv { from, tag, bytes } => {
-                    let bytes = bytes.ok_or_else(|| {
-                        format!("Irecv from {from} tag {tag} was never waited")
-                    })?;
+                    let bytes = bytes
+                        .ok_or_else(|| format!("Irecv from {from} tag {tag} was never waited"))?;
                     let r = p.irecv(from, tag, bytes);
                     req_of.insert(idx, r);
                 }
@@ -305,10 +304,7 @@ mod tests {
             }
         });
         let ops1 = programs[1].ops();
-        let irecv = ops1
-            .iter()
-            .find(|o| matches!(o, Op::Irecv { .. }))
-            .unwrap();
+        let irecv = ops1.iter().find(|o| matches!(o, Op::Irecv { .. })).unwrap();
         assert!(matches!(irecv, Op::Irecv { bytes: 512, .. }));
     }
 

@@ -132,7 +132,10 @@ impl<T> Clone for SlotLease<T> {
     fn clone(&self) -> Self {
         // Relaxed suffices: a clone is always derived from a live lease,
         // so the count cannot concurrently hit zero.
-        self.pool.slots[self.idx].refs.0.fetch_add(1, Ordering::Relaxed);
+        self.pool.slots[self.idx]
+            .refs
+            .0
+            .fetch_add(1, Ordering::Relaxed);
         SlotLease {
             pool: Arc::clone(&self.pool),
             idx: self.idx,
@@ -145,7 +148,10 @@ impl<T> Drop for SlotLease<T> {
     fn drop(&mut self) {
         // Release pairs with the acquire CAS in `SlotPool::claim`: all
         // reads of this lease happen-before the slot's next refill.
-        self.pool.slots[self.idx].refs.0.fetch_sub(1, Ordering::Release);
+        self.pool.slots[self.idx]
+            .refs
+            .0
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -507,7 +513,9 @@ mod tests {
         while let Some(e) = rx.try_pop() {
             popped.push(e.payload.as_slice()[0]);
         }
-        let expected: Vec<u32> = (0..4).flat_map(|r| (0..10).map(move |i| r * 10 + i)).collect();
+        let expected: Vec<u32> = (0..4)
+            .flat_map(|r| (0..10).map(move |i| r * 10 + i))
+            .collect();
         assert_eq!(popped, expected);
     }
 
@@ -550,8 +558,8 @@ mod tests {
         let mut first = first;
         let parked = first.share(); // e.g. a retransmission-ledger entry
         drop(first); // wire copy consumed
-        // The slot still has a live lease: staging again must not
-        // scribble over it.
+                     // The slot still has a live lease: staging again must not
+                     // scribble over it.
         let second = tx.stage(&mut stats, &mut |buf| {
             buf.clear();
             buf.extend_from_slice(&[9, 9]);

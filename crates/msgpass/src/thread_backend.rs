@@ -373,12 +373,7 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
     /// Stage a `len`-element payload toward `dst` and let `fill` pack
     /// it in place — the zero-copy path: on the slot transport `fill`
     /// writes straight into the slot the receiver will read.
-    fn stage_with(
-        &mut self,
-        dst: usize,
-        len: usize,
-        fill: &mut dyn FnMut(&mut [T]),
-    ) -> Payload<T>
+    fn stage_with(&mut self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut [T])) -> Payload<T>
     where
         T: Copy + Default,
     {
@@ -555,7 +550,9 @@ impl<T: Send + Sync + 'static> ThreadComm<T> {
             // 3. Nothing on the wire: try the retransmission ledger.
             let rel = self.rel.as_mut().expect("reliability enabled");
             let (recovered, committed) = {
-                let mut led = rel.ledger_in[from].lock().unwrap_or_else(|e| e.into_inner());
+                let mut led = rel.ledger_in[from]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 (
                     led.stored.remove(&(tag, expect)),
                     *led.sent.get(&tag).unwrap_or(&0),
@@ -820,7 +817,8 @@ impl<T: Clone + Send + Sync + 'static> Communicator<T> for ThreadComm<T> {
         T: Copy,
     {
         let payload = self.stage_copy(to, data);
-        self.transmit_payload(to, tag, payload).expect("peer hung up");
+        self.transmit_payload(to, tag, payload)
+            .expect("peer hung up");
         let id = self.next_req;
         self.next_req += 1;
         SendRequest { id }
@@ -1026,11 +1024,13 @@ pub fn build_world_with<T: Send + Sync + 'static>(
 ) -> Vec<ThreadComm<T>> {
     assert!(size > 0, "world size must be positive");
     let latency = cfg.latency;
-    let mut tx_grid: Vec<Vec<Option<Box<dyn LinkTx<T>>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-    let mut rx_grid: Vec<Vec<Option<Box<dyn LinkRx<T>>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-    #[allow(clippy::needless_range_loop)] // src/dst index two grids
+    let mut tx_grid: Vec<Vec<Option<Box<dyn LinkTx<T>>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    let mut rx_grid: Vec<Vec<Option<Box<dyn LinkRx<T>>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    #[allow(clippy::needless_range_loop)] // LINT: src/dst index two grids
     for src in 0..size {
         for dst in 0..size {
             let (t, r) = make_link::<T>(cfg.transport, cfg.backoff_cap);
@@ -1089,11 +1089,7 @@ pub fn build_world_with<T: Send + Sync + 'static>(
 /// Run `size` ranks, each executing `body(comm)` on its own OS thread;
 /// returns the per-rank results (rank order) and the wall-clock time of
 /// the slowest rank.
-pub fn run_threads<T, R, F>(
-    size: usize,
-    latency: LatencyModel,
-    body: F,
-) -> (Vec<R>, Duration)
+pub fn run_threads<T, R, F>(size: usize, latency: LatencyModel, body: F) -> (Vec<R>, Duration)
 where
     T: Send + Sync + 'static,
     R: Send,
@@ -1486,8 +1482,8 @@ mod tests {
 
     #[test]
     fn reliable_world_roundtrip_without_faults() {
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_reliability(ReliabilityConfig::default());
+        let cfg =
+            WorldConfig::new(LatencyModel::zero()).with_reliability(ReliabilityConfig::default());
         let (results, _) = run_threads_with::<f32, _, _>(2, &cfg, |mut comm| {
             if comm.rank() == 0 {
                 comm.send(1, 7, vec![1.0, 2.0]);
@@ -1523,7 +1519,12 @@ mod tests {
         });
         let r1 = results.into_iter().nth(1).unwrap().expect("no panic");
         match r1 {
-            Err(CommError::Timeout { from: 0, tag: 42, retries: 1, .. }) => {}
+            Err(CommError::Timeout {
+                from: 0,
+                tag: 42,
+                retries: 1,
+                ..
+            }) => {}
             other => panic!("expected Timeout, got {other:?}"),
         }
     }
@@ -1582,7 +1583,10 @@ mod tests {
             }
         });
         let results: Vec<_> = results.into_iter().map(|r| r.expect("no panic")).collect();
-        assert_eq!(results[1].0, 12, "each payload delivered exactly once, in order");
+        assert_eq!(
+            results[1].0, 12,
+            "each payload delivered exactly once, in order"
+        );
         assert_eq!(results[0].1.duplicated, 2);
         assert!(results[1].1.duplicates_discarded >= 1);
     }
@@ -1646,7 +1650,11 @@ mod tests {
         });
         let r1 = results.into_iter().nth(1).unwrap().expect("no panic");
         match r1 {
-            Err(CommError::SequenceGap { from: 0, tag: 5, seq: 0 }) => {}
+            Err(CommError::SequenceGap {
+                from: 0,
+                tag: 5,
+                seq: 0,
+            }) => {}
             other => panic!("expected SequenceGap, got {other:?}"),
         }
     }
@@ -1692,8 +1700,8 @@ mod tests {
         // traffic, identical exact counter expectations — one slot
         // warm-up growth per link, everything after recycled in place.
         const STEPS: u64 = 50;
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_transport(TransportKind::shared_slots());
+        let cfg =
+            WorldConfig::new(LatencyModel::zero()).with_transport(TransportKind::shared_slots());
         let (results, _) = run_threads_with::<f64, _, _>(2, &cfg, |mut comm| {
             if comm.rank() == 0 {
                 let payload: Vec<f64> = (0..64).map(|i| i as f64).collect();
@@ -1725,8 +1733,8 @@ mod tests {
 
     #[test]
     fn slot_transport_roundtrip_and_tag_matching() {
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_transport(TransportKind::shared_slots());
+        let cfg =
+            WorldConfig::new(LatencyModel::zero()).with_transport(TransportKind::shared_slots());
         let (results, _) = run_threads_with::<u32, _, _>(2, &cfg, |mut comm| {
             if comm.rank() == 0 {
                 comm.send(1, 1, vec![10]);
@@ -1746,8 +1754,8 @@ mod tests {
 
     #[test]
     fn slot_transport_zero_copy_send_recv_with() {
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_transport(TransportKind::shared_slots());
+        let cfg =
+            WorldConfig::new(LatencyModel::zero()).with_transport(TransportKind::shared_slots());
         let (results, _) = run_threads_with::<f32, _, _>(2, &cfg, |mut comm| {
             if comm.rank() == 0 {
                 for k in 0..10u64 {
@@ -1815,8 +1823,7 @@ mod tests {
                     got
                 }
             });
-            let results: Vec<_> =
-                results.into_iter().map(|r| r.expect("no panic")).collect();
+            let results: Vec<_> = results.into_iter().map(|r| r.expect("no panic")).collect();
             assert_eq!(results[1], 1234, "kind {kind:?}");
         }
     }

@@ -115,11 +115,7 @@ mod tests {
         let epoch = Instant::now();
         let mut a = WallTrace::new(0, epoch);
         let mut b = WallTrace::new(1, epoch);
-        a.record(
-            Activity::Compute,
-            epoch,
-            epoch + Duration::from_micros(4),
-        );
+        a.record(Activity::Compute, epoch, epoch + Duration::from_micros(4));
         b.record(
             Activity::Idle,
             epoch + Duration::from_micros(2),

@@ -198,7 +198,9 @@ pub(crate) fn make_link<T: Send + Sync + 'static>(
                 }),
             )
         }
-        TransportKind::SharedSlots { slots } => crate::slot_transport::make_slot_link(slots, backoff_cap),
+        TransportKind::SharedSlots { slots } => {
+            crate::slot_transport::make_slot_link(slots, backoff_cap)
+        }
     }
 }
 

@@ -300,9 +300,7 @@ impl PlanArtifact {
             KernelName::Paper3D => run_seq3d(Paper3D, d.nx, d.ny, d.nz, d.boundary),
             KernelName::Relax3D => run_seq3d(Relax3D::default(), d.nx, d.ny, d.nz, d.boundary),
             KernelName::Fused3D => run_seq3d(Fused3D::default(), d.nx, d.ny, d.nz, d.boundary),
-            KernelName::LongestPath3D => {
-                run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary)
-            }
+            KernelName::LongestPath3D => run_seq3d(LongestPath3D, d.nx, d.ny, d.nz, d.boundary),
             k => unreachable!("2-D kernel {k:?} sealed into a 3-D plan"),
         }
     }

@@ -344,9 +344,8 @@ mod tests {
         assert!(k_curved.canon().contains("cv["));
         // Different knots → different keys.
         let other = PiecewiseCost::from_knots(&[(0.0, 50.0), (4096.0, 500.0)]).unwrap();
-        let k_other = PlanKey::of(
-            &base.with_machine(MachineSpec::Custom(plain.with_transfer_curve(other))),
-        );
+        let k_other =
+            PlanKey::of(&base.with_machine(MachineSpec::Custom(plain.with_transfer_curve(other))));
         assert_ne!(k_curved, k_other);
     }
 

@@ -8,9 +8,9 @@
 //! shares its outcome, success or failure, with every coalesced
 //! waiter.
 
+use std::fmt;
 use stencil::decomp::DecompError;
 use stencil::engine::EngineError;
-use std::fmt;
 use tiling_core::parse::ParseError;
 
 /// Why plan compilation failed, by stage.
@@ -38,9 +38,7 @@ impl CompileError {
     /// The pipeline stage that produced this error.
     pub fn stage(&self) -> &'static str {
         match self {
-            CompileError::Parse(_) | CompileError::Dependence(_) | CompileError::Spec(_) => {
-                "front"
-            }
+            CompileError::Parse(_) | CompileError::Dependence(_) | CompileError::Spec(_) => "front",
             CompileError::Optimize(_) => "optimize",
             CompileError::Decompose(_) => "decompose",
             CompileError::Analyze(_) => "analyze",

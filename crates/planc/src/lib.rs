@@ -33,6 +33,7 @@ pub mod artifact;
 pub mod cache;
 pub mod compiler;
 pub mod error;
+pub mod modelcheck;
 pub mod pipeline;
 pub mod service;
 pub mod spec;

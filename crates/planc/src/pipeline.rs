@@ -364,10 +364,8 @@ FOR i1 = 1 TO 8 DO
   ENDFOR
 ENDFOR
 ";
-        let e = compile(
-            &PlanRequest::source(src, vec![4]).with_kernel(KernelName::Example1),
-        )
-        .unwrap_err();
+        let e = compile(&PlanRequest::source(src, vec![4]).with_kernel(KernelName::Example1))
+            .unwrap_err();
         assert!(matches!(e, CompileError::Dependence(_)), "{e:?}");
 
         // decompose: divisibility.

@@ -304,11 +304,15 @@ pub fn smoke(cfg: ServiceConfig, clients: usize, jobs_per_client: usize) -> Smok
     // Small shapes: the load measures service machinery, not kernels.
     let shapes: Vec<PlanRequest> = vec![
         PlanRequest::grid3(8, 8, 256, 2, 2).with_v(64),
-        PlanRequest::grid3(8, 8, 256, 2, 2).with_v(64).with_mode(ExecMode::Blocking),
+        PlanRequest::grid3(8, 8, 256, 2, 2)
+            .with_v(64)
+            .with_mode(ExecMode::Blocking),
         PlanRequest::grid3(4, 4, 512, 2, 2).with_v(128),
         PlanRequest::strip2(64, 16, 4).with_v(16),
         PlanRequest::grid3(8, 8, 256, 2, 2), // auto-V variant
-        PlanRequest::strip2(64, 16, 4).with_v(16).with_mode(ExecMode::Blocking),
+        PlanRequest::strip2(64, 16, 4)
+            .with_v(16)
+            .with_mode(ExecMode::Blocking),
     ];
     let start = Instant::now();
     let verified = AtomicU64::new(0);
@@ -322,7 +326,9 @@ pub fn smoke(cfg: ServiceConfig, clients: usize, jobs_per_client: usize) -> Smok
                 let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (c as u64);
                 let mut tickets = Vec::new();
                 for _ in 0..jobs_per_client {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let shape = shapes[(state >> 33) as usize % shapes.len()].clone();
                     let job = if state.is_multiple_of(3) {
                         JobRequest::Execute(shape, ExecOptions { verify: true })
@@ -368,7 +374,11 @@ pub fn smoke(cfg: ServiceConfig, clients: usize, jobs_per_client: usize) -> Smok
 fn settle(t: JobTicket, verified: &AtomicU64) {
     match t.wait() {
         Ok(JobResponse::Executed(_, out)) => {
-            assert_eq!(out.verified, Some(true), "smoke execution failed verification");
+            assert_eq!(
+                out.verified,
+                Some(true),
+                "smoke execution failed verification"
+            );
             verified.fetch_add(1, Ordering::Relaxed);
         }
         Ok(JobResponse::Compiled(_)) => {}
@@ -436,6 +446,10 @@ mod tests {
         assert_eq!(r.jobs, 32);
         assert!(r.hit_ratio > 0.0, "no cache hits under repeated load");
         assert!(r.verified > 0, "no execute jobs verified");
-        assert!(r.compiles <= 6, "more compiles than distinct shapes: {}", r.compiles);
+        assert!(
+            r.compiles <= 6,
+            "more compiles than distinct shapes: {}",
+            r.compiles
+        );
     }
 }

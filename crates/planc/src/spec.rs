@@ -123,8 +123,9 @@ impl KernelName {
 /// The machine model compilation optimizes against — a named preset or
 /// explicit parameters. The model is a first-class key component: the
 /// same nest on a different machine is a different plan.
-// `Custom` holds `MachineParams` inline (now large after growing an optional
-// transfer curve) because the spec must stay `Copy` for bit-exact keying.
+// LINT: `Custom` holds `MachineParams` inline (now large after growing an
+// optional transfer curve) because the spec must stay `Copy` for bit-exact
+// keying.
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MachineSpec {
@@ -333,10 +334,17 @@ impl PlanRequest {
     /// (`off`|`calibration`|`committed`).
     pub fn parse_kv(line: &str) -> Result<Self, String> {
         let kvs = split_kv(line)?;
-        let get = |k: &str| kvs.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str());
+        let get = |k: &str| {
+            kvs.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
         let int = |k: &str| -> Result<Option<usize>, String> {
             get(k)
-                .map(|v| v.parse::<usize>().map_err(|_| format!("bad integer for {k}: {v}")))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad integer for {k}: {v}"))
+                })
                 .transpose()
         };
         let need_int = |k: &str| int(k)?.ok_or_else(|| format!("missing {k}"));
@@ -359,7 +367,11 @@ impl PlanRequest {
                 let procs = get("procs")
                     .ok_or("missing procs")?
                     .split(',')
-                    .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad procs entry: {p}")))
+                    .map(|p| {
+                        p.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad procs entry: {p}"))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 WorkloadSpec::Source { text, procs }
             }
@@ -482,7 +494,13 @@ mod tests {
         .unwrap();
         assert_eq!(
             r.workload,
-            WorkloadSpec::Grid3D { nx: 8, ny: 8, nz: 256, pi: 2, pj: 2 }
+            WorkloadSpec::Grid3D {
+                nx: 8,
+                ny: 8,
+                nz: 256,
+                pi: 2,
+                pj: 2
+            }
         );
         assert_eq!(r.v, VChoice::Explicit(64));
         assert_eq!(r.mode, ExecMode::Blocking);

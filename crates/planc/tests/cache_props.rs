@@ -132,13 +132,19 @@ fn equal_keys_share_artifacts_across_variations() {
         let a = c.compile(&req).expect("variation point must compile");
         assert_eq!(a.key(), &key, "artifact sealed under a foreign key");
         let again = c.compile(&req).unwrap();
-        assert!(Arc::ptr_eq(&a, &again), "equal key did not share the artifact");
+        assert!(
+            Arc::ptr_eq(&a, &again),
+            "equal key did not share the artifact"
+        );
         artifacts.push((key, a));
     }
     // Distinct points → distinct keys → distinct artifacts.
     for i in 0..artifacts.len() {
         for j in i + 1..artifacts.len() {
-            assert_ne!(artifacts[i].0, artifacts[j].0, "key collision between variations");
+            assert_ne!(
+                artifacts[i].0, artifacts[j].0,
+                "key collision between variations"
+            );
             assert!(!Arc::ptr_eq(&artifacts[i].1, &artifacts[j].1));
         }
     }

@@ -31,17 +31,26 @@ fn single_flight_coalesces_identical_requests() {
             let (a, how) = c.compile_with_provenance(&req);
             match how {
                 Provenance::Compiled => compiled.fetch_add(1, Ordering::Relaxed),
-                Provenance::Coalesced | Provenance::CacheHit => joined.fetch_add(1, Ordering::Relaxed),
+                Provenance::Coalesced | Provenance::CacheHit => {
+                    joined.fetch_add(1, Ordering::Relaxed)
+                }
             };
             a.unwrap()
         }));
     }
     let artifacts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    assert_eq!(compiled.load(Ordering::Relaxed), 1, "more than one thread compiled");
+    assert_eq!(
+        compiled.load(Ordering::Relaxed),
+        1,
+        "more than one thread compiled"
+    );
     assert_eq!(joined.load(Ordering::Relaxed), 7);
     assert_eq!(c.stats().compiles, 1);
     for a in &artifacts[1..] {
-        assert!(Arc::ptr_eq(&artifacts[0], a), "threads saw different artifacts");
+        assert!(
+            Arc::ptr_eq(&artifacts[0], a),
+            "threads saw different artifacts"
+        );
     }
 }
 
@@ -135,5 +144,8 @@ fn service_mixed_load_hits_and_misses() {
         "hit ratio {:.2} too low for 3 keys / 48 jobs",
         m.cache.hit_ratio()
     );
-    assert!(m.worlds.reused > 0, "execute jobs never reused a warm world");
+    assert!(
+        m.worlds.reused > 0,
+        "execute jobs never reused a warm world"
+    );
 }

@@ -62,11 +62,7 @@ pub fn require_nonempty_decomp(parts: &[usize]) -> Result<(), DecompError> {
 }
 
 /// `extent` must divide evenly into `parts` blocks along `axis`.
-pub fn require_divides(
-    axis: &'static str,
-    extent: usize,
-    parts: usize,
-) -> Result<(), DecompError> {
+pub fn require_divides(axis: &'static str, extent: usize, parts: usize) -> Result<(), DecompError> {
     if !extent.is_multiple_of(parts) {
         return Err(DecompError::NotDivisible {
             axis,
@@ -122,7 +118,7 @@ mod tests {
         assert_eq!(tile_range(10, 4, 2), (8, 10)); // partial last tile
         assert_eq!(pipeline_steps(5, 9), 1);
         assert_eq!(tile_range(5, 9, 0), (0, 5)); // V > extent clamps
-        // A step index past the pipeline is empty, not reversed.
+                                                 // A step index past the pipeline is empty, not reversed.
         assert_eq!(tile_range(10, 4, 3), (10, 10));
         assert_eq!(tile_range(10, 4, 100), (10, 10));
     }

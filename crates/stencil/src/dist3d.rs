@@ -152,10 +152,7 @@ impl<K: Kernel3D> Block3D<K> {
             halo_j: vec![0.0; d.bx() * d.nz],
             has_left_i: coords[0] > 0,
             has_left_j: coords[1] > 0,
-            up: [
-                grid.neighbor(rank, &[-1, 0]),
-                grid.neighbor(rank, &[0, -1]),
-            ],
+            up: [grid.neighbor(rank, &[-1, 0]), grid.neighbor(rank, &[0, -1])],
             dn: [grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])],
             gi0: (coords[0] * d.bx()) as i64,
             gj0: (coords[1] * d.by()) as i64,
@@ -243,7 +240,14 @@ impl<K: Kernel3D> Block3D<K> {
     /// Evaluate one wave of same-super-diagonal chunks: items are
     /// `(i, j)` in ascending flat-row order, each contributing its
     /// chunk `s − i − j` of the tile's `[k0, k1)` pencil span.
-    fn eval_chunk_wave(&mut self, s: usize, items: &[(usize, usize)], k0: usize, k1: usize, chunk: usize) {
+    fn eval_chunk_wave(
+        &mut self,
+        s: usize,
+        items: &[(usize, usize)],
+        k0: usize,
+        k1: usize,
+        chunk: usize,
+    ) {
         let kernel = self.kernel;
         let tier = self.tier;
         let by = self.d.by();
@@ -344,7 +348,15 @@ impl<K: Kernel3D> Block3D<K> {
             } else {
                 b
             };
-            wave.push(gi0 + i as i64, gj0 + j as i64, ck0 as i64, im1, jm1, km1, out);
+            wave.push(
+                gi0 + i as i64,
+                gj0 + j as i64,
+                ck0 as i64,
+                im1,
+                jm1,
+                km1,
+                out,
+            );
         }
         kernel.eval_wave_tier(tier, &mut wave);
     }
@@ -541,7 +553,7 @@ impl<K: Kernel3D> TileOps for PooledBlock<'_, K> {
 /// of the rank run and park between tiles. `pin_base`, when set, pins
 /// worker `w` to core `pin_base + w` (best effort). Results are
 /// bitwise-identical to the unpooled run on the pinned tier.
-#[allow(clippy::too_many_arguments)] // the pooled variant of try_run_rank3d_tier plus its pool knobs
+#[allow(clippy::too_many_arguments)] // LINT: the pooled variant of try_run_rank3d_tier plus its pool knobs
 pub fn try_run_rank3d_pooled<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     comm: &mut C,
     kernel: K,
@@ -560,7 +572,7 @@ pub fn try_run_rank3d_pooled<C: Communicator<f32>, K: Kernel3D, O: StepObserver>
 /// pooled counterpart of [`try_run_rank3d_plan`].
 ///
 /// [`StepPlan`]: tiling_core::schedule::StepPlan
-#[allow(clippy::too_many_arguments)] // the pooled variant of try_run_rank3d_plan plus its pool knobs
+#[allow(clippy::too_many_arguments)] // LINT: the pooled variant of try_run_rank3d_plan plus its pool knobs
 pub fn try_run_rank3d_pooled_plan<C: Communicator<f32>, K: Kernel3D, O: StepObserver>(
     comm: &mut C,
     kernel: K,

@@ -383,7 +383,10 @@ impl Phase {
     pub fn is_cpu_lane(&self) -> bool {
         !matches!(
             self,
-            Phase::Recv { .. } | Phase::Send { .. } | Phase::WaitRecv { .. } | Phase::WaitSend { .. }
+            Phase::Recv { .. }
+                | Phase::Send { .. }
+                | Phase::WaitRecv { .. }
+                | Phase::WaitSend { .. }
         )
     }
 }
@@ -595,7 +598,7 @@ fn note<O: StepObserver>(obs: &mut O, phase: Phase, start: Instant, end: Instant
 /// [`Phase::Recv`]), followed by [`Phase::Unpack`] over the in-callback
 /// unpack span.
 #[inline(always)]
-#[allow(clippy::too_many_arguments)] // the (peer, tag, dir, step, request) wire tuple is irreducible
+#[allow(clippy::too_many_arguments)] // LINT: the (peer, tag, dir, step, request) wire tuple is irreducible
 fn recv_unpack<T, C, O>(
     comm: &mut C,
     ops: &mut T,
@@ -647,7 +650,7 @@ where
 /// (`post = true`, [`Phase::PostSend`], returning the request), with
 /// [`Phase::Pack`] reported over the in-callback pack span.
 #[inline(always)]
-#[allow(clippy::too_many_arguments)] // the (peer, tag, dir, step, post) wire tuple is irreducible
+#[allow(clippy::too_many_arguments)] // LINT: the (peer, tag, dir, step, post) wire tuple is irreducible
 fn pack_send<T, C, O>(
     comm: &mut C,
     ops: &mut T,
@@ -851,9 +854,14 @@ where
             if let Some(req) = pack_send(comm, ops, obs, dst, t, dir, steps - 1, true)
                 .map_err(|e| EngineError::from_comm(rank, e))?
             {
-                timed(obs, Phase::WaitSend { dir, step: steps - 1 }, || {
-                    comm.try_wait_send(req)
-                })
+                timed(
+                    obs,
+                    Phase::WaitSend {
+                        dir,
+                        step: steps - 1,
+                    },
+                    || comm.try_wait_send(req),
+                )
                 .map_err(|e| EngineError::from_comm(rank, e))?;
             }
         }
@@ -932,13 +940,14 @@ mod tests {
         use msgpass::prelude::*;
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let plan = mode.step_plan(3, 2, 4);
-            let (results, _) = run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
-                let mut ops = FakeOps {
-                    dirs: MAX_DIRS + 1,
-                    computed: 0,
-                };
-                run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver)
-            });
+            let (results, _) =
+                run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
+                    let mut ops = FakeOps {
+                        dirs: MAX_DIRS + 1,
+                        computed: 0,
+                    };
+                    run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver)
+                });
             assert_eq!(
                 results[0],
                 Err(EngineError::TooManyDirections {
@@ -956,13 +965,14 @@ mod tests {
         // which used to underflow for an empty pipeline.
         for mode in [ExecMode::Blocking, ExecMode::Overlapping] {
             let plan = mode.step_plan(3, 2, 0);
-            let (results, _) = run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
-                let mut ops = FakeOps {
-                    dirs: 2,
-                    computed: 0,
-                };
-                run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver).map(|()| ops.computed)
-            });
+            let (results, _) =
+                run_threads::<f32, _, _>(1, LatencyModel::zero(), move |mut comm| {
+                    let mut ops = FakeOps {
+                        dirs: 2,
+                        computed: 0,
+                    };
+                    run_rank(&mut comm, &mut ops, &plan, &mut NoopObserver).map(|()| ops.computed)
+                });
             assert_eq!(results[0], Ok(0));
         }
     }
@@ -1001,9 +1011,7 @@ mod tests {
             },
         );
         assert!(gap.severity() > e.severity());
-        assert!(
-            EngineError::TooManyDirections { dirs: 3, max: 2 }.severity() > gap.severity()
-        );
+        assert!(EngineError::TooManyDirections { dirs: 3, max: 2 }.severity() > gap.severity());
         assert!(!format!("{gap}").is_empty());
     }
 
@@ -1012,8 +1020,7 @@ mod tests {
         // The threshold is generous relative to an empty closure so the
         // "fast" cases cannot cross it even on a loaded machine.
         let threshold = Duration::from_millis(25);
-        let mut obs =
-            TraceObserver::new(0, Instant::now()).with_stall_threshold(threshold);
+        let mut obs = TraceObserver::new(0, Instant::now()).with_stall_threshold(threshold);
         // A fast wait stays idle; a slow one becomes a stall; compute is
         // never a stall no matter how long.
         timed(&mut obs, Phase::WaitRecv { dir: 0, step: 0 }, || {

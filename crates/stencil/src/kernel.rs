@@ -118,8 +118,17 @@ impl<'a> Wave<'a> {
     ///
     /// # Panics
     /// If the wave is full.
-    #[allow(clippy::too_many_arguments)] // mirrors eval_pencil's signature
-    pub fn push(&mut self, gi: i64, gj: i64, k0: i64, im1: &'a [f32], jm1: &'a [f32], km1: f32, out: &'a mut [f32]) {
+    #[allow(clippy::too_many_arguments)] // LINT: mirrors eval_pencil's signature
+    pub fn push(
+        &mut self,
+        gi: i64,
+        gj: i64,
+        k0: i64,
+        im1: &'a [f32],
+        jm1: &'a [f32],
+        km1: f32,
+        out: &'a mut [f32],
+    ) {
         let n = self.len;
         assert!(n < MAX_WAVE, "wave overflow");
         self.gi[n] = gi;
@@ -202,8 +211,17 @@ pub trait Kernel3D: Copy + Send + Sync + 'static {
     /// order so results stay bitwise equal to the scalar form (the
     /// kernel tests assert this).
     #[inline]
-    #[allow(clippy::too_many_arguments)] // mirrors eval()'s per-cell signature, pencil-wide
-    fn eval_pencil(&self, i: i64, j: i64, k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+    #[allow(clippy::too_many_arguments)] // LINT: mirrors eval()'s per-cell signature, pencil-wide
+    fn eval_pencil(
+        &self,
+        i: i64,
+        j: i64,
+        k0: i64,
+        im1: &[f32],
+        jm1: &[f32],
+        km1: f32,
+        out: &mut [f32],
+    ) {
         let mut prev = km1;
         for (kz, (o, (&a, &c))) in (k0..).zip(out.iter_mut().zip(im1.iter().zip(jm1))) {
             let v = self.eval(i, j, kz, a, c, prev);
@@ -226,11 +244,19 @@ pub trait Kernel3D: Copy + Send + Sync + 'static {
     /// The default simply walks the pencils one by one — bitwise by
     /// construction for kernels without an override.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave(&self, wave: &mut Wave<'_>) {
         let p = wave.parts();
         for n in 0..p.m {
-            self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+            self.eval_pencil(
+                p.gi[n],
+                p.gj[n],
+                p.k0[n],
+                p.im1[n],
+                p.jm1[n],
+                p.km1[n],
+                &mut p.out[n][..],
+            );
         }
     }
 
@@ -292,7 +318,16 @@ impl Kernel3D for Paper3D {
     // The scalar form adds `(√im1 + √jm1) + √km1` left-to-right, which
     // is exactly this loop's order, so results are bitwise equal.
     #[inline]
-    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+    fn eval_pencil(
+        &self,
+        _i: i64,
+        _j: i64,
+        _k0: i64,
+        im1: &[f32],
+        jm1: &[f32],
+        km1: f32,
+        out: &mut [f32],
+    ) {
         let mut sk = km1.max(0.0).sqrt();
         for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
             let v = a.max(0.0).sqrt() + c.max(0.0).sqrt() + sk;
@@ -309,7 +344,7 @@ impl Kernel3D for Paper3D {
     // that the ~20-cycle add→max→sqrt carry latency of one chain hides
     // the same latency of the other m−1.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave(&self, wave: &mut Wave<'_>) {
         let p = wave.parts();
         // Narrow waves don't amortize the split: one or two interleaved
@@ -321,7 +356,15 @@ impl Kernel3D for Paper3D {
         // tier must stay grouping-invariant across wave widths.
         if p.m <= 2 {
             for n in 0..p.m {
-                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+                self.eval_pencil(
+                    p.gi[n],
+                    p.gj[n],
+                    p.k0[n],
+                    p.im1[n],
+                    p.jm1[n],
+                    p.km1[n],
+                    &mut p.out[n][..],
+                );
             }
             return;
         }
@@ -354,13 +397,15 @@ impl Kernel3D for Paper3D {
     // here where the pinned tier clamps, which is exactly the contract
     // difference the tier flag signals.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
         let p = wave.parts();
         let mut sk = [0.0f32; MAX_WAVE];
         let mut len = 0;
         for n in 0..p.m {
-            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| a.sqrt() + c.sqrt());
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| {
+                a.sqrt() + c.sqrt()
+            });
             sk[n] = p.km1[n].abs().sqrt();
             len = len.max(p.out[n].len());
         }
@@ -401,7 +446,16 @@ impl Kernel3D for Relax3D {
     // + km1)`, so `w · (s + prev)` performs the identical operations in
     // the identical order — bitwise equal, one divide per pencil.
     #[inline]
-    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+    fn eval_pencil(
+        &self,
+        _i: i64,
+        _j: i64,
+        _k0: i64,
+        im1: &[f32],
+        jm1: &[f32],
+        km1: f32,
+        out: &mut [f32],
+    ) {
         let w = self.omega / 3.0;
         let mut prev = km1;
         for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
@@ -416,7 +470,7 @@ impl Kernel3D for Relax3D {
     // `w · ((a + c) + prev)` in exactly the scalar association — the
     // scalar `a + c + prev` parses left-to-right, so bitwise equal.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave(&self, wave: &mut Wave<'_>) {
         let w = self.omega / 3.0;
         let p = wave.parts();
@@ -429,7 +483,15 @@ impl Kernel3D for Relax3D {
         // tier must stay grouping-invariant across wave widths.
         if p.m <= 2 {
             for n in 0..p.m {
-                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+                self.eval_pencil(
+                    p.gi[n],
+                    p.gj[n],
+                    p.k0[n],
+                    p.im1[n],
+                    p.jm1[n],
+                    p.km1[n],
+                    &mut p.out[n][..],
+                );
             }
             return;
         }
@@ -458,7 +520,7 @@ impl Kernel3D for Relax3D {
     // reassociation perturbs each cell by ≤ a few ULP; the recurrence is
     // a contraction (`ω < 1`), so the perturbation stays bounded.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
         let w = self.omega / 3.0;
         let p = wave.parts();
@@ -537,7 +599,16 @@ impl Kernel3D for Fused3D {
     // the slice form drops the per-cell coordinate bookkeeping of the
     // default and keeps the two FMAs in straight-line code.
     #[inline]
-    fn eval_pencil(&self, _i: i64, _j: i64, _k0: i64, im1: &[f32], jm1: &[f32], km1: f32, out: &mut [f32]) {
+    fn eval_pencil(
+        &self,
+        _i: i64,
+        _j: i64,
+        _k0: i64,
+        im1: &[f32],
+        jm1: &[f32],
+        km1: f32,
+        out: &mut [f32],
+    ) {
         let (wa, wc) = (self.wa, self.wc);
         let mut prev = km1;
         for (o, (&a, &c)) in out.iter_mut().zip(im1.iter().zip(jm1)) {
@@ -552,7 +623,7 @@ impl Kernel3D for Fused3D {
     // reassociating — instead the full per-cell chains are interleaved
     // (identical ops and order per cell, m chains in flight).
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave(&self, wave: &mut Wave<'_>) {
         let (wa, wc) = (self.wa, self.wc);
         let p = wave.parts();
@@ -565,7 +636,15 @@ impl Kernel3D for Fused3D {
         // tier must stay grouping-invariant across wave widths.
         if p.m <= 2 {
             for n in 0..p.m {
-                self.eval_pencil(p.gi[n], p.gj[n], p.k0[n], p.im1[n], p.jm1[n], p.km1[n], &mut p.out[n][..]);
+                self.eval_pencil(
+                    p.gi[n],
+                    p.gj[n],
+                    p.k0[n],
+                    p.im1[n],
+                    p.jm1[n],
+                    p.km1[n],
+                    &mut p.out[n][..],
+                );
             }
             return;
         }
@@ -592,14 +671,16 @@ impl Kernel3D for Fused3D {
     // single FMA `v = prev·wc + e[z]` — reassociated, ULP-bounded, and
     // contractive for the shipped weights (`2·wa + wc < 1`).
     #[inline]
-    #[allow(clippy::needless_range_loop)] // n indexes several parallel wave arrays at once
+    #[allow(clippy::needless_range_loop)] // LINT: n indexes several parallel wave arrays at once
     fn eval_wave_fast(&self, wave: &mut Wave<'_>) {
         let (wa, wc) = (self.wa, self.wc);
         let p = wave.parts();
         let mut prev = [0.0f32; MAX_WAVE];
         let mut len = 0;
         for n in 0..p.m {
-            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| a.mul_add(wa, c * wa));
+            chunk8(p.im1[n], p.jm1[n], &mut p.out[n][..], |a, c| {
+                a.mul_add(wa, c * wa)
+            });
             prev[n] = p.km1[n];
             len = len.max(p.out[n].len());
         }
@@ -802,7 +883,15 @@ mod tests {
 
     /// Walk `eval` cell by cell with the loop-carried `k−1` value —
     /// the reference the pencil overrides must match bitwise.
-    fn scalar_pencil<K: Kernel3D>(k: &K, i: i64, j: i64, k0: i64, im1: &[f32], jm1: &[f32], km1: f32) -> Vec<f32> {
+    fn scalar_pencil<K: Kernel3D>(
+        k: &K,
+        i: i64,
+        j: i64,
+        k0: i64,
+        im1: &[f32],
+        jm1: &[f32],
+        km1: f32,
+    ) -> Vec<f32> {
         let mut prev = km1;
         let mut out = Vec::with_capacity(im1.len());
         for (n, (&a, &c)) in im1.iter().zip(jm1).enumerate() {
@@ -828,7 +917,11 @@ mod tests {
             let mut got = vec![0.0f32; len];
             kernel.eval_pencil(5, -2, 11, &im1, &jm1, km1, &mut got);
             for (n, (g, w)) in got.iter().zip(&want).enumerate() {
-                assert_eq!(g.to_bits(), w.to_bits(), "{name}: cell {n} of {len} differs: {g} vs {w}");
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "{name}: cell {n} of {len} differs: {g} vs {w}"
+                );
             }
         }
     }
@@ -866,7 +959,9 @@ mod tests {
         ] {
             let im1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 1, lens[p])).collect();
             let jm1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 2, lens[p])).collect();
-            let km1s: Vec<f32> = (0..m).map(|p| (cell_weight(p as i64, 9, 9) - 0.5) * 4.0).collect();
+            let km1s: Vec<f32> = (0..m)
+                .map(|p| (cell_weight(p as i64, 9, 9) - 0.5) * 4.0)
+                .collect();
             let mut want: Vec<Vec<f32>> = lens.iter().map(|&l| vec![0.0; l]).collect();
             for p in 0..m {
                 kernel.eval_pencil(p as i64, -1, 3, &im1s[p], &jm1s[p], km1s[p], &mut want[p]);
@@ -913,8 +1008,12 @@ mod tests {
         for kernel_check in [0usize, 1, 2] {
             let m = 6;
             let len = 65;
-            let im1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 1, len).iter().map(|x| x.abs()).collect()).collect();
-            let jm1s: Vec<Vec<f32>> = (0..m).map(|p| wave_data(p, 2, len).iter().map(|x| x.abs()).collect()).collect();
+            let im1s: Vec<Vec<f32>> = (0..m)
+                .map(|p| wave_data(p, 1, len).iter().map(|x| x.abs()).collect())
+                .collect();
+            let jm1s: Vec<Vec<f32>> = (0..m)
+                .map(|p| wave_data(p, 2, len).iter().map(|x| x.abs()).collect())
+                .collect();
             let km1s: Vec<f32> = (0..m).map(|p| cell_weight(p as i64, 9, 9) * 4.0).collect();
             let mut want: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
             let mut got: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
@@ -942,7 +1041,10 @@ mod tests {
                 .map(|(g, w)| ulp_diff(*g, *w))
                 .max()
                 .unwrap();
-            assert!(max_ulp <= 8, "kernel {kernel_check}: fast tier drifted {max_ulp} ULP");
+            assert!(
+                max_ulp <= 8,
+                "kernel {kernel_check}: fast tier drifted {max_ulp} ULP"
+            );
         }
     }
 }

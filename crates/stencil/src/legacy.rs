@@ -366,7 +366,11 @@ pub fn rank_blocking_2d<C: Communicator<f32>, K: Kernel2D>(
         }
         s.compute_tile(kernel, k);
         if rank + 1 < d.ranks {
-            comm.send(rank + 1, tag(k, DIR_J), face_2d_elementwise(&s.strip, &d, k));
+            comm.send(
+                rank + 1,
+                tag(k, DIR_J),
+                face_2d_elementwise(&s.strip, &d, k),
+            );
         }
     }
     s.strip
@@ -425,12 +429,11 @@ pub fn run_dist3d<K: Kernel3D>(
 ) -> Result<(Grid3D, Duration), DecompError> {
     d.validate()?;
     let ranks = d.pi * d.pj;
-    let (blocks, elapsed) = run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| {
-        match mode {
+    let (blocks, elapsed) =
+        run_threads::<f32, Vec<f32>, _>(ranks, latency, |mut comm| match mode {
             ExecMode::Blocking => rank_blocking_3d(&mut comm, kernel, d),
             ExecMode::Overlapping => rank_overlap_3d(&mut comm, kernel, d),
-        }
-    });
+        });
     let grid_topo = CartesianGrid::new(vec![d.pi, d.pj]);
     let mut out = Grid3D::new(d.nx, d.ny, d.nz, 0.0, d.boundary);
     let (bx, by) = (d.bx(), d.by());
@@ -460,12 +463,11 @@ pub fn run_dist2d<K: Kernel2D>(
     mode: ExecMode,
 ) -> Result<(Grid2D, Duration), DecompError> {
     d.validate()?;
-    let (strips, elapsed) = run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| {
-        match mode {
+    let (strips, elapsed) =
+        run_threads::<f32, Vec<f32>, _>(d.ranks, latency, |mut comm| match mode {
             ExecMode::Blocking => rank_blocking_2d(&mut comm, kernel, d),
             ExecMode::Overlapping => rank_overlap_2d(&mut comm, kernel, d),
-        }
-    });
+        });
     let by = d.by();
     let mut out = Grid2D::new(d.nx, d.ny, 0.0, d.boundary);
     for (rank, strip) in strips.iter().enumerate() {

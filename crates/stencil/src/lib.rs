@@ -52,6 +52,7 @@ pub mod grid;
 pub mod halo;
 pub mod kernel;
 pub mod legacy;
+pub mod modelcheck;
 pub mod plan;
 pub(crate) mod pool;
 pub mod preflight;

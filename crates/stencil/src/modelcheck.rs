@@ -1,0 +1,311 @@
+//! Model checking of the intra-rank pool's tile handoff protocol.
+//!
+//! [`crate::pool`] hands a tile from the engine to its workers through
+//! a seq-numbered condvar mailbox and meets them at a generation
+//! barrier per anti-diagonal. The protocol's correctness argument —
+//! workers read the halo planes only *after* the engine's
+//! `unpack_face` writes, because the mailbox publish sits between them
+//! — lives in comments there; this module states it as a
+//! [`miniloom::Model`] and has the checker prove it over every
+//! reachable interleaving of one engine and two workers.
+//!
+//! The model abstracts one tile at operation granularity:
+//!
+//! * the engine writes the halo, publishes the job (seq bump + notify),
+//!   computes its own share, and joins the barrier;
+//! * each worker blocks on the mailbox (`enabled` models the
+//!   state-based `seq != seen` condvar wait), computes its share
+//!   reading the halo, and joins the barrier;
+//! * the barrier is the real algorithm's shape: arrivals count up, the
+//!   last arriver resets the count and bumps the generation, leavers
+//!   block until the generation moves.
+//!
+//! The halo handoff is *deliberately not* an invariant: a worker
+//! reading the halo before the engine wrote it is exactly an
+//! unsynchronized read/write pair, and catching it is the vector-clock
+//! race detector's job. The two seeded-bug variants demonstrate both
+//! failure classes: [`PoolHandoffModel::seeded_publish_before_halo`]
+//! is reported as a **race** on the halo location, and
+//! [`PoolHandoffModel::seeded_lost_barrier_arrival`] as a **deadlock**
+//! at the barrier.
+
+use miniloom::{CheckOptions, ExploreError, Footprint, Model, Report};
+
+/// Modeled location: the halo planes (engine writes, tile reads).
+const HALO: usize = 0;
+/// Modeled location: the job mailbox (mutex + condvar + seq).
+const MAILBOX: usize = 1;
+/// Modeled location: the barrier's count/generation atomics.
+const BARRIER: usize = 2;
+/// Modeled locations `ROWS + t`: participant `t`'s share of the rows.
+const ROWS: usize = 10;
+
+/// Engine + 2 workers handing one tile through the mailbox/barrier
+/// protocol of [`crate::pool`].
+pub struct PoolHandoffModel {
+    /// Seeded bug: publish the job *before* writing the halo, letting
+    /// a fast worker read the plane the engine is still writing.
+    publish_before_halo: bool,
+    /// Seeded bug: worker 2 never increments the barrier count, so the
+    /// generation never advances and every leaver blocks forever.
+    skip_barrier_arrival: bool,
+}
+
+/// The number of scripted participants (engine + 2 pool workers).
+const PARTIES: usize = 3;
+
+impl PoolHandoffModel {
+    /// The protocol as shipped.
+    pub fn new() -> Self {
+        PoolHandoffModel {
+            publish_before_halo: false,
+            skip_barrier_arrival: false,
+        }
+    }
+
+    /// Deliberately buggy variant: mailbox publish ordered before the
+    /// halo write. The checker must report a data race on the halo.
+    pub fn seeded_publish_before_halo() -> Self {
+        PoolHandoffModel {
+            publish_before_halo: true,
+            ..PoolHandoffModel::new()
+        }
+    }
+
+    /// Deliberately buggy variant: one worker's barrier arrival is
+    /// lost. The checker must report a deadlock.
+    pub fn seeded_lost_barrier_arrival() -> Self {
+        PoolHandoffModel {
+            skip_barrier_arrival: true,
+            ..PoolHandoffModel::new()
+        }
+    }
+}
+
+impl Default for PoolHandoffModel {
+    fn default() -> Self {
+        PoolHandoffModel::new()
+    }
+}
+
+/// Shadow state of one tile handoff.
+#[derive(Default)]
+pub struct PoolState {
+    /// Times the halo plane has been written (0 = stale).
+    halo_writes: u32,
+    /// Mailbox sequence number (bumped by the publish).
+    seq: u64,
+    /// Barrier arrival count and generation.
+    bar_count: usize,
+    bar_gen: usize,
+    /// Barrier generation each participant saw when arriving.
+    arrived_gen: [Option<usize>; PARTIES],
+    /// Halo version each participant's compute read (`Some(0)` means a
+    /// stale read — the race detector, not an invariant, flags it).
+    computed: [Option<u32>; PARTIES],
+    /// Participants that made it out of the barrier.
+    left: [bool; PARTIES],
+}
+
+impl PoolState {
+    fn arrive(&mut self, tid: usize) {
+        self.arrived_gen[tid] = Some(self.bar_gen);
+        self.bar_count += 1;
+        if self.bar_count == PARTIES {
+            // The real WaveBarrier's last-arriver path: reset the
+            // count before releasing the generation.
+            self.bar_count = 0;
+            self.bar_gen += 1;
+        }
+    }
+
+    fn leave(&mut self, tid: usize) -> Result<(), String> {
+        if self.computed.iter().any(|c| c.is_none()) {
+            return Err(format!(
+                "thread {tid} left the diagonal barrier before all shares \
+                 were computed: {:?}",
+                self.computed
+            ));
+        }
+        self.left[tid] = true;
+        Ok(())
+    }
+}
+
+/// Step indices of the engine script (worker scripts are the same
+/// minus the halo write and publish, plus the mailbox wait).
+const E_HALO: usize = 0;
+const E_PUBLISH: usize = 1;
+const E_COMPUTE: usize = 2;
+const E_ARRIVE: usize = 3;
+const E_LEAVE: usize = 4;
+const W_WAIT: usize = 0;
+const W_COMPUTE: usize = 1;
+const W_ARRIVE: usize = 2;
+const W_LEAVE: usize = 3;
+
+impl Model for PoolHandoffModel {
+    type State = PoolState;
+
+    fn init(&self) -> PoolState {
+        PoolState::default()
+    }
+
+    fn threads(&self) -> usize {
+        PARTIES
+    }
+
+    fn steps(&self, tid: usize) -> usize {
+        if tid == 0 {
+            5
+        } else {
+            4
+        }
+    }
+
+    fn step(&self, state: &mut PoolState, tid: usize, idx: usize) -> Result<(), String> {
+        if tid == 0 {
+            // The seeded ordering bug swaps the engine's first two steps.
+            let idx = match (self.publish_before_halo, idx) {
+                (true, E_HALO) => E_PUBLISH,
+                (true, E_PUBLISH) => E_HALO,
+                (_, i) => i,
+            };
+            match idx {
+                E_HALO => state.halo_writes += 1,
+                E_PUBLISH => state.seq += 1,
+                E_COMPUTE => state.computed[0] = Some(state.halo_writes),
+                E_ARRIVE => state.arrive(0),
+                _ => state.leave(0)?,
+            }
+        } else {
+            match idx {
+                W_WAIT => { /* effect is the guard observing the seq */ }
+                W_COMPUTE => state.computed[tid] = Some(state.halo_writes),
+                W_ARRIVE => {
+                    if self.skip_barrier_arrival && tid == 2 {
+                        // Seeded bug: the arrival is lost.
+                    } else {
+                        state.arrive(tid);
+                    }
+                }
+                _ => state.leave(tid)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn enabled(&self, state: &PoolState, tid: usize, idx: usize) -> bool {
+        if tid == 0 {
+            // The engine's barrier exit blocks until the generation
+            // advances past the one it arrived in.
+            idx != E_LEAVE || state.arrived_gen[0].is_some_and(|g| state.bar_gen > g)
+        } else {
+            match idx {
+                // worker_loop's condvar wait: runnable once seq != seen.
+                W_WAIT => state.seq > 0,
+                W_LEAVE => state.arrived_gen[tid].is_some_and(|g| state.bar_gen > g),
+                _ => true,
+            }
+        }
+    }
+
+    fn footprint(&self, tid: usize, idx: usize) -> Footprint {
+        if tid == 0 {
+            let idx = match (self.publish_before_halo, idx) {
+                (true, E_HALO) => E_PUBLISH,
+                (true, E_PUBLISH) => E_HALO,
+                (_, i) => i,
+            };
+            match idx {
+                E_HALO => Footprint::empty().write(HALO),
+                E_PUBLISH => Footprint::empty().sync(MAILBOX),
+                E_COMPUTE => Footprint::empty().read(HALO).write(ROWS),
+                // Arrive and leave both touch count+generation; leave's
+                // guard reads the generation, so it must declare it.
+                _ => Footprint::empty().sync(BARRIER),
+            }
+        } else {
+            match idx {
+                // The wait's guard reads the mailbox seq.
+                W_WAIT => Footprint::empty().sync(MAILBOX),
+                W_COMPUTE => Footprint::empty().read(HALO).write(ROWS + tid),
+                _ => Footprint::empty().sync(BARRIER),
+            }
+        }
+    }
+
+    fn invariant(&self, state: &PoolState) -> Result<(), String> {
+        if state.bar_count >= PARTIES {
+            return Err(format!(
+                "barrier count reached {} without resetting",
+                state.bar_count
+            ));
+        }
+        if state.seq > 1 {
+            return Err(format!("mailbox seq {} for a single tile", state.seq));
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, state: &mut PoolState) -> Result<(), String> {
+        if state.left.iter().any(|l| !l) {
+            return Err(format!(
+                "schedule completed with threads still inside the barrier: {:?}",
+                state.left
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Model-check the shipped handoff protocol under DPOR.
+pub fn check_pool_handoff() -> Result<Report, ExploreError> {
+    miniloom::check(&PoolHandoffModel::new(), &CheckOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_is_clean_and_dpor_reduces_it() {
+        let report = check_pool_handoff().expect("the shipped protocol is clean");
+        let unreduced = report.unreduced.expect("13 steps fit in u64");
+        // 13!/(5!·4!·4!) merge orders before enabledness/reduction.
+        assert_eq!(unreduced, 90090);
+        assert!(
+            report.schedules < unreduced,
+            "DPOR must beat full enumeration: {report:?}"
+        );
+        assert!(report.reduction_ratio().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn publish_before_halo_is_reported_as_a_race() {
+        let model = PoolHandoffModel::seeded_publish_before_halo();
+        let err = miniloom::check(&model, &CheckOptions::default())
+            .expect_err("a fast worker reads the half-written halo");
+        match err {
+            ExploreError::Race(r) => {
+                assert_eq!(r.loc, HALO);
+                assert!(!r.prefix.is_empty());
+            }
+            other => panic!("expected a race on the halo, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lost_barrier_arrival_is_reported_as_a_deadlock() {
+        let model = PoolHandoffModel::seeded_lost_barrier_arrival();
+        let err = miniloom::check(&model, &CheckOptions::default())
+            .expect_err("the generation never advances");
+        match err {
+            ExploreError::Deadlock { schedule, blocked } => {
+                assert!(!schedule.is_empty());
+                assert!(blocked.contains(&0), "the engine is stuck too: {blocked:?}");
+            }
+            other => panic!("expected a deadlock, got {other}"),
+        }
+    }
+}

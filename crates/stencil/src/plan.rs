@@ -184,8 +184,7 @@ pub fn run2d_with<K: Kernel2D>(
     let d = c.d;
     let plan = &c.plan;
     let (results, elapsed) = run_threads_with::<f32, _, _>(d.ranks, cfg, move |mut comm| {
-        let strip =
-            dist2d::try_run_rank2d_plan(&mut comm, kernel, d, plan, &mut NoopObserver);
+        let strip = dist2d::try_run_rank2d_plan(&mut comm, kernel, d, plan, &mut NoopObserver);
         (strip, comm.fault_stats())
     });
     let mut strips = Vec::with_capacity(d.ranks);
@@ -250,7 +249,11 @@ where
         let block = if workers > 1 {
             // Place each rank's pool on a contiguous core span so the
             // engine (worker 0) and its workers share locality.
-            let pin_base = if pin { Some(comm.rank() * workers) } else { None };
+            let pin_base = if pin {
+                Some(comm.rank() * workers)
+            } else {
+                None
+            };
             dist3d::try_run_rank3d_pooled_plan(
                 &mut comm, kernel, d, plan, tier, workers, pin_base, &mut obs,
             )
@@ -388,8 +391,8 @@ mod tests {
     fn prebuilt_world_runs_compiled_plans_back_to_back() {
         use msgpass::transport::TransportKind;
         let c = Compiled3D::compile(d3(), ExecMode::Overlapping).expect("clean plan");
-        let cfg = WorldConfig::new(LatencyModel::zero())
-            .with_transport(TransportKind::shared_slots());
+        let cfg =
+            WorldConfig::new(LatencyModel::zero()).with_transport(TransportKind::shared_slots());
         let mut world = build_world_with::<f32>(c.ranks(), &cfg);
         let seq = crate::seq::run_paper3d_seq(8, 8, 64, 1.0);
         for _ in 0..3 {

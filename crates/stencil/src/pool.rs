@@ -62,7 +62,8 @@ impl WaveBarrier {
             // generation — waiters re-enter only after observing the
             // new generation, so they never see a stale count.
             self.count.store(0, Ordering::Release);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
@@ -115,7 +116,13 @@ pub(crate) struct Shared<K> {
 }
 
 impl<K: Kernel3D> Shared<K> {
-    pub(crate) fn new(d: Decomp3D, kernel: K, tier: KernelTier, workers: usize, rank: usize) -> Self {
+    pub(crate) fn new(
+        d: Decomp3D,
+        kernel: K,
+        tier: KernelTier,
+        workers: usize,
+        rank: usize,
+    ) -> Self {
         let grid = CartesianGrid::new(vec![d.pi, d.pj]);
         let coords = grid.coords_of(rank);
         let workers = workers.max(1);
@@ -124,7 +131,9 @@ impl<K: Kernel3D> Shared<K> {
             kernel,
             tier,
             workers,
-            rows: (0..d.bx() * d.by()).map(|_| RwLock::new(vec![0.0; d.nz])).collect(),
+            rows: (0..d.bx() * d.by())
+                .map(|_| RwLock::new(vec![0.0; d.nz]))
+                .collect(),
             halo_i: RwLock::new(vec![0.0; d.by() * d.nz]),
             halo_j: RwLock::new(vec![0.0; d.bx() * d.nz]),
             brow: vec![d.boundary; d.nz],
@@ -211,15 +220,26 @@ impl<K: Kernel3D> Shared<K> {
     }
 
     /// Lock and evaluate the wave of pencils `(i..i+m, diag−i..)`.
-    #[allow(clippy::too_many_arguments)] // one coordinate per wave axis, mirrors eval_pencil's shape
-    fn eval_wave_at(&self, diag: usize, i: usize, m: usize, k0: usize, len: usize, halo_i: &[f32], halo_j: &[f32]) {
+    #[allow(clippy::too_many_arguments)] // LINT: one coordinate per wave axis, mirrors eval_pencil's shape
+    fn eval_wave_at(
+        &self,
+        diag: usize,
+        i: usize,
+        m: usize,
+        k0: usize,
+        len: usize,
+        halo_i: &[f32],
+        halo_j: &[f32],
+    ) {
         let by = self.d.by();
         let nz = self.d.nz;
         // Lock phase: own rows exclusively, neighbor rows shared. None
         // of these can block (see module docs), they just prove
         // disjointness to the borrow checker.
-        let mut ngi: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] = core::array::from_fn(|_| None);
-        let mut ngj: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] = core::array::from_fn(|_| None);
+        let mut ngi: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] =
+            core::array::from_fn(|_| None);
+        let mut ngj: [Option<RwLockReadGuard<'_, Vec<f32>>>; MAX_WAVE] =
+            core::array::from_fn(|_| None);
         let mut own: [_; MAX_WAVE] = core::array::from_fn(|_| None);
         for p in 0..m {
             let ii = i + p;
@@ -248,9 +268,21 @@ impl<K: Kernel3D> Shared<K> {
             };
             let row: &mut Vec<f32> = og.as_mut().unwrap();
             let (below, at) = row.split_at_mut(k0);
-            let km1 = if k0 > 0 { below[k0 - 1] } else { self.d.boundary };
+            let km1 = if k0 > 0 {
+                below[k0 - 1]
+            } else {
+                self.d.boundary
+            };
             let (out, _) = at.split_at_mut(len);
-            wave.push(self.gi0 + ii as i64, self.gj0 + jj as i64, k0 as i64, im1, jm1, km1, out);
+            wave.push(
+                self.gi0 + ii as i64,
+                self.gj0 + jj as i64,
+                k0 as i64,
+                im1,
+                jm1,
+                km1,
+                out,
+            );
         }
         self.kernel.eval_wave_tier(self.tier, &mut wave);
     }

@@ -91,10 +91,7 @@ impl Grid3DTopo {
         let mut up = Vec::with_capacity(ranks);
         let mut dn = Vec::with_capacity(ranks);
         for rank in 0..ranks {
-            up.push([
-                grid.neighbor(rank, &[-1, 0]),
-                grid.neighbor(rank, &[0, -1]),
-            ]);
+            up.push([grid.neighbor(rank, &[-1, 0]), grid.neighbor(rank, &[0, -1])]);
             dn.push([grid.neighbor(rank, &[1, 0]), grid.neighbor(rank, &[0, 1])]);
         }
         Grid3DTopo { d, up, dn }
@@ -148,8 +145,14 @@ pub fn check_plan3d(d: &Decomp3D, mode: ExecMode) -> Result<AnalysisReport, Engi
     // The paper's §5 layout maps along i₃ (`try_run_rank3d_observed`).
     let plan = mode.step_plan(3, 2, d.steps());
     let pi = mode_pi(mode, 3, 2);
-    analyze(&Grid3DTopo::new(*d), &plan, &pi, 2, &DependenceSet::paper_3d())
-        .map_err(EngineError::from)
+    analyze(
+        &Grid3DTopo::new(*d),
+        &plan,
+        &pi,
+        2,
+        &DependenceSet::paper_3d(),
+    )
+    .map_err(EngineError::from)
 }
 
 #[cfg(test)]

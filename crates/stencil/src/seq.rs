@@ -8,13 +8,7 @@ use crate::grid::{Grid2D, Grid3D};
 use crate::kernel::{Example1, Kernel2D, Kernel3D, Paper3D};
 
 /// Run any 3-D wavefront kernel sequentially; returns the final grid.
-pub fn run_seq3d<K: Kernel3D>(
-    kernel: K,
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    boundary: f32,
-) -> Grid3D {
+pub fn run_seq3d<K: Kernel3D>(kernel: K, nx: usize, ny: usize, nz: usize, boundary: f32) -> Grid3D {
     let mut g = Grid3D::new(nx, ny, nz, 0.0, boundary);
     for i in 0..nx {
         for j in 0..ny {

@@ -74,9 +74,11 @@ mod tests {
         assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Blocking)
             .expect("valid")
             .passed());
-        assert!(verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping)
-            .expect("valid")
-            .passed());
+        assert!(
+            verify_paper3d(d, LatencyModel::zero(), ExecMode::Overlapping)
+                .expect("valid")
+                .passed()
+        );
     }
 
     #[test]
@@ -91,9 +93,11 @@ mod tests {
         assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Blocking)
             .expect("valid")
             .passed());
-        assert!(verify_example1(d, LatencyModel::zero(), ExecMode::Overlapping)
-            .expect("valid")
-            .passed());
+        assert!(
+            verify_example1(d, LatencyModel::zero(), ExecMode::Overlapping)
+                .expect("valid")
+                .passed()
+        );
     }
 
     #[test]
@@ -112,7 +116,9 @@ mod tests {
             v: 4,
             boundary: 1.0,
         };
-        assert!(verify_paper3d(d, lat, ExecMode::Overlapping).expect("valid").passed());
+        assert!(verify_paper3d(d, lat, ExecMode::Overlapping)
+            .expect("valid")
+            .passed());
     }
 
     #[test]

@@ -8,7 +8,11 @@ use stencil::kernel::{Kernel3D, Paper3D, Wave, MAX_WAVE};
 
 fn bench(label: &str, m: usize, len: usize, reps: usize, wave_mode: bool) {
     let src: Vec<Vec<f32>> = (0..m)
-        .map(|n| (0..len).map(|z| 1.0 + ((n * 7 + z) % 13) as f32 * 0.1).collect())
+        .map(|n| {
+            (0..len)
+                .map(|z| 1.0 + ((n * 7 + z) % 13) as f32 * 0.1)
+                .collect()
+        })
         .collect();
     let mut rows: Vec<Vec<f32>> = vec![vec![0.0; len]; m];
     let k = Paper3D;
@@ -25,13 +29,24 @@ fn bench(label: &str, m: usize, len: usize, reps: usize, wave_mode: bool) {
             k.eval_wave(&mut wave);
         } else {
             for n in 0..m {
-                k.eval_pencil(1 + n as i64, 1, 1, &src[n], &src[(n + 1) % m], 1.5, &mut rows[n]);
+                k.eval_pencil(
+                    1 + n as i64,
+                    1,
+                    1,
+                    &src[n],
+                    &src[(n + 1) % m],
+                    1.5,
+                    &mut rows[n],
+                );
             }
         }
     }
     let secs = t0.elapsed().as_secs_f64();
     let cells = (m * len * reps) as f64;
-    println!("{label:28} m={m:2} len={len:4}: {:6.2} ns/cell", secs * 1e9 / cells);
+    println!(
+        "{label:28} m={m:2} len={len:4}: {:6.2} ns/cell",
+        secs * 1e9 / cells
+    );
     assert!(rows[0][len / 2].is_finite());
 }
 
@@ -66,7 +81,10 @@ fn single_rank_tile_micro() {
             best = best.min(secs);
         }
         let cells = (nx * nx * nz) as f64;
-        println!("single-rank {nx}x{nx}x{nz}: {:6.2} ns/cell (best of 5)", best * 1e9 / cells);
+        println!(
+            "single-rank {nx}x{nx}x{nz}: {:6.2} ns/cell (best of 5)",
+            best * 1e9 / cells
+        );
     }
 }
 

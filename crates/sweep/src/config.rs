@@ -64,8 +64,11 @@ pub enum MachinePreset {
 
 impl MachinePreset {
     /// All presets, in CSV-stable order.
-    pub const ALL: [MachinePreset; 3] =
-        [MachinePreset::Paper, MachinePreset::Gigabit, MachinePreset::OsBypass];
+    pub const ALL: [MachinePreset; 3] = [
+        MachinePreset::Paper,
+        MachinePreset::Gigabit,
+        MachinePreset::OsBypass,
+    ];
 
     /// The machine parameters of this preset.
     pub fn params(self) -> MachineParams {
@@ -354,7 +357,10 @@ mod tests {
     #[test]
     fn quick_spec_meets_ci_floor() {
         let n = generate(&SweepSpec::quick(0)).len();
-        assert!(n >= 500, "quick sweep must cover at least 500 configs, got {n}");
+        assert!(
+            n >= 500,
+            "quick sweep must cover at least 500 configs, got {n}"
+        );
     }
 
     #[test]
@@ -380,9 +386,7 @@ mod tests {
             assert!(rows.iter().any(|c| c.schedule == Schedule::Overlap));
         }
         // Full-size fig9 sweeps the paper's measured optimum itself.
-        assert!(configs
-            .iter()
-            .any(|c| c.slice == "fig9" && c.v == 444));
+        assert!(configs.iter().any(|c| c.slice == "fig9" && c.v == 444));
     }
 
     #[test]

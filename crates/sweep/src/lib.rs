@@ -44,9 +44,7 @@ pub mod run;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::config::{
-        generate, MachinePreset, Mix64, Schedule, SweepConfig, SweepSpec,
-    };
-    pub use crate::output::{csv_header, to_csv, training_csv, summary_json};
+    pub use crate::config::{generate, MachinePreset, Mix64, Schedule, SweepConfig, SweepSpec};
+    pub use crate::output::{csv_header, summary_json, to_csv, training_csv};
     pub use crate::run::{run_sweep, RowStatus, SweepOutcome, SweepRow};
 }

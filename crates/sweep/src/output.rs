@@ -72,7 +72,11 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             c.v,
             c.schedule.name(),
             c.duplex,
-            if c.shared_bus { "shared_bus" } else { "switched" },
+            if c.shared_bus {
+                "shared_bus"
+            } else {
+                "switched"
+            },
             c.seed,
             r.status.name(),
         );
@@ -263,11 +267,7 @@ pub fn summary_json(seed: u64, outcome: &SweepOutcome) -> String {
                 let _ = writeln!(out, "      \"best_overlap_us\": {},", num(ov, 3));
                 let _ = writeln!(out, "      \"best_overlap_v\": {v},");
                 let _ = writeln!(out, "      \"best_blocking_us\": {},", num(bl, 3));
-                let _ = writeln!(
-                    out,
-                    "      \"improvement\": {}",
-                    num(1.0 - ov / bl, 6)
-                );
+                let _ = writeln!(out, "      \"improvement\": {}", num(1.0 - ov / bl, 6));
             }
             _ => {
                 out.push_str("      \"best_overlap_us\": null,\n");
@@ -384,7 +384,10 @@ mod tests {
         let out = run_sweep(&[mk(0, 0.0), mk(1, 0.6)], 2);
         let in_model_err = out.rows[0].metrics.unwrap().pred_err_rel.abs();
         let hetero_err = out.rows[1].metrics.unwrap().pred_err_rel.abs();
-        assert!((hetero_err - in_model_err).abs() > 1e-3, "degenerate test point");
+        assert!(
+            (hetero_err - in_model_err).abs() > 1e-3,
+            "degenerate test point"
+        );
         let json = summary_json(11, &out);
         let line = json
             .lines()

@@ -149,10 +149,9 @@ fn evaluate(c: &SweepConfig) -> Result<RowMetrics, EvalError> {
         .with_duplex(c.duplex)
         .with_topology(topology);
     let speeds = problem.node_speeds(c.seed, c.hetero_spread);
-    let result = simulate_heterogeneous(cfg, programs, speeds)
-        .map_err(|e| EvalError::Sim(e.to_string()))?;
-    let summary = summarize(&result)
-        .ok_or_else(|| EvalError::Sim("zero-rank fleet".into()))?;
+    let result =
+        simulate_heterogeneous(cfg, programs, speeds).map_err(|e| EvalError::Sim(e.to_string()))?;
+    let summary = summarize(&result).ok_or_else(|| EvalError::Sim("zero-rank fleet".into()))?;
     let space = IterationSpace::from_extents(&c.extents);
     let cf = match c.schedule {
         Schedule::Overlap => overlap_optimal_v(
@@ -236,8 +235,7 @@ fn run_one(c: &SweepConfig) -> SweepRow {
 pub fn run_sweep(configs: &[SweepConfig], workers: usize) -> SweepOutcome {
     let workers = workers.max(1).min(configs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepRow>>> =
-        configs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SweepRow>>> = configs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -316,7 +314,11 @@ mod tests {
     fn ok_rows_have_sane_metrics() {
         let configs = generate(&small_spec(3));
         let out = run_sweep(&configs, 4);
-        let ok = out.rows.iter().filter(|r| r.status == RowStatus::Ok).count();
+        let ok = out
+            .rows
+            .iter()
+            .filter(|r| r.status == RowStatus::Ok)
+            .count();
         assert!(ok > 0, "at least some configs must simulate");
         for r in &out.rows {
             if let Some(m) = &r.metrics {
@@ -382,7 +384,10 @@ mod tests {
         let out = run_sweep(&[mk(Schedule::Blocking), mk(Schedule::Overlap)], 2);
         let b = out.rows[0].metrics.expect("blocking ok");
         let o = out.rows[1].metrics.expect("overlap ok");
-        assert!(o.makespan_us < b.makespan_us, "overlap {o:?} vs blocking {b:?}");
+        assert!(
+            o.makespan_us < b.makespan_us,
+            "overlap {o:?} vs blocking {b:?}"
+        );
     }
 
     #[test]

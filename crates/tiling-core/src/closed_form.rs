@@ -149,7 +149,11 @@ fn message_byte_model(
     let v2 = 128;
     let m1 = neighbor_messages(&build(v1), deps, &mapping);
     let m2 = neighbor_messages(&build(v2), deps, &mapping);
-    assert_eq!(m1.len(), m2.len(), "message structure must not change with V");
+    assert_eq!(
+        m1.len(),
+        m2.len(),
+        "message structure must not change with V"
+    );
     let b = f64::from(machine.bytes_per_elem);
     m1.iter()
         .zip(&m2)
@@ -230,8 +234,7 @@ pub fn nonoverlap_optimal_v(
     mapping_dim: usize,
 ) -> ClosedForm {
     let msgs = message_byte_model(deps, machine, cross_section, mapping_dim);
-    let startup_base =
-        machine.fill_mpi_buffer.base_us + machine.fill_kernel_buffer.base_us;
+    let startup_base = machine.fill_mpi_buffer.base_us + machine.fill_kernel_buffer.base_us;
     let startup_slope =
         machine.fill_mpi_buffer.per_byte_us + machine.fill_kernel_buffer.per_byte_us;
     let mut alpha = 0.0;

@@ -102,8 +102,7 @@ fn render_bound(bounds: &[Affine], names: &[&str], combiner: &str, rounder: &str
         .map(|a| {
             let text = a.render(names);
             // Integer-valued forms need no rounding annotation.
-            let fractional = a.coeffs.iter().any(|c| !c.is_integer())
-                || !a.constant.is_integer();
+            let fractional = a.coeffs.iter().any(|c| !c.is_integer()) || !a.constant.is_integer();
             if fractional {
                 format!("{rounder}({text})")
             } else {
@@ -174,11 +173,7 @@ pub fn tiled_rectangular(tiling: &Tiling, space: &IterationSpace, names: &[&str]
 
 /// Generate loops scanning the image of `space` under the unimodular
 /// transformation `t`, via Fourier–Motzkin elimination.
-pub fn transformed_domain(
-    space: &IterationSpace,
-    t: &Unimodular,
-    names: &[&str],
-) -> GeneratedNest {
+pub fn transformed_domain(space: &IterationSpace, t: &Unimodular, names: &[&str]) -> GeneratedNest {
     let n = space.dims();
     assert_eq!(names.len(), n, "one name per dimension");
     let poly = Polyhedron::transformed_space(space, t);

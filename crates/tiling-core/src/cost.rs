@@ -50,7 +50,10 @@ pub fn v_comm_total(tiling: &Tiling, deps: &DependenceSet) -> Rational {
 /// Formula (2): communication volume when tiles along `mapping_dim` are
 /// mapped to the same processor — that dimension's surface is excluded.
 pub fn v_comm_mapped(tiling: &Tiling, deps: &DependenceSet, mapping_dim: usize) -> Rational {
-    assert!(mapping_dim < tiling.dims(), "mapping dimension out of range");
+    assert!(
+        mapping_dim < tiling.dims(),
+        "mapping dimension out of range"
+    );
     let mut sum = Rational::ZERO;
     for d in deps.iter() {
         for i in 0..tiling.dims() {
@@ -76,7 +79,12 @@ pub fn v_comm_per_dimension(tiling: &Tiling, deps: &DependenceSet, dim: usize) -
 
 /// Message payload in bytes for the neighbor in direction `dim`, at `b`
 /// bytes per array element.
-pub fn message_bytes(tiling: &Tiling, deps: &DependenceSet, dim: usize, bytes_per_elem: u32) -> f64 {
+pub fn message_bytes(
+    tiling: &Tiling,
+    deps: &DependenceSet,
+    dim: usize,
+    bytes_per_elem: u32,
+) -> f64 {
     v_comm_per_dimension(tiling, deps, dim).to_f64() * f64::from(bytes_per_elem)
 }
 
@@ -190,11 +198,8 @@ mod tests {
     fn skewed_tiling_volume() {
         // P = [[2,1],[0,2]], d = (1,1): Hd = (1/4, 1/2).
         // Surface 0: det·1/4 = 1, surface 1: det·1/2 = 2; total 3.
-        let t = Tiling::from_side_matrix(crate::matrix::IntMatrix::from_rows(&[
-            &[2, 1],
-            &[0, 2],
-        ]))
-        .unwrap();
+        let t = Tiling::from_side_matrix(crate::matrix::IntMatrix::from_rows(&[&[2, 1], &[0, 2]]))
+            .unwrap();
         let d = DependenceSet::from_vectors(2, vec![vec![1, 1]]);
         assert_eq!(v_comm_total(&t, &d), Rational::from_int(3));
         assert_eq!(v_comm_total_bruteforce(&t, &d), 3);

@@ -86,7 +86,10 @@ impl fmt::Display for LoopNestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoopNestError::ArityMismatch { expected, found } => {
-                write!(f, "access arity {found} does not match loop depth {expected}")
+                write!(
+                    f,
+                    "access arity {found} does not match loop depth {expected}"
+                )
             }
             LoopNestError::NotLexPositive(v) => {
                 write!(f, "dependence {v:?} is not lexicographically positive")

@@ -548,7 +548,10 @@ mod tests {
         assert_eq!(s.t_c_us, m.t_c_us);
         assert_eq!(s.t_s_us, m.t_s_us * 0.5);
         assert_eq!(s.t_t_us_per_byte, m.t_t_us_per_byte * 0.5);
-        assert_eq!(s.fill_mpi_buffer.eval(1000.0), m.fill_mpi_buffer.eval(1000.0) * 0.5);
+        assert_eq!(
+            s.fill_mpi_buffer.eval(1000.0),
+            m.fill_mpi_buffer.eval(1000.0) * 0.5
+        );
         // Zero factor = free communication.
         let z = m.scale_communication(0.0);
         assert_eq!(z.startup_us(1e6), 0.0);

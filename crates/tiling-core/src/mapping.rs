@@ -90,7 +90,10 @@ impl ProcessorMapping {
         let mut rank = 0usize;
         for (i, (&c, (&l, &e))) in proc.iter().zip(lowers.iter().zip(&grid)).enumerate() {
             let local = c - l;
-            assert!(local >= 0 && local < e, "tile outside space in proc dim {i}");
+            assert!(
+                local >= 0 && local < e,
+                "tile outside space in proc dim {i}"
+            );
             rank = rank * e as usize + local as usize;
         }
         rank

@@ -197,7 +197,11 @@ pub fn best_rectangular_plan(
 ) -> Option<TilingPlan> {
     let mut best: Option<TilingPlan> = None;
     for sides in rectangular_shapes(g, space.dims()) {
-        if sides.iter().zip(space.extents().iter()).any(|(&s, &e)| s > e) {
+        if sides
+            .iter()
+            .zip(space.extents().iter())
+            .any(|(&s, &e)| s > e)
+        {
             continue;
         }
         let tiling = Tiling::rectangular(&sides);
@@ -208,10 +212,7 @@ pub fn best_rectangular_plan(
             .analyze(&tiling, deps, space, machine);
         let ov = OverlapSchedule::with_mapping(space.dims(), mapping_dim)
             .analyze(&tiling, deps, space, machine, mode);
-        if best
-            .as_ref()
-            .is_none_or(|b| no.total_us < b.nonoverlap_us)
-        {
+        if best.as_ref().is_none_or(|b| no.total_us < b.nonoverlap_us) {
             best = Some(TilingPlan {
                 sides,
                 nonoverlap_us: no.total_us,
@@ -345,17 +346,15 @@ mod tests {
         let space = IterationSpace::from_extents(&[10_000, 1_000]);
         let g = crate::schedule::nonoverlap::optimal_g_hodzic_shang(&machine, 1) as i64;
         assert_eq!(g, 100);
-        let plan =
-            best_rectangular_plan(&space, &deps, &machine, g, 0, OverlapMode::DuplexDma)
-                .expect("feasible shapes exist");
+        let plan = best_rectangular_plan(&space, &deps, &machine, g, 0, OverlapMode::DuplexDma)
+            .expect("feasible shapes exist");
         // Strictly better than the paper's square choice…
         assert!(plan.nonoverlap_us < 400_036.0, "{plan:?}");
         // …and needle shapes were correctly rejected by total time.
         assert!(plan.sides.iter().all(|&s| s >= 2), "{plan:?}");
         // The square itself evaluates to exactly the paper's number.
         let square = Tiling::rectangular(&[10, 10]);
-        let sq = NonOverlapSchedule::with_mapping(2, 0)
-            .analyze(&square, &deps, &space, &machine);
+        let sq = NonOverlapSchedule::with_mapping(2, 0).analyze(&square, &deps, &space, &machine);
         assert!((sq.total_us - 400_036.0).abs() < 1.0);
     }
 
@@ -378,8 +377,7 @@ mod tests {
         let deps = DependenceSet::from_vectors(2, vec![vec![1, 1]]);
         let space = IterationSpace::from_extents(&[16, 16]);
         assert!(
-            best_rectangular_plan(&space, &deps, &machine, 2, 0, OverlapMode::Serialized)
-                .is_none()
+            best_rectangular_plan(&space, &deps, &machine, 2, 0, OverlapMode::Serialized).is_none()
         );
     }
 

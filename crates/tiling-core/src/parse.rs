@@ -225,7 +225,9 @@ impl Parser {
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.bump() {
-            Some(Spanned { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) if s.eq_ignore_ascii_case(kw) => Ok(()),
             Some(s) => err_span(
                 s.line,
                 s.col,
@@ -269,14 +271,22 @@ impl Parser {
 
     fn expect_int(&mut self, what: &str) -> Result<i64, ParseError> {
         // Allow a leading minus.
-        let neg = if matches!(self.peek(), Some(Spanned { tok: Tok::Minus, .. })) {
+        let neg = if matches!(
+            self.peek(),
+            Some(Spanned {
+                tok: Tok::Minus,
+                ..
+            })
+        ) {
             self.bump();
             true
         } else {
             false
         };
         match self.bump() {
-            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(if neg { -v } else { v }),
+            Some(Spanned {
+                tok: Tok::Int(v), ..
+            }) => Ok(if neg { -v } else { v }),
             Some(s) => err_span(
                 s.line,
                 s.col,
@@ -359,7 +369,9 @@ impl Parser {
         let mut want_operand = true;
         loop {
             match self.peek().cloned() {
-                Some(Spanned { tok: Tok::Ident(s), .. }) => {
+                Some(Spanned {
+                    tok: Tok::Ident(s), ..
+                }) => {
                     if s.eq_ignore_ascii_case("endfor") || s.eq_ignore_ascii_case("for") {
                         break;
                     }
@@ -381,7 +393,9 @@ impl Parser {
                     }
                     want_operand = false;
                 }
-                Some(Spanned { tok: Tok::Int(_), .. }) => {
+                Some(Spanned {
+                    tok: Tok::Int(_), ..
+                }) => {
                     self.bump();
                     want_operand = false;
                 }
@@ -392,7 +406,9 @@ impl Parser {
                     self.bump();
                     want_operand = true;
                 }
-                Some(Spanned { tok: Tok::LParen, .. }) => {
+                Some(Spanned {
+                    tok: Tok::LParen, ..
+                }) => {
                     self.bump();
                     self.rhs(arrays, loop_vars, dims, reads)?;
                     self.expect_tok(Tok::RParen, "`)`")?;
@@ -445,7 +461,11 @@ pub fn parse_loop_nest(src: &str) -> Result<LoopNest, ParseError> {
     while !p.at_keyword("endfor") {
         if p.peek().is_none() {
             let (line, col) = p.eof_pos();
-            return err(line, col, "unexpected end of input: missing statements/ENDFOR");
+            return err(
+                line,
+                col,
+                "unexpected end of input: missing statements/ENDFOR",
+            );
         }
         let write = p.access(&mut arrays, &loop_vars, dims)?;
         p.expect_tok(Tok::Assign, "`=`")?;
@@ -655,7 +675,8 @@ mod tests {
         let e = parse_loop_nest(src).unwrap_err();
         assert_eq!(e.len, 1);
         assert!(
-            e.to_string().starts_with(&format!("{}:{}: ", e.line, e.col)),
+            e.to_string()
+                .starts_with(&format!("{}:{}: ", e.line, e.col)),
             "{e}"
         );
     }
@@ -694,8 +715,12 @@ mod tests {
         let tiling = crate::tiling::Tiling::rectangular(&[10, 10]);
         assert!(tiling.is_legal(&deps));
         let machine = crate::machine::MachineParams::example_1();
-        let r = crate::schedule::NonOverlapSchedule::with_mapping(2, 0)
-            .analyze(&tiling, &deps, nest.space(), &machine);
+        let r = crate::schedule::NonOverlapSchedule::with_mapping(2, 0).analyze(
+            &tiling,
+            &deps,
+            nest.space(),
+            &machine,
+        );
         assert_eq!(r.schedule_length, 1099);
     }
 }

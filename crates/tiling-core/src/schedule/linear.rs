@@ -22,7 +22,10 @@ impl LinearSchedule {
     /// Panics if `pi` is empty or all-zero.
     pub fn new(pi: Vec<i64>) -> Self {
         assert!(!pi.is_empty(), "schedule vector must be non-empty");
-        assert!(pi.iter().any(|&x| x != 0), "schedule vector must be non-zero");
+        assert!(
+            pi.iter().any(|&x| x != 0),
+            "schedule vector must be non-zero"
+        );
         LinearSchedule { pi }
     }
 
@@ -144,9 +147,7 @@ pub fn optimal_linear_schedule(
                 let ms = cand.makespan(space, deps);
                 let better = match &best {
                     None => true,
-                    Some((bms, bpi)) => {
-                        ms < *bms || (ms == *bms && preferred(&pi, bpi))
-                    }
+                    Some((bms, bpi)) => ms < *bms || (ms == *bms && preferred(&pi, bpi)),
                 };
                 if better {
                     best = Some((ms, pi.clone()));
@@ -221,10 +222,7 @@ mod tests {
         assert_eq!(s.makespan(&space, &deps), 7);
         // Same as Π = (1,1) on the same space.
         let ones = LinearSchedule::ones(2);
-        assert_eq!(
-            s.makespan(&space, &deps),
-            ones.makespan(&space, &deps)
-        );
+        assert_eq!(s.makespan(&space, &deps), ones.makespan(&space, &deps));
     }
 
     #[test]
@@ -336,8 +334,7 @@ mod tests {
         // Sanity: every in-space dependence chain is ordered.
         for j in space.points() {
             for d in deps.iter() {
-                let succ: Vec<i64> =
-                    j.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
+                let succ: Vec<i64> = j.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
                 if space.contains(&succ) {
                     assert!(s.time_of(&succ, &space, &deps) > s.time_of(&j, &space, &deps));
                 }
@@ -352,8 +349,7 @@ mod tests {
         // schedule exists at any coefficient bound (the dependence cone
         // is not pointed, i.e. the "loop" has a dependence cycle).
         let space = IterationSpace::from_extents(&[4, 4]);
-        let deps =
-            DependenceSet::from_vectors(2, vec![vec![1, -2], vec![-2, 1], vec![1, 1]]);
+        let deps = DependenceSet::from_vectors(2, vec![vec![1, -2], vec![-2, 1], vec![1, 1]]);
         assert!(optimal_linear_schedule(&space, &deps, 1).is_none());
         assert!(optimal_linear_schedule(&space, &deps, 3).is_none());
     }

@@ -215,8 +215,7 @@ mod tests {
         let deps = DependenceSet::units(3);
         for t in ts.points() {
             for d in deps.iter() {
-                let succ: Vec<i64> =
-                    t.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
+                let succ: Vec<i64> = t.iter().zip(d.components()).map(|(&a, &b)| a + b).collect();
                 if ts.contains(&succ) {
                     assert!(s.time_of(&succ, &ts) > s.time_of(&t, &ts));
                 }

@@ -66,7 +66,13 @@ impl OverlapSchedule {
     /// 2 elsewhere.
     pub fn pi(&self) -> Vec<i64> {
         (0..self.mapping.dims())
-            .map(|d| if d == self.mapping.mapping_dim() { 1 } else { 2 })
+            .map(|d| {
+                if d == self.mapping.mapping_dim() {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect()
     }
 
@@ -363,6 +369,10 @@ mod tests {
         assert!((r.cpu_lane_us - (4.0 * 627.0 + 7104.0 * 0.441)).abs() < 5.0);
         assert!(r.is_cpu_bound());
         // Total ≈ 49 × 5.64 ms ≈ 0.277 s: within 20% of the paper's 0.24.
-        assert!(r.total_secs() > 0.2 && r.total_secs() < 0.32, "{}", r.total_secs());
+        assert!(
+            r.total_secs() > 0.2 && r.total_secs() < 0.32,
+            "{}",
+            r.total_secs()
+        );
     }
 }

@@ -125,10 +125,7 @@ mod tests {
         let nplan = nsched.step_plan(5);
         for ci in 0..2 {
             for k in 0..5 {
-                assert_eq!(
-                    nplan.logical_time(ci, k),
-                    nsched.time_of(&[ci, 0, k], &ts)
-                );
+                assert_eq!(nplan.logical_time(ci, k), nsched.time_of(&[ci, 0, k], &ts));
             }
         }
     }

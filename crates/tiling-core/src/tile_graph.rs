@@ -41,11 +41,7 @@ impl TileGraph {
         let mut succs = vec![Vec::new(); nodes.len()];
         for (vi, v) in nodes.iter().enumerate() {
             for d in tile_deps.iter() {
-                let pred: Point = v
-                    .iter()
-                    .zip(d.components())
-                    .map(|(&a, &b)| a - b)
-                    .collect();
+                let pred: Point = v.iter().zip(d.components()).map(|(&a, &b)| a - b).collect();
                 if let Some(&pi) = index.get(&pred) {
                     preds[vi].push(pi);
                     succs[pi].push(vi);
@@ -250,8 +246,7 @@ mod tests {
         let (_, g) = grid(&[3, 3, 3]);
         let order = g.topological_order().unwrap();
         assert_eq!(order.len(), 27);
-        let pos: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(p, &n)| (n, p)).collect();
         for v in 0..g.len() {
             for &p in g.preds(v) {
                 assert!(pos[&p] < pos[&v]);
@@ -283,9 +278,7 @@ mod tests {
         let no = NonOverlapSchedule::with_mapping(2, 1);
         let ov = OverlapSchedule::with_mapping(2, 1);
         let lag = TileGraph::overlap_lag(ov.mapping());
-        assert!(g
-            .validate_times(|t| no.time_of(t, &space), lag)
-            .is_err());
+        assert!(g.validate_times(|t| no.time_of(t, &space), lag).is_err());
     }
 
     #[test]
@@ -352,9 +345,7 @@ mod tests {
     fn violation_reports_edge() {
         let (space, g) = grid(&[2, 2]);
         // A constant time function violates every edge.
-        let err = g
-            .validate_times(|_| 0, TileGraph::unit_lag)
-            .unwrap_err();
+        let err = g.validate_times(|_| 0, TileGraph::unit_lag).unwrap_err();
         assert_eq!(err.required_lag, 1);
         assert_eq!(err.t_from, 0);
         let _ = err.to_string();

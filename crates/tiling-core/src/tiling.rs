@@ -212,10 +212,8 @@ impl Tiling {
     /// `|det P|` of them.
     pub fn fundamental_domain(&self) -> Vec<Point> {
         if let Some(sides) = &self.rect_sides {
-            let space = IterationSpace::new(
-                vec![0; sides.len()],
-                sides.iter().map(|&s| s - 1).collect(),
-            );
+            let space =
+                IterationSpace::new(vec![0; sides.len()], sides.iter().map(|&s| s - 1).collect());
             return space.points().collect();
         }
         // General case: scan the bounding box of the parallelepiped
@@ -340,11 +338,15 @@ impl Tiling {
     pub fn tile_is_nonempty(&self, tile: &[i64], space: &IterationSpace) -> bool {
         if let Some(sides) = &self.rect_sides {
             // Tile spans [tile_d * side_d, (tile_d+1) * side_d).
-            return tile.iter().zip(sides.iter()).enumerate().all(|(d, (&t, &s))| {
-                let tile_lo = t * s;
-                let tile_hi = tile_lo + s - 1;
-                tile_hi >= space.lower()[d] && tile_lo <= space.upper()[d]
-            });
+            return tile
+                .iter()
+                .zip(sides.iter())
+                .enumerate()
+                .all(|(d, (&t, &s))| {
+                    let tile_lo = t * s;
+                    let tile_hi = tile_lo + s - 1;
+                    tile_hi >= space.lower()[d] && tile_lo <= space.upper()[d]
+                });
         }
         self.points_in_tile(tile, space).next().is_some()
     }
@@ -455,7 +457,10 @@ mod tests {
         assert!(t.is_legal(&DependenceSet::example_1()));
         // A negative dependence component is illegal for axis tiles.
         let bad = DependenceSet::from_vectors(2, vec![vec![1, -1]]);
-        assert_eq!(t.check_legal(&bad), Err(TilingError::Illegal { dep_index: 0 }));
+        assert_eq!(
+            t.check_legal(&bad),
+            Err(TilingError::Illegal { dep_index: 0 })
+        );
     }
 
     #[test]
@@ -585,6 +590,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TilingError::Illegal { dep_index: 2 }.to_string().contains("#2"));
+        assert!(TilingError::Illegal { dep_index: 2 }
+            .to_string()
+            .contains("#2"));
     }
 }

@@ -329,7 +329,12 @@ mod tests {
     fn legalizing_skew_3d() {
         let deps = DependenceSet::from_vectors(
             3,
-            vec![vec![1, -2, 0], vec![1, 0, -1], vec![0, 1, -1], vec![1, 1, 1]],
+            vec![
+                vec![1, -2, 0],
+                vec![1, 0, -1],
+                vec![0, 1, -1],
+                vec![1, 1, 1],
+            ],
         );
         let t = legalizing_skew(&deps).expect("lex-positive");
         let skewed = t.apply_deps(&deps);

@@ -117,9 +117,7 @@ proptest! {
 #[test]
 fn rejects_malformed_knot_lists() {
     assert_eq!(PiecewiseCost::from_knots(&[]), Err(CostCurveError::Empty));
-    let too_many: Vec<(f64, f64)> = (0..=MAX_COST_KNOTS)
-        .map(|i| (i as f64, i as f64))
-        .collect();
+    let too_many: Vec<(f64, f64)> = (0..=MAX_COST_KNOTS).map(|i| (i as f64, i as f64)).collect();
     assert_eq!(
         PiecewiseCost::from_knots(&too_many),
         Err(CostCurveError::TooManyKnots(MAX_COST_KNOTS + 1))

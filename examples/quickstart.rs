@@ -22,7 +22,10 @@ fn main() {
 
     // Square 10×10 tiles (the paper's optimal choice for this machine).
     let tiling = Tiling::rectangular(&[10, 10]);
-    println!("tiling P = diag(10,10), g = {} points/tile", tiling.volume());
+    println!(
+        "tiling P = diag(10,10), g = {} points/tile",
+        tiling.volume()
+    );
     println!("legal (HD ≥ 0):          {}", tiling.is_legal(&deps));
     println!(
         "deps fit in one tile:    {}",
@@ -30,10 +33,7 @@ fn main() {
     );
 
     // Communication pricing (§2.4).
-    println!(
-        "V_comm all surfaces (1): {}",
-        v_comm_total(&tiling, &deps)
-    );
+    println!("V_comm all surfaces (1): {}", v_comm_total(&tiling, &deps));
     println!(
         "V_comm mapped on i1 (2): {}\n",
         v_comm_mapped(&tiling, &deps, 0)

@@ -61,7 +61,10 @@ fn main() {
     // paper's grain-tuning methodology), mapping along the longest
     // tiled dimension each time.
     let machine = MachineParams::paper_cluster();
-    println!("\n{:>10} | {:>24} | {:>24} | gain", "tile", "non-overlap (P, T)", "overlap (P, T)");
+    println!(
+        "\n{:>10} | {:>24} | {:>24} | gain",
+        "tile", "non-overlap (P, T)", "overlap (P, T)"
+    );
     let mut best: Option<(Vec<i64>, f64, f64)> = None;
     for shape in [
         vec![8i64, 16],
@@ -106,5 +109,7 @@ fn main() {
         "\nbest overlapping grain: {}×{} — {:.4} s vs {:.4} s non-overlapping at the same shape",
         shape[0], shape[1], ov_t, no_t
     );
-    println!("(the win appears once the grain balances comm against compute — the paper's §4 tuning)");
+    println!(
+        "(the win appears once the grain balances comm against compute — the paper's §4 tuning)"
+    );
 }

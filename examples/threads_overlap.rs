@@ -45,7 +45,10 @@ fn main() {
 
     let seq_start = std::time::Instant::now();
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
-    println!("sequential reference: {:.3} s", seq_start.elapsed().as_secs_f64());
+    println!(
+        "sequential reference: {:.3} s",
+        seq_start.elapsed().as_secs_f64()
+    );
 
     let (g_block, t_block) =
         run_paper3d_dist(d, lat, ExecMode::Blocking).expect("valid decomposition");

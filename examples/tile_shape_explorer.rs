@@ -41,7 +41,10 @@ fn main() {
         OverlapMode::Serialized,
     );
     println!("analytic completion time vs tile height (experiment i):");
-    println!("{:>6} {:>8} {:>14} {:>14}", "V", "g", "non-overlap(s)", "overlap(s)");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14}",
+        "V", "g", "non-overlap(s)", "overlap(s)"
+    );
     for p in &points {
         println!(
             "{:>6} {:>8} {:>14.4} {:>14.4}",

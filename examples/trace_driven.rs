@@ -41,14 +41,15 @@ fn main() {
 
     // The recorded runs produced real, correct data.
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
-    let correct = blocks_b
-        .iter()
-        .zip(&blocks_o)
-        .all(|(a, b)| a == b)
+    let correct = blocks_b.iter().zip(&blocks_o).all(|(a, b)| a == b)
         && blocks_b.concat().iter().all(|x| x.is_finite());
     println!("recorded executions agree with each other: {correct}");
     let ops: usize = progs_overlap.iter().map(|p| p.len()).sum();
-    println!("recorded {} simulator ops across {} ranks\n", ops, d.pi * d.pj);
+    println!(
+        "recorded {} simulator ops across {} ranks\n",
+        ops,
+        d.pi * d.pj
+    );
     let _ = seq;
 
     // Replay under the paper's cluster and under a 10× faster network.

@@ -112,9 +112,7 @@ pub fn plan(
     }
 
     // Legalize for rectangular tiling if needed.
-    let needs_skew = deps
-        .iter()
-        .any(|d| d.components().iter().any(|&c| c < 0));
+    let needs_skew = deps.iter().any(|d| d.components().iter().any(|&c| c < 0));
     let (deps, skew, space) = if needs_skew {
         let t = legalizing_skew(&deps).ok_or_else(|| {
             PlanError::Dependences("dependences not lexicographically positive".into())
@@ -146,7 +144,9 @@ pub fn plan(
         let procs = proc_grid[ci];
         ci += 1;
         if procs <= 0 {
-            return Err(PlanError::Layout("processor counts must be positive".into()));
+            return Err(PlanError::Layout(
+                "processor counts must be positive".into(),
+            ));
         }
         // Ceil-divide (positive operands): boundary tiles may be clipped.
         cross.push((space.extent(d) + procs - 1) / procs);

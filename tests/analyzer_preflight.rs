@@ -23,10 +23,24 @@ fn shipped_3d() -> Vec<Decomp3D> {
     vec![
         base,
         Decomp3D { nz: 2048, ..base },
-        Decomp3D { nz: 512, v: 64, ..base },
-        Decomp3D { nz: 65_536, v: 256, ..base },
+        Decomp3D {
+            nz: 512,
+            v: 64,
+            ..base
+        },
+        Decomp3D {
+            nz: 65_536,
+            v: 256,
+            ..base
+        },
         // Doc-example scale.
-        Decomp3D { nx: 4, ny: 4, nz: 16, v: 4, ..base },
+        Decomp3D {
+            nx: 4,
+            ny: 4,
+            nz: 16,
+            v: 4,
+            ..base
+        },
     ]
 }
 
@@ -105,7 +119,10 @@ fn engine_wraps_analyzer_rejections() {
         msg.contains("pre-flight analysis rejected the plan"),
         "unexpected message: {msg}"
     );
-    assert!(msg.contains("illegal schedule"), "unexpected message: {msg}");
+    assert!(
+        msg.contains("illegal schedule"),
+        "unexpected message: {msg}"
+    );
 }
 
 #[test]

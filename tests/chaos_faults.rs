@@ -35,10 +35,7 @@ fn chaos_seed() -> u64 {
 
 /// Run `f` on a helper thread and panic if it outlives `limit` — the
 /// harness that turns a transport hang back into a test failure.
-fn with_watchdog<R: Send + 'static>(
-    limit: Duration,
-    f: impl FnOnce() -> R + Send + 'static,
-) -> R {
+fn with_watchdog<R: Send + 'static>(limit: Duration, f: impl FnOnce() -> R + Send + 'static) -> R {
     let (tx, rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
         let _ = tx.send(f());
@@ -92,7 +89,10 @@ fn chaos_2d_recoverable_faults_preserve_bitwise_results() {
     };
     let seq = run_example1_seq(d.nx, d.ny, d.boundary);
     for transport in transports() {
-        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
+        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping]
+            .into_iter()
+            .enumerate()
+        {
             let seed = chaos_seed() + i as u64;
             let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
                 run_dist2d_with(Example1, d, &chaos_world(seed, transport), mode)
@@ -127,7 +127,10 @@ fn chaos_3d_recoverable_faults_preserve_bitwise_results() {
     };
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     for transport in transports() {
-        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping].into_iter().enumerate() {
+        for (i, mode) in [ExecMode::Blocking, ExecMode::Overlapping]
+            .into_iter()
+            .enumerate()
+        {
             let seed = chaos_seed() ^ (0x3D00 + i as u64);
             let (grid, _, stats) = with_watchdog(Duration::from_secs(60), move || {
                 run_dist3d_with(Paper3D, d, &chaos_world(seed, transport), mode)
@@ -203,7 +206,10 @@ fn chaos_3d_slot_lease_retransmission_is_bitwise_exact() {
         let dropped: u64 = stats.iter().map(|s| s.dropped).sum();
         let recovered: u64 = stats.iter().map(|s| s.recovered).sum();
         assert_eq!(dropped, 2, "{mode:?}: both targeted drops must fire");
-        assert_eq!(recovered, 2, "{mode:?}: both parked leases must be recovered");
+        assert_eq!(
+            recovered, 2,
+            "{mode:?}: both parked leases must be recovered"
+        );
     }
 }
 

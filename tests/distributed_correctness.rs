@@ -3,9 +3,9 @@
 //! execution modes must be **bitwise** identical to the sequential
 //! reference, with and without injected latency.
 
+use msgpass::thread_backend::LatencyModel;
 use proptest::prelude::*;
 use stencil::prelude::*;
-use msgpass::thread_backend::LatencyModel;
 
 proptest! {
     // Thread-spawning tests: keep the case count modest.

@@ -3,8 +3,8 @@
 //! silently producing a result — deadlock detection, byte-mismatch
 //! detection, and protocol validation.
 
-use overlap_tiling::prelude::*;
 use cluster_sim::program::{Op, Program};
+use overlap_tiling::prelude::*;
 
 fn problem() -> ClusterProblem {
     ClusterProblem::new(

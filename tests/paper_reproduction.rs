@@ -26,7 +26,13 @@ fn example_3_exact_numbers() {
     let tiling = Tiling::rectangular(&[10, 10]);
     let s = OverlapSchedule::with_mapping(2, 0);
     assert_eq!(s.pi(), vec![1, 2]);
-    let r = s.analyze(&tiling, &deps, nest.space(), &machine, OverlapMode::DuplexDma);
+    let r = s.analyze(
+        &tiling,
+        &deps,
+        nest.space(),
+        &machine,
+        OverlapMode::DuplexDma,
+    );
     assert_eq!(r.schedule_length, 1198);
     assert!((r.total_us - 239_600.0).abs() < 1e-6);
     assert!(r.is_cpu_bound());
@@ -40,7 +46,11 @@ fn overlap_beats_blocking_all_layouts() {
     let machine = MachineParams::paper_cluster();
     let cfg = SimConfig::new(machine).with_trace(false);
     // (cross-section, nz, V): miniatures of experiments i/ii/iii.
-    for (bx, by, nz, v) in [(4i64, 4i64, 2048i64, 128i64), (4, 4, 4096, 128), (8, 8, 1024, 64)] {
+    for (bx, by, nz, v) in [
+        (4i64, 4i64, 2048i64, 128i64),
+        (4, 4, 4096, 128),
+        (8, 8, 1024, 64),
+    ] {
         let problem = ClusterProblem::new(
             Tiling::rectangular(&[bx, by, v]),
             DependenceSet::paper_3d(),
@@ -113,7 +123,11 @@ fn theory_tracks_simulation() {
         )
         .total_us;
     let diff = (theory - sim).abs() / sim;
-    assert!(diff < 0.20, "theory {theory} vs sim {sim}: {:.0}%", diff * 100.0);
+    assert!(
+        diff < 0.20,
+        "theory {theory} vs sim {sim}: {:.0}%",
+        diff * 100.0
+    );
 }
 
 /// The paper's packet sizes (Fig. 12 g_optimal row): tile faces at the
@@ -144,7 +158,9 @@ fn ablation_ordering() {
     )
     .unwrap();
     let run = |duplex: bool, blocking: bool| {
-        let cfg = SimConfig::new(machine).with_trace(false).with_duplex(duplex);
+        let cfg = SimConfig::new(machine)
+            .with_trace(false)
+            .with_duplex(duplex);
         let programs = if blocking {
             problem.blocking_programs(&machine)
         } else {

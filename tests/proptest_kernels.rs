@@ -20,10 +20,7 @@ use stencil::kernel::{Fused3D, Kernel3D, LongestPath3D, Paper3D, Relax3D, Wave, 
 /// Pencil shapes and inputs for one wave: `(len, km1, im1, jm1)` per
 /// entry. Lengths are drawn small and independently so ragged waves and
 /// 8-lane remainders are both routine.
-fn pencils(
-    max_m: usize,
-    max_len: usize,
-) -> impl Strategy<Value = Vec<(Vec<f32>, Vec<f32>, f32)>> {
+fn pencils(max_m: usize, max_len: usize) -> impl Strategy<Value = Vec<(Vec<f32>, Vec<f32>, f32)>> {
     let pencil = (0..=max_len).prop_flat_map(|len| {
         (
             prop::collection::vec(0.0f32..4.0, len),
@@ -37,7 +34,10 @@ fn pencils(
 /// Evaluate the pencils both ways and require bit-for-bit equality;
 /// then run the fast tier and bound its drift. Returns the pinned
 /// outputs for kernel-specific follow-up assertions.
-fn check_kernel<K: Kernel3D>(k: K, inputs: &[(Vec<f32>, Vec<f32>, f32)]) -> Result<(), TestCaseError> {
+fn check_kernel<K: Kernel3D>(
+    k: K,
+    inputs: &[(Vec<f32>, Vec<f32>, f32)],
+) -> Result<(), TestCaseError> {
     // Scalar reference: one eval_pencil call per pencil.
     let mut pinned: Vec<Vec<f32>> = Vec::new();
     for (n, (im1, jm1, km1)) in inputs.iter().enumerate() {
@@ -89,7 +89,13 @@ fn check_kernel<K: Kernel3D>(k: K, inputs: &[(Vec<f32>, Vec<f32>, f32)]) -> Resu
     }
     for (n, (got, want)) in fast_out.iter().zip(&pinned).enumerate() {
         for (z, (g, w)) in got.iter().zip(want).enumerate() {
-            prop_assert!(g.is_finite(), "pencil {} cell {}: fast tier produced {}", n, z, g);
+            prop_assert!(
+                g.is_finite(),
+                "pencil {} cell {}: fast tier produced {}",
+                n,
+                z,
+                g
+            );
             let ulps = (g.to_bits() as i64 - w.to_bits() as i64).unsigned_abs();
             prop_assert!(
                 ulps <= 1024 || (g - w).abs() <= 1e-5,
@@ -147,8 +153,12 @@ fn wave_matches_pencil_for_every_length_and_width() {
             let inputs: Vec<(Vec<f32>, Vec<f32>, f32)> = (0..m)
                 .map(|n| {
                     let l = len.saturating_sub(n);
-                    let im1: Vec<f32> = (0..l).map(|z| 0.25 + ((n * 7 + z) % 13) as f32 * 0.3).collect();
-                    let jm1: Vec<f32> = (0..l).map(|z| 0.5 + ((n * 5 + z) % 11) as f32 * 0.2).collect();
+                    let im1: Vec<f32> = (0..l)
+                        .map(|z| 0.25 + ((n * 7 + z) % 13) as f32 * 0.3)
+                        .collect();
+                    let jm1: Vec<f32> = (0..l)
+                        .map(|z| 0.5 + ((n * 5 + z) % 11) as f32 * 0.2)
+                        .collect();
                     (im1, jm1, 1.0 + n as f32 * 0.1)
                 })
                 .collect();

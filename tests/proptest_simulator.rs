@@ -243,8 +243,5 @@ fn wire_latency_shifts_delivery() {
     };
     let base = simulate(SimConfig::new(m), build()).unwrap();
     let delayed = simulate(SimConfig::new(m).with_wire_latency_us(77.0), build()).unwrap();
-    assert_eq!(
-        delayed.finish[1].as_us() - base.finish[1].as_us(),
-        77.0
-    );
+    assert_eq!(delayed.finish[1].as_us() - base.finish[1].as_us(), 77.0);
 }

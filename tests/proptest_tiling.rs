@@ -26,7 +26,7 @@ fn contained_deps(sides: Vec<i64>) -> impl Strategy<Value = DependenceSet> {
         move |v| {
             v.iter().any(|&x| x > 0)
                 && v[0] >= 0
-                && v.iter().zip(&sides) .all(|(&x, &s)| x >= 0 && x < s)
+                && v.iter().zip(&sides).all(|(&x, &s)| x >= 0 && x < s)
         }
     });
     prop::collection::vec(one, 1..=3).prop_map(move |vs| {

@@ -5,8 +5,8 @@
 //! message (count, destination, bytes), differing only in compute
 //! durations (measured vs modeled).
 
-use overlap_tiling::prelude::*;
 use cluster_sim::program::{Op, Program};
+use overlap_tiling::prelude::*;
 use stencil::dist3d::run_rank3d;
 
 /// The multiset of communication ops (kind, peer, bytes), sorted. The
@@ -70,8 +70,9 @@ fn recorded_blocking_matches_builder_structure() {
 fn recorded_overlap_matches_builder_structure() {
     let (d, problem) = setup();
     let machine = MachineParams::paper_cluster();
-    let (_, recorded) =
-        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
+    let (_, recorded) = record_sequential::<f32, _, _>(4, |comm| {
+        run_rank3d(comm, Paper3D, d, ExecMode::Overlapping)
+    });
     let built = problem.overlapping_programs(&machine);
     for rank in 0..4 {
         assert_eq!(
@@ -91,8 +92,9 @@ fn recorded_programs_simulate_with_overlap_advantage() {
     let (d, _) = setup();
     let (_, blocking) =
         record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Blocking));
-    let (_, overlap) =
-        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
+    let (_, overlap) = record_sequential::<f32, _, _>(4, |comm| {
+        run_rank3d(comm, Paper3D, d, ExecMode::Overlapping)
+    });
     let machine = MachineParams::paper_cluster();
     let cfg = SimConfig::new(machine).with_trace(false);
     let b = simulate(cfg, blocking).unwrap();
@@ -110,8 +112,9 @@ fn recorded_programs_simulate_with_overlap_advantage() {
 #[test]
 fn recorded_executor_output_is_correct() {
     let (d, _) = setup();
-    let (blocks, _) =
-        record_sequential::<f32, _, _>(4, |comm| run_rank3d(comm, Paper3D, d, ExecMode::Overlapping));
+    let (blocks, _) = record_sequential::<f32, _, _>(4, |comm| {
+        run_rank3d(comm, Paper3D, d, ExecMode::Overlapping)
+    });
     // Assemble and compare against the sequential reference.
     let seq = run_paper3d_seq(d.nx, d.ny, d.nz, d.boundary);
     let grid = CartesianGrid::new(vec![d.pi, d.pj]);
@@ -122,11 +125,7 @@ fn recorded_executor_output_is_correct() {
             for j in 0..by {
                 for k in 0..d.nz {
                     let got = block[(i * by + j) * d.nz + k];
-                    let want = seq.get(
-                        (c[0] * bx + i) as i64,
-                        (c[1] * by + j) as i64,
-                        k as i64,
-                    );
+                    let want = seq.get((c[0] * bx + i) as i64, (c[1] * by + j) as i64, k as i64);
                     assert_eq!(got, want, "rank {rank} cell ({i},{j},{k})");
                 }
             }

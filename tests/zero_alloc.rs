@@ -83,8 +83,13 @@ fn count_single_rank_run(nz: usize) -> u64 {
     for _ in 0..3 {
         let d = single_rank_decomp(nz);
         let before = ALLOCS.load(Ordering::Relaxed);
-        let (grid, _) = run_dist3d(Relax3D::default(), d, LatencyModel::zero(), ExecMode::Overlapping)
-            .expect("valid decomp");
+        let (grid, _) = run_dist3d(
+            Relax3D::default(),
+            d,
+            LatencyModel::zero(),
+            ExecMode::Overlapping,
+        )
+        .expect("valid decomp");
         let after = ALLOCS.load(Ordering::Relaxed);
         assert!(grid.data().iter().all(|x| x.is_finite()));
         best = best.min(after - before);
